@@ -1,0 +1,80 @@
+//! Ablation study of the design choices the paper fixes without a full
+//! sensitivity analysis (listed in DESIGN.md):
+//!
+//! * window length k (the number of preceding templates the LSTM sees);
+//! * the inter-arrival gap feature (the paper feeds `(m_i, t_i-t_{i-1})`
+//!   tuples rather than bare template ids);
+//! * minority-pattern over-sampling rounds (§4.2);
+//! * the warning-cluster rule (>= 2 anomalies within a minute, §5.1)
+//!   versus alerting on single anomalies.
+//!
+//! Each variant runs the identical pipeline; the table reports the
+//! operating-point F-measure, precision, recall, and false alarms/day.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin ablation [-- --fast]
+//! ```
+
+use nfv_bench::BenchArgs;
+use nfv_detect::eval;
+use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig};
+use nfv_simnet::FleetTrace;
+
+fn evaluate(trace: &FleetTrace, cfg: &PipelineConfig) -> (f32, f32, f32, f32) {
+    let run = run_pipeline(trace, cfg);
+    let curve = eval::sweep_prc(&run, &cfg.mapping, 32);
+    match curve.best_f_point() {
+        Some(best) => (
+            best.f_measure,
+            best.precision,
+            best.recall,
+            eval::false_alarms_per_day(&run, &cfg.mapping, best.threshold),
+        ),
+        None => (0.0, 0.0, 0.0, 0.0),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let trace = FleetTrace::simulate(args.sim_config());
+    eprintln!("simulated {} messages, {} tickets", trace.total_messages(), trace.tickets.len());
+
+    let base = args.pipeline_config(DetectorKind::Lstm);
+    let variants: Vec<(String, PipelineConfig)> = vec![
+        ("reference".into(), base.clone()),
+        ("window k=4".into(), {
+            let mut c = base.clone();
+            c.lstm.window = 4;
+            c
+        }),
+        ("window k=20".into(), {
+            let mut c = base.clone();
+            c.lstm.window = 20;
+            c
+        }),
+        ("no gap feature".into(), {
+            let mut c = base.clone();
+            c.lstm.use_gap_feature = false;
+            c
+        }),
+        ("no oversampling".into(), {
+            let mut c = base.clone();
+            c.lstm.oversample_rounds = 0;
+            c
+        }),
+        ("single-anomaly warnings".into(), {
+            let mut c = base.clone();
+            c.mapping.min_cluster = 1;
+            c
+        }),
+    ];
+
+    println!("variant\tf\tprecision\trecall\tfalse_alarms_per_day");
+    let mut json = serde_json::Map::new();
+    for (name, cfg) in variants {
+        let (f, p, r, fa) = evaluate(&trace, &cfg);
+        println!("{}\t{:.3}\t{:.3}\t{:.3}\t{:.2}", name, f, p, r, fa);
+        json.insert(name, serde_json::json!({ "f": f, "p": p, "r": r, "fa_per_day": fa }));
+    }
+    args.maybe_write_json(&serde_json::Value::Object(json));
+}

@@ -1,0 +1,62 @@
+//! Figure 1(a): monthly ticket root-cause mix (percent of all tickets).
+//!
+//! The paper observes maintenance dominating, with duplicated and
+//! circuit tickets the next two major contributors, and a highly skewed
+//! overall mix.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin fig1a [-- --fast]
+//! ```
+
+use nfv_bench::BenchArgs;
+use nfv_simnet::tickets::generate_tickets;
+use nfv_simnet::TicketCause;
+use nfv_syslog::time::month_index;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cfg = args.sim_config();
+    let tickets = generate_tickets(&cfg);
+
+    let causes = TicketCause::ALL;
+    let mut monthly = vec![vec![0usize; causes.len()]; cfg.months];
+    for t in &tickets {
+        let m = month_index(t.report_time).min(cfg.months - 1);
+        let c = causes.iter().position(|&c| c == t.cause).expect("known cause");
+        monthly[m][c] += 1;
+    }
+
+    print!("month");
+    for c in causes {
+        print!("\t{}", c.label());
+    }
+    println!("\ttotal");
+    let mut rows = Vec::new();
+    for (m, counts) in monthly.iter().enumerate() {
+        let total: usize = counts.iter().sum();
+        print!("{}", m);
+        let mut row = Vec::new();
+        for &c in counts {
+            let pct = if total == 0 { 0.0 } else { 100.0 * c as f64 / total as f64 };
+            print!("\t{:.1}", pct);
+            row.push(pct);
+        }
+        println!("\t{}", total);
+        rows.push(row);
+    }
+
+    // Aggregate mix for the headline claim.
+    let mut agg = vec![0usize; causes.len()];
+    for t in &tickets {
+        agg[causes.iter().position(|&c| c == t.cause).expect("known cause")] += 1;
+    }
+    println!("\n# aggregate mix over {} tickets:", tickets.len());
+    for (c, &n) in causes.iter().zip(agg.iter()) {
+        println!("#   {:<12} {:>5.1}%", c.label(), 100.0 * n as f64 / tickets.len() as f64);
+    }
+
+    args.maybe_write_json(&serde_json::json!({
+        "causes": causes.iter().map(|c| c.label()).collect::<Vec<_>>(),
+        "monthly_percent": rows,
+    }));
+}

@@ -1,0 +1,136 @@
+//! Figure 3: quantiles over time of the cosine similarity between each
+//! vPE's monthly syslog distribution and the fleet aggregate, with vPEs
+//! sorted by similarity — plus the §3.3 statistic on month-over-month
+//! similarity around the software update.
+//!
+//! Paper observations: only about a third of vPEs track the aggregate
+//! closely (similarity > 0.8), ~5 vPEs fall below 0.5, and the software
+//! update drops month-over-month similarity from > 0.8 to < 0.4 on
+//! affected vPEs.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin fig3 [-- --fast]
+//! ```
+
+use nfv_bench::BenchArgs;
+use nfv_simnet::FleetTrace;
+use nfv_syslog::time::month_start;
+use nfv_tensor::stats::five_number_summary;
+use nfv_tensor::vecops::cosine_similarity;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cfg = args.sim_config();
+    let trace = FleetTrace::simulate(cfg.clone());
+    let vocab = trace.catalog.set.len();
+
+    let streams: Vec<_> = (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
+
+    // Per-vPE, per-month cosine similarity to the aggregated fleet
+    // distribution of the same month.
+    let mut per_vpe_sims: Vec<Vec<f32>> = vec![Vec::new(); cfg.n_vpes];
+    for m in 0..cfg.months {
+        let (start, end) = (month_start(m), month_start(m + 1));
+        let mut agg = vec![0.0f32; vocab];
+        for s in &streams {
+            for r in s.slice_time(start, end) {
+                agg[r.template] += 1.0;
+            }
+        }
+        for (v, s) in streams.iter().enumerate() {
+            let dist = s.template_distribution(vocab, start, end);
+            per_vpe_sims[v].push(cosine_similarity(&dist, &agg));
+        }
+    }
+
+    // Sort vPEs by median similarity (the figure's x ordering).
+    let mut order: Vec<usize> = (0..cfg.n_vpes).collect();
+    order.sort_by(|&a, &b| {
+        let ma = nfv_tensor::stats::quantile(&per_vpe_sims[a], 0.5).unwrap();
+        let mb = nfv_tensor::stats::quantile(&per_vpe_sims[b], 0.5).unwrap();
+        ma.partial_cmp(&mb).unwrap()
+    });
+
+    println!("rank\tvpe\tmin\tq25\tmedian\tq75\tmax");
+    let mut rows = Vec::new();
+    for (rank, &v) in order.iter().enumerate() {
+        let (min, q25, med, q75, max) = five_number_summary(&per_vpe_sims[v]).unwrap();
+        println!(
+            "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            rank, v, min, q25, med, q75, max
+        );
+        rows.push(serde_json::json!({
+            "vpe": v, "min": min, "q25": q25, "median": med, "q75": q75, "max": max
+        }));
+    }
+
+    let medians: Vec<f32> = (0..cfg.n_vpes)
+        .map(|v| nfv_tensor::stats::quantile(&per_vpe_sims[v], 0.5).unwrap())
+        .collect();
+    let above_08 = medians.iter().filter(|&&m| m > 0.8).count();
+    let below_05 = medians.iter().filter(|&&m| m < 0.5).count();
+    println!("\n# vPEs with median similarity > 0.8: {} / {} (paper: ~1/3)", above_08, cfg.n_vpes);
+    println!("# vPEs with median similarity < 0.5: {} (paper: 5)", below_05);
+
+    // §3.3: month-over-month similarity across the update boundary.
+    let mut update_stats = serde_json::Value::Null;
+    if let Some(plan) = &trace.update {
+        let update_month = cfg.update_month.expect("update configured");
+        let mom = |v: usize, m: usize| {
+            let d1 = streams[v].template_distribution(vocab, month_start(m), month_start(m + 1));
+            let d2 =
+                streams[v].template_distribution(vocab, month_start(m + 1), month_start(m + 2));
+            cosine_similarity(&d1, &d2)
+        };
+        let mut affected = Vec::new();
+        let mut unaffected = Vec::new();
+        for v in 0..cfg.n_vpes {
+            // Compare the month before rollout with the month after.
+            let before = mom(v, update_month.saturating_sub(2));
+            let across = {
+                let pre = streams[v].template_distribution(
+                    vocab,
+                    month_start(update_month - 1),
+                    month_start(update_month),
+                );
+                let post = streams[v].template_distribution(
+                    vocab,
+                    month_start(update_month + 1),
+                    month_start(update_month + 2),
+                );
+                cosine_similarity(&pre, &post)
+            };
+            if plan.time_of[v].is_some() {
+                affected.push((before, across));
+            } else {
+                unaffected.push((before, across));
+            }
+        }
+        let mean = |xs: &[(f32, f32)], f: fn(&(f32, f32)) -> f32| {
+            xs.iter().map(f).sum::<f32>() / xs.len().max(1) as f32
+        };
+        println!("\n# software update (month {}):", update_month);
+        println!(
+            "#   affected vPEs:   month-over-month similarity {:.2} before, {:.2} across the update (paper: >0.8 -> <0.4)",
+            mean(&affected, |x| x.0),
+            mean(&affected, |x| x.1)
+        );
+        println!(
+            "#   unaffected vPEs: {:.2} before, {:.2} across",
+            mean(&unaffected, |x| x.0),
+            mean(&unaffected, |x| x.1)
+        );
+        update_stats = serde_json::json!({
+            "affected_before": mean(&affected, |x| x.0),
+            "affected_across": mean(&affected, |x| x.1),
+            "unaffected_across": mean(&unaffected, |x| x.1),
+        });
+    }
+
+    args.maybe_write_json(&serde_json::json!({
+        "per_vpe": rows,
+        "above_0.8": above_08,
+        "below_0.5": below_05,
+        "update": update_stats,
+    }));
+}

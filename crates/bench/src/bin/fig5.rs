@@ -1,0 +1,54 @@
+//! Figure 5: precision-recall curves of the LSTM detector for different
+//! predictive periods (1 hour, 1 day, 2 days).
+//!
+//! The paper reports that performance converges at a 1-day predictive
+//! period, with the operating point around precision 0.80 / recall 0.81
+//! and ~0.6 false alarms per day across all vPEs.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin fig5 [-- --fast]
+//! ```
+
+use nfv_bench::BenchArgs;
+use nfv_detect::eval;
+use nfv_detect::pipeline::{run_pipeline, DetectorKind};
+use nfv_detect::report::format_prc;
+use nfv_simnet::FleetTrace;
+use nfv_syslog::time::{DAY, HOUR};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let trace = FleetTrace::simulate(args.sim_config());
+    eprintln!(
+        "simulated {} messages, {} tickets on {} vPEs",
+        trace.total_messages(),
+        trace.tickets.len(),
+        trace.config.n_vpes
+    );
+
+    let cfg = args.pipeline_config(DetectorKind::Lstm);
+    let run = run_pipeline(&trace, &cfg);
+
+    let mut json_curves = serde_json::Map::new();
+    for (label, period) in [("1h", HOUR), ("1day", DAY), ("2day", 2 * DAY)] {
+        let mut mapping = cfg.mapping;
+        mapping.predictive_period = period;
+        let curve = eval::sweep_prc(&run, &mapping, 40);
+        println!("{}", format_prc(&format!("LSTM, predictive period {}", label), &curve));
+        if period == DAY {
+            if let Some(best) = curve.best_f_point() {
+                let fa = eval::false_alarms_per_day(&run, &mapping, best.threshold);
+                println!("# false alarms per day at operating point: {:.2}\n", fa);
+            }
+        }
+        json_curves.insert(
+            label.to_string(),
+            serde_json::json!(curve
+                .points
+                .iter()
+                .map(|p| (p.threshold, p.precision, p.recall, p.f_measure))
+                .collect::<Vec<_>>()),
+        );
+    }
+    args.maybe_write_json(&serde_json::Value::Object(json_curves));
+}

@@ -1,0 +1,83 @@
+//! Figure 8: probability of detecting an anomaly related to a ticket at
+//! several offsets around ticket generation (-15 min, -5 min, 0,
+//! +5 min, +15 min), per non-duplicated ticket type and across all.
+//!
+//! Paper answers reproduced here: circuit tickets show pre-ticket
+//! anomalies most often (74%), then software (55%), cable (40%),
+//! hardware (28%); ~80% of tickets show anomalies within 15 minutes
+//! after generation; long (>= 15 min) leads are relatively more common
+//! for cable/hardware than for circuit.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin fig8 [-- --fast]
+//! ```
+
+use nfv_bench::BenchArgs;
+use nfv_detect::eval::{self, FIG8_OFFSETS};
+use nfv_detect::pipeline::{run_pipeline, DetectorKind};
+use nfv_detect::report::format_detection_table;
+use nfv_simnet::FleetTrace;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let trace = FleetTrace::simulate(args.sim_config());
+    eprintln!(
+        "simulated {} messages, {} tickets",
+        trace.total_messages(),
+        trace.tickets.len()
+    );
+
+    let cfg = args.pipeline_config(DetectorKind::Lstm);
+    let run = run_pipeline(&trace, &cfg);
+    let curve = eval::sweep_prc(&run, &cfg.mapping, 40);
+    let threshold = curve.best_f_point().map(|p| p.threshold).unwrap_or(1.0);
+    eprintln!("operating threshold: {:.4}", threshold);
+
+    let rows = eval::per_type_detection(&run, &cfg.mapping, threshold, &FIG8_OFFSETS);
+    println!("{}", format_detection_table(&rows, &FIG8_OFFSETS));
+
+    println!("# paper reference (pre-ticket detection, 0 min column):");
+    println!("#   Circuit 0.74, Software 0.55, Cable 0.40, Hardware 0.28");
+    println!("# paper reference (+15 min column): ~0.80 across tickets");
+
+    // Q4: does any single warning cluster serve several tickets?
+    let mut multi = 0usize;
+    let mut clusters_total = 0usize;
+    for vpe in 0..run.n_vpes() {
+        let events = run.events_for(vpe);
+        let clusters =
+            nfv_detect::mapping::warning_clusters(&events, threshold, &cfg.mapping);
+        // Q4 asks about independent troubles; duplicates trail their
+        // parent ticket within hours by definition, so they are excluded
+        // here (as the paper's "rare and well-separated" framing implies).
+        let tickets: Vec<_> = run
+            .tickets
+            .iter()
+            .filter(|t| t.vpe == vpe && t.cause != nfv_simnet::TicketCause::Duplicate)
+            .copied()
+            .collect();
+        multi += nfv_detect::triage::clusters_spanning_multiple_tickets(
+            &clusters,
+            &tickets,
+            &cfg.mapping,
+        );
+        clusters_total += clusters.len();
+    }
+    println!(
+        "# Q4: {} of {} warning clusters span more than one ticket (paper: never \
+         observed; tickets are rare and well separated)",
+        multi, clusters_total
+    );
+
+    args.maybe_write_json(&serde_json::json!({
+        "offsets_sec": FIG8_OFFSETS,
+        "rows": rows
+            .iter()
+            .map(|(c, rates, n)| serde_json::json!({
+                "type": c.map_or("All", |c| c.label()),
+                "rates": rates,
+                "tickets": n,
+            }))
+            .collect::<Vec<_>>(),
+    }));
+}

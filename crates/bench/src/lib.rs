@@ -1,0 +1,87 @@
+//! Shared plumbing for the figure/table regeneration harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the
+//! paper (see DESIGN.md's per-experiment index). They share the command
+//! line: `--fast` runs a scaled-down configuration for smoke testing,
+//! `--seed N` changes the master seed, and `--json PATH` additionally
+//! dumps the series as JSON for downstream plotting.
+
+use nfv_detect::pipeline::{DetectorKind, PipelineConfig};
+use nfv_simnet::{SimConfig, SimPreset};
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Use the reduced configuration.
+    pub fast: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> BenchArgs {
+        let mut out = BenchArgs { fast: false, seed: 42, json: None };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" => out.fast = true,
+                "--seed" => {
+                    out.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--json" => {
+                    out.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
+                }
+                other => usage(&format!("unknown flag {:?}", other)),
+            }
+        }
+        out
+    }
+
+    /// The simulation configuration for this run.
+    pub fn sim_config(&self) -> SimConfig {
+        if self.fast {
+            let mut cfg = SimConfig::preset(SimPreset::Fast, self.seed);
+            cfg.months = 4;
+            cfg.n_vpes = 8;
+            cfg
+        } else {
+            SimConfig::preset(SimPreset::Full, self.seed)
+        }
+    }
+
+    /// A pipeline configuration scaled to the run size.
+    pub fn pipeline_config(&self, detector: DetectorKind) -> PipelineConfig {
+        let mut cfg = PipelineConfig::default();
+        cfg.detector = detector;
+        cfg.seed = self.seed;
+        if self.fast {
+            cfg.lstm.epochs = 2;
+            cfg.lstm.oversample_rounds = 1;
+            cfg.lstm.hidden = 24;
+            cfg.lstm.max_train_windows = 8_000;
+            cfg.autoencoder.epochs = 12;
+        }
+        cfg
+    }
+
+    /// Writes the JSON dump when `--json` was given.
+    pub fn maybe_write_json(&self, value: &serde_json::Value) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, serde_json::to_string_pretty(value).expect("serializable"))
+                .unwrap_or_else(|e| eprintln!("failed to write {}: {}", path, e));
+            eprintln!("wrote {}", path);
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    eprintln!("usage: <bin> [--fast] [--seed N] [--json PATH]");
+    std::process::exit(2)
+}

@@ -1,0 +1,160 @@
+//! Deployable model bundles: codec + trained LSTM + operating
+//! parameters, serialized as one JSON file so a detector can be trained
+//! offline and shipped to a monitoring host (the `nfvpredict` CLI's
+//! `train`/`detect` workflow).
+
+use crate::codec::{LogCodec, SavedCodec};
+use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
+use crate::mapping::MappingConfig;
+use nfv_nn::checkpoint::Checkpoint;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Everything needed to run detection on a fresh syslog feed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// The template codec.
+    pub codec: SavedCodec,
+    /// The trained sequence model.
+    pub model: Checkpoint,
+    /// Window length k used at training time.
+    pub window: usize,
+    /// Calibrated anomaly threshold (score >= threshold is anomalous).
+    pub threshold: f32,
+    /// Predictive period for ticket mapping, seconds.
+    pub predictive_period: u64,
+    /// Warning-cluster gap, seconds.
+    pub cluster_gap: u64,
+    /// Minimum anomalies per warning cluster.
+    pub min_cluster: usize,
+}
+
+impl ModelBundle {
+    /// Packs a trained detector, its codec, and the chosen operating
+    /// threshold into a bundle.
+    pub fn pack(
+        codec: &LogCodec,
+        detector: &LstmDetector,
+        threshold: f32,
+        mapping: &MappingConfig,
+    ) -> ModelBundle {
+        ModelBundle {
+            codec: codec.to_saved(),
+            model: detector.model().to_checkpoint(),
+            window: detector.window(),
+            threshold,
+            predictive_period: mapping.predictive_period,
+            cluster_gap: mapping.cluster_gap,
+            min_cluster: mapping.min_cluster,
+        }
+    }
+
+    /// Reconstructs the codec and detector.
+    pub fn unpack(&self) -> (LogCodec, LstmDetector) {
+        let codec = LogCodec::from_saved(&self.codec);
+        let model = nfv_nn::SequenceModel::from_checkpoint(&self.model);
+        let cfg = LstmDetectorConfig {
+            vocab: model.config().vocab,
+            window: self.window,
+            embed_dim: model.config().embed_dim,
+            hidden: model.config().hidden,
+            lstm_layers: model.config().lstm_layers,
+            use_gap_feature: model.config().use_gap_feature,
+            ..Default::default()
+        };
+        let detector = LstmDetector::from_model(cfg, model);
+        (codec, detector)
+    }
+
+    /// The mapping configuration carried by the bundle.
+    pub fn mapping(&self) -> MappingConfig {
+        MappingConfig {
+            predictive_period: self.predictive_period,
+            cluster_gap: self.cluster_gap,
+            min_cluster: self.min_cluster,
+        }
+    }
+
+    /// Writes the bundle as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, serde_json::to_string(self).map_err(io::Error::other)?)
+    }
+
+    /// Loads a bundle written by [`ModelBundle::save`].
+    pub fn load(path: &Path) -> io::Result<ModelBundle> {
+        serde_json::from_str(&std::fs::read_to_string(path)?).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::AnomalyDetector;
+    use nfv_syslog::message::Severity;
+    use nfv_syslog::{LogStream, SyslogMessage};
+
+    fn sample_messages() -> Vec<SyslogMessage> {
+        (0..200)
+            .map(|i| SyslogMessage {
+                timestamp: i * 60,
+                host: "vpe00".into(),
+                process: "rpd".into(),
+                severity: Severity::Info,
+                text: format!("BGP peer 10.0.{}.1 keepalive ok count {}", i % 8, i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_preserves_scores() {
+        let msgs = sample_messages();
+        let codec = LogCodec::train(&msgs, 4);
+        let mut det = LstmDetector::new(LstmDetectorConfig {
+            vocab: codec.vocab_size(),
+            window: 4,
+            embed_dim: 6,
+            hidden: 8,
+            epochs: 1,
+            max_train_windows: 500,
+            ..Default::default()
+        });
+        let stream = codec.encode_stream(&msgs);
+        det.fit(&[&stream]);
+
+        let bundle = ModelBundle::pack(&codec, &det, 3.5, &MappingConfig::default());
+        let (codec2, det2) = bundle.unpack();
+
+        let stream2 = codec2.encode_stream(&msgs);
+        assert_eq!(stream2.records(), stream.records());
+        let a = det.score(&stream, 0, u64::MAX);
+        let b = det2.score(&stream2, 0, u64::MAX);
+        assert_eq!(a, b);
+        assert_eq!(bundle.mapping().min_cluster, 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let msgs = sample_messages();
+        let codec = LogCodec::train(&msgs, 2);
+        let det = LstmDetector::new(LstmDetectorConfig {
+            vocab: codec.vocab_size(),
+            window: 3,
+            embed_dim: 4,
+            hidden: 6,
+            ..Default::default()
+        });
+        let bundle = ModelBundle::pack(&codec, &det, 1.0, &MappingConfig::default());
+        let dir = std::env::temp_dir().join("nfv_bundle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        bundle.save(&path).unwrap();
+        let loaded = ModelBundle::load(&path).unwrap();
+        assert_eq!(loaded.threshold, 1.0);
+        assert_eq!(loaded.window, 3);
+        let (_, det2) = loaded.unpack();
+        let empty = LogStream::from_records(vec![]);
+        assert!(det2.score(&empty, 0, u64::MAX).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,288 @@
+//! The raw-log codec: raw syslog text -> signature -> dense vocabulary id.
+//!
+//! This is the production entry point of the pipeline: a signature tree
+//! is mined from a training sample of raw message bodies (Qiu et al.'s
+//! approach, §2 of the paper), and every subsequent message is matched
+//! to a signature and encoded into the dense id space the models are
+//! built over. Dense ids are keyed by signature *pattern* (not tree
+//! index) so the tree can be re-mined after a software update without
+//! invalidating the ids of already-known templates — new patterns take
+//! the vocabulary's spare slots instead.
+
+use nfv_syslog::vocab::UNKNOWN_ID;
+use nfv_syslog::{LogRecord, LogStream, SignatureTree, SignatureTreeConfig, SyslogMessage};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Serializable form of a [`LogCodec`]: the signature patterns with
+/// their dense ids. The matching tree is rebuilt on load.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SavedCodec {
+    /// `(signature pattern, dense id)` pairs.
+    pub patterns: Vec<(String, usize)>,
+    /// Total dense-id capacity (spare slots included).
+    pub capacity: usize,
+}
+
+/// Encodes raw syslog messages into dense template ids.
+#[derive(Debug, Clone)]
+pub struct LogCodec {
+    tree: SignatureTree,
+    /// signature pattern -> dense id (0 reserved for unknown).
+    dense_of: HashMap<String, usize>,
+    /// Tree signature id -> dense id, rebuilt with the tree so the
+    /// per-message hot path avoids rendering pattern strings.
+    dense_by_sig: Vec<usize>,
+    capacity: usize,
+}
+
+/// Builds the signature-id -> dense-id index for a tree.
+fn index_tree(tree: &SignatureTree, dense_of: &HashMap<String, usize>) -> Vec<usize> {
+    tree.signatures()
+        .iter()
+        .map(|sig| dense_of.get(&sig.pattern()).copied().unwrap_or(UNKNOWN_ID))
+        .collect()
+}
+
+impl LogCodec {
+    /// Mines signatures from a training sample of messages and assigns
+    /// dense ids, reserving `spare` slots for templates discovered later
+    /// (e.g. after a software update).
+    pub fn train(sample: &[SyslogMessage], spare: usize) -> LogCodec {
+        let texts: Vec<&str> = sample.iter().map(|m| m.text.as_str()).collect();
+        let tree = SignatureTree::build(&texts, &SignatureTreeConfig::default());
+        let mut dense_of = HashMap::new();
+        for sig in tree.signatures() {
+            let next = dense_of.len() + 1; // 0 = unknown
+            dense_of.insert(sig.pattern(), next);
+        }
+        let capacity = dense_of.len() + 1 + spare;
+        let dense_by_sig = index_tree(&tree, &dense_of);
+        LogCodec { tree, dense_of, dense_by_sig, capacity }
+    }
+
+    /// Total dense-id space (model vocabulary width), spare included.
+    pub fn vocab_size(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of dense ids assigned so far (unknown included).
+    pub fn assigned(&self) -> usize {
+        self.dense_of.len() + 1
+    }
+
+    /// Encodes one message body; unknown structures map to
+    /// [`UNKNOWN_ID`].
+    pub fn encode_text(&self, text: &str) -> usize {
+        match self.tree.match_message(text) {
+            Some(sig) => self.dense_by_sig.get(sig).copied().unwrap_or(UNKNOWN_ID),
+            None => UNKNOWN_ID,
+        }
+    }
+
+    /// Encodes a message batch into a time-sorted stream.
+    pub fn encode_stream(&self, messages: &[SyslogMessage]) -> LogStream {
+        LogStream::from_records(
+            messages
+                .iter()
+                .map(|m| LogRecord { time: m.timestamp, template: self.encode_text(&m.text) })
+                .collect(),
+        )
+    }
+
+    /// Re-mines the signature tree over a fresh sample and assigns dense
+    /// ids to *new* patterns from the spare capacity. Existing pattern
+    /// ids never change. Returns the number of newly assigned patterns.
+    ///
+    /// This is the codec half of post-update adaptation: after a
+    /// software update introduces renamed/reshaped messages, `refresh`
+    /// makes them first-class template ids so the fine-tuned model can
+    /// learn them instead of seeing a wall of `UNKNOWN`.
+    pub fn refresh(&mut self, sample: &[SyslogMessage]) -> usize {
+        let texts: Vec<&str> = sample.iter().map(|m| m.text.as_str()).collect();
+        let new_tree = SignatureTree::build(&texts, &SignatureTreeConfig::default());
+        let mut assigned = 0usize;
+        for sig in new_tree.signatures() {
+            let pattern = sig.pattern();
+            if self.dense_of.contains_key(&pattern) {
+                continue;
+            }
+            // A small sample can re-mine a *narrower* variant of a known
+            // template (a wildcard position that happened to be constant
+            // that week). Assigning it a fresh id would silently split a
+            // known template across two dense ids, so skip any pattern
+            // whose instances the existing tree already matches.
+            if self.tree.match_message(&pattern).is_some() {
+                continue;
+            }
+            if self.assigned() < self.capacity {
+                let next = self.dense_of.len() + 1;
+                self.dense_of.insert(pattern, next);
+                assigned += 1;
+            }
+        }
+        // Merge: keep every old signature the tree knew (patterns with
+        // dense ids must stay matchable) plus the fresh ones. Rebuilding
+        // from the union of pattern corpora keeps matching consistent.
+        let mut corpus: Vec<String> = self.dense_of.keys().cloned().collect();
+        corpus.sort(); // deterministic tree construction
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        // Patterns contain `*` wildcards as literal tokens; the tree
+        // treats them as ordinary words, and `encode_text` resolves via
+        // pattern lookup, so matching stays exact for known structures.
+        self.tree = SignatureTree::build(
+            &refs,
+            &SignatureTreeConfig { min_group: 1, ..Default::default() },
+        );
+        self.dense_by_sig = index_tree(&self.tree, &self.dense_of);
+        assigned
+    }
+
+    /// Returns the signature pattern behind a dense id (`None` for the
+    /// unknown id or unused slots).
+    pub fn pattern_of(&self, dense: usize) -> Option<&str> {
+        self.dense_of
+            .iter()
+            .find(|(_, &d)| d == dense)
+            .map(|(p, _)| p.as_str())
+    }
+
+    /// Serializes the codec (patterns + dense-id assignment).
+    pub fn to_saved(&self) -> SavedCodec {
+        let mut patterns: Vec<(String, usize)> =
+            self.dense_of.iter().map(|(p, &d)| (p.clone(), d)).collect();
+        patterns.sort_by_key(|(_, d)| *d);
+        SavedCodec { patterns, capacity: self.capacity }
+    }
+
+    /// Restores a codec from its serialized form, rebuilding the
+    /// matching tree from the stored patterns.
+    pub fn from_saved(saved: &SavedCodec) -> LogCodec {
+        let dense_of: HashMap<String, usize> = saved.patterns.iter().cloned().collect();
+        let mut corpus: Vec<&str> = saved.patterns.iter().map(|(p, _)| p.as_str()).collect();
+        corpus.sort_unstable();
+        let tree = SignatureTree::build(
+            &corpus,
+            &SignatureTreeConfig { min_group: 1, ..Default::default() },
+        );
+        let dense_by_sig = index_tree(&tree, &dense_of);
+        LogCodec { tree, dense_of, dense_by_sig, capacity: saved.capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_syslog::message::Severity;
+
+    fn msg(text: &str, time: u64) -> SyslogMessage {
+        SyslogMessage {
+            timestamp: time,
+            host: "vpe00".to_string(),
+            process: "rpd".to_string(),
+            severity: Severity::Info,
+            text: text.to_string(),
+        }
+    }
+
+    fn sample() -> Vec<SyslogMessage> {
+        let mut msgs = Vec::new();
+        for i in 0..30 {
+            msgs.push(msg(&format!("BGP peer 10.0.{}.1 session established", i), i));
+            msgs.push(msg(&format!("interface xe-0/0/{} carrier up", i % 8), i + 100));
+        }
+        msgs
+    }
+
+    #[test]
+    fn encode_is_consistent_per_template() {
+        let codec = LogCodec::train(&sample(), 4);
+        let a = codec.encode_text("BGP peer 99.99.99.99 session established");
+        let b = codec.encode_text("BGP peer 1.2.3.4 session established");
+        let c = codec.encode_text("interface xe-3/1/7 carrier up");
+        assert_ne!(a, UNKNOWN_ID);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unknown_text_maps_to_unknown_id() {
+        let codec = LogCodec::train(&sample(), 0);
+        assert_eq!(codec.encode_text("totally novel words that never appeared"), UNKNOWN_ID);
+    }
+
+    #[test]
+    fn encode_stream_preserves_times() {
+        let codec = LogCodec::train(&sample(), 0);
+        let stream = codec.encode_stream(&sample());
+        assert_eq!(stream.len(), 60);
+        assert!(stream.records().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn refresh_assigns_spare_slots_to_new_patterns() {
+        let mut codec = LogCodec::train(&sample(), 8);
+        let before = codec.assigned();
+        let old_id = codec.encode_text("BGP peer 1.2.3.4 session established");
+
+        // A software update introduces a new message shape.
+        let new_msgs: Vec<SyslogMessage> = (0..20)
+            .map(|i| msg(&format!("telemetry sensor group {} export started", i), i))
+            .collect();
+        let assigned = codec.refresh(&new_msgs);
+        assert!(assigned >= 1, "new pattern should claim a spare slot");
+        assert_eq!(codec.assigned(), before + assigned);
+
+        // Old templates keep their ids; the new one now encodes.
+        assert_eq!(codec.encode_text("BGP peer 9.9.9.9 session established"), old_id);
+        let new_id = codec.encode_text("telemetry sensor group 7 export started");
+        assert_ne!(new_id, UNKNOWN_ID);
+        assert_ne!(new_id, old_id);
+    }
+
+    #[test]
+    fn saved_codec_roundtrip_preserves_encoding() {
+        let codec = LogCodec::train(&sample(), 4);
+        let restored = LogCodec::from_saved(&codec.to_saved());
+        assert_eq!(restored.vocab_size(), codec.vocab_size());
+        assert_eq!(restored.assigned(), codec.assigned());
+        for text in [
+            "BGP peer 172.16.0.9 session established",
+            "interface xe-1/0/2 carrier up",
+            "never seen words at all here",
+        ] {
+            assert_eq!(restored.encode_text(text), codec.encode_text(text), "{}", text);
+        }
+        // JSON serializable both ways.
+        let json = serde_json::to_string(&codec.to_saved()).unwrap();
+        let back: SavedCodec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, codec.to_saved());
+    }
+
+    #[test]
+    fn refresh_ignores_narrower_variants_of_known_templates() {
+        let mut codec = LogCodec::train(&sample(), 4);
+        let before = codec.assigned();
+        let old_id = codec.encode_text("interface xe-0/0/1 carrier up");
+        assert_ne!(old_id, UNKNOWN_ID);
+
+        // A week where only interface 'xe-0/0/3' appears: the re-mined
+        // pattern is narrower but structurally known.
+        let week: Vec<SyslogMessage> =
+            (0..20).map(|i| msg("interface xe-0/0/3 carrier up", i)).collect();
+        let assigned = codec.refresh(&week);
+        assert_eq!(assigned, 0, "narrower variant must not take a spare slot");
+        assert_eq!(codec.assigned(), before);
+        assert_eq!(codec.encode_text("interface xe-0/0/7 carrier up"), old_id);
+    }
+
+    #[test]
+    fn refresh_without_capacity_leaves_new_patterns_unknown() {
+        let mut codec = LogCodec::train(&sample(), 0);
+        let new_msgs: Vec<SyslogMessage> =
+            (0..20).map(|i| msg(&format!("brand new shape number {}", i), i)).collect();
+        let assigned = codec.refresh(&new_msgs);
+        assert_eq!(assigned, 0);
+        assert_eq!(codec.encode_text("brand new shape number 5"), UNKNOWN_ID);
+    }
+}

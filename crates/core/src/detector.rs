@@ -1,0 +1,94 @@
+//! The common anomaly-detector interface.
+//!
+//! All detectors consume vocabulary-encoded [`LogStream`]s (see
+//! [`crate::codec::LogCodec`]) and emit time-stamped anomaly scores where
+//! *higher means more anomalous*. Thresholding, clustering into warning
+//! signatures, and mapping to tickets happen downstream in
+//! [`crate::mapping`] so that every detector is evaluated identically —
+//! the paper applies the same customization and adaptation mechanisms to
+//! LSTM, Autoencoder and OC-SVM for a fair comparison (§5.2).
+
+use nfv_syslog::LogStream;
+
+/// One scored log event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredEvent {
+    /// Event timestamp (epoch seconds).
+    pub time: u64,
+    /// Anomaly score; higher = more anomalous.
+    pub score: f32,
+}
+
+/// A trainable anomaly detector over template streams.
+pub trait AnomalyDetector: Send {
+    /// Short name for reports (e.g. `"lstm"`).
+    fn name(&self) -> &'static str;
+
+    /// Initial training on normal-period streams (ticket neighbourhoods
+    /// already excluded by the caller).
+    fn fit(&mut self, streams: &[&LogStream]);
+
+    /// Incremental monthly update with fresh normal data (§4.3's online
+    /// learning). Must be cheaper than a full refit.
+    fn update(&mut self, streams: &[&LogStream]);
+
+    /// Fast post-software-update adaptation with a *small* amount of new
+    /// data (§4.3's transfer learning: copy the trained model, fine-tune
+    /// top layers on ~1 week of data). The default falls back to
+    /// [`AnomalyDetector::update`].
+    fn adapt(&mut self, streams: &[&LogStream]) {
+        self.update(streams);
+    }
+
+    /// Scores events of `stream` whose timestamps fall in `[start, end)`.
+    fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial detector used to pin down the trait's default behaviour.
+    struct ConstDetector {
+        fitted: bool,
+        updates: usize,
+    }
+
+    impl AnomalyDetector for ConstDetector {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn fit(&mut self, _: &[&LogStream]) {
+            self.fitted = true;
+        }
+        fn update(&mut self, _: &[&LogStream]) {
+            self.updates += 1;
+        }
+        fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
+            stream
+                .slice_time(start, end)
+                .iter()
+                .map(|r| ScoredEvent { time: r.time, score: 0.5 })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn default_adapt_delegates_to_update() {
+        let mut d = ConstDetector { fitted: false, updates: 0 };
+        d.adapt(&[]);
+        assert_eq!(d.updates, 1);
+    }
+
+    #[test]
+    fn score_respects_time_bounds() {
+        let d = ConstDetector { fitted: false, updates: 0 };
+        let s = LogStream::from_records(vec![
+            nfv_syslog::LogRecord { time: 5, template: 1 },
+            nfv_syslog::LogRecord { time: 15, template: 2 },
+        ]);
+        let events = d.score(&s, 0, 10);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].time, 5);
+    }
+}

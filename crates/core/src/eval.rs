@@ -1,0 +1,411 @@
+//! Evaluation over pipeline runs: precision-recall sweeps (Fig 5/6),
+//! monthly F-measure timelines (Fig 7), per-ticket-type detection rates
+//! (Fig 8), and false-alarm rates.
+
+use crate::mapping::{map_clusters, warning_clusters, MappingConfig, MappingResult, TicketOutcome};
+use crate::pipeline::PipelineRun;
+use nfv_ml::{PrCurve, PrPoint};
+use nfv_simnet::{Ticket, TicketCause};
+use nfv_syslog::time::{month_start, DAY};
+
+/// Drops warning clusters that start inside one of the vPE's scheduled
+/// maintenance windows (expected work, not a false alarm).
+fn unsuppressed(run: &PipelineRun, vpe: usize, clusters: Vec<u64>) -> Vec<u64> {
+    let Some(windows) = run.suppression.get(vpe) else { return clusters };
+    clusters
+        .into_iter()
+        .filter(|&c| !windows.iter().any(|&(lo, hi)| c >= lo && c <= hi))
+        .collect()
+}
+
+/// Maps one vPE's events at a threshold against its tickets.
+fn map_vpe(
+    run: &PipelineRun,
+    vpe: usize,
+    threshold: f32,
+    mapping: &MappingConfig,
+) -> MappingResult {
+    let events = run.events_for(vpe);
+    let clusters = unsuppressed(run, vpe, warning_clusters(&events, threshold, mapping));
+    let tickets: Vec<Ticket> =
+        run.tickets.iter().filter(|t| t.vpe == vpe).copied().collect();
+    map_clusters(&clusters, &tickets, mapping)
+}
+
+/// Merged mapping across the fleet at one threshold.
+pub fn fleet_mapping(run: &PipelineRun, threshold: f32, mapping: &MappingConfig) -> MappingResult {
+    let mut merged = MappingResult::default();
+    for vpe in 0..run.n_vpes() {
+        merged.merge(map_vpe(run, vpe, threshold, mapping));
+    }
+    merged
+}
+
+/// Builds the precision-recall curve by sweeping detection thresholds
+/// over the run's score distribution (quantile grid, so the sweep
+/// resolves the interesting high-score region well).
+pub fn sweep_prc(run: &PipelineRun, mapping: &MappingConfig, n_thresholds: usize) -> PrCurve {
+    assert!(n_thresholds >= 2, "need at least two thresholds");
+    let mut scores: Vec<f32> = (0..run.n_vpes())
+        .flat_map(|v| run.events_for(v).into_iter().map(|e| e.score))
+        .collect();
+    if scores.is_empty() {
+        return PrCurve::default();
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Quantile grid concentrated near the top of the distribution:
+    // q = 1 - 0.5^(i * step) walks from the median towards the max.
+    let mut points = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..n_thresholds {
+        let frac = i as f64 / (n_thresholds - 1) as f64;
+        let q = 1.0 - 0.5f64.powf(1.0 + frac * 13.0);
+        let idx = ((scores.len() - 1) as f64 * q) as usize;
+        let threshold = scores[idx];
+        if !seen.insert(threshold.to_bits()) {
+            continue;
+        }
+        let counts = fleet_mapping(run, threshold, mapping).confusion();
+        points.push(PrPoint {
+            threshold,
+            precision: counts.precision(),
+            recall: counts.recall(),
+            f_measure: counts.f_measure(),
+        });
+    }
+    points.sort_by(|a, b| a.threshold.partial_cmp(&b.threshold).unwrap_or(std::cmp::Ordering::Equal));
+    PrCurve { points }
+}
+
+/// Metrics of one tested month at a fixed threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct MonthlyMetric {
+    /// Zero-based month index.
+    pub month: usize,
+    /// Precision over this month's clusters/tickets.
+    pub precision: f32,
+    /// Recall over this month's tickets.
+    pub recall: f32,
+    /// F-measure.
+    pub f_measure: f32,
+    /// False alarms per day across the fleet.
+    pub false_alarms_per_day: f32,
+}
+
+/// Computes the per-month metric timeline at a fixed operating
+/// threshold (Fig 7). Tickets are attributed to the month of their
+/// report time.
+pub fn monthly_metrics(
+    run: &PipelineRun,
+    mapping: &MappingConfig,
+    threshold: f32,
+) -> Vec<MonthlyMetric> {
+    run.months
+        .iter()
+        .enumerate()
+        .map(|(idx, month)| {
+            let m_start = month_start(month.month);
+            let m_end = month_start(month.month + 1);
+            let mut merged = MappingResult::default();
+            for (vpe, events) in month.per_vpe.iter().enumerate() {
+                // Early warnings for a ticket reported just after the
+                // month boundary live in the *previous* month's events;
+                // include that month's trailing predictive window so a
+                // correct prediction is not double-penalized (a false
+                // alarm there plus a false negative here).
+                let mut window_events = Vec::new();
+                if idx > 0 {
+                    let carry_start = m_start.saturating_sub(mapping.predictive_period);
+                    window_events.extend(
+                        run.months[idx - 1].per_vpe[vpe]
+                            .iter()
+                            .filter(|e| e.time >= carry_start)
+                            .copied(),
+                    );
+                }
+                let carry_cutoff = m_start;
+                window_events.extend(events.iter().copied());
+                let clusters =
+                    unsuppressed(run, vpe, warning_clusters(&window_events, threshold, mapping));
+                // Include a lookahead: tickets reported shortly after the
+                // month end can absorb this month's trailing clusters as
+                // early warnings (instead of booking them as false
+                // alarms); those tickets are then dropped from this
+                // month's recall accounting below.
+                let tickets: Vec<Ticket> = run
+                    .tickets
+                    .iter()
+                    .filter(|t| {
+                        t.vpe == vpe
+                            && t.report_time >= m_start
+                            && t.report_time < m_end + mapping.predictive_period
+                    })
+                    .copied()
+                    .collect();
+                let mut result = map_clusters(&clusters, &tickets, mapping);
+                result.per_ticket.retain(|o| o.report_time < m_end);
+                // Carried-in clusters belong to the previous month's
+                // false-alarm accounting; only keep them here when they
+                // mapped to one of this month's tickets.
+                let unmapped_carry = clusters
+                    .iter()
+                    .filter(|&&c| c < carry_cutoff)
+                    .filter(|&&c| {
+                        !tickets.iter().any(|t| {
+                            c >= t.report_time.saturating_sub(mapping.predictive_period)
+                                && c <= t.repair_time
+                        })
+                    })
+                    .count();
+                result.false_alarms -= unmapped_carry.min(result.false_alarms);
+                merged.merge(result);
+            }
+            let counts = merged.confusion();
+            let days = (m_end - m_start) as f32 / DAY as f32;
+            MonthlyMetric {
+                month: month.month,
+                precision: counts.precision(),
+                recall: counts.recall(),
+                f_measure: counts.f_measure(),
+                false_alarms_per_day: merged.false_alarms as f32 / days,
+            }
+        })
+        .collect()
+}
+
+/// Detection rates per ticket type at a set of time offsets relative to
+/// ticket report time (Fig 8). `offsets` are in seconds, negative =
+/// before the ticket. Returns `(cause, rates_per_offset, ticket_count)`
+/// rows plus an `All` row at the end keyed by `None`.
+pub fn per_type_detection(
+    run: &PipelineRun,
+    mapping: &MappingConfig,
+    threshold: f32,
+    offsets: &[i64],
+) -> Vec<(Option<TicketCause>, Vec<f32>, usize)> {
+    let mut outcomes: Vec<TicketOutcome> = Vec::new();
+    for vpe in 0..run.n_vpes() {
+        outcomes.extend(map_vpe(run, vpe, threshold, mapping).per_ticket);
+    }
+    let causes = [
+        TicketCause::Cable,
+        TicketCause::Circuit,
+        TicketCause::Hardware,
+        TicketCause::Software,
+        TicketCause::Duplicate,
+    ];
+    let mut rows = Vec::new();
+    for cause in causes {
+        let of_type: Vec<&TicketOutcome> =
+            outcomes.iter().filter(|o| o.cause == cause).collect();
+        if of_type.is_empty() {
+            rows.push((Some(cause), vec![0.0; offsets.len()], 0));
+            continue;
+        }
+        let rates = offsets
+            .iter()
+            .map(|&off| {
+                of_type.iter().filter(|o| o.detected_by(off)).count() as f32
+                    / of_type.len() as f32
+            })
+            .collect();
+        rows.push((Some(cause), rates, of_type.len()));
+    }
+    let rates_all = offsets
+        .iter()
+        .map(|&off| {
+            if outcomes.is_empty() {
+                0.0
+            } else {
+                outcomes.iter().filter(|o| o.detected_by(off)).count() as f32
+                    / outcomes.len() as f32
+            }
+        })
+        .collect();
+    rows.push((None, rates_all, outcomes.len()));
+    rows
+}
+
+/// Fleet-wide false alarms per day at a threshold (the paper reports
+/// 0.6/day for all vPEs at the operating point).
+pub fn false_alarms_per_day(run: &PipelineRun, mapping: &MappingConfig, threshold: f32) -> f32 {
+    let merged = fleet_mapping(run, threshold, mapping);
+    let tested_months = run.months.len() as f32;
+    let days = tested_months * 30.4;
+    merged.false_alarms as f32 / days
+}
+
+/// The standard Fig 8 offsets: -15 min, -5 min, 0, +5 min, +15 min.
+pub const FIG8_OFFSETS: [i64; 5] = [-900, -300, 0, 300, 900];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::ScoredEvent;
+    use crate::grouping::Grouping;
+    use crate::pipeline::MonthScores;
+
+    /// Hand-built run: 1 vPE, 2 tested months, scores crafted so that
+    /// threshold 1.0 separates anomalies.
+    fn toy_run() -> PipelineRun {
+        let m1 = month_start(1);
+        let m2 = month_start(2);
+        let tickets = vec![
+            Ticket {
+                id: 0,
+                vpe: 0,
+                cause: TicketCause::Circuit,
+                report_time: m1 + 50_000,
+                repair_time: m1 + 60_000,
+                core_incident: false,
+            },
+            Ticket {
+                id: 1,
+                vpe: 0,
+                cause: TicketCause::Software,
+                report_time: m2 + 400_000,
+                repair_time: m2 + 410_000,
+                core_incident: false,
+            },
+        ];
+        // Month 1: an early-warning pair 10 min before ticket 0, plus a
+        // false-alarm pair far away. Month 2: nothing for ticket 1.
+        let month1 = MonthScores {
+            month: 1,
+            per_vpe: vec![vec![
+                ScoredEvent { time: m1 + 49_400, score: 5.0 },
+                ScoredEvent { time: m1 + 49_430, score: 5.0 },
+                ScoredEvent { time: m1 + 900_000, score: 5.0 },
+                ScoredEvent { time: m1 + 900_030, score: 5.0 },
+                ScoredEvent { time: m1 + 100_000, score: 0.1 },
+            ]],
+        };
+        let month2 = MonthScores {
+            month: 2,
+            per_vpe: vec![vec![ScoredEvent { time: m2 + 10_000, score: 0.2 }]],
+        };
+        PipelineRun {
+            months: vec![month1, month2],
+            tickets,
+            adaptations: vec![],
+            grouping: Grouping::single(1),
+            vocab: 8,
+            suppression: vec![Vec::new()],
+        }
+    }
+
+    #[test]
+    fn fleet_mapping_counts_toy_case() {
+        let run = toy_run();
+        let r = fleet_mapping(&run, 1.0, &MappingConfig::default());
+        assert_eq!(r.early_warnings, 1);
+        assert_eq!(r.false_alarms, 1);
+        let c = r.confusion();
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1); // ticket 1 missed
+    }
+
+    #[test]
+    fn monthly_metrics_attribute_tickets_to_months() {
+        let run = toy_run();
+        let metrics = monthly_metrics(&run, &MappingConfig::default(), 1.0);
+        assert_eq!(metrics.len(), 2);
+        // Month 1: 1 TP, 1 FP, 0 FN -> P=0.5, R=1.
+        assert!((metrics[0].precision - 0.5).abs() < 1e-6);
+        assert!((metrics[0].recall - 1.0).abs() < 1e-6);
+        // Month 2: nothing detected, 1 ticket missed -> R=0.
+        assert_eq!(metrics[1].recall, 0.0);
+        assert!(metrics[0].false_alarms_per_day > 0.0);
+    }
+
+    #[test]
+    fn month_boundary_early_warning_is_not_double_penalized() {
+        // Ticket reported 100 s into month 2; the warning cluster sits
+        // 10 minutes earlier, at the tail of month 1.
+        let m2 = month_start(2);
+        let tickets = vec![Ticket {
+            id: 0,
+            vpe: 0,
+            cause: TicketCause::Circuit,
+            report_time: m2 + 100,
+            repair_time: m2 + 5_000,
+            core_incident: false,
+        }];
+        let month1 = MonthScores {
+            month: 1,
+            per_vpe: vec![vec![
+                ScoredEvent { time: m2 - 600, score: 5.0 },
+                ScoredEvent { time: m2 - 580, score: 5.0 },
+            ]],
+        };
+        let month2 = MonthScores { month: 2, per_vpe: vec![vec![]] };
+        let run = PipelineRun {
+            months: vec![month1, month2],
+            tickets,
+            adaptations: vec![],
+            grouping: Grouping::single(1),
+            vocab: 8,
+            suppression: vec![Vec::new()],
+        };
+        let metrics = monthly_metrics(&run, &MappingConfig::default(), 1.0);
+        // Month 2 must see the carried-in cluster: recall 1, no FN.
+        assert!((metrics[1].recall - 1.0).abs() < 1e-6, "recall {}", metrics[1].recall);
+        // Month 1 must not charge the cluster as a false alarm either:
+        // the lookahead maps it to next month's ticket.
+        assert_eq!(metrics[0].false_alarms_per_day, 0.0);
+        assert_eq!(metrics[1].false_alarms_per_day, 0.0);
+        // Month 1's precision is clean: its one cluster is a true
+        // positive (early warning for the lookahead ticket), not a false
+        // alarm.
+        assert!((metrics[0].precision - 1.0).abs() < 1e-6, "p {}", metrics[0].precision);
+    }
+
+    #[test]
+    fn per_type_detection_reports_circuit_early() {
+        let run = toy_run();
+        let rows = per_type_detection(&run, &MappingConfig::default(), 1.0, &FIG8_OFFSETS);
+        let circuit = rows
+            .iter()
+            .find(|(c, _, _)| *c == Some(TicketCause::Circuit))
+            .unwrap();
+        // Early warning at -600 s: detected at -300 but not at -900.
+        assert_eq!(circuit.1, vec![0.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(circuit.2, 1);
+        let software = rows
+            .iter()
+            .find(|(c, _, _)| *c == Some(TicketCause::Software))
+            .unwrap();
+        assert_eq!(software.1, vec![0.0; 5]);
+        let all = rows.last().unwrap();
+        assert_eq!(all.0, None);
+        assert_eq!(all.2, 2);
+        assert!((all.1[4] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_prc_is_consistent_with_fixed_threshold() {
+        let run = toy_run();
+        let curve = sweep_prc(&run, &MappingConfig::default(), 24);
+        assert!(!curve.points.is_empty());
+        let best = curve.best_f_point().unwrap();
+        // At high thresholds the toy data gives TP=1 (the early-warning
+        // cluster), FP=1 (the stray pair), FN=1 (the undetected ticket):
+        // P = R = F = 0.5.
+        assert!((best.f_measure - 0.5).abs() < 1e-5, "best F {}", best.f_measure);
+        assert!((best.precision - 0.5).abs() < 1e-5);
+        // The sweep at any threshold must agree with fleet_mapping.
+        let counts = fleet_mapping(&run, best.threshold, &MappingConfig::default()).confusion();
+        assert!((counts.f_measure() - best.f_measure).abs() < 1e-6);
+    }
+
+    #[test]
+    fn false_alarm_rate_scales_with_threshold() {
+        let run = toy_run();
+        let low = false_alarms_per_day(&run, &MappingConfig::default(), 0.05);
+        let high = false_alarms_per_day(&run, &MappingConfig::default(), 10.0);
+        assert!(low >= high);
+        assert_eq!(high, 0.0);
+    }
+}

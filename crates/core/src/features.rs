@@ -1,0 +1,132 @@
+//! Shared feature extraction for the window-based baselines
+//! (Autoencoder, OC-SVM, PCA): template-count windows turned into TF-IDF
+//! vectors, following the Zhang et al. representation the paper cites
+//! for its Autoencoder baseline (§5.2).
+
+use nfv_ml::TfIdf;
+use nfv_syslog::LogStream;
+
+/// Sliding count-window extraction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowingConfig {
+    /// Messages per window.
+    pub width: usize,
+    /// Step between window starts, in messages.
+    pub step: usize,
+}
+
+impl Default for WindowingConfig {
+    fn default() -> Self {
+        WindowingConfig { width: 32, step: 8 }
+    }
+}
+
+/// A batch of count windows plus the timestamp of each window's last
+/// message (the moment the window's score becomes observable).
+#[derive(Debug, Clone, Default)]
+pub struct CountWindows {
+    /// Dense template-count vector per window.
+    pub counts: Vec<Vec<f32>>,
+    /// Timestamp of the final record of each window.
+    pub times: Vec<u64>,
+}
+
+/// Extracts sliding count windows over `vocab` template ids, keeping
+/// windows whose *end* falls in `[start, end)`.
+pub fn count_windows(
+    stream: &LogStream,
+    vocab: usize,
+    cfg: &WindowingConfig,
+    start: u64,
+    end: u64,
+) -> CountWindows {
+    assert!(cfg.width >= 1 && cfg.step >= 1, "degenerate windowing config");
+    let records = stream.records();
+    let mut out = CountWindows::default();
+    if records.len() < cfg.width {
+        return out;
+    }
+    let mut begin = 0usize;
+    while begin + cfg.width <= records.len() {
+        let window = &records[begin..begin + cfg.width];
+        let t_end = window[cfg.width - 1].time;
+        if t_end >= start && t_end < end {
+            let mut counts = vec![0.0f32; vocab];
+            for r in window {
+                if r.template < vocab {
+                    counts[r.template] += 1.0;
+                }
+            }
+            out.counts.push(counts);
+            out.times.push(t_end);
+        }
+        begin += cfg.step;
+    }
+    out
+}
+
+/// Fits TF-IDF on training windows and returns the transformer together
+/// with the transformed training features.
+pub fn fit_tfidf(train: &CountWindows) -> (TfIdf, Vec<Vec<f32>>) {
+    let tfidf = TfIdf::fit(&train.counts);
+    let features = tfidf.transform_all(&train.counts);
+    (tfidf, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_syslog::LogRecord;
+
+    fn stream(n: usize) -> LogStream {
+        LogStream::from_records(
+            (0..n).map(|i| LogRecord { time: i as u64 * 10, template: i % 5 }).collect(),
+        )
+    }
+
+    #[test]
+    fn window_counts_sum_to_width() {
+        let s = stream(100);
+        let cfg = WindowingConfig { width: 20, step: 5 };
+        let ws = count_windows(&s, 5, &cfg, 0, u64::MAX);
+        assert!(!ws.counts.is_empty());
+        for c in &ws.counts {
+            assert_eq!(c.iter().sum::<f32>(), 20.0);
+        }
+    }
+
+    #[test]
+    fn expected_number_of_windows() {
+        let s = stream(100);
+        let cfg = WindowingConfig { width: 32, step: 8 };
+        let ws = count_windows(&s, 5, &cfg, 0, u64::MAX);
+        assert_eq!(ws.counts.len(), (100 - 32) / 8 + 1);
+        assert_eq!(ws.counts.len(), ws.times.len());
+    }
+
+    #[test]
+    fn time_bounds_filter_on_window_end() {
+        let s = stream(100); // times 0..990
+        let cfg = WindowingConfig { width: 10, step: 10 };
+        let ws = count_windows(&s, 5, &cfg, 500, 800);
+        assert!(ws.times.iter().all(|&t| (500..800).contains(&t)));
+        assert!(!ws.times.is_empty());
+    }
+
+    #[test]
+    fn short_stream_gives_no_windows() {
+        let s = stream(5);
+        let ws = count_windows(&s, 5, &WindowingConfig::default(), 0, u64::MAX);
+        assert!(ws.counts.is_empty());
+    }
+
+    #[test]
+    fn tfidf_features_have_vocab_width() {
+        let s = stream(100);
+        let cfg = WindowingConfig { width: 16, step: 4 };
+        let ws = count_windows(&s, 5, &cfg, 0, u64::MAX);
+        let (tfidf, features) = fit_tfidf(&ws);
+        assert_eq!(tfidf.dim(), 5);
+        assert!(features.iter().all(|f| f.len() == 5));
+    }
+}

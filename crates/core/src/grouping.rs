@@ -1,0 +1,143 @@
+//! vPE customization by grouping (§4.3): k-means over per-vPE syslog
+//! distributions with modularity-based selection of K, then pooling each
+//! group's training data into one model.
+
+use nfv_ml::kmeans::fit_best_k;
+use nfv_syslog::LogStream;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The result of vPE grouping.
+#[derive(Debug, Clone)]
+pub struct Grouping {
+    /// Group index per vPE.
+    pub assignment: Vec<usize>,
+    /// Number of groups.
+    pub k: usize,
+    /// Modularity of the chosen partition.
+    pub modularity: f32,
+}
+
+impl Grouping {
+    /// Puts every vPE in one group (the paper's non-customized baseline).
+    pub fn single(n: usize) -> Grouping {
+        Grouping { assignment: vec![0; n], k: 1, modularity: 0.0 }
+    }
+
+    /// Clusters vPEs by the cosine structure of their template
+    /// distributions over `[start, end)`, choosing K in `k_range` by
+    /// modularity.
+    pub fn cluster(
+        streams: &[LogStream],
+        vocab: usize,
+        start: u64,
+        end: u64,
+        k_range: std::ops::RangeInclusive<usize>,
+        seed: u64,
+    ) -> Grouping {
+        assert!(!streams.is_empty(), "Grouping::cluster: no streams");
+        let mut points: Vec<Vec<f32>> = streams
+            .iter()
+            .map(|s| s.template_distribution(vocab, start, end))
+            .collect();
+        // Remove the fleet-mean distribution: every vPE shares a large
+        // base-template component that would otherwise dominate cosine
+        // similarity and wash out the group structure the modularity
+        // criterion needs. Centering makes same-group correlation stand
+        // out (and leaves k-means assignments unchanged up to the shift).
+        let dim = points[0].len();
+        let mut mean = vec![0.0f32; dim];
+        for p in &points {
+            for (m, v) in mean.iter_mut().zip(p.iter()) {
+                *m += v / streams.len() as f32;
+            }
+        }
+        for p in &mut points {
+            for (v, m) in p.iter_mut().zip(mean.iter()) {
+                *v -= m;
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (fit, modularity) = fit_best_k(&points, k_range, &mut rng);
+        let k = fit.k();
+        Grouping { assignment: fit.assignments, k, modularity }
+    }
+
+    /// vPE ids in each group.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.k];
+        for (vpe, &g) in self.assignment.iter().enumerate() {
+            out[g].push(vpe);
+        }
+        out
+    }
+
+    /// The group of one vPE.
+    pub fn group_of(&self, vpe: usize) -> usize {
+        self.assignment[vpe]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_simnet::{FleetTrace, SimConfig, SimPreset};
+
+    #[test]
+    fn single_grouping_pools_everything() {
+        let g = Grouping::single(5);
+        assert_eq!(g.k, 1);
+        assert_eq!(g.members(), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn clustering_recovers_simulated_groups() {
+        // Ground-truth streams from the simulator: vPEs in the same
+        // latent group share template distributions, so clustering
+        // should reunite at least most same-group pairs.
+        let cfg = SimConfig::preset(SimPreset::Fast, 31);
+        let trace = FleetTrace::simulate(cfg.clone());
+        let streams: Vec<_> =
+            (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
+        let vocab = trace.catalog.set.len();
+        let end = cfg.end_time();
+        let g = Grouping::cluster(&streams, vocab, 0, end, 2..=6, 7);
+
+        assert!(g.k >= 2, "expected multiple groups, got {}", g.k);
+        assert!(g.modularity > 0.0);
+
+        // Pairs in the same latent group should usually co-cluster.
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for a in 0..cfg.n_vpes {
+            for b in (a + 1)..cfg.n_vpes {
+                let same_latent = trace.topology.vpes[a].group == trace.topology.vpes[b].group;
+                // Outlier vPEs legitimately drift away from their group.
+                let outlier =
+                    trace.topology.vpes[a].outlier || trace.topology.vpes[b].outlier;
+                if !same_latent || outlier {
+                    continue;
+                }
+                total += 1;
+                if g.group_of(a) == g.group_of(b) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = agree as f64 / total as f64;
+        assert!(frac > 0.7, "same-group pairs co-clustered: {}", frac);
+    }
+
+    #[test]
+    fn members_partition_the_fleet() {
+        let cfg = SimConfig::preset(SimPreset::Fast, 33);
+        let trace = FleetTrace::simulate(cfg.clone());
+        let streams: Vec<_> =
+            (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
+        let g = Grouping::cluster(&streams, trace.catalog.set.len(), 0, cfg.end_time(), 2..=5, 1);
+        let members = g.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, cfg.n_vpes);
+    }
+}

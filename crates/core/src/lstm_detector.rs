@@ -1,0 +1,428 @@
+//! The paper's LSTM-based anomaly detector (§4.2).
+//!
+//! A [`SequenceModel`] (embedding + 2 LSTM layers + dense softmax) is
+//! trained on windows of k normal-period syslog templates to predict the
+//! (k+1)-th. At detection time each incoming log is scored by the
+//! negative log-likelihood the model assigns it given the previous k
+//! logs; sweeping a threshold over this score yields the paper's
+//! precision-recall curves.
+//!
+//! Two training-time mechanisms from the paper are implemented:
+//!
+//! * **minority-pattern over-sampling** — after the initial rounds the
+//!   model replays its own training data, finds normal windows it still
+//!   misclassifies (the true template outside the top-g predictions),
+//!   over-samples those and trains further, stopping when the training
+//!   false-positive rate no longer improves;
+//! * **transfer-learning adaptation** — [`LstmDetector::adapt`] freezes
+//!   the embedding and the bottom LSTM layer and fine-tunes the top
+//!   layers on a small amount of fresh data (~1 week) after a software
+//!   update.
+
+use crate::detector::{AnomalyDetector, ScoredEvent};
+use nfv_ml::sampling::{oversample_indices, shuffle};
+use nfv_nn::model::SeqBatch;
+use nfv_nn::{Adam, SequenceModel, SequenceModelConfig};
+use nfv_syslog::stream::WindowSet;
+use nfv_syslog::LogStream;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters of [`LstmDetector`].
+#[derive(Debug, Clone)]
+pub struct LstmDetectorConfig {
+    /// Dense vocabulary width (from the codec).
+    pub vocab: usize,
+    /// Window length k.
+    pub window: usize,
+    /// Embedding width.
+    pub embed_dim: usize,
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Stacked LSTM layers (the paper uses 2).
+    pub lstm_layers: usize,
+    /// Initial-fit epochs before over-sampling rounds.
+    pub epochs: usize,
+    /// Epochs per incremental monthly update.
+    pub update_epochs: usize,
+    /// Epochs per post-update adaptation.
+    pub adapt_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate for the initial fit.
+    pub lr: f32,
+    /// A training window counts as misclassified when its true next
+    /// template is outside the model's top-g predictions.
+    pub top_g: usize,
+    /// Maximum over-sampling rounds.
+    pub oversample_rounds: usize,
+    /// Replication factor for misclassified windows.
+    pub oversample_boost: usize,
+    /// Cap on training windows (reservoir-sampled above this).
+    pub max_train_windows: usize,
+    /// Append the normalized inter-arrival gap to each step's input
+    /// (the paper's `(m_i, t_i - t_{i-1})` tuples). Disabling this is an
+    /// ablation knob.
+    pub use_gap_feature: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LstmDetectorConfig {
+    fn default() -> Self {
+        LstmDetectorConfig {
+            vocab: 64,
+            window: 10,
+            embed_dim: 16,
+            hidden: 32,
+            lstm_layers: 2,
+            epochs: 3,
+            update_epochs: 1,
+            adapt_epochs: 3,
+            batch_size: 64,
+            lr: 5e-3,
+            top_g: 5,
+            oversample_rounds: 2,
+            oversample_boost: 4,
+            max_train_windows: 60_000,
+            use_gap_feature: true,
+            seed: 7,
+        }
+    }
+}
+
+/// LSTM next-template anomaly detector.
+pub struct LstmDetector {
+    cfg: LstmDetectorConfig,
+    model: SequenceModel,
+    rng: SmallRng,
+}
+
+impl LstmDetector {
+    /// Builds an untrained detector.
+    pub fn new(cfg: LstmDetectorConfig) -> LstmDetector {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let model = SequenceModel::new(
+            SequenceModelConfig {
+                vocab: cfg.vocab,
+                embed_dim: cfg.embed_dim,
+                hidden: cfg.hidden,
+                lstm_layers: cfg.lstm_layers,
+                use_gap_feature: cfg.use_gap_feature,
+            },
+            &mut rng,
+        );
+        LstmDetector { cfg, model, rng }
+    }
+
+    /// Builds a detector around an existing trained model (used when
+    /// unpacking a deployed [`crate::bundle::ModelBundle`]).
+    pub fn from_model(cfg: LstmDetectorConfig, model: SequenceModel) -> LstmDetector {
+        assert_eq!(model.config().vocab, cfg.vocab, "from_model: vocab mismatch");
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        LstmDetector { cfg, model, rng }
+    }
+
+    /// Read access to the underlying model (checkpointing, transfer).
+    pub fn model(&self) -> &SequenceModel {
+        &self.model
+    }
+
+    /// The configured window length k.
+    pub fn window(&self) -> usize {
+        self.cfg.window
+    }
+
+    /// Replaces the model weights with a teacher's (transfer-learning
+    /// bootstrap: the student starts as a copy of the teacher).
+    pub fn copy_weights_from(&mut self, teacher: &LstmDetector) {
+        self.model = SequenceModel::from_checkpoint(&teacher.model.to_checkpoint());
+    }
+
+    fn collect_windows(&self, streams: &[&LogStream]) -> WindowSet {
+        let mut all = WindowSet::default();
+        for s in streams {
+            all.extend(s.windows(self.cfg.window));
+        }
+        all
+    }
+
+    fn subsample(&mut self, ws: WindowSet) -> WindowSet {
+        if ws.len() <= self.cfg.max_train_windows {
+            return ws;
+        }
+        let idx = nfv_ml::sampling::reservoir_sample(
+            0..ws.len(),
+            self.cfg.max_train_windows,
+            &mut self.rng,
+        );
+        ws.gather(&idx)
+    }
+
+    fn train_epochs(&mut self, ws: &WindowSet, epochs: usize, lr: f32) {
+        if ws.is_empty() {
+            return;
+        }
+        let shapes = self.model.param_shapes();
+        let mut opt = Adam::new(lr, &shapes);
+        let mut order: Vec<usize> = (0..ws.len()).collect();
+        for _ in 0..epochs {
+            shuffle(&mut order, &mut self.rng);
+            for chunk in order.chunks(self.cfg.batch_size) {
+                let sub = ws.gather(chunk);
+                let batch = SeqBatch { ids: sub.ids, gaps: sub.gaps };
+                self.model.train_step(&batch, &sub.targets, &mut opt);
+            }
+        }
+    }
+
+    /// Runs batched inference over `ws` in fixed-size chunks, invoking
+    /// `visit(global_window_index, target, probs_row)` for every window.
+    fn for_each_prediction(&self, ws: &WindowSet, mut visit: impl FnMut(usize, usize, &[f32])) {
+        for chunk_start in (0..ws.len()).step_by(512) {
+            let chunk: Vec<usize> = (chunk_start..(chunk_start + 512).min(ws.len())).collect();
+            let sub = ws.gather(&chunk);
+            let targets = sub.targets;
+            let batch = SeqBatch { ids: sub.ids, gaps: sub.gaps };
+            let probs = self.model.predict_probs(&batch);
+            for (row, (&target, &global_idx)) in
+                targets.iter().zip(chunk.iter()).enumerate()
+            {
+                visit(global_idx, target, probs.row(row));
+            }
+        }
+    }
+
+    /// Indices of training windows whose target is outside the model's
+    /// top-g predictions (the "minority normal patterns" of §4.2).
+    fn misclassified(&self, ws: &WindowSet) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_prediction(ws, |global_idx, target, probs| {
+            let top = nfv_tensor::vecops::top_k(probs, self.cfg.top_g);
+            if !top.contains(&target) {
+                out.push(global_idx);
+            }
+        });
+        out
+    }
+
+    fn fit_windows(&mut self, ws: WindowSet) {
+        let ws = self.subsample(ws);
+        if ws.is_empty() {
+            return;
+        }
+        self.train_epochs(&ws, self.cfg.epochs, self.cfg.lr);
+
+        // Minority-pattern over-sampling rounds: keep going while the
+        // training false-positive rate improves.
+        let mut prev_fp = usize::MAX;
+        for _ in 0..self.cfg.oversample_rounds {
+            let missed = self.misclassified(&ws);
+            if missed.is_empty() || missed.len() >= prev_fp {
+                break;
+            }
+            prev_fp = missed.len();
+            let mix = oversample_indices(
+                ws.len(),
+                &missed,
+                self.cfg.oversample_boost,
+                0.25,
+                &mut self.rng,
+            );
+            let boosted = ws.gather(&mix);
+            self.train_epochs(&boosted, 1, self.cfg.lr * 0.5);
+        }
+    }
+
+    /// Training false-positive rate on a window set (fraction of normal
+    /// windows flagged at the top-g rule) — exposed for tests and the
+    /// adaptation trigger.
+    pub fn training_fp_rate(&self, streams: &[&LogStream]) -> f32 {
+        let ws = self.collect_windows(streams);
+        if ws.is_empty() {
+            return 0.0;
+        }
+        self.misclassified(&ws).len() as f32 / ws.len() as f32
+    }
+}
+
+impl AnomalyDetector for LstmDetector {
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+
+    fn fit(&mut self, streams: &[&LogStream]) {
+        let ws = self.collect_windows(streams);
+        self.fit_windows(ws);
+    }
+
+    fn update(&mut self, streams: &[&LogStream]) {
+        // Incremental refreshes run at a strongly reduced learning rate:
+        // the distribution is stable month over month (§4.3), and a hot
+        // update rate would slowly absorb rare benign storms into
+        // "normal", eroding exactly the signatures the detector exists
+        // to flag.
+        let ws = self.collect_windows(streams);
+        let ws = self.subsample(ws);
+        self.train_epochs(&ws, self.cfg.update_epochs, self.cfg.lr * 0.15);
+    }
+
+    fn adapt(&mut self, streams: &[&LogStream]) {
+        // Transfer learning: keep the general sequence representation
+        // (embedding + bottom LSTM) frozen, fine-tune the top layers on
+        // the small post-update sample.
+        let ws = self.collect_windows(streams);
+        let ws = self.subsample(ws);
+        self.model.set_frozen_bottom(2);
+        self.train_epochs(&ws, self.cfg.adapt_epochs, self.cfg.lr);
+        self.model.set_frozen_bottom(0);
+    }
+
+    fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
+        let ws = stream.windows_in(self.cfg.window, start, end, |_| true);
+        let mut events = Vec::with_capacity(ws.len());
+        let times = ws.times.clone();
+        self.for_each_prediction(&ws, |global_idx, target, probs| {
+            let p = probs[target].max(1e-9);
+            events.push(ScoredEvent { time: times[global_idx], score: -p.ln() });
+        });
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_syslog::LogRecord;
+    use rand::Rng;
+
+    /// A predictable cyclic stream with occasional noise, plus a burst of
+    /// a never-seen template in the test period.
+    fn training_stream(len: usize, seed: u64) -> LogStream {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut records = Vec::with_capacity(len);
+        let mut state = 0usize;
+        for i in 0..len {
+            let template = if rng.gen::<f32>() < 0.1 {
+                rng.gen_range(1..6)
+            } else {
+                state + 1 // ids 1..=5
+            };
+            state = (state + 1) % 5;
+            records.push(LogRecord { time: i as u64 * 30, template });
+        }
+        LogStream::from_records(records)
+    }
+
+    fn tiny_cfg() -> LstmDetectorConfig {
+        LstmDetectorConfig {
+            vocab: 8,
+            window: 5,
+            embed_dim: 6,
+            hidden: 12,
+            lstm_layers: 2,
+            epochs: 4,
+            batch_size: 32,
+            max_train_windows: 3000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn anomalous_burst_scores_above_normal_traffic() {
+        let train = training_stream(1200, 1);
+        let mut det = LstmDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+
+        // Test stream: same behaviour, then a burst of template 7 (never
+        // seen in training).
+        let mut records: Vec<LogRecord> =
+            training_stream(300, 2).records().to_vec();
+        let t0 = records.last().unwrap().time;
+        for j in 0..5 {
+            records.push(LogRecord { time: t0 + 10 + j, template: 7 });
+        }
+        let test = LogStream::from_records(records);
+        let events = det.score(&test, 0, u64::MAX);
+
+        let burst_scores: Vec<f32> =
+            events.iter().filter(|e| e.time > t0).map(|e| e.score).collect();
+        let normal_scores: Vec<f32> =
+            events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
+        assert!(!burst_scores.is_empty());
+        let normal_mean =
+            normal_scores.iter().sum::<f32>() / normal_scores.len() as f32;
+        let burst_min = burst_scores.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(
+            burst_min > normal_mean + 1.0,
+            "burst min {} vs normal mean {}",
+            burst_min,
+            normal_mean
+        );
+    }
+
+    #[test]
+    fn fit_reduces_training_fp_rate() {
+        let train = training_stream(1500, 3);
+        let mut det = LstmDetector::new(tiny_cfg());
+        let before = det.training_fp_rate(&[&train]);
+        det.fit(&[&train]);
+        let after = det.training_fp_rate(&[&train]);
+        assert!(after < before * 0.6, "fp rate {} -> {}", before, after);
+        assert!(after < 0.15, "post-fit fp rate {}", after);
+    }
+
+    #[test]
+    fn copy_weights_matches_teacher_scores() {
+        let train = training_stream(800, 4);
+        let mut teacher = LstmDetector::new(tiny_cfg());
+        teacher.fit(&[&train]);
+        let mut student = LstmDetector::new(LstmDetectorConfig { seed: 99, ..tiny_cfg() });
+        student.copy_weights_from(&teacher);
+        let test = training_stream(200, 5);
+        let a = teacher.score(&test, 0, u64::MAX);
+        let b = student.score(&test, 0, u64::MAX);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adapt_learns_shifted_distribution_quickly() {
+        // Train on templates 1..=5; the "update" remaps chatter to 6..7.
+        let train = training_stream(1200, 6);
+        let mut det = LstmDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+
+        let shifted = LogStream::from_records(
+            (0..400)
+                .map(|i| LogRecord { time: i as u64 * 30, template: 6 + (i % 2) })
+                .collect(),
+        );
+        let fp_before = det.training_fp_rate(&[&shifted]);
+        det.adapt(&[&shifted]);
+        let fp_after = det.training_fp_rate(&[&shifted]);
+        assert!(
+            fp_after < fp_before * 0.5,
+            "adaptation should cut the false-alarm surge: {} -> {}",
+            fp_before,
+            fp_after
+        );
+    }
+
+    #[test]
+    fn score_window_respects_bounds() {
+        let train = training_stream(600, 8);
+        let mut det = LstmDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+        let events = det.score(&train, 3000, 9000);
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| (3000..9000).contains(&e.time)));
+    }
+
+    #[test]
+    fn empty_training_data_is_harmless() {
+        let mut det = LstmDetector::new(tiny_cfg());
+        det.fit(&[]);
+        let empty = LogStream::from_records(vec![]);
+        assert!(det.score(&empty, 0, u64::MAX).is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! Mapping syslog anomalies to trouble tickets (Fig 4 of the paper).
+//!
+//! Thresholded anomaly events are first grouped into *warning clusters*
+//! (the paper reports a warning only for >= 2 anomalies less than a
+//! minute apart, §5.1). Each cluster is then mapped against ticket
+//! windows: clusters inside `[report - predictive_period, report)` are
+//! early warnings, clusters inside `[report, repair]` are errors, and
+//! unmapped clusters are false alarms.
+
+use crate::detector::ScoredEvent;
+use nfv_ml::ConfusionCounts;
+use nfv_simnet::{Ticket, TicketCause};
+use nfv_syslog::time::{DAY, MINUTE};
+
+/// Mapping parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MappingConfig {
+    /// Length of the predictive period before ticket report time.
+    pub predictive_period: u64,
+    /// Maximum gap between anomalies in one warning cluster.
+    pub cluster_gap: u64,
+    /// Minimum anomalies per warning cluster.
+    pub min_cluster: usize,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig { predictive_period: DAY, cluster_gap: MINUTE, min_cluster: 2 }
+    }
+}
+
+/// Groups threshold-exceeding events into warning clusters and returns
+/// the first timestamp of each cluster.
+pub fn warning_clusters(events: &[ScoredEvent], threshold: f32, cfg: &MappingConfig) -> Vec<u64> {
+    let mut flagged: Vec<u64> =
+        events.iter().filter(|e| e.score >= threshold).map(|e| e.time).collect();
+    flagged.sort_unstable();
+    let mut clusters = Vec::new();
+    let mut start = None;
+    let mut prev = 0u64;
+    let mut size = 0usize;
+    for t in flagged {
+        match start {
+            Some(s) if t.saturating_sub(prev) <= cfg.cluster_gap => {
+                prev = t;
+                size += 1;
+                let _ = s;
+            }
+            _ => {
+                if size >= cfg.min_cluster {
+                    clusters.push(start.expect("cluster has a start"));
+                }
+                start = Some(t);
+                prev = t;
+                size = 1;
+            }
+        }
+    }
+    if size >= cfg.min_cluster {
+        clusters.push(start.expect("cluster has a start"));
+    }
+    clusters
+}
+
+/// Per-ticket mapping outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct TicketOutcome {
+    /// The ticket id.
+    pub ticket: usize,
+    /// Root cause (for the per-type breakdown of Fig 8).
+    pub cause: TicketCause,
+    /// Ticket report time.
+    pub report_time: u64,
+    /// Earliest mapped cluster time relative to the report time,
+    /// negative when an early-warning cluster preceded the ticket;
+    /// `None` when no cluster mapped to this ticket.
+    pub earliest_offset: Option<i64>,
+}
+
+impl TicketOutcome {
+    /// True when some anomaly was mapped no later than
+    /// `report_time + offset` (offset may be negative).
+    pub fn detected_by(&self, offset: i64) -> bool {
+        matches!(self.earliest_offset, Some(o) if o <= offset)
+    }
+}
+
+/// The result of mapping one vPE's warning clusters to its tickets.
+#[derive(Debug, Clone, Default)]
+pub struct MappingResult {
+    /// Clusters that fell in some ticket's predictive period.
+    pub early_warnings: usize,
+    /// Clusters that fell in some ticket's infected period.
+    pub errors: usize,
+    /// Clusters mapped to no ticket.
+    pub false_alarms: usize,
+    /// One outcome per evaluated ticket.
+    pub per_ticket: Vec<TicketOutcome>,
+}
+
+impl MappingResult {
+    /// Merges another vPE's result into this one.
+    pub fn merge(&mut self, other: MappingResult) {
+        self.early_warnings += other.early_warnings;
+        self.errors += other.errors;
+        self.false_alarms += other.false_alarms;
+        self.per_ticket.extend(other.per_ticket);
+    }
+
+    /// Confusion counts in the paper's sense: detected clusters that map
+    /// to tickets are true positives, unmapped clusters false positives,
+    /// and tickets without any mapped cluster false negatives.
+    pub fn confusion(&self) -> ConfusionCounts {
+        let missed = self.per_ticket.iter().filter(|t| t.earliest_offset.is_none()).count();
+        ConfusionCounts::new(self.early_warnings + self.errors, self.false_alarms, missed)
+    }
+}
+
+/// Maps warning clusters to tickets. `tickets` should contain the
+/// tickets the caller wants evaluated (typically the vPE's
+/// non-maintenance tickets inside the scoring window).
+pub fn map_clusters(clusters: &[u64], tickets: &[Ticket], cfg: &MappingConfig) -> MappingResult {
+    let mut result = MappingResult {
+        per_ticket: tickets
+            .iter()
+            .map(|t| TicketOutcome {
+                ticket: t.id,
+                cause: t.cause,
+                report_time: t.report_time,
+                earliest_offset: None,
+            })
+            .collect(),
+        ..Default::default()
+    };
+
+    for &c in clusters {
+        let mut early = false;
+        let mut error = false;
+        for (ticket, outcome) in tickets.iter().zip(result.per_ticket.iter_mut()) {
+            let window_start = ticket.report_time.saturating_sub(cfg.predictive_period);
+            if c < window_start || c > ticket.repair_time {
+                continue;
+            }
+            if c < ticket.report_time {
+                early = true;
+            } else {
+                error = true;
+            }
+            let offset = c as i64 - ticket.report_time as i64;
+            outcome.earliest_offset = Some(match outcome.earliest_offset {
+                Some(prev) => prev.min(offset),
+                None => offset,
+            });
+        }
+        if early {
+            result.early_warnings += 1;
+        } else if error {
+            result.errors += 1;
+        } else {
+            result.false_alarms += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, score: f32) -> ScoredEvent {
+        ScoredEvent { time, score }
+    }
+
+    fn ticket(id: usize, report: u64, repair: u64) -> Ticket {
+        Ticket {
+            id,
+            vpe: 0,
+            cause: TicketCause::Circuit,
+            report_time: report,
+            repair_time: repair,
+            core_incident: false,
+        }
+    }
+
+    #[test]
+    fn clustering_requires_two_close_anomalies() {
+        let cfg = MappingConfig::default();
+        // Lone anomaly: no warning.
+        assert!(warning_clusters(&[ev(100, 9.0)], 1.0, &cfg).is_empty());
+        // Two anomalies 30 s apart: one warning at the first time.
+        assert_eq!(warning_clusters(&[ev(100, 9.0), ev(130, 9.0)], 1.0, &cfg), vec![100]);
+        // Two anomalies 5 min apart: separate singletons, no warning.
+        assert!(warning_clusters(&[ev(100, 9.0), ev(400, 9.0)], 1.0, &cfg).is_empty());
+    }
+
+    #[test]
+    fn clustering_respects_threshold() {
+        let cfg = MappingConfig::default();
+        let events = [ev(100, 0.5), ev(120, 0.5), ev(200, 2.0), ev(220, 2.0)];
+        assert_eq!(warning_clusters(&events, 1.0, &cfg), vec![200]);
+        // Lower threshold admits the low-score pair too; the 80 s gap
+        // between the pairs splits them into two clusters.
+        assert_eq!(warning_clusters(&events, 0.1, &cfg), vec![100, 200]);
+    }
+
+    #[test]
+    fn chained_anomalies_form_one_cluster() {
+        let cfg = MappingConfig::default();
+        // Each consecutive pair is within 60 s; the chain is one cluster.
+        let events: Vec<ScoredEvent> = (0..10).map(|i| ev(1000 + i * 50, 5.0)).collect();
+        assert_eq!(warning_clusters(&events, 1.0, &cfg), vec![1000]);
+    }
+
+    #[test]
+    fn early_warning_error_and_false_alarm_are_distinguished() {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let t = ticket(0, 10_000, 14_000);
+        // Early warning 30 min before, error inside infected period,
+        // false alarm far away.
+        let clusters = vec![8_200, 12_000, 50_000];
+        let r = map_clusters(&clusters, &[t], &cfg);
+        assert_eq!(r.early_warnings, 1);
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.false_alarms, 1);
+        assert_eq!(r.per_ticket[0].earliest_offset, Some(-1800));
+        assert!(r.per_ticket[0].detected_by(-900));
+        assert!(!r.per_ticket[0].detected_by(-2000));
+    }
+
+    #[test]
+    fn cluster_before_predictive_period_is_false_alarm() {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let t = ticket(0, 100_000, 110_000);
+        let r = map_clusters(&[90_000], &[t], &cfg);
+        assert_eq!(r.false_alarms, 1);
+        assert_eq!(r.per_ticket[0].earliest_offset, None);
+    }
+
+    #[test]
+    fn one_ticket_can_absorb_multiple_clusters() {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let t = ticket(0, 10_000, 20_000);
+        let r = map_clusters(&[9_000, 9_500, 15_000], &[t], &cfg);
+        assert_eq!(r.early_warnings, 2);
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.false_alarms, 0);
+        // Earliest offset wins.
+        assert_eq!(r.per_ticket[0].earliest_offset, Some(-1000));
+    }
+
+    #[test]
+    fn confusion_counts_follow_the_paper_semantics() {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let tickets = [ticket(0, 10_000, 12_000), ticket(1, 100_000, 105_000)];
+        // One early warning for ticket 0, one false alarm, ticket 1 missed.
+        let r = map_clusters(&[9_000, 50_000], &tickets, &cfg);
+        let c = r.confusion();
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let mut a = map_clusters(&[9_000], &[ticket(0, 10_000, 12_000)], &cfg);
+        let b = map_clusters(&[99_000], &[ticket(1, 100_000, 102_000)], &cfg);
+        a.merge(b);
+        assert_eq!(a.early_warnings, 2);
+        assert_eq!(a.per_ticket.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_tickets_each_get_the_cluster() {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let tickets = [ticket(0, 10_000, 20_000), ticket(1, 12_000, 22_000)];
+        let r = map_clusters(&[11_000], &tickets, &cfg);
+        // Inside ticket 0's infected period AND ticket 1's predictive period.
+        assert_eq!(r.per_ticket[0].earliest_offset, Some(1000));
+        assert_eq!(r.per_ticket[1].earliest_offset, Some(-1000));
+        // The cluster is counted exactly once in the aggregate totals
+        // (as an early warning, since it precedes ticket 1's report).
+        assert_eq!(r.early_warnings, 1);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.false_alarms, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Streaming (online) detection: the paper envisions "a runtime
+//! predictive analysis system running in parallel with existing
+//! reactive monitoring" (§1). This module packages a trained bundle
+//! into a monitor that consumes one raw syslog message at a time and
+//! emits warning signatures incrementally, applying the same
+//! >=`min_cluster`-anomalies-within-`cluster_gap` rule as the offline
+//! evaluation.
+//!
+//! The monitor keeps only O(window) state per feed, so one process can
+//! track a whole fleet.
+
+use crate::codec::LogCodec;
+use crate::detector::AnomalyDetector;
+use crate::lstm_detector::LstmDetector;
+use crate::mapping::MappingConfig;
+use nfv_syslog::{LogRecord, LogStream, SyslogMessage};
+use std::collections::VecDeque;
+
+/// A warning emitted by the monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Warning {
+    /// Time of the first anomaly in the cluster.
+    pub start: u64,
+    /// Number of anomalous messages in the cluster so far.
+    pub anomalies: usize,
+    /// Highest anomaly score inside the cluster.
+    pub peak_score: f32,
+    /// The raw text of the highest-scoring message (the candidate
+    /// signature for the operator).
+    pub peak_text: String,
+}
+
+/// Incremental anomaly monitor for one syslog feed.
+pub struct OnlineMonitor {
+    codec: LogCodec,
+    detector: LstmDetector,
+    threshold: f32,
+    mapping: MappingConfig,
+    /// Trailing records, `window + 1` long at most.
+    recent: VecDeque<LogRecord>,
+    /// Open anomaly cluster, if any: (start, last, count, peak score,
+    /// peak text).
+    open: Option<(u64, u64, usize, f32, String)>,
+    /// Whether the open cluster was already reported.
+    reported: bool,
+    /// Largest timestamp observed so far (for monotonicizing slightly
+    /// out-of-order arrivals).
+    last_time: u64,
+    messages_seen: u64,
+    anomalies_seen: u64,
+}
+
+impl OnlineMonitor {
+    /// Builds a monitor from the pieces of a trained bundle.
+    pub fn new(
+        codec: LogCodec,
+        detector: LstmDetector,
+        threshold: f32,
+        mapping: MappingConfig,
+    ) -> OnlineMonitor {
+        OnlineMonitor {
+            codec,
+            detector,
+            threshold,
+            mapping,
+            recent: VecDeque::new(),
+            open: None,
+            reported: false,
+            last_time: 0,
+            messages_seen: 0,
+            anomalies_seen: 0,
+        }
+    }
+
+    /// Number of messages consumed.
+    pub fn messages_seen(&self) -> u64 {
+        self.messages_seen
+    }
+
+    /// Number of above-threshold anomalies seen.
+    pub fn anomalies_seen(&self) -> u64 {
+        self.anomalies_seen
+    }
+
+    /// Feeds one message; returns a [`Warning`] when an anomaly cluster
+    /// crosses the reporting rule with this message.
+    ///
+    /// A cluster is reported exactly once — at the moment its size first
+    /// reaches `min_cluster` — and subsequent members extend the stats
+    /// silently.
+    pub fn observe(&mut self, message: &SyslogMessage) -> Option<Warning> {
+        self.messages_seen += 1;
+        // Monotonicize slightly out-of-order arrivals (retransmits,
+        // multi-process interleaving are normal for syslog): a late
+        // message is treated as happening "now", so it is still scored
+        // and can still extend a cluster.
+        let time = message.timestamp.max(self.last_time);
+        self.last_time = time;
+        let record = LogRecord { time, template: self.codec.encode_text(&message.text) };
+        self.recent.push_back(record);
+        // Keep window + 2 records: the scored window then starts at
+        // stream index 1, so its first element has a real predecessor
+        // and gets a true gap feature (matching how the offline
+        // calibration scored).
+        let window = self.detector.window();
+        while self.recent.len() > window + 2 {
+            self.recent.pop_front();
+        }
+        if self.recent.len() < window + 2 {
+            return None;
+        }
+
+        // Score the newest record given the preceding window.
+        let stream = LogStream::from_records(self.recent.iter().copied().collect());
+        let events = self.detector.score(&stream, record.time, record.time + 1);
+        let score = events.last().map(|e| e.score)?;
+        if score < self.threshold {
+            return None;
+        }
+        self.anomalies_seen += 1;
+
+        // Extend or open the cluster.
+        match &mut self.open {
+            Some((_, last, count, peak, peak_text))
+                if record.time.saturating_sub(*last) <= self.mapping.cluster_gap =>
+            {
+                *last = record.time;
+                *count += 1;
+                if score > *peak {
+                    *peak = score;
+                    *peak_text = message.text.clone();
+                }
+            }
+            _ => {
+                self.open = Some((record.time, record.time, 1, score, message.text.clone()));
+                self.reported = false;
+            }
+        }
+
+        let (start, _, count, peak, peak_text) = self.open.as_ref().expect("just set");
+        if *count >= self.mapping.min_cluster && !self.reported {
+            self.reported = true;
+            return Some(Warning {
+                start: *start,
+                anomalies: *count,
+                peak_score: *peak,
+                peak_text: peak_text.clone(),
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm_detector::LstmDetectorConfig;
+    use nfv_syslog::message::Severity;
+
+    fn msg(time: u64, text: &str) -> SyslogMessage {
+        SyslogMessage {
+            timestamp: time,
+            host: "vpe00".into(),
+            process: "rpd".into(),
+            severity: Severity::Info,
+            text: text.into(),
+        }
+    }
+
+    /// Cyclic normal traffic the LSTM can learn, plus a burst generator.
+    fn normal_messages(n: usize, start: u64, gap: u64) -> Vec<SyslogMessage> {
+        (0..n)
+            .map(|i| {
+                let phase = i % 4;
+                msg(
+                    start + i as u64 * gap,
+                    &format!("heartbeat stage{} counter {} status ok", phase, i),
+                )
+            })
+            .collect()
+    }
+
+    fn trained_monitor() -> OnlineMonitor {
+        let train = normal_messages(1200, 0, 60);
+        let codec = LogCodec::train(&train, 4);
+        let mut det = LstmDetector::new(LstmDetectorConfig {
+            vocab: codec.vocab_size(),
+            window: 4,
+            embed_dim: 6,
+            hidden: 10,
+            epochs: 3,
+            max_train_windows: 2000,
+            ..Default::default()
+        });
+        let stream = codec.encode_stream(&train);
+        det.fit(&[&stream]);
+        // Threshold: above all training scores.
+        let max_score = det
+            .score(&stream, 0, u64::MAX)
+            .iter()
+            .map(|e| e.score)
+            .fold(0.0f32, f32::max);
+        OnlineMonitor::new(codec, det, max_score * 1.05, MappingConfig::default())
+    }
+
+    #[test]
+    fn quiet_on_normal_traffic() {
+        let mut monitor = trained_monitor();
+        for m in normal_messages(300, 1_000_000, 60) {
+            assert_eq!(monitor.observe(&m), None, "false warning at {}", m.timestamp);
+        }
+        assert_eq!(monitor.messages_seen(), 300);
+    }
+
+    #[test]
+    fn burst_raises_exactly_one_warning() {
+        let mut monitor = trained_monitor();
+        for m in normal_messages(100, 0, 60) {
+            monitor.observe(&m);
+        }
+        // A burst of 4 never-seen messages within seconds.
+        let base = 100 * 60;
+        let mut warnings = Vec::new();
+        // Deliver the burst slightly out of order: the monitor must still
+        // score every message (monotonicized) and raise one warning.
+        for j in [0u64, 2, 1, 3] {
+            let m = msg(base + j * 10, "chassis alarm unknown fault storm detected now");
+            if let Some(w) = monitor.observe(&m) {
+                warnings.push(w);
+            }
+        }
+        assert_eq!(warnings.len(), 1, "cluster must be reported exactly once");
+        let w = &warnings[0];
+        assert_eq!(w.start, base);
+        assert_eq!(w.anomalies, 2, "reported at the moment the cluster forms");
+        assert!(w.peak_text.contains("chassis alarm"));
+        assert!(monitor.anomalies_seen() >= 2);
+    }
+
+    #[test]
+    fn isolated_anomaly_is_not_reported() {
+        let mut monitor = trained_monitor();
+        for m in normal_messages(100, 0, 60) {
+            monitor.observe(&m);
+        }
+        // One odd message, then normal traffic again. The follow-up
+        // messages arrive 2 minutes apart: even if the odd template in
+        // their context windows inflates a score or two, nothing can
+        // chain into a <1-minute cluster.
+        let odd = msg(100 * 60, "completely unexpected solitary event occurred here");
+        assert_eq!(monitor.observe(&odd), None);
+        for m in normal_messages(50, 100 * 60 + 600, 120) {
+            assert_eq!(monitor.observe(&m), None);
+        }
+    }
+
+    #[test]
+    fn two_separate_bursts_give_two_warnings() {
+        let mut monitor = trained_monitor();
+        for m in normal_messages(100, 0, 60) {
+            monitor.observe(&m);
+        }
+        let mut count = 0;
+        for (burst, base) in [(0u64, 6000u64), (1, 12_000)] {
+            let _ = burst;
+            for j in 0..3 {
+                let m = msg(base + j * 10, "chassis alarm unknown fault storm detected now");
+                if monitor.observe(&m).is_some() {
+                    count += 1;
+                }
+            }
+            // Re-establish normal context between bursts.
+            for m in normal_messages(30, base + 300, 60) {
+                monitor.observe(&m);
+            }
+        }
+        assert_eq!(count, 2);
+    }
+}

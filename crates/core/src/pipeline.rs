@@ -1,0 +1,464 @@
+//! The end-to-end runtime pipeline and the paper's monthly evaluation
+//! protocol (§5.1):
+//!
+//! 1. mine the template codec from the first month of raw logs;
+//! 2. optionally group vPEs by syslog-distribution similarity
+//!    (customization, §4.3) and pool each group's data;
+//! 3. train one detector per group on ticket-free month-0 data;
+//! 4. for every following month: score that month, then update the
+//!    model with the month's (ticket-free) data;
+//! 5. when the false-alarm rate surges (software update!), refresh the
+//!    codec and run transfer-learning adaptation on one week of fresh
+//!    data (when adaptation is enabled).
+//!
+//! The pipeline emits raw scored events per vPE per month;
+//! [`crate::eval`] turns them into PR curves, monthly F-measures and
+//! per-ticket-type detection rates.
+
+use crate::baselines::{
+    AutoencoderConfig, AutoencoderDetector, OcsvmDetector, OcsvmDetectorConfig, PcaDetector,
+    PcaDetectorConfig,
+};
+use crate::codec::LogCodec;
+use crate::detector::{AnomalyDetector, ScoredEvent};
+use crate::grouping::Grouping;
+use crate::hmm_detector::{HmmDetector, HmmDetectorConfig};
+use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
+use crate::mapping::{map_clusters, warning_clusters, MappingConfig};
+use nfv_simnet::{FleetTrace, Ticket, TicketCause};
+use nfv_syslog::time::{month_start, DAY};
+use nfv_syslog::{LogRecord, LogStream};
+
+/// Which detector family the pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorKind {
+    /// The paper's LSTM detector.
+    Lstm,
+    /// Autoencoder baseline.
+    Autoencoder,
+    /// One-Class SVM baseline.
+    Ocsvm,
+    /// PCA residual detector (extension).
+    Pca,
+    /// Discrete-HMM detector (related-work extension).
+    Hmm,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Detector family.
+    pub detector: DetectorKind,
+    /// Enable vPE grouping (customization). Disabled = one global model.
+    pub customize: bool,
+    /// Enable post-update transfer-learning adaptation.
+    pub adapt: bool,
+    /// Anomaly-to-ticket mapping parameters.
+    pub mapping: MappingConfig,
+    /// Spare vocabulary slots reserved for post-update templates.
+    pub spare_vocab: usize,
+    /// Messages sampled for codec mining.
+    pub codec_sample: usize,
+    /// Exclusion margin around tickets for training data (§4.2: 3 days).
+    pub train_exclusion: u64,
+    /// Amount of fresh data used by one adaptation (1 week).
+    pub adapt_span: u64,
+    /// False-alarm surge factor that triggers adaptation.
+    pub fa_surge_factor: f32,
+    /// Quantile of training scores used as the online trigger threshold.
+    pub trigger_quantile: f32,
+    /// LSTM hyper-parameters (vocab is overwritten from the codec).
+    pub lstm: LstmDetectorConfig,
+    /// Autoencoder hyper-parameters (vocab overwritten).
+    pub autoencoder: AutoencoderConfig,
+    /// OC-SVM hyper-parameters (vocab overwritten).
+    pub ocsvm: OcsvmDetectorConfig,
+    /// PCA hyper-parameters (vocab overwritten).
+    pub pca: PcaDetectorConfig,
+    /// HMM hyper-parameters (vocab overwritten).
+    pub hmm: HmmDetectorConfig,
+    /// Grouping seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            detector: DetectorKind::Lstm,
+            customize: true,
+            adapt: true,
+            mapping: MappingConfig::default(),
+            spare_vocab: 24,
+            codec_sample: 30_000,
+            train_exclusion: 3 * DAY,
+            adapt_span: 7 * DAY,
+            fa_surge_factor: 4.0,
+            trigger_quantile: 0.995,
+            lstm: LstmDetectorConfig::default(),
+            autoencoder: AutoencoderConfig::default(),
+            ocsvm: OcsvmDetectorConfig::default(),
+            pca: PcaDetectorConfig::default(),
+            hmm: HmmDetectorConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Scored events for one tested month.
+#[derive(Debug, Clone)]
+pub struct MonthScores {
+    /// Zero-based month index.
+    pub month: usize,
+    /// Scored events per vPE.
+    pub per_vpe: Vec<Vec<ScoredEvent>>,
+}
+
+/// The pipeline's output: everything the evaluation needs.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// One entry per tested month (months 1..M).
+    pub months: Vec<MonthScores>,
+    /// Copy of the evaluated (non-maintenance) tickets.
+    pub tickets: Vec<Ticket>,
+    /// Months at which adaptation fired, per group.
+    pub adaptations: Vec<(usize, usize)>,
+    /// The grouping used.
+    pub grouping: Grouping,
+    /// Vocabulary width of the codec.
+    pub vocab: usize,
+    /// Per-vPE scheduled-maintenance windows `[report, repair]`.
+    /// Warning clusters inside these windows are suppressed by the
+    /// evaluation: maintenance is pre-scheduled, expected work (§3.2),
+    /// so its chatter is mapped to the maintenance ticket rather than
+    /// counted as a false alarm.
+    pub suppression: Vec<Vec<(u64, u64)>>,
+}
+
+impl PipelineRun {
+    /// All scored events of one vPE across tested months, time-ordered.
+    pub fn events_for(&self, vpe: usize) -> Vec<ScoredEvent> {
+        let mut out: Vec<ScoredEvent> =
+            self.months.iter().flat_map(|m| m.per_vpe[vpe].iter().copied()).collect();
+        out.sort_by_key(|e| e.time);
+        out
+    }
+
+    /// Number of vPEs.
+    pub fn n_vpes(&self) -> usize {
+        self.months.first().map_or(0, |m| m.per_vpe.len())
+    }
+}
+
+/// Removes records inside `[report - exclusion, repair]` of any ticket
+/// of the vPE (used to build "normal" training data). This follows the
+/// paper's §4.2 rule — "we do not use any syslog data that is generated
+/// within 3 days from a ticket generation to the time that the ticket is
+/// marked as resolved" — i.e. the margin extends *before* the report;
+/// the window closes at repair time.
+pub fn ticket_free(
+    stream: &LogStream,
+    tickets: &[&Ticket],
+    exclusion: u64,
+    start: u64,
+    end: u64,
+) -> LogStream {
+    let intervals: Vec<(u64, u64)> = tickets
+        .iter()
+        .map(|t| (t.report_time.saturating_sub(exclusion), t.repair_time))
+        .collect();
+    let records: Vec<LogRecord> = stream
+        .slice_time(start, end)
+        .iter()
+        .filter(|r| !intervals.iter().any(|&(lo, hi)| r.time >= lo && r.time <= hi))
+        .copied()
+        .collect();
+    LogStream::from_records(records)
+}
+
+fn build_detector(cfg: &PipelineConfig, vocab: usize, group: usize) -> Box<dyn AnomalyDetector> {
+    match cfg.detector {
+        DetectorKind::Lstm => {
+            let mut c = cfg.lstm.clone();
+            c.vocab = vocab;
+            c.seed ^= (group as u64) << 17;
+            Box::new(LstmDetector::new(c))
+        }
+        DetectorKind::Autoencoder => {
+            let mut c = cfg.autoencoder.clone();
+            c.vocab = vocab;
+            c.seed ^= (group as u64) << 17;
+            Box::new(AutoencoderDetector::new(c))
+        }
+        DetectorKind::Ocsvm => {
+            let mut c = cfg.ocsvm.clone();
+            c.vocab = vocab;
+            c.seed ^= (group as u64) << 17;
+            Box::new(OcsvmDetector::new(c))
+        }
+        DetectorKind::Pca => {
+            let mut c = cfg.pca.clone();
+            c.vocab = vocab;
+            c.seed ^= (group as u64) << 17;
+            Box::new(PcaDetector::new(c))
+        }
+        DetectorKind::Hmm => {
+            let mut c = cfg.hmm.clone();
+            c.vocab = vocab;
+            c.seed ^= (group as u64) << 17;
+            Box::new(HmmDetector::new(c))
+        }
+    }
+}
+
+/// Quantile of the score distribution (used for the adaptation trigger).
+fn score_quantile(events: &[Vec<ScoredEvent>], q: f32) -> f32 {
+    let scores: Vec<f32> =
+        events.iter().flat_map(|v| v.iter().map(|e| e.score)).collect();
+    nfv_tensor::stats::quantile(&scores, q).unwrap_or(f32::INFINITY)
+}
+
+/// Runs the full monthly protocol over a simulated trace.
+pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
+    let n_vpes = trace.config.n_vpes;
+    let n_months = trace.config.months;
+    assert!(n_months >= 2, "need at least two months (train + test)");
+
+    // --- Codec from month-0 raw text. ---
+    // The sample interleaves across vPEs (up to an equal share each) so
+    // that every behaviour group's templates are mined; a plain prefix
+    // would fill the cap from the first few vPEs only and leave other
+    // groups' templates unmined (encoding to UNKNOWN fleet-wide).
+    let month1_end = month_start(1);
+    let per_vpe_budget = (cfg.codec_sample / n_vpes).max(1);
+    let mut sample = Vec::new();
+    for vpe in 0..n_vpes {
+        sample.extend(
+            trace
+                .messages(vpe)
+                .iter()
+                .take_while(|m| m.timestamp < month1_end)
+                .take(per_vpe_budget)
+                .cloned(),
+        );
+    }
+    let mut codec = LogCodec::train(&sample, cfg.spare_vocab);
+    let vocab = codec.vocab_size();
+
+    // --- Encode month 0 and set up grouping. ---
+    // Streams are encoded incrementally (month by month) because the
+    // codec can gain templates at adaptation time.
+    let mut streams: Vec<LogStream> = (0..n_vpes)
+        .map(|vpe| {
+            let msgs: Vec<_> = trace
+                .messages(vpe)
+                .iter()
+                .filter(|m| m.timestamp < month1_end)
+                .cloned()
+                .collect();
+            codec.encode_stream(&msgs)
+        })
+        .collect();
+
+    let grouping = if cfg.customize {
+        Grouping::cluster(&streams, vocab, 0, month1_end, 2..=6, cfg.seed)
+    } else {
+        Grouping::single(n_vpes)
+    };
+    let members = grouping.members();
+
+    let all_tickets: Vec<Vec<&Ticket>> =
+        (0..n_vpes).map(|v| trace.tickets_for(v)).collect();
+
+    // --- Initial fit per group (parallel). ---
+    let mut detectors: Vec<Box<dyn AnomalyDetector>> =
+        (0..grouping.k).map(|g| build_detector(cfg, vocab, g)).collect();
+    {
+        let streams_ref = &streams;
+        let tickets_ref = &all_tickets;
+        let members_ref = &members;
+        crossbeam::thread::scope(|scope| {
+            for (g, det) in detectors.iter_mut().enumerate() {
+                let exclusion = cfg.train_exclusion;
+                scope.spawn(move |_| {
+                    let pooled: Vec<LogStream> = members_ref[g]
+                        .iter()
+                        .map(|&v| {
+                            ticket_free(&streams_ref[v], &tickets_ref[v], exclusion, 0, month1_end)
+                        })
+                        .collect();
+                    let refs: Vec<&LogStream> = pooled.iter().collect();
+                    det.fit(&refs);
+                });
+            }
+        })
+        .expect("training threads must not panic");
+    }
+
+    // --- Trigger thresholds per group (from month-0 scores). ---
+    let mut trigger: Vec<f32> = (0..grouping.k)
+        .map(|g| {
+            let scores: Vec<Vec<ScoredEvent>> = members[g]
+                .iter()
+                .map(|&v| detectors[g].score(&streams[v], 0, month1_end))
+                .collect();
+            score_quantile(&scores, cfg.trigger_quantile)
+        })
+        .collect();
+    let mut fa_baseline: Vec<Option<f32>> = vec![None; grouping.k];
+
+    // --- Monthly loop. ---
+    let mut months = Vec::new();
+    let mut adaptations = Vec::new();
+    for m in 1..n_months {
+        let m_start = month_start(m);
+        let m_end = month_start(m + 1);
+
+        // Encode this month's raw messages with the current codec.
+        for vpe in 0..n_vpes {
+            let msgs: Vec<_> = trace
+                .messages(vpe)
+                .iter()
+                .filter(|msg| msg.timestamp >= m_start && msg.timestamp < m_end)
+                .cloned()
+                .collect();
+            let encoded = codec.encode_stream(&msgs);
+            let mut combined = streams[vpe].records().to_vec();
+            combined.extend_from_slice(encoded.records());
+            streams[vpe] = LogStream::from_records(combined);
+        }
+
+        // Score the month.
+        let mut per_vpe: Vec<Vec<ScoredEvent>> = (0..n_vpes)
+            .map(|v| detectors[grouping.group_of(v)].score(&streams[v], m_start, m_end))
+            .collect();
+
+        // False-alarm-rate check per group -> adaptation.
+        for g in 0..grouping.k {
+            let mut fa = 0usize;
+            for &v in &members[g] {
+                let clusters = warning_clusters(&per_vpe[v], trigger[g], &cfg.mapping);
+                let result = map_clusters(
+                    &clusters,
+                    &all_tickets[v].iter().map(|&&t| t).collect::<Vec<_>>(),
+                    &cfg.mapping,
+                );
+                fa += result.false_alarms;
+            }
+            let days = (m_end - m_start) as f32 / DAY as f32;
+            let fa_rate = fa as f32 / days / members[g].len().max(1) as f32;
+            let surged = match fa_baseline[g] {
+                Some(base) => fa_rate > cfg.fa_surge_factor * (base + 0.02),
+                None => false,
+            };
+            if surged && cfg.adapt {
+                adaptations.push((m, g));
+                // Refresh the codec with the first week of the month so
+                // new templates earn dense ids, re-encode that week, and
+                // fine-tune on it.
+                let week_end = m_start + cfg.adapt_span;
+                let mut week_msgs = Vec::new();
+                for &v in &members[g] {
+                    week_msgs.extend(
+                        trace
+                            .messages(v)
+                            .iter()
+                            .filter(|msg| msg.timestamp >= m_start && msg.timestamp < week_end)
+                            .cloned(),
+                    );
+                }
+                codec.refresh(&week_msgs);
+                // Re-encode the month for this group's members (ids of
+                // known templates are stable; only new ones change).
+                for &v in &members[g] {
+                    let msgs: Vec<_> = trace
+                        .messages(v)
+                        .iter()
+                        .filter(|msg| msg.timestamp < m_end)
+                        .cloned()
+                        .collect();
+                    streams[v] = codec.encode_stream(&msgs);
+                }
+                let adapt_streams: Vec<LogStream> = members[g]
+                    .iter()
+                    .map(|&v| {
+                        ticket_free(
+                            &streams[v],
+                            &all_tickets[v],
+                            cfg.train_exclusion,
+                            m_start,
+                            week_end,
+                        )
+                    })
+                    .collect();
+                let refs: Vec<&LogStream> = adapt_streams.iter().collect();
+                detectors[g].adapt(&refs);
+
+                // Re-score the month after the adaptation point.
+                for &v in &members[g] {
+                    let rescored = detectors[grouping.group_of(v)].score(&streams[v], week_end, m_end);
+                    per_vpe[v].retain(|e| e.time < week_end);
+                    per_vpe[v].extend(rescored);
+                }
+                // Reset the trigger calibration on the adapted model.
+                let scores: Vec<Vec<ScoredEvent>> = members[g]
+                    .iter()
+                    .map(|&v| detectors[g].score(&streams[v], m_start, week_end))
+                    .collect();
+                trigger[g] = score_quantile(&scores, cfg.trigger_quantile);
+                fa_baseline[g] = None;
+            } else {
+                fa_baseline[g] = Some(match fa_baseline[g] {
+                    Some(base) => 0.7 * base + 0.3 * fa_rate,
+                    None => fa_rate,
+                });
+            }
+        }
+
+        months.push(MonthScores { month: m, per_vpe: per_vpe.clone() });
+
+        // Incremental monthly update on this month's ticket-free data.
+        let streams_ref = &streams;
+        let tickets_ref = &all_tickets;
+        let members_ref = &members;
+        crossbeam::thread::scope(|scope| {
+            for (g, det) in detectors.iter_mut().enumerate() {
+                let exclusion = cfg.train_exclusion;
+                scope.spawn(move |_| {
+                    let pooled: Vec<LogStream> = members_ref[g]
+                        .iter()
+                        .map(|&v| {
+                            ticket_free(&streams_ref[v], &tickets_ref[v], exclusion, m_start, m_end)
+                        })
+                        .collect();
+                    let refs: Vec<&LogStream> = pooled.iter().collect();
+                    det.update(&refs);
+                });
+            }
+        })
+        .expect("update threads must not panic");
+    }
+
+    let tickets = trace
+        .tickets
+        .iter()
+        .filter(|t| t.cause != TicketCause::Maintenance && t.report_time >= month_start(1))
+        .copied()
+        .collect();
+    let suppression = (0..n_vpes)
+        .map(|v| {
+            trace
+                .tickets_for(v)
+                .iter()
+                .filter(|t| t.cause == TicketCause::Maintenance)
+                // Pre-maintenance work (drains, config pushes) starts
+                // before the ticket's report time; suppress the whole
+                // predictive window, mirroring how fault tickets absorb
+                // their own predictive-period anomalies.
+                .map(|t| {
+                    (t.report_time.saturating_sub(cfg.mapping.predictive_period), t.repair_time)
+                })
+                .collect()
+        })
+        .collect();
+    PipelineRun { months, tickets, adaptations, grouping, vocab, suppression }
+}

@@ -1,0 +1,96 @@
+//! Plain-text table formatting for the figure/table harnesses.
+
+use nfv_ml::PrCurve;
+use nfv_simnet::TicketCause;
+
+/// Formats a PR curve as a TSV table (threshold, precision, recall, F).
+pub fn format_prc(name: &str, curve: &PrCurve) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# PRC: {}\n", name));
+    out.push_str("threshold\tprecision\trecall\tf_measure\n");
+    for p in &curve.points {
+        out.push_str(&format!(
+            "{:.4}\t{:.3}\t{:.3}\t{:.3}\n",
+            p.threshold, p.precision, p.recall, p.f_measure
+        ));
+    }
+    if let Some(best) = curve.best_f_point() {
+        out.push_str(&format!(
+            "# operating point: precision={:.2} recall={:.2} f={:.2} (threshold {:.4})\n",
+            best.precision, best.recall, best.f_measure, best.threshold
+        ));
+    }
+    out
+}
+
+/// Formats the Fig 8 per-type detection-rate table.
+pub fn format_detection_table(
+    rows: &[(Option<TicketCause>, Vec<f32>, usize)],
+    offsets: &[i64],
+) -> String {
+    let mut out = String::new();
+    out.push_str("ticket_type\tn");
+    for off in offsets {
+        let mins = *off as f64 / 60.0;
+        out.push_str(&format!("\t{}{}min", if *off >= 0 { "+" } else { "" }, mins));
+    }
+    out.push('\n');
+    for (cause, rates, n) in rows {
+        let label = cause.map_or("All", |c| c.label());
+        out.push_str(&format!("{}\t{}", label, n));
+        for r in rates {
+            out.push_str(&format!("\t{:.2}", r));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a simple aligned two-column table.
+pub fn format_kv(title: &str, rows: &[(String, String)]) -> String {
+    let key_width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = format!("# {}\n", title);
+    for (k, v) in rows {
+        out.push_str(&format!("{:<width$}  {}\n", k, v, width = key_width));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_ml::PrPoint;
+
+    #[test]
+    fn prc_table_contains_operating_point() {
+        let curve = PrCurve {
+            points: vec![
+                PrPoint { threshold: 0.5, precision: 0.6, recall: 0.9, f_measure: 0.72 },
+                PrPoint { threshold: 1.0, precision: 0.8, recall: 0.8, f_measure: 0.8 },
+            ],
+        };
+        let s = format_prc("lstm", &curve);
+        assert!(s.contains("# PRC: lstm"));
+        assert!(s.contains("operating point: precision=0.80 recall=0.80"));
+        assert_eq!(s.lines().count(), 2 + 2 + 1);
+    }
+
+    #[test]
+    fn detection_table_has_header_and_all_row() {
+        let rows = vec![
+            (Some(TicketCause::Circuit), vec![0.3, 0.7], 10),
+            (None, vec![0.2, 0.6], 30),
+        ];
+        let s = format_detection_table(&rows, &[-900, 900]);
+        assert!(s.starts_with("ticket_type\tn\t-15min\t+15min"));
+        assert!(s.contains("Circuit\t10\t0.30\t0.70"));
+        assert!(s.contains("All\t30\t0.20\t0.60"));
+    }
+
+    #[test]
+    fn kv_table_aligns_keys() {
+        let s = format_kv("t", &[("a".into(), "1".into()), ("long-key".into(), "2".into())]);
+        assert!(s.contains("a         1"));
+        assert!(s.contains("long-key  2"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Operational triage of detected conditions (§5.3 of the paper).
+//!
+//! The paper's operational findings sort detected anomalies into four
+//! scenarios: (1) true predictive signals for near-term problems,
+//! (2) conditions convertible into fast detection signatures,
+//! (3) conditions that are part of the events that triggered the ticket
+//! (the ticketing flow's own verification delay), and (4) coincidental
+//! anomalies. This module maps per-ticket outcomes into those buckets
+//! and also answers the paper's Q4: whether one warning cluster ever
+//! serves several tickets (it never did on the paper's data, because
+//! tickets are rare and well separated).
+
+use crate::codec::LogCodec;
+use crate::mapping::{MappingConfig, TicketOutcome};
+use nfv_simnet::Ticket;
+use nfv_syslog::time::MINUTE;
+use nfv_syslog::SyslogMessage;
+use std::collections::HashMap;
+
+/// The paper's operational categories for a ticket's syslog evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriageCategory {
+    /// A warning preceded the ticket by at least 5 minutes: a candidate
+    /// predictive signature.
+    PredictiveSignal,
+    /// A warning appeared within 5 minutes before the ticket: a
+    /// candidate fast-detection signature (beats the ticketing flow's
+    /// verification latency).
+    EarlyDetection,
+    /// Anomalies only showed up within 15 minutes after the ticket: the
+    /// fault is NFV-visible but not predictive.
+    VisibleAftermath,
+    /// Anomalies appeared later than 15 minutes after the ticket.
+    LateVisibility,
+    /// No anomaly mapped to the ticket at all.
+    SyslogSilent,
+}
+
+impl TriageCategory {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TriageCategory::PredictiveSignal => "predictive signal (>=5 min early)",
+            TriageCategory::EarlyDetection => "early detection (<5 min before ticket)",
+            TriageCategory::VisibleAftermath => "visible aftermath (<=15 min after)",
+            TriageCategory::LateVisibility => "late visibility (>15 min after)",
+            TriageCategory::SyslogSilent => "syslog-silent",
+        }
+    }
+}
+
+/// Categorizes one ticket outcome.
+pub fn categorize(outcome: &TicketOutcome) -> TriageCategory {
+    match outcome.earliest_offset {
+        Some(o) if o <= -(5 * MINUTE as i64) => TriageCategory::PredictiveSignal,
+        Some(o) if o <= 0 => TriageCategory::EarlyDetection,
+        Some(o) if o <= 15 * MINUTE as i64 => TriageCategory::VisibleAftermath,
+        Some(_) => TriageCategory::LateVisibility,
+        None => TriageCategory::SyslogSilent,
+    }
+}
+
+/// Counts outcomes per category, in a stable display order.
+pub fn triage_histogram(outcomes: &[TicketOutcome]) -> Vec<(TriageCategory, usize)> {
+    let order = [
+        TriageCategory::PredictiveSignal,
+        TriageCategory::EarlyDetection,
+        TriageCategory::VisibleAftermath,
+        TriageCategory::LateVisibility,
+        TriageCategory::SyslogSilent,
+    ];
+    order
+        .iter()
+        .map(|&cat| (cat, outcomes.iter().filter(|o| categorize(o) == cat).count()))
+        .collect()
+}
+
+/// Q4 of the paper: counts warning clusters whose window membership
+/// spans more than one ticket. On rare, well-separated tickets this
+/// should be zero (or nearly so).
+pub fn clusters_spanning_multiple_tickets(
+    clusters: &[u64],
+    tickets: &[Ticket],
+    cfg: &MappingConfig,
+) -> usize {
+    clusters
+        .iter()
+        .filter(|&&c| {
+            let matched = tickets
+                .iter()
+                .filter(|t| {
+                    c >= t.report_time.saturating_sub(cfg.predictive_period)
+                        && c <= t.repair_time
+                })
+                .count();
+            matched > 1
+        })
+        .count()
+}
+
+/// One row of the operator's signature report: a message pattern that
+/// dominates warning clusters, with its operational track record.
+///
+/// This is the machinery behind the paper's §5.3 findings — e.g.
+/// discovering that the `invalid response from peer chassis-control`
+/// condition is typically followed by a ticket (a predictive signal),
+/// while a `BGP UNUSABLE ASPATH` storm makes a fast detection signature
+/// with minimum false positives.
+#[derive(Debug, Clone)]
+pub struct SignatureFinding {
+    /// The mined signature pattern (wildcards as `*`).
+    pub pattern: String,
+    /// Warning clusters dominated by this pattern.
+    pub clusters: usize,
+    /// Clusters that preceded a ticket (early warnings).
+    pub early_warnings: usize,
+    /// Clusters inside a ticket's infected period.
+    pub errors: usize,
+    /// Clusters tied to no ticket.
+    pub false_alarms: usize,
+    /// One raw example message.
+    pub example: String,
+}
+
+impl SignatureFinding {
+    /// Fraction of this signature's clusters tied to real trouble.
+    pub fn hit_rate(&self) -> f32 {
+        let tied = self.early_warnings + self.errors;
+        if self.clusters == 0 {
+            0.0
+        } else {
+            tied as f32 / self.clusters as f32
+        }
+    }
+}
+
+/// Builds the signature report for one vPE's feed: each warning cluster
+/// is attributed to its dominant message pattern and classified against
+/// the ticket windows; rows aggregate per pattern, sorted by cluster
+/// count.
+pub fn signature_report(
+    messages: &[SyslogMessage],
+    codec: &LogCodec,
+    clusters: &[u64],
+    tickets: &[Ticket],
+    cfg: &MappingConfig,
+) -> Vec<SignatureFinding> {
+    let mut by_pattern: HashMap<String, SignatureFinding> = HashMap::new();
+    for &c in clusters {
+        // Messages inside the cluster neighbourhood.
+        let span_end = c + 5 * cfg.cluster_gap;
+        let members: Vec<&SyslogMessage> = messages
+            .iter()
+            .filter(|m| m.timestamp >= c && m.timestamp <= span_end)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        // Dominant encoded template among the members.
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for m in &members {
+            *counts.entry(codec.encode_text(&m.text)).or_insert(0) += 1;
+        }
+        let (&dominant, _) =
+            counts.iter().max_by_key(|(_, &n)| n).expect("non-empty members");
+        let pattern = codec
+            .pattern_of(dominant)
+            .unwrap_or("<unknown template>")
+            .to_string();
+        let example = members
+            .iter()
+            .find(|m| codec.encode_text(&m.text) == dominant)
+            .map(|m| m.text.clone())
+            .unwrap_or_default();
+
+        // Classify the cluster against the ticket windows.
+        let mut early = false;
+        let mut error = false;
+        for t in tickets {
+            let window_start = t.report_time.saturating_sub(cfg.predictive_period);
+            if c >= window_start && c < t.report_time {
+                early = true;
+            } else if c >= t.report_time && c <= t.repair_time {
+                error = true;
+            }
+        }
+
+        let entry = by_pattern.entry(pattern.clone()).or_insert_with(|| SignatureFinding {
+            pattern,
+            clusters: 0,
+            early_warnings: 0,
+            errors: 0,
+            false_alarms: 0,
+            example,
+        });
+        entry.clusters += 1;
+        if early {
+            entry.early_warnings += 1;
+        } else if error {
+            entry.errors += 1;
+        } else {
+            entry.false_alarms += 1;
+        }
+    }
+    let mut rows: Vec<SignatureFinding> = by_pattern.into_values().collect();
+    rows.sort_by(|a, b| b.clusters.cmp(&a.clusters).then(a.pattern.cmp(&b.pattern)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_simnet::TicketCause;
+
+    fn outcome(offset: Option<i64>) -> TicketOutcome {
+        TicketOutcome {
+            ticket: 0,
+            cause: TicketCause::Circuit,
+            report_time: 100_000,
+            earliest_offset: offset,
+        }
+    }
+
+    #[test]
+    fn category_boundaries() {
+        assert_eq!(categorize(&outcome(Some(-600))), TriageCategory::PredictiveSignal);
+        assert_eq!(categorize(&outcome(Some(-300))), TriageCategory::PredictiveSignal);
+        assert_eq!(categorize(&outcome(Some(-299))), TriageCategory::EarlyDetection);
+        assert_eq!(categorize(&outcome(Some(0))), TriageCategory::EarlyDetection);
+        assert_eq!(categorize(&outcome(Some(1))), TriageCategory::VisibleAftermath);
+        assert_eq!(categorize(&outcome(Some(900))), TriageCategory::VisibleAftermath);
+        assert_eq!(categorize(&outcome(Some(901))), TriageCategory::LateVisibility);
+        assert_eq!(categorize(&outcome(None)), TriageCategory::SyslogSilent);
+    }
+
+    #[test]
+    fn histogram_covers_all_outcomes() {
+        let outcomes = vec![
+            outcome(Some(-600)),
+            outcome(Some(-600)),
+            outcome(Some(100)),
+            outcome(None),
+        ];
+        let hist = triage_histogram(&outcomes);
+        let total: usize = hist.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, outcomes.len());
+        assert_eq!(hist[0], (TriageCategory::PredictiveSignal, 2));
+        assert_eq!(hist[4], (TriageCategory::SyslogSilent, 1));
+    }
+
+    #[test]
+    fn signature_report_attributes_and_classifies_clusters() {
+        use nfv_syslog::message::Severity;
+
+        // Codec trained on two message shapes.
+        let mk = |time: u64, text: &str| SyslogMessage {
+            timestamp: time,
+            host: "vpe00".into(),
+            process: "rpd".into(),
+            severity: Severity::Error,
+            text: text.into(),
+        };
+        let mut train = Vec::new();
+        for i in 0..20 {
+            train.push(mk(i, &format!("BGP UNUSABLE ASPATH: bgp reject path from peer 10.0.0.{}", i)));
+            train.push(mk(i, &format!("fan tray {} failure detected on slot {}", i, i)));
+        }
+        let codec = LogCodec::train(&train, 2);
+
+        // Feed: an ASPATH storm before a ticket, a fan burst far away.
+        let ticket = Ticket {
+            id: 0,
+            vpe: 0,
+            cause: TicketCause::Circuit,
+            report_time: 10_000,
+            repair_time: 12_000,
+            core_incident: false,
+        };
+        let messages = vec![
+            mk(9_400, "BGP UNUSABLE ASPATH: bgp reject path from peer 9.9.9.9"),
+            mk(9_420, "BGP UNUSABLE ASPATH: bgp reject path from peer 8.8.8.8"),
+            mk(50_000, "fan tray 2 failure detected on slot 4"),
+            mk(50_030, "fan tray 3 failure detected on slot 1"),
+        ];
+        let clusters = vec![9_400u64, 50_000];
+        let cfg = MappingConfig { predictive_period: 3_600, ..Default::default() };
+        let report = signature_report(&messages, &codec, &clusters, &[ticket], &cfg);
+
+        assert_eq!(report.len(), 2);
+        let aspath = report.iter().find(|r| r.pattern.contains("UNUSABLE")).unwrap();
+        assert_eq!(aspath.clusters, 1);
+        assert_eq!(aspath.early_warnings, 1);
+        assert_eq!(aspath.false_alarms, 0);
+        assert!((aspath.hit_rate() - 1.0).abs() < 1e-6);
+        assert!(aspath.example.contains("9.9.9.9") || aspath.example.contains("8.8.8.8"));
+
+        let fan = report.iter().find(|r| r.pattern.contains("fan")).unwrap();
+        assert_eq!(fan.false_alarms, 1);
+        assert_eq!(fan.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn q4_counts_multi_ticket_clusters() {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let mk = |id: usize, report: u64, repair: u64| Ticket {
+            id,
+            vpe: 0,
+            cause: TicketCause::Circuit,
+            report_time: report,
+            repair_time: repair,
+            core_incident: false,
+        };
+        // Well-separated tickets: no cluster can span both.
+        let separated = [mk(0, 10_000, 12_000), mk(1, 500_000, 502_000)];
+        assert_eq!(clusters_spanning_multiple_tickets(&[9_500, 501_000], &separated, &cfg), 0);
+        // Overlapping tickets: a cluster in the overlap spans two.
+        let overlapping = [mk(0, 10_000, 20_000), mk(1, 13_000, 22_000)];
+        assert_eq!(clusters_spanning_multiple_tickets(&[14_000], &overlapping, &cfg), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for anomaly clustering and ticket mapping — the
+//! correctness core of the evaluation.
+
+use nfv_detect::detector::ScoredEvent;
+use nfv_detect::mapping::{map_clusters, warning_clusters, MappingConfig};
+use nfv_simnet::{Ticket, TicketCause};
+use proptest::prelude::*;
+
+fn events_strategy() -> impl Strategy<Value = Vec<ScoredEvent>> {
+    prop::collection::vec((0u64..100_000, 0.0f32..10.0), 0..120).prop_map(|v| {
+        v.into_iter().map(|(time, score)| ScoredEvent { time, score }).collect()
+    })
+}
+
+fn tickets_strategy() -> impl Strategy<Value = Vec<Ticket>> {
+    prop::collection::vec((0u64..90_000, 1u64..20_000, 0usize..5), 0..8).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(id, (report, dur, cause))| Ticket {
+                id,
+                vpe: 0,
+                cause: [
+                    TicketCause::Circuit,
+                    TicketCause::Cable,
+                    TicketCause::Hardware,
+                    TicketCause::Software,
+                    TicketCause::Duplicate,
+                ][cause],
+                report_time: report,
+                repair_time: report + dur,
+                core_incident: false,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Raising the threshold can only shrink the flagged set, so the
+    /// cluster count is non-increasing in the threshold.
+    #[test]
+    fn clusters_monotone_in_threshold(events in events_strategy()) {
+        let cfg = MappingConfig::default();
+        let mut prev = usize::MAX;
+        for t in [0.0f32, 2.0, 4.0, 6.0, 8.0, 10.0] {
+            let n = warning_clusters(&events, t, &cfg).len();
+            prop_assert!(n <= prev, "threshold {} gave {} clusters after {}", t, n, prev);
+            prev = n;
+        }
+    }
+
+    /// Every cluster time is the time of some flagged event, clusters
+    /// are sorted, and successive clusters are separated by more than
+    /// the cluster gap.
+    #[test]
+    fn clusters_are_grounded_and_separated(events in events_strategy()) {
+        let cfg = MappingConfig::default();
+        let threshold = 5.0;
+        let clusters = warning_clusters(&events, threshold, &cfg);
+        let flagged: std::collections::HashSet<u64> = events
+            .iter()
+            .filter(|e| e.score >= threshold)
+            .map(|e| e.time)
+            .collect();
+        for c in &clusters {
+            prop_assert!(flagged.contains(c), "cluster at {} has no flagged event", c);
+        }
+        for w in clusters.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    /// Mapping conserves clusters: every cluster is counted exactly once
+    /// as early warning, error, or false alarm.
+    #[test]
+    fn mapping_conserves_clusters(
+        events in events_strategy(),
+        tickets in tickets_strategy(),
+    ) {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let clusters = warning_clusters(&events, 4.0, &cfg);
+        let result = map_clusters(&clusters, &tickets, &cfg);
+        prop_assert_eq!(
+            result.early_warnings + result.errors + result.false_alarms,
+            clusters.len()
+        );
+        prop_assert_eq!(result.per_ticket.len(), tickets.len());
+    }
+
+    /// Per-ticket earliest offsets always lie inside the mapping window.
+    #[test]
+    fn offsets_lie_in_window(
+        events in events_strategy(),
+        tickets in tickets_strategy(),
+    ) {
+        let cfg = MappingConfig { predictive_period: 7200, ..Default::default() };
+        let clusters = warning_clusters(&events, 3.0, &cfg);
+        let result = map_clusters(&clusters, &tickets, &cfg);
+        for (outcome, ticket) in result.per_ticket.iter().zip(tickets.iter()) {
+            if let Some(offset) = outcome.earliest_offset {
+                prop_assert!(offset >= -(cfg.predictive_period as i64));
+                prop_assert!(offset <= ticket.duration() as i64);
+            }
+        }
+    }
+
+    /// detected_by is monotone in the offset.
+    #[test]
+    fn detected_by_is_monotone(
+        events in events_strategy(),
+        tickets in tickets_strategy(),
+    ) {
+        let cfg = MappingConfig { predictive_period: 3600, ..Default::default() };
+        let clusters = warning_clusters(&events, 3.0, &cfg);
+        let result = map_clusters(&clusters, &tickets, &cfg);
+        for outcome in &result.per_ticket {
+            let mut prev = false;
+            for off in [-900i64, -300, 0, 300, 900] {
+                let now = outcome.detected_by(off);
+                prop_assert!(!prev || now, "detection regressed at offset {}", off);
+                prev = now;
+            }
+        }
+    }
+}

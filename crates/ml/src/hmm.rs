@@ -1,0 +1,295 @@
+//! Discrete hidden Markov model trained with Baum-Welch.
+//!
+//! The paper's related work covers HMM-based failure prediction (Liang
+//! et al., Salfner & Malek). This module provides the substrate for the
+//! workspace's HMM extension baseline: an HMM is trained on normal
+//! template windows and an incoming log is scored by the negative log
+//! of its one-step predictive probability under the model.
+//!
+//! All recursions use the standard per-step scaling, so likelihoods of
+//! long sequences stay in range.
+
+use rand::Rng;
+
+/// Additive smoothing applied to all re-estimated probabilities.
+const SMOOTHING: f64 = 1e-4;
+
+/// A fitted discrete HMM.
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    /// Initial state distribution (length S).
+    pi: Vec<f64>,
+    /// Transition matrix (S x S, row-stochastic).
+    a: Vec<Vec<f64>>,
+    /// Emission matrix (S x V, row-stochastic).
+    b: Vec<Vec<f64>>,
+}
+
+/// Configuration for [`Hmm::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct HmmConfig {
+    /// Number of hidden states.
+    pub states: usize,
+    /// Baum-Welch iterations.
+    pub iters: usize,
+}
+
+impl Default for HmmConfig {
+    fn default() -> Self {
+        HmmConfig { states: 8, iters: 20 }
+    }
+}
+
+fn normalize(row: &mut [f64]) {
+    let sum: f64 = row.iter().sum();
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        let u = 1.0 / row.len() as f64;
+        row.iter_mut().for_each(|v| *v = u);
+    }
+}
+
+impl Hmm {
+    /// Trains an HMM on observation sequences over a vocabulary of size
+    /// `vocab` using Baum-Welch with random initialization.
+    ///
+    /// # Panics
+    /// Panics when there are no non-empty sequences, `vocab == 0`, or a
+    /// symbol is out of range.
+    pub fn fit(
+        sequences: &[Vec<usize>],
+        vocab: usize,
+        cfg: &HmmConfig,
+        rng: &mut impl Rng,
+    ) -> Hmm {
+        assert!(vocab > 0, "Hmm: empty vocabulary");
+        assert!(cfg.states > 0, "Hmm: need at least one state");
+        let seqs: Vec<&Vec<usize>> = sequences.iter().filter(|s| !s.is_empty()).collect();
+        assert!(!seqs.is_empty(), "Hmm: no non-empty training sequences");
+        for s in &seqs {
+            assert!(s.iter().all(|&x| x < vocab), "Hmm: symbol out of range");
+        }
+        let s_n = cfg.states;
+
+        // Random row-stochastic initialization.
+        let mut rand_row = |n: usize| {
+            let mut row: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
+            normalize(&mut row);
+            row
+        };
+        let mut model = Hmm {
+            pi: rand_row(s_n),
+            a: (0..s_n).map(|_| rand_row(s_n)).collect(),
+            b: (0..s_n).map(|_| rand_row(vocab)).collect(),
+        };
+
+        for _ in 0..cfg.iters {
+            // Accumulators for re-estimation.
+            let mut pi_acc = vec![SMOOTHING; s_n];
+            let mut a_acc = vec![vec![SMOOTHING; s_n]; s_n];
+            let mut b_acc = vec![vec![SMOOTHING; vocab]; s_n];
+
+            for seq in &seqs {
+                let t_n = seq.len();
+                let (alpha, scale) = model.forward_scaled(seq);
+                let beta = model.backward_scaled(seq, &scale);
+
+                // gamma[t][i] ∝ alpha[t][i] * beta[t][i].
+                for t in 0..t_n {
+                    let mut gamma: Vec<f64> =
+                        (0..s_n).map(|i| alpha[t][i] * beta[t][i]).collect();
+                    normalize(&mut gamma);
+                    if t == 0 {
+                        for i in 0..s_n {
+                            pi_acc[i] += gamma[i];
+                        }
+                    }
+                    for i in 0..s_n {
+                        b_acc[i][seq[t]] += gamma[i];
+                    }
+                }
+                // xi[t][i][j] ∝ alpha[t][i] a[i][j] b[j][o_{t+1}] beta[t+1][j].
+                for t in 0..t_n.saturating_sub(1) {
+                    let mut total = 0.0;
+                    let mut xi = vec![vec![0.0f64; s_n]; s_n];
+                    for i in 0..s_n {
+                        for j in 0..s_n {
+                            let v = alpha[t][i]
+                                * model.a[i][j]
+                                * model.b[j][seq[t + 1]]
+                                * beta[t + 1][j];
+                            xi[i][j] = v;
+                            total += v;
+                        }
+                    }
+                    if total > 0.0 {
+                        for i in 0..s_n {
+                            for j in 0..s_n {
+                                a_acc[i][j] += xi[i][j] / total;
+                            }
+                        }
+                    }
+                }
+            }
+
+            normalize(&mut pi_acc);
+            model.pi = pi_acc;
+            for i in 0..s_n {
+                normalize(&mut a_acc[i]);
+                normalize(&mut b_acc[i]);
+            }
+            model.a = a_acc;
+            model.b = b_acc;
+        }
+        model
+    }
+
+    /// Number of hidden states.
+    pub fn states(&self) -> usize {
+        self.pi.len()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.b[0].len()
+    }
+
+    /// Scaled forward pass; returns `(alpha, scale)` where `scale[t] =
+    /// p(o_t | o_1..t-1)`.
+    fn forward_scaled(&self, seq: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let s_n = self.states();
+        let mut alpha = vec![vec![0.0f64; s_n]; seq.len()];
+        let mut scale = vec![0.0f64; seq.len()];
+        for i in 0..s_n {
+            alpha[0][i] = self.pi[i] * self.b[i][seq[0]];
+        }
+        scale[0] = alpha[0].iter().sum::<f64>().max(f64::MIN_POSITIVE);
+        alpha[0].iter_mut().for_each(|v| *v /= scale[0]);
+        for t in 1..seq.len() {
+            for j in 0..s_n {
+                let mut acc = 0.0;
+                for i in 0..s_n {
+                    acc += alpha[t - 1][i] * self.a[i][j];
+                }
+                alpha[t][j] = acc * self.b[j][seq[t]];
+            }
+            scale[t] = alpha[t].iter().sum::<f64>().max(f64::MIN_POSITIVE);
+            alpha[t].iter_mut().for_each(|v| *v /= scale[t]);
+        }
+        (alpha, scale)
+    }
+
+    /// Scaled backward pass using the forward scale factors.
+    fn backward_scaled(&self, seq: &[usize], scale: &[f64]) -> Vec<Vec<f64>> {
+        let s_n = self.states();
+        let t_n = seq.len();
+        let mut beta = vec![vec![0.0f64; s_n]; t_n];
+        beta[t_n - 1].iter_mut().for_each(|v| *v = 1.0 / scale[t_n - 1]);
+        for t in (0..t_n - 1).rev() {
+            for i in 0..s_n {
+                let mut acc = 0.0;
+                for j in 0..s_n {
+                    acc += self.a[i][j] * self.b[j][seq[t + 1]] * beta[t + 1][j];
+                }
+                beta[t][i] = acc / scale[t];
+            }
+        }
+        beta
+    }
+
+    /// Total log-likelihood of a sequence.
+    pub fn log_likelihood(&self, seq: &[usize]) -> f64 {
+        if seq.is_empty() {
+            return 0.0;
+        }
+        let (_, scale) = self.forward_scaled(seq);
+        scale.iter().map(|&c| c.ln()).sum()
+    }
+
+    /// Negative log of the one-step predictive probability of the *last*
+    /// symbol given the prefix: `-ln p(o_T | o_1..T-1)`. This is the
+    /// anomaly score of the HMM detector.
+    pub fn last_symbol_nll(&self, seq: &[usize]) -> f64 {
+        assert!(!seq.is_empty(), "last_symbol_nll: empty sequence");
+        let (_, scale) = self.forward_scaled(seq);
+        -scale[seq.len() - 1].ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn cyclic_sequences(n: usize, len: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|start| (0..len).map(|i| (start + i) % 3).collect())
+            .collect()
+    }
+
+    #[test]
+    fn learns_a_cyclic_language() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let seqs = cyclic_sequences(6, 30);
+        let hmm = Hmm::fit(&seqs, 3, &HmmConfig { states: 3, iters: 40 }, &mut rng);
+
+        let cyclic: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let random: Vec<usize> = vec![0, 0, 2, 1, 1, 0, 2, 2, 1, 0, 0, 1, 2, 0, 2, 1, 0, 1, 1, 2];
+        let ll_cyclic = hmm.log_likelihood(&cyclic) / cyclic.len() as f64;
+        let ll_random = hmm.log_likelihood(&random) / random.len() as f64;
+        assert!(
+            ll_cyclic > ll_random + 0.3,
+            "cyclic {} vs random {}",
+            ll_cyclic,
+            ll_random
+        );
+    }
+
+    #[test]
+    fn predictive_nll_flags_pattern_breaks() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let seqs = cyclic_sequences(6, 40);
+        let hmm = Hmm::fit(&seqs, 4, &HmmConfig { states: 3, iters: 40 }, &mut rng);
+
+        // Expected continuation 0,1,2,0,1 -> next is 2.
+        let expected = vec![0usize, 1, 2, 0, 1, 2];
+        // Broken continuation ends in the never-seen symbol 3.
+        let broken = vec![0usize, 1, 2, 0, 1, 3];
+        assert!(
+            hmm.last_symbol_nll(&broken) > hmm.last_symbol_nll(&expected) + 1.0,
+            "broken {} vs expected {}",
+            hmm.last_symbol_nll(&broken),
+            hmm.last_symbol_nll(&expected)
+        );
+    }
+
+    #[test]
+    fn likelihood_is_a_probability() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let seqs = cyclic_sequences(4, 20);
+        let hmm = Hmm::fit(&seqs, 3, &HmmConfig::default(), &mut rng);
+        // Log-likelihood of any sequence is <= 0 (probabilities <= 1).
+        assert!(hmm.log_likelihood(&[0, 1, 2, 0]) <= 1e-9);
+        // Summing p over all single symbols gives ~1.
+        let total: f64 = (0..3).map(|s| hmm.log_likelihood(&[s]).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum over singletons {}", total);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let seqs = cyclic_sequences(4, 20);
+        let a = Hmm::fit(&seqs, 3, &HmmConfig::default(), &mut SmallRng::seed_from_u64(1));
+        let b = Hmm::fit(&seqs, 3, &HmmConfig::default(), &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a.log_likelihood(&[0, 1, 2]), b.log_likelihood(&[0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol out of range")]
+    fn out_of_range_symbols_are_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = Hmm::fit(&[vec![0, 5]], 3, &HmmConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,327 @@
+//! K-means clustering with k-means++ seeding and modularity-based
+//! selection of the cluster count.
+//!
+//! The paper groups vPEs by syslog-distribution similarity and "chooses
+//! the number of groups K based on the modularity" (§4.3). We implement
+//! that as: run k-means for each candidate K, compute the Newman
+//! modularity of the induced partition on the cosine-similarity graph of
+//! the points, and keep the K with the highest modularity.
+
+use nfv_tensor::vecops::{cosine_similarity, sq_dist};
+use rand::Rng;
+
+/// Configuration for [`KMeans::fit`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Number of random restarts; the best-inertia run wins.
+    pub restarts: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 4, max_iters: 100, restarts: 4 }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids, one `Vec<f32>` per cluster.
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f32,
+}
+
+impl KMeans {
+    /// Fits k-means to `points` (each an equal-length feature vector).
+    ///
+    /// # Panics
+    /// Panics when `points` is empty, the vectors are ragged, or
+    /// `cfg.k == 0` or exceeds the point count.
+    pub fn fit(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeans {
+        assert!(!points.is_empty(), "KMeans: no points");
+        assert!(cfg.k > 0, "KMeans: k must be positive");
+        assert!(cfg.k <= points.len(), "KMeans: k {} exceeds point count {}", cfg.k, points.len());
+        let dim = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dim), "KMeans: ragged points");
+
+        let mut best: Option<KMeans> = None;
+        for _ in 0..cfg.restarts.max(1) {
+            let run = Self::fit_once(points, cfg, rng);
+            if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
+                best = Some(run);
+            }
+        }
+        best.expect("at least one restart")
+    }
+
+    fn fit_once(points: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeans {
+        let mut centroids = kmeanspp_seed(points, cfg.k, rng);
+        let mut assignments = vec![0usize; points.len()];
+        let dim = points[0].len();
+
+        for _ in 0..cfg.max_iters {
+            // Assignment step.
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let c = nearest_centroid(p, &centroids).0;
+                if assignments[i] != c {
+                    assignments[i] = c;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0f32; dim]; cfg.k];
+            let mut counts = vec![0usize; cfg.k];
+            for (p, &a) in points.iter().zip(assignments.iter()) {
+                counts[a] += 1;
+                for (s, &v) in sums[a].iter_mut().zip(p.iter()) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+                if count > 0 {
+                    for (cv, &sv) in c.iter_mut().zip(sum.iter()) {
+                        *cv = sv / count as f32;
+                    }
+                } else {
+                    // Re-seed an empty cluster at a random point.
+                    *c = points[rng.gen_range(0..points.len())].clone();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let inertia = points
+            .iter()
+            .zip(assignments.iter())
+            .map(|(p, &a)| sq_dist(p, &centroids[a]))
+            .sum();
+        KMeans { centroids, assignments, inertia }
+    }
+
+    /// Assigns a new point to its nearest centroid.
+    pub fn predict(&self, point: &[f32]) -> usize {
+        nearest_centroid(point, &self.centroids).0
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+fn nearest_centroid(p: &[f32], centroids: &[Vec<f32>]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: each next seed is drawn with probability
+/// proportional to its squared distance from the nearest existing seed.
+fn kmeanspp_seed(points: &[Vec<f32>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f32>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f32> = points.iter().map(|p| nearest_centroid(p, &centroids).1).collect();
+        let total: f32 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing seeds; pick randomly.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+    centroids
+}
+
+/// Newman modularity of a partition over a weighted similarity graph.
+///
+/// The graph has edge weight `max(cos_sim(i, j), 0)` between every pair of
+/// distinct points. Modularity is
+/// `Q = (1 / 2m) * sum_ij [A_ij - k_i k_j / 2m] * delta(c_i, c_j)`.
+pub fn partition_modularity(points: &[Vec<f32>], assignments: &[usize]) -> f32 {
+    assert_eq!(points.len(), assignments.len(), "modularity: length mismatch");
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut adj = vec![vec![0.0f32; n]; n];
+    let mut degree = vec![0.0f32; n];
+    let mut two_m = 0.0f32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = cosine_similarity(&points[i], &points[j]).max(0.0);
+            adj[i][j] = w;
+            adj[j][i] = w;
+            degree[i] += w;
+            degree[j] += w;
+            two_m += 2.0 * w;
+        }
+    }
+    if two_m <= 0.0 {
+        return 0.0;
+    }
+    let mut q = 0.0f32;
+    for i in 0..n {
+        for j in 0..n {
+            if assignments[i] == assignments[j] {
+                q += adj[i][j] - degree[i] * degree[j] / two_m;
+            }
+        }
+    }
+    q / two_m
+}
+
+/// Runs k-means for each K in `k_range` and returns the fit whose
+/// partition maximizes [`partition_modularity`] (the paper's criterion
+/// for choosing the number of vPE groups).
+pub fn fit_best_k(
+    points: &[Vec<f32>],
+    k_range: std::ops::RangeInclusive<usize>,
+    rng: &mut impl Rng,
+) -> (KMeans, f32) {
+    let mut best: Option<(KMeans, f32)> = None;
+    for k in k_range {
+        if k > points.len() {
+            break;
+        }
+        let cfg = KMeansConfig { k, ..Default::default() };
+        let fit = KMeans::fit(points, &cfg, rng);
+        let q = partition_modularity(points, &fit.assignments);
+        if best.as_ref().is_none_or(|(_, bq)| q > *bq) {
+            best = Some((fit, q));
+        }
+    }
+    best.expect("non-empty k range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Four well-separated blobs in 2-D.
+    fn blobs(rng: &mut SmallRng) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let centers = [(0.0f32, 0.0f32), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)];
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (li, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..12 {
+                points.push(vec![cx + rng.gen_range(-0.5..0.5), cy + rng.gen_range(-0.5..0.5)]);
+                labels.push(li);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (points, labels) = blobs(&mut rng);
+        let fit = KMeans::fit(&points, &KMeansConfig { k: 4, ..Default::default() }, &mut rng);
+        // Every ground-truth blob must map to exactly one cluster.
+        for li in 0..4 {
+            let clusters: std::collections::HashSet<usize> = labels
+                .iter()
+                .zip(fit.assignments.iter())
+                .filter(|(&l, _)| l == li)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(clusters.len(), 1, "blob {} split across clusters", li);
+        }
+        assert!(fit.inertia < 50.0, "inertia too high: {}", fit.inertia);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (points, _) = blobs(&mut rng);
+        let fit = KMeans::fit(&points, &KMeansConfig { k: 4, ..Default::default() }, &mut rng);
+        for (p, &a) in points.iter().zip(fit.assignments.iter()) {
+            assert_eq!(fit.predict(p), a);
+        }
+    }
+
+    #[test]
+    fn k_equals_one_gives_centroid_at_mean() {
+        let points = vec![vec![0.0f32, 0.0], vec![2.0, 4.0]];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let fit = KMeans::fit(&points, &KMeansConfig { k: 1, ..Default::default() }, &mut rng);
+        assert_eq!(fit.centroids[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds point count")]
+    fn k_larger_than_points_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = KMeans::fit(&[vec![1.0]], &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+    }
+
+    #[test]
+    fn modularity_prefers_true_partition() {
+        // Two orthogonal direction groups: high intra-cos, zero inter-cos.
+        let points = vec![
+            vec![1.0f32, 0.0],
+            vec![0.9, 0.05],
+            vec![1.0, 0.1],
+            vec![0.0, 1.0],
+            vec![0.05, 0.9],
+            vec![0.1, 1.0],
+        ];
+        let good = vec![0, 0, 0, 1, 1, 1];
+        let bad = vec![0, 1, 0, 1, 0, 1];
+        let q_good = partition_modularity(&points, &good);
+        let q_bad = partition_modularity(&points, &bad);
+        assert!(q_good > q_bad, "q_good {} <= q_bad {}", q_good, q_bad);
+        assert!(q_good > 0.0);
+    }
+
+    #[test]
+    fn fit_best_k_selects_four_for_four_direction_groups() {
+        // Distribution-like points in 8-D with 4 distinct support patterns,
+        // mimicking 4 latent vPE groups.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut points = Vec::new();
+        for g in 0..4usize {
+            for _ in 0..10 {
+                let mut p = vec![0.01f32; 8];
+                p[2 * g] = 0.6 + rng.gen_range(-0.05..0.05);
+                p[2 * g + 1] = 0.3 + rng.gen_range(-0.05..0.05);
+                points.push(p);
+            }
+        }
+        let (fit, q) = fit_best_k(&points, 2..=8, &mut rng);
+        assert_eq!(fit.k(), 4, "expected K=4, got {} (Q={})", fit.k(), q);
+    }
+
+    #[test]
+    fn modularity_of_single_cluster_is_zero_ish() {
+        let points = vec![vec![1.0f32, 0.0], vec![0.9, 0.1], vec![1.0, 0.05]];
+        let q = partition_modularity(&points, &[0, 0, 0]);
+        // Putting everything in one cluster yields Q ~= 0 by definition.
+        assert!(q.abs() < 0.3, "q = {}", q);
+    }
+}

@@ -1,0 +1,32 @@
+//! Classical machine-learning components of the reproduction.
+//!
+//! The paper combines its LSTM with several classical pieces:
+//!
+//! * [`kmeans`] — k-means++ clustering of vPEs by syslog distribution,
+//!   with modularity-based selection of the group count K (§4.3);
+//! * [`tfidf`] — TF-IDF features over template-count windows, the input
+//!   representation of the autoencoder baseline (§5.2);
+//! * [`ocsvm`] — the One-Class SVM baseline (Schölkopf ν-OC-SVM with an
+//!   RBF kernel, solved by pairwise SMO);
+//! * [`pca`] — principal component analysis, used for the console-log
+//!   PCA detector of Xu et al. (an extension baseline from related work);
+//! * [`metrics`] — precision / recall / F-measure and precision-recall
+//!   curves, the paper's evaluation metrics (§5.2);
+//! * [`sampling`] — minority-pattern over-sampling utilities (§4.2);
+//! * [`hmm`] — a discrete HMM (Baum-Welch), substrate for the related-
+//!   work HMM failure-prediction baseline.
+
+pub mod hmm;
+pub mod kmeans;
+pub mod metrics;
+pub mod ocsvm;
+pub mod pca;
+pub mod sampling;
+pub mod tfidf;
+
+pub use hmm::{Hmm, HmmConfig};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use metrics::{ConfusionCounts, PrCurve, PrPoint};
+pub use ocsvm::{OneClassSvm, OneClassSvmConfig};
+pub use pca::Pca;
+pub use tfidf::TfIdf;

@@ -1,0 +1,224 @@
+//! Anomaly-detection evaluation metrics: precision, recall, F-measure and
+//! precision-recall curves — "the most widely used measure to evaluate
+//! anomaly detection systems" per the paper (§4.2, citing Davis &
+//! Goadrich).
+
+/// Raw confusion counts for a binary detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Detected events that map to real anomalies.
+    pub true_positives: usize,
+    /// Detected events with no matching anomaly (false alarms).
+    pub false_positives: usize,
+    /// Real anomalies the detector missed.
+    pub false_negatives: usize,
+}
+
+impl ConfusionCounts {
+    /// Builds counts directly.
+    pub fn new(true_positives: usize, false_positives: usize, false_negatives: usize) -> Self {
+        ConfusionCounts { true_positives, false_positives, false_negatives }
+    }
+
+    /// Precision = TP / (TP + FP); 0 when nothing was detected.
+    pub fn precision(&self) -> f32 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f32 / denom as f32
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when there was nothing to detect.
+    pub fn recall(&self) -> f32 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positives as f32 / denom as f32
+        }
+    }
+
+    /// F-measure: harmonic mean of precision and recall.
+    pub fn f_measure(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// One point of a precision-recall curve, tagged with the threshold that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Detection threshold used.
+    pub threshold: f32,
+    /// Precision at this threshold.
+    pub precision: f32,
+    /// Recall at this threshold.
+    pub recall: f32,
+    /// F-measure at this threshold.
+    pub f_measure: f32,
+}
+
+/// A precision-recall curve produced by sweeping a score threshold.
+#[derive(Debug, Clone, Default)]
+pub struct PrCurve {
+    /// Points ordered by ascending threshold.
+    pub points: Vec<PrPoint>,
+}
+
+impl PrCurve {
+    /// Builds a PR curve by sweeping thresholds over scored samples.
+    ///
+    /// `scored` holds `(score, is_true_anomaly)` pairs where a *higher*
+    /// score means *more anomalous*; a sample is flagged when
+    /// `score >= threshold`. Thresholds are taken at every distinct score.
+    pub fn from_scores(scored: &[(f32, bool)]) -> PrCurve {
+        // Non-finite scores would break the sort and stall the tied-score
+        // advance loop (NaN != NaN); they carry no ranking information, so
+        // drop them up front.
+        let scored: Vec<(f32, bool)> =
+            scored.iter().filter(|(s, _)| s.is_finite()).copied().collect();
+        let scored = scored.as_slice();
+        let total_pos = scored.iter().filter(|(_, y)| *y).count();
+        let mut order: Vec<usize> = (0..scored.len()).collect();
+        order.sort_by(|&a, &b| {
+            scored[a].0.partial_cmp(&scored[b].0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // Walk thresholds from the smallest score upward. At a threshold
+        // equal to the i-th smallest score, samples [i..] are flagged.
+        let mut points = Vec::new();
+        let mut pos_below = 0usize; // true anomalies with score < threshold
+        let mut i = 0usize;
+        while i < order.len() {
+            let threshold = scored[order[i]].0;
+            let flagged = scored.len() - i;
+            let tp = total_pos - pos_below;
+            let fp = flagged - tp;
+            let counts = ConfusionCounts::new(tp, fp, pos_below);
+            points.push(PrPoint {
+                threshold,
+                precision: counts.precision(),
+                recall: counts.recall(),
+                f_measure: counts.f_measure(),
+            });
+            // Advance past all samples sharing this score.
+            while i < order.len() && scored[order[i]].0 == threshold {
+                if scored[order[i]].1 {
+                    pos_below += 1;
+                }
+                i += 1;
+            }
+        }
+        PrCurve { points }
+    }
+
+    /// The point with the highest F-measure (the paper's operating point).
+    pub fn best_f_point(&self) -> Option<PrPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.f_measure.partial_cmp(&b.f_measure).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Area under the PR curve via trapezoidal integration over recall.
+    pub fn auc(&self) -> f32 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let mut pts: Vec<(f32, f32)> =
+            self.points.iter().map(|p| (p.recall, p.precision)).collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut area = 0.0f32;
+        for w in pts.windows(2) {
+            area += (w[1].0 - w[0].0) * 0.5 * (w[0].1 + w[1].1);
+        }
+        area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_basics() {
+        let c = ConfusionCounts::new(8, 2, 2);
+        assert!((c.precision() - 0.8).abs() < 1e-6);
+        assert!((c.recall() - 0.8).abs() < 1e-6);
+        assert!((c.f_measure() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_counts_give_zero() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f_measure(), 0.0);
+    }
+
+    #[test]
+    fn perfect_separation_reaches_p1_r1() {
+        // All anomalies score 1.0, all normals 0.0.
+        let scored = vec![(0.0, false), (0.0, false), (1.0, true), (1.0, true)];
+        let curve = PrCurve::from_scores(&scored);
+        let best = curve.best_f_point().unwrap();
+        assert!((best.precision - 1.0).abs() < 1e-6);
+        assert!((best.recall - 1.0).abs() < 1e-6);
+        assert_eq!(best.threshold, 1.0);
+    }
+
+    #[test]
+    fn recall_is_monotone_decreasing_in_threshold() {
+        let scored: Vec<(f32, bool)> = (0..50)
+            .map(|i| (i as f32 * 0.02, i % 3 == 0))
+            .collect();
+        let curve = PrCurve::from_scores(&scored);
+        for w in curve.points.windows(2) {
+            assert!(w[0].threshold < w[1].threshold);
+            assert!(w[0].recall >= w[1].recall);
+        }
+        // Lowest threshold flags everything: recall 1.
+        assert!((curve.points[0].recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auc_of_random_scores_is_near_base_rate() {
+        // With scores independent of labels, precision ~= base rate at
+        // every threshold, so AUC-PR ~= base rate.
+        let scored: Vec<(f32, bool)> = (0..1000)
+            .map(|i| {
+                let score = (i * 37 % 1000) as f32 / 1000.0;
+                let label = i % 5 == 0; // base rate 0.2
+                (score, label)
+            })
+            .collect();
+        let auc = PrCurve::from_scores(&scored).auc();
+        assert!((auc - 0.2).abs() < 0.07, "auc = {}", auc);
+    }
+
+    #[test]
+    fn nan_scores_are_dropped_not_hung() {
+        let scored = vec![(0.5, true), (f32::NAN, false), (0.9, false)];
+        let curve = PrCurve::from_scores(&scored);
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points.iter().all(|p| p.threshold.is_finite()));
+    }
+
+    #[test]
+    fn tied_scores_are_collapsed_into_one_point() {
+        let scored = vec![(0.5, true), (0.5, false), (0.5, true)];
+        let curve = PrCurve::from_scores(&scored);
+        assert_eq!(curve.points.len(), 1);
+        let p = curve.points[0];
+        assert!((p.precision - 2.0 / 3.0).abs() < 1e-6);
+        assert!((p.recall - 1.0).abs() < 1e-6);
+    }
+}

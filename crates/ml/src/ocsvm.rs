@@ -1,0 +1,318 @@
+//! ν-One-Class SVM (Schölkopf et al.) with an RBF kernel, solved by
+//! pairwise SMO.
+//!
+//! This is the paper's shallow-learning baseline (§5.2): a model of the
+//! normal syslog training data in a kernel feature space; new windows
+//! whose decision value falls far below the learned offset are anomalous.
+//!
+//! Dual problem:
+//!
+//! ```text
+//! min_a  1/2 * a' K a    s.t.  0 <= a_i <= 1/(nu*l),  sum a_i = 1
+//! ```
+//!
+//! Decision function `f(x) = sum_i a_i k(x_i, x) - rho`; the anomaly
+//! score reported by [`OneClassSvm::score`] is `rho - sum_i a_i k(x_i, x)`
+//! so that *larger means more anomalous*, matching the rest of the
+//! workspace.
+
+use nfv_tensor::vecops::sq_dist;
+use rand::Rng;
+
+/// Configuration for [`OneClassSvm::fit`].
+#[derive(Debug, Clone)]
+pub struct OneClassSvmConfig {
+    /// The ν parameter: an upper bound on the training outlier fraction
+    /// and lower bound on the support-vector fraction. Must be in (0, 1].
+    pub nu: f32,
+    /// RBF kernel width; `None` selects the median heuristic
+    /// (`gamma = 1 / median squared pairwise distance`).
+    pub gamma: Option<f32>,
+    /// SMO sweeps over the training set.
+    pub max_passes: usize,
+    /// Convergence tolerance on the largest alpha update in a pass.
+    pub tol: f32,
+    /// Cap on training points; larger inputs are uniformly subsampled to
+    /// keep the kernel matrix tractable.
+    pub max_train_points: usize,
+}
+
+impl Default for OneClassSvmConfig {
+    fn default() -> Self {
+        OneClassSvmConfig {
+            nu: 0.1,
+            gamma: None,
+            max_passes: 60,
+            tol: 1e-5,
+            max_train_points: 600,
+        }
+    }
+}
+
+/// A fitted one-class SVM.
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    support_vectors: Vec<Vec<f32>>,
+    alphas: Vec<f32>,
+    rho: f32,
+    gamma: f32,
+}
+
+impl OneClassSvm {
+    /// Fits the model on normal data.
+    ///
+    /// # Panics
+    /// Panics on an empty training set, ragged features, or `nu` outside
+    /// `(0, 1]`.
+    pub fn fit(data: &[Vec<f32>], cfg: &OneClassSvmConfig, rng: &mut impl Rng) -> OneClassSvm {
+        assert!(!data.is_empty(), "OneClassSvm: empty training set");
+        assert!(cfg.nu > 0.0 && cfg.nu <= 1.0, "OneClassSvm: nu must be in (0, 1]");
+        let dim = data[0].len();
+        assert!(data.iter().all(|p| p.len() == dim), "OneClassSvm: ragged features");
+
+        // Subsample when the training set is too large for an n^2 kernel.
+        let points: Vec<Vec<f32>> = if data.len() > cfg.max_train_points {
+            let mut idx: Vec<usize> = (0..data.len()).collect();
+            crate::sampling::shuffle(&mut idx, rng);
+            idx.truncate(cfg.max_train_points);
+            idx.into_iter().map(|i| data[i].clone()).collect()
+        } else {
+            data.to_vec()
+        };
+        let n = points.len();
+
+        let gamma = cfg.gamma.unwrap_or_else(|| median_heuristic_gamma(&points));
+        let kernel = |a: &[f32], b: &[f32]| (-gamma * sq_dist(a, b)).exp();
+
+        // Precompute the kernel matrix.
+        let mut k = vec![vec![0.0f32; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = kernel(&points[i], &points[j]);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+        }
+
+        // Feasible start: uniform alphas satisfy the simplex constraint;
+        // the box bound C = 1/(nu*n) >= 1/n always admits it.
+        let c = 1.0 / (cfg.nu * n as f32);
+        let mut alphas = vec![1.0 / n as f32; n];
+
+        // Maintain g_i = (K a)_i incrementally.
+        let mut g: Vec<f32> = (0..n)
+            .map(|i| (0..n).map(|j| alphas[j] * k[i][j]).sum())
+            .collect();
+
+        // Maximal-violating-pair SMO. KKT conditions at the optimum:
+        // alpha_i = 0 -> g_i >= rho; 0 < alpha_i < C -> g_i = rho;
+        // alpha_i = C -> g_i <= rho. A violating pair is (i, j) with
+        // alpha_i < C, alpha_j > 0 and g_i < g_j: moving mass from j to i
+        // strictly decreases the objective.
+        let max_iters = cfg.max_passes * n;
+        for _ in 0..max_iters {
+            // i: smallest gradient among coordinates that can grow;
+            // j: largest gradient among coordinates that can shrink.
+            let mut i = usize::MAX;
+            let mut j = usize::MAX;
+            for t in 0..n {
+                if alphas[t] < c - 1e-12 && (i == usize::MAX || g[t] < g[i]) {
+                    i = t;
+                }
+                if alphas[t] > 1e-12 && (j == usize::MAX || g[t] > g[j]) {
+                    j = t;
+                }
+            }
+            if i == usize::MAX || j == usize::MAX || i == j || g[j] - g[i] < cfg.tol {
+                break;
+            }
+
+            let eta = k[i][i] + k[j][j] - 2.0 * k[i][j];
+            let delta_sum = alphas[i] + alphas[j];
+            // Exact minimizer of the 2-variable subproblem, clipped to the
+            // box [max(0, sum - C), min(C, sum)] for alpha_i.
+            let ci = g[i] - alphas[i] * k[i][i] - alphas[j] * k[i][j];
+            let cj = g[j] - alphas[i] * k[i][j] - alphas[j] * k[j][j];
+            let lo = (delta_sum - c).max(0.0);
+            let hi = delta_sum.min(c);
+            let ai_new = if eta > 1e-12 {
+                ((delta_sum * (k[j][j] - k[i][j]) + cj - ci) / eta).clamp(lo, hi)
+            } else {
+                // Degenerate curvature: move as far as the box allows in
+                // the descent direction (g_i < g_j, so grow alpha_i).
+                hi
+            };
+            let aj_new = delta_sum - ai_new;
+
+            let di = ai_new - alphas[i];
+            let dj = aj_new - alphas[j];
+            if di.abs() < 1e-14 {
+                break;
+            }
+            alphas[i] = ai_new;
+            alphas[j] = aj_new;
+            for t in 0..n {
+                g[t] += di * k[t][i] + dj * k[t][j];
+            }
+        }
+
+        // rho = average decision value over margin support vectors
+        // (0 < alpha < C); fall back to all support vectors.
+        let margin: Vec<usize> = (0..n)
+            .filter(|&i| alphas[i] > 1e-8 && alphas[i] < c - 1e-8)
+            .collect();
+        let sv_set: Vec<usize> = if margin.is_empty() {
+            (0..n).filter(|&i| alphas[i] > 1e-8).collect()
+        } else {
+            margin
+        };
+        let rho = sv_set.iter().map(|&i| g[i]).sum::<f32>() / sv_set.len().max(1) as f32;
+
+        // Keep only the support vectors.
+        let mut support_vectors = Vec::new();
+        let mut sv_alphas = Vec::new();
+        for i in 0..n {
+            if alphas[i] > 1e-8 {
+                support_vectors.push(points[i].clone());
+                sv_alphas.push(alphas[i]);
+            }
+        }
+        OneClassSvm { support_vectors, alphas: sv_alphas, rho, gamma }
+    }
+
+    /// Anomaly score for `x`: `rho - sum_i a_i k(x_i, x)`. Positive means
+    /// outside the learned region (more anomalous).
+    pub fn score(&self, x: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (sv, &a) in self.support_vectors.iter().zip(self.alphas.iter()) {
+            acc += a * (-self.gamma * sq_dist(sv, x)).exp();
+        }
+        self.rho - acc
+    }
+
+    /// True when `x` is classified as an outlier (`score > 0`).
+    pub fn is_outlier(&self, x: &[f32]) -> bool {
+        self.score(x) > 0.0
+    }
+
+    /// Number of retained support vectors.
+    pub fn support_vector_count(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// The fitted kernel width.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+}
+
+/// Median-of-squared-distances kernel-width heuristic (on a sample of
+/// pairs when the set is large).
+fn median_heuristic_gamma(points: &[Vec<f32>]) -> f32 {
+    let n = points.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut dists = Vec::new();
+    let stride = (n * (n - 1) / 2 / 2000).max(1);
+    let mut counter = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if counter.is_multiple_of(stride) {
+                dists.push(sq_dist(&points[i], &points[j]));
+            }
+            counter += 1;
+        }
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = nfv_tensor::stats::quantile_sorted(&dists, 0.5);
+    if median > 1e-12 {
+        1.0 / median
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn cluster(rng: &mut SmallRng, center: &[f32], spread: f32, n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-spread..spread))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inliers_score_below_outliers() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let train = cluster(&mut rng, &[0.0, 0.0, 0.0], 1.0, 150);
+        let model = OneClassSvm::fit(&train, &OneClassSvmConfig::default(), &mut rng);
+
+        let inlier_scores: Vec<f32> =
+            cluster(&mut rng, &[0.0, 0.0, 0.0], 0.8, 30).iter().map(|p| model.score(p)).collect();
+        let outlier_scores: Vec<f32> =
+            cluster(&mut rng, &[8.0, 8.0, 8.0], 0.5, 30).iter().map(|p| model.score(p)).collect();
+
+        let max_in = inlier_scores.iter().cloned().fold(f32::MIN, f32::max);
+        let min_out = outlier_scores.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(
+            min_out > max_in,
+            "outliers should score above inliers: min_out {} vs max_in {}",
+            min_out,
+            max_in
+        );
+        assert!(outlier_scores.iter().all(|&s| s > 0.0), "far outliers must be flagged");
+    }
+
+    #[test]
+    fn nu_bounds_training_outlier_fraction() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let train = cluster(&mut rng, &[0.0, 0.0], 1.0, 200);
+        for &nu in &[0.05f32, 0.2] {
+            let cfg = OneClassSvmConfig { nu, ..Default::default() };
+            let model = OneClassSvm::fit(&train, &cfg, &mut rng);
+            let outlier_frac = train.iter().filter(|p| model.is_outlier(p)).count() as f32
+                / train.len() as f32;
+            // nu is an asymptotic bound; allow generous slack.
+            assert!(
+                outlier_frac < nu + 0.12,
+                "nu={}: training outlier fraction {}",
+                nu,
+                outlier_frac
+            );
+        }
+    }
+
+    #[test]
+    fn subsampling_keeps_model_usable() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let train = cluster(&mut rng, &[1.0, -1.0], 0.5, 400);
+        let cfg = OneClassSvmConfig { max_train_points: 100, ..Default::default() };
+        let model = OneClassSvm::fit(&train, &cfg, &mut rng);
+        assert!(model.support_vector_count() <= 100);
+        assert!(model.score(&[1.0, -1.0]) < model.score(&[10.0, 10.0]));
+    }
+
+    #[test]
+    fn explicit_gamma_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let train = cluster(&mut rng, &[0.0], 1.0, 50);
+        let cfg = OneClassSvmConfig { gamma: Some(0.25), ..Default::default() };
+        let model = OneClassSvm::fit(&train, &cfg, &mut rng);
+        assert_eq!(model.gamma(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_training_set_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = OneClassSvm::fit(&[], &OneClassSvmConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,203 @@
+//! Principal component analysis via orthogonal power iteration.
+//!
+//! Used by the PCA anomaly detector (Xu et al., SOSP '09 — cited in the
+//! paper's related work as the classic unsupervised console-log
+//! approach), which flags points with a large residual outside the
+//! principal subspace.
+
+use nfv_tensor::vecops::{axpy, dot, norm2, normalize_l2};
+use rand::Rng;
+
+/// A fitted PCA model: data mean plus the leading principal components.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f32>,
+    /// Orthonormal principal components, one per row.
+    components: Vec<Vec<f32>>,
+    /// Variance captured by each component.
+    explained: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits `n_components` principal components with power iteration and
+    /// Gram-Schmidt deflation.
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged rows, or `n_components == 0`.
+    pub fn fit(data: &[Vec<f32>], n_components: usize, rng: &mut impl Rng) -> Pca {
+        assert!(!data.is_empty(), "Pca: empty input");
+        assert!(n_components > 0, "Pca: need at least one component");
+        let dim = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dim), "Pca: ragged rows");
+        let k = n_components.min(dim);
+
+        // Center the data.
+        let mut mean = vec![0.0f32; dim];
+        for row in data {
+            axpy(1.0, row, &mut mean);
+        }
+        for m in &mut mean {
+            *m /= data.len() as f32;
+        }
+        let centered: Vec<Vec<f32>> = data
+            .iter()
+            .map(|row| row.iter().zip(mean.iter()).map(|(x, m)| x - m).collect())
+            .collect();
+
+        let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            orthogonalize(&mut v, &components);
+            if norm2(&v) < 1e-9 {
+                break;
+            }
+            normalize_l2(&mut v);
+
+            let mut eigenvalue = 0.0f32;
+            for _ in 0..200 {
+                // w = Cov * v computed as X' (X v) / n without forming Cov.
+                let mut w = vec![0.0f32; dim];
+                for row in &centered {
+                    let proj = dot(row, &v);
+                    axpy(proj, row, &mut w);
+                }
+                for x in &mut w {
+                    *x /= centered.len() as f32;
+                }
+                orthogonalize(&mut w, &components);
+                let n = norm2(&w);
+                if n < 1e-12 {
+                    eigenvalue = 0.0;
+                    break;
+                }
+                normalize_l2(&mut w);
+                let delta = 1.0 - dot(&w, &v).abs();
+                v = w;
+                // Rayleigh quotient for the eigenvalue.
+                let mut cov_v = vec![0.0f32; dim];
+                for row in &centered {
+                    let proj = dot(row, &v);
+                    axpy(proj, row, &mut cov_v);
+                }
+                eigenvalue = dot(&cov_v, &v) / centered.len() as f32;
+                if delta < 1e-7 {
+                    break;
+                }
+            }
+            components.push(v);
+            explained.push(eigenvalue.max(0.0));
+        }
+        Pca { mean, components, explained }
+    }
+
+    /// Number of fitted components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Variance captured by each component, descending.
+    pub fn explained_variance(&self) -> &[f32] {
+        &self.explained
+    }
+
+    /// Projects `x` onto the principal subspace (component coordinates).
+    pub fn project(&self, x: &[f32]) -> Vec<f32> {
+        let centered: Vec<f32> =
+            x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
+        self.components.iter().map(|c| dot(c, &centered)).collect()
+    }
+
+    /// Squared residual of `x` outside the principal subspace — the
+    /// anomaly score of the PCA detector (larger = more anomalous).
+    pub fn residual_sq(&self, x: &[f32]) -> f32 {
+        let centered: Vec<f32> =
+            x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
+        let mut residual = centered.clone();
+        for c in &self.components {
+            let proj = dot(c, &centered);
+            axpy(-proj, c, &mut residual);
+        }
+        dot(&residual, &residual)
+    }
+}
+
+fn orthogonalize(v: &mut [f32], basis: &[Vec<f32>]) {
+    for b in basis {
+        let proj = dot(v, b);
+        axpy(-proj, b, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Data concentrated along the direction (1, 1)/sqrt(2) with tiny
+    /// orthogonal noise.
+    fn line_data(rng: &mut SmallRng, n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| {
+                let t = rng.gen_range(-5.0f32..5.0);
+                let noise = rng.gen_range(-0.05f32..0.05);
+                vec![t + noise, t - noise]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_component_finds_dominant_direction() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let data = line_data(&mut rng, 200);
+        let pca = Pca::fit(&data, 1, &mut rng);
+        // The leading component must align with (1, 1)/sqrt(2) up to sign.
+        let c0 = &pca.components[0];
+        let alignment = dot(c0, &[1.0 / 2.0f32.sqrt(), 1.0 / 2.0f32.sqrt()]).abs();
+        assert!(alignment > 0.999, "alignment = {}", alignment);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let data: Vec<Vec<f32>> = (0..100)
+            .map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let pca = Pca::fit(&data, 3, &mut rng);
+        for i in 0..pca.n_components() {
+            for j in 0..pca.n_components() {
+                let d = dot(&pca.components[i], &pca.components[j]);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expected).abs() < 1e-3, "<c{}, c{}> = {}", i, j, d);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_flags_off_manifold_points() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let data = line_data(&mut rng, 300);
+        let pca = Pca::fit(&data, 1, &mut rng);
+        let on = pca.residual_sq(&[2.0, 2.0]);
+        let off = pca.residual_sq(&[2.0, -2.0]);
+        assert!(off > on * 100.0, "on {} vs off {}", on, off);
+    }
+
+    #[test]
+    fn explained_variance_is_descending() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        // Anisotropic data: variance 25 along x, 1 along y, 0.01 along z.
+        let data: Vec<Vec<f32>> = (0..400)
+            .map(|_| {
+                vec![
+                    rng.gen_range(-5.0f32..5.0),
+                    rng.gen_range(-1.0f32..1.0),
+                    rng.gen_range(-0.1f32..0.1),
+                ]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 3, &mut rng);
+        let ev = pca.explained_variance();
+        assert!(ev[0] > ev[1] && ev[1] > ev[2], "{:?}", ev);
+    }
+}

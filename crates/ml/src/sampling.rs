@@ -1,0 +1,143 @@
+//! Sampling utilities for the minority-pattern over-sampling loop (§4.2).
+//!
+//! After each LSTM training round, the paper replays the training data,
+//! finds the *normal* patterns the model still misclassifies as
+//! anomalies, over-samples those, randomly samples the rest, and
+//! continues training on the mixture.
+
+use rand::Rng;
+
+/// Builds an index multiset that over-samples `minority` indices
+/// `boost`-fold and keeps a uniform random `majority_keep` fraction of
+/// the remaining indices, then shuffles the result.
+///
+/// `total` is the size of the original dataset; `minority` lists the
+/// misclassified (hard) indices.
+pub fn oversample_indices(
+    total: usize,
+    minority: &[usize],
+    boost: usize,
+    majority_keep: f32,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    assert!(boost >= 1, "oversample_indices: boost must be >= 1");
+    assert!(
+        (0.0..=1.0).contains(&majority_keep),
+        "oversample_indices: majority_keep must be in [0, 1]"
+    );
+    assert!(
+        minority.iter().all(|&i| i < total),
+        "oversample_indices: minority index out of range"
+    );
+    let minority_set: std::collections::HashSet<usize> = minority.iter().copied().collect();
+    let mut out = Vec::new();
+    for &i in minority {
+        for _ in 0..boost {
+            out.push(i);
+        }
+    }
+    for i in 0..total {
+        if !minority_set.contains(&i) && rng.gen::<f32>() < majority_keep {
+            out.push(i);
+        }
+    }
+    shuffle(&mut out, rng);
+    out
+}
+
+/// Fisher-Yates shuffle.
+pub fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+/// Uniform reservoir sample of `k` items from an iterator of unknown
+/// length. Returns fewer than `k` items when the stream is shorter.
+pub fn reservoir_sample<T, I: Iterator<Item = T>>(
+    iter: I,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Vec<T> {
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.enumerate() {
+        if reservoir.len() < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn minority_indices_are_boosted() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = oversample_indices(100, &[3, 7], 5, 1.0, &mut rng);
+        let c3 = out.iter().filter(|&&i| i == 3).count();
+        let c7 = out.iter().filter(|&&i| i == 7).count();
+        assert_eq!(c3, 5);
+        assert_eq!(c7, 5);
+        // All majority kept once.
+        assert_eq!(out.len(), 98 + 10);
+    }
+
+    #[test]
+    fn majority_keep_fraction_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = oversample_indices(10_000, &[], 1, 0.3, &mut rng);
+        let frac = out.len() as f32 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "kept {}", frac);
+    }
+
+    #[test]
+    fn zero_keep_returns_only_minority() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let out = oversample_indices(50, &[1, 2], 3, 0.0, &mut rng);
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|&i| i == 1 || i == 2));
+    }
+
+    #[test]
+    fn reservoir_sample_is_uniform_ish() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut hits = [0usize; 10];
+        for _ in 0..2000 {
+            let s = reservoir_sample(0..10usize, 3, &mut rng);
+            assert_eq!(s.len(), 3);
+            for i in s {
+                hits[i] += 1;
+            }
+        }
+        // Each element should be picked ~600 times (2000 * 3/10).
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((h as f32 - 600.0).abs() < 120.0, "element {}: {}", i, h);
+        }
+    }
+
+    #[test]
+    fn reservoir_sample_short_stream() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = reservoir_sample(0..2usize, 5, &mut rng);
+        assert_eq!(s, vec![0, 1]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..100).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

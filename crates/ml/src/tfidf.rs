@@ -1,0 +1,120 @@
+//! TF-IDF vectorization of template-count windows.
+//!
+//! The autoencoder baseline (and the OC-SVM baseline) consume TF-IDF
+//! features over time windows of syslog template counts, following the
+//! paper's citation of Zhang et al. ("Automated IT system failure
+//! prediction: A deep learning approach").
+
+/// A fitted TF-IDF transformer over a fixed template vocabulary.
+///
+/// Term frequency is the raw count normalized by the window total;
+/// inverse document frequency is the smoothed
+/// `idf_t = ln((1 + N) / (1 + df_t)) + 1`, where a "document" is one
+/// window.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    idf: Vec<f32>,
+}
+
+impl TfIdf {
+    /// Learns IDF weights from training windows. Each window is a dense
+    /// count vector over the vocabulary; all windows must share a length.
+    pub fn fit(windows: &[Vec<f32>]) -> TfIdf {
+        assert!(!windows.is_empty(), "TfIdf: no training windows");
+        let dim = windows[0].len();
+        assert!(windows.iter().all(|w| w.len() == dim), "TfIdf: ragged windows");
+        let n = windows.len() as f32;
+        let mut df = vec![0.0f32; dim];
+        for w in windows {
+            for (d, &count) in df.iter_mut().zip(w.iter()) {
+                if count > 0.0 {
+                    *d += 1.0;
+                }
+            }
+        }
+        let idf = df.iter().map(|&d| ((1.0 + n) / (1.0 + d)).ln() + 1.0).collect();
+        TfIdf { idf }
+    }
+
+    /// Vocabulary size.
+    pub fn dim(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Transforms one count window into L2-normalized TF-IDF features.
+    pub fn transform(&self, window: &[f32]) -> Vec<f32> {
+        assert_eq!(window.len(), self.dim(), "TfIdf::transform: width mismatch");
+        let total: f32 = window.iter().sum();
+        let mut out: Vec<f32> = if total > 0.0 {
+            window
+                .iter()
+                .zip(self.idf.iter())
+                .map(|(&c, &idf)| (c / total) * idf)
+                .collect()
+        } else {
+            vec![0.0; self.dim()]
+        };
+        nfv_tensor::vecops::normalize_l2(&mut out);
+        out
+    }
+
+    /// Transforms a batch of windows.
+    pub fn transform_all(&self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        windows.iter().map(|w| self.transform(w)).collect()
+    }
+
+    /// The learned IDF weights.
+    pub fn idf(&self) -> &[f32] {
+        &self.idf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_terms_get_higher_idf() {
+        // Term 0 appears in every window, term 1 in only one.
+        let windows = vec![
+            vec![3.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 5.0],
+            vec![4.0, 0.0],
+        ];
+        let tfidf = TfIdf::fit(&windows);
+        assert!(tfidf.idf()[1] > tfidf.idf()[0]);
+    }
+
+    #[test]
+    fn transform_is_l2_normalized() {
+        let windows = vec![vec![1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0]];
+        let tfidf = TfIdf::fit(&windows);
+        let v = tfidf.transform(&[2.0, 2.0, 1.0]);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_window_maps_to_zero_vector() {
+        let windows = vec![vec![1.0, 1.0]];
+        let tfidf = TfIdf::fit(&windows);
+        assert_eq!(tfidf.transform(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn absent_term_contributes_zero() {
+        let windows = vec![vec![1.0, 1.0], vec![1.0, 0.0]];
+        let tfidf = TfIdf::fit(&windows);
+        let v = tfidf.transform(&[5.0, 0.0]);
+        assert_eq!(v[1], 0.0);
+        assert!(v[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let tfidf = TfIdf::fit(&[vec![1.0, 1.0]]);
+        let _ = tfidf.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! JSON checkpointing of model parameters.
+//!
+//! Checkpoints are deliberately simple: a tag identifying the
+//! architecture family, a flat list of architecture dimensions, and the
+//! parameter matrices in optimizer order. JSON keeps them human-
+//! inspectable, which matters when debugging transfer-learning weight
+//! copies.
+
+use nfv_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A serializable dump of one parameter matrix.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct MatrixDump {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+impl MatrixDump {
+    /// Captures a matrix.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        MatrixDump { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
+    }
+
+    /// Rebuilds the matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.clone())
+    }
+}
+
+/// A serialized model: architecture tag, dimensions, and parameters.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Checkpoint {
+    /// Architecture family, e.g. `"sequence-model"` or `"mlp"`.
+    pub tag: String,
+    /// Architecture dimensions, interpreted per tag.
+    pub dims: Vec<usize>,
+    /// Parameter matrices in optimizer order.
+    pub params: Vec<MatrixDump>,
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        fs::write(path, json)
+    }
+
+    /// Reads a checkpoint written by [`Checkpoint::save`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(io::Error::other)
+    }
+
+    /// Total number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.params.iter().map(|p| p.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_dump_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let dump = MatrixDump::from_matrix(&m);
+        assert_eq!(dump.to_matrix().as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ckpt = Checkpoint {
+            tag: "test".to_string(),
+            dims: vec![1, 2, 3],
+            params: vec![MatrixDump { rows: 1, cols: 2, data: vec![0.5, -0.5] }],
+        };
+        let dir = std::env::temp_dir().join("nfv_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        assert_eq!(loaded.parameter_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

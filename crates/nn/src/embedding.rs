@@ -1,0 +1,118 @@
+//! Embedding lookup table for categorical inputs (syslog template ids).
+
+use crate::Trainable;
+use nfv_tensor::{uniform_in, Matrix};
+use rand::Rng;
+
+/// A `vocab x dim` lookup table mapping class ids to dense vectors.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Matrix,
+}
+
+/// Gradient of the embedding table, sparse in rows but stored densely —
+/// vocabularies in this workspace are small (tens to a few hundred
+/// templates), so a dense accumulator is simpler and fast enough.
+#[derive(Debug, Clone)]
+pub struct EmbeddingGrads {
+    /// Dense gradient with the same shape as the table.
+    pub dtable: Matrix,
+}
+
+impl Embedding {
+    /// New table initialized uniformly in `[-0.1, 0.1)`.
+    pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(vocab > 0 && dim > 0, "Embedding: empty shape");
+        Embedding { table: uniform_in(vocab, dim, -0.1, 0.1, rng) }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Looks up a batch of ids, producing a `ids.len() x dim` matrix.
+    ///
+    /// # Panics
+    /// Panics when any id is out of vocabulary; callers are expected to
+    /// map unseen templates to a reserved id first.
+    pub fn forward(&self, ids: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(ids.len(), self.dim());
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(
+                id < self.vocab(),
+                "Embedding::forward: id {} out of vocabulary ({})",
+                id,
+                self.vocab()
+            );
+            out.set_row(r, self.table.row(id));
+        }
+        out
+    }
+
+    /// Accumulates `dL/d(table)` given the upstream gradient for each
+    /// looked-up row.
+    pub fn backward(&self, ids: &[usize], d_out: &Matrix) -> EmbeddingGrads {
+        assert_eq!(d_out.rows(), ids.len(), "Embedding::backward: row mismatch");
+        assert_eq!(d_out.cols(), self.dim(), "Embedding::backward: width mismatch");
+        let mut dtable = Matrix::zeros(self.vocab(), self.dim());
+        for (r, &id) in ids.iter().enumerate() {
+            let src = d_out.row(r);
+            let dst = dtable.row_mut(id);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        EmbeddingGrads { dtable }
+    }
+}
+
+impl Trainable for Embedding {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.table]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn forward_returns_table_rows() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let emb = Embedding::new(5, 3, &mut rng);
+        let out = emb.forward(&[2, 0, 2]);
+        assert_eq!(out.row(0), emb.params()[0].row(2));
+        assert_eq!(out.row(1), emb.params()[0].row(0));
+        assert_eq!(out.row(2), emb.params()[0].row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn forward_rejects_oov() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let emb = Embedding::new(5, 3, &mut rng);
+        let _ = emb.forward(&[5]);
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_ids() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let emb = Embedding::new(4, 2, &mut rng);
+        let d_out = Matrix::from_vec(3, 2, vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0]);
+        let grads = emb.backward(&[1, 3, 1], &d_out);
+        assert_eq!(grads.dtable.row(1), &[101.0, 202.0]);
+        assert_eq!(grads.dtable.row(3), &[10.0, 20.0]);
+        assert_eq!(grads.dtable.row(0), &[0.0, 0.0]);
+    }
+}

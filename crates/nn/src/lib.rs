@@ -1,0 +1,47 @@
+//! A from-scratch neural-network library with manual backpropagation.
+//!
+//! The paper's anomaly detector is a small stack — embedding, two LSTM
+//! layers, one dense softmax head — trained with categorical cross-entropy
+//! (§5.1 of Li et al., IMC '18). No mature pure-Rust deep-learning library
+//! is assumed, so this crate implements exactly what the reproduction
+//! needs and nothing more:
+//!
+//! * [`dense::Dense`] — fully-connected layer with optional activation;
+//! * [`embedding::Embedding`] — lookup table for template ids;
+//! * [`lstm::LstmLayer`] — batched LSTM with full back-propagation
+//!   through time;
+//! * [`loss`] — softmax cross-entropy and mean-squared error;
+//! * [`optimizer`] — SGD, momentum and Adam;
+//! * [`model::SequenceModel`] — the paper's next-template network, with
+//!   layer freezing for transfer learning;
+//! * [`model::Mlp`] — a plain multi-layer perceptron used to build the
+//!   autoencoder baseline;
+//! * [`checkpoint`] — JSON save/load of parameter sets.
+//!
+//! Every differentiable component is covered by a numerical gradient
+//! check in its unit tests.
+
+pub mod activation;
+pub mod checkpoint;
+pub mod dense;
+pub mod embedding;
+pub mod loss;
+pub mod lstm;
+pub mod model;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use embedding::Embedding;
+pub use lstm::LstmLayer;
+pub use model::{Mlp, SequenceModel, SequenceModelConfig};
+pub use optimizer::{Adam, Optimizer, Sgd};
+
+/// Anything that exposes its trainable parameters and matching gradient
+/// accumulators, in a stable order, so an optimizer can update them.
+pub trait Trainable {
+    /// Immutable views of all parameters, in a stable order.
+    fn params(&self) -> Vec<&nfv_tensor::Matrix>;
+    /// Mutable views of all parameters, in the same order as [`Self::params`].
+    fn params_mut(&mut self) -> Vec<&mut nfv_tensor::Matrix>;
+}

@@ -1,0 +1,131 @@
+//! Loss functions: softmax cross-entropy (the paper trains the LSTM with
+//! categorical cross-entropy) and mean-squared error (autoencoder).
+
+use nfv_tensor::Matrix;
+
+/// Softmax + categorical cross-entropy, fused for numerical stability.
+///
+/// Given raw logits (`B x V`) and one target class per row, returns the
+/// mean loss and `dL/dlogits` (already divided by the batch size).
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "softmax_cross_entropy: batch mismatch");
+    let batch = logits.rows();
+    let mut probs = logits.clone();
+    probs.softmax_rows_inplace();
+
+    let mut loss = 0.0f32;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target class {} out of range ({})", t, logits.cols());
+        loss -= probs.get(r, t).max(1e-12).ln();
+    }
+    loss /= batch as f32;
+
+    // dL/dlogits = (softmax - onehot) / B.
+    let mut dlogits = probs;
+    for (r, &t) in targets.iter().enumerate() {
+        let v = dlogits.get(r, t);
+        dlogits.set(r, t, v - 1.0);
+    }
+    dlogits.scale(1.0 / batch as f32);
+    (loss, dlogits)
+}
+
+/// Row-wise predicted class probabilities (softmax of logits).
+pub fn softmax_probs(logits: &Matrix) -> Matrix {
+    let mut probs = logits.clone();
+    probs.softmax_rows_inplace();
+    probs
+}
+
+/// Mean-squared error `mean((pred - target)^2)` and its gradient
+/// w.r.t. `pred` (divided by the element count).
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    let n = (pred.rows() * pred.cols()) as f32;
+    let mut grad = pred.clone();
+    grad.sub_assign(target);
+    let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_v() {
+        let logits = Matrix::zeros(2, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.0, 0.1, -0.2]);
+        let (_, d) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = d.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {} sums to {}", r, s);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numerical() {
+        let mut logits = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.0, 0.1, -0.2]);
+        let targets = [2usize, 0];
+        let (_, analytic) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let orig = logits.as_slice()[idx];
+            logits.as_mut_slice()[idx] = orig + eps;
+            let (plus, _) = softmax_cross_entropy(&logits, &targets);
+            logits.as_mut_slice()[idx] = orig - eps;
+            let (minus, _) = softmax_cross_entropy(&logits, &targets);
+            logits.as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (analytic.as_slice()[idx] - numeric).abs() < 1e-3,
+                "idx {}: analytic {} vs numeric {}",
+                idx,
+                analytic.as_slice()[idx],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let mut logits = Matrix::zeros(1, 3);
+        logits.set(0, 1, 50.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4)/2
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]); // 2*(pred-target)/2
+    }
+
+    #[test]
+    fn mse_gradient_matches_numerical() {
+        let mut pred = Matrix::from_vec(2, 2, vec![0.3, -0.7, 1.2, 0.0]);
+        let target = Matrix::from_vec(2, 2, vec![0.0, 0.5, 1.0, -1.0]);
+        let (_, analytic) = mse(&pred, &target);
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let orig = pred.as_slice()[idx];
+            pred.as_mut_slice()[idx] = orig + eps;
+            let (plus, _) = mse(&pred, &target);
+            pred.as_mut_slice()[idx] = orig - eps;
+            let (minus, _) = mse(&pred, &target);
+            pred.as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((analytic.as_slice()[idx] - numeric).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! A batched LSTM layer with full back-propagation through time.
+//!
+//! Gate layout follows the classic formulation (Hochreiter & Schmidhuber
+//! 1997): for input `x_t` (`B x I`) and previous hidden state `h_{t-1}`
+//! (`B x H`),
+//!
+//! ```text
+//! z = x_t Wx + h_{t-1} Wh + b              (B x 4H, gate order [i f g o])
+//! i = sigmoid(z_i)   f = sigmoid(z_f)
+//! g = tanh(z_g)      o = sigmoid(z_o)
+//! c_t = f * c_{t-1} + i * g
+//! h_t = o * tanh(c_t)
+//! ```
+//!
+//! The forget-gate bias is initialized to 1.0, the standard trick that
+//! lets gradients flow early in training.
+
+use crate::activation::sigmoid;
+use crate::Trainable;
+use nfv_tensor::{xavier_uniform, Matrix};
+use rand::Rng;
+
+/// One LSTM layer: parameters `Wx` (`I x 4H`), `Wh` (`H x 4H`), `b` (`1 x 4H`).
+#[derive(Debug, Clone)]
+pub struct LstmLayer {
+    wx: Matrix,
+    wh: Matrix,
+    b: Matrix,
+    hidden: usize,
+}
+
+/// Per-timestep values cached by the forward pass for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// Layer input at this step (`B x I`).
+    x: Matrix,
+    /// Hidden state entering this step (`B x H`).
+    h_prev: Matrix,
+    /// Cell state entering this step (`B x H`).
+    c_prev: Matrix,
+    /// Activated gates `[i f g o]` (`B x 4H`).
+    gates: Matrix,
+    /// `tanh(c_t)` (`B x H`).
+    tanh_c: Matrix,
+}
+
+/// Cache for a whole sequence, returned by [`LstmLayer::forward_seq`].
+#[derive(Debug, Clone)]
+pub struct LstmSeqCache {
+    steps: Vec<StepCache>,
+}
+
+/// Parameter gradients in the same order as [`LstmLayer::params`]:
+/// `[dwx, dwh, db]`.
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// Gradient w.r.t. `Wx`.
+    pub dwx: Matrix,
+    /// Gradient w.r.t. `Wh`.
+    pub dwh: Matrix,
+    /// Gradient w.r.t. the bias row.
+    pub db: Matrix,
+}
+
+/// Recurrent state `(h, c)` carried between steps during streaming
+/// inference.
+#[derive(Debug, Clone)]
+pub struct LstmState {
+    /// Hidden state (`B x H`).
+    pub h: Matrix,
+    /// Cell state (`B x H`).
+    pub c: Matrix,
+}
+
+impl LstmState {
+    /// Zero state for a batch of `batch` rows and `hidden` units.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        LstmState { h: Matrix::zeros(batch, hidden), c: Matrix::zeros(batch, hidden) }
+    }
+}
+
+impl LstmLayer {
+    /// New layer with Xavier-initialized weights, zero bias, and the
+    /// forget-gate bias set to 1.0.
+    pub fn new(input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            b.set(0, c, 1.0);
+        }
+        LstmLayer {
+            wx: xavier_uniform(input, 4 * hidden, rng),
+            wh: xavier_uniform(hidden, 4 * hidden, rng),
+            b,
+            hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.wx.rows()
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// One forward step without caching; used for streaming inference.
+    pub fn step_infer(&self, x: &Matrix, state: &LstmState) -> LstmState {
+        let (h, c, _, _) = self.step(x, &state.h, &state.c);
+        LstmState { h, c }
+    }
+
+    /// Computes one step, returning `(h, c, gates, tanh_c)`.
+    fn step(&self, x: &Matrix, h_prev: &Matrix, c_prev: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+        let batch = x.rows();
+        let hd = self.hidden;
+        assert_eq!(x.cols(), self.input_dim(), "LstmLayer: input width mismatch");
+        assert_eq!(h_prev.shape(), (batch, hd), "LstmLayer: h shape mismatch");
+        assert_eq!(c_prev.shape(), (batch, hd), "LstmLayer: c shape mismatch");
+
+        let mut z = x.matmul(&self.wx);
+        let zh = h_prev.matmul(&self.wh);
+        z.add_assign(&zh);
+        z.add_row_broadcast(self.b.row(0));
+
+        // Activate the gates in place: [i f g o].
+        let mut gates = z;
+        for r in 0..batch {
+            let row = gates.row_mut(r);
+            for k in 0..hd {
+                row[k] = sigmoid(row[k]); // i
+                row[hd + k] = sigmoid(row[hd + k]); // f
+                row[2 * hd + k] = row[2 * hd + k].tanh(); // g
+                row[3 * hd + k] = sigmoid(row[3 * hd + k]); // o
+            }
+        }
+
+        let mut c = Matrix::zeros(batch, hd);
+        let mut tanh_c = Matrix::zeros(batch, hd);
+        let mut h = Matrix::zeros(batch, hd);
+        for r in 0..batch {
+            let g_row = gates.row(r);
+            for k in 0..hd {
+                let ct = g_row[hd + k] * c_prev.get(r, k) + g_row[k] * g_row[2 * hd + k];
+                let tc = ct.tanh();
+                c.set(r, k, ct);
+                tanh_c.set(r, k, tc);
+                h.set(r, k, g_row[3 * hd + k] * tc);
+            }
+        }
+        (h, c, gates, tanh_c)
+    }
+
+    /// Runs a full sequence from a zero initial state.
+    ///
+    /// `xs[t]` is the `B x I` input at step `t`; returns the hidden state
+    /// at every step plus the cache for [`LstmLayer::backward_seq`].
+    pub fn forward_seq(&self, xs: &[Matrix]) -> (Vec<Matrix>, LstmSeqCache) {
+        assert!(!xs.is_empty(), "forward_seq: empty sequence");
+        let batch = xs[0].rows();
+        let hd = self.hidden;
+        let mut h = Matrix::zeros(batch, hd);
+        let mut c = Matrix::zeros(batch, hd);
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut steps = Vec::with_capacity(xs.len());
+        for x in xs {
+            let h_prev = h;
+            let c_prev = c;
+            let (h_new, c_new, gates, tanh_c) = self.step(x, &h_prev, &c_prev);
+            steps.push(StepCache { x: x.clone(), h_prev, c_prev, gates, tanh_c });
+            hs.push(h_new.clone());
+            h = h_new;
+            c = c_new;
+        }
+        (hs, LstmSeqCache { steps })
+    }
+
+    /// Back-propagation through time.
+    ///
+    /// `d_hs[t]` is `dL/dh_t` coming from the layer above (zero matrices
+    /// for steps that do not feed the loss). Returns `dL/dx_t` for every
+    /// step and the accumulated parameter gradients.
+    pub fn backward_seq(&self, cache: &LstmSeqCache, d_hs: &[Matrix]) -> (Vec<Matrix>, LstmGrads) {
+        assert_eq!(d_hs.len(), cache.steps.len(), "backward_seq: length mismatch");
+        let t_len = cache.steps.len();
+        let batch = cache.steps[0].x.rows();
+        let hd = self.hidden;
+
+        let mut dwx = Matrix::zeros(self.wx.rows(), self.wx.cols());
+        let mut dwh = Matrix::zeros(self.wh.rows(), self.wh.cols());
+        let mut db = Matrix::zeros(1, 4 * hd);
+        let mut dxs = vec![Matrix::zeros(0, 0); t_len];
+
+        let mut dh_next = Matrix::zeros(batch, hd);
+        let mut dc_next = Matrix::zeros(batch, hd);
+
+        for t in (0..t_len).rev() {
+            let step = &cache.steps[t];
+            // Total gradient reaching h_t.
+            let mut dh = d_hs[t].clone();
+            dh.add_assign(&dh_next);
+
+            // Per-element gate gradients -> pre-activation gradients dz.
+            let mut dz = Matrix::zeros(batch, 4 * hd);
+            let mut dc_prev = Matrix::zeros(batch, hd);
+            for r in 0..batch {
+                let gates = step.gates.row(r);
+                for k in 0..hd {
+                    let i = gates[k];
+                    let f = gates[hd + k];
+                    let g = gates[2 * hd + k];
+                    let o = gates[3 * hd + k];
+                    let tc = step.tanh_c.get(r, k);
+                    let dh_v = dh.get(r, k);
+
+                    let do_ = dh_v * tc;
+                    let dtc = dh_v * o;
+                    let dc = dc_next.get(r, k) + dtc * (1.0 - tc * tc);
+
+                    let di = dc * g;
+                    let df = dc * step.c_prev.get(r, k);
+                    let dg = dc * i;
+                    dc_prev.set(r, k, dc * f);
+
+                    let row = dz.row_mut(r);
+                    row[k] = di * i * (1.0 - i);
+                    row[hd + k] = df * f * (1.0 - f);
+                    row[2 * hd + k] = dg * (1.0 - g * g);
+                    row[3 * hd + k] = do_ * o * (1.0 - o);
+                }
+            }
+
+            dwx.add_assign(&step.x.matmul_tn(&dz));
+            dwh.add_assign(&step.h_prev.matmul_tn(&dz));
+            db.add_assign(&Matrix::from_vec(1, 4 * hd, dz.sum_rows()));
+
+            dxs[t] = dz.matmul_nt(&self.wx);
+            dh_next = dz.matmul_nt(&self.wh);
+            dc_next = dc_prev;
+        }
+
+        (dxs, LstmGrads { dwx, dwh, db })
+    }
+}
+
+impl Trainable for LstmLayer {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Loss = 0.5 * sum over all steps of ||h_t||^2, so dL/dh_t = h_t.
+    fn seq_loss(layer: &LstmLayer, xs: &[Matrix]) -> f32 {
+        let (hs, _) = layer.forward_seq(xs);
+        hs.iter()
+            .map(|h| 0.5 * h.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum()
+    }
+
+    #[test]
+    fn forward_shapes_and_state_propagation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let layer = LstmLayer::new(3, 4, &mut rng);
+        let xs: Vec<Matrix> = (0..5)
+            .map(|_| nfv_tensor::uniform_in(2, 3, -1.0, 1.0, &mut rng))
+            .collect();
+        let (hs, _) = layer.forward_seq(&xs);
+        assert_eq!(hs.len(), 5);
+        for h in &hs {
+            assert_eq!(h.shape(), (2, 4));
+            assert!(!h.has_non_finite());
+        }
+        // Streaming inference must match the batched sequence forward.
+        let mut state = LstmState::zeros(2, 4);
+        for (t, x) in xs.iter().enumerate() {
+            state = layer.step_infer(x, &state);
+            for (a, b) in state.h.as_slice().iter().zip(hs[t].as_slice().iter()) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_stays_bounded() {
+        // tanh/o-gate keep |h| <= 1 regardless of input magnitude.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let layer = LstmLayer::new(2, 3, &mut rng);
+        let xs: Vec<Matrix> = (0..20)
+            .map(|_| nfv_tensor::uniform_in(1, 2, -50.0, 50.0, &mut rng))
+            .collect();
+        let (hs, _) = layer.forward_seq(&xs);
+        for h in &hs {
+            assert!(h.max_abs() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_check_all_parameters() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut layer = LstmLayer::new(3, 2, &mut rng);
+        let xs: Vec<Matrix> = (0..4)
+            .map(|_| nfv_tensor::uniform_in(2, 3, -1.0, 1.0, &mut rng))
+            .collect();
+
+        let (hs, cache) = layer.forward_seq(&xs);
+        let d_hs: Vec<Matrix> = hs.clone();
+        let (_, grads) = layer.backward_seq(&cache, &d_hs);
+        let analytic = [&grads.dwx, &grads.dwh, &grads.db];
+
+        let eps = 1e-2f32;
+        for pi in 0..3 {
+            let len = layer.params()[pi].as_slice().len();
+            // Probe a deterministic sample of entries in each parameter.
+            for idx in (0..len).step_by(1 + len / 7) {
+                let orig = layer.params()[pi].as_slice()[idx];
+                layer.params_mut()[pi].as_mut_slice()[idx] = orig + eps;
+                let plus = seq_loss(&layer, &xs);
+                layer.params_mut()[pi].as_mut_slice()[idx] = orig - eps;
+                let minus = seq_loss(&layer, &xs);
+                layer.params_mut()[pi].as_mut_slice()[idx] = orig;
+                let numeric = (plus - minus) / (2.0 * eps);
+                let a = analytic[pi].as_slice()[idx];
+                assert!(
+                    (a - numeric).abs() < 3e-2 * (1.0 + numeric.abs()),
+                    "param {} idx {}: analytic {} vs numeric {}",
+                    pi,
+                    idx,
+                    numeric,
+                    a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let layer = LstmLayer::new(2, 3, &mut rng);
+        let mut xs: Vec<Matrix> = (0..3)
+            .map(|_| nfv_tensor::uniform_in(1, 2, -1.0, 1.0, &mut rng))
+            .collect();
+
+        let (hs, cache) = layer.forward_seq(&xs);
+        let (dxs, _) = layer.backward_seq(&cache, &hs);
+
+        let eps = 1e-2f32;
+        for t in 0..xs.len() {
+            for idx in 0..xs[t].as_slice().len() {
+                let orig = xs[t].as_slice()[idx];
+                xs[t].as_mut_slice()[idx] = orig + eps;
+                let plus = seq_loss(&layer, &xs);
+                xs[t].as_mut_slice()[idx] = orig - eps;
+                let minus = seq_loss(&layer, &xs);
+                xs[t].as_mut_slice()[idx] = orig;
+                let numeric = (plus - minus) / (2.0 * eps);
+                let analytic = dxs[t].as_slice()[idx];
+                assert!(
+                    (analytic - numeric).abs() < 3e-2 * (1.0 + numeric.abs()),
+                    "step {} idx {}: analytic {} vs numeric {}",
+                    t,
+                    idx,
+                    analytic,
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let layer = LstmLayer::new(2, 3, &mut rng);
+        let b = layer.params()[2];
+        for k in 0..3 {
+            assert_eq!(b.get(0, k), 0.0, "input-gate bias");
+            assert_eq!(b.get(0, 3 + k), 1.0, "forget-gate bias");
+            assert_eq!(b.get(0, 6 + k), 0.0, "cell-gate bias");
+            assert_eq!(b.get(0, 9 + k), 0.0, "output-gate bias");
+        }
+    }
+}

@@ -1,0 +1,655 @@
+//! Model containers: the paper's next-template sequence network and a
+//! plain MLP used to build the autoencoder baseline.
+
+use crate::checkpoint::{Checkpoint, MatrixDump};
+use crate::dense::{Dense, DenseCache};
+use crate::embedding::Embedding;
+use crate::loss;
+use crate::lstm::{LstmLayer, LstmSeqCache};
+use crate::optimizer::Optimizer;
+use crate::Activation;
+use crate::Trainable;
+use nfv_tensor::Matrix;
+use rand::Rng;
+
+/// Gradient-clipping bound applied to every parameter gradient before an
+/// optimizer step; standard practice for LSTM training.
+const GRAD_CLIP: f32 = 5.0;
+
+/// Hyper-parameters of [`SequenceModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceModelConfig {
+    /// Template vocabulary size (output classes).
+    pub vocab: usize,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Hidden units per LSTM layer.
+    pub hidden: usize,
+    /// Number of stacked LSTM layers (the paper uses 2).
+    pub lstm_layers: usize,
+    /// Whether to append the normalized inter-arrival gap to each step's
+    /// input (the paper's input tuples are `(m_i, t_i - t_{i-1})`).
+    pub use_gap_feature: bool,
+}
+
+impl Default for SequenceModelConfig {
+    fn default() -> Self {
+        SequenceModelConfig {
+            vocab: 64,
+            embed_dim: 16,
+            hidden: 32,
+            lstm_layers: 2,
+            use_gap_feature: true,
+        }
+    }
+}
+
+/// The paper's anomaly-detection network: `Embedding (+ gap feature) ->
+/// LSTM x N -> Dense`, predicting a probability distribution over the
+/// next syslog template.
+///
+/// Components are ordered bottom-to-top as
+/// `[embedding, lstm_0, .., lstm_{N-1}, head]`; transfer learning freezes
+/// a prefix of that list via [`SequenceModel::set_frozen_bottom`] and
+/// fine-tunes the rest (§4.3 of the paper).
+#[derive(Debug, Clone)]
+pub struct SequenceModel {
+    cfg: SequenceModelConfig,
+    embedding: Embedding,
+    lstms: Vec<LstmLayer>,
+    head: Dense,
+    frozen_bottom: usize,
+}
+
+/// One training/inference batch of fixed-length windows.
+///
+/// `ids[b]` is the template-id window for sample `b`; all windows must
+/// share the same length. `gaps[b][t]` is the normalized inter-arrival
+/// gap preceding `ids[b][t]` and is required when the model was built
+/// with `use_gap_feature`.
+#[derive(Debug, Clone, Default)]
+pub struct SeqBatch {
+    /// Template-id windows, one per sample.
+    pub ids: Vec<Vec<usize>>,
+    /// Normalized gap features, parallel to `ids` (may be empty when the
+    /// model does not use the gap feature).
+    pub gaps: Vec<Vec<f32>>,
+}
+
+impl SeqBatch {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Window length (0 for an empty batch).
+    pub fn window(&self) -> usize {
+        self.ids.first().map_or(0, |w| w.len())
+    }
+}
+
+struct ForwardCache {
+    step_ids: Vec<Vec<usize>>,
+    lstm_caches: Vec<LstmSeqCache>,
+    head_cache: DenseCache,
+    batch: usize,
+    t_len: usize,
+}
+
+impl SequenceModel {
+    /// Builds a model with freshly initialized parameters.
+    pub fn new(cfg: SequenceModelConfig, rng: &mut impl Rng) -> Self {
+        assert!(cfg.vocab > 1, "SequenceModel: vocabulary must have at least 2 classes");
+        assert!(cfg.lstm_layers >= 1, "SequenceModel: need at least one LSTM layer");
+        let embedding = Embedding::new(cfg.vocab, cfg.embed_dim, rng);
+        let in0 = cfg.embed_dim + usize::from(cfg.use_gap_feature);
+        let mut lstms = Vec::with_capacity(cfg.lstm_layers);
+        for l in 0..cfg.lstm_layers {
+            let input = if l == 0 { in0 } else { cfg.hidden };
+            lstms.push(LstmLayer::new(input, cfg.hidden, rng));
+        }
+        let head = Dense::new(cfg.hidden, cfg.vocab, Activation::Identity, rng);
+        SequenceModel { cfg, embedding, lstms, head, frozen_bottom: 0 }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &SequenceModelConfig {
+        &self.cfg
+    }
+
+    /// Number of components (embedding + LSTM layers + head).
+    pub fn component_count(&self) -> usize {
+        2 + self.lstms.len()
+    }
+
+    /// Freezes the bottom `n` components (0 = train everything). Frozen
+    /// components receive no optimizer updates — the transfer-learning
+    /// student copies the teacher and fine-tunes only the top layers.
+    pub fn set_frozen_bottom(&mut self, n: usize) {
+        assert!(
+            n < self.component_count(),
+            "cannot freeze all {} components",
+            self.component_count()
+        );
+        self.frozen_bottom = n;
+    }
+
+    /// Currently frozen bottom-component count.
+    pub fn frozen_bottom(&self) -> usize {
+        self.frozen_bottom
+    }
+
+    fn check_batch(&self, batch: &SeqBatch) {
+        assert!(!batch.is_empty(), "SequenceModel: empty batch");
+        let t_len = batch.window();
+        assert!(t_len > 0, "SequenceModel: zero-length windows");
+        for w in &batch.ids {
+            assert_eq!(w.len(), t_len, "SequenceModel: ragged windows");
+        }
+        if self.cfg.use_gap_feature {
+            assert_eq!(batch.gaps.len(), batch.ids.len(), "SequenceModel: gaps required");
+            for g in &batch.gaps {
+                assert_eq!(g.len(), t_len, "SequenceModel: ragged gap rows");
+            }
+        }
+    }
+
+    fn forward_cached(&self, batch: &SeqBatch) -> (Matrix, ForwardCache) {
+        self.check_batch(batch);
+        let b = batch.len();
+        let t_len = batch.window();
+
+        // Per-step inputs: embed the t-th id of every sample, then append
+        // the gap column when configured.
+        let mut xs: Vec<Matrix> = Vec::with_capacity(t_len);
+        let mut step_ids: Vec<Vec<usize>> = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let ids_t: Vec<usize> = batch.ids.iter().map(|w| w[t]).collect();
+            let emb = self.embedding.forward(&ids_t);
+            let x = if self.cfg.use_gap_feature {
+                let gap_col =
+                    Matrix::from_vec(b, 1, batch.gaps.iter().map(|g| g[t]).collect());
+                Matrix::hstack(&[&emb, &gap_col])
+            } else {
+                emb
+            };
+            xs.push(x);
+            step_ids.push(ids_t);
+        }
+
+        let mut lstm_caches = Vec::with_capacity(self.lstms.len());
+        let mut hs = xs;
+        for lstm in &self.lstms {
+            let (out, cache) = lstm.forward_seq(&hs);
+            lstm_caches.push(cache);
+            hs = out;
+        }
+
+        let last_h = hs.pop().expect("non-empty sequence");
+        let (logits, head_cache) = self.head.forward(&last_h);
+        (logits, ForwardCache { step_ids, lstm_caches, head_cache, batch: b, t_len })
+    }
+
+    /// Probability distribution over the next template for each window
+    /// (`B x vocab`).
+    pub fn predict_probs(&self, batch: &SeqBatch) -> Matrix {
+        let (logits, _) = self.forward_cached(batch);
+        loss::softmax_probs(&logits)
+    }
+
+    /// Mean cross-entropy of the batch without updating any weights.
+    pub fn evaluate_loss(&self, batch: &SeqBatch, targets: &[usize]) -> f32 {
+        let (logits, _) = self.forward_cached(batch);
+        loss::softmax_cross_entropy(&logits, targets).0
+    }
+
+    /// One optimizer step on a mini-batch; returns the pre-update loss.
+    ///
+    /// The optimizer must have been built for this model's parameter
+    /// layout (see [`SequenceModel::param_shapes`]).
+    pub fn train_step(
+        &mut self,
+        batch: &SeqBatch,
+        targets: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
+        assert_eq!(targets.len(), batch.len(), "train_step: target count mismatch");
+        let (logits, cache) = self.forward_cached(batch);
+        let (loss_value, dlogits) = loss::softmax_cross_entropy(&logits, targets);
+
+        // Head backward.
+        let (dh_last, head_grads) = self.head.backward(&cache.head_cache, &dlogits);
+
+        // BPTT down the LSTM stack: only the last step feeds the loss.
+        let mut d_hs: Vec<Matrix> = (0..cache.t_len)
+            .map(|_| Matrix::zeros(cache.batch, self.cfg.hidden))
+            .collect();
+        *d_hs.last_mut().expect("non-empty") = dh_last;
+
+        let mut lstm_grads = Vec::with_capacity(self.lstms.len());
+        for (lstm, lcache) in self.lstms.iter().zip(cache.lstm_caches.iter()).rev() {
+            let (dxs, grads) = lstm.backward_seq(lcache, &d_hs);
+            lstm_grads.push(grads);
+            d_hs = dxs;
+        }
+        lstm_grads.reverse();
+
+        // Embedding backward: strip the gap column when present.
+        let mut demb_table = Matrix::zeros(self.cfg.vocab, self.cfg.embed_dim);
+        for (t, dx) in d_hs.iter().enumerate() {
+            let demb_rows = if self.cfg.use_gap_feature {
+                let mut m = Matrix::zeros(cache.batch, self.cfg.embed_dim);
+                for r in 0..cache.batch {
+                    m.row_mut(r).copy_from_slice(&dx.row(r)[..self.cfg.embed_dim]);
+                }
+                m
+            } else {
+                dx.clone()
+            };
+            let g = self.embedding.backward(&cache.step_ids[t], &demb_rows);
+            demb_table.add_assign(&g.dtable);
+        }
+
+        // Assemble gradients in parameter order, clip, mask frozen
+        // components, and step.
+        let mut grads_owned: Vec<Matrix> = Vec::new();
+        grads_owned.push(demb_table);
+        for g in &lstm_grads {
+            grads_owned.push(g.dwx.clone());
+            grads_owned.push(g.dwh.clone());
+            grads_owned.push(g.db.clone());
+        }
+        grads_owned.push(head_grads.dw);
+        grads_owned.push(head_grads.db);
+        for g in &mut grads_owned {
+            g.clip_inplace(GRAD_CLIP);
+        }
+
+        let frozen_params = self.frozen_param_count();
+        let grad_refs: Vec<Option<&Matrix>> = grads_owned
+            .iter()
+            .enumerate()
+            .map(|(i, g)| if i < frozen_params { None } else { Some(g) })
+            .collect();
+        let mut params = self.params_mut();
+        optimizer.step(&mut params, &grad_refs);
+
+        loss_value
+    }
+
+    /// How many leading parameters belong to the frozen bottom components.
+    fn frozen_param_count(&self) -> usize {
+        // Component i owns: embedding -> 1 param, each LSTM -> 3, head -> 2.
+        let mut count = 0;
+        for comp in 0..self.frozen_bottom {
+            count += if comp == 0 { 1 } else { 3 };
+        }
+        count
+    }
+
+    /// Shapes of all parameters in optimizer order.
+    pub fn param_shapes(&self) -> Vec<(usize, usize)> {
+        self.params().iter().map(|p| p.shape()).collect()
+    }
+
+    /// Serializes the model (architecture + weights).
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            tag: "sequence-model".to_string(),
+            dims: vec![
+                self.cfg.vocab,
+                self.cfg.embed_dim,
+                self.cfg.hidden,
+                self.cfg.lstm_layers,
+                usize::from(self.cfg.use_gap_feature),
+            ],
+            params: self.params().iter().map(|p| MatrixDump::from_matrix(p)).collect(),
+        }
+    }
+
+    /// Restores a model from a checkpoint produced by
+    /// [`SequenceModel::to_checkpoint`].
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
+        assert_eq!(ckpt.tag, "sequence-model", "checkpoint tag mismatch: {}", ckpt.tag);
+        assert_eq!(ckpt.dims.len(), 5, "malformed sequence-model checkpoint");
+        let cfg = SequenceModelConfig {
+            vocab: ckpt.dims[0],
+            embed_dim: ckpt.dims[1],
+            hidden: ckpt.dims[2],
+            lstm_layers: ckpt.dims[3],
+            use_gap_feature: ckpt.dims[4] != 0,
+        };
+        let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+        let mut model = SequenceModel::new(cfg, &mut rng);
+        let mut params = model.params_mut();
+        assert_eq!(params.len(), ckpt.params.len(), "checkpoint parameter count mismatch");
+        for (p, dump) in params.iter_mut().zip(ckpt.params.iter()) {
+            **p = dump.to_matrix();
+        }
+        model
+    }
+}
+
+impl Trainable for SequenceModel {
+    fn params(&self) -> Vec<&Matrix> {
+        let mut out = self.embedding.params();
+        for l in &self.lstms {
+            out.extend(l.params());
+        }
+        out.extend(self.head.params());
+        out
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out = self.embedding.params_mut();
+        for l in &mut self.lstms {
+            out.extend(l.params_mut());
+        }
+        out.extend(self.head.params_mut());
+        out
+    }
+}
+
+/// A plain multi-layer perceptron (chain of [`Dense`] layers).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths and one activation for
+    /// all hidden layers; the final layer uses `output_activation`.
+    ///
+    /// `widths = [in, h1, .., out]` produces `widths.len() - 1` layers.
+    pub fn new(
+        widths: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(widths.len() >= 2, "Mlp: need at least input and output widths");
+        let mut layers = Vec::with_capacity(widths.len() - 1);
+        for w in 0..widths.len() - 1 {
+            let act = if w == widths.len() - 2 { output_activation } else { hidden_activation };
+            layers.push(Dense::new(widths[w], widths[w + 1], act, rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Inference forward pass.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(&h);
+        }
+        h
+    }
+
+    /// One MSE training step towards `target`; returns the pre-update loss.
+    pub fn train_step_mse(
+        &mut self,
+        x: &Matrix,
+        target: &Matrix,
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let (out, cache) = layer.forward(&h);
+            caches.push(cache);
+            h = out;
+        }
+        let (loss_value, mut d) = loss::mse(&h, target);
+        let mut grads_rev = Vec::with_capacity(self.layers.len());
+        for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
+            let (dx, g) = layer.backward(cache, &d);
+            grads_rev.push(g);
+            d = dx;
+        }
+        grads_rev.reverse();
+        let mut grads_owned: Vec<Matrix> = Vec::new();
+        for g in grads_rev {
+            let mut dw = g.dw;
+            let mut db = g.db;
+            dw.clip_inplace(GRAD_CLIP);
+            db.clip_inplace(GRAD_CLIP);
+            grads_owned.push(dw);
+            grads_owned.push(db);
+        }
+        let grad_refs: Vec<Option<&Matrix>> = grads_owned.iter().map(Some).collect();
+        let mut params = self.params_mut();
+        optimizer.step(&mut params, &grad_refs);
+        loss_value
+    }
+
+    /// Serializes the MLP (widths + activations are implied by the caller;
+    /// we store per-layer shapes and the activation tags in `dims`).
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        let mut dims = Vec::new();
+        dims.push(self.layers.len());
+        for l in &self.layers {
+            dims.push(l.in_dim());
+            dims.push(l.out_dim());
+            dims.push(match l.activation() {
+                Activation::Identity => 0,
+                Activation::Sigmoid => 1,
+                Activation::Tanh => 2,
+                Activation::Relu => 3,
+            });
+        }
+        Checkpoint {
+            tag: "mlp".to_string(),
+            dims,
+            params: self.params().iter().map(|p| MatrixDump::from_matrix(p)).collect(),
+        }
+    }
+
+    /// Restores an MLP from [`Mlp::to_checkpoint`] output.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
+        assert_eq!(ckpt.tag, "mlp", "checkpoint tag mismatch: {}", ckpt.tag);
+        let n = ckpt.dims[0];
+        let mut rng = rand::rngs::mock::StepRng::new(1, 1);
+        let mut layers = Vec::with_capacity(n);
+        for i in 0..n {
+            let in_dim = ckpt.dims[1 + 3 * i];
+            let out_dim = ckpt.dims[2 + 3 * i];
+            let act = match ckpt.dims[3 + 3 * i] {
+                0 => Activation::Identity,
+                1 => Activation::Sigmoid,
+                2 => Activation::Tanh,
+                3 => Activation::Relu,
+                other => panic!("unknown activation tag {}", other),
+            };
+            layers.push(Dense::new(in_dim, out_dim, act, &mut rng));
+        }
+        let mut mlp = Mlp { layers };
+        let mut params = mlp.params_mut();
+        assert_eq!(params.len(), ckpt.params.len(), "checkpoint parameter count mismatch");
+        for (p, dump) in params.iter_mut().zip(ckpt.params.iter()) {
+            **p = dump.to_matrix();
+        }
+        mlp
+    }
+}
+
+impl Trainable for Mlp {
+    fn params(&self) -> Vec<&Matrix> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Adam;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn toy_batch(window: usize, pattern: &[usize]) -> (SeqBatch, Vec<usize>) {
+        // Sliding windows over a repeating pattern; the next id is always
+        // deterministic, so the model should learn it nearly perfectly.
+        let seq: Vec<usize> = pattern.iter().cycle().take(200).copied().collect();
+        let mut ids = Vec::new();
+        let mut gaps = Vec::new();
+        let mut targets = Vec::new();
+        for start in 0..seq.len() - window {
+            ids.push(seq[start..start + window].to_vec());
+            gaps.push(vec![0.5; window]);
+            targets.push(seq[start + window]);
+        }
+        (SeqBatch { ids, gaps }, targets)
+    }
+
+    #[test]
+    fn learns_a_deterministic_cycle() {
+        let cfg = SequenceModelConfig {
+            vocab: 4,
+            embed_dim: 6,
+            hidden: 12,
+            lstm_layers: 2,
+            use_gap_feature: true,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut model = SequenceModel::new(cfg, &mut rng);
+        let (batch, targets) = toy_batch(5, &[0, 1, 2, 3]);
+        let mut opt = Adam::new(0.01, &model.param_shapes());
+
+        let first_loss = model.evaluate_loss(&batch, &targets);
+        for _ in 0..60 {
+            model.train_step(&batch, &targets, &mut opt);
+        }
+        let final_loss = model.evaluate_loss(&batch, &targets);
+        assert!(
+            final_loss < first_loss * 0.2,
+            "loss did not drop: {} -> {}",
+            first_loss,
+            final_loss
+        );
+
+        // The argmax prediction should now follow the cycle.
+        let probs = model.predict_probs(&batch);
+        let preds = probs.argmax_rows();
+        let correct = preds.iter().zip(targets.iter()).filter(|(p, t)| p == t).count();
+        assert!(
+            correct as f32 / targets.len() as f32 > 0.95,
+            "accuracy {}/{}",
+            correct,
+            targets.len()
+        );
+    }
+
+    #[test]
+    fn probs_rows_are_distributions() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = SequenceModel::new(SequenceModelConfig::default(), &mut rng);
+        let batch = SeqBatch {
+            ids: vec![vec![1, 2, 3], vec![4, 5, 6]],
+            gaps: vec![vec![0.1, 0.2, 0.3], vec![0.0, 0.0, 0.0]],
+        };
+        let probs = model.predict_probs(&batch);
+        assert_eq!(probs.shape(), (2, 64));
+        for r in 0..2 {
+            let s: f32 = probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn frozen_bottom_components_do_not_move() {
+        let cfg = SequenceModelConfig {
+            vocab: 5,
+            embed_dim: 4,
+            hidden: 6,
+            lstm_layers: 2,
+            use_gap_feature: false,
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut model = SequenceModel::new(cfg, &mut rng);
+        model.set_frozen_bottom(2); // freeze embedding + first LSTM
+
+        let before: Vec<Vec<f32>> =
+            model.params().iter().map(|p| p.as_slice().to_vec()).collect();
+        let batch = SeqBatch { ids: vec![vec![0, 1, 2, 3]], gaps: vec![] };
+        let mut opt = Adam::new(0.05, &model.param_shapes());
+        for _ in 0..3 {
+            model.train_step(&batch, &[4], &mut opt);
+        }
+        let after: Vec<Vec<f32>> =
+            model.params().iter().map(|p| p.as_slice().to_vec()).collect();
+
+        // Embedding (1 param) + LSTM0 (3 params) frozen; the rest must move.
+        for i in 0..4 {
+            assert_eq!(before[i], after[i], "frozen param {} moved", i);
+        }
+        assert_ne!(before[4], after[4], "unfrozen LSTM1 did not move");
+        assert_ne!(before[7], after[7], "unfrozen head did not move");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let model = SequenceModel::new(SequenceModelConfig::default(), &mut rng);
+        let batch = SeqBatch {
+            ids: vec![vec![7, 8, 9, 10]],
+            gaps: vec![vec![0.1, 0.4, 0.2, 0.9]],
+        };
+        let original = model.predict_probs(&batch);
+        let restored = SequenceModel::from_checkpoint(&model.to_checkpoint());
+        let roundtrip = restored.predict_probs(&batch);
+        assert_eq!(original.as_slice(), roundtrip.as_slice());
+    }
+
+    #[test]
+    fn mlp_autoencoder_reduces_reconstruction_error() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut ae = Mlp::new(&[8, 4, 2, 4, 8], Activation::Tanh, Activation::Identity, &mut rng);
+        // Data on a 1-D manifold: x = [t, 2t, .., 8t].
+        let x = Matrix::from_fn(16, 8, |r, c| (r as f32 / 16.0) * (c + 1) as f32 * 0.1);
+        let mut opt = Adam::new(0.01, &ae.params().iter().map(|p| p.shape()).collect::<Vec<_>>());
+        let first = ae.train_step_mse(&x, &x, &mut opt);
+        let mut last = first;
+        for _ in 0..200 {
+            last = ae.train_step_mse(&x, &x, &mut opt);
+        }
+        assert!(last < first * 0.2, "AE loss did not drop: {} -> {}", first, last);
+    }
+
+    #[test]
+    fn mlp_checkpoint_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mlp = Mlp::new(&[5, 3, 5], Activation::Relu, Activation::Identity, &mut rng);
+        let x = nfv_tensor::uniform_in(4, 5, -1.0, 1.0, &mut rng);
+        let restored = Mlp::from_checkpoint(&mlp.to_checkpoint());
+        assert_eq!(mlp.infer(&x).as_slice(), restored.infer(&x).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged windows")]
+    fn ragged_batch_is_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let model = SequenceModel::new(SequenceModelConfig::default(), &mut rng);
+        let batch = SeqBatch {
+            ids: vec![vec![1, 2, 3], vec![1, 2]],
+            gaps: vec![vec![0.0; 3], vec![0.0; 2]],
+        };
+        let _ = model.predict_probs(&batch);
+    }
+}

@@ -1,0 +1,342 @@
+//! Per-vPE normal-log behaviour: a Markov-structured template process.
+//!
+//! Each vPE emits its group's template set with a sequential structure
+//! (each template has a preferred successor) so that an LSTM can learn
+//! the normal patterns, plus a per-vPE stationary mixture that weights
+//! fleet-wide base templates against group-specific ones according to
+//! the vPE's `base_affinity` (which produces the Fig 3 heterogeneity).
+//! Inter-arrival times are exponential with a diurnal modulation.
+
+use crate::catalog::Catalog;
+use crate::config::SimConfig;
+use crate::topology::Vpe;
+use nfv_syslog::time::HOUR;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Probability of following the deterministic successor chain instead of
+/// re-sampling from the stationary mixture. High enough that sequences
+/// are learnable, low enough that logs stay varied.
+const P_FOLLOW: f64 = 0.65;
+
+/// Mean benign transient bursts per day (protocol flaps, link blips that
+/// self-resolve without a ticket). These use the same fault-layer
+/// templates as real failures, which is what makes the detection task
+/// realistically hard: the model must trade precision against recall
+/// instead of keying on never-seen-before templates.
+const NOISE_BURSTS_PER_DAY: f64 = 0.35;
+
+/// A sampled normal-log generator for one vPE (pre- or post-update).
+#[derive(Debug, Clone)]
+pub struct VpeBehavior {
+    /// Catalog template ids (the Markov states).
+    states: Vec<usize>,
+    /// Stationary sampling weights (cumulative, for fast inversion).
+    cumulative: Vec<f64>,
+    /// Preferred successor state index per state.
+    successor: Vec<usize>,
+    /// Mean inter-arrival in seconds.
+    mean_gap: f64,
+    /// Templates used for benign transient bursts.
+    noise_templates: Vec<usize>,
+    /// Full fault-template pool: a small share of benign transients
+    /// looks exactly like a real fault storm that happens to
+    /// self-resolve, which is the irreducible false-alarm source.
+    decisive_pool: Vec<usize>,
+}
+
+impl VpeBehavior {
+    /// Builds the behaviour for a vPE. `post_update` switches the state
+    /// set to the v2 template variants plus the brand-new post-update
+    /// templates (only meaningful for vPEs the update affects).
+    pub fn build(catalog: &Catalog, vpe: &Vpe, cfg: &SimConfig, post_update: bool) -> VpeBehavior {
+        // Deterministic per-(vpe, phase) stream so behaviour is stable.
+        let phase = u64::from(post_update);
+        let mut rng =
+            SmallRng::seed_from_u64(cfg.seed ^ (vpe.id as u64).wrapping_mul(0x9e37_79b9) ^ (phase << 63));
+
+        let base = &catalog.base;
+        let extra = &catalog.group_extra[vpe.group % catalog.group_extra.len()];
+        let mut states: Vec<usize> = base.iter().chain(extra.iter()).copied().collect();
+        if post_update {
+            for s in &mut states {
+                if let Some(v2) = catalog.v2_of(*s) {
+                    *s = v2;
+                }
+            }
+            states.extend(&catalog.post_update_new);
+        }
+
+        // Stationary weights: base templates share `base_affinity` mass,
+        // everything else shares the rest; jittered per vPE.
+        let n_base = base.len();
+        let mut weights = vec![0.0f64; states.len()];
+        let affinity = vpe.base_affinity as f64;
+        for (i, w) in weights.iter_mut().enumerate() {
+            let pool_mass = if i < n_base { affinity } else { 1.0 - affinity };
+            let pool_size = if i < n_base { n_base } else { states.len() - n_base };
+            *w = pool_mass / pool_size as f64 * rng.gen_range(0.5..1.5);
+        }
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+
+        // Successor chains: one fixed random permutation cycle *per pool*
+        // (base vs group-specific), shared per group so pooled group
+        // training sees one pattern. Keeping the cycles pool-local means
+        // chain-following preserves the pool chosen by the stationary
+        // mixture, so the long-run base/extra split really follows
+        // `base_affinity`.
+        let mut group_rng =
+            SmallRng::seed_from_u64(cfg.seed ^ 0xbead_cafe ^ ((vpe.group as u64) << 8) ^ (phase << 62));
+        let mut successor = vec![0usize; states.len()];
+        for pool in [0..n_base, n_base..states.len()] {
+            let mut perm: Vec<usize> = pool.clone().collect();
+            crate::util::shuffle(&mut perm, &mut group_rng);
+            for w in 0..perm.len() {
+                successor[perm[w]] = perm[(w + 1) % perm.len()];
+            }
+        }
+
+        // Benign transients reuse one *ambiguous* fault-layer template
+        // per cause (a lone session flap, a carrier blip, a memory-growth
+        // warning): events that also happen without a ticket. The other
+        // fault templates (e.g. the "BGP UNUSABLE ASPATH" storm) remain
+        // decisive — they practically only appear around real troubles —
+        // matching the structure of the paper's operational findings
+        // (§5.3: some conditions make quick-detection signatures with
+        // minimum false positives, others are ambiguous).
+        let causes = [
+            crate::tickets::TicketCause::Circuit,
+            crate::tickets::TicketCause::Cable,
+            crate::tickets::TicketCause::Software,
+        ];
+        let noise_templates: Vec<usize> = causes
+            .iter()
+            .filter_map(|&c| catalog.fault_templates(c).get(1).copied())
+            .collect();
+        let decisive_pool: Vec<usize> = causes
+            .iter()
+            .flat_map(|&c| catalog.fault_templates(c).iter().copied())
+            .collect();
+
+        VpeBehavior {
+            states,
+            cumulative,
+            successor,
+            mean_gap: cfg.mean_log_gap,
+            noise_templates,
+            decisive_pool,
+        }
+    }
+
+    /// The template ids this behaviour can emit.
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    fn sample_state(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.states.len() - 1)
+    }
+
+    /// Generates `(time, catalog_template)` pairs over `[start, end)`.
+    pub fn generate(&self, start: u64, end: u64, rng: &mut impl Rng) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        let mut state = self.sample_state(rng);
+        let mut t = start as f64;
+        loop {
+            // Diurnal modulation: nights are ~40% quieter.
+            let hour_of_day = ((t as u64 / HOUR) % 24) as f64;
+            let diurnal = 1.0 + 0.4 * ((hour_of_day - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+            let gap = -self.mean_gap / diurnal * (1.0 - rng.gen::<f64>()).ln();
+            t += gap.max(1.0);
+            if t >= end as f64 {
+                break;
+            }
+            out.push((t as u64, self.states[state]));
+            state = if rng.gen::<f64>() < P_FOLLOW {
+                self.successor[state]
+            } else {
+                self.sample_state(rng)
+            };
+        }
+
+        // Benign transient bursts: 1-3 fault-layer messages within a
+        // minute, self-resolving, not tied to any ticket.
+        if !self.noise_templates.is_empty() {
+            let mut t = 0.0f64;
+            let mean_gap = nfv_syslog::time::DAY as f64 / NOISE_BURSTS_PER_DAY;
+            loop {
+                t += -mean_gap * (1.0 - rng.gen::<f64>()).ln();
+                if t >= end as f64 || (t as u64) < start {
+                    if t >= end as f64 {
+                        break;
+                    }
+                    continue;
+                }
+                // A transient is either a repeated-message blip or a
+                // flap/recovery pair of two different messages — the same
+                // shapes real fault bursts take, so thresholding has to
+                // trade precision against recall.
+                // ~6% of transients are decisive-looking storms that
+                // self-resolve; the rest reuse the ambiguous templates.
+                let pool = if rng.gen::<f64>() < 0.06 {
+                    &self.decisive_pool
+                } else {
+                    &self.noise_templates
+                };
+                let a = pool[rng.gen_range(0..pool.len())];
+                let b = if rng.gen::<f64>() < 0.5 {
+                    a
+                } else {
+                    pool[rng.gen_range(0..pool.len())]
+                };
+                let u: f64 = rng.gen();
+                let n = if u < 0.45 {
+                    1
+                } else if u < 0.80 {
+                    2
+                } else {
+                    3
+                };
+                for i in 0..n {
+                    let tpl = if i % 2 == 0 { a } else { b };
+                    let when = t as u64 + i * rng.gen_range(5..25);
+                    // Keep the documented [start, end) contract even for
+                    // burst members that would spill past the window.
+                    if when < end {
+                        out.push((when, tpl));
+                    }
+                }
+            }
+            out.sort_by_key(|&(time, _)| time);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimPreset;
+    use crate::topology::Topology;
+    use nfv_syslog::time::DAY;
+
+    fn setup() -> (SimConfig, Topology, Catalog) {
+        let cfg = SimConfig::preset(SimPreset::Full, 11);
+        let topo = Topology::build(&cfg);
+        (cfg, topo, Catalog::build())
+    }
+
+    #[test]
+    fn emits_only_group_templates_plus_rare_transients() {
+        let (cfg, topo, cat) = setup();
+        let vpe = &topo.vpes[0];
+        let beh = VpeBehavior::build(&cat, vpe, &cfg, false);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let logs = beh.generate(0, 30 * DAY, &mut rng);
+        assert!(!logs.is_empty());
+        let allowed: std::collections::HashSet<usize> =
+            cat.normal_for_group(vpe.group).into_iter().collect();
+        let transients = logs.iter().filter(|&&(_, tpl)| !allowed.contains(&tpl)).count();
+        for &(_, tpl) in &logs {
+            if !allowed.contains(&tpl) {
+                assert!(
+                    beh.noise_templates.contains(&tpl) || beh.decisive_pool.contains(&tpl),
+                    "template {} is neither group chatter nor a transient",
+                    tpl
+                );
+            }
+        }
+        // Transients exist but are rare.
+        let frac = transients as f64 / logs.len() as f64;
+        assert!(frac > 0.0, "expected some benign transients");
+        assert!(frac < 0.05, "transient fraction too high: {}", frac);
+    }
+
+    #[test]
+    fn mean_rate_is_close_to_configured() {
+        let (cfg, topo, cat) = setup();
+        let beh = VpeBehavior::build(&cat, &topo.vpes[3], &cfg, false);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let logs = beh.generate(0, 60 * DAY, &mut rng);
+        let expected = 60.0 * DAY as f64 / cfg.mean_log_gap;
+        let ratio = logs.len() as f64 / expected;
+        assert!((0.8..1.25).contains(&ratio), "ratio {}", ratio);
+    }
+
+    #[test]
+    fn sequences_have_learnable_structure() {
+        // The successor of each template should be its actual next
+        // template well above chance.
+        let (cfg, topo, cat) = setup();
+        let beh = VpeBehavior::build(&cat, &topo.vpes[0], &cfg, false);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let logs = beh.generate(0, 90 * DAY, &mut rng);
+        let idx_of: std::collections::HashMap<usize, usize> =
+            beh.states().iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut follows = 0usize;
+        let mut pairs = 0usize;
+        for w in logs.windows(2) {
+            // Skip pairs touching benign transients (not chain states).
+            let (Some(&cur), Some(&next)) = (idx_of.get(&w[0].1), idx_of.get(&w[1].1)) else {
+                continue;
+            };
+            pairs += 1;
+            if beh.successor[cur] == next {
+                follows += 1;
+            }
+        }
+        let frac = follows as f64 / pairs as f64;
+        assert!(frac > 0.5, "successor-following fraction {}", frac);
+    }
+
+    #[test]
+    fn post_update_changes_emitted_distribution() {
+        let (cfg, topo, cat) = setup();
+        let vpe = &topo.vpes[0];
+        let pre = VpeBehavior::build(&cat, vpe, &cfg, false);
+        let post = VpeBehavior::build(&cat, vpe, &cfg, true);
+        let pre_set: std::collections::HashSet<usize> = pre.states().iter().copied().collect();
+        let post_set: std::collections::HashSet<usize> = post.states().iter().copied().collect();
+        assert_ne!(pre_set, post_set);
+        // v2 ids replace their v1 forms.
+        for &(v1, v2) in &cat.v2_map {
+            if pre_set.contains(&v1) {
+                assert!(!post_set.contains(&v1), "v1 {} survived the update", v1);
+                assert!(post_set.contains(&v2), "v2 {} missing after update", v2);
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_vpes_lean_on_group_specific_templates() {
+        let (cfg, topo, cat) = setup();
+        let outlier = topo.vpes.iter().find(|v| v.outlier).expect("outlier exists");
+        let normal = topo.vpes.iter().find(|v| !v.outlier && v.group == 0).expect("normal exists");
+        let base_set: std::collections::HashSet<usize> = cat.base.iter().copied().collect();
+        let frac_base = |vpe: &crate::topology::Vpe| {
+            let beh = VpeBehavior::build(&cat, vpe, &cfg, false);
+            let mut rng = SmallRng::seed_from_u64(4);
+            let logs = beh.generate(0, 60 * DAY, &mut rng);
+            logs.iter().filter(|(_, t)| base_set.contains(t)).count() as f64 / logs.len() as f64
+        };
+        assert!(frac_base(outlier) < 0.35);
+        assert!(frac_base(normal) > 0.55);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (cfg, topo, cat) = setup();
+        let beh = VpeBehavior::build(&cat, &topo.vpes[5], &cfg, false);
+        let a = beh.generate(0, 10 * DAY, &mut SmallRng::seed_from_u64(9));
+        let b = beh.generate(0, 10 * DAY, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

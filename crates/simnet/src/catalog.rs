@@ -1,0 +1,319 @@
+//! The template catalog: every raw log message the simulated deployment
+//! can produce.
+//!
+//! Messages are modeled on the JunOS-style syslogs of provider-edge
+//! routers: control-plane protocol chatter (rpd), interface events
+//! (dcd/mib2d), system/VM events (kernel), management-plane daemons, and
+//! — for physical PEs only — a rich set of physical-layer environment
+//! messages. The catalog also contains the fault signatures injected
+//! around tickets (including the two operational findings quoted in §5.3
+//! of the paper: the `invalid response from peer chassis-control`
+//! predictive signal and the `BGP UNUSABLE ASPATH: bgp reject path`
+//! storm), and "v2" variants of common templates that replace their v1
+//! forms after the software update.
+
+use crate::tickets::TicketCause;
+use nfv_syslog::message::Severity;
+use nfv_syslog::template::Layer;
+use nfv_syslog::TemplateSet;
+
+/// The full catalog plus the index structures the generators need.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// All templates (vPE + pPE + fault + v2).
+    pub set: TemplateSet,
+    /// Normal templates every vPE emits.
+    pub base: Vec<usize>,
+    /// Additional normal templates per behaviour group.
+    pub group_extra: Vec<Vec<usize>>,
+    /// Fault-signature templates per root cause.
+    fault: Vec<(TicketCause, Vec<usize>)>,
+    /// Maintenance-window chatter (normal, expected, not anomalous).
+    pub maintenance_chatter: Vec<usize>,
+    /// `v1 -> v2` template replacements applied by the software update.
+    pub v2_map: Vec<(usize, usize)>,
+    /// Brand-new templates that only exist after the update.
+    pub post_update_new: Vec<usize>,
+    /// Physical-layer templates only physical PEs emit.
+    pub ppe_physical: Vec<usize>,
+}
+
+impl Catalog {
+    /// Fault-signature template ids for a root cause.
+    pub fn fault_templates(&self, cause: TicketCause) -> &[usize] {
+        self.fault
+            .iter()
+            .find(|(c, _)| *c == cause)
+            .map(|(_, ids)| ids.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Builds the deployment catalog. Template ids are stable across
+    /// calls (the catalog is fully deterministic).
+    pub fn build() -> Catalog {
+        let mut set = TemplateSet::new();
+        use Layer::*;
+        use Severity::*;
+
+        // ---- Base templates: every vPE's steady-state chatter. ----
+        let base = vec![
+            set.add("rpd", Info, Protocol, "BGP peer {ip} ( {peer} ) received update with {num} prefixes"),
+            set.add("rpd", Info, Protocol, "BGP peer {ip} keepalive exchange completed in {num} ms"),
+            set.add("rpd", Notice, Protocol, "OSPF neighbor {ip} state changed from Exchange to Full"),
+            set.add("rpd", Info, Network, "routing table rescan completed with {num} active routes"),
+            set.add("dcd", Info, Link, "interface {iface} statistics poll completed"),
+            set.add("mib2d", Info, Management, "SNMP walk from {ip} served {num} objects"),
+            set.add("mgd", Info, Management, "commit operation requested by user netops via {ip}"),
+            set.add("mgd", Info, Management, "commit complete revision {num} archived"),
+            set.add("kernel", Info, System, "virtio queue {num} rebalanced across {num} vcpus"),
+            set.add("kernel", Info, System, "memory watermark check passed at {num} percent"),
+            set.add("sshd", Info, Management, "accepted publickey session for netops from {ip}"),
+            set.add("ntpd", Info, System, "clock offset {num} us within tolerance"),
+            set.add("license", Info, Management, "license usage audit recorded {num} flows"),
+        ];
+
+        // ---- Group-specific normal templates (4 behaviour groups). ----
+        // Group 0: backbone-facing, protocol-heavy vPEs.
+        let g0 = vec![
+            set.add("rpd", Info, Protocol, "LDP session {ip} label space negotiated {num} labels"),
+            set.add("rpd", Info, Protocol, "RSVP path refresh for LSP tunnel {hex} succeeded"),
+            set.add("rpd", Notice, Protocol, "ISIS adjacency {ip} holdtime refreshed level {num}"),
+            set.add("rpd", Info, Network, "BGP route damping decayed {num} suppressed prefixes"),
+        ];
+        // Group 1: enterprise edge, interface churn.
+        let g1 = vec![
+            set.add("dcd", Notice, Link, "interface {iface} added to aggregate bundle ae{num}"),
+            set.add("dcd", Info, Link, "interface {iface} autonegotiation resolved to {num} Gbps"),
+            set.add("mib2d", Notice, Link, "ifOperStatus change logged for {iface}"),
+            set.add("dcd", Info, Link, "VLAN {num} provisioned on {iface} for customer {hex}"),
+        ];
+        // Group 2: mobility/VM churn, system-heavy.
+        let g2 = vec![
+            set.add("kernel", Info, System, "vcpu {num} steal time {num} ms over sample window"),
+            set.add("kernel", Notice, System, "hugepage pool resized to {num} pages"),
+            set.add("vmmd", Info, System, "guest heartbeat acknowledged seq {num}"),
+            set.add("vmmd", Info, System, "vnic {hex} flow table compacted {num} entries"),
+        ];
+        // Group 3: media/QoS services.
+        let g3 = vec![
+            set.add("cosd", Info, Management, "scheduler map recalculated for {num} queues"),
+            set.add("cosd", Notice, Management, "shaping profile {hex} applied on {iface}"),
+            set.add("sampled", Info, Network, "flow sample export batch {num} sent to {ip}"),
+            set.add("sampled", Info, Network, "sampling rate adjusted to 1 in {num}"),
+        ];
+        let group_extra = vec![g0, g1, g2, g3];
+
+        // ---- Maintenance-window chatter. ----
+        let maintenance_chatter = vec![
+            set.add("mgd", Notice, Management, "maintenance window opened by change ticket {hex}"),
+            set.add("mgd", Notice, Management, "configuration rollback checkpoint {num} created"),
+            set.add("mgd", Notice, Management, "maintenance window closed duration {num} minutes"),
+        ];
+
+        // ---- Fault signatures, per root cause. ----
+        let fault_circuit = vec![
+            set.add("rpd", Error, Protocol, "BGP UNUSABLE ASPATH: bgp reject path from peer {ip}"),
+            set.add("rpd", Error, Protocol, "BGP peer {ip} ( {peer} ) session flap hold timer expired"),
+            set.add("rpd", Warning, Protocol, "BGP peer {ip} notification sent code {num} cease"),
+            set.add("rpd", Error, Network, "next hop {ip} unreachable withdrawing {num} prefixes"),
+        ];
+        let fault_cable = vec![
+            set.add("dcd", Error, Link, "interface {iface} CRC error burst {num} frames dropped"),
+            set.add("dcd", Error, Link, "interface {iface} carrier transition down unexpected"),
+            set.add("dcd", Warning, Link, "interface {iface} signal degradation ber exceeds threshold"),
+        ];
+        let fault_hardware = vec![
+            set.add("chassisd", Error, System, "invalid response from peer chassis-control on session {hex}"),
+            set.add("chassisd", Critical, System, "virtual card slot {num} heartbeat missed {num} times"),
+            set.add("chassisd", Error, System, "host hardware fault reported by hypervisor code {num}"),
+        ];
+        let fault_software = vec![
+            set.add("rpd", Critical, System, "task {hex} terminated unexpectedly signal {num}"),
+            set.add("kernel", Error, System, "daemon rpd restarted by watchdog attempt {num}"),
+            set.add("kernel", Warning, System, "memory leak suspect rss grew {num} MB in {num} min"),
+            set.add("mgd", Error, Management, "management daemon error invalid response from peer {hex}"),
+        ];
+        let fault_dup = vec![
+            set.add("alarmd", Warning, Management, "alarm {hex} re-raised previous trouble unresolved"),
+            set.add("alarmd", Notice, Management, "alarm correlation matched existing case {hex}"),
+        ];
+        let fault = vec![
+            (TicketCause::Circuit, fault_circuit),
+            (TicketCause::Cable, fault_cable),
+            (TicketCause::Hardware, fault_hardware),
+            (TicketCause::Software, fault_software),
+            (TicketCause::Duplicate, fault_dup),
+        ];
+
+        // ---- Post-update v2 variants of common templates. ----
+        // The update renames daemons/reformats messages, which is what
+        // collapses month-over-month cosine similarity (§3.3).
+        let mut v2_map = Vec::new();
+        let v2 = [
+            (base[0], set.add("rpd2", Info, Protocol, "bgp peer {ip} update message prefixes {num} policy accepted")),
+            (base[1], set.add("rpd2", Info, Protocol, "bgp peer {ip} keepalive rtt {num} ms within profile")),
+            (base[2], set.add("rpd2", Notice, Protocol, "ospf adjacency {ip} transitioned to Full state")),
+            (base[3], set.add("rpd2", Info, Network, "rib rescan finished active {num} hidden {num} routes")),
+            (base[4], set.add("ifmand", Info, Link, "ifl {iface} counters collected cycle {num}")),
+            (base[5], set.add("snmpd2", Info, Management, "snmp agent answered {num} oids for {ip}")),
+            (base[6], set.add("cfgd", Info, Management, "edit session opened by netops from {ip}")),
+            (base[7], set.add("cfgd", Info, Management, "candidate config committed generation {num}")),
+            (base[8], set.add("kernel", Info, System, "virtio ring {num} remapped numa node {num}")),
+            (base[10], set.add("sshd", Info, Management, "session authenticated netops key {hex} from {ip}")),
+            (base[12], set.add("licensed", Info, Management, "entitlement audit cycle {num} recorded usage")),
+        ];
+        v2_map.extend_from_slice(&v2);
+
+        // The update also reshapes part of each group's specific chatter,
+        // so even vPEs that lean on group-specific templates (the Fig 3
+        // outliers) see their distributions break.
+        let extras_v2 = [
+            (group_extra[0][0], set.add("rpd2", Info, Protocol, "ldp neighbor {ip} label advertisement {num} bindings")),
+            (group_extra[0][1], set.add("rpd2", Info, Protocol, "rsvp lsp {hex} refresh interval confirmed")),
+            (group_extra[1][0], set.add("ifmand", Notice, Link, "bundle ae{num} membership updated with {iface}")),
+            (group_extra[1][1], set.add("ifmand", Info, Link, "negotiation on {iface} settled at {num} Gbps")),
+            (group_extra[2][0], set.add("kernel", Info, System, "steal time sample vcpu {num} value {num} ms")),
+            (group_extra[2][1], set.add("kernel", Notice, System, "hugepages repool to {num} entries complete")),
+            (group_extra[3][0], set.add("cosd2", Info, Management, "queue schedule rebuild {num} classes done")),
+            (group_extra[3][1], set.add("cosd2", Notice, Management, "profile {hex} shaping active on {iface}")),
+        ];
+        v2_map.extend_from_slice(&extras_v2);
+
+        let post_update_new = vec![
+            set.add("telemetryd", Info, Management, "streaming telemetry session {hex} established to {ip}"),
+            set.add("telemetryd", Info, Management, "sensor group {hex} export interval {num} ms"),
+            set.add("cfgd", Notice, Management, "schema upgrade migration step {num} applied"),
+        ];
+
+        // ---- Physical-layer templates only pPEs emit. ----
+        let ppe_physical = vec![
+            set.add("chassisd", Info, Physical, "fan tray {num} speed adjusted to {num} rpm"),
+            set.add("chassisd", Info, Physical, "temperature sensor {num} reads {num} C nominal"),
+            set.add("chassisd", Notice, Physical, "power supply {num} input voltage {num} mV"),
+            set.add("chassisd", Warning, Physical, "optics {iface} rx power {num} dbm low warning"),
+            set.add("chassisd", Info, Physical, "optics {iface} temperature {num} C"),
+            set.add("craftd", Info, Physical, "craft panel lamp test completed {num} leds"),
+            set.add("chassisd", Info, Physical, "fabric plane {num} link trained at {num} Gbps"),
+            set.add("chassisd", Info, Physical, "environment monitor sweep ok {num} sensors"),
+        ];
+
+        Catalog {
+            set,
+            base,
+            group_extra,
+            fault,
+            maintenance_chatter,
+            v2_map,
+            post_update_new,
+            ppe_physical,
+        }
+    }
+
+    /// All normal (non-fault) templates a vPE in `group` emits before the
+    /// software update.
+    pub fn normal_for_group(&self, group: usize) -> Vec<usize> {
+        let mut ids = self.base.clone();
+        ids.extend(&self.group_extra[group % self.group_extra.len()]);
+        ids
+    }
+
+    /// Applies the software-update remapping to a template id.
+    pub fn v2_of(&self, id: usize) -> Option<usize> {
+        self.v2_map.iter().find(|(v1, _)| *v1 == id).map(|(_, v2)| *v2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = Catalog::build();
+        let b = Catalog::build();
+        assert_eq!(a.set.len(), b.set.len());
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.v2_map, b.v2_map);
+    }
+
+    #[test]
+    fn all_groups_share_base_but_differ_in_extras() {
+        let cat = Catalog::build();
+        assert_eq!(cat.group_extra.len(), 4);
+        for g in 0..4 {
+            let normal = cat.normal_for_group(g);
+            for id in &cat.base {
+                assert!(normal.contains(id), "group {} missing base template {}", g, id);
+            }
+        }
+        assert_ne!(cat.normal_for_group(0), cat.normal_for_group(1));
+    }
+
+    #[test]
+    fn fault_templates_exist_for_each_failure_cause() {
+        let cat = Catalog::build();
+        for cause in [
+            TicketCause::Circuit,
+            TicketCause::Cable,
+            TicketCause::Hardware,
+            TicketCause::Software,
+            TicketCause::Duplicate,
+        ] {
+            assert!(!cat.fault_templates(cause).is_empty(), "{:?}", cause);
+        }
+        // Maintenance is expected work, not a fault signature.
+        assert!(cat.fault_templates(TicketCause::Maintenance).is_empty());
+    }
+
+    #[test]
+    fn fault_templates_are_disjoint_from_normal_chatter() {
+        let cat = Catalog::build();
+        let mut normal: Vec<usize> = (0..4).flat_map(|g| cat.normal_for_group(g)).collect();
+        normal.extend(&cat.maintenance_chatter);
+        for cause in TicketCause::ALL {
+            for id in cat.fault_templates(cause) {
+                assert!(!normal.contains(id), "fault template {} leaks into normal set", id);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_variants_differ_from_v1() {
+        let cat = Catalog::build();
+        assert!(cat.v2_map.len() >= 5);
+        for &(v1, v2) in &cat.v2_map {
+            assert_ne!(v1, v2);
+            let in_base = cat.base.contains(&v1);
+            let in_extras = cat.group_extra.iter().any(|g| g.contains(&v1));
+            assert!(in_base || in_extras, "v1 {} should be a normal template", v1);
+        }
+        assert_eq!(cat.v2_of(cat.base[0]), Some(cat.v2_map[0].1));
+        assert_eq!(cat.v2_of(99_999), None);
+    }
+
+    #[test]
+    fn ppe_physical_templates_are_on_physical_layer() {
+        let cat = Catalog::build();
+        for &id in &cat.ppe_physical {
+            assert_eq!(cat.set.get(id).layer, Layer::Physical);
+        }
+        // vPE normal sets contain no physical-layer templates (§2: NFV
+        // reduces visibility of lower-layer events).
+        for g in 0..4 {
+            for id in cat.normal_for_group(g) {
+                assert_ne!(cat.set.get(id).layer, Layer::Physical);
+            }
+        }
+    }
+
+    #[test]
+    fn renders_are_parseable_sentences() {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let cat = Catalog::build();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for t in cat.set.iter() {
+            let text = t.render(&mut rng);
+            assert!(text.split_whitespace().count() >= 4, "too short: {}", text);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation configuration and presets.
+
+use nfv_syslog::time::{DAY, MINUTE};
+
+/// Scale presets: `Full` mirrors the paper's 18-month / 38-vPE study
+/// (volume scaled ~10x down from "millions of messages per year" to stay
+/// laptop-runnable); `Fast` is a small deterministic configuration for
+/// unit and integration tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPreset {
+    /// 18 months, 38 vPEs.
+    Full,
+    /// 4 months, 10 vPEs, sparser logs.
+    Fast,
+}
+
+/// All knobs of the fleet simulation. Every stochastic component derives
+/// its own RNG stream from `seed`, so a config reproduces byte-identical
+/// traces.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of vPEs in the deployment (the paper studies 38).
+    pub n_vpes: usize,
+    /// Number of simulated months (the paper spans 18).
+    pub months: usize,
+    /// Number of latent vPE behaviour groups (the paper finds 4).
+    pub n_groups: usize,
+    /// Mean inter-arrival of normal log messages, seconds.
+    pub mean_log_gap: f64,
+    /// Zero-based month at which the software update rolls out
+    /// ("between late 2017 and early 2018" = month 14 from Oct '16).
+    /// `None` disables the update.
+    pub update_month: Option<usize>,
+    /// Fraction of vPEs affected by the update.
+    pub update_fraction: f64,
+    /// Expected non-duplicate, non-maintenance tickets per vPE per month.
+    pub ticket_rate: f64,
+    /// Number of fleet-wide correlated core-router incidents over the
+    /// whole window (the paper observes these are "very rare").
+    pub core_incidents: usize,
+}
+
+impl SimConfig {
+    /// Builds the configuration for a preset.
+    pub fn preset(preset: SimPreset, seed: u64) -> SimConfig {
+        match preset {
+            SimPreset::Full => SimConfig {
+                seed,
+                n_vpes: 38,
+                months: 18,
+                n_groups: 4,
+                mean_log_gap: 20.0 * MINUTE as f64,
+                update_month: Some(14),
+                update_fraction: 0.6,
+                ticket_rate: 0.9,
+                core_incidents: 2,
+            },
+            SimPreset::Fast => SimConfig {
+                seed,
+                n_vpes: 10,
+                months: 4,
+                n_groups: 4,
+                mean_log_gap: 40.0 * MINUTE as f64,
+                update_month: None,
+                update_fraction: 0.6,
+                ticket_rate: 1.2,
+                core_incidents: 0,
+            },
+        }
+    }
+
+    /// End of the simulated window in epoch seconds.
+    pub fn end_time(&self) -> u64 {
+        nfv_syslog::time::month_start(self.months)
+    }
+}
+
+/// Predictive-period and clustering constants shared with the detector
+/// side; kept here so the simulator and the evaluation agree on units.
+pub mod windows {
+    use super::*;
+
+    /// Default predictive period (1 day — the paper finds performance
+    /// converges there).
+    pub const PREDICTIVE_PERIOD: u64 = DAY;
+    /// Anomalies this close together form one warning cluster (§5.1).
+    pub const CLUSTER_GAP: u64 = MINUTE;
+    /// Exclusion margin around tickets when selecting "normal" training
+    /// logs (3 days, §4.2).
+    pub const TRAIN_EXCLUSION: u64 = 3 * DAY;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_preset_matches_paper_shape() {
+        let cfg = SimConfig::preset(SimPreset::Full, 1);
+        assert_eq!(cfg.n_vpes, 38);
+        assert_eq!(cfg.months, 18);
+        assert_eq!(cfg.n_groups, 4);
+        assert_eq!(cfg.update_month, Some(14));
+    }
+
+    #[test]
+    fn fast_preset_is_smaller() {
+        let full = SimConfig::preset(SimPreset::Full, 1);
+        let fast = SimConfig::preset(SimPreset::Fast, 1);
+        assert!(fast.n_vpes < full.n_vpes);
+        assert!(fast.months < full.months);
+    }
+
+    #[test]
+    fn end_time_is_months_after_epoch() {
+        let cfg = SimConfig::preset(SimPreset::Fast, 1);
+        // 4 months from Oct 1 '16: Oct+Nov+Dec+Jan = 31+30+31+31 days.
+        assert_eq!(cfg.end_time(), (31 + 30 + 31 + 31) * DAY);
+    }
+}

@@ -1,0 +1,37 @@
+//! NFV deployment simulator.
+//!
+//! The paper's dataset — 18 months of syslogs and trouble tickets from
+//! 38 production vPEs at a tier-1 ISP — is proprietary, so this crate
+//! builds the closest synthetic equivalent, calibrated to every
+//! statistic the paper publishes (see DESIGN.md for the full list):
+//!
+//! * [`topology`] — 38 vPEs in 4 latent behaviour groups, attached to
+//!   core routers, with a few distribution outliers (Fig 3);
+//! * [`catalog`] — the raw-text template catalog, including fault
+//!   signatures quoted in the paper and post-update template variants;
+//! * [`behavior`] — Markov-structured normal chatter per vPE;
+//! * [`tickets`] — the trouble-ticket process (Fig 1, Fig 2);
+//! * [`faults`] — per-cause anomalous burst injection (Fig 8);
+//! * [`update`] — the late-2017 software update that shifts syslog
+//!   distributions (§3.3);
+//! * [`fleet`] — the orchestrator producing raw [`SyslogMessage`]s;
+//! * [`ppe`] — a physical-PE comparator for the §2 volume statistic.
+
+pub mod behavior;
+pub mod catalog;
+pub mod config;
+pub mod faults;
+pub mod fleet;
+pub mod ppe;
+pub mod tickets;
+pub mod topology;
+pub mod update;
+mod util;
+
+pub use catalog::Catalog;
+pub use config::{SimConfig, SimPreset};
+pub use fleet::FleetTrace;
+pub use nfv_syslog::SyslogMessage;
+pub use tickets::{Ticket, TicketCause};
+pub use topology::{Topology, Vpe};
+pub use update::UpdatePlan;

@@ -1,0 +1,127 @@
+//! Physical provider-edge (pPE) comparator.
+//!
+//! §2 of the paper compares vPE syslogs against pPEs with similar ticket
+//! volume: vPE syslogs have 77% less volume and far fewer physical-layer
+//! messages, confirming that virtualization hides lower-layer events.
+//! This module generates a pPE log stream with the same control-plane
+//! chatter as a vPE plus the physical-layer environment chatter a real
+//! chassis produces, at a combined rate ~4.3x the vPE rate.
+
+use crate::behavior::VpeBehavior;
+use crate::catalog::Catalog;
+use crate::config::SimConfig;
+use crate::topology::Vpe;
+use nfv_syslog::template::Layer;
+use nfv_syslog::{LogRecord, LogStream};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Ratio of pPE to vPE total log volume (1 / (1 - 0.77)).
+const PPE_VOLUME_RATIO: f64 = 4.35;
+
+/// Generates one pPE's template stream over `[0, end)`.
+///
+/// The pPE emits the group-0 control-plane behaviour at a slightly
+/// elevated rate plus dense physical-layer chatter; the total volume is
+/// `PPE_VOLUME_RATIO` times the vPE rate.
+pub fn simulate_ppe(cfg: &SimConfig, catalog: &Catalog, seed: u64) -> LogStream {
+    let end = cfg.end_time();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x99ee_0001);
+
+    // Control-plane part: reuse the vPE behaviour at ~1.6x rate.
+    let proto_vpe = Vpe {
+        id: usize::MAX,
+        name: "ppe00".to_string(),
+        group: 0,
+        core_router: 0,
+        base_affinity: 0.75,
+        outlier: false,
+    };
+    let mut proto_cfg = cfg.clone();
+    proto_cfg.mean_log_gap = cfg.mean_log_gap / 1.6;
+    let behavior = VpeBehavior::build(catalog, &proto_vpe, &proto_cfg, false);
+    let mut records: Vec<(u64, usize)> = behavior.generate(0, end, &mut rng);
+
+    // Physical-layer chatter: Poisson process filling the remaining
+    // volume budget.
+    let physical_gap = cfg.mean_log_gap / (PPE_VOLUME_RATIO - 1.6);
+    let mut t = 0.0f64;
+    loop {
+        t += -physical_gap * (1.0 - rng.gen::<f64>()).ln();
+        if t >= end as f64 {
+            break;
+        }
+        let tpl = catalog.ppe_physical[rng.gen_range(0..catalog.ppe_physical.len())];
+        records.push((t as u64, tpl));
+    }
+
+    LogStream::from_records(
+        records.into_iter().map(|(time, template)| LogRecord { time, template }).collect(),
+    )
+}
+
+/// Volume comparison for the §2 statistic: returns
+/// `(vpe_count, ppe_count, vpe_reduction)` where `vpe_reduction` is the
+/// fractional volume reduction of the vPE relative to the pPE.
+pub fn volume_comparison(vpe_stream: &LogStream, ppe_stream: &LogStream) -> (usize, usize, f64) {
+    let v = vpe_stream.len();
+    let p = ppe_stream.len();
+    let reduction = if p == 0 { 0.0 } else { 1.0 - v as f64 / p as f64 };
+    (v, p, reduction)
+}
+
+/// Fraction of a stream's messages on the physical layer.
+pub fn physical_fraction(stream: &LogStream, catalog: &Catalog) -> f64 {
+    if stream.is_empty() {
+        return 0.0;
+    }
+    let physical = stream
+        .records()
+        .iter()
+        .filter(|r| catalog.set.get(r.template).layer == Layer::Physical)
+        .count();
+    physical as f64 / stream.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimPreset;
+    use crate::fleet::FleetTrace;
+
+    #[test]
+    fn ppe_volume_is_about_4x_vpe() {
+        let cfg = SimConfig::preset(SimPreset::Fast, 21);
+        let trace = FleetTrace::simulate(cfg.clone());
+        let ppe = simulate_ppe(&cfg, &trace.catalog, 21);
+        let vpe = trace.ground_truth_stream(0);
+        let (_, _, reduction) = volume_comparison(&vpe, &ppe);
+        assert!(
+            (0.70..0.84).contains(&reduction),
+            "vPE volume reduction {} (expected ~0.77)",
+            reduction
+        );
+    }
+
+    #[test]
+    fn ppe_has_physical_chatter_vpe_does_not() {
+        let cfg = SimConfig::preset(SimPreset::Fast, 22);
+        let trace = FleetTrace::simulate(cfg.clone());
+        let ppe = simulate_ppe(&cfg, &trace.catalog, 22);
+        let vpe = trace.ground_truth_stream(0);
+        assert!(physical_fraction(&ppe, &trace.catalog) > 0.4);
+        assert!(physical_fraction(&vpe, &trace.catalog) < 0.01);
+    }
+
+    #[test]
+    fn ppe_stream_is_sorted_and_deterministic() {
+        let cfg = SimConfig::preset(SimPreset::Fast, 23);
+        let catalog = Catalog::build();
+        let a = simulate_ppe(&cfg, &catalog, 5);
+        let b = simulate_ppe(&cfg, &catalog, 5);
+        assert_eq!(a.records(), b.records());
+        for w in a.records().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+}

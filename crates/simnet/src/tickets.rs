@@ -1,0 +1,359 @@
+//! The trouble-ticket process.
+//!
+//! Calibrated to §3.2 of the paper: maintenance dominates and is
+//! pre-scheduled; duplicate and circuit tickets are the next biggest
+//! contributors; non-duplicated tickets never arrive closer than 40
+//! minutes, 80% arrive more than 10 hours apart and 25% more than 1000
+//! hours apart; duplicates arrive in bursts; per-vPE volume is skewed;
+//! and rare core-router incidents hit several vPEs in the same interval.
+
+use crate::config::SimConfig;
+use nfv_syslog::time::{DAY, HOUR, MINUTE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Root-cause categories of trouble tickets (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TicketCause {
+    /// Expected or scheduled network actions or changes.
+    Maintenance,
+    /// Connection between two devices is down.
+    Circuit,
+    /// Cable disconnection (environmental or human artifacts).
+    Cable,
+    /// Chassis-system card or component failures.
+    Hardware,
+    /// Software issues.
+    Software,
+    /// Follow-up failures while the original trouble is unresolved.
+    Duplicate,
+}
+
+impl TicketCause {
+    /// All causes, in the paper's listing order.
+    pub const ALL: [TicketCause; 6] = [
+        TicketCause::Maintenance,
+        TicketCause::Circuit,
+        TicketCause::Cable,
+        TicketCause::Hardware,
+        TicketCause::Software,
+        TicketCause::Duplicate,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TicketCause::Maintenance => "Maintenance",
+            TicketCause::Circuit => "Circuit",
+            TicketCause::Cable => "Cable",
+            TicketCause::Hardware => "Hardware",
+            TicketCause::Software => "Software",
+            TicketCause::Duplicate => "DUP",
+        }
+    }
+}
+
+/// One trouble ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Dense ticket id within the trace.
+    pub id: usize,
+    /// Index of the vPE the ticket was raised on.
+    pub vpe: usize,
+    /// Root cause.
+    pub cause: TicketCause,
+    /// Ticket report time (epoch seconds). Report time trails the first
+    /// symptom because ticketing pipelines verify and correlate first.
+    pub report_time: u64,
+    /// Repair finish time; `[report_time, repair_time]` is the infected
+    /// period.
+    pub repair_time: u64,
+    /// True when this ticket was triggered by a fleet-wide core-router
+    /// incident rather than a local fault.
+    pub core_incident: bool,
+}
+
+impl Ticket {
+    /// Ticket duration in seconds.
+    pub fn duration(&self) -> u64 {
+        self.repair_time - self.report_time
+    }
+}
+
+/// Samples a non-duplicate inter-arrival time matching Fig 1(b):
+/// always > 40 min, 80% > 10 h, 25% > 1000 h (log-uniform within bands).
+pub fn sample_interarrival(rng: &mut impl Rng, busyness: f64) -> u64 {
+    // `busyness` > 1 shifts probability mass toward the short band,
+    // giving the skewed per-vPE volumes of Fig 2. The base band
+    // probabilities are set slightly *below* the Fig 1(b) aggregate
+    // targets on the short side and above on the long side because busy
+    // vPEs contribute disproportionately many gap samples and window
+    // censoring trims the heaviest tail; the resulting aggregate lands
+    // on the paper's quantiles (validated in tests/paper_claims.rs).
+    let u: f64 = rng.gen();
+    let p_short = (0.13 * busyness).min(0.5);
+    let p_long = (0.32 / busyness).min(1.0 - p_short - 0.1);
+    let (lo, hi) = if u < p_short {
+        (40.0 * MINUTE as f64, 10.0 * HOUR as f64)
+    } else if u > 1.0 - p_long {
+        (1000.0 * HOUR as f64, 5000.0 * HOUR as f64)
+    } else {
+        (10.0 * HOUR as f64, 1000.0 * HOUR as f64)
+    };
+    let log_t = rng.gen_range(lo.ln()..hi.ln());
+    // Guard against exp/ln rounding dipping below the 40-minute floor.
+    (log_t.exp() as u64).max(40 * MINUTE + 1)
+}
+
+fn sample_cause(rng: &mut impl Rng) -> TicketCause {
+    // Mix of non-duplicate, non-maintenance root causes.
+    let u: f64 = rng.gen();
+    if u < 0.45 {
+        TicketCause::Circuit
+    } else if u < 0.67 {
+        TicketCause::Software
+    } else if u < 0.85 {
+        TicketCause::Hardware
+    } else {
+        TicketCause::Cable
+    }
+}
+
+fn sample_repair_duration(rng: &mut impl Rng, cause: TicketCause) -> u64 {
+    // Hardware/cable repairs need field work and take longer.
+    let (lo_h, hi_h) = match cause {
+        TicketCause::Maintenance => (0.5, 4.0),
+        TicketCause::Circuit => (0.5, 8.0),
+        TicketCause::Cable => (2.0, 24.0),
+        TicketCause::Hardware => (4.0, 48.0),
+        TicketCause::Software => (0.5, 12.0),
+        TicketCause::Duplicate => (0.2, 2.0),
+    };
+    (rng.gen_range(lo_h..hi_h) * HOUR as f64) as u64
+}
+
+/// Generates the full ticket history for the fleet.
+///
+/// Per-vPE busyness multipliers produce the skewed ticket volumes of
+/// Fig 2; maintenance tickets follow per-vPE weekly windows; duplicates
+/// trail non-duplicate tickets in bursts; `core_incidents` fleet events
+/// raise circuit tickets on many vPEs in the same interval.
+pub fn generate_tickets(cfg: &SimConfig) -> Vec<Ticket> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x71c4_e7a1_11aa_22bb);
+    let end = cfg.end_time();
+    let mut tickets: Vec<Ticket> = Vec::new();
+
+    // Skewed per-vPE busyness: a few vPEs are much busier than the rest.
+    let busyness: Vec<f64> = (0..cfg.n_vpes)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            if u < 0.15 {
+                rng.gen_range(2.0..3.5)
+            } else {
+                rng.gen_range(0.5..1.3)
+            }
+        })
+        .collect();
+
+    for vpe in 0..cfg.n_vpes {
+        // Non-duplicate fault tickets.
+        let rate_scale = cfg.ticket_rate.max(0.05);
+        let mut t = (sample_interarrival(&mut rng, busyness[vpe]) as f64 / rate_scale) as u64;
+        while t < end {
+            let cause = sample_cause(&mut rng);
+            let report_time = t;
+            let repair_time = (t + sample_repair_duration(&mut rng, cause)).min(end);
+            let id = tickets.len();
+            tickets.push(Ticket { id, vpe, cause, report_time, repair_time, core_incident: false });
+
+            // Duplicate bursts: follow-ups while the trouble is open.
+            if rng.gen::<f64>() < 0.5 {
+                let n_dups = rng.gen_range(1..=4);
+                let mut dup_t = report_time;
+                for _ in 0..n_dups {
+                    dup_t += rng.gen_range(10 * MINUTE..3 * HOUR);
+                    if dup_t >= repair_time.min(end) {
+                        break;
+                    }
+                    let dup_repair = (dup_t + sample_repair_duration(&mut rng, TicketCause::Duplicate)).min(end);
+                    let id = tickets.len();
+                    tickets.push(Ticket {
+                        id,
+                        vpe,
+                        cause: TicketCause::Duplicate,
+                        report_time: dup_t,
+                        repair_time: dup_repair,
+                        core_incident: false,
+                    });
+                }
+            }
+
+            t = report_time
+                + ((sample_interarrival(&mut rng, busyness[vpe]) as f64 / rate_scale) as u64)
+                    .max(40 * MINUTE);
+        }
+
+        // Scheduled maintenance: roughly every 2-6 weeks per vPE.
+        let period = rng.gen_range(14 * DAY..42 * DAY);
+        let mut m = rng.gen_range(0..period);
+        while m < end {
+            let id = tickets.len();
+            let repair = (m + sample_repair_duration(&mut rng, TicketCause::Maintenance)).min(end);
+            tickets.push(Ticket {
+                id,
+                vpe,
+                cause: TicketCause::Maintenance,
+                report_time: m,
+                repair_time: repair,
+                core_incident: false,
+            });
+            m += period + rng.gen_range(0..3 * DAY);
+        }
+    }
+
+    // Rare correlated core-router incidents: circuit trouble at many
+    // vPEs inside the same short interval.
+    for _ in 0..cfg.core_incidents {
+        let when = rng.gen_range(0..end.max(1));
+        let affected = (cfg.n_vpes / 2).max(2);
+        let mut order: Vec<usize> = (0..cfg.n_vpes).collect();
+        crate::util::shuffle(&mut order, &mut rng);
+        for &vpe in order.iter().take(affected) {
+            let jitter = rng.gen_range(0..30 * MINUTE);
+            let report_time = (when + jitter).min(end.saturating_sub(1));
+            let repair_time =
+                (report_time + sample_repair_duration(&mut rng, TicketCause::Circuit)).min(end);
+            let id = tickets.len();
+            tickets.push(Ticket {
+                id,
+                vpe,
+                cause: TicketCause::Circuit,
+                report_time,
+                repair_time,
+                core_incident: true,
+            });
+        }
+    }
+
+    tickets.sort_by_key(|t| t.report_time);
+    for (i, t) in tickets.iter_mut().enumerate() {
+        t.id = i;
+    }
+    tickets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimPreset;
+
+    fn full_cfg() -> SimConfig {
+        SimConfig::preset(SimPreset::Full, 42)
+    }
+
+    #[test]
+    fn interarrival_quantiles_match_fig1b() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<u64> = (0..20_000).map(|_| sample_interarrival(&mut rng, 1.0)).collect();
+        let n = samples.len() as f64;
+        assert!(samples.iter().all(|&s| s > 40 * MINUTE), "min must exceed 40 minutes");
+        // The raw sampler is deliberately calibrated slightly long of the
+        // Fig 1(b) aggregate targets (0.80 / 0.25): busy vPEs oversample
+        // the short band and window censoring trims the tail, so the
+        // *fleet aggregate* (checked in tests/paper_claims.rs) lands on
+        // the paper's numbers.
+        let over_10h = samples.iter().filter(|&&s| s > 10 * HOUR).count() as f64 / n;
+        let over_1000h = samples.iter().filter(|&&s| s > 1000 * HOUR).count() as f64 / n;
+        assert!((over_10h - 0.87).abs() < 0.03, "P(>10h) = {}", over_10h);
+        assert!((over_1000h - 0.32).abs() < 0.03, "P(>1000h) = {}", over_1000h);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate_tickets(&full_cfg());
+        let b = generate_tickets(&full_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn maintenance_dominates_ticket_mix() {
+        let tickets = generate_tickets(&full_cfg());
+        let maint = tickets.iter().filter(|t| t.cause == TicketCause::Maintenance).count();
+        let frac = maint as f64 / tickets.len() as f64;
+        assert!(frac > 0.30, "maintenance fraction {}", frac);
+        // Duplicates and circuits are the next two largest contributors
+        // among non-maintenance causes.
+        let count = |c: TicketCause| tickets.iter().filter(|t| t.cause == c).count();
+        let dup = count(TicketCause::Duplicate);
+        let circuit = count(TicketCause::Circuit);
+        assert!(dup > count(TicketCause::Cable));
+        assert!(circuit > count(TicketCause::Cable));
+        assert!(circuit > count(TicketCause::Hardware));
+    }
+
+    #[test]
+    fn non_duplicate_tickets_keep_min_spacing_per_vpe() {
+        let tickets = generate_tickets(&full_cfg());
+        for vpe in 0..5 {
+            let mut times: Vec<u64> = tickets
+                .iter()
+                .filter(|t| {
+                    t.vpe == vpe
+                        && t.cause != TicketCause::Duplicate
+                        && t.cause != TicketCause::Maintenance
+                        && !t.core_incident
+                })
+                .map(|t| t.report_time)
+                .collect();
+            times.sort_unstable();
+            for w in times.windows(2) {
+                assert!(w[1] - w[0] >= 40 * MINUTE, "vPE {} spacing {}", vpe, w[1] - w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn per_vpe_volume_is_skewed() {
+        let cfg = full_cfg();
+        let tickets = generate_tickets(&cfg);
+        let mut counts = vec![0usize; cfg.n_vpes];
+        for t in tickets.iter().filter(|t| t.cause != TicketCause::Maintenance) {
+            counts[t.vpe] += 1;
+        }
+        counts.sort_unstable();
+        let max = *counts.last().unwrap() as f64;
+        let median = counts[counts.len() / 2] as f64;
+        assert!(max > 2.0 * median, "max {} vs median {}", max, median);
+    }
+
+    #[test]
+    fn core_incidents_hit_many_vpes_in_one_interval() {
+        let cfg = full_cfg();
+        let tickets = generate_tickets(&cfg);
+        let core: Vec<&Ticket> = tickets.iter().filter(|t| t.core_incident).collect();
+        assert!(!core.is_empty());
+        // Group by hour-scale proximity: at least half the fleet shares
+        // one incident window.
+        let first = core[0].report_time;
+        let same_window =
+            core.iter().filter(|t| t.report_time.abs_diff(first) < 2 * HOUR).count();
+        assert!(same_window >= cfg.n_vpes / 2, "only {} vPEs in window", same_window);
+    }
+
+    #[test]
+    fn repair_time_always_follows_report_time() {
+        let tickets = generate_tickets(&full_cfg());
+        assert!(tickets.iter().all(|t| t.repair_time >= t.report_time));
+        assert!(tickets.iter().all(|t| t.repair_time <= full_cfg().end_time()));
+    }
+
+    #[test]
+    fn tickets_are_sorted_with_dense_ids() {
+        let tickets = generate_tickets(&full_cfg());
+        for (i, w) in tickets.windows(2).enumerate() {
+            assert!(w[0].report_time <= w[1].report_time);
+            assert_eq!(w[0].id, i);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Deployment topology: vPEs, their behaviour groups, and core routers.
+
+use crate::config::SimConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One virtualized provider-edge router.
+#[derive(Debug, Clone)]
+pub struct Vpe {
+    /// Fleet index.
+    pub id: usize,
+    /// Host name, e.g. `vpe07`.
+    pub name: String,
+    /// Latent behaviour group (server role / configuration family).
+    pub group: usize,
+    /// Core router this vPE attaches to.
+    pub core_router: usize,
+    /// Fraction of this vPE's chatter drawn from the fleet-wide base
+    /// templates (vs group/own-specific ones). Low affinity makes a vPE's
+    /// syslog distribution diverge from the aggregate — the <0.5 cosine
+    /// outliers of Fig 3.
+    pub base_affinity: f32,
+    /// True for the handful of strongly divergent vPEs (Fig 3's
+    /// below-0.5 outliers).
+    pub outlier: bool,
+}
+
+/// The whole deployment.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// All vPEs, indexed by id.
+    pub vpes: Vec<Vpe>,
+    /// Number of core routers.
+    pub n_core: usize,
+}
+
+impl Topology {
+    /// Builds the topology for a configuration: group sizes are skewed
+    /// (the largest group holds ~40% of the fleet so that about a third
+    /// of vPEs track the aggregate closely), and a handful of outlier
+    /// vPEs get low base affinity.
+    pub fn build(cfg: &SimConfig) -> Topology {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x7070_1234_aaaa_0001);
+        let n = cfg.n_vpes;
+        let n_core = (n / 10).max(2);
+
+        // Group proportions: ~40/25/20/15 over n_groups (truncated or
+        // renormalized when n_groups != 4).
+        let props = [0.40f64, 0.25, 0.20, 0.15];
+        let mut group_of = Vec::with_capacity(n);
+        for i in 0..n {
+            let frac = i as f64 / n as f64;
+            let mut acc = 0.0;
+            let mut g = cfg.n_groups - 1;
+            for (gi, &p) in props.iter().take(cfg.n_groups).enumerate() {
+                acc += p;
+                if frac < acc {
+                    g = gi;
+                    break;
+                }
+            }
+            group_of.push(g);
+        }
+
+        // ~5 outliers on the Full preset, scaled down for smaller fleets.
+        let n_outliers = (n as f64 * 5.0 / 38.0).round().max(1.0) as usize;
+        let mut outlier = vec![false; n];
+        let mut order: Vec<usize> = (0..n).collect();
+        crate::util::shuffle(&mut order, &mut rng);
+        for &i in order.iter().take(n_outliers) {
+            outlier[i] = true;
+        }
+
+        let vpes = (0..n)
+            .map(|id| Vpe {
+                id,
+                name: format!("vpe{:02}", id),
+                group: group_of[id],
+                core_router: id % n_core,
+                // Group 0 (the largest role family) tracks the fleet-wide
+                // chatter closely; the other roles lean more on their
+                // group-specific templates, which is what keeps only
+                // about a third of the fleet above 0.8 cosine similarity
+                // to the aggregate (Fig 3).
+                base_affinity: if outlier[id] {
+                    rng.gen_range(0.05..0.20)
+                } else if group_of[id] == 0 {
+                    rng.gen_range(0.70..0.85)
+                } else {
+                    rng.gen_range(0.46..0.66)
+                },
+                outlier: outlier[id],
+            })
+            .collect();
+        Topology { vpes, n_core }
+    }
+
+    /// Ids of vPEs attached to the given core router.
+    pub fn attached_to_core(&self, core: usize) -> Vec<usize> {
+        self.vpes.iter().filter(|v| v.core_router == core).map(|v| v.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimPreset;
+
+    #[test]
+    fn full_topology_has_paper_shape() {
+        let cfg = SimConfig::preset(SimPreset::Full, 7);
+        let topo = Topology::build(&cfg);
+        assert_eq!(topo.vpes.len(), 38);
+        // All 4 groups populated; the largest holds >= a third of the fleet.
+        let mut sizes = vec![0usize; 4];
+        for v in &topo.vpes {
+            sizes[v.group] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "{:?}", sizes);
+        assert!(*sizes.iter().max().unwrap() >= 38 / 3);
+        // Around 5 outliers with low base affinity.
+        let outliers = topo.vpes.iter().filter(|v| v.outlier).count();
+        assert_eq!(outliers, 5);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = SimConfig::preset(SimPreset::Full, 9);
+        let a = Topology::build(&cfg);
+        let b = Topology::build(&cfg);
+        for (x, y) in a.vpes.iter().zip(b.vpes.iter()) {
+            assert_eq!(x.group, y.group);
+            assert_eq!(x.base_affinity, y.base_affinity);
+        }
+    }
+
+    #[test]
+    fn every_core_router_has_attachments() {
+        let cfg = SimConfig::preset(SimPreset::Full, 7);
+        let topo = Topology::build(&cfg);
+        for core in 0..topo.n_core {
+            assert!(!topo.attached_to_core(core).is_empty());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The software-update event that shifts syslog distributions.
+//!
+//! "Between late 2017 and early 2018, the vPE network had a system
+//! upgrade, and some vPEs' syslog distributions were largely modified"
+//! (§3.3/§4.3). The update rolls out over the configured month, hitting
+//! a configurable fraction of the fleet at staggered times.
+
+use crate::config::SimConfig;
+use nfv_syslog::time::{month_start, DAY};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The planned update rollout.
+#[derive(Debug, Clone)]
+pub struct UpdatePlan {
+    /// Per-vPE update time (epoch seconds); `None` when unaffected.
+    pub time_of: Vec<Option<u64>>,
+    /// First second of the rollout month.
+    pub month_begin: u64,
+}
+
+impl UpdatePlan {
+    /// Plans the rollout for a configuration; `None` when the config has
+    /// no update.
+    pub fn build(cfg: &SimConfig) -> Option<UpdatePlan> {
+        let month = cfg.update_month?;
+        assert!(month < cfg.months, "update month {} outside simulation", month);
+        let begin = month_start(month);
+        let span = month_start(month + 1) - begin;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5f5f_0bad_f00d_0001);
+        let mut time_of = vec![None; cfg.n_vpes];
+        let mut order: Vec<usize> = (0..cfg.n_vpes).collect();
+        crate::util::shuffle(&mut order, &mut rng);
+        let affected = ((cfg.n_vpes as f64 * cfg.update_fraction).round() as usize).max(1);
+        for &vpe in order.iter().take(affected) {
+            // Staggered rollout through the month, avoiding the last day.
+            time_of[vpe] = Some(begin + rng.gen_range(0..span.saturating_sub(DAY)));
+        }
+        Some(UpdatePlan { time_of, month_begin: begin })
+    }
+
+    /// True when `vpe` is updated at or before `time`.
+    pub fn is_updated(&self, vpe: usize, time: u64) -> bool {
+        matches!(self.time_of.get(vpe), Some(Some(t)) if time >= *t)
+    }
+
+    /// Number of affected vPEs.
+    pub fn affected_count(&self) -> usize {
+        self.time_of.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimPreset;
+
+    #[test]
+    fn fast_preset_has_no_update() {
+        let cfg = SimConfig::preset(SimPreset::Fast, 1);
+        assert!(UpdatePlan::build(&cfg).is_none());
+    }
+
+    #[test]
+    fn full_preset_updates_configured_fraction_in_month() {
+        let cfg = SimConfig::preset(SimPreset::Full, 1);
+        let plan = UpdatePlan::build(&cfg).unwrap();
+        let expected = (38.0f64 * cfg.update_fraction).round() as usize;
+        assert_eq!(plan.affected_count(), expected);
+        let begin = month_start(14);
+        let end = month_start(15);
+        for t in plan.time_of.iter().flatten() {
+            assert!((begin..end).contains(t));
+        }
+    }
+
+    #[test]
+    fn is_updated_respects_rollout_time() {
+        let cfg = SimConfig::preset(SimPreset::Full, 2);
+        let plan = UpdatePlan::build(&cfg).unwrap();
+        let (vpe, t) = plan
+            .time_of
+            .iter()
+            .enumerate()
+            .find_map(|(v, t)| t.map(|t| (v, t)))
+            .unwrap();
+        assert!(!plan.is_updated(vpe, t - 1));
+        assert!(plan.is_updated(vpe, t));
+        let unaffected = plan.time_of.iter().position(|t| t.is_none()).unwrap();
+        assert!(!plan.is_updated(unaffected, u64::MAX));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SimConfig::preset(SimPreset::Full, 3);
+        let a = UpdatePlan::build(&cfg).unwrap();
+        let b = UpdatePlan::build(&cfg).unwrap();
+        assert_eq!(a.time_of, b.time_of);
+    }
+}

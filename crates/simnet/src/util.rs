@@ -1,0 +1,11 @@
+//! Small internal utilities shared across the simulator modules.
+
+use rand::Rng;
+
+/// Fisher-Yates shuffle (simnet keeps its dependency set to `rand`, so
+/// this mirrors `nfv_ml::sampling::shuffle`).
+pub(crate) fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.gen_range(0..=i));
+    }
+}

@@ -1,0 +1,330 @@
+//! Drain-style log template mining (He et al., ICWS 2017) — an
+//! alternative to the signature tree.
+//!
+//! Drain groups messages with a fixed-depth parse tree: first by token
+//! count, then by the literal tokens at the first few positions
+//! (variable-looking tokens fall into a wildcard branch), and finally by
+//! token-overlap similarity against the clusters in the leaf. Cluster
+//! templates keep a token where all members agree and a wildcard where
+//! they differ.
+//!
+//! The reproduction pipeline uses the signature tree (the paper's
+//! choice, after Qiu et al.); this module exists as a comparison
+//! substrate, and its tests assert that the two miners recover the same
+//! template partition on rendered catalogs.
+
+use crate::signature_tree::{looks_variable, SigToken, Signature};
+use std::collections::HashMap;
+
+/// Configuration for [`DrainMiner`].
+#[derive(Debug, Clone)]
+pub struct DrainConfig {
+    /// Number of leading token positions used as tree branches.
+    pub depth: usize,
+    /// Similarity threshold for joining an existing cluster: fraction of
+    /// positions where the message token equals a *literal* cluster
+    /// template token (wildcards contribute nothing).
+    pub sim_threshold: f32,
+    /// Cap on clusters per leaf (oldest win; new messages below the
+    /// threshold then join the most similar cluster anyway).
+    pub max_clusters_per_leaf: usize,
+}
+
+impl Default for DrainConfig {
+    fn default() -> Self {
+        DrainConfig { depth: 2, sim_threshold: 0.55, max_clusters_per_leaf: 64 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    /// Current template: `None` = wildcard position.
+    template: Vec<Option<String>>,
+}
+
+impl Cluster {
+    fn new(words: &[&str]) -> Cluster {
+        Cluster {
+            template: words
+                .iter()
+                .map(|w| if looks_variable(w) { None } else { Some(w.to_string()) })
+                .collect(),
+        }
+    }
+
+    /// Clustering similarity: fraction of positions whose *literal*
+    /// template token equals the message token. Wildcards contribute
+    /// nothing — otherwise heavily-wildcarded clusters would swallow
+    /// everything of the same length.
+    fn similarity(&self, words: &[&str]) -> f32 {
+        let same = self
+            .template
+            .iter()
+            .zip(words.iter())
+            .filter(|(t, w)| matches!(t, Some(tok) if tok == *w))
+            .count();
+        same as f32 / words.len().max(1) as f32
+    }
+
+    /// Template matching: every literal position must agree.
+    fn matches(&self, words: &[&str]) -> bool {
+        self.template.len() == words.len()
+            && self
+                .template
+                .iter()
+                .zip(words.iter())
+                .all(|(t, w)| match t {
+                    Some(tok) => tok == *w,
+                    None => true,
+                })
+    }
+
+    /// Number of literal positions (specificity).
+    fn literal_count(&self) -> usize {
+        self.template.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Merges `words` into the template, wildcarding disagreements.
+    fn absorb(&mut self, words: &[&str]) {
+        for (slot, w) in self.template.iter_mut().zip(words.iter()) {
+            let keep = matches!(slot, Some(tok) if tok == w);
+            if !keep {
+                *slot = None;
+            }
+        }
+    }
+}
+
+/// An incremental Drain miner.
+#[derive(Debug, Clone)]
+pub struct DrainMiner {
+    cfg: DrainConfig,
+    /// Leaf key -> clusters. The key encodes token count and the first
+    /// `depth` branch tokens.
+    leaves: HashMap<String, Vec<Cluster>>,
+}
+
+impl DrainMiner {
+    /// Empty miner.
+    pub fn new(cfg: DrainConfig) -> DrainMiner {
+        DrainMiner { cfg, leaves: HashMap::new() }
+    }
+
+    fn leaf_key(&self, words: &[&str]) -> String {
+        let mut key = format!("{}", words.len());
+        for w in words.iter().take(self.cfg.depth) {
+            key.push('\u{1f}');
+            if looks_variable(w) {
+                key.push('*');
+            } else {
+                key.push_str(w);
+            }
+        }
+        key
+    }
+
+    /// Feeds one message body into the miner.
+    pub fn observe(&mut self, text: &str) {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        if words.is_empty() {
+            return;
+        }
+        let key = self.leaf_key(&words);
+        let threshold = self.cfg.sim_threshold;
+        let cap = self.cfg.max_clusters_per_leaf;
+        let clusters = self.leaves.entry(key).or_default();
+        let best = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.similarity(&words)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            // Similar enough: merge into the best cluster.
+            Some((i, sim)) if sim >= threshold => clusters[i].absorb(&words),
+            // Dissimilar and room left: start a new cluster.
+            _ if clusters.len() < cap => clusters.push(Cluster::new(&words)),
+            // Leaf at capacity: join the most similar cluster anyway.
+            Some((i, _)) => clusters[i].absorb(&words),
+            None => clusters.push(Cluster::new(&words)),
+        }
+    }
+
+    /// Builds a miner from a whole corpus.
+    pub fn mine(corpus: &[&str], cfg: DrainConfig) -> DrainMiner {
+        let mut miner = DrainMiner::new(cfg);
+        for text in corpus {
+            miner.observe(text);
+        }
+        miner
+    }
+
+    /// Extracted templates as [`Signature`]s (ids are dense, arbitrary
+    /// but deterministic order).
+    pub fn signatures(&self) -> Vec<Signature> {
+        let mut keys: Vec<&String> = self.leaves.keys().collect();
+        keys.sort();
+        let mut out = Vec::new();
+        for key in keys {
+            for cluster in &self.leaves[key] {
+                let tokens = cluster
+                    .template
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(tok) => SigToken::Lit(tok.clone()),
+                        None => SigToken::Wildcard,
+                    })
+                    .collect();
+                out.push(Signature { id: out.len(), tokens });
+            }
+        }
+        out
+    }
+
+    /// Matches a message against the mined templates; returns the index
+    /// into [`DrainMiner::signatures`] of the most similar cluster in
+    /// the message's leaf, when one clears the similarity threshold.
+    pub fn match_message(&self, text: &str) -> Option<usize> {
+        let words: Vec<&str> = text.split_whitespace().collect();
+        if words.is_empty() {
+            return None;
+        }
+        let key = self.leaf_key(&words);
+        let clusters = self.leaves.get(&key)?;
+
+        // Index of this leaf's first cluster in the flattened signature
+        // list (leaves are flattened in sorted-key order).
+        let mut keys: Vec<&String> = self.leaves.keys().collect();
+        keys.sort();
+        let mut base = 0usize;
+        for k in keys {
+            if *k == key {
+                break;
+            }
+            base += self.leaves[k].len();
+        }
+
+        clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(&words))
+            .max_by_key(|(_, c)| c.literal_count())
+            .map(|(i, _)| base + i)
+    }
+
+    /// Total number of mined clusters.
+    pub fn len(&self) -> usize {
+        self.leaves.values().map(|v| v.len()).sum()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature_tree::{SignatureTree, SignatureTreeConfig};
+
+    fn corpus() -> Vec<String> {
+        let mut msgs = Vec::new();
+        for i in 0..30 {
+            msgs.push(format!("BGP peer 10.0.{}.1 session flap count {}", i, i * 3));
+            msgs.push(format!("interface xe-0/0/{} carrier down", i % 8));
+            msgs.push(format!("fan tray {} failure detected on slot {}", i % 4, i % 6));
+            msgs.push(format!("fan tray {} inserted cleanly on slot {}", i % 4, i % 6));
+        }
+        msgs
+    }
+
+    #[test]
+    fn mines_one_cluster_per_template() {
+        let msgs = corpus();
+        let refs: Vec<&str> = msgs.iter().map(|s| s.as_str()).collect();
+        let miner = DrainMiner::mine(&refs, DrainConfig::default());
+        assert_eq!(
+            miner.len(),
+            4,
+            "templates: {:?}",
+            miner.signatures().iter().map(|s| s.pattern()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn templates_wildcard_variable_positions() {
+        let msgs = corpus();
+        let refs: Vec<&str> = msgs.iter().map(|s| s.as_str()).collect();
+        let miner = DrainMiner::mine(&refs, DrainConfig::default());
+        for sig in miner.signatures() {
+            for tok in &sig.tokens {
+                if let SigToken::Lit(w) = tok {
+                    assert!(!looks_variable(w), "literal {:?} looks variable", w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_consistent_for_fresh_instances() {
+        let msgs = corpus();
+        let refs: Vec<&str> = msgs.iter().map(|s| s.as_str()).collect();
+        let miner = DrainMiner::mine(&refs, DrainConfig::default());
+        let a = miner.match_message("BGP peer 99.1.2.3 session flap count 777");
+        let b = miner.match_message("BGP peer 5.5.5.5 session flap count 2");
+        assert!(a.is_some());
+        assert_eq!(a, b);
+        let c = miner.match_message("fan tray 9 failure detected on slot 9");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unseen_structure_returns_none() {
+        let msgs = corpus();
+        let refs: Vec<&str> = msgs.iter().map(|s| s.as_str()).collect();
+        let miner = DrainMiner::mine(&refs, DrainConfig::default());
+        assert_eq!(miner.match_message(""), None);
+        assert_eq!(miner.match_message("word"), None);
+    }
+
+    #[test]
+    fn agrees_with_signature_tree_on_rendered_catalog() {
+        // Both miners must induce the same partition of a rendered
+        // template corpus: same-template messages together, different
+        // templates apart.
+        use crate::message::Severity;
+        use crate::template::{Layer, TemplateSet};
+        use rand::{rngs::SmallRng, SeedableRng};
+
+        let mut set = TemplateSet::new();
+        set.add("rpd", Severity::Info, Layer::Protocol, "BGP peer {ip} established after {num} retries");
+        set.add("rpd", Severity::Info, Layer::Protocol, "OSPF neighbor {ip} adjacency timer {num} expired");
+        set.add("dcd", Severity::Error, Layer::Link, "interface {iface} flap storm of {num} events");
+        set.add("kernel", Severity::Warning, Layer::System, "memory pool {hex} usage at {num} percent");
+
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut texts = Vec::new();
+        let mut truth = Vec::new();
+        for t in set.iter() {
+            for _ in 0..25 {
+                texts.push(t.render(&mut rng));
+                truth.push(t.id);
+            }
+        }
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let drain = DrainMiner::mine(&refs, DrainConfig::default());
+        let tree = SignatureTree::build(&refs, &SignatureTreeConfig::default());
+
+        for i in 0..texts.len() {
+            for j in (i + 1)..texts.len() {
+                let same_truth = truth[i] == truth[j];
+                let same_drain =
+                    drain.match_message(&texts[i]) == drain.match_message(&texts[j]);
+                let same_tree =
+                    tree.match_message(&texts[i]) == tree.match_message(&texts[j]);
+                assert_eq!(same_drain, same_truth, "drain split/merged {} vs {}", i, j);
+                assert_eq!(same_tree, same_truth, "tree split/merged {} vs {}", i, j);
+            }
+        }
+    }
+}

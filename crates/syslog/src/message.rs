@@ -1,0 +1,118 @@
+//! The syslog message model and RFC3164-style rendering.
+
+use crate::time::rfc3164_timestamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// RFC3164 severity levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// System is unusable.
+    Emergency = 0,
+    /// Action must be taken immediately.
+    Alert = 1,
+    /// Critical conditions.
+    Critical = 2,
+    /// Error conditions.
+    Error = 3,
+    /// Warning conditions.
+    Warning = 4,
+    /// Normal but significant condition.
+    Notice = 5,
+    /// Informational messages.
+    Info = 6,
+    /// Debug-level messages.
+    Debug = 7,
+}
+
+impl Severity {
+    /// Numeric severity code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a numeric severity code.
+    pub fn from_code(code: u8) -> Option<Severity> {
+        Some(match code {
+            0 => Severity::Emergency,
+            1 => Severity::Alert,
+            2 => Severity::Critical,
+            3 => Severity::Error,
+            4 => Severity::Warning,
+            5 => Severity::Notice,
+            6 => Severity::Info,
+            7 => Severity::Debug,
+            _ => return None,
+        })
+    }
+}
+
+/// One syslog message as emitted by a (simulated or real) device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyslogMessage {
+    /// Seconds since the simulation epoch.
+    pub timestamp: u64,
+    /// Emitting host name (e.g. `vpe07`).
+    pub host: String,
+    /// Emitting process/daemon (e.g. `rpd`, `chassisd`).
+    pub process: String,
+    /// Message severity.
+    pub severity: Severity,
+    /// Free-form message body.
+    pub text: String,
+}
+
+impl SyslogMessage {
+    /// Renders the message as a single RFC3164-style line:
+    /// `<PRI>Mmm dd hh:mm:ss host process: text`
+    /// with facility fixed to local7 (23), as typical for network gear.
+    pub fn to_line(&self) -> String {
+        let pri = 23 * 8 + self.severity.code() as u16;
+        format!(
+            "<{}>{} {} {}: {}",
+            pri,
+            rfc3164_timestamp(self.timestamp),
+            self.host,
+            self.process,
+            self.text
+        )
+    }
+}
+
+impl fmt::Display for SyslogMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_code_roundtrip() {
+        for code in 0..8u8 {
+            assert_eq!(Severity::from_code(code).unwrap().code(), code);
+        }
+        assert_eq!(Severity::from_code(8), None);
+    }
+
+    #[test]
+    fn line_format_contains_all_fields() {
+        let msg = SyslogMessage {
+            timestamp: 3661,
+            host: "vpe03".to_string(),
+            process: "rpd".to_string(),
+            severity: Severity::Warning,
+            text: "BGP peer 10.0.0.1 session flap".to_string(),
+        };
+        let line = msg.to_line();
+        assert_eq!(line, "<188>Oct  1 01:01:01 vpe03 rpd: BGP peer 10.0.0.1 session flap");
+    }
+
+    #[test]
+    fn severity_ordering_matches_rfc() {
+        assert!(Severity::Emergency < Severity::Error);
+        assert!(Severity::Error < Severity::Info);
+    }
+}

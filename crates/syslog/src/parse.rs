@@ -1,0 +1,187 @@
+//! Parsing RFC3164-style syslog lines back into [`SyslogMessage`]s.
+//!
+//! The parser accepts the format produced by
+//! [`SyslogMessage::to_line`](crate::message::SyslogMessage::to_line):
+//! `<PRI>Mmm dd hh:mm:ss host process: text`. Because RFC3164 headers
+//! carry no year, the caller supplies the epoch-relative year context
+//! implicitly: timestamps are resolved against the simulation epoch by
+//! searching forward from a caller-provided lower bound.
+
+use crate::message::{Severity, SyslogMessage};
+use crate::time::{civil_from_epoch, DAY};
+
+/// Error produced when a line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "syslog parse error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(reason: impl Into<String>) -> ParseError {
+    ParseError { reason: reason.into() }
+}
+
+const MONTH_ABBR: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Parses one syslog line. `not_before` is a lower bound (in epoch
+/// seconds) used to resolve the year-less RFC3164 timestamp; pass the
+/// timestamp of the previous message (or 0) when reading a stream in
+/// order.
+pub fn parse_line(line: &str, not_before: u64) -> Result<SyslogMessage, ParseError> {
+    // <PRI>
+    let rest = line.strip_prefix('<').ok_or_else(|| err("missing <PRI>"))?;
+    let close = rest.find('>').ok_or_else(|| err("unterminated <PRI>"))?;
+    let pri: u16 = rest[..close].parse().map_err(|_| err("non-numeric PRI"))?;
+    let severity =
+        Severity::from_code((pri % 8) as u8).ok_or_else(|| err("bad severity"))?;
+    let rest = &rest[close + 1..];
+
+    // Mmm dd hh:mm:ss — the header is fixed-width ASCII; validate that
+    // before byte-indexed slicing so non-ASCII garbage yields an error
+    // instead of a char-boundary panic.
+    if rest.len() < 16 || !rest.as_bytes()[..16].is_ascii() {
+        return Err(err("truncated or non-ascii timestamp"));
+    }
+    let month_str = &rest[0..3];
+    let month = MONTH_ABBR
+        .iter()
+        .position(|&m| m == month_str)
+        .ok_or_else(|| err(format!("unknown month {:?}", month_str)))? as u32
+        + 1;
+    let day: u32 = rest[4..6].trim().parse().map_err(|_| err("bad day"))?;
+    let hour: u32 = rest[7..9].parse().map_err(|_| err("bad hour"))?;
+    let minute: u32 = rest[10..12].parse().map_err(|_| err("bad minute"))?;
+    let second: u32 = rest[13..15].parse().map_err(|_| err("bad second"))?;
+    if !(1..=31).contains(&day) || hour > 23 || minute > 59 || second > 59 {
+        return Err(err("timestamp field out of range"));
+    }
+    let rest = rest[15..].strip_prefix(' ').ok_or_else(|| err("missing space after time"))?;
+
+    // host process: text
+    let (host, rest) = rest.split_once(' ').ok_or_else(|| err("missing host"))?;
+    let (process, text) = rest.split_once(": ").ok_or_else(|| err("missing process"))?;
+
+    let timestamp = resolve_timestamp(month, day, hour, minute, second, not_before)
+        .ok_or_else(|| err("timestamp not resolvable after lower bound"))?;
+
+    Ok(SyslogMessage {
+        timestamp,
+        host: host.to_string(),
+        process: process.to_string(),
+        severity,
+        text: text.to_string(),
+    })
+}
+
+/// Finds the first epoch timestamp `>= not_before.saturating_sub(1 day)`
+/// whose calendar fields match. The one-day slack tolerates slightly
+/// out-of-order lines around a month boundary.
+fn resolve_timestamp(
+    month: u32,
+    day: u32,
+    hour: u32,
+    minute: u32,
+    second: u32,
+    not_before: u64,
+) -> Option<u64> {
+    let time_of_day = hour as u64 * 3600 + minute as u64 * 60 + second as u64;
+    let start_day = not_before.saturating_sub(DAY) / DAY;
+    // Scan at most ~2 years of days for the matching calendar date.
+    for d in start_day..start_day + 800 {
+        let civil = civil_from_epoch(d * DAY);
+        if civil.month == month && civil.day == day {
+            return Some(d * DAY + time_of_day);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(timestamp: u64) -> SyslogMessage {
+        SyslogMessage {
+            timestamp,
+            host: "vpe12".to_string(),
+            process: "chassisd".to_string(),
+            severity: Severity::Error,
+            text: "fan tray 2 failure detected on slot 4".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_at_epoch() {
+        let msg = sample(12_345);
+        let parsed = parse_line(&msg.to_line(), 0).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn roundtrip_after_year_rollover() {
+        // ~15 months in: Jan '18.
+        let ts = 460 * DAY + 7 * 3600;
+        let msg = sample(ts);
+        let parsed = parse_line(&msg.to_line(), ts - 100).unwrap();
+        assert_eq!(parsed.timestamp, ts);
+    }
+
+    #[test]
+    fn ambiguous_month_resolved_by_lower_bound() {
+        // "Oct  1" exists both at epoch (2016) and one year later (2017).
+        let msg_2017 = sample(365 * DAY);
+        let line = msg_2017.to_line();
+        let near_epoch = parse_line(&line, 0).unwrap();
+        assert_eq!(near_epoch.timestamp, 0 * DAY + msg_2017.timestamp % DAY);
+        let near_2017 = parse_line(&line, 360 * DAY).unwrap();
+        assert_eq!(near_2017.timestamp, msg_2017.timestamp);
+    }
+
+    #[test]
+    fn text_with_colons_survives() {
+        let msg = SyslogMessage {
+            timestamp: 60,
+            host: "vpe01".to_string(),
+            process: "rpd".to_string(),
+            severity: Severity::Notice,
+            text: "interface xe-0/0/1: carrier transitions: 5".to_string(),
+        };
+        let parsed = parse_line(&msg.to_line(), 0).unwrap();
+        assert_eq!(parsed.text, msg.text);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_line("no pri here", 0).is_err());
+        assert!(parse_line("<abc>Oct  1 00:00:00 h p: t", 0).is_err());
+        assert!(parse_line("<188>Xxx  1 00:00:00 h p: t", 0).is_err());
+        assert!(parse_line("<188>Oct  1 00:00:00 hostonly", 0).is_err());
+        assert!(parse_line("<188>Oct  1 00:00:00 host noprocess", 0).is_err());
+    }
+
+    #[test]
+    fn non_ascii_header_is_an_error_not_a_panic() {
+        assert!(parse_line("<188>Ja\u{e9}  1 00:00:00 host proc: text", 0).is_err());
+        // Non-ASCII in the message body is fine.
+        let ok = parse_line("<188>Oct  1 00:00:00 host proc: caf\u{e9} down", 0).unwrap();
+        assert!(ok.text.contains("caf\u{e9}"));
+    }
+
+    #[test]
+    fn out_of_range_time_fields_are_rejected() {
+        assert!(parse_line("<188>Oct  1 99:99:99 host proc: text", 0).is_err());
+        assert!(parse_line("<188>Oct  1 24:00:00 host proc: text", 0).is_err());
+        assert!(parse_line("<188>Oct 32 00:00:00 host proc: text", 0).is_err());
+        assert!(parse_line("<188>Oct  1 23:59:59 host proc: text", 0).is_ok());
+    }
+}

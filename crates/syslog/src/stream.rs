@@ -1,0 +1,295 @@
+//! Time-ordered template streams and sliding-window extraction.
+//!
+//! After signature matching, a vPE's syslog becomes a sequence of
+//! `(template id, timestamp)` records. The LSTM consumes fixed-length
+//! windows of `(id, normalized gap)` tuples and predicts the next id
+//! (§4.2 of the paper).
+
+use crate::time::{month_index, DAY};
+
+/// One structured log record: a template occurrence at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Seconds since the simulation epoch.
+    pub time: u64,
+    /// Template id (catalog or vocabulary id, per context).
+    pub template: usize,
+}
+
+/// A time-sorted sequence of log records for one host (or one pooled
+/// group of hosts).
+#[derive(Debug, Clone, Default)]
+pub struct LogStream {
+    records: Vec<LogRecord>,
+}
+
+/// Normalizes an inter-arrival gap (seconds) into `[0, 1]` with a
+/// logarithmic scale saturating at one day.
+pub fn gap_feature(gap_seconds: u64) -> f32 {
+    let g = (1.0 + gap_seconds as f64).ln() / (1.0 + DAY as f64).ln();
+    g.min(1.0) as f32
+}
+
+/// Fixed-length windows extracted from a stream, ready for the sequence
+/// model: window `i` covers `ids[i]`/`gaps[i]` and the training target is
+/// `targets[i]`, the template that actually followed at `times[i]`.
+#[derive(Debug, Clone, Default)]
+pub struct WindowSet {
+    /// Template-id windows.
+    pub ids: Vec<Vec<usize>>,
+    /// Normalized gap windows, parallel to `ids`.
+    pub gaps: Vec<Vec<f32>>,
+    /// The observed next template for each window.
+    pub targets: Vec<usize>,
+    /// Timestamp of each target record.
+    pub times: Vec<u64>,
+}
+
+impl WindowSet {
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no window was extracted.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends all windows of `other`.
+    pub fn extend(&mut self, other: WindowSet) {
+        self.ids.extend(other.ids);
+        self.gaps.extend(other.gaps);
+        self.targets.extend(other.targets);
+        self.times.extend(other.times);
+    }
+
+    /// Selects a subset of windows by index (used by the over-sampling
+    /// training loop).
+    pub fn gather(&self, indices: &[usize]) -> WindowSet {
+        WindowSet {
+            ids: indices.iter().map(|&i| self.ids[i].clone()).collect(),
+            gaps: indices.iter().map(|&i| self.gaps[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+            times: indices.iter().map(|&i| self.times[i]).collect(),
+        }
+    }
+}
+
+impl LogStream {
+    /// Builds a stream, sorting records by time (stable, so equal-time
+    /// records keep their relative order).
+    pub fn from_records(mut records: Vec<LogRecord>) -> LogStream {
+        records.sort_by_key(|r| r.time);
+        LogStream { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the stream holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, time-ordered.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Records with `start <= time < end`.
+    pub fn slice_time(&self, start: u64, end: u64) -> &[LogRecord] {
+        let lo = self.records.partition_point(|r| r.time < start);
+        let hi = self.records.partition_point(|r| r.time < end);
+        &self.records[lo..hi]
+    }
+
+    /// Normalized template frequency distribution over `vocab` ids for
+    /// records in `[start, end)`.
+    pub fn template_distribution(&self, vocab: usize, start: u64, end: u64) -> Vec<f32> {
+        let mut dist = vec![0.0f32; vocab];
+        let slice = self.slice_time(start, end);
+        for r in slice {
+            if r.template < vocab {
+                dist[r.template] += 1.0;
+            }
+        }
+        normalize_l1(&mut dist);
+        dist
+    }
+
+    /// Extracts every window of `k` consecutive records followed by a
+    /// target record, restricted to targets inside `[start, end)`.
+    ///
+    /// A `filter` receives the *target* record and can exclude windows
+    /// (used to drop log entries near tickets when building "normal"
+    /// training data).
+    pub fn windows_in(
+        &self,
+        k: usize,
+        start: u64,
+        end: u64,
+        mut filter: impl FnMut(&LogRecord) -> bool,
+    ) -> WindowSet {
+        assert!(k >= 1, "windows_in: window length must be >= 1");
+        let mut out = WindowSet::default();
+        if self.records.len() <= k {
+            return out;
+        }
+        for t in k..self.records.len() {
+            let target = &self.records[t];
+            if target.time < start || target.time >= end || !filter(target) {
+                continue;
+            }
+            let window = &self.records[t - k..t];
+            out.ids.push(window.iter().map(|r| r.template).collect());
+            let mut gaps = Vec::with_capacity(k);
+            for (j, r) in window.iter().enumerate() {
+                let prev_time =
+                    if t - k + j == 0 { r.time } else { self.records[t - k + j - 1].time };
+                gaps.push(gap_feature(r.time - prev_time));
+            }
+            out.gaps.push(gaps);
+            out.targets.push(target.template);
+            out.times.push(target.time);
+        }
+        out
+    }
+
+    /// All windows of the stream (no time restriction or filter).
+    pub fn windows(&self, k: usize) -> WindowSet {
+        self.windows_in(k, 0, u64::MAX, |_| true)
+    }
+
+    /// Splits the stream into per-month sub-streams keyed by the
+    /// zero-based month index since the epoch.
+    pub fn split_by_month(&self) -> Vec<(usize, LogStream)> {
+        let mut out: Vec<(usize, LogStream)> = Vec::new();
+        for r in &self.records {
+            let m = month_index(r.time);
+            match out.last_mut() {
+                Some((month, stream)) if *month == m => stream.records.push(*r),
+                _ => out.push((m, LogStream { records: vec![*r] })),
+            }
+        }
+        out
+    }
+}
+
+/// Local L1-normalize: nfv-syslog deliberately has no dependency on
+/// nfv-tensor, so this mirrors `nfv_tensor::vecops::normalize_l1`.
+fn normalize_l1(v: &mut [f32]) {
+    let sum: f32 = v.iter().sum();
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> LogStream {
+        LogStream::from_records(vec![
+            LogRecord { time: 10, template: 0 },
+            LogRecord { time: 20, template: 1 },
+            LogRecord { time: 35, template: 2 },
+            LogRecord { time: 50, template: 1 },
+            LogRecord { time: 90, template: 0 },
+        ])
+    }
+
+    #[test]
+    fn records_are_sorted_on_construction() {
+        let s = LogStream::from_records(vec![
+            LogRecord { time: 50, template: 1 },
+            LogRecord { time: 10, template: 0 },
+        ]);
+        assert_eq!(s.records()[0].time, 10);
+    }
+
+    #[test]
+    fn slice_time_bounds_are_half_open() {
+        let s = stream();
+        let slice = s.slice_time(20, 50);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice[0].time, 20);
+        assert_eq!(slice[1].time, 35);
+    }
+
+    #[test]
+    fn template_distribution_is_normalized() {
+        let s = stream();
+        let dist = s.template_distribution(3, 0, 100);
+        assert_eq!(dist.len(), 3);
+        assert!((dist.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((dist[1] - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windows_have_correct_targets_and_gaps() {
+        let s = stream();
+        let ws = s.windows(2);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws.ids[0], vec![0, 1]);
+        assert_eq!(ws.targets[0], 2);
+        assert_eq!(ws.times[0], 35);
+        // Gap of the very first record is defined as 0.
+        assert_eq!(ws.gaps[0][0], gap_feature(0));
+        assert_eq!(ws.gaps[0][1], gap_feature(10));
+        // Last window: records at 35, 50 targeting 90.
+        assert_eq!(ws.ids[2], vec![2, 1]);
+        assert_eq!(ws.targets[2], 0);
+    }
+
+    #[test]
+    fn window_filter_excludes_targets() {
+        let s = stream();
+        let ws = s.windows_in(2, 0, u64::MAX, |r| r.template != 0);
+        // The target=0 window at time 90 is dropped.
+        assert_eq!(ws.len(), 2);
+        assert!(ws.targets.iter().all(|&t| t != 0));
+    }
+
+    #[test]
+    fn short_stream_yields_no_windows() {
+        let s = LogStream::from_records(vec![LogRecord { time: 1, template: 0 }]);
+        assert!(s.windows(3).is_empty());
+    }
+
+    #[test]
+    fn gap_feature_is_monotone_and_saturates() {
+        assert_eq!(gap_feature(0), 0.0);
+        assert!(gap_feature(60) < gap_feature(3600));
+        assert_eq!(gap_feature(DAY), 1.0);
+        assert_eq!(gap_feature(10 * DAY), 1.0);
+    }
+
+    #[test]
+    fn split_by_month_groups_contiguously() {
+        let s = LogStream::from_records(vec![
+            LogRecord { time: 0, template: 0 },
+            LogRecord { time: 5 * DAY, template: 1 },
+            LogRecord { time: 40 * DAY, template: 2 },
+        ]);
+        let months = s.split_by_month();
+        assert_eq!(months.len(), 2);
+        assert_eq!(months[0].0, 0);
+        assert_eq!(months[0].1.len(), 2);
+        assert_eq!(months[1].0, 1);
+    }
+
+    #[test]
+    fn gather_selects_windows() {
+        let s = stream();
+        let ws = s.windows(2);
+        let sub = ws.gather(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.ids[0], ws.ids[2]);
+        assert_eq!(sub.targets[1], ws.targets[0]);
+    }
+}

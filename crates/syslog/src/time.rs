@@ -1,0 +1,177 @@
+//! Minimal civil-time arithmetic for rendering syslog timestamps.
+//!
+//! The simulation clock is a `u64` count of seconds since the simulation
+//! epoch (2016-10-01 00:00:00, the start of the paper's 18-month
+//! window). Syslog's RFC3164 header needs month/day/hour/minute/second,
+//! so this module converts epoch offsets to calendar fields without
+//! pulling in a date-time dependency.
+
+/// Simulation epoch: 2016-10-01.
+pub const EPOCH_YEAR: u32 = 2016;
+/// Month (1-based) of the simulation epoch.
+pub const EPOCH_MONTH: u32 = 10;
+
+/// Seconds per minute.
+pub const MINUTE: u64 = 60;
+/// Seconds per hour.
+pub const HOUR: u64 = 3600;
+/// Seconds per day.
+pub const DAY: u64 = 86_400;
+
+const MONTH_ABBR: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Calendar fields of a simulation timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CivilTime {
+    /// Full year, e.g. 2017.
+    pub year: u32,
+    /// 1-based month.
+    pub month: u32,
+    /// 1-based day of month.
+    pub day: u32,
+    /// Hour in `[0, 24)`.
+    pub hour: u32,
+    /// Minute in `[0, 60)`.
+    pub minute: u32,
+    /// Second in `[0, 60)`.
+    pub second: u32,
+}
+
+fn is_leap(year: u32) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+fn days_in_month(year: u32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        other => panic!("invalid month {}", other),
+    }
+}
+
+/// Converts an epoch offset in seconds to calendar fields.
+pub fn civil_from_epoch(seconds: u64) -> CivilTime {
+    let mut days = seconds / DAY;
+    let rem = seconds % DAY;
+    let mut year = EPOCH_YEAR;
+    let mut month = EPOCH_MONTH;
+    loop {
+        let dim = days_in_month(year, month) as u64;
+        if days < dim {
+            break;
+        }
+        days -= dim;
+        month += 1;
+        if month > 12 {
+            month = 1;
+            year += 1;
+        }
+    }
+    CivilTime {
+        year,
+        month,
+        day: days as u32 + 1,
+        hour: (rem / HOUR) as u32,
+        minute: ((rem % HOUR) / MINUTE) as u32,
+        second: (rem % MINUTE) as u32,
+    }
+}
+
+/// Formats the RFC3164 `Mmm dd hh:mm:ss` header portion.
+pub fn rfc3164_timestamp(seconds: u64) -> String {
+    let t = civil_from_epoch(seconds);
+    format!(
+        "{} {:>2} {:02}:{:02}:{:02}",
+        MONTH_ABBR[(t.month - 1) as usize],
+        t.day,
+        t.hour,
+        t.minute,
+        t.second
+    )
+}
+
+/// Zero-based month index since the simulation epoch (month 0 = Oct '16),
+/// used by the paper's monthly train/update/test protocol.
+pub fn month_index(seconds: u64) -> usize {
+    let t = civil_from_epoch(seconds);
+    ((t.year - EPOCH_YEAR) * 12 + t.month - EPOCH_MONTH) as usize
+}
+
+/// First second of the given zero-based month index.
+pub fn month_start(month_idx: usize) -> u64 {
+    let mut seconds = 0u64;
+    let mut year = EPOCH_YEAR;
+    let mut month = EPOCH_MONTH;
+    for _ in 0..month_idx {
+        seconds += days_in_month(year, month) as u64 * DAY;
+        month += 1;
+        if month > 12 {
+            month = 1;
+            year += 1;
+        }
+    }
+    seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_oct_first() {
+        let t = civil_from_epoch(0);
+        assert_eq!((t.year, t.month, t.day, t.hour, t.minute, t.second), (2016, 10, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn rollover_to_next_month_and_year() {
+        // October has 31 days.
+        let t = civil_from_epoch(31 * DAY);
+        assert_eq!((t.year, t.month, t.day), (2016, 11, 1));
+        // Oct + Nov + Dec = 31 + 30 + 31 = 92 days.
+        let t = civil_from_epoch(92 * DAY);
+        assert_eq!((t.year, t.month, t.day), (2017, 1, 1));
+    }
+
+    #[test]
+    fn leap_february_2020_has_29_days() {
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2017, 2), 28);
+        assert_eq!(days_in_month(2100, 2), 28);
+        assert_eq!(days_in_month(2000, 2), 29);
+    }
+
+    #[test]
+    fn rfc3164_format() {
+        assert_eq!(rfc3164_timestamp(0), "Oct  1 00:00:00");
+        assert_eq!(rfc3164_timestamp(DAY + 3 * HOUR + 4 * MINUTE + 5), "Oct  2 03:04:05");
+    }
+
+    #[test]
+    fn month_index_counts_from_epoch() {
+        assert_eq!(month_index(0), 0);
+        assert_eq!(month_index(31 * DAY), 1); // Nov '16
+        assert_eq!(month_index(92 * DAY), 3); // Jan '17
+        assert_eq!(month_index(month_start(17)), 17); // Mar '18, last month
+    }
+
+    #[test]
+    fn month_start_round_trips_with_month_index() {
+        for m in 0..18 {
+            let s = month_start(m);
+            assert_eq!(month_index(s), m, "month {}", m);
+            if s > 0 {
+                assert_eq!(month_index(s - 1), m - 1, "end of month {}", m - 1);
+            }
+        }
+    }
+}

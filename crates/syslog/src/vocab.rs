@@ -1,0 +1,125 @@
+//! Template vocabulary: maps sparse signature/catalog ids to the dense,
+//! bounded id space the sequence model is trained over.
+//!
+//! Id 0 is reserved for unknown templates. The vocabulary can reserve
+//! spare capacity so that templates first seen *after* a software update
+//! can be assigned dense ids without changing the model's output width —
+//! a prerequisite for the paper's transfer-learning adaptation, which
+//! keeps the architecture fixed and fine-tunes only the top layers.
+
+use std::collections::HashMap;
+
+/// Dense id reserved for out-of-vocabulary templates.
+pub const UNKNOWN_ID: usize = 0;
+
+/// A template vocabulary with optional spare capacity.
+#[derive(Debug, Clone)]
+pub struct TemplateVocab {
+    map: HashMap<usize, usize>,
+    /// Dense id -> raw id (raw id of `UNKNOWN_ID` is `usize::MAX`).
+    rev: Vec<usize>,
+    capacity: usize,
+}
+
+impl TemplateVocab {
+    /// Builds a vocabulary from the raw template ids observed in
+    /// training data, reserving `spare` additional dense slots for
+    /// templates discovered later.
+    pub fn build(raw_ids: impl IntoIterator<Item = usize>, spare: usize) -> TemplateVocab {
+        let mut map = HashMap::new();
+        let mut rev = vec![usize::MAX]; // slot 0 = UNKNOWN
+        for raw in raw_ids {
+            map.entry(raw).or_insert_with(|| {
+                rev.push(raw);
+                rev.len() - 1
+            });
+        }
+        let capacity = rev.len() + spare;
+        TemplateVocab { map, rev, capacity }
+    }
+
+    /// Total dense-id space (model output width), including unused spare
+    /// slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of dense ids currently assigned (including `UNKNOWN_ID`).
+    pub fn assigned(&self) -> usize {
+        self.rev.len()
+    }
+
+    /// Encodes a raw id, returning [`UNKNOWN_ID`] when unseen.
+    pub fn encode(&self, raw: usize) -> usize {
+        self.map.get(&raw).copied().unwrap_or(UNKNOWN_ID)
+    }
+
+    /// Encodes a raw id, assigning a spare dense slot on first sight when
+    /// capacity remains. Returns the dense id either way (possibly
+    /// [`UNKNOWN_ID`] when full).
+    pub fn encode_or_assign(&mut self, raw: usize) -> usize {
+        if let Some(&dense) = self.map.get(&raw) {
+            return dense;
+        }
+        if self.rev.len() < self.capacity {
+            let dense = self.rev.len();
+            self.rev.push(raw);
+            self.map.insert(raw, dense);
+            dense
+        } else {
+            UNKNOWN_ID
+        }
+    }
+
+    /// Decodes a dense id back to the raw id (`None` for unknown/unused).
+    pub fn decode(&self, dense: usize) -> Option<usize> {
+        match self.rev.get(dense) {
+            Some(&raw) if raw != usize::MAX => Some(raw),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_assigns_dense_ids_in_first_seen_order() {
+        let v = TemplateVocab::build([42, 7, 42, 99], 0);
+        assert_eq!(v.encode(42), 1);
+        assert_eq!(v.encode(7), 2);
+        assert_eq!(v.encode(99), 3);
+        assert_eq!(v.assigned(), 4);
+        assert_eq!(v.capacity(), 4);
+    }
+
+    #[test]
+    fn unseen_ids_encode_to_unknown() {
+        let v = TemplateVocab::build([1, 2], 0);
+        assert_eq!(v.encode(777), UNKNOWN_ID);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let v = TemplateVocab::build([10, 20], 3);
+        assert_eq!(v.decode(v.encode(10)), Some(10));
+        assert_eq!(v.decode(UNKNOWN_ID), None);
+        assert_eq!(v.decode(100), None);
+    }
+
+    #[test]
+    fn spare_slots_absorb_new_templates() {
+        let mut v = TemplateVocab::build([1], 2);
+        assert_eq!(v.capacity(), 4);
+        let a = v.encode_or_assign(50);
+        let b = v.encode_or_assign(60);
+        assert_ne!(a, UNKNOWN_ID);
+        assert_ne!(b, UNKNOWN_ID);
+        assert_ne!(a, b);
+        // Capacity exhausted: further new templates collapse to UNKNOWN.
+        assert_eq!(v.encode_or_assign(70), UNKNOWN_ID);
+        // Existing assignments are stable.
+        assert_eq!(v.encode_or_assign(50), a);
+    }
+}

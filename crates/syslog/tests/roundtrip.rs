@@ -1,0 +1,102 @@
+//! Property tests for the raw-text path: template render -> signature
+//! extraction -> message matching must be consistent.
+
+use nfv_syslog::message::{Severity, SyslogMessage};
+use nfv_syslog::parse::parse_line;
+use nfv_syslog::template::Layer;
+use nfv_syslog::{SignatureTree, SignatureTreeConfig, TemplateSet};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// A small catalog of distinct template structures.
+fn catalog() -> TemplateSet {
+    let mut set = TemplateSet::new();
+    set.add("rpd", Severity::Warning, Layer::Protocol, "BGP peer {ip} session flap detected");
+    set.add("rpd", Severity::Notice, Layer::Protocol, "OSPF neighbor {ip} state changed to Full");
+    set.add("dcd", Severity::Error, Layer::Link, "interface {iface} carrier transition down");
+    set.add("chassisd", Severity::Critical, Layer::Physical, "fan tray {num} failure on slot {num}");
+    set.add("kernel", Severity::Info, Layer::System, "task {hex} scheduler latency {num} ms exceeded");
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rendering many instances and rebuilding the signature tree always
+    /// recovers a tree that maps fresh renders of template T to the same
+    /// signature id as other renders of T, and different templates to
+    /// different ids.
+    #[test]
+    fn render_extract_match_is_consistent(seed in 0u64..1000) {
+        let set = catalog();
+        let mut rng = SmallRng::seed_from_u64(seed);
+
+        // Training corpus: 25 renders of each template.
+        let mut corpus = Vec::new();
+        for t in set.iter() {
+            for _ in 0..25 {
+                corpus.push(t.render(&mut rng));
+            }
+        }
+        let refs: Vec<&str> = corpus.iter().map(|s| s.as_str()).collect();
+        let tree = SignatureTree::build(&refs, &SignatureTreeConfig::default());
+
+        // Fresh renders must match, consistently per template.
+        let mut seen_ids = Vec::new();
+        for t in set.iter() {
+            let a = tree.match_message(&t.render(&mut rng));
+            let b = tree.match_message(&t.render(&mut rng));
+            prop_assert!(a.is_some(), "template {} unmatched", t.id);
+            prop_assert_eq!(a, b, "template {} mapped inconsistently", t.id);
+            seen_ids.push(a.unwrap());
+        }
+        // Distinct templates map to distinct signatures.
+        let unique: std::collections::HashSet<usize> = seen_ids.iter().copied().collect();
+        prop_assert_eq!(unique.len(), seen_ids.len());
+    }
+
+    /// Syslog line rendering followed by parsing is the identity on all
+    /// fields for arbitrary timestamps inside the 18-month window.
+    #[test]
+    fn line_roundtrip(ts in 0u64..46_656_000, sev in 0u8..8, host_n in 0usize..38) {
+        let msg = SyslogMessage {
+            timestamp: ts,
+            host: format!("vpe{:02}", host_n),
+            process: "rpd".to_string(),
+            severity: Severity::from_code(sev).unwrap(),
+            text: "BGP peer 10.1.2.3 session flap detected".to_string(),
+        };
+        let parsed = parse_line(&msg.to_line(), ts.saturating_sub(60)).unwrap();
+        prop_assert_eq!(parsed, msg);
+    }
+
+    /// The gap feature is monotone in the gap.
+    #[test]
+    fn gap_feature_monotone(a in 0u64..200_000, b in 0u64..200_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(nfv_syslog::stream::gap_feature(lo) <= nfv_syslog::stream::gap_feature(hi));
+    }
+
+    /// Window extraction never fabricates data: every extracted window is
+    /// a contiguous slice of the stream and targets the record that
+    /// actually followed.
+    #[test]
+    fn windows_are_faithful(times in prop::collection::vec(0u64..10_000, 5..40), k in 1usize..4) {
+        let records: Vec<nfv_syslog::LogRecord> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| nfv_syslog::LogRecord { time: t, template: i % 7 })
+            .collect();
+        let stream = nfv_syslog::LogStream::from_records(records);
+        let ws = stream.windows(k);
+        let recs = stream.records();
+        prop_assert_eq!(ws.len(), recs.len().saturating_sub(k));
+        for (i, ids) in ws.ids.iter().enumerate() {
+            for (j, &id) in ids.iter().enumerate() {
+                prop_assert_eq!(id, recs[i + j].template);
+            }
+            prop_assert_eq!(ws.targets[i], recs[i + k].template);
+            prop_assert_eq!(ws.times[i], recs[i + k].time);
+        }
+    }
+}

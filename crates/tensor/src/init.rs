@@ -1,0 +1,45 @@
+//! Seeded random weight initializers.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `rows x cols` weight matrix:
+/// samples from `U(-limit, limit)` with `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    uniform_in(rows, cols, -limit, limit, rng)
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn uniform_in(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+    assert!(lo < hi, "uniform_in: empty range");
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let limit = (6.0 / 30.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v > -limit && v < limit));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = xavier_uniform(5, 5, &mut SmallRng::seed_from_u64(42));
+        let b = xavier_uniform(5, 5, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = uniform_in(8, 8, -0.25, 0.25, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-0.25..0.25).contains(&v)));
+    }
+}

@@ -1,0 +1,20 @@
+//! Dense `f32` linear-algebra kernels and statistics utilities.
+//!
+//! This crate is the numeric foundation of the `nfvpredict` workspace. It
+//! deliberately follows the smoltcp design philosophy: simplicity and
+//! robustness over clever type-level tricks. There is a single dense,
+//! row-major [`Matrix`] type, a handful of free vector functions, seeded
+//! random initializers, and the descriptive statistics (quantiles, CDFs,
+//! histograms) used by the analysis figures of the paper reproduction.
+//!
+//! Shape errors are programming errors, not runtime conditions, so the
+//! kernels `assert!` on mismatched dimensions with descriptive messages
+//! rather than returning `Result`.
+
+pub mod init;
+pub mod matrix;
+pub mod stats;
+pub mod vecops;
+
+pub use init::{xavier_uniform, uniform_in};
+pub use matrix::Matrix;

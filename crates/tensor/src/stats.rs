@@ -1,0 +1,205 @@
+//! Descriptive statistics used by the paper-reproduction figures:
+//! empirical quantiles and CDFs (Fig 1b, Fig 3), histograms (Fig 1a),
+//! and a running mean/variance accumulator.
+
+/// Empirical quantile of `data` at `q` in `[0, 1]` using linear
+/// interpolation between order statistics (type-7, the numpy default).
+///
+/// Returns `None` for an empty slice.
+pub fn quantile(data: &[f32], q: f32) -> Option<f32> {
+    if data.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile: q={} outside [0,1]", q);
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile over data that is already sorted ascending.
+pub fn quantile_sorted(sorted: &[f32], q: f32) -> f32 {
+    assert!(!sorted.is_empty(), "quantile_sorted: empty input");
+    let pos = q as f64 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = (pos - lo as f64) as f32;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// The five standard box-plot quantiles `(min, q25, median, q75, max)`.
+pub fn five_number_summary(data: &[f32]) -> Option<(f32, f32, f32, f32, f32)> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some((
+        sorted[0],
+        quantile_sorted(&sorted, 0.25),
+        quantile_sorted(&sorted, 0.5),
+        quantile_sorted(&sorted, 0.75),
+        sorted[sorted.len() - 1],
+    ))
+}
+
+/// Empirical CDF evaluated at the given `points`: fraction of `data <= p`.
+pub fn ecdf_at(data: &[f32], points: &[f32]) -> Vec<f32> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    points
+        .iter()
+        .map(|&p| {
+            let count = sorted.partition_point(|&v| v <= p);
+            if sorted.is_empty() {
+                0.0
+            } else {
+                count as f32 / sorted.len() as f32
+            }
+        })
+        .collect()
+}
+
+/// `(value, cumulative_fraction)` pairs of the full empirical CDF,
+/// one pair per distinct sorted sample.
+pub fn ecdf(data: &[f32]) -> Vec<(f32, f32)> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f32;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f32 / n))
+        .collect()
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values
+/// outside the range are clamped into the first/last bucket.
+pub fn histogram(data: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram: need at least one bin");
+    assert!(lo < hi, "histogram: empty range");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &v in data {
+        let idx = (((v - lo) / width) as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f32) {
+        self.n += 1;
+        let delta = x as f64 - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x as f64 - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Running population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f32 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64) as f32
+        }
+    }
+
+    /// Running population standard deviation.
+    pub fn std_dev(&self) -> f32 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_median_of_odd() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        // Sorted: [10, 20, 30, 40]; q=0.5 -> between 20 and 30.
+        assert_eq!(quantile(&[40.0, 10.0, 30.0, 20.0], 0.5), Some(25.0));
+        assert_eq!(quantile(&[40.0, 10.0, 30.0, 20.0], 0.0), Some(10.0));
+        assert_eq!(quantile(&[40.0, 10.0, 30.0, 20.0], 1.0), Some(40.0));
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn five_number_summary_known() {
+        let (min, q25, med, q75, max) =
+            five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!((min, q25, med, q75, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn ecdf_at_fractions() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ecdf_at(&data, &[0.5, 2.0, 10.0]), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_ends_at_one() {
+        let data = [5.0, 1.0, 3.0, 3.0];
+        let cdf = ecdf(&data);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let h = histogram(&[-1.0, 0.1, 0.5, 0.9, 2.0], 0.0, 1.0, 2);
+        // -1.0 clamps into bin 0; 0.5 lands exactly on the bin-1 boundary;
+        // 2.0 clamps into bin 1.
+        assert_eq!(h, vec![2, 3]);
+    }
+
+    #[test]
+    fn running_stats_match_batch() {
+        let data = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let mut rs = RunningStats::new();
+        for &x in &data {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 5);
+        assert!((rs.mean() - 3.0).abs() < 1e-6);
+        assert!((rs.variance() - 2.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the tensor kernels.
+
+use nfv_tensor::stats;
+use nfv_tensor::vecops;
+use nfv_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary matrix with dimensions in [1, 8] and
+/// well-behaved finite elements.
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn matrix_with_shape(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-100.0f32..100.0, r * c)
+        .prop_map(move |data| Matrix::from_vec(r, c, data))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy()) {
+        let t = m.transpose().transpose();
+        prop_assert_eq!(t.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        dims in (1usize..=5, 1usize..=5, 1usize..=5)
+    ) {
+        let (r, k, c) = dims;
+        let a = Matrix::from_fn(r, k, |i, j| ((i * 7 + j * 3) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(k, c, |i, j| ((i * 5 + j * 2) % 13) as f32 - 6.0);
+        let mut b2 = b.clone();
+        b2.scale(2.0);
+        // a * (b + b) == (a*b) + (a*b)
+        let lhs = a.matmul(&b2);
+        let mut rhs = a.matmul(&b);
+        let rhs2 = rhs.clone();
+        rhs.add_assign(&rhs2);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_nt_agree_with_naive(m in matrix_strategy()) {
+        let g = m.matmul_tn(&m); // m^T m: (cols x cols), PSD
+        let naive = m.transpose().matmul(&m);
+        for (x, y) in g.as_slice().iter().zip(naive.as_slice().iter()) {
+            prop_assert!((x - y).abs() < 1e-2 * (1.0 + x.abs()));
+        }
+        // Diagonal of a Gram matrix is non-negative.
+        for i in 0..g.rows() {
+            prop_assert!(g.get(i, i) >= -1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix_strategy()) {
+        let mut s = m.clone();
+        s.softmax_rows_inplace();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn hstack_then_split_roundtrip(a in matrix_with_shape(3, 2), b in matrix_with_shape(3, 4)) {
+        let h = Matrix::hstack(&[&a, &b]);
+        prop_assert_eq!(h.shape(), (3, 6));
+        for r in 0..3 {
+            prop_assert_eq!(&h.row(r)[..2], a.row(r));
+            prop_assert_eq!(&h.row(r)[2..], b.row(r));
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(
+        a in prop::collection::vec(-50.0f32..50.0, 1..16),
+    ) {
+        let b: Vec<f32> = a.iter().map(|v| v * 0.5 + 1.0).collect();
+        let s = vecops::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&s));
+        // Self-similarity of a nonzero vector is 1.
+        if vecops::norm2(&a) > 1e-3 {
+            prop_assert!((vecops::cosine_similarity(&a, &a) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(data in prop::collection::vec(-1e4f32..1e4, 1..64)) {
+        let q1 = stats::quantile(&data, 0.25).unwrap();
+        let q2 = stats::quantile(&data, 0.5).unwrap();
+        let q3 = stats::quantile(&data, 0.75).unwrap();
+        prop_assert!(q1 <= q2 && q2 <= q3);
+        let lo = stats::quantile(&data, 0.0).unwrap();
+        let hi = stats::quantile(&data, 1.0).unwrap();
+        prop_assert!(data.iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn ecdf_at_is_monotone_in_points(data in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let points: Vec<f32> = (-10..=10).map(|i| i as f32 * 10.0).collect();
+        let cdf = stats::ecdf_at(&data, &points);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_mass(data in prop::collection::vec(-10.0f32..10.0, 0..128)) {
+        let h = stats::histogram(&data, -5.0, 5.0, 7);
+        prop_assert_eq!(h.iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn top_k_returns_descending_values(data in prop::collection::vec(-100.0f32..100.0, 1..32)) {
+        let k = data.len().min(5);
+        let idx = vecops::top_k(&data, k);
+        prop_assert_eq!(idx.len(), k);
+        for w in idx.windows(2) {
+            prop_assert!(data[w[0]] >= data[w[1]]);
+        }
+    }
+}

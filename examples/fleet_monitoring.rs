@@ -1,0 +1,190 @@
+//! Fleet monitoring: the "runtime predictive analysis system running in
+//! parallel with existing reactive monitoring" the paper envisions —
+//! streaming edition.
+//!
+//! A detector is trained on the first month of raw syslogs and wrapped
+//! in one [`OnlineMonitor`] per vPE. The remaining months are then
+//! replayed message by message, exactly as a live deployment would see
+//! them; each monitor emits warning signatures incrementally, and the
+//! replay reconciles every warning against the ticket history (early
+//! warning / error / false alarm). A final signature report aggregates
+//! which message patterns drove the warnings (§5.3).
+//!
+//! ```text
+//! cargo run --release --example fleet_monitoring
+//! ```
+
+use nfvpredict::detect::codec::LogCodec;
+use nfvpredict::detect::online::OnlineMonitor;
+use nfvpredict::detect::triage::signature_report;
+use nfvpredict::prelude::*;
+use nfvpredict::syslog::time::{month_start, rfc3164_timestamp, DAY, MINUTE};
+
+fn main() {
+    let mut sim = SimConfig::preset(SimPreset::Fast, 11);
+    sim.n_vpes = 5;
+    sim.months = 3;
+    let trace = FleetTrace::simulate(sim.clone());
+    println!(
+        "deployment: {} vPEs, {} messages, {} tickets over {} months\n",
+        sim.n_vpes,
+        trace.total_messages(),
+        trace.tickets.len(),
+        sim.months
+    );
+
+    // --- Train on month 0 (ticket-free), pooled across the fleet. ---
+    let train_end = month_start(1);
+    let mut sample = Vec::new();
+    for vpe in 0..sim.n_vpes {
+        sample.extend(
+            trace.messages(vpe).iter().filter(|m| m.timestamp < train_end).cloned(),
+        );
+    }
+    let codec = LogCodec::train(&sample, 16);
+    let mut detector = LstmDetector::new(LstmDetectorConfig {
+        vocab: codec.vocab_size(),
+        epochs: 2,
+        max_train_windows: 10_000,
+        ..Default::default()
+    });
+    let streams: Vec<LogStream> = (0..sim.n_vpes)
+        .map(|vpe| {
+            let intervals: Vec<(u64, u64)> = trace
+                .tickets_for(vpe)
+                .iter()
+                .map(|t| (t.report_time.saturating_sub(3 * DAY), t.repair_time))
+                .collect();
+            let filtered: Vec<SyslogMessage> = trace
+                .messages(vpe)
+                .iter()
+                .filter(|m| {
+                    m.timestamp < train_end
+                        && !intervals.iter().any(|&(lo, hi)| m.timestamp >= lo && m.timestamp <= hi)
+                })
+                .cloned()
+                .collect();
+            codec.encode_stream(&filtered)
+        })
+        .collect();
+    detector.fit(&streams.iter().collect::<Vec<_>>());
+
+    // Alarm threshold: 99.9th percentile of training scores.
+    let mut scores: Vec<f32> = streams
+        .iter()
+        .flat_map(|s| detector.score(s, 0, u64::MAX).into_iter().map(|e| e.score))
+        .collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let threshold = scores[((scores.len() - 1) as f32 * 0.999) as usize];
+    println!("armed {} monitors with threshold {:.2}\n", sim.n_vpes, threshold);
+
+    // --- One streaming monitor per vPE; replay months 1+. ---
+    let mapping = MappingConfig::default();
+    let mut monitors: Vec<OnlineMonitor> = (0..sim.n_vpes)
+        .map(|_| {
+            let bundle = nfvpredict::detect::ModelBundle::pack(&codec, &detector, threshold, &mapping);
+            let (codec, det) = bundle.unpack();
+            OnlineMonitor::new(codec, det, threshold, mapping)
+        })
+        .collect();
+
+    // Merge all vPE feeds into one time-ordered replay.
+    let mut feed: Vec<(usize, &SyslogMessage)> = (0..sim.n_vpes)
+        .flat_map(|vpe| {
+            trace.messages(vpe).iter().filter(|m| m.timestamp >= train_end).map(move |m| (vpe, m))
+        })
+        .collect();
+    feed.sort_by_key(|(_, m)| m.timestamp);
+
+    let mut alerts: Vec<(u64, usize, String, String)> = Vec::new();
+    let mut per_vpe_clusters: Vec<Vec<u64>> = vec![Vec::new(); sim.n_vpes];
+    for (vpe, m) in feed {
+        if let Some(warning) = monitors[vpe].observe(m) {
+            per_vpe_clusters[vpe].push(warning.start);
+            // Reconcile against the ticket history (Fig 4 windows).
+            let mut verdict = "FALSE ALARM".to_string();
+            for t in trace.tickets_for(vpe) {
+                if t.cause == TicketCause::Maintenance {
+                    continue;
+                }
+                let window_start = t.report_time.saturating_sub(mapping.predictive_period);
+                if warning.start >= window_start && warning.start < t.report_time {
+                    verdict = format!(
+                        "EARLY WARNING: {} ticket #{} follows in {} min",
+                        t.cause.label(),
+                        t.id,
+                        (t.report_time - warning.start) / MINUTE
+                    );
+                    break;
+                } else if warning.start >= t.report_time && warning.start <= t.repair_time {
+                    verdict = format!("ERROR inside {} ticket #{}", t.cause.label(), t.id);
+                    break;
+                }
+            }
+            alerts.push((warning.start, vpe, verdict, warning.peak_text));
+        }
+    }
+
+    println!("=== live warning feed (first 25) ===");
+    for (time, vpe, verdict, peak) in alerts.iter().take(25) {
+        println!("[{}] vpe{:02}  {}", rfc3164_timestamp(*time), vpe, verdict);
+        println!("        peak message: {}", peak);
+    }
+    if alerts.len() > 25 {
+        println!("... {} more warnings", alerts.len() - 25);
+    }
+
+    // --- Signature report across the fleet (§5.3). ---
+    println!("\n=== signature report ===");
+    let mut merged: Vec<nfvpredict::detect::triage::SignatureFinding> = Vec::new();
+    for vpe in 0..sim.n_vpes {
+        let tickets: Vec<Ticket> = trace
+            .tickets_for(vpe)
+            .iter()
+            .filter(|t| t.cause != TicketCause::Maintenance)
+            .map(|&&t| t)
+            .collect();
+        let rows = signature_report(
+            trace.messages(vpe),
+            &codec,
+            &per_vpe_clusters[vpe],
+            &tickets,
+            &mapping,
+        );
+        for row in rows {
+            match merged.iter_mut().find(|r| r.pattern == row.pattern) {
+                Some(existing) => {
+                    existing.clusters += row.clusters;
+                    existing.early_warnings += row.early_warnings;
+                    existing.errors += row.errors;
+                    existing.false_alarms += row.false_alarms;
+                }
+                None => merged.push(row),
+            }
+        }
+    }
+    merged.sort_by(|a, b| b.clusters.cmp(&a.clusters));
+    for row in merged.iter().take(8) {
+        println!(
+            "{:>3} clusters  hit-rate {:>4.0}%  ({} early / {} error / {} false)",
+            row.clusters,
+            row.hit_rate() * 100.0,
+            row.early_warnings,
+            row.errors,
+            row.false_alarms
+        );
+        println!("     pattern: {}", row.pattern);
+    }
+
+    let early = alerts.iter().filter(|a| a.2.starts_with("EARLY")).count();
+    let errors = alerts.iter().filter(|a| a.2.starts_with("ERROR")).count();
+    let false_alarms = alerts.len() - early - errors;
+    let tested_days = (month_start(sim.months) - train_end) as f32 / DAY as f32;
+    println!(
+        "\n=== summary: {} early warnings, {} errors, {} false alarms ({:.2}/day fleet-wide) ===",
+        early,
+        errors,
+        false_alarms,
+        false_alarms as f32 / tested_days
+    );
+}

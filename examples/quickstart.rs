@@ -1,0 +1,62 @@
+//! Quickstart: simulate a small NFV deployment, train the LSTM anomaly
+//! detector on its first month of syslogs, and map the detected
+//! anomalies to trouble tickets.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nfvpredict::prelude::*;
+
+fn main() {
+    // 1. A small deployment: 6 vPEs, 3 simulated months of raw syslog
+    //    text plus a trouble-ticket history.
+    let mut sim = SimConfig::preset(SimPreset::Fast, 42);
+    sim.n_vpes = 6;
+    sim.months = 3;
+    let trace = FleetTrace::simulate(sim);
+    println!(
+        "simulated {} syslog messages and {} tickets on {} vPEs",
+        trace.total_messages(),
+        trace.tickets.len(),
+        trace.config.n_vpes
+    );
+    println!("first raw line: {}", trace.messages(0)[0].to_line());
+
+    // 2. Run the paper's pipeline: mine templates from month 0, group
+    //    vPEs by syslog similarity, train one LSTM per group, then test
+    //    on the following months with monthly incremental updates.
+    let mut cfg = PipelineConfig::default();
+    cfg.lstm.epochs = 2;
+    cfg.lstm.max_train_windows = 10_000;
+    let run = run_pipeline(&trace, &cfg);
+    println!(
+        "pipeline: vocab={} templates, {} vPE groups (modularity {:.2})",
+        run.vocab, run.grouping.k, run.grouping.modularity
+    );
+
+    // 3. Sweep the anomaly threshold into a precision-recall curve and
+    //    pick the operating point that maximizes the F-measure.
+    let curve = eval::sweep_prc(&run, &cfg.mapping, 30);
+    let best = curve.best_f_point().expect("non-empty curve");
+    println!(
+        "operating point: precision {:.2}, recall {:.2}, F {:.2} (threshold {:.2})",
+        best.precision, best.recall, best.f_measure, best.threshold
+    );
+
+    // 4. Inspect the mapping at the operating point: early warnings vs
+    //    errors vs false alarms (Fig 4 semantics).
+    let mapping = eval::fleet_mapping(&run, best.threshold, &cfg.mapping);
+    println!(
+        "warning clusters: {} early warnings, {} errors, {} false alarms over {} tickets",
+        mapping.early_warnings,
+        mapping.errors,
+        mapping.false_alarms,
+        mapping.per_ticket.len()
+    );
+
+    // 5. How early do warnings arrive, per ticket type?
+    let rows = eval::per_type_detection(&run, &cfg.mapping, best.threshold, &eval::FIG8_OFFSETS);
+    println!("\ndetection rate by ticket type (offsets -15m..+15m):");
+    print!("{}", nfv_detect::report::format_detection_table(&rows, &eval::FIG8_OFFSETS));
+}

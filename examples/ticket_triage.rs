@@ -1,0 +1,92 @@
+//! Ticket triage: the operational workflow of §5.3.
+//!
+//! For every trouble ticket, the tool lists the syslog warning clusters
+//! in its predictive and infected windows and classifies the ticket
+//! into the paper's operational categories: predictive signal available
+//! (anomaly >= 5 min early), early-detection candidate (anomaly just
+//! before or at the ticket), NFV-visible aftermath only (anomaly within
+//! 15 min after), or syslog-silent.
+//!
+//! ```text
+//! cargo run --release --example ticket_triage
+//! ```
+
+use nfvpredict::detect::triage::{categorize, triage_histogram, TriageCategory};
+use nfvpredict::prelude::*;
+use nfvpredict::syslog::time::{rfc3164_timestamp, MINUTE};
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut sim = SimConfig::preset(SimPreset::Fast, 23);
+    sim.n_vpes = 6;
+    sim.months = 3;
+    let trace = FleetTrace::simulate(sim);
+
+    let mut cfg = PipelineConfig::default();
+    cfg.lstm.epochs = 2;
+    cfg.lstm.max_train_windows = 10_000;
+    let run = run_pipeline(&trace, &cfg);
+    let threshold = eval::sweep_prc(&run, &cfg.mapping, 24)
+        .best_f_point()
+        .expect("curve")
+        .threshold;
+
+    // Earliest mapped warning per ticket.
+    let mapping = eval::fleet_mapping(&run, threshold, &cfg.mapping);
+
+    let mut categories: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for outcome in &mapping.per_ticket {
+        let cat = categorize(outcome);
+        let rank = match cat {
+            TriageCategory::PredictiveSignal => 1,
+            TriageCategory::EarlyDetection => 2,
+            TriageCategory::VisibleAftermath => 3,
+            TriageCategory::LateVisibility => 4,
+            TriageCategory::SyslogSilent => 5,
+        };
+        let category = format!("{}. {}", rank, cat.label());
+        let lead = match outcome.earliest_offset {
+            Some(o) if o < 0 => format!("{} min early", -o / MINUTE as i64),
+            Some(o) => format!("{} min late", o / MINUTE as i64),
+            None => "-".to_string(),
+        };
+        categories.entry(category).or_default().push(format!(
+            "ticket #{:<4} {:<9} reported {}  first warning: {}",
+            outcome.ticket,
+            outcome.cause.label(),
+            rfc3164_timestamp(outcome.report_time),
+            lead
+        ));
+    }
+
+    println!("=== ticket triage at operating threshold {:.2} ===\n", threshold);
+    for (category, rows) in &categories {
+        println!("{} — {} tickets", category, rows.len());
+        for row in rows.iter().take(6) {
+            println!("   {}", row);
+        }
+        if rows.len() > 6 {
+            println!("   ... {} more", rows.len() - 6);
+        }
+        println!();
+    }
+
+    // Aggregate histogram via the library helper.
+    let hist = triage_histogram(&mapping.per_ticket);
+    println!("=== histogram ===");
+    for (cat, n) in &hist {
+        println!("{:<40} {}", cat.label(), n);
+    }
+    println!();
+
+    let total = mapping.per_ticket.len().max(1);
+    let with_signal =
+        mapping.per_ticket.iter().filter(|o| o.earliest_offset.is_some()).count();
+    println!(
+        "{} of {} non-maintenance tickets ({:.0}%) have syslog-visible anomalies — the\n\
+         paper's Q2 answer was ~80% within 15 minutes of ticket generation.",
+        with_signal,
+        total,
+        100.0 * with_signal as f32 / total as f32
+    );
+}

@@ -1,0 +1,186 @@
+//! Software-update adaptation: demonstrates the transfer-learning
+//! mechanism of §4.3 in isolation.
+//!
+//! A teacher LSTM is trained on pre-update syslogs and an alarm
+//! threshold is calibrated on its normal-data score distribution. A
+//! software update then renames/reshapes a large share of templates,
+//! sending the stale model's alarm rate through the roof (the paper
+//! observed a 14x false-alarm surge). The student model — a copy of the
+//! teacher with the embedding and bottom LSTM frozen — is fine-tuned on
+//! just one week of post-update data and recovers; retraining from
+//! scratch on the same week is clearly worse.
+//!
+//! ```text
+//! cargo run --release --example update_adaptation
+//! ```
+
+use nfvpredict::detect::codec::LogCodec;
+use nfvpredict::prelude::*;
+use nfvpredict::syslog::time::{month_start, DAY};
+
+fn ticket_free(
+    trace: &FleetTrace,
+    stream: &LogStream,
+    vpe: usize,
+    start: u64,
+    end: u64,
+) -> LogStream {
+    nfvpredict::detect::pipeline::ticket_free(stream, &trace.tickets_for(vpe), 3 * DAY, start, end)
+}
+
+/// Fraction of scored events above `threshold`, in alarms per 1000
+/// normal log messages.
+fn alarm_rate(det: &LstmDetector, streams: &[LogStream], threshold: f32) -> f32 {
+    let mut above = 0usize;
+    let mut total = 0usize;
+    for s in streams {
+        let events = det.score(s, 0, u64::MAX);
+        above += events.iter().filter(|e| e.score >= threshold).count();
+        total += events.len();
+    }
+    1000.0 * above as f32 / total.max(1) as f32
+}
+
+fn main() {
+    // A deployment whose software update lands in month 2.
+    let mut sim = SimConfig::preset(SimPreset::Fast, 5);
+    sim.n_vpes = 6;
+    sim.months = 5;
+    sim.update_month = Some(2);
+    sim.update_fraction = 1.0; // update the whole fleet for clarity
+    let trace = FleetTrace::simulate(sim.clone());
+    println!("simulated {} messages; update rolls out in month 2", trace.total_messages());
+
+    // Codec mined on month 0, with spare slots for post-update templates.
+    let sample: Vec<SyslogMessage> = (0..sim.n_vpes)
+        .flat_map(|v| {
+            trace.messages(v).iter().filter(|m| m.timestamp < month_start(1)).cloned()
+        })
+        .collect();
+    let mut codec = LogCodec::train(&sample, 24);
+    println!("codec: {} templates (+spare)", codec.vocab_size());
+
+    // Teacher: trained on the two pre-update months, all vPEs pooled.
+    let mut lstm_cfg = LstmDetectorConfig::default();
+    lstm_cfg.vocab = codec.vocab_size();
+    lstm_cfg.epochs = 3;
+    lstm_cfg.max_train_windows = 15_000;
+    let mut teacher = LstmDetector::new(lstm_cfg.clone());
+    let pre_streams: Vec<LogStream> = (0..sim.n_vpes)
+        .map(|v| {
+            let s = codec.encode_stream(trace.messages(v));
+            ticket_free(&trace, &s, v, 0, month_start(2))
+        })
+        .collect();
+    teacher.fit(&pre_streams.iter().collect::<Vec<_>>());
+
+    // Alarm threshold: the 99.5th percentile of the teacher's scores on
+    // its own normal data (the pipeline's trigger calibration).
+    let mut scores: Vec<f32> = pre_streams
+        .iter()
+        .flat_map(|s| teacher.score(s, 0, u64::MAX).into_iter().map(|e| e.score))
+        .collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let threshold = scores[(scores.len() as f32 * 0.995) as usize];
+    let rate_pre = alarm_rate(&teacher, &pre_streams, threshold);
+    println!(
+        "teacher trained; alarm threshold {:.2} -> {:.1} alarms per 1000 normal messages",
+        threshold, rate_pre
+    );
+
+    // The update month passes. The codec re-mines templates so new
+    // shapes get dense ids; the stale teacher then faces month 3.
+    let post_week_end = month_start(3) + 7 * DAY;
+    codec.refresh(
+        &(0..sim.n_vpes)
+            .flat_map(|v| {
+                trace
+                    .messages(v)
+                    .iter()
+                    .filter(|m| m.timestamp >= month_start(3) && m.timestamp < post_week_end)
+                    .cloned()
+            })
+            .collect::<Vec<_>>(),
+    );
+    let post_streams: Vec<LogStream> = (0..sim.n_vpes)
+        .map(|v| {
+            let s = codec.encode_stream(trace.messages(v));
+            ticket_free(&trace, &s, v, month_start(3), month_start(4))
+        })
+        .collect();
+    let rate_stale = alarm_rate(&teacher, &post_streams, threshold);
+    println!(
+        "stale model on post-update month: {:.1} alarms per 1000 messages ({:.0}x surge)",
+        rate_stale,
+        rate_stale / rate_pre.max(0.01)
+    );
+
+    // One week of post-update data.
+    let week_streams: Vec<LogStream> = (0..sim.n_vpes)
+        .map(|v| {
+            let s = codec.encode_stream(trace.messages(v));
+            ticket_free(&trace, &s, v, month_start(3), post_week_end)
+        })
+        .collect();
+    let week_refs: Vec<&LogStream> = week_streams.iter().collect();
+
+    // Student A: transfer learning (copy teacher, freeze bottom,
+    // fine-tune top on the week).
+    let mut student = LstmDetector::new(LstmDetectorConfig { seed: 101, ..lstm_cfg.clone() });
+    student.copy_weights_from(&teacher);
+    student.adapt(&week_refs);
+
+    // Student B: from scratch on the same week.
+    let mut scratch = LstmDetector::new(LstmDetectorConfig { seed: 202, ..lstm_cfg });
+    scratch.fit(&week_refs);
+
+    // Fair comparison: each model gets its own threshold calibrated to
+    // the same false-alarm budget (q99.5 of its scores on post-update
+    // normal data), then we measure how much of the ground-truth
+    // injected fault traffic of month 3 it still catches. Different
+    // models have different score scales, so a shared threshold would
+    // reward an undertrained model for being uniformly unsure.
+    let own_threshold = |det: &LstmDetector| {
+        let mut s: Vec<f32> = post_streams
+            .iter()
+            .flat_map(|st| det.score(st, 0, u64::MAX).into_iter().map(|e| e.score))
+            .collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[(s.len() as f32 * 0.995) as usize]
+    };
+    let injected_recall = |det: &LstmDetector| {
+        let thr = own_threshold(det);
+        let (mut hit, mut total) = (0usize, 0usize);
+        for vpe in 0..sim.n_vpes {
+            let injected: std::collections::HashSet<u64> = trace
+                .injected(vpe)
+                .iter()
+                .filter(|&&(t, _)| t >= month_start(3) && t < month_start(4))
+                .map(|&(t, _)| t)
+                .collect();
+            if injected.is_empty() {
+                continue;
+            }
+            let full = codec.encode_stream(trace.messages(vpe));
+            for e in det.score(&full, month_start(3), month_start(4)) {
+                if injected.contains(&e.time) {
+                    total += 1;
+                    if e.score >= thr {
+                        hit += 1;
+                    }
+                }
+            }
+        }
+        hit as f32 / total.max(1) as f32
+    };
+
+    let recall_student = injected_recall(&student);
+    let recall_scratch = injected_recall(&scratch);
+    println!("\n=== recall of injected fault anomalies at an equal false-alarm budget ===");
+    println!("transfer-learning student  : {:>5.2}  (1 week of data)", recall_student);
+    println!("retrained from scratch     : {:>5.2}  (same week of data)", recall_scratch);
+    println!(
+        "\nThe paper's finding: transfer learning on ~1 week of data replaces the\n\
+         ~3 months of collection a from-scratch retrain would need (§4.3, §5.2)."
+    );
+}

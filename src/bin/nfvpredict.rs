@@ -1,0 +1,326 @@
+//! `nfvpredict` — command-line front end for the reproduction.
+//!
+//! ```text
+//! nfvpredict simulate --out DIR [--preset fast|full] [--seed N]
+//!     Simulate a deployment: writes one raw syslog file per vPE plus
+//!     tickets.tsv.
+//!
+//! nfvpredict train --logs DIR --model FILE [--months N] [--window K]
+//!                  [--epochs E] [--tickets FILE]
+//!     Mine templates from the raw logs, train the LSTM detector on the
+//!     first N months (default 1), calibrate the alarm threshold, and
+//!     save a deployable model bundle.
+//!
+//! nfvpredict detect --model FILE --log FILE
+//!     Score a raw syslog file with a trained bundle and print the
+//!     warning clusters.
+//!
+//! nfvpredict evaluate [--preset fast|full] [--seed N]
+//!     End-to-end pipeline evaluation on a simulated deployment
+//!     (precision-recall curve and operating point).
+//! ```
+
+use nfvpredict::detect::bundle::ModelBundle;
+use nfvpredict::detect::mapping::warning_clusters;
+use nfvpredict::prelude::*;
+use nfvpredict::syslog::parse::parse_line;
+use nfvpredict::syslog::time::{month_start, rfc3164_timestamp, DAY};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: nfvpredict <simulate|train|detect|evaluate> [flags]");
+        return ExitCode::from(2);
+    };
+    let allowed: &[&str] = match command.as_str() {
+        "simulate" => &["out", "preset", "seed"],
+        "train" => &["logs", "model", "months", "window", "epochs", "tickets"],
+        "detect" => &["model", "log"],
+        "evaluate" => &["preset", "seed"],
+        _ => &[],
+    };
+    let flags = match parse_flags(&args[1..], allowed) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "train" => cmd_train(&flags),
+        "detect" => cmd_detect(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        other => Err(format!("unknown command {:?}", other)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Flags = BTreeMap<String, String>;
+
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", flag))?;
+        if !allowed.is_empty() && !allowed.contains(&name) {
+            return Err(format!(
+                "unknown flag --{} (expected one of: {})",
+                name,
+                allowed.iter().map(|f| format!("--{}", f)).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        let value =
+            it.next().ok_or_else(|| format!("flag --{} needs a value", name))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a Flags, name: &str) -> Option<&'a str> {
+    flags.get(name).map(|s| s.as_str())
+}
+
+fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flag(flags, name).ok_or_else(|| format!("missing required flag --{}", name))
+}
+
+fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
+    let seed: u64 = flag(flags, "seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    match flag(flags, "preset").unwrap_or("fast") {
+        "fast" => Ok(SimConfig::preset(SimPreset::Fast, seed)),
+        "full" => Ok(SimConfig::preset(SimPreset::Full, seed)),
+        other => Err(format!("unknown preset {:?} (fast|full)", other)),
+    }
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let out = PathBuf::from(required(flags, "out")?);
+    let cfg = sim_config(flags)?;
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    eprintln!("simulating {} vPEs over {} months...", cfg.n_vpes, cfg.months);
+    let trace = FleetTrace::simulate(cfg.clone());
+
+    for vpe in 0..cfg.n_vpes {
+        let path = out.join(format!("{}.log", trace.topology.vpes[vpe].name));
+        let mut body = String::new();
+        for m in trace.messages(vpe) {
+            body.push_str(&m.to_line());
+            body.push('\n');
+        }
+        std::fs::write(&path, body).map_err(|e| e.to_string())?;
+    }
+    let mut tickets = String::from("id\tvpe\tcause\treport_time\trepair_time\n");
+    for t in &trace.tickets {
+        tickets.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            t.id,
+            trace.topology.vpes[t.vpe].name,
+            t.cause.label(),
+            t.report_time,
+            t.repair_time
+        ));
+    }
+    std::fs::write(out.join("tickets.tsv"), tickets).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} messages across {} log files and {} tickets to {}",
+        trace.total_messages(),
+        cfg.n_vpes,
+        trace.tickets.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// Reads and parses one raw syslog file (lines in time order).
+fn read_log(path: &Path) -> Result<Vec<SyslogMessage>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path.display(), e))?;
+    let mut out = Vec::new();
+    let mut not_before = 0u64;
+    for (ln, line) in body.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let msg = parse_line(line, not_before)
+            .map_err(|e| format!("{}:{}: {}", path.display(), ln + 1, e))?;
+        not_before = msg.timestamp;
+        out.push(msg);
+    }
+    Ok(out)
+}
+
+/// Ticket intervals per vPE name, from a tickets.tsv file.
+fn read_ticket_intervals(path: &Path) -> Result<BTreeMap<String, Vec<(u64, u64)>>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut out: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+    for line in body.lines().skip(1) {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 5 {
+            continue;
+        }
+        let report: u64 = cols[3].parse().map_err(|_| "bad report_time")?;
+        let repair: u64 = cols[4].parse().map_err(|_| "bad repair_time")?;
+        out.entry(cols[1].to_string()).or_default().push((report, repair));
+    }
+    Ok(out)
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let logs_dir = PathBuf::from(required(flags, "logs")?);
+    let model_path = PathBuf::from(required(flags, "model")?);
+    let months: usize = flag(flags, "months").unwrap_or("1").parse().map_err(|_| "bad --months")?;
+    let window: usize = flag(flags, "window").unwrap_or("10").parse().map_err(|_| "bad --window")?;
+    let epochs: usize = flag(flags, "epochs").unwrap_or("3").parse().map_err(|_| "bad --epochs")?;
+    let train_end = month_start(months);
+
+    // Load every *.log file.
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&logs_dir)
+        .map_err(|e| e.to_string())?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .log files in {}", logs_dir.display()));
+    }
+    let intervals = match flag(flags, "tickets") {
+        Some(p) => read_ticket_intervals(Path::new(p))?,
+        None => BTreeMap::new(),
+    };
+
+    let mut all_msgs: Vec<Vec<SyslogMessage>> = Vec::new();
+    for f in &files {
+        all_msgs.push(read_log(f)?);
+    }
+    eprintln!(
+        "parsed {} messages from {} files",
+        all_msgs.iter().map(|m| m.len()).sum::<usize>(),
+        files.len()
+    );
+
+    // Mine the codec from the training window.
+    let sample: Vec<SyslogMessage> = all_msgs
+        .iter()
+        .flat_map(|msgs| msgs.iter().filter(|m| m.timestamp < train_end).cloned())
+        .collect();
+    if sample.is_empty() {
+        return Err("no messages inside the training window".to_string());
+    }
+    let codec = nfvpredict::detect::LogCodec::train(&sample, 24);
+    eprintln!("mined {} templates (+spare)", codec.assigned());
+
+    // Build ticket-free training streams.
+    let streams: Vec<LogStream> = all_msgs
+        .iter()
+        .map(|msgs| {
+            let host = msgs.first().map(|m| m.host.clone()).unwrap_or_default();
+            let windows = intervals.get(&host).cloned().unwrap_or_default();
+            let filtered: Vec<SyslogMessage> = msgs
+                .iter()
+                .filter(|m| {
+                    m.timestamp < train_end
+                        && !windows.iter().any(|&(report, repair)| {
+                            m.timestamp + 3 * DAY > report && m.timestamp <= repair
+                        })
+                })
+                .cloned()
+                .collect();
+            codec.encode_stream(&filtered)
+        })
+        .collect();
+
+    let mut det = LstmDetector::new(LstmDetectorConfig {
+        vocab: codec.vocab_size(),
+        window,
+        epochs,
+        ..Default::default()
+    });
+    eprintln!("training LSTM ({} epochs, window {})...", epochs, window);
+    det.fit(&streams.iter().collect::<Vec<_>>());
+
+    // Calibrate the alarm threshold at the 99.5th percentile of scores
+    // on the training data.
+    let mut scores: Vec<f32> = streams
+        .iter()
+        .flat_map(|s| det.score(s, 0, u64::MAX).into_iter().map(|e| e.score))
+        .collect();
+    if scores.is_empty() {
+        return Err("not enough data to calibrate a threshold".to_string());
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let threshold = scores[((scores.len() - 1) as f32 * 0.995) as usize];
+
+    let bundle = ModelBundle::pack(&codec, &det, threshold, &MappingConfig::default());
+    bundle.save(&model_path).map_err(|e| e.to_string())?;
+    println!(
+        "saved model bundle to {} (threshold {:.3}, {} parameters)",
+        model_path.display(),
+        threshold,
+        bundle.model.parameter_count()
+    );
+    Ok(())
+}
+
+fn cmd_detect(flags: &Flags) -> Result<(), String> {
+    let model_path = required(flags, "model")?;
+    let bundle = ModelBundle::load(Path::new(model_path))
+        .map_err(|e| format!("{}: {}", model_path, e))?;
+    let msgs = read_log(Path::new(required(flags, "log")?))?;
+    let (codec, det) = bundle.unpack();
+    let stream = codec.encode_stream(&msgs);
+    let events = det.score(&stream, 0, u64::MAX);
+    let clusters = warning_clusters(&events, bundle.threshold, &bundle.mapping());
+
+    println!(
+        "scored {} messages, {} anomalies above threshold {:.3}, {} warning clusters",
+        stream.len(),
+        events.iter().filter(|e| e.score >= bundle.threshold).count(),
+        bundle.threshold,
+        clusters.len()
+    );
+    for c in &clusters {
+        // Show the messages around the warning for operator context.
+        let span = bundle.cluster_gap.max(1);
+        let context: Vec<&SyslogMessage> =
+            msgs.iter().filter(|m| m.timestamp >= *c && m.timestamp < c + span).take(3).collect();
+        println!("WARNING at {}:", rfc3164_timestamp(*c));
+        for m in context {
+            println!("    {}", m.to_line());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
+    let cfg = sim_config(flags)?;
+    eprintln!("simulating {} vPEs over {} months...", cfg.n_vpes, cfg.months);
+    let trace = FleetTrace::simulate(cfg);
+    let mut pipe = PipelineConfig::default();
+    if flag(flags, "preset").unwrap_or("fast") == "fast" {
+        pipe.lstm.epochs = 2;
+        pipe.lstm.max_train_windows = 10_000;
+    }
+    eprintln!("running the monthly pipeline...");
+    let run = run_pipeline(&trace, &pipe);
+    let curve = eval::sweep_prc(&run, &pipe.mapping, 40);
+    print!("{}", nfvpredict::detect::report::format_prc("lstm", &curve));
+    if let Some(best) = curve.best_f_point() {
+        println!(
+            "false alarms per day at operating point: {:.2}",
+            eval::false_alarms_per_day(&run, &pipe.mapping, best.threshold)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # nfvpredict
+//!
+//! A complete, from-scratch Rust reproduction of *"Predictive Analysis
+//! in Network Function Virtualization"* (Li et al., IMC 2018): an
+//! unsupervised LSTM-based anomaly detector over virtualized
+//! provider-edge (vPE) router syslogs, whose anomalies serve as early
+//! warning signatures for network trouble tickets — together with every
+//! substrate the study depends on.
+//!
+//! ## Crate map
+//!
+//! | module | upstream crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `nfv-tensor` | dense f32 matrix kernels, statistics |
+//! | [`nn`] | `nfv-nn` | LSTM/dense/embedding layers, manual backprop, optimizers |
+//! | [`ml`] | `nfv-ml` | k-means + modularity, TF-IDF, one-class SVM, PCA, metrics |
+//! | [`syslog`] | `nfv-syslog` | message model, parser, signature tree, streams |
+//! | [`simnet`] | `nfv-simnet` | the simulated 38-vPE deployment (the paper's closed dataset, rebuilt synthetically) |
+//! | [`detect`] | `nfv-detect` | the paper's contribution: detectors, customization, adaptation, ticket mapping, evaluation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nfvpredict::prelude::*;
+//!
+//! // 1. Simulate a small NFV deployment (syslogs + trouble tickets).
+//! let mut sim = SimConfig::preset(SimPreset::Fast, 7);
+//! sim.n_vpes = 4;
+//! sim.months = 2;
+//! let trace = FleetTrace::simulate(sim);
+//!
+//! // 2. Run the LSTM anomaly-detection pipeline (train on month 0,
+//! //    test on month 1).
+//! let mut cfg = PipelineConfig::default();
+//! cfg.lstm.epochs = 1;
+//! cfg.lstm.max_train_windows = 500;
+//! let run = run_pipeline(&trace, &cfg);
+//!
+//! // 3. Sweep the detection threshold into a precision-recall curve.
+//! let curve = eval::sweep_prc(&run, &cfg.mapping, 10);
+//! assert!(!curve.points.is_empty());
+//! ```
+//!
+//! See `examples/` for full scenarios and `crates/bench/src/bin/` for
+//! the per-figure reproduction harnesses.
+
+pub use nfv_detect as detect;
+pub use nfv_ml as ml;
+pub use nfv_nn as nn;
+pub use nfv_simnet as simnet;
+pub use nfv_syslog as syslog;
+pub use nfv_tensor as tensor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use nfv_detect::eval;
+    pub use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig, PipelineRun};
+    pub use nfv_detect::{
+        AnomalyDetector, Grouping, LogCodec, LstmDetector, LstmDetectorConfig, MappingConfig,
+        ScoredEvent,
+    };
+    pub use nfv_simnet::{FleetTrace, SimConfig, SimPreset, Ticket, TicketCause};
+    pub use nfv_syslog::{LogRecord, LogStream, SyslogMessage};
+}

@@ -1,0 +1,99 @@
+//! End-to-end test of the `nfvpredict` CLI: simulate -> train -> detect
+//! on real files, exactly as a user would run it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nfvpredict"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nfvpredict_cli_{}", tag));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn simulate_train_detect_workflow() {
+    let dir = temp_dir("workflow");
+    let logs = dir.join("logs");
+
+    // 1. Simulate a small deployment to raw files.
+    let out = bin()
+        .args(["simulate", "--out", logs.to_str().unwrap(), "--preset", "fast", "--seed", "5"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let log_files: Vec<_> = std::fs::read_dir(&logs)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "log"))
+        .collect();
+    assert_eq!(log_files.len(), 10, "fast preset simulates 10 vPEs");
+    assert!(logs.join("tickets.tsv").exists());
+
+    // Raw files must be real syslog lines.
+    let first_log = std::fs::read_to_string(log_files[0].path()).unwrap();
+    let first_line = first_log.lines().next().unwrap();
+    assert!(first_line.starts_with('<'), "not a syslog line: {}", first_line);
+
+    // 2. Train a model bundle on month 0 (small settings for test speed).
+    let model = dir.join("model.json");
+    let out = bin()
+        .args([
+            "train",
+            "--logs",
+            logs.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--months",
+            "1",
+            "--window",
+            "6",
+            "--epochs",
+            "1",
+            "--tickets",
+            logs.join("tickets.tsv").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("saved model bundle"), "{}", stdout);
+
+    // 3. Detect on one vPE's feed.
+    let target = log_files[0].path();
+    let out = bin()
+        .args(["detect", "--model", model.to_str().unwrap(), "--log", target.to_str().unwrap()])
+        .output()
+        .expect("run detect");
+    assert!(out.status.success(), "detect failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scored"), "{}", stdout);
+    assert!(stdout.contains("warning clusters"), "{}", stdout);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let out = bin().output().expect("run without args");
+    assert!(!out.status.success());
+
+    let out = bin().args(["simulate"]).output().expect("simulate without --out");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    let out = bin()
+        .args(["train", "--logs", "/nonexistent-dir-xyz", "--model", "/tmp/x.json"])
+        .output()
+        .expect("train on missing dir");
+    assert!(!out.status.success());
+
+    let out = bin().args(["frobnicate", "--x", "1"]).output().expect("unknown command");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}

@@ -1,0 +1,51 @@
+//! Fig 6 integration check: the deep detectors (LSTM, autoencoder)
+//! should beat the shallow One-Class SVM under the identical pipeline,
+//! and the LSTM should not trail the autoencoder.
+
+use nfvpredict::prelude::*;
+
+#[test]
+fn deep_detectors_beat_shallow_ocsvm() {
+    let mut sim = SimConfig::preset(SimPreset::Fast, 71);
+    sim.n_vpes = 6;
+    sim.months = 3;
+    let trace = FleetTrace::simulate(sim);
+
+    let mut best_f = std::collections::HashMap::new();
+    for kind in [DetectorKind::Lstm, DetectorKind::Autoencoder, DetectorKind::Ocsvm] {
+        let mut cfg = PipelineConfig::default();
+        cfg.detector = kind;
+        cfg.lstm.epochs = 2;
+        cfg.lstm.oversample_rounds = 1;
+        cfg.lstm.max_train_windows = 6_000;
+        cfg.autoencoder.epochs = 15;
+        let run = run_pipeline(&trace, &cfg);
+        let f = eval::sweep_prc(&run, &cfg.mapping, 20)
+            .best_f_point()
+            .map(|p| p.f_measure)
+            .unwrap_or(0.0);
+        best_f.insert(format!("{:?}", kind), f);
+    }
+
+    let lstm = best_f["Lstm"];
+    let ae = best_f["Autoencoder"];
+    let svm = best_f["Ocsvm"];
+    assert!(
+        lstm > svm + 0.05,
+        "LSTM ({:.3}) should clearly beat OC-SVM ({:.3})",
+        lstm,
+        svm
+    );
+    assert!(
+        ae > svm,
+        "Autoencoder ({:.3}) should beat OC-SVM ({:.3})",
+        ae,
+        svm
+    );
+    assert!(
+        lstm >= ae - 0.05,
+        "LSTM ({:.3}) should not trail Autoencoder ({:.3})",
+        lstm,
+        ae
+    );
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: raw syslog text -> signature tree -> LSTM
+//! pipeline -> ticket mapping, asserting the qualitative claims of the
+//! paper on a small simulated deployment.
+
+use nfvpredict::prelude::*;
+
+fn small_trace(seed: u64) -> FleetTrace {
+    let mut sim = SimConfig::preset(SimPreset::Fast, seed);
+    sim.n_vpes = 6;
+    sim.months = 3;
+    FleetTrace::simulate(sim)
+}
+
+fn small_pipeline() -> PipelineConfig {
+    let mut cfg = PipelineConfig::default();
+    cfg.lstm.epochs = 2;
+    cfg.lstm.oversample_rounds = 1;
+    cfg.lstm.hidden = 24;
+    cfg.lstm.max_train_windows = 6_000;
+    cfg
+}
+
+#[test]
+fn lstm_pipeline_reaches_useful_operating_point() {
+    let trace = small_trace(42);
+    let cfg = small_pipeline();
+    let run = run_pipeline(&trace, &cfg);
+
+    assert_eq!(run.months.len(), 2, "tests months 1 and 2");
+    assert!(run.vocab > 10, "codec should mine a real vocabulary");
+
+    let curve = eval::sweep_prc(&run, &cfg.mapping, 24);
+    let best = curve.best_f_point().expect("non-empty PRC");
+    // The paper operates around precision 0.80 / recall 0.81. Leave slack
+    // for the small test configuration, but demand a clearly useful
+    // detector.
+    assert!(best.precision > 0.6, "precision {}", best.precision);
+    assert!(best.recall > 0.6, "recall {}", best.recall);
+    assert!(best.f_measure > 0.65, "F {}", best.f_measure);
+
+    // False alarms must be bounded at the operating point.
+    let fa = eval::false_alarms_per_day(&run, &cfg.mapping, best.threshold);
+    assert!(fa < 2.0, "false alarms per day {}", fa);
+}
+
+#[test]
+fn anomalies_precede_tickets_like_fig8() {
+    let trace = small_trace(7);
+    let cfg = small_pipeline();
+    let run = run_pipeline(&trace, &cfg);
+    let threshold =
+        eval::sweep_prc(&run, &cfg.mapping, 24).best_f_point().expect("curve").threshold;
+
+    let rows = eval::per_type_detection(&run, &cfg.mapping, threshold, &eval::FIG8_OFFSETS);
+    let rate = |cause: Option<TicketCause>, col: usize| {
+        rows.iter().find(|(c, _, _)| *c == cause).map(|(_, r, _)| r[col]).unwrap_or(0.0)
+    };
+    // Column 2 is offset 0 (pre-ticket detection); column 4 is +15 min.
+    let circuit_pre = rate(Some(TicketCause::Circuit), 2);
+    let hardware_pre = rate(Some(TicketCause::Hardware), 2);
+    assert!(
+        circuit_pre > hardware_pre,
+        "circuit ({}) should lead hardware ({}) in pre-ticket detection",
+        circuit_pre,
+        hardware_pre
+    );
+    // The paper's Q2: the majority of tickets show anomalies by +15 min.
+    let all_15 = rate(None, 4);
+    assert!(all_15 > 0.6, "detection by +15 min: {}", all_15);
+    // Detection rates are monotone in the offset.
+    for (_, rates, _) in &rows {
+        for w in rates.windows(2) {
+            assert!(w[0] <= w[1] + 1e-6);
+        }
+    }
+}
+
+#[test]
+fn customization_does_not_hurt_and_grouping_is_plausible() {
+    let trace = small_trace(13);
+    let mut cfg = small_pipeline();
+
+    cfg.customize = false;
+    let single = run_pipeline(&trace, &cfg);
+    assert_eq!(single.grouping.k, 1);
+
+    cfg.customize = true;
+    let grouped = run_pipeline(&trace, &cfg);
+    assert!(grouped.grouping.k >= 2, "expected multiple vPE groups");
+
+    let f_single = eval::sweep_prc(&single, &cfg.mapping, 20)
+        .best_f_point()
+        .map(|p| p.f_measure)
+        .unwrap_or(0.0);
+    let f_grouped = eval::sweep_prc(&grouped, &cfg.mapping, 20)
+        .best_f_point()
+        .map(|p| p.f_measure)
+        .unwrap_or(0.0);
+    // On this small config both work; customization must not collapse.
+    assert!(
+        f_grouped > f_single - 0.1,
+        "customized F {} vs single F {}",
+        f_grouped,
+        f_single
+    );
+}
+
+#[test]
+fn predictive_period_of_one_hour_is_no_better_than_one_day() {
+    // Fig 5: the PRC improves (or converges) as the predictive period
+    // grows from 1 hour to 1 day.
+    let trace = small_trace(19);
+    let cfg = small_pipeline();
+    let run = run_pipeline(&trace, &cfg);
+
+    let f_at = |period: u64| {
+        let mut mapping = cfg.mapping;
+        mapping.predictive_period = period;
+        eval::sweep_prc(&run, &mapping, 20).best_f_point().map(|p| p.f_measure).unwrap_or(0.0)
+    };
+    let f_1h = f_at(3_600);
+    let f_1d = f_at(86_400);
+    assert!(f_1d >= f_1h - 0.05, "1-day F {} should not trail 1-hour F {}", f_1d, f_1h);
+}
