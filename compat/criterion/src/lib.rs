@@ -1,0 +1,203 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the slice of criterion's API its benchmarks
+//! use. Statistics are deliberately simple: each benchmark warms up
+//! briefly, then runs timed batches until a time budget is spent, and
+//! reports the median per-iteration wall-clock time (plus throughput
+//! when configured). No plotting, no outlier analysis.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for drop-in compatibility with `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, for elements/second reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` amortizes per timing batch.
+/// The stand-in times each routine call individually, so the hint is
+/// accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per measurement.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let measurement = self.measurement;
+        eprintln!("group {}", name);
+        BenchmarkGroup { _criterion: self, name, throughput: None, sample_size: 0, measurement }
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    /// Unused by the stand-in (kept for API compatibility).
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n;
+    }
+
+    /// Defines and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), budget: self.measurement };
+        f(&mut bencher);
+        bencher.report(&self.name, &id, self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-call estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let calls = (self.budget.as_nanos() / estimate.as_nanos()).clamp(1, 100_000) as usize;
+        for _ in 0..calls {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let calls = (self.budget.as_nanos() / estimate.as_nanos()).clamp(1, 10_000) as usize;
+        for _ in 0..calls {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(mut self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            eprintln!("  {}/{}: no samples", group, id);
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        let per_iter_ns = median.as_nanos().max(1);
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.2e} elem/s)", n as f64 * 1e9 / per_iter_ns as f64)
+            }
+            Throughput::Bytes(n) => {
+                format!(" ({:.2e} B/s)", n as f64 * 1e9 / per_iter_ns as f64)
+            }
+        });
+        eprintln!(
+            "  {}/{}: median {:?} over {} samples{}",
+            group,
+            id,
+            median,
+            self.samples.len(),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_harness_runs() {
+        let mut c = Criterion { measurement: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4));
+        let mut count = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,340 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the slice of proptest's API its tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, `prop::collection::vec`, the [`proptest!`] macro
+//! (with optional `#![proptest_config(..)]`), and the `prop_assert*`
+//! macros.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (so
+//! failures reproduce deterministically) and there is **no shrinking** —
+//! a failing case reports its inputs via the panic message only.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The random source handed to strategies.
+pub type TestRng = SmallRng;
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Chains a value-dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMapStrategy<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        #[allow(non_camel_case_types)]
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! { (a, b) (a, b, c) (a, b, c, d) (a, b, c, d, e) (a, b, c, d, e, f) }
+
+/// A strategy yielding one fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection sizes: a fixed count or a range of counts.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for core::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `prop::collection` etc., mirroring proptest's module layout.
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::{IntoSizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec`s whose elements come from `element` and
+        /// whose length comes from `size`.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            size: L,
+        }
+
+        /// Builds a [`VecStrategy`].
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Everything tests typically import.
+pub mod prelude {
+    pub use super::{prop, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Skips the current case when the assumption does not hold. The body
+/// runs inside a per-case closure, so an early return abandons just this
+/// case (no replacement case is generated, unlike upstream).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests. Each function body runs for `cases`
+/// freshly generated inputs (default 64, override with
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`).
+#[macro_export]
+macro_rules! proptest {
+    // Internal muncher arms must precede the public entry arms: the
+    // trailing catch-all would otherwise re-capture `@fns ...` calls and
+    // recurse forever.
+    (@fns ($config:expr)) => {};
+    (
+        @fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        // Callers write `#[test]` themselves (as upstream requires), so
+        // the expansion only forwards the attributes it captured.
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $config;
+            // Deterministic seed derived from the test name so distinct
+            // tests explore distinct streams but failures reproduce.
+            let seed = {
+                let name = stringify!($name);
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            };
+            let mut rng: $crate::TestRng =
+                <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+            for case in 0..config.cases {
+                $(let $arg = ($strategy).generate(&mut rng);)*
+                // Render inputs up front: the body may consume them.
+                let mut rendered_inputs = String::new();
+                $(rendered_inputs.push_str(
+                    &format!("  {} = {:?}\n", stringify!($arg), $arg),
+                );)*
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {}/{} failed with inputs:\n{}",
+                        case + 1,
+                        config.cases,
+                        rendered_inputs
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+
+    // With a config override.
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    // Without: default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_collections_compose(
+            xs in prop::collection::vec(0u64..100, 1..8),
+            scale in 1usize..=3,
+        ) {
+            prop_assert!(xs.len() < 8 && !xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!((1..=3).contains(&scale));
+        }
+
+        #[test]
+        fn map_and_flat_map_work(
+            v in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| {
+                prop::collection::vec(-1.0f32..1.0, r * c).prop_map(move |d| (r, c, d))
+            }),
+        ) {
+            let (r, c, d) = v;
+            prop_assert_eq!(d.len(), r * c);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        use rand::SeedableRng;
+        let s = crate::prop::collection::vec(0u64..1000, 5);
+        let mut r1 = crate::TestRng::seed_from_u64(1);
+        let mut r2 = crate::TestRng::seed_from_u64(1);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

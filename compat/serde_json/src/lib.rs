@@ -1,0 +1,870 @@
+//! Hermetic stand-in for the `serde_json` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the slice of `serde_json`'s API it uses: the
+//! [`Value`] tree, [`Map`], [`from_str`]/[`to_string`]/
+//! [`to_string_pretty`] over `Value`s, and the [`json!`] macro. There is
+//! no `Serialize`/`Deserialize` derive layer — callers build and walk
+//! `Value` trees explicitly, which also keeps on-disk formats easy to
+//! validate (see `nfv_nn::checkpoint`).
+//!
+//! Object keys are stored in a `BTreeMap`, so serialization is
+//! canonical: the same tree always renders to the same bytes. Checkpoint
+//! checksums rely on this.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Ordered string-keyed map used for JSON objects.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map { inner: BTreeMap::new() }
+    }
+
+    /// Inserts a key-value pair, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Map { inner: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// A JSON number. `f32`-originated values keep their width so they
+/// render with the shortest `f32` representation instead of a blown-up
+/// `f64` expansion (checkpoints store millions of `f32` weights).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// 32-bit float.
+    F32(f32),
+}
+
+impl Number {
+    /// Value as `f64` (lossless for all variants).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+            Number::F32(v) => v as f64,
+        }
+    }
+
+    /// Value as `u64` when integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Value as `i64` when integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(v) => Some(v),
+            Number::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{}", v),
+            Number::I64(v) => write!(f, "{}", v),
+            // JSON has no NaN/inf; mirror serde_json and emit null so
+            // readers get a typed "expected number" error, not a panic.
+            Number::F64(v) if !v.is_finite() => write!(f, "null"),
+            Number::F32(v) if !v.is_finite() => write!(f, "null"),
+            Number::F64(v) => {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    write!(f, "{:.1}", v)
+                } else {
+                    write!(f, "{}", v)
+                }
+            }
+            Number::F32(v) => {
+                if v == v.trunc() && v.abs() < 1e7 {
+                    write!(f, "{:.1}", v)
+                } else {
+                    write!(f, "{}", v)
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow as bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as u64 (integral numbers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Borrow as i64 (integral numbers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Borrow as f64 (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Borrow as string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+// --- Conversions used by the json! macro and by checkpoint writers. ---
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F32(v))
+    }
+}
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U64(v as u64)) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 { Value::Number(Number::U64(v as u64)) }
+                else { Value::Number(Number::I64(v as i64)) }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::from(*v)
+    }
+}
+impl From<&f32> for Value {
+    fn from(v: &f32) -> Value {
+        Value::from(*v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}
+impl From<()> for Value {
+    fn from(_: ()) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+macro_rules! from_tuple {
+    ($(($($n:ident),+))*) => {$(
+        #[allow(non_camel_case_types)]
+        impl<$($n: Into<Value>),+> From<($($n,)+)> for Value {
+            fn from(t: ($($n,)+)) -> Value {
+                let ($($n,)+) = t;
+                Value::Array(vec![$($n.into()),+])
+            }
+        }
+    )*};
+}
+from_tuple! { (a, b) (a, b, c) (a, b, c, d) (a, b, c, d, e) (a, b, c, d, e, f) }
+
+impl<T: Into<Value> + Clone, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone, const N: usize> From<&[T; N]> for Value {
+    fn from(v: &[T; N]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Subset of serde_json's
+/// macro: `null`, literals, arbitrary expressions, arrays, and objects
+/// with string-literal keys.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Token-munching backend of [`json!`]. Object/array values may be
+/// arbitrary expressions; a comma at nesting level 0 terminates them
+/// (commas inside `()`/`[]`/`{}` groups are invisible to the muncher
+/// because a delimited group is a single token tree).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        // The muncher pushes element by element; vec! can't be used
+        // because elements are arbitrary token runs, not expressions yet.
+        #[allow(clippy::vec_init_then_push)]
+        {
+            let mut items: Vec<$crate::Value> = Vec::new();
+            $crate::json_internal!(@arr items () ($($tt)+));
+            $crate::Value::Array(items)
+        }
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@obj object ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+
+    // --- array elements ---
+    (@arr $vec:ident () ()) => {};
+    (@arr $vec:ident ($($val:tt)+) ()) => {
+        $vec.push($crate::json_internal!($($val)+));
+    };
+    (@arr $vec:ident ($($val:tt)+) (, $($rest:tt)*)) => {
+        $vec.push($crate::json_internal!($($val)+));
+        $crate::json_internal!(@arr $vec () ($($rest)*));
+    };
+    (@arr $vec:ident ($($val:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@arr $vec ($($val)* $next) ($($rest)*));
+    };
+
+    // --- object entries ---
+    (@obj $obj:ident ()) => {};
+    (@obj $obj:ident ($key:literal : $($rest:tt)+)) => {
+        $crate::json_internal!(@val $obj ($key) () ($($rest)+));
+    };
+    (@val $obj:ident ($key:literal) ($($val:tt)+) ()) => {
+        $obj.insert($key.to_string(), $crate::json_internal!($($val)+));
+    };
+    (@val $obj:ident ($key:literal) ($($val:tt)+) (, $($rest:tt)*)) => {
+        $obj.insert($key.to_string(), $crate::json_internal!($($val)+));
+        $crate::json_internal!(@obj $obj ($($rest)*));
+    };
+    (@val $obj:ident ($key:literal) ($($val:tt)*) ($next:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@val $obj ($key) ($($val)* $next) ($($rest)*));
+    };
+}
+
+// --- Serialization. ---
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * level), " ".repeat(w * (level + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(item, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Error type for parsing (and, for API compatibility, serialization —
+/// which cannot actually fail here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset of the error in the input, when parsing.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact serialization. Infallible for `Value` trees; the `Result`
+/// mirrors serde_json's signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(value, &mut out, None, 0);
+    Ok(out)
+}
+
+/// Pretty serialization with 2-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(value, &mut out, Some(2), 0);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// --- Parsing. ---
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting bound: malformed/adversarial inputs must not overflow the
+/// stack of the recursive-descent parser.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Error> {
+        Err(Error { msg: msg.into(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return self.err("expected ',' or ']'"),
+                    }
+                }
+                self.depth -= 1;
+                Ok(Value::Array(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return self.err("expected ',' or '}'"),
+                    }
+                }
+                self.depth -= 1;
+                Ok(Value::Object(map))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => self.err(format!("unexpected byte {:?}", b as char)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected {:?}", word))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5).ok_or(Error {
+                                msg: "truncated \\u escape".into(),
+                                offset: self.pos,
+                            })?;
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(Error { msg: "bad \\u escape".into(), offset: self.pos })?;
+                            // Surrogate pairs are not needed for this
+                            // workspace's data; reject them cleanly.
+                            let c = char::from_u32(hex).ok_or(Error {
+                                msg: "non-scalar \\u escape".into(),
+                                offset: self.pos,
+                            })?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error { msg: "invalid UTF-8".into(), offset: self.pos })?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error { msg: "invalid number".into(), offset: start })?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Number(Number::F64(f))),
+            _ => Err(Error { msg: format!("invalid number {:?}", text), offset: start }),
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after JSON value");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compound() {
+        let v = json!({
+            "name": "vpe00",
+            "count": 3,
+            "neg": -7,
+            "rate": 0.25f32,
+            "ok": true,
+            "none": null,
+            "items": [1, 2, [3, "four"]],
+        });
+        let s = to_string(&v).unwrap();
+        let back = from_str(&s).unwrap();
+        assert_eq!(back.get("name").and_then(Value::as_str), Some("vpe00"));
+        assert_eq!(back.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(back.get("neg").and_then(Value::as_i64), Some(-7));
+        assert_eq!(back.get("rate").and_then(Value::as_f64), Some(0.25));
+        assert!(back.get("none").unwrap().is_null());
+        assert_eq!(back.get("items").and_then(Value::as_array).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn canonical_and_deterministic() {
+        let mut m = Map::new();
+        m.insert("zebra".into(), json!(1));
+        m.insert("alpha".into(), json!(2));
+        let s = to_string(&Value::Object(m)).unwrap();
+        assert_eq!(s, r#"{"alpha":2,"zebra":1}"#);
+    }
+
+    #[test]
+    fn f32_values_render_shortest() {
+        let v = Value::from(0.1f32);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "0.1");
+        let back = from_str(&s).unwrap();
+        assert_eq!(back.as_f64().unwrap() as f32, 0.1f32);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&Value::from(2.0f32)).unwrap(), "2.0");
+        assert_eq!(to_string(&Value::from(-3.0f64)).unwrap(), "-3.0");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = Value::from("a\"b\\c\nd\te\u{1}");
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[1] trailing",
+            "nul",
+            "--1",
+            "1e",
+        ] {
+            assert!(from_str(bad).is_err(), "{:?} should fail", bad);
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let s = "[".repeat(100_000);
+        assert!(from_str(&s).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_string(&Value::from(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&Value::from(f32::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({"a": [1, {"b": "c"}], "d": 2.5});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+}

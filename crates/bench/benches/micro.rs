@@ -31,11 +31,8 @@ fn make_batch(
     window: usize,
     vocab: usize,
 ) -> (SeqBatch, Vec<usize>) {
-    let ids = (0..batch)
-        .map(|_| (0..window).map(|_| rng.gen_range(0..vocab)).collect())
-        .collect();
-    let gaps =
-        (0..batch).map(|_| (0..window).map(|_| rng.gen::<f32>()).collect()).collect();
+    let ids = (0..batch).map(|_| (0..window).map(|_| rng.gen_range(0..vocab)).collect()).collect();
+    let gaps = (0..batch).map(|_| (0..window).map(|_| rng.gen::<f32>()).collect()).collect();
     let targets = (0..batch).map(|_| rng.gen_range(0..vocab)).collect();
     (SeqBatch { ids, gaps }, targets)
 }
@@ -80,8 +77,7 @@ fn bench_signature_tree(c: &mut Criterion) {
     });
     let sample: Vec<_> = trace.messages(0).iter().take(4000).cloned().collect();
     let codec = LogCodec::train(&sample, 8);
-    let lines: Vec<String> =
-        trace.messages(1).iter().take(1000).map(|m| m.text.clone()).collect();
+    let lines: Vec<String> = trace.messages(1).iter().take(1000).map(|m| m.text.clone()).collect();
 
     let mut group = c.benchmark_group("codec");
     group.throughput(Throughput::Elements(lines.len() as u64));

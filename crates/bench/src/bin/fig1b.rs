@@ -50,7 +50,10 @@ fn main() {
 
     let over = |h: f32| gaps_h.iter().filter(|&&g| g > h).count() as f64 / gaps_h.len() as f64;
     println!("\n# {} inter-arrival samples", gaps_h.len());
-    println!("# min gap: {:.2} h (paper: > 40 min)", gaps_h.iter().cloned().fold(f32::MAX, f32::min));
+    println!(
+        "# min gap: {:.2} h (paper: > 40 min)",
+        gaps_h.iter().cloned().fold(f32::MAX, f32::min)
+    );
     println!("# P(gap > 10 h)   = {:.2} (paper: 0.80)", over(10.0));
     println!("# P(gap > 1000 h) = {:.2} (paper: 0.25)", over(1000.0));
 

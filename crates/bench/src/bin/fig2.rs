@@ -31,8 +31,7 @@ fn main() {
     println!("vpe_rank\tvpe_id\tticket_count\tdays");
     let mut scatter = Vec::new();
     for (rank, &vpe) in order.iter().enumerate() {
-        let days: Vec<f64> =
-            per_vpe[vpe].iter().map(|&t| t as f64 / DAY as f64).collect();
+        let days: Vec<f64> = per_vpe[vpe].iter().map(|&t| t as f64 / DAY as f64).collect();
         let day_strs: Vec<String> = days.iter().map(|d| format!("{:.1}", d)).collect();
         println!("{}\t{}\t{}\t{}", rank, vpe, days.len(), day_strs.join(","));
         scatter.push(serde_json::json!({ "rank": rank, "vpe": vpe, "days": days }));
@@ -46,7 +45,10 @@ fn main() {
         counts.last().unwrap_or(&0)
     );
     let core = tickets.iter().filter(|t| t.core_incident).count();
-    println!("# correlated core-incident tickets: {} ({} incidents configured)", core, cfg.core_incidents);
+    println!(
+        "# correlated core-incident tickets: {} ({} incidents configured)",
+        core, cfg.core_incidents
+    );
 
     args.maybe_write_json(&serde_json::json!({ "scatter": scatter }));
 }

@@ -48,17 +48,14 @@ fn main() {
     order.sort_by(|&a, &b| {
         let ma = nfv_tensor::stats::quantile(&per_vpe_sims[a], 0.5).unwrap();
         let mb = nfv_tensor::stats::quantile(&per_vpe_sims[b], 0.5).unwrap();
-        ma.partial_cmp(&mb).unwrap()
+        ma.total_cmp(&mb)
     });
 
     println!("rank\tvpe\tmin\tq25\tmedian\tq75\tmax");
     let mut rows = Vec::new();
     for (rank, &v) in order.iter().enumerate() {
         let (min, q25, med, q75, max) = five_number_summary(&per_vpe_sims[v]).unwrap();
-        println!(
-            "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
-            rank, v, min, q25, med, q75, max
-        );
+        println!("{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}", rank, v, min, q25, med, q75, max);
         rows.push(serde_json::json!({
             "vpe": v, "min": min, "q25": q25, "median": med, "q75": q75, "max": max
         }));
@@ -84,16 +81,16 @@ fn main() {
         };
         let mut affected = Vec::new();
         let mut unaffected = Vec::new();
-        for v in 0..cfg.n_vpes {
+        for (v, stream) in streams.iter().enumerate() {
             // Compare the month before rollout with the month after.
             let before = mom(v, update_month.saturating_sub(2));
             let across = {
-                let pre = streams[v].template_distribution(
+                let pre = stream.template_distribution(
                     vocab,
                     month_start(update_month - 1),
                     month_start(update_month),
                 );
-                let post = streams[v].template_distribution(
+                let post = stream.template_distribution(
                     vocab,
                     month_start(update_month + 1),
                     month_start(update_month + 2),

@@ -19,11 +19,7 @@ use nfv_simnet::FleetTrace;
 fn main() {
     let args = BenchArgs::parse();
     let trace = FleetTrace::simulate(args.sim_config());
-    eprintln!(
-        "simulated {} messages, {} tickets",
-        trace.total_messages(),
-        trace.tickets.len()
-    );
+    eprintln!("simulated {} messages, {} tickets", trace.total_messages(), trace.tickets.len());
 
     let kinds = [
         ("lstm", DetectorKind::Lstm),

@@ -17,6 +17,8 @@ use nfv_detect::eval;
 use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig};
 use nfv_simnet::FleetTrace;
 
+type ConfigTweak = Box<dyn Fn(&mut PipelineConfig)>;
+
 fn main() {
     let mut args = BenchArgs::parse();
     if args.fast {
@@ -37,19 +39,28 @@ fn main() {
     );
     args.fast |= false;
 
-    let variants: [(&str, Box<dyn Fn(&mut PipelineConfig)>); 3] = [
-        ("baseline", Box::new(|c: &mut PipelineConfig| {
-            c.customize = false;
-            c.adapt = false;
-        })),
-        ("vpe_cust", Box::new(|c: &mut PipelineConfig| {
-            c.customize = true;
-            c.adapt = false;
-        })),
-        ("vpe_cust_adapt", Box::new(|c: &mut PipelineConfig| {
-            c.customize = true;
-            c.adapt = true;
-        })),
+    let variants: [(&str, ConfigTweak); 3] = [
+        (
+            "baseline",
+            Box::new(|c: &mut PipelineConfig| {
+                c.customize = false;
+                c.adapt = false;
+            }),
+        ),
+        (
+            "vpe_cust",
+            Box::new(|c: &mut PipelineConfig| {
+                c.customize = true;
+                c.adapt = false;
+            }),
+        ),
+        (
+            "vpe_cust_adapt",
+            Box::new(|c: &mut PipelineConfig| {
+                c.customize = true;
+                c.adapt = true;
+            }),
+        ),
     ];
 
     let mut json = serde_json::Map::new();

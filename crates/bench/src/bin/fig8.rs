@@ -21,11 +21,7 @@ use nfv_simnet::FleetTrace;
 fn main() {
     let args = BenchArgs::parse();
     let trace = FleetTrace::simulate(args.sim_config());
-    eprintln!(
-        "simulated {} messages, {} tickets",
-        trace.total_messages(),
-        trace.tickets.len()
-    );
+    eprintln!("simulated {} messages, {} tickets", trace.total_messages(), trace.tickets.len());
 
     let cfg = args.pipeline_config(DetectorKind::Lstm);
     let run = run_pipeline(&trace, &cfg);
@@ -45,8 +41,7 @@ fn main() {
     let mut clusters_total = 0usize;
     for vpe in 0..run.n_vpes() {
         let events = run.events_for(vpe);
-        let clusters =
-            nfv_detect::mapping::warning_clusters(&events, threshold, &cfg.mapping);
+        let clusters = nfv_detect::mapping::warning_clusters(&events, threshold, &cfg.mapping);
         // Q4 asks about independent troubles; duplicates trail their
         // parent ticket within hours by definition, so they are excluded
         // here (as the paper's "rare and well-separated" framing implies).

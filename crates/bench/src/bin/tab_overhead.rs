@@ -25,7 +25,13 @@ use nfv_simnet::{FleetTrace, SimConfig, SimPreset, TicketCause};
 use nfv_syslog::time::{month_start, DAY};
 use nfv_syslog::LogStream;
 
-fn ticket_free(stream: &LogStream, trace: &FleetTrace, vpe: usize, start: u64, end: u64) -> LogStream {
+fn ticket_free(
+    stream: &LogStream,
+    trace: &FleetTrace,
+    vpe: usize,
+    start: u64,
+    end: u64,
+) -> LogStream {
     nfv_detect::pipeline::ticket_free(stream, &trace.tickets_for(vpe), 3 * DAY, start, end)
 }
 
@@ -46,9 +52,7 @@ fn best_f(
         .tickets
         .iter()
         .filter(|t| {
-            t.cause != TicketCause::Maintenance
-                && t.report_time >= start
-                && t.report_time < end
+            t.cause != TicketCause::Maintenance && t.report_time >= start && t.report_time < end
         })
         .copied()
         .collect();
@@ -108,9 +112,7 @@ fn main() {
 
     let mut sample = Vec::new();
     for v in 0..sim.n_vpes {
-        sample.extend(
-            trace.messages(v).iter().filter(|m| m.timestamp < month_start(1)).cloned(),
-        );
+        sample.extend(trace.messages(v).iter().filter(|m| m.timestamp < month_start(1)).cloned());
     }
     let codec = LogCodec::train(&sample, 16);
     let vocab = codec.vocab_size();
@@ -123,11 +125,9 @@ fn main() {
     println!("# Part A: initial training (test month {})", test_month);
     println!("variant\tf\tprecision\trecall");
     let mut json_a = serde_json::Map::new();
-    for (name, months, pooled) in [
-        ("own-1mo", 1usize, false),
-        ("own-3mo", 3, false),
-        ("cluster-1mo", 1, true),
-    ] {
+    for (name, months, pooled) in
+        [("own-1mo", 1usize, false), ("own-3mo", 3, false), ("cluster-1mo", 1, true)]
+    {
         let end = month_start(months);
         let mut detectors: Vec<LstmDetector> = Vec::new();
         let group_of: Box<dyn Fn(usize) -> usize> = if pooled {
@@ -144,9 +144,9 @@ fn main() {
             let g = grouping.clone();
             Box::new(move |v| g.group_of(v))
         } else {
-            for v in 0..sim.n_vpes {
+            for (v, stream) in streams.iter().enumerate() {
                 let mut det = LstmDetector::new(lstm_cfg(&args, vocab, 2000 + v as u64));
-                let own = ticket_free(&streams[v], &trace, v, 0, end);
+                let own = ticket_free(stream, &trace, v, 0, end);
                 det.fit(&[&own]);
                 detectors.push(det);
             }
@@ -180,9 +180,8 @@ fn main() {
 
     let mut sample_b = Vec::new();
     for v in 0..sim_b.n_vpes {
-        sample_b.extend(
-            trace_b.messages(v).iter().filter(|m| m.timestamp < month_start(1)).cloned(),
-        );
+        sample_b
+            .extend(trace_b.messages(v).iter().filter(|m| m.timestamp < month_start(1)).cloned());
     }
     let mut codec_b = LogCodec::train(&sample_b, 24);
     // Refresh with a post-update week so new templates have dense ids
@@ -204,8 +203,7 @@ fn main() {
     let vocab_b = codec_b.vocab_size();
     let streams_b: Vec<LogStream> =
         (0..sim_b.n_vpes).map(|v| codec_b.encode_stream(trace_b.messages(v))).collect();
-    let grouping_b =
-        Grouping::cluster(&streams_b, vocab_b, 0, month_start(1), 2..=6, args.seed);
+    let grouping_b = Grouping::cluster(&streams_b, vocab_b, 0, month_start(1), 2..=6, args.seed);
     let members_b = grouping_b.members();
 
     // Teacher models: trained on the pre-update months.
@@ -223,7 +221,10 @@ fn main() {
         })
         .collect();
 
-    println!("# Part B: post-update recovery (update month {}, test month {})", update_month, test_month_b);
+    println!(
+        "# Part B: post-update recovery (update month {}, test month {})",
+        update_month, test_month_b
+    );
     println!("variant\tdata\tf\tprecision\trecall");
     let mut json_b = serde_json::Map::new();
     let post0 = month_start(post_start_month);
@@ -245,19 +246,16 @@ fn main() {
                     .collect();
                 let refs: Vec<&LogStream> = pools.iter().collect();
                 if transfer {
-                    let mut student =
-                        LstmDetector::new(lstm_cfg(&args, vocab_b, 4000 + g as u64));
+                    let mut student = LstmDetector::new(lstm_cfg(&args, vocab_b, 4000 + g as u64));
                     student.copy_weights_from(&teachers[g]);
                     student.adapt(&refs);
                     student
                 } else if span == 0 {
-                    let mut stale =
-                        LstmDetector::new(lstm_cfg(&args, vocab_b, 4500 + g as u64));
+                    let mut stale = LstmDetector::new(lstm_cfg(&args, vocab_b, 4500 + g as u64));
                     stale.copy_weights_from(&teachers[g]);
                     stale
                 } else {
-                    let mut fresh =
-                        LstmDetector::new(lstm_cfg(&args, vocab_b, 5000 + g as u64));
+                    let mut fresh = LstmDetector::new(lstm_cfg(&args, vocab_b, 5000 + g as u64));
                     fresh.fit(&refs);
                     fresh
                 }

@@ -57,9 +57,7 @@ impl BenchArgs {
 
     /// A pipeline configuration scaled to the run size.
     pub fn pipeline_config(&self, detector: DetectorKind) -> PipelineConfig {
-        let mut cfg = PipelineConfig::default();
-        cfg.detector = detector;
-        cfg.seed = self.seed;
+        let mut cfg = PipelineConfig { detector, seed: self.seed, ..Default::default() };
         if self.fast {
             cfg.lstm.epochs = 2;
             cfg.lstm.oversample_rounds = 1;

@@ -105,11 +105,7 @@ impl AutoencoderDetector {
     fn reconstruction_error(&self, feature: &[f32]) -> f32 {
         let x = Matrix::from_vec(1, feature.len(), feature.to_vec());
         let y = self.mlp.infer(&x);
-        x.as_slice()
-            .iter()
-            .zip(y.as_slice().iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
+        x.as_slice().iter().zip(y.as_slice().iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>()
             / feature.len() as f32
     }
 }
@@ -243,11 +239,8 @@ impl AnomalyDetector for OcsvmDetector {
         // Blend: keep a sample of the old pool so the model doesn't
         // forget, then refit (shallow models retrain cheaply).
         let keep = self.recent.len().min(self.cfg.svm.max_train_points);
-        let old = nfv_ml::sampling::reservoir_sample(
-            self.recent.drain(..),
-            keep / 2,
-            &mut self.rng,
-        );
+        let old =
+            nfv_ml::sampling::reservoir_sample(self.recent.drain(..), keep / 2, &mut self.rng);
         features.extend(old);
         self.recent = features;
         self.refit();
@@ -330,7 +323,8 @@ impl AnomalyDetector for PcaDetector {
     fn fit(&mut self, streams: &[&LogStream]) {
         let mut counts = Vec::new();
         for s in streams {
-            counts.extend(count_windows(s, self.cfg.vocab, &self.cfg.windowing, 0, u64::MAX).counts);
+            counts
+                .extend(count_windows(s, self.cfg.vocab, &self.cfg.windowing, 0, u64::MAX).counts);
         }
         if counts.is_empty() {
             return;
@@ -378,7 +372,11 @@ mod tests {
             (0..len)
                 .map(|i| LogRecord {
                     time: i as u64 * 20,
-                    template: if rng.gen::<f32>() < 0.15 { rng.gen_range(1..6) } else { 1 + (i % 5) },
+                    template: if rng.gen::<f32>() < 0.15 {
+                        rng.gen_range(1..6)
+                    } else {
+                        1 + (i % 5)
+                    },
                 })
                 .collect(),
         )
@@ -403,16 +401,12 @@ mod tests {
         let (test, t0) = stream_with_burst(400, 2);
         let events = det.score(&test, 0, u64::MAX);
         assert!(!events.is_empty(), "{}: no events", det.name());
-        let burst_max = events
-            .iter()
-            .filter(|e| e.time > t0)
-            .map(|e| e.score)
-            .fold(f32::MIN, f32::max);
-        let normal: Vec<f32> =
-            events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
+        let burst_max =
+            events.iter().filter(|e| e.time > t0).map(|e| e.score).fold(f32::MIN, f32::max);
+        let normal: Vec<f32> = events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
         let normal_q90 = {
             let mut v = normal.clone();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f32::total_cmp);
             v[(v.len() as f32 * 0.9) as usize]
         };
         assert!(
@@ -482,7 +476,8 @@ mod tests {
         det.update(&[&fresh]);
         let (test, t0) = stream_with_burst(300, 6);
         let events = det.score(&test, 0, u64::MAX);
-        let burst_max = events.iter().filter(|e| e.time > t0).map(|e| e.score).fold(f32::MIN, f32::max);
+        let burst_max =
+            events.iter().filter(|e| e.time > t0).map(|e| e.score).fold(f32::MIN, f32::max);
         let normal_mean = {
             let v: Vec<f32> = events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
             v.iter().sum::<f32>() / v.len() as f32

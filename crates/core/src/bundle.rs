@@ -2,17 +2,28 @@
 //! parameters, serialized as one JSON file so a detector can be trained
 //! offline and shipped to a monitoring host (the `nfvpredict` CLI's
 //! `train`/`detect` workflow).
+//!
+//! Bundles share the checksummed envelope format of
+//! [`nfv_nn::checkpoint`]: a flipped byte, truncated file, or
+//! incompatible shape surfaces as a typed [`CheckpointError`] instead of
+//! a panic or a silently-wrong detector, and saves are atomic.
 
 use crate::codec::{LogCodec, SavedCodec};
 use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
 use crate::mapping::MappingConfig;
-use nfv_nn::checkpoint::Checkpoint;
-use serde::{Deserialize, Serialize};
+use nfv_nn::checkpoint::{
+    atomic_write, load_with_retry, open_envelope, seal_envelope, Checkpoint, CheckpointError,
+};
+use serde_json::{json, Value};
 use std::io;
 use std::path::Path;
+use std::time::Duration;
+
+/// On-disk format marker for model bundles.
+pub const BUNDLE_FORMAT: &str = "nfv-model-bundle";
 
 /// Everything needed to run detection on a fresh syslog feed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelBundle {
     /// The template codec.
     pub codec: SavedCodec,
@@ -50,10 +61,11 @@ impl ModelBundle {
         }
     }
 
-    /// Reconstructs the codec and detector.
-    pub fn unpack(&self) -> (LogCodec, LstmDetector) {
+    /// Reconstructs the codec and detector, validating the embedded
+    /// checkpoint against the architecture its dims describe.
+    pub fn try_unpack(&self) -> Result<(LogCodec, LstmDetector), CheckpointError> {
         let codec = LogCodec::from_saved(&self.codec);
-        let model = nfv_nn::SequenceModel::from_checkpoint(&self.model);
+        let model = nfv_nn::SequenceModel::try_from_checkpoint(&self.model)?;
         let cfg = LstmDetectorConfig {
             vocab: model.config().vocab,
             window: self.window,
@@ -64,7 +76,13 @@ impl ModelBundle {
             ..Default::default()
         };
         let detector = LstmDetector::from_model(cfg, model);
-        (codec, detector)
+        Ok((codec, detector))
+    }
+
+    /// Panicking convenience wrapper around [`ModelBundle::try_unpack`]
+    /// for bundles known to be valid (e.g. packed in-process).
+    pub fn unpack(&self) -> (LogCodec, LstmDetector) {
+        self.try_unpack().expect("valid model bundle")
     }
 
     /// The mapping configuration carried by the bundle.
@@ -76,14 +94,71 @@ impl ModelBundle {
         }
     }
 
-    /// Writes the bundle as JSON.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, serde_json::to_string(self).map_err(io::Error::other)?)
+    /// JSON value form (the envelope payload).
+    pub fn to_value(&self) -> Value {
+        json!({
+            "codec": self.codec.to_value(),
+            "model": self.model.to_value(),
+            "window": self.window,
+            "threshold": self.threshold,
+            "predictive_period": self.predictive_period,
+            "cluster_gap": self.cluster_gap,
+            "min_cluster": self.min_cluster,
+        })
     }
 
-    /// Loads a bundle written by [`ModelBundle::save`].
-    pub fn load(path: &Path) -> io::Result<ModelBundle> {
-        serde_json::from_str(&std::fs::read_to_string(path)?).map_err(io::Error::other)
+    /// Parses the JSON value form, validating every matrix shape.
+    pub fn from_value(v: &Value) -> Result<Self, CheckpointError> {
+        fn get_u64(v: &Value, field: &str) -> Result<u64, CheckpointError> {
+            v.get(field)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| CheckpointError::MissingField(field.to_string()))
+        }
+        let codec = SavedCodec::from_value(
+            v.get("codec").ok_or_else(|| CheckpointError::MissingField("codec".into()))?,
+        )?;
+        let model = Checkpoint::from_value(
+            v.get("model").ok_or_else(|| CheckpointError::MissingField("model".into()))?,
+        )?;
+        let threshold = v
+            .get("threshold")
+            .and_then(|x| x.as_f64())
+            .ok_or_else(|| CheckpointError::MissingField("threshold".into()))?
+            as f32;
+        Ok(ModelBundle {
+            codec,
+            model,
+            window: get_u64(v, "window")? as usize,
+            threshold,
+            predictive_period: get_u64(v, "predictive_period")?,
+            cluster_gap: get_u64(v, "cluster_gap")?,
+            min_cluster: get_u64(v, "min_cluster")? as usize,
+        })
+    }
+
+    /// Parses and integrity-checks envelope text.
+    pub fn from_envelope_str(text: &str) -> Result<Self, CheckpointError> {
+        ModelBundle::from_value(&open_envelope(BUNDLE_FORMAT, text)?)
+    }
+
+    /// Atomically writes the bundle as checksummed JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        atomic_write(path, &seal_envelope(BUNDLE_FORMAT, self.to_value()))
+    }
+
+    /// Loads a bundle written by [`ModelBundle::save`], verifying the
+    /// envelope checksum and the embedded checkpoint's shapes.
+    pub fn load(path: &Path) -> Result<ModelBundle, CheckpointError> {
+        ModelBundle::from_envelope_str(&std::fs::read_to_string(path)?)
+    }
+
+    /// [`ModelBundle::load`] with retry/backoff on transient i/o errors.
+    pub fn load_with_retry(
+        path: &Path,
+        attempts: u32,
+        initial_backoff: Duration,
+    ) -> Result<ModelBundle, CheckpointError> {
+        load_with_retry(path, attempts, initial_backoff, ModelBundle::from_envelope_str)
     }
 }
 
@@ -104,6 +179,19 @@ mod tests {
                 text: format!("BGP peer 10.0.{}.1 keepalive ok count {}", i % 8, i),
             })
             .collect()
+    }
+
+    fn small_bundle() -> ModelBundle {
+        let msgs = sample_messages();
+        let codec = LogCodec::train(&msgs, 2);
+        let det = LstmDetector::new(LstmDetectorConfig {
+            vocab: codec.vocab_size(),
+            window: 3,
+            embed_dim: 4,
+            hidden: 6,
+            ..Default::default()
+        });
+        ModelBundle::pack(&codec, &det, 1.0, &MappingConfig::default())
     }
 
     #[test]
@@ -135,16 +223,7 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let msgs = sample_messages();
-        let codec = LogCodec::train(&msgs, 2);
-        let det = LstmDetector::new(LstmDetectorConfig {
-            vocab: codec.vocab_size(),
-            window: 3,
-            embed_dim: 4,
-            hidden: 6,
-            ..Default::default()
-        });
-        let bundle = ModelBundle::pack(&codec, &det, 1.0, &MappingConfig::default());
+        let bundle = small_bundle();
         let dir = std::env::temp_dir().join("nfv_bundle_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bundle.json");
@@ -152,9 +231,50 @@ mod tests {
         let loaded = ModelBundle::load(&path).unwrap();
         assert_eq!(loaded.threshold, 1.0);
         assert_eq!(loaded.window, 3);
+        assert!(!path.with_extension("tmp").exists());
         let (_, det2) = loaded.unpack();
         let empty = LogStream::from_records(vec![]);
         assert!(det2.score(&empty, 0, u64::MAX).is_empty());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampered_bundle_is_rejected_not_panicking() {
+        let bundle = small_bundle();
+        let text = seal_envelope(BUNDLE_FORMAT, bundle.to_value());
+
+        // Truncation.
+        match ModelBundle::from_envelope_str(&text[..text.len() / 2]) {
+            Err(CheckpointError::Json { .. }) => {}
+            other => panic!("expected Json error, got {:?}", other),
+        }
+
+        // Payload edit without re-checksumming.
+        let tampered = text.replace("\"window\":3", "\"window\":4");
+        assert_ne!(tampered, text);
+        match ModelBundle::from_envelope_str(&tampered) {
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn dims_params_mismatch_is_a_typed_error() {
+        let mut bundle = small_bundle();
+        // Claim a different hidden width than the stored matrices have.
+        bundle.model.dims[2] += 1;
+        match bundle.try_unpack() {
+            Err(CheckpointError::Invalid(_)) => {}
+            Err(other) => panic!("expected Invalid, got {:?}", other),
+            Ok(_) => panic!("expected Invalid, got Ok"),
+        }
+        // Drop a parameter matrix entirely.
+        let mut bundle2 = small_bundle();
+        bundle2.model.params.pop();
+        match bundle2.try_unpack() {
+            Err(CheckpointError::Invalid(_)) => {}
+            Err(other) => panic!("expected Invalid, got {:?}", other),
+            Ok(_) => panic!("expected Invalid, got Ok"),
+        }
     }
 }

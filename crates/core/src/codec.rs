@@ -9,19 +9,60 @@
 //! invalidating the ids of already-known templates — new patterns take
 //! the vocabulary's spare slots instead.
 
+use nfv_nn::checkpoint::CheckpointError;
 use nfv_syslog::vocab::UNKNOWN_ID;
 use nfv_syslog::{LogRecord, LogStream, SignatureTree, SignatureTreeConfig, SyslogMessage};
-use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 use std::collections::HashMap;
 
 /// Serializable form of a [`LogCodec`]: the signature patterns with
 /// their dense ids. The matching tree is rebuilt on load.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavedCodec {
     /// `(signature pattern, dense id)` pairs.
     pub patterns: Vec<(String, usize)>,
     /// Total dense-id capacity (spare slots included).
     pub capacity: usize,
+}
+
+impl SavedCodec {
+    /// JSON value form (embedded in a [`crate::bundle::ModelBundle`]).
+    pub fn to_value(&self) -> Value {
+        json!({
+            "patterns": self
+                .patterns
+                .iter()
+                .map(|(p, d)| (p.clone(), *d))
+                .collect::<Vec<_>>(),
+            "capacity": self.capacity,
+        })
+    }
+
+    /// Parses the JSON value form.
+    pub fn from_value(v: &Value) -> Result<Self, CheckpointError> {
+        let capacity = v
+            .get("capacity")
+            .and_then(|c| c.as_u64())
+            .ok_or_else(|| CheckpointError::MissingField("capacity".into()))?
+            as usize;
+        let patterns = v
+            .get("patterns")
+            .and_then(|p| p.as_array())
+            .ok_or_else(|| CheckpointError::MissingField("patterns".into()))?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array()?;
+                if items.len() != 2 {
+                    return None;
+                }
+                let pattern = items[0].as_str()?.to_string();
+                let dense = items[1].as_u64()? as usize;
+                Some((pattern, dense))
+            })
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| CheckpointError::MissingField("patterns".into()))?;
+        Ok(SavedCodec { patterns, capacity })
+    }
 }
 
 /// Encodes raw syslog messages into dense template ids.
@@ -141,10 +182,7 @@ impl LogCodec {
     /// Returns the signature pattern behind a dense id (`None` for the
     /// unknown id or unused slots).
     pub fn pattern_of(&self, dense: usize) -> Option<&str> {
-        self.dense_of
-            .iter()
-            .find(|(_, &d)| d == dense)
-            .map(|(p, _)| p.as_str())
+        self.dense_of.iter().find(|(_, &d)| d == dense).map(|(p, _)| p.as_str())
     }
 
     /// Serializes the codec (patterns + dense-id assignment).
@@ -254,8 +292,8 @@ mod tests {
             assert_eq!(restored.encode_text(text), codec.encode_text(text), "{}", text);
         }
         // JSON serializable both ways.
-        let json = serde_json::to_string(&codec.to_saved()).unwrap();
-        let back: SavedCodec = serde_json::from_str(&json).unwrap();
+        let json = codec.to_saved().to_value().to_string();
+        let back = SavedCodec::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back, codec.to_saved());
     }
 

@@ -12,10 +12,7 @@ use nfv_syslog::time::{month_start, DAY};
 /// maintenance windows (expected work, not a false alarm).
 fn unsuppressed(run: &PipelineRun, vpe: usize, clusters: Vec<u64>) -> Vec<u64> {
     let Some(windows) = run.suppression.get(vpe) else { return clusters };
-    clusters
-        .into_iter()
-        .filter(|&c| !windows.iter().any(|&(lo, hi)| c >= lo && c <= hi))
-        .collect()
+    clusters.into_iter().filter(|&c| !windows.iter().any(|&(lo, hi)| c >= lo && c <= hi)).collect()
 }
 
 /// Maps one vPE's events at a threshold against its tickets.
@@ -27,8 +24,7 @@ fn map_vpe(
 ) -> MappingResult {
     let events = run.events_for(vpe);
     let clusters = unsuppressed(run, vpe, warning_clusters(&events, threshold, mapping));
-    let tickets: Vec<Ticket> =
-        run.tickets.iter().filter(|t| t.vpe == vpe).copied().collect();
+    let tickets: Vec<Ticket> = run.tickets.iter().filter(|t| t.vpe == vpe).copied().collect();
     map_clusters(&clusters, &tickets, mapping)
 }
 
@@ -46,9 +42,8 @@ pub fn fleet_mapping(run: &PipelineRun, threshold: f32, mapping: &MappingConfig)
 /// resolves the interesting high-score region well).
 pub fn sweep_prc(run: &PipelineRun, mapping: &MappingConfig, n_thresholds: usize) -> PrCurve {
     assert!(n_thresholds >= 2, "need at least two thresholds");
-    let mut scores: Vec<f32> = (0..run.n_vpes())
-        .flat_map(|v| run.events_for(v).into_iter().map(|e| e.score))
-        .collect();
+    let mut scores: Vec<f32> =
+        (0..run.n_vpes()).flat_map(|v| run.events_for(v).into_iter().map(|e| e.score)).collect();
     if scores.is_empty() {
         return PrCurve::default();
     }
@@ -74,7 +69,8 @@ pub fn sweep_prc(run: &PipelineRun, mapping: &MappingConfig, n_thresholds: usize
             f_measure: counts.f_measure(),
         });
     }
-    points.sort_by(|a, b| a.threshold.partial_cmp(&b.threshold).unwrap_or(std::cmp::Ordering::Equal));
+    points
+        .sort_by(|a, b| a.threshold.partial_cmp(&b.threshold).unwrap_or(std::cmp::Ordering::Equal));
     PrCurve { points }
 }
 
@@ -197,8 +193,7 @@ pub fn per_type_detection(
     ];
     let mut rows = Vec::new();
     for cause in causes {
-        let of_type: Vec<&TicketOutcome> =
-            outcomes.iter().filter(|o| o.cause == cause).collect();
+        let of_type: Vec<&TicketOutcome> = outcomes.iter().filter(|o| o.cause == cause).collect();
         if of_type.is_empty() {
             rows.push((Some(cause), vec![0.0; offsets.len()], 0));
             continue;
@@ -206,8 +201,7 @@ pub fn per_type_detection(
         let rates = offsets
             .iter()
             .map(|&off| {
-                of_type.iter().filter(|o| o.detected_by(off)).count() as f32
-                    / of_type.len() as f32
+                of_type.iter().filter(|o| o.detected_by(off)).count() as f32 / of_type.len() as f32
             })
             .collect();
         rows.push((Some(cause), rates, of_type.len()));
@@ -366,17 +360,11 @@ mod tests {
     fn per_type_detection_reports_circuit_early() {
         let run = toy_run();
         let rows = per_type_detection(&run, &MappingConfig::default(), 1.0, &FIG8_OFFSETS);
-        let circuit = rows
-            .iter()
-            .find(|(c, _, _)| *c == Some(TicketCause::Circuit))
-            .unwrap();
+        let circuit = rows.iter().find(|(c, _, _)| *c == Some(TicketCause::Circuit)).unwrap();
         // Early warning at -600 s: detected at -300 but not at -900.
         assert_eq!(circuit.1, vec![0.0, 1.0, 1.0, 1.0, 1.0]);
         assert_eq!(circuit.2, 1);
-        let software = rows
-            .iter()
-            .find(|(c, _, _)| *c == Some(TicketCause::Software))
-            .unwrap();
+        let software = rows.iter().find(|(c, _, _)| *c == Some(TicketCause::Software)).unwrap();
         assert_eq!(software.1, vec![0.0; 5]);
         let all = rows.last().unwrap();
         assert_eq!(all.0, None);

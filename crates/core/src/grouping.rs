@@ -36,10 +36,8 @@ impl Grouping {
         seed: u64,
     ) -> Grouping {
         assert!(!streams.is_empty(), "Grouping::cluster: no streams");
-        let mut points: Vec<Vec<f32>> = streams
-            .iter()
-            .map(|s| s.template_distribution(vocab, start, end))
-            .collect();
+        let mut points: Vec<Vec<f32>> =
+            streams.iter().map(|s| s.template_distribution(vocab, start, end)).collect();
         // Remove the fleet-mean distribution: every vPE shares a large
         // base-template component that would otherwise dominate cosine
         // similarity and wash out the group structure the modularity
@@ -97,8 +95,7 @@ mod tests {
         // should reunite at least most same-group pairs.
         let cfg = SimConfig::preset(SimPreset::Fast, 31);
         let trace = FleetTrace::simulate(cfg.clone());
-        let streams: Vec<_> =
-            (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
+        let streams: Vec<_> = (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
         let vocab = trace.catalog.set.len();
         let end = cfg.end_time();
         let g = Grouping::cluster(&streams, vocab, 0, end, 2..=6, 7);
@@ -113,8 +110,7 @@ mod tests {
             for b in (a + 1)..cfg.n_vpes {
                 let same_latent = trace.topology.vpes[a].group == trace.topology.vpes[b].group;
                 // Outlier vPEs legitimately drift away from their group.
-                let outlier =
-                    trace.topology.vpes[a].outlier || trace.topology.vpes[b].outlier;
+                let outlier = trace.topology.vpes[a].outlier || trace.topology.vpes[b].outlier;
                 if !same_latent || outlier {
                     continue;
                 }
@@ -133,8 +129,7 @@ mod tests {
     fn members_partition_the_fleet() {
         let cfg = SimConfig::preset(SimPreset::Fast, 33);
         let trace = FleetTrace::simulate(cfg.clone());
-        let streams: Vec<_> =
-            (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
+        let streams: Vec<_> = (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
         let g = Grouping::cluster(&streams, trace.catalog.set.len(), 0, cfg.end_time(), 2..=5, 1);
         let members = g.members();
         let total: usize = members.iter().map(|m| m.len()).sum();

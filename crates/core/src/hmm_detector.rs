@@ -155,13 +155,9 @@ mod tests {
         }
         let test = LogStream::from_records(records);
         let events = det.score(&test, 0, u64::MAX);
-        let burst_min = events
-            .iter()
-            .filter(|e| e.time > t0)
-            .map(|e| e.score)
-            .fold(f32::MAX, f32::min);
-        let normal: Vec<f32> =
-            events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
+        let burst_min =
+            events.iter().filter(|e| e.time > t0).map(|e| e.score).fold(f32::MAX, f32::min);
+        let normal: Vec<f32> = events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
         let normal_mean = normal.iter().sum::<f32>() / normal.len() as f32;
         assert!(
             burst_min > normal_mean + 1.0,

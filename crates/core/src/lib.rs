@@ -57,6 +57,7 @@ pub mod mapping;
 pub mod online;
 pub mod pipeline;
 pub mod report;
+pub mod supervisor;
 pub mod triage;
 
 pub use baselines::{AutoencoderDetector, OcsvmDetector, PcaDetector};
@@ -69,3 +70,6 @@ pub use lstm_detector::{LstmDetector, LstmDetectorConfig};
 pub use mapping::{MappingConfig, MappingResult};
 pub use online::{OnlineMonitor, Warning};
 pub use pipeline::{run_pipeline, DetectorKind, PipelineConfig, PipelineRun};
+pub use supervisor::{
+    FeedHealth, FeedObserver, FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig,
+};

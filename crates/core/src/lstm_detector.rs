@@ -185,9 +185,7 @@ impl LstmDetector {
             let targets = sub.targets;
             let batch = SeqBatch { ids: sub.ids, gaps: sub.gaps };
             let probs = self.model.predict_probs(&batch);
-            for (row, (&target, &global_idx)) in
-                targets.iter().zip(chunk.iter()).enumerate()
-            {
+            for (row, (&target, &global_idx)) in targets.iter().zip(chunk.iter()).enumerate() {
                 visit(global_idx, target, probs.row(row));
             }
         }
@@ -336,8 +334,7 @@ mod tests {
 
         // Test stream: same behaviour, then a burst of template 7 (never
         // seen in training).
-        let mut records: Vec<LogRecord> =
-            training_stream(300, 2).records().to_vec();
+        let mut records: Vec<LogRecord> = training_stream(300, 2).records().to_vec();
         let t0 = records.last().unwrap().time;
         for j in 0..5 {
             records.push(LogRecord { time: t0 + 10 + j, template: 7 });
@@ -350,8 +347,7 @@ mod tests {
         let normal_scores: Vec<f32> =
             events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
         assert!(!burst_scores.is_empty());
-        let normal_mean =
-            normal_scores.iter().sum::<f32>() / normal_scores.len() as f32;
+        let normal_mean = normal_scores.iter().sum::<f32>() / normal_scores.len() as f32;
         let burst_min = burst_scores.iter().cloned().fold(f32::MAX, f32::min);
         assert!(
             burst_min > normal_mean + 1.0,
@@ -393,9 +389,7 @@ mod tests {
         det.fit(&[&train]);
 
         let shifted = LogStream::from_records(
-            (0..400)
-                .map(|i| LogRecord { time: i as u64 * 30, template: 6 + (i % 2) })
-                .collect(),
+            (0..400).map(|i| LogRecord { time: i as u64 * 30, template: 6 + (i % 2) }).collect(),
         );
         let fp_before = det.training_fp_rate(&[&shifted]);
         det.adapt(&[&shifted]);

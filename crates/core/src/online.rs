@@ -4,7 +4,7 @@
 //! into a monitor that consumes one raw syslog message at a time and
 //! emits warning signatures incrementally, applying the same
 //! >=`min_cluster`-anomalies-within-`cluster_gap` rule as the offline
-//! evaluation.
+//! > evaluation.
 //!
 //! The monitor keeps only O(window) state per feed, so one process can
 //! track a whole fleet.
@@ -195,11 +195,8 @@ mod tests {
         let stream = codec.encode_stream(&train);
         det.fit(&[&stream]);
         // Threshold: above all training scores.
-        let max_score = det
-            .score(&stream, 0, u64::MAX)
-            .iter()
-            .map(|e| e.score)
-            .fold(0.0f32, f32::max);
+        let max_score =
+            det.score(&stream, 0, u64::MAX).iter().map(|e| e.score).fold(0.0f32, f32::max);
         OnlineMonitor::new(codec, det, max_score * 1.05, MappingConfig::default())
     }
 

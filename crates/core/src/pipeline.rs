@@ -162,10 +162,8 @@ pub fn ticket_free(
     start: u64,
     end: u64,
 ) -> LogStream {
-    let intervals: Vec<(u64, u64)> = tickets
-        .iter()
-        .map(|t| (t.report_time.saturating_sub(exclusion), t.repair_time))
-        .collect();
+    let intervals: Vec<(u64, u64)> =
+        tickets.iter().map(|t| (t.report_time.saturating_sub(exclusion), t.repair_time)).collect();
     let records: Vec<LogRecord> = stream
         .slice_time(start, end)
         .iter()
@@ -212,8 +210,7 @@ fn build_detector(cfg: &PipelineConfig, vocab: usize, group: usize) -> Box<dyn A
 
 /// Quantile of the score distribution (used for the adaptation trigger).
 fn score_quantile(events: &[Vec<ScoredEvent>], q: f32) -> f32 {
-    let scores: Vec<f32> =
-        events.iter().flat_map(|v| v.iter().map(|e| e.score)).collect();
+    let scores: Vec<f32> = events.iter().flat_map(|v| v.iter().map(|e| e.score)).collect();
     nfv_tensor::stats::quantile(&scores, q).unwrap_or(f32::INFINITY)
 }
 
@@ -249,12 +246,8 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
     // codec can gain templates at adaptation time.
     let mut streams: Vec<LogStream> = (0..n_vpes)
         .map(|vpe| {
-            let msgs: Vec<_> = trace
-                .messages(vpe)
-                .iter()
-                .filter(|m| m.timestamp < month1_end)
-                .cloned()
-                .collect();
+            let msgs: Vec<_> =
+                trace.messages(vpe).iter().filter(|m| m.timestamp < month1_end).cloned().collect();
             codec.encode_stream(&msgs)
         })
         .collect();
@@ -266,8 +259,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
     };
     let members = grouping.members();
 
-    let all_tickets: Vec<Vec<&Ticket>> =
-        (0..n_vpes).map(|v| trace.tickets_for(v)).collect();
+    let all_tickets: Vec<Vec<&Ticket>> = (0..n_vpes).map(|v| trace.tickets_for(v)).collect();
 
     // --- Initial fit per group (parallel). ---
     let mut detectors: Vec<Box<dyn AnomalyDetector>> =
@@ -276,10 +268,10 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
         let streams_ref = &streams;
         let tickets_ref = &all_tickets;
         let members_ref = &members;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (g, det) in detectors.iter_mut().enumerate() {
                 let exclusion = cfg.train_exclusion;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let pooled: Vec<LogStream> = members_ref[g]
                         .iter()
                         .map(|&v| {
@@ -290,8 +282,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                     det.fit(&refs);
                 });
             }
-        })
-        .expect("training threads must not panic");
+        });
     }
 
     // --- Trigger thresholds per group (from month-0 scores). ---
@@ -314,7 +305,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
         let m_end = month_start(m + 1);
 
         // Encode this month's raw messages with the current codec.
-        for vpe in 0..n_vpes {
+        for (vpe, stream) in streams.iter_mut().enumerate() {
             let msgs: Vec<_> = trace
                 .messages(vpe)
                 .iter()
@@ -322,9 +313,9 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                 .cloned()
                 .collect();
             let encoded = codec.encode_stream(&msgs);
-            let mut combined = streams[vpe].records().to_vec();
+            let mut combined = stream.records().to_vec();
             combined.extend_from_slice(encoded.records());
-            streams[vpe] = LogStream::from_records(combined);
+            *stream = LogStream::from_records(combined);
         }
 
         // Score the month.
@@ -395,7 +386,8 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
 
                 // Re-score the month after the adaptation point.
                 for &v in &members[g] {
-                    let rescored = detectors[grouping.group_of(v)].score(&streams[v], week_end, m_end);
+                    let rescored =
+                        detectors[grouping.group_of(v)].score(&streams[v], week_end, m_end);
                     per_vpe[v].retain(|e| e.time < week_end);
                     per_vpe[v].extend(rescored);
                 }
@@ -420,10 +412,10 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
         let streams_ref = &streams;
         let tickets_ref = &all_tickets;
         let members_ref = &members;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (g, det) in detectors.iter_mut().enumerate() {
                 let exclusion = cfg.train_exclusion;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let pooled: Vec<LogStream> = members_ref[g]
                         .iter()
                         .map(|&v| {
@@ -434,8 +426,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                     det.update(&refs);
                 });
             }
-        })
-        .expect("update threads must not panic");
+        });
     }
 
     let tickets = trace

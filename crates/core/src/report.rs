@@ -77,10 +77,8 @@ mod tests {
 
     #[test]
     fn detection_table_has_header_and_all_row() {
-        let rows = vec![
-            (Some(TicketCause::Circuit), vec![0.3, 0.7], 10),
-            (None, vec![0.2, 0.6], 30),
-        ];
+        let rows =
+            vec![(Some(TicketCause::Circuit), vec![0.3, 0.7], 10), (None, vec![0.2, 0.6], 30)];
         let s = format_detection_table(&rows, &[-900, 900]);
         assert!(s.starts_with("ticket_type\tn\t-15min\t+15min"));
         assert!(s.contains("Circuit\t10\t0.30\t0.70"));

@@ -1,0 +1,601 @@
+//! Supervised multi-feed monitoring: one hardened [`OnlineMonitor`] per
+//! vPE feed, with per-feed fault isolation.
+//!
+//! The paper's runtime vision (§1) is a predictive monitor running
+//! alongside reactive monitoring for a whole fleet. Production syslog
+//! transport is lossy and messy, so the [`FleetMonitor`] wraps each
+//! feed's monitor in a defensive runtime:
+//!
+//! * **duplicate suppression** — a ring of recently-seen raw lines
+//!   absorbs transport double-delivery;
+//! * **bounded reordering** — parsed messages sit in a small time-window
+//!   buffer and are released to the monitor in timestamp order;
+//! * **parse-error budget** — a feed whose recent lines keep failing to
+//!   parse is *quarantined* (its lines are skipped, cheaply) and later
+//!   given a *probation* trial; sustained clean parsing restores it to
+//!   active duty;
+//! * **panic isolation** — a monitor that panics mid-observe poisons
+//!   only its own feed; the fleet keeps running;
+//! * **staleness detection** — a feed that has gone quiet past a
+//!   configurable timeout raises a [`FleetEvent::FeedSilent`].
+//!
+//! Every feed exposes a [`FeedHealth`] report with its counters and
+//! lifecycle state.
+
+use crate::online::{OnlineMonitor, Warning};
+use nfv_syslog::parse::parse_line;
+use nfv_syslog::SyslogMessage;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Anything that can consume parsed messages and emit warnings; the
+/// fleet runtime is generic over this so fault isolation is testable
+/// with deliberately-misbehaving observers.
+pub trait FeedObserver {
+    /// Feeds one message; may return a warning.
+    fn observe(&mut self, message: &SyslogMessage) -> Option<Warning>;
+}
+
+impl FeedObserver for OnlineMonitor {
+    fn observe(&mut self, message: &SyslogMessage) -> Option<Warning> {
+        OnlineMonitor::observe(self, message)
+    }
+}
+
+/// Tunables of the fleet runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetMonitorConfig {
+    /// Quarantine triggers when a feed's parse-error score (errors minus
+    /// successes, floored at zero) exceeds this.
+    pub parse_error_budget: u32,
+    /// Raw lines a quarantined feed skips before its probation trial.
+    pub quarantine_backoff: u64,
+    /// Consecutive cleanly-parsed lines required to leave probation.
+    pub probation_lines: u64,
+    /// Seconds of silence before a feed is reported stale.
+    pub staleness_timeout: u64,
+    /// Capacity of the duplicate-suppression ring (raw lines).
+    pub dedup_window: usize,
+    /// Seconds of buffering used to re-sort out-of-order arrivals.
+    pub reorder_window: u64,
+}
+
+impl Default for FleetMonitorConfig {
+    fn default() -> Self {
+        FleetMonitorConfig {
+            parse_error_budget: 8,
+            quarantine_backoff: 50,
+            probation_lines: 20,
+            staleness_timeout: 3600,
+            dedup_window: 32,
+            reorder_window: 30,
+        }
+    }
+}
+
+/// Lifecycle state of one feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedState {
+    /// Healthy: lines are parsed, buffered, and scored.
+    Active,
+    /// Too many recent parse failures: lines are skipped until the
+    /// backoff elapses.
+    Quarantined,
+    /// Recovery trial after quarantine: lines are processed, but one
+    /// parse failure sends the feed back to quarantine.
+    Probation,
+    /// The feed's monitor panicked; the feed is permanently offline
+    /// (its lines are counted and dropped).
+    Poisoned,
+}
+
+/// Health counters and state for one feed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedHealth {
+    /// Feed index.
+    pub feed: usize,
+    /// Current lifecycle state.
+    pub state: FeedState,
+    /// Lines successfully parsed and accepted for scoring.
+    pub messages: u64,
+    /// Lines that failed to parse.
+    pub parse_errors: u64,
+    /// Exact duplicate lines suppressed by the dedup ring.
+    pub duplicates_dropped: u64,
+    /// Messages that arrived with a timestamp behind the feed's newest
+    /// (absorbed by the reorder buffer).
+    pub reorders_absorbed: u64,
+    /// Lines skipped while quarantined or poisoned.
+    pub skipped: u64,
+    /// Times the feed entered quarantine.
+    pub quarantines: u32,
+    /// Warnings raised by the feed's monitor.
+    pub warnings: u64,
+    /// Timestamp of the newest parsed message, if any.
+    pub last_seen: Option<u64>,
+}
+
+/// Fleet-level happenings surfaced to the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// A feed's monitor raised an anomaly warning.
+    Warning {
+        /// Feed index.
+        feed: usize,
+        /// The warning.
+        warning: Warning,
+    },
+    /// A feed exhausted its parse-error budget.
+    FeedQuarantined {
+        /// Feed index.
+        feed: usize,
+        /// Total parse errors on the feed so far.
+        parse_errors: u64,
+    },
+    /// A feed completed probation and is active again.
+    FeedRecovered {
+        /// Feed index.
+        feed: usize,
+    },
+    /// A feed's monitor panicked and the feed was taken offline.
+    FeedPoisoned {
+        /// Feed index.
+        feed: usize,
+        /// Panic payload, when it was a string.
+        reason: String,
+    },
+    /// A feed has been silent past the staleness timeout.
+    FeedSilent {
+        /// Feed index.
+        feed: usize,
+        /// Newest message timestamp (0 when the feed never spoke).
+        last_seen: u64,
+        /// The `now` passed to [`FleetMonitor::tick`].
+        now: u64,
+    },
+}
+
+/// A message held in the reorder buffer, ordered by (timestamp, seq).
+struct Buffered {
+    time: u64,
+    seq: u64,
+    msg: SyslogMessage,
+}
+
+impl PartialEq for Buffered {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Buffered {}
+impl PartialOrd for Buffered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Buffered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct FeedRuntime<O> {
+    monitor: Option<O>,
+    health: FeedHealth,
+    /// Parse-error score: +1 per error, -1 per success, floored at 0.
+    error_score: u32,
+    /// Lines skipped in the current quarantine episode.
+    quarantine_skipped: u64,
+    /// Clean lines in the current probation episode.
+    probation_clean: u64,
+    /// FNV hashes of recent raw lines, for duplicate suppression.
+    dedup: VecDeque<u64>,
+    /// Min-heap releasing messages in timestamp order.
+    buffer: BinaryHeap<Reverse<Buffered>>,
+    /// Newest parsed timestamp (drives reorder-buffer release).
+    max_seen: u64,
+    /// Monotone sequence for stable ordering of equal timestamps.
+    next_seq: u64,
+    /// Whether a FeedSilent was already emitted for the ongoing gap.
+    silent_flagged: bool,
+}
+
+fn line_hash(line: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in line.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Supervised monitor for a fleet of syslog feeds.
+pub struct FleetMonitor<O: FeedObserver = OnlineMonitor> {
+    cfg: FleetMonitorConfig,
+    feeds: Vec<FeedRuntime<O>>,
+}
+
+impl<O: FeedObserver> FleetMonitor<O> {
+    /// Builds a fleet runtime over one observer per feed.
+    pub fn new(monitors: Vec<O>, cfg: FleetMonitorConfig) -> FleetMonitor<O> {
+        let feeds = monitors
+            .into_iter()
+            .enumerate()
+            .map(|(feed, monitor)| FeedRuntime {
+                monitor: Some(monitor),
+                health: FeedHealth {
+                    feed,
+                    state: FeedState::Active,
+                    messages: 0,
+                    parse_errors: 0,
+                    duplicates_dropped: 0,
+                    reorders_absorbed: 0,
+                    skipped: 0,
+                    quarantines: 0,
+                    warnings: 0,
+                    last_seen: None,
+                },
+                error_score: 0,
+                quarantine_skipped: 0,
+                probation_clean: 0,
+                dedup: VecDeque::new(),
+                buffer: BinaryHeap::new(),
+                max_seen: 0,
+                next_seq: 0,
+                silent_flagged: false,
+            })
+            .collect();
+        FleetMonitor { cfg, feeds }
+    }
+
+    /// Number of feeds under supervision.
+    pub fn feed_count(&self) -> usize {
+        self.feeds.len()
+    }
+
+    /// Health report for one feed.
+    pub fn health(&self, feed: usize) -> &FeedHealth {
+        &self.feeds[feed].health
+    }
+
+    /// Health reports for the whole fleet, in feed order.
+    pub fn healths(&self) -> Vec<&FeedHealth> {
+        self.feeds.iter().map(|f| &f.health).collect()
+    }
+
+    /// Ingests one raw line for `feed`, returning whatever fleet events
+    /// it caused. A panicking monitor is contained here: the feed is
+    /// poisoned and the method returns normally.
+    pub fn ingest_line(&mut self, feed: usize, line: &str) -> Vec<FleetEvent> {
+        let mut events = Vec::new();
+        let cfg = self.cfg;
+        let rt = &mut self.feeds[feed];
+
+        match rt.health.state {
+            FeedState::Poisoned => {
+                rt.health.skipped += 1;
+                return events;
+            }
+            FeedState::Quarantined => {
+                rt.health.skipped += 1;
+                rt.quarantine_skipped += 1;
+                if rt.quarantine_skipped >= cfg.quarantine_backoff {
+                    rt.health.state = FeedState::Probation;
+                    rt.probation_clean = 0;
+                    rt.error_score = 0;
+                }
+                return events;
+            }
+            FeedState::Active | FeedState::Probation => {}
+        }
+
+        // Duplicate suppression on the raw line.
+        let h = line_hash(line);
+        if rt.dedup.contains(&h) {
+            rt.health.duplicates_dropped += 1;
+            return events;
+        }
+        rt.dedup.push_back(h);
+        while rt.dedup.len() > cfg.dedup_window {
+            rt.dedup.pop_front();
+        }
+
+        // Parse, charging the error budget on failure.
+        let not_before = rt.max_seen;
+        let msg = match parse_line(line, not_before) {
+            Ok(msg) => msg,
+            Err(_) => {
+                rt.health.parse_errors += 1;
+                rt.error_score += 1;
+                let over_budget = rt.error_score > cfg.parse_error_budget;
+                if rt.health.state == FeedState::Probation || over_budget {
+                    rt.health.state = FeedState::Quarantined;
+                    rt.health.quarantines += 1;
+                    rt.quarantine_skipped = 0;
+                    events.push(FleetEvent::FeedQuarantined {
+                        feed,
+                        parse_errors: rt.health.parse_errors,
+                    });
+                }
+                return events;
+            }
+        };
+        rt.error_score = rt.error_score.saturating_sub(1);
+        if rt.health.state == FeedState::Probation {
+            rt.probation_clean += 1;
+            if rt.probation_clean >= cfg.probation_lines {
+                rt.health.state = FeedState::Active;
+                events.push(FleetEvent::FeedRecovered { feed });
+            }
+        }
+
+        rt.health.messages += 1;
+        rt.silent_flagged = false;
+        if msg.timestamp < rt.max_seen {
+            rt.health.reorders_absorbed += 1;
+        }
+        rt.max_seen = rt.max_seen.max(msg.timestamp);
+        rt.health.last_seen = Some(rt.max_seen);
+
+        // Buffer, then release everything older than the reorder window.
+        rt.buffer.push(Reverse(Buffered { time: msg.timestamp, seq: rt.next_seq, msg }));
+        rt.next_seq += 1;
+        let release_before = rt.max_seen.saturating_sub(cfg.reorder_window);
+        while rt.buffer.peek().is_some_and(|Reverse(b)| b.time <= release_before) {
+            let Reverse(b) = rt.buffer.pop().expect("peeked");
+            Self::observe_contained(rt, feed, &b.msg, &mut events);
+        }
+        events
+    }
+
+    /// Runs one observation with panic containment; a panic poisons the
+    /// feed and is reported as an event rather than propagated.
+    fn observe_contained(
+        rt: &mut FeedRuntime<O>,
+        feed: usize,
+        msg: &SyslogMessage,
+        events: &mut Vec<FleetEvent>,
+    ) {
+        let Some(monitor) = rt.monitor.as_mut() else {
+            rt.health.skipped += 1;
+            return;
+        };
+        match catch_unwind(AssertUnwindSafe(|| monitor.observe(msg))) {
+            Ok(Some(warning)) => {
+                rt.health.warnings += 1;
+                events.push(FleetEvent::Warning { feed, warning });
+            }
+            Ok(None) => {}
+            Err(panic) => {
+                // The monitor's invariants can no longer be trusted.
+                rt.monitor = None;
+                rt.health.state = FeedState::Poisoned;
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                events.push(FleetEvent::FeedPoisoned { feed, reason });
+            }
+        }
+    }
+
+    /// Checks every feed for staleness against wall-clock `now` (stream
+    /// time). Each silence episode is reported once.
+    pub fn tick(&mut self, now: u64) -> Vec<FleetEvent> {
+        let mut events = Vec::new();
+        for rt in &mut self.feeds {
+            if rt.health.state == FeedState::Poisoned || rt.silent_flagged {
+                continue;
+            }
+            let last = rt.health.last_seen.unwrap_or(0);
+            if now.saturating_sub(last) > self.cfg.staleness_timeout {
+                rt.silent_flagged = true;
+                events.push(FleetEvent::FeedSilent { feed: rt.health.feed, last_seen: last, now });
+            }
+        }
+        events
+    }
+
+    /// Drains every reorder buffer (end of stream), returning any final
+    /// warnings.
+    pub fn flush(&mut self) -> Vec<FleetEvent> {
+        let mut events = Vec::new();
+        for i in 0..self.feeds.len() {
+            let rt = &mut self.feeds[i];
+            while let Some(Reverse(b)) = rt.buffer.pop() {
+                Self::observe_contained(rt, i, &b.msg, &mut events);
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_syslog::message::Severity;
+
+    /// Observer that records timestamps and panics on a trigger text.
+    struct Probe {
+        seen: Vec<u64>,
+        panic_on: Option<String>,
+    }
+
+    impl FeedObserver for Probe {
+        fn observe(&mut self, message: &SyslogMessage) -> Option<Warning> {
+            if let Some(trigger) = &self.panic_on {
+                if message.text.contains(trigger.as_str()) {
+                    panic!("probe tripped on {:?}", message.text);
+                }
+            }
+            self.seen.push(message.timestamp);
+            if message.text.contains("alarm") {
+                return Some(Warning {
+                    start: message.timestamp,
+                    anomalies: 1,
+                    peak_score: 9.0,
+                    peak_text: message.text.clone(),
+                });
+            }
+            None
+        }
+    }
+
+    fn probe_fleet(n: usize) -> FleetMonitor<Probe> {
+        let monitors = (0..n).map(|_| Probe { seen: Vec::new(), panic_on: None }).collect();
+        FleetMonitor::new(monitors, FleetMonitorConfig::default())
+    }
+
+    fn line(time: u64, text: &str) -> String {
+        SyslogMessage {
+            timestamp: time,
+            host: "vpe00".into(),
+            process: "rpd".into(),
+            severity: Severity::Info,
+            text: text.into(),
+        }
+        .to_line()
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_once_within_the_ring() {
+        let mut fleet = probe_fleet(1);
+        let l = line(100, "heartbeat ok 1");
+        fleet.ingest_line(0, &l);
+        fleet.ingest_line(0, &l);
+        fleet.ingest_line(0, &line(110, "heartbeat ok 2"));
+        fleet.ingest_line(0, &l);
+        let h = fleet.health(0);
+        assert_eq!(h.messages, 2);
+        assert_eq!(h.duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn reorder_buffer_releases_in_timestamp_order() {
+        let mut fleet = probe_fleet(1);
+        // 30s window; deliver shuffled within the window.
+        for t in [100u64, 130, 110, 120, 160, 140, 150, 200, 170] {
+            fleet.ingest_line(0, &line(t, &format!("event at {}", t)));
+        }
+        fleet.flush();
+        let seen = &fleet.feeds[0].monitor.as_ref().unwrap().seen;
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(*seen, sorted, "observer must see timestamps in order");
+        assert_eq!(seen.len(), 9);
+        assert!(fleet.health(0).reorders_absorbed >= 3);
+    }
+
+    #[test]
+    fn parse_error_budget_quarantines_then_probation_recovers() {
+        let cfg = FleetMonitorConfig {
+            parse_error_budget: 3,
+            quarantine_backoff: 5,
+            probation_lines: 4,
+            ..Default::default()
+        };
+        let mut fleet = FleetMonitor::new(vec![Probe { seen: Vec::new(), panic_on: None }], cfg);
+        let mut events = Vec::new();
+        // Garbage until quarantine trips.
+        for i in 0..4 {
+            events.extend(fleet.ingest_line(0, &format!("#### garbage {} ####", i)));
+        }
+        assert_eq!(fleet.health(0).state, FeedState::Quarantined);
+        assert!(events.iter().any(|e| matches!(e, FleetEvent::FeedQuarantined { .. })));
+        // Lines during backoff are skipped, even good ones.
+        for i in 0..5 {
+            events.extend(fleet.ingest_line(0, &line(1000 + i, "fine again")));
+        }
+        assert_eq!(fleet.health(0).state, FeedState::Probation);
+        assert_eq!(fleet.health(0).skipped, 5);
+        // Clean probation restores the feed.
+        for i in 0..4 {
+            events.extend(fleet.ingest_line(0, &line(2000 + i * 60, "fine again ok")));
+        }
+        assert_eq!(fleet.health(0).state, FeedState::Active);
+        assert!(events.iter().any(|e| matches!(e, FleetEvent::FeedRecovered { feed: 0 })));
+        assert_eq!(fleet.health(0).quarantines, 1);
+    }
+
+    #[test]
+    fn probation_failure_returns_to_quarantine() {
+        let cfg = FleetMonitorConfig {
+            parse_error_budget: 2,
+            quarantine_backoff: 2,
+            probation_lines: 10,
+            ..Default::default()
+        };
+        let mut fleet = FleetMonitor::new(vec![Probe { seen: Vec::new(), panic_on: None }], cfg);
+        for i in 0..3 {
+            fleet.ingest_line(0, &format!("junk {}", i));
+        }
+        assert_eq!(fleet.health(0).state, FeedState::Quarantined);
+        fleet.ingest_line(0, "skip1");
+        fleet.ingest_line(0, "skip2");
+        assert_eq!(fleet.health(0).state, FeedState::Probation);
+        // One bad line during probation is enough.
+        let events = fleet.ingest_line(0, "more junk");
+        assert_eq!(fleet.health(0).state, FeedState::Quarantined);
+        assert!(events.iter().any(|e| matches!(e, FleetEvent::FeedQuarantined { .. })));
+        assert_eq!(fleet.health(0).quarantines, 2);
+    }
+
+    #[test]
+    fn poisoned_feed_is_contained_and_others_keep_working() {
+        let monitors = vec![
+            Probe { seen: Vec::new(), panic_on: Some("kaboom".into()) },
+            Probe { seen: Vec::new(), panic_on: None },
+        ];
+        let mut fleet = FleetMonitor::new(monitors, FleetMonitorConfig::default());
+        let mut events = Vec::new();
+        // Feed the trigger, then push it past the reorder window so the
+        // poisoned observation actually runs.
+        events.extend(fleet.ingest_line(0, &line(100, "kaboom now")));
+        events.extend(fleet.ingest_line(0, &line(500, "later")));
+        assert_eq!(fleet.health(0).state, FeedState::Poisoned);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::FeedPoisoned { feed: 0, reason } if reason.contains("kaboom"))));
+        // Feed 1 still scores and warns.
+        events.extend(fleet.ingest_line(1, &line(100, "alarm condition")));
+        events.extend(fleet.ingest_line(1, &line(500, "calm")));
+        assert!(events.iter().any(|e| matches!(e, FleetEvent::Warning { feed: 1, .. })));
+        assert_eq!(fleet.health(1).state, FeedState::Active);
+        // Further lines to the poisoned feed are cheap no-ops.
+        let quiet = fleet.ingest_line(0, &line(600, "anything"));
+        assert!(quiet.is_empty());
+        assert!(fleet.health(0).skipped >= 1);
+    }
+
+    #[test]
+    fn staleness_is_reported_once_per_episode() {
+        let mut fleet = probe_fleet(2);
+        fleet.ingest_line(0, &line(1000, "hello"));
+        fleet.ingest_line(1, &line(1000, "hello"));
+        // Feed 1 keeps talking; feed 0 goes quiet.
+        fleet.ingest_line(1, &line(9000, "still here"));
+        let events = fleet.tick(9000);
+        assert_eq!(events, vec![FleetEvent::FeedSilent { feed: 0, last_seen: 1000, now: 9000 }]);
+        // Second tick within the same episode is silent.
+        assert!(fleet.tick(9500).is_empty());
+        // Speaking again re-arms the detector.
+        fleet.ingest_line(0, &line(9600, "back"));
+        assert!(fleet.tick(9700).is_empty());
+        let events = fleet.tick(20_000);
+        assert!(matches!(events[0], FleetEvent::FeedSilent { feed: 0, .. }));
+    }
+
+    #[test]
+    fn warnings_are_counted_per_feed() {
+        let mut fleet = probe_fleet(1);
+        let mut events = Vec::new();
+        events.extend(fleet.ingest_line(0, &line(100, "alarm one")));
+        events.extend(fleet.ingest_line(0, &line(200, "alarm two")));
+        events.extend(fleet.flush());
+        let warnings = events.iter().filter(|e| matches!(e, FleetEvent::Warning { .. })).count();
+        assert_eq!(warnings, 2);
+        assert_eq!(fleet.health(0).warnings, 2);
+    }
+}

@@ -89,8 +89,7 @@ pub fn clusters_spanning_multiple_tickets(
             let matched = tickets
                 .iter()
                 .filter(|t| {
-                    c >= t.report_time.saturating_sub(cfg.predictive_period)
-                        && c <= t.repair_time
+                    c >= t.report_time.saturating_sub(cfg.predictive_period) && c <= t.repair_time
                 })
                 .count();
             matched > 1
@@ -149,10 +148,8 @@ pub fn signature_report(
     for &c in clusters {
         // Messages inside the cluster neighbourhood.
         let span_end = c + 5 * cfg.cluster_gap;
-        let members: Vec<&SyslogMessage> = messages
-            .iter()
-            .filter(|m| m.timestamp >= c && m.timestamp <= span_end)
-            .collect();
+        let members: Vec<&SyslogMessage> =
+            messages.iter().filter(|m| m.timestamp >= c && m.timestamp <= span_end).collect();
         if members.is_empty() {
             continue;
         }
@@ -161,12 +158,8 @@ pub fn signature_report(
         for m in &members {
             *counts.entry(codec.encode_text(&m.text)).or_insert(0) += 1;
         }
-        let (&dominant, _) =
-            counts.iter().max_by_key(|(_, &n)| n).expect("non-empty members");
-        let pattern = codec
-            .pattern_of(dominant)
-            .unwrap_or("<unknown template>")
-            .to_string();
+        let (&dominant, _) = counts.iter().max_by_key(|(_, &n)| n).expect("non-empty members");
+        let pattern = codec.pattern_of(dominant).unwrap_or("<unknown template>").to_string();
         let example = members
             .iter()
             .find(|m| codec.encode_text(&m.text) == dominant)
@@ -235,12 +228,8 @@ mod tests {
 
     #[test]
     fn histogram_covers_all_outcomes() {
-        let outcomes = vec![
-            outcome(Some(-600)),
-            outcome(Some(-600)),
-            outcome(Some(100)),
-            outcome(None),
-        ];
+        let outcomes =
+            vec![outcome(Some(-600)), outcome(Some(-600)), outcome(Some(100)), outcome(None)];
         let hist = triage_histogram(&outcomes);
         let total: usize = hist.iter().map(|(_, n)| n).sum();
         assert_eq!(total, outcomes.len());
@@ -262,7 +251,10 @@ mod tests {
         };
         let mut train = Vec::new();
         for i in 0..20 {
-            train.push(mk(i, &format!("BGP UNUSABLE ASPATH: bgp reject path from peer 10.0.0.{}", i)));
+            train.push(mk(
+                i,
+                &format!("BGP UNUSABLE ASPATH: bgp reject path from peer 10.0.0.{}", i),
+            ));
             train.push(mk(i, &format!("fan tray {} failure detected on slot {}", i, i)));
         }
         let codec = LogCodec::train(&train, 2);

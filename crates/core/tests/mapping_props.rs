@@ -7,9 +7,8 @@ use nfv_simnet::{Ticket, TicketCause};
 use proptest::prelude::*;
 
 fn events_strategy() -> impl Strategy<Value = Vec<ScoredEvent>> {
-    prop::collection::vec((0u64..100_000, 0.0f32..10.0), 0..120).prop_map(|v| {
-        v.into_iter().map(|(time, score)| ScoredEvent { time, score }).collect()
-    })
+    prop::collection::vec((0u64..100_000, 0.0f32..10.0), 0..120)
+        .prop_map(|v| v.into_iter().map(|(time, score)| ScoredEvent { time, score }).collect())
 }
 
 fn tickets_strategy() -> impl Strategy<Value = Vec<Ticket>> {

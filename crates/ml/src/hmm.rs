@@ -59,12 +59,7 @@ impl Hmm {
     /// # Panics
     /// Panics when there are no non-empty sequences, `vocab == 0`, or a
     /// symbol is out of range.
-    pub fn fit(
-        sequences: &[Vec<usize>],
-        vocab: usize,
-        cfg: &HmmConfig,
-        rng: &mut impl Rng,
-    ) -> Hmm {
+    pub fn fit(sequences: &[Vec<usize>], vocab: usize, cfg: &HmmConfig, rng: &mut impl Rng) -> Hmm {
         assert!(vocab > 0, "Hmm: empty vocabulary");
         assert!(cfg.states > 0, "Hmm: need at least one state");
         let seqs: Vec<&Vec<usize>> = sequences.iter().filter(|s| !s.is_empty()).collect();
@@ -99,8 +94,7 @@ impl Hmm {
 
                 // gamma[t][i] ∝ alpha[t][i] * beta[t][i].
                 for t in 0..t_n {
-                    let mut gamma: Vec<f64> =
-                        (0..s_n).map(|i| alpha[t][i] * beta[t][i]).collect();
+                    let mut gamma: Vec<f64> = (0..s_n).map(|i| alpha[t][i] * beta[t][i]).collect();
                     normalize(&mut gamma);
                     if t == 0 {
                         for i in 0..s_n {
@@ -163,17 +157,15 @@ impl Hmm {
         let s_n = self.states();
         let mut alpha = vec![vec![0.0f64; s_n]; seq.len()];
         let mut scale = vec![0.0f64; seq.len()];
-        for i in 0..s_n {
-            alpha[0][i] = self.pi[i] * self.b[i][seq[0]];
+        for (i, a0) in alpha[0].iter_mut().enumerate() {
+            *a0 = self.pi[i] * self.b[i][seq[0]];
         }
         scale[0] = alpha[0].iter().sum::<f64>().max(f64::MIN_POSITIVE);
         alpha[0].iter_mut().for_each(|v| *v /= scale[0]);
         for t in 1..seq.len() {
             for j in 0..s_n {
-                let mut acc = 0.0;
-                for i in 0..s_n {
-                    acc += alpha[t - 1][i] * self.a[i][j];
-                }
+                let acc: f64 =
+                    alpha[t - 1].iter().zip(self.a.iter()).map(|(&ap, row)| ap * row[j]).sum();
                 alpha[t][j] = acc * self.b[j][seq[t]];
             }
             scale[t] = alpha[t].iter().sum::<f64>().max(f64::MIN_POSITIVE);
@@ -189,12 +181,14 @@ impl Hmm {
         let mut beta = vec![vec![0.0f64; s_n]; t_n];
         beta[t_n - 1].iter_mut().for_each(|v| *v = 1.0 / scale[t_n - 1]);
         for t in (0..t_n - 1).rev() {
-            for i in 0..s_n {
-                let mut acc = 0.0;
-                for j in 0..s_n {
-                    acc += self.a[i][j] * self.b[j][seq[t + 1]] * beta[t + 1][j];
-                }
-                beta[t][i] = acc / scale[t];
+            let (cur, next) = beta.split_at_mut(t + 1);
+            for (i, b_cur) in cur[t].iter_mut().enumerate() {
+                let acc: f64 = next[0]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &bn)| self.a[i][j] * self.b[j][seq[t + 1]] * bn)
+                    .sum();
+                *b_cur = acc / scale[t];
             }
         }
         beta
@@ -225,9 +219,7 @@ mod tests {
     use rand::{rngs::SmallRng, SeedableRng};
 
     fn cyclic_sequences(n: usize, len: usize) -> Vec<Vec<usize>> {
-        (0..n)
-            .map(|start| (0..len).map(|i| (start + i) % 3).collect())
-            .collect()
+        (0..n).map(|start| (0..len).map(|i| (start + i) % 3).collect()).collect()
     }
 
     #[test]
@@ -240,12 +232,7 @@ mod tests {
         let random: Vec<usize> = vec![0, 0, 2, 1, 1, 0, 2, 2, 1, 0, 0, 1, 2, 0, 2, 1, 0, 1, 1, 2];
         let ll_cyclic = hmm.log_likelihood(&cyclic) / cyclic.len() as f64;
         let ll_random = hmm.log_likelihood(&random) / random.len() as f64;
-        assert!(
-            ll_cyclic > ll_random + 0.3,
-            "cyclic {} vs random {}",
-            ll_cyclic,
-            ll_random
-        );
+        assert!(ll_cyclic > ll_random + 0.3, "cyclic {} vs random {}", ll_cyclic, ll_random);
     }
 
     #[test]

@@ -100,11 +100,8 @@ impl KMeans {
             }
         }
 
-        let inertia = points
-            .iter()
-            .zip(assignments.iter())
-            .map(|(p, &a)| sq_dist(p, &centroids[a]))
-            .sum();
+        let inertia =
+            points.iter().zip(assignments.iter()).map(|(p, &a)| sq_dist(p, &centroids[a])).sum();
         KMeans { centroids, assignments, inertia }
     }
 

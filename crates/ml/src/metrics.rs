@@ -122,10 +122,9 @@ impl PrCurve {
 
     /// The point with the highest F-measure (the paper's operating point).
     pub fn best_f_point(&self) -> Option<PrPoint> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| a.f_measure.partial_cmp(&b.f_measure).unwrap_or(std::cmp::Ordering::Equal))
+        self.points.iter().copied().max_by(|a, b| {
+            a.f_measure.partial_cmp(&b.f_measure).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Area under the PR curve via trapezoidal integration over recall.
@@ -177,9 +176,7 @@ mod tests {
 
     #[test]
     fn recall_is_monotone_decreasing_in_threshold() {
-        let scored: Vec<(f32, bool)> = (0..50)
-            .map(|i| (i as f32 * 0.02, i % 3 == 0))
-            .collect();
+        let scored: Vec<(f32, bool)> = (0..50).map(|i| (i as f32 * 0.02, i % 3 == 0)).collect();
         let curve = PrCurve::from_scores(&scored);
         for w in curve.points.windows(2) {
             assert!(w[0].threshold < w[1].threshold);

@@ -39,13 +39,7 @@ pub struct OneClassSvmConfig {
 
 impl Default for OneClassSvmConfig {
     fn default() -> Self {
-        OneClassSvmConfig {
-            nu: 0.1,
-            gamma: None,
-            max_passes: 60,
-            tol: 1e-5,
-            max_train_points: 600,
-        }
+        OneClassSvmConfig { nu: 0.1, gamma: None, max_passes: 60, tol: 1e-5, max_train_points: 600 }
     }
 }
 
@@ -100,9 +94,7 @@ impl OneClassSvm {
         let mut alphas = vec![1.0 / n as f32; n];
 
         // Maintain g_i = (K a)_i incrementally.
-        let mut g: Vec<f32> = (0..n)
-            .map(|i| (0..n).map(|j| alphas[j] * k[i][j]).sum())
-            .collect();
+        let mut g: Vec<f32> = (0..n).map(|i| (0..n).map(|j| alphas[j] * k[i][j]).sum()).collect();
 
         // Maximal-violating-pair SMO. KKT conditions at the optimum:
         // alpha_i = 0 -> g_i >= rho; 0 < alpha_i < C -> g_i = rho;
@@ -158,14 +150,10 @@ impl OneClassSvm {
 
         // rho = average decision value over margin support vectors
         // (0 < alpha < C); fall back to all support vectors.
-        let margin: Vec<usize> = (0..n)
-            .filter(|&i| alphas[i] > 1e-8 && alphas[i] < c - 1e-8)
-            .collect();
-        let sv_set: Vec<usize> = if margin.is_empty() {
-            (0..n).filter(|&i| alphas[i] > 1e-8).collect()
-        } else {
-            margin
-        };
+        let margin: Vec<usize> =
+            (0..n).filter(|&i| alphas[i] > 1e-8 && alphas[i] < c - 1e-8).collect();
+        let sv_set: Vec<usize> =
+            if margin.is_empty() { (0..n).filter(|&i| alphas[i] > 1e-8).collect() } else { margin };
         let rho = sv_set.iter().map(|&i| g[i]).sum::<f32>() / sv_set.len().max(1) as f32;
 
         // Keep only the support vectors.
@@ -240,12 +228,7 @@ mod tests {
 
     fn cluster(rng: &mut SmallRng, center: &[f32], spread: f32, n: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|_| {
-                center
-                    .iter()
-                    .map(|&c| c + rng.gen_range(-spread..spread))
-                    .collect()
-            })
+            .map(|_| center.iter().map(|&c| c + rng.gen_range(-spread..spread)).collect())
             .collect()
     }
 
@@ -278,8 +261,8 @@ mod tests {
         for &nu in &[0.05f32, 0.2] {
             let cfg = OneClassSvmConfig { nu, ..Default::default() };
             let model = OneClassSvm::fit(&train, &cfg, &mut rng);
-            let outlier_frac = train.iter().filter(|p| model.is_outlier(p)).count() as f32
-                / train.len() as f32;
+            let outlier_frac =
+                train.iter().filter(|p| model.is_outlier(p)).count() as f32 / train.len() as f32;
             // nu is an asymptotic bound; allow generous slack.
             assert!(
                 outlier_frac < nu + 0.12,

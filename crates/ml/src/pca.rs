@@ -103,16 +103,14 @@ impl Pca {
 
     /// Projects `x` onto the principal subspace (component coordinates).
     pub fn project(&self, x: &[f32]) -> Vec<f32> {
-        let centered: Vec<f32> =
-            x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
+        let centered: Vec<f32> = x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
         self.components.iter().map(|c| dot(c, &centered)).collect()
     }
 
     /// Squared residual of `x` outside the principal subspace — the
     /// anomaly score of the PCA detector (larger = more anomalous).
     pub fn residual_sq(&self, x: &[f32]) -> f32 {
-        let centered: Vec<f32> =
-            x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
+        let centered: Vec<f32> = x.iter().zip(self.mean.iter()).map(|(v, m)| v - m).collect();
         let mut residual = centered.clone();
         for c in &self.components {
             let proj = dot(c, &centered);
@@ -160,9 +158,8 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let mut rng = SmallRng::seed_from_u64(17);
-        let data: Vec<Vec<f32>> = (0..100)
-            .map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-            .collect();
+        let data: Vec<Vec<f32>> =
+            (0..100).map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
         let pca = Pca::fit(&data, 3, &mut rng);
         for i in 0..pca.n_components() {
             for j in 0..pca.n_components() {

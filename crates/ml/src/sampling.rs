@@ -25,10 +25,7 @@ pub fn oversample_indices(
         (0.0..=1.0).contains(&majority_keep),
         "oversample_indices: majority_keep must be in [0, 1]"
     );
-    assert!(
-        minority.iter().all(|&i| i < total),
-        "oversample_indices: minority index out of range"
-    );
+    assert!(minority.iter().all(|&i| i < total), "oversample_indices: minority index out of range");
     let minority_set: std::collections::HashSet<usize> = minority.iter().copied().collect();
     let mut out = Vec::new();
     for &i in minority {
@@ -54,11 +51,7 @@ pub fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
 
 /// Uniform reservoir sample of `k` items from an iterator of unknown
 /// length. Returns fewer than `k` items when the stream is shorter.
-pub fn reservoir_sample<T, I: Iterator<Item = T>>(
-    iter: I,
-    k: usize,
-    rng: &mut impl Rng,
-) -> Vec<T> {
+pub fn reservoir_sample<T, I: Iterator<Item = T>>(iter: I, k: usize, rng: &mut impl Rng) -> Vec<T> {
     let mut reservoir: Vec<T> = Vec::with_capacity(k);
     for (i, item) in iter.enumerate() {
         if reservoir.len() < k {

@@ -46,11 +46,7 @@ impl TfIdf {
         assert_eq!(window.len(), self.dim(), "TfIdf::transform: width mismatch");
         let total: f32 = window.iter().sum();
         let mut out: Vec<f32> = if total > 0.0 {
-            window
-                .iter()
-                .zip(self.idf.iter())
-                .map(|(&c, &idf)| (c / total) * idf)
-                .collect()
+            window.iter().zip(self.idf.iter()).map(|(&c, &idf)| (c / total) * idf).collect()
         } else {
             vec![0.0; self.dim()]
         };
@@ -76,12 +72,7 @@ mod tests {
     #[test]
     fn rare_terms_get_higher_idf() {
         // Term 0 appears in every window, term 1 in only one.
-        let windows = vec![
-            vec![3.0, 0.0],
-            vec![1.0, 0.0],
-            vec![2.0, 5.0],
-            vec![4.0, 0.0],
-        ];
+        let windows = vec![vec![3.0, 0.0], vec![1.0, 0.0], vec![2.0, 5.0], vec![4.0, 0.0]];
         let tfidf = TfIdf::fit(&windows);
         assert!(tfidf.idf()[1] > tfidf.idf()[0]);
     }

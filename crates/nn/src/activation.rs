@@ -82,12 +82,8 @@ mod tests {
     #[test]
     fn derivatives_match_numerical() {
         let eps = 1e-3f32;
-        for &act in &[
-            Activation::Identity,
-            Activation::Sigmoid,
-            Activation::Tanh,
-            Activation::Relu,
-        ] {
+        for &act in &[Activation::Identity, Activation::Sigmoid, Activation::Tanh, Activation::Relu]
+        {
             for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
                 let y = act.apply(x);
                 let analytic = act.derivative_from_output(y);

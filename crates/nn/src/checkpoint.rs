@@ -1,19 +1,252 @@
-//! JSON checkpointing of model parameters.
+//! JSON checkpointing of model parameters, with integrity protection.
 //!
 //! Checkpoints are deliberately simple: a tag identifying the
 //! architecture family, a flat list of architecture dimensions, and the
 //! parameter matrices in optimizer order. JSON keeps them human-
 //! inspectable, which matters when debugging transfer-learning weight
 //! copies.
+//!
+//! On disk every checkpoint is wrapped in an *envelope*:
+//!
+//! ```json
+//! {"checksum":"<fnv1a64 hex>","format":"nfv-checkpoint","payload":{...},"version":1}
+//! ```
+//!
+//! The checksum is FNV-1a 64 over the canonical (key-sorted, no
+//! whitespace) serialization of the payload, so a flipped byte or a
+//! truncated file is reported as a typed [`CheckpointError`] instead of
+//! producing a silently-wrong model. Saves are atomic (temp file +
+//! rename) so a crash mid-write can never leave a half-written
+//! checkpoint at the destination path.
 
 use nfv_tensor::Matrix;
-use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::time::Duration;
+
+/// On-disk format marker for model checkpoints.
+pub const CHECKPOINT_FORMAT: &str = "nfv-checkpoint";
+/// Current envelope version. Readers reject anything newer.
+pub const ENVELOPE_VERSION: u64 = 1;
+
+/// Typed failure modes of checkpoint/bundle persistence.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (open, read, write, rename).
+    Io(io::Error),
+    /// The file is not well-formed JSON (truncation, garbage bytes).
+    Json {
+        /// Byte offset of the first parse failure.
+        offset: usize,
+        /// Parser message.
+        msg: String,
+    },
+    /// The envelope's `format` field names a different artifact kind.
+    BadFormat {
+        /// Format the reader expected.
+        expected: String,
+        /// Format found in the file.
+        found: String,
+    },
+    /// The envelope was written by a newer, unknown version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u64,
+        /// Newest version this reader understands.
+        supported: u64,
+    },
+    /// The payload does not hash to the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the envelope.
+        expected: String,
+        /// Checksum recomputed from the payload.
+        actual: String,
+    },
+    /// A required field is absent or has the wrong JSON type.
+    MissingField(String),
+    /// A matrix's data length disagrees with its declared shape.
+    ShapeMismatch {
+        /// Declared row count.
+        rows: usize,
+        /// Declared column count.
+        cols: usize,
+        /// Actual element count.
+        len: usize,
+    },
+    /// The checkpoint is structurally valid JSON but semantically wrong
+    /// for the model family decoding it (bad tag, dims, param count).
+    Invalid(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {}", e),
+            CheckpointError::Json { offset, msg } => {
+                write!(f, "malformed JSON at byte {}: {}", offset, msg)
+            }
+            CheckpointError::BadFormat { expected, found } => {
+                write!(f, "wrong artifact format: expected {:?}, found {:?}", expected, found)
+            }
+            CheckpointError::UnsupportedVersion { found, supported } => {
+                write!(f, "envelope version {} is newer than supported {}", found, supported)
+            }
+            CheckpointError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: recorded {}, computed {}", expected, actual)
+            }
+            CheckpointError::MissingField(name) => {
+                write!(f, "missing or mistyped field {:?}", name)
+            }
+            CheckpointError::ShapeMismatch { rows, cols, len } => {
+                write!(
+                    f,
+                    "matrix shape {}x{} needs {} values, got {}",
+                    rows,
+                    cols,
+                    rows * cols,
+                    len
+                )
+            }
+            CheckpointError::Invalid(msg) => write!(f, "invalid checkpoint: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json { offset: e.offset, msg: e.to_string() }
+    }
+}
+
+/// FNV-1a 64 over a byte string; the envelope checksum primitive.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps a payload value in a checksummed envelope and serializes it.
+pub fn seal_envelope(format: &str, payload: Value) -> String {
+    let canonical = payload.to_string();
+    let checksum = format!("{:016x}", fnv1a64(canonical.as_bytes()));
+    json!({
+        "format": format,
+        "version": ENVELOPE_VERSION,
+        "checksum": checksum,
+        "payload": payload,
+    })
+    .to_string()
+}
+
+/// Parses envelope text, verifying format, version, and checksum, and
+/// returns the payload value.
+pub fn open_envelope(format: &str, text: &str) -> Result<Value, CheckpointError> {
+    let value = serde_json::from_str(text)?;
+    let found_format = value
+        .get("format")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| CheckpointError::MissingField("format".into()))?;
+    if found_format != format {
+        return Err(CheckpointError::BadFormat {
+            expected: format.to_string(),
+            found: found_format.to_string(),
+        });
+    }
+    let version = value
+        .get("version")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| CheckpointError::MissingField("version".into()))?;
+    if version > ENVELOPE_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: ENVELOPE_VERSION,
+        });
+    }
+    let recorded = value
+        .get("checksum")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| CheckpointError::MissingField("checksum".into()))?
+        .to_string();
+    let payload = value
+        .get("payload")
+        .cloned()
+        .ok_or_else(|| CheckpointError::MissingField("payload".into()))?;
+    let actual = format!("{:016x}", fnv1a64(payload.to_string().as_bytes()));
+    if recorded != actual {
+        return Err(CheckpointError::ChecksumMismatch { expected: recorded, actual });
+    }
+    Ok(payload)
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file which is then renamed over the destination, so readers
+/// observe either the old file or the complete new one, never a prefix.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+/// Reads `path`, retrying transient i/o failures with doubling backoff.
+/// Integrity failures (bad checksum, malformed JSON) are permanent and
+/// surface immediately. `parse` maps file text to the artifact.
+pub fn load_with_retry<T>(
+    path: &Path,
+    attempts: u32,
+    initial_backoff: Duration,
+    parse: impl Fn(&str) -> Result<T, CheckpointError>,
+) -> Result<T, CheckpointError> {
+    let mut backoff = initial_backoff;
+    let mut last_io: Option<io::Error> = None;
+    for attempt in 0..attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        match fs::read_to_string(path) {
+            Ok(text) => return parse(&text),
+            Err(e) => last_io = Some(e),
+        }
+    }
+    Err(CheckpointError::Io(last_io.expect("at least one read attempt")))
+}
+
+fn get_usize(obj: &Value, field: &str) -> Result<usize, CheckpointError> {
+    obj.get(field)
+        .and_then(|v| v.as_u64())
+        .map(|v| v as usize)
+        .ok_or_else(|| CheckpointError::MissingField(field.to_string()))
+}
 
 /// A serializable dump of one parameter matrix.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixDump {
     /// Row count.
     pub rows: usize,
@@ -29,14 +262,42 @@ impl MatrixDump {
         MatrixDump { rows: m.rows(), cols: m.cols(), data: m.as_slice().to_vec() }
     }
 
-    /// Rebuilds the matrix.
-    pub fn to_matrix(&self) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.clone())
+    /// Rebuilds the matrix, validating the declared shape against the
+    /// stored data length.
+    pub fn to_matrix(&self) -> Result<Matrix, CheckpointError> {
+        if self.rows.checked_mul(self.cols) != Some(self.data.len()) {
+            return Err(CheckpointError::ShapeMismatch {
+                rows: self.rows,
+                cols: self.cols,
+                len: self.data.len(),
+            });
+        }
+        Ok(Matrix::from_vec(self.rows, self.cols, self.data.clone()))
+    }
+
+    /// JSON value form.
+    pub fn to_value(&self) -> Value {
+        json!({ "rows": self.rows, "cols": self.cols, "data": self.data.clone() })
+    }
+
+    /// Parses the JSON value form.
+    pub fn from_value(v: &Value) -> Result<Self, CheckpointError> {
+        let rows = get_usize(v, "rows")?;
+        let cols = get_usize(v, "cols")?;
+        let data = v
+            .get("data")
+            .and_then(|d| d.as_array())
+            .ok_or_else(|| CheckpointError::MissingField("data".into()))?
+            .iter()
+            .map(|x| x.as_f64().map(|f| f as f32))
+            .collect::<Option<Vec<f32>>>()
+            .ok_or_else(|| CheckpointError::MissingField("data".into()))?;
+        Ok(MatrixDump { rows, cols, data })
     }
 }
 
 /// A serialized model: architecture tag, dimensions, and parameters.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Architecture family, e.g. `"sequence-model"` or `"mlp"`.
     pub tag: String,
@@ -47,16 +308,77 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Writes the checkpoint as JSON.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self).map_err(io::Error::other)?;
-        fs::write(path, json)
+    /// JSON value form (the envelope payload).
+    pub fn to_value(&self) -> Value {
+        json!({
+            "tag": self.tag.clone(),
+            "dims": self.dims.clone(),
+            "params": self.params.iter().map(|p| p.to_value()).collect::<Vec<_>>(),
+        })
     }
 
-    /// Reads a checkpoint written by [`Checkpoint::save`].
-    pub fn load(path: &Path) -> io::Result<Self> {
-        let json = fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(io::Error::other)
+    /// Parses the JSON value form, validating every matrix shape.
+    pub fn from_value(v: &Value) -> Result<Self, CheckpointError> {
+        let tag = v
+            .get("tag")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| CheckpointError::MissingField("tag".into()))?
+            .to_string();
+        let dims = v
+            .get("dims")
+            .and_then(|d| d.as_array())
+            .ok_or_else(|| CheckpointError::MissingField("dims".into()))?
+            .iter()
+            .map(|x| x.as_u64().map(|n| n as usize))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or_else(|| CheckpointError::MissingField("dims".into()))?;
+        let params = v
+            .get("params")
+            .and_then(|p| p.as_array())
+            .ok_or_else(|| CheckpointError::MissingField("params".into()))?
+            .iter()
+            .map(MatrixDump::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        for p in &params {
+            if p.rows.checked_mul(p.cols) != Some(p.data.len()) {
+                return Err(CheckpointError::ShapeMismatch {
+                    rows: p.rows,
+                    cols: p.cols,
+                    len: p.data.len(),
+                });
+            }
+        }
+        Ok(Checkpoint { tag, dims, params })
+    }
+
+    /// Serializes the checkpoint inside its integrity envelope.
+    pub fn to_envelope_string(&self) -> String {
+        seal_envelope(CHECKPOINT_FORMAT, self.to_value())
+    }
+
+    /// Parses and integrity-checks envelope text.
+    pub fn from_envelope_str(text: &str) -> Result<Self, CheckpointError> {
+        Checkpoint::from_value(&open_envelope(CHECKPOINT_FORMAT, text)?)
+    }
+
+    /// Atomically writes the checkpoint as checksummed JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        atomic_write(path, &self.to_envelope_string())
+    }
+
+    /// Reads a checkpoint written by [`Checkpoint::save`], verifying
+    /// the envelope checksum and every matrix shape.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Checkpoint::from_envelope_str(&fs::read_to_string(path)?)
+    }
+
+    /// [`Checkpoint::load`] with retry/backoff on transient i/o errors.
+    pub fn load_with_retry(
+        path: &Path,
+        attempts: u32,
+        initial_backoff: Duration,
+    ) -> Result<Self, CheckpointError> {
+        load_with_retry(path, attempts, initial_backoff, Checkpoint::from_envelope_str)
     }
 
     /// Total number of scalar parameters.
@@ -69,27 +391,134 @@ impl Checkpoint {
 mod tests {
     use super::*;
 
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            tag: "test".to_string(),
+            dims: vec![1, 2, 3],
+            params: vec![MatrixDump { rows: 1, cols: 2, data: vec![0.5, -0.5] }],
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nfv_nn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn matrix_dump_roundtrip() {
         let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let dump = MatrixDump::from_matrix(&m);
-        assert_eq!(dump.to_matrix().as_slice(), m.as_slice());
+        assert_eq!(dump.to_matrix().unwrap().as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn matrix_dump_rejects_shape_mismatch() {
+        let dump = MatrixDump { rows: 2, cols: 3, data: vec![1.0; 5] };
+        match dump.to_matrix() {
+            Err(CheckpointError::ShapeMismatch { rows: 2, cols: 3, len: 5 }) => {}
+            other => panic!("expected ShapeMismatch, got {:?}", other),
+        }
     }
 
     #[test]
     fn file_roundtrip() {
-        let ckpt = Checkpoint {
-            tag: "test".to_string(),
-            dims: vec![1, 2, 3],
-            params: vec![MatrixDump { rows: 1, cols: 2, data: vec![0.5, -0.5] }],
-        };
-        let dir = std::env::temp_dir().join("nfv_nn_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
+        let ckpt = sample();
+        let path = temp_path("model.json");
         ckpt.save(&path).unwrap();
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded, ckpt);
         assert_eq!(loaded.parameter_count(), 2);
+        // The atomic-save temp file must not linger.
+        assert!(!path.with_extension("tmp").exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_json_error_not_a_panic() {
+        let text = sample().to_envelope_string();
+        for cut in [1, text.len() / 3, text.len() - 1] {
+            match Checkpoint::from_envelope_str(&text[..cut]) {
+                Err(CheckpointError::Json { .. }) => {}
+                other => panic!("cut at {}: expected Json error, got {:?}", cut, other),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_checksum_byte_is_detected() {
+        let text = sample().to_envelope_string();
+        // Flip one hex digit of the recorded checksum.
+        let pos = text.find("\"checksum\":\"").unwrap() + "\"checksum\":\"".len();
+        let mut bytes = text.into_bytes();
+        bytes[pos] = if bytes[pos] == b'0' { b'1' } else { b'0' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        match Checkpoint::from_envelope_str(&tampered) {
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_value_is_detected() {
+        let text = sample().to_envelope_string();
+        // Change a data value inside the payload without touching the
+        // recorded checksum.
+        let tampered = text.replace("-0.5", "-0.7");
+        assert_ne!(tampered, text);
+        match Checkpoint::from_envelope_str(&tampered) {
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn wrong_format_and_future_version_are_typed() {
+        let other = seal_envelope("some-other-artifact", json!({"x": 1}));
+        match Checkpoint::from_envelope_str(&other) {
+            Err(CheckpointError::BadFormat { .. }) => {}
+            o => panic!("expected BadFormat, got {:?}", o),
+        }
+        let future = sample().to_envelope_string().replace("\"version\":1", "\"version\":99");
+        match Checkpoint::from_envelope_str(&future) {
+            Err(CheckpointError::UnsupportedVersion { found: 99, .. }) => {}
+            o => panic!("expected UnsupportedVersion, got {:?}", o),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_inside_file_is_rejected() {
+        let mut ckpt = sample();
+        ckpt.params[0].rows = 7; // now 7*2 != data.len()
+        let text = seal_envelope(CHECKPOINT_FORMAT, ckpt.to_value());
+        match Checkpoint::from_envelope_str(&text) {
+            Err(CheckpointError::ShapeMismatch { .. }) => {}
+            other => panic!("expected ShapeMismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_over_existing_file() {
+        let path = temp_path("overwrite.json");
+        sample().save(&path).unwrap();
+        let mut bigger = sample();
+        bigger.dims = vec![9, 9, 9];
+        bigger.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap().dims, vec![9, 9, 9]);
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_with_retry_eventually_reads_and_reports_missing() {
+        let path = temp_path("retry.json");
+        sample().save(&path).unwrap();
+        let loaded = Checkpoint::load_with_retry(&path, 3, Duration::from_millis(1)).unwrap();
+        assert_eq!(loaded, sample());
+        std::fs::remove_file(&path).ok();
+        match Checkpoint::load_with_retry(&path, 2, Duration::from_millis(1)) {
+            Err(CheckpointError::Io(_)) => {}
+            other => panic!("expected Io error, got {:?}", other),
+        }
     }
 }

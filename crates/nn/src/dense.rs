@@ -40,11 +40,7 @@ pub struct DenseGrads {
 impl Dense {
     /// New layer with Xavier-initialized weights and zero bias.
     pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
-        Dense {
-            w: xavier_uniform(in_dim, out_dim, rng),
-            b: Matrix::zeros(1, out_dim),
-            activation,
-        }
+        Dense { w: xavier_uniform(in_dim, out_dim, rng), b: Matrix::zeros(1, out_dim), activation }
     }
 
     /// Input width.
@@ -94,11 +90,7 @@ impl Dense {
         // dL/dz where z is the pre-activation, using f'(z) expressed via y.
         let mut dz = d_out.clone();
         if self.activation != Activation::Identity {
-            for (d, &y) in dz
-                .as_mut_slice()
-                .iter_mut()
-                .zip(cache.y.as_slice().iter())
-            {
+            for (d, &y) in dz.as_mut_slice().iter_mut().zip(cache.y.as_slice().iter()) {
                 *d *= self.activation.derivative_from_output(y);
             }
         }
@@ -158,11 +150,8 @@ mod tests {
             let eps = 1e-2f32;
             // Check a sample of weight entries numerically.
             for &(pi, idx) in &[(0usize, 0usize), (0, 5), (0, 11), (1, 0), (1, 2)] {
-                let analytic = if pi == 0 {
-                    grads.dw.as_slice()[idx]
-                } else {
-                    grads.db.as_slice()[idx]
-                };
+                let analytic =
+                    if pi == 0 { grads.dw.as_slice()[idx] } else { grads.db.as_slice()[idx] };
                 let orig = layer.params()[pi].as_slice()[idx];
                 layer.params_mut()[pi].as_mut_slice()[idx] = orig + eps;
                 let plus = scalar_loss(&layer.forward(&x).0);

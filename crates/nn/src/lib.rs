@@ -31,6 +31,7 @@ pub mod model;
 pub mod optimizer;
 
 pub use activation::Activation;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use dense::Dense;
 pub use embedding::Embedding;
 pub use lstm::LstmLayer;

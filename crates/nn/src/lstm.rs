@@ -112,7 +112,12 @@ impl LstmLayer {
     }
 
     /// Computes one step, returning `(h, c, gates, tanh_c)`.
-    fn step(&self, x: &Matrix, h_prev: &Matrix, c_prev: &Matrix) -> (Matrix, Matrix, Matrix, Matrix) {
+    fn step(
+        &self,
+        x: &Matrix,
+        h_prev: &Matrix,
+        c_prev: &Matrix,
+    ) -> (Matrix, Matrix, Matrix, Matrix) {
         let batch = x.rows();
         let hd = self.hidden;
         assert_eq!(x.cols(), self.input_dim(), "LstmLayer: input width mismatch");
@@ -262,18 +267,15 @@ mod tests {
     /// Loss = 0.5 * sum over all steps of ||h_t||^2, so dL/dh_t = h_t.
     fn seq_loss(layer: &LstmLayer, xs: &[Matrix]) -> f32 {
         let (hs, _) = layer.forward_seq(xs);
-        hs.iter()
-            .map(|h| 0.5 * h.as_slice().iter().map(|v| v * v).sum::<f32>())
-            .sum()
+        hs.iter().map(|h| 0.5 * h.as_slice().iter().map(|v| v * v).sum::<f32>()).sum()
     }
 
     #[test]
     fn forward_shapes_and_state_propagation() {
         let mut rng = SmallRng::seed_from_u64(11);
         let layer = LstmLayer::new(3, 4, &mut rng);
-        let xs: Vec<Matrix> = (0..5)
-            .map(|_| nfv_tensor::uniform_in(2, 3, -1.0, 1.0, &mut rng))
-            .collect();
+        let xs: Vec<Matrix> =
+            (0..5).map(|_| nfv_tensor::uniform_in(2, 3, -1.0, 1.0, &mut rng)).collect();
         let (hs, _) = layer.forward_seq(&xs);
         assert_eq!(hs.len(), 5);
         for h in &hs {
@@ -295,9 +297,8 @@ mod tests {
         // tanh/o-gate keep |h| <= 1 regardless of input magnitude.
         let mut rng = SmallRng::seed_from_u64(2);
         let layer = LstmLayer::new(2, 3, &mut rng);
-        let xs: Vec<Matrix> = (0..20)
-            .map(|_| nfv_tensor::uniform_in(1, 2, -50.0, 50.0, &mut rng))
-            .collect();
+        let xs: Vec<Matrix> =
+            (0..20).map(|_| nfv_tensor::uniform_in(1, 2, -50.0, 50.0, &mut rng)).collect();
         let (hs, _) = layer.forward_seq(&xs);
         for h in &hs {
             assert!(h.max_abs() <= 1.0 + 1e-6);
@@ -308,9 +309,8 @@ mod tests {
     fn gradient_check_all_parameters() {
         let mut rng = SmallRng::seed_from_u64(21);
         let mut layer = LstmLayer::new(3, 2, &mut rng);
-        let xs: Vec<Matrix> = (0..4)
-            .map(|_| nfv_tensor::uniform_in(2, 3, -1.0, 1.0, &mut rng))
-            .collect();
+        let xs: Vec<Matrix> =
+            (0..4).map(|_| nfv_tensor::uniform_in(2, 3, -1.0, 1.0, &mut rng)).collect();
 
         let (hs, cache) = layer.forward_seq(&xs);
         let d_hs: Vec<Matrix> = hs.clone();
@@ -318,7 +318,7 @@ mod tests {
         let analytic = [&grads.dwx, &grads.dwh, &grads.db];
 
         let eps = 1e-2f32;
-        for pi in 0..3 {
+        for (pi, analytic_grad) in analytic.iter().enumerate() {
             let len = layer.params()[pi].as_slice().len();
             // Probe a deterministic sample of entries in each parameter.
             for idx in (0..len).step_by(1 + len / 7) {
@@ -329,7 +329,7 @@ mod tests {
                 let minus = seq_loss(&layer, &xs);
                 layer.params_mut()[pi].as_mut_slice()[idx] = orig;
                 let numeric = (plus - minus) / (2.0 * eps);
-                let a = analytic[pi].as_slice()[idx];
+                let a = analytic_grad.as_slice()[idx];
                 assert!(
                     (a - numeric).abs() < 3e-2 * (1.0 + numeric.abs()),
                     "param {} idx {}: analytic {} vs numeric {}",
@@ -346,9 +346,8 @@ mod tests {
     fn gradient_check_inputs() {
         let mut rng = SmallRng::seed_from_u64(33);
         let layer = LstmLayer::new(2, 3, &mut rng);
-        let mut xs: Vec<Matrix> = (0..3)
-            .map(|_| nfv_tensor::uniform_in(1, 2, -1.0, 1.0, &mut rng))
-            .collect();
+        let mut xs: Vec<Matrix> =
+            (0..3).map(|_| nfv_tensor::uniform_in(1, 2, -1.0, 1.0, &mut rng)).collect();
 
         let (hs, cache) = layer.forward_seq(&xs);
         let (dxs, _) = layer.backward_seq(&cache, &hs);

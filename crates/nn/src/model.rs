@@ -1,7 +1,7 @@
 //! Model containers: the paper's next-template sequence network and a
 //! plain MLP used to build the autoencoder baseline.
 
-use crate::checkpoint::{Checkpoint, MatrixDump};
+use crate::checkpoint::{Checkpoint, CheckpointError, MatrixDump};
 use crate::dense::{Dense, DenseCache};
 use crate::embedding::Embedding;
 use crate::loss;
@@ -172,8 +172,7 @@ impl SequenceModel {
             let ids_t: Vec<usize> = batch.ids.iter().map(|w| w[t]).collect();
             let emb = self.embedding.forward(&ids_t);
             let x = if self.cfg.use_gap_feature {
-                let gap_col =
-                    Matrix::from_vec(b, 1, batch.gaps.iter().map(|g| g[t]).collect());
+                let gap_col = Matrix::from_vec(b, 1, batch.gaps.iter().map(|g| g[t]).collect());
                 Matrix::hstack(&[&emb, &gap_col])
             } else {
                 emb
@@ -226,9 +225,8 @@ impl SequenceModel {
         let (dh_last, head_grads) = self.head.backward(&cache.head_cache, &dlogits);
 
         // BPTT down the LSTM stack: only the last step feeds the loss.
-        let mut d_hs: Vec<Matrix> = (0..cache.t_len)
-            .map(|_| Matrix::zeros(cache.batch, self.cfg.hidden))
-            .collect();
+        let mut d_hs: Vec<Matrix> =
+            (0..cache.t_len).map(|_| Matrix::zeros(cache.batch, self.cfg.hidden)).collect();
         *d_hs.last_mut().expect("non-empty") = dh_last;
 
         let mut lstm_grads = Vec::with_capacity(self.lstms.len());
@@ -313,10 +311,28 @@ impl SequenceModel {
     }
 
     /// Restores a model from a checkpoint produced by
-    /// [`SequenceModel::to_checkpoint`].
-    pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
-        assert_eq!(ckpt.tag, "sequence-model", "checkpoint tag mismatch: {}", ckpt.tag);
-        assert_eq!(ckpt.dims.len(), 5, "malformed sequence-model checkpoint");
+    /// [`SequenceModel::to_checkpoint`], reporting structural problems
+    /// (wrong tag, malformed dims, mismatched parameter shapes) as
+    /// typed errors instead of panicking.
+    pub fn try_from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
+        if ckpt.tag != "sequence-model" {
+            return Err(CheckpointError::Invalid(format!(
+                "expected tag \"sequence-model\", found {:?}",
+                ckpt.tag
+            )));
+        }
+        if ckpt.dims.len() != 5 {
+            return Err(CheckpointError::Invalid(format!(
+                "sequence-model checkpoint needs 5 dims, found {}",
+                ckpt.dims.len()
+            )));
+        }
+        if ckpt.dims[..4].contains(&0) {
+            return Err(CheckpointError::Invalid(format!(
+                "sequence-model dims must be non-zero, found {:?}",
+                ckpt.dims
+            )));
+        }
         let cfg = SequenceModelConfig {
             vocab: ckpt.dims[0],
             embed_dim: ckpt.dims[1],
@@ -326,12 +342,15 @@ impl SequenceModel {
         };
         let mut rng = rand::rngs::mock::StepRng::new(1, 1);
         let mut model = SequenceModel::new(cfg, &mut rng);
-        let mut params = model.params_mut();
-        assert_eq!(params.len(), ckpt.params.len(), "checkpoint parameter count mismatch");
-        for (p, dump) in params.iter_mut().zip(ckpt.params.iter()) {
-            **p = dump.to_matrix();
-        }
-        model
+        restore_params(&mut model, ckpt)?;
+        Ok(model)
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`SequenceModel::try_from_checkpoint`] for checkpoints known to
+    /// be valid (e.g. built in-process).
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
+        SequenceModel::try_from_checkpoint(ckpt).expect("valid sequence-model checkpoint")
     }
 }
 
@@ -459,10 +478,27 @@ impl Mlp {
         }
     }
 
-    /// Restores an MLP from [`Mlp::to_checkpoint`] output.
-    pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
-        assert_eq!(ckpt.tag, "mlp", "checkpoint tag mismatch: {}", ckpt.tag);
-        let n = ckpt.dims[0];
+    /// Restores an MLP from [`Mlp::to_checkpoint`] output, reporting
+    /// structural problems as typed errors instead of panicking.
+    pub fn try_from_checkpoint(ckpt: &Checkpoint) -> Result<Self, CheckpointError> {
+        if ckpt.tag != "mlp" {
+            return Err(CheckpointError::Invalid(format!(
+                "expected tag \"mlp\", found {:?}",
+                ckpt.tag
+            )));
+        }
+        let n = *ckpt
+            .dims
+            .first()
+            .ok_or_else(|| CheckpointError::Invalid("mlp checkpoint has empty dims".to_string()))?;
+        if n == 0 || ckpt.dims.len() != 1 + 3 * n {
+            return Err(CheckpointError::Invalid(format!(
+                "mlp checkpoint with {} layers needs {} dims, found {}",
+                n,
+                1 + 3 * n.max(1),
+                ckpt.dims.len()
+            )));
+        }
         let mut rng = rand::rngs::mock::StepRng::new(1, 1);
         let mut layers = Vec::with_capacity(n);
         for i in 0..n {
@@ -473,18 +509,51 @@ impl Mlp {
                 1 => Activation::Sigmoid,
                 2 => Activation::Tanh,
                 3 => Activation::Relu,
-                other => panic!("unknown activation tag {}", other),
+                other => {
+                    return Err(CheckpointError::Invalid(format!(
+                        "unknown activation tag {}",
+                        other
+                    )))
+                }
             };
             layers.push(Dense::new(in_dim, out_dim, act, &mut rng));
         }
         let mut mlp = Mlp { layers };
-        let mut params = mlp.params_mut();
-        assert_eq!(params.len(), ckpt.params.len(), "checkpoint parameter count mismatch");
-        for (p, dump) in params.iter_mut().zip(ckpt.params.iter()) {
-            **p = dump.to_matrix();
-        }
-        mlp
+        restore_params(&mut mlp, ckpt)?;
+        Ok(mlp)
     }
+
+    /// Panicking convenience wrapper around [`Mlp::try_from_checkpoint`]
+    /// for checkpoints known to be valid (e.g. built in-process).
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Self {
+        Mlp::try_from_checkpoint(ckpt).expect("valid mlp checkpoint")
+    }
+}
+
+/// Copies checkpoint matrices into a freshly-built model, verifying the
+/// parameter count and every matrix shape against the architecture the
+/// dims describe.
+fn restore_params<M: Trainable>(model: &mut M, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    let mut params = model.params_mut();
+    if params.len() != ckpt.params.len() {
+        return Err(CheckpointError::Invalid(format!(
+            "architecture expects {} parameter matrices, checkpoint has {}",
+            params.len(),
+            ckpt.params.len()
+        )));
+    }
+    for (p, dump) in params.iter_mut().zip(ckpt.params.iter()) {
+        let restored = dump.to_matrix()?;
+        if restored.shape() != p.shape() {
+            return Err(CheckpointError::Invalid(format!(
+                "parameter shape {:?} does not match architecture shape {:?}",
+                (dump.rows, dump.cols),
+                p.shape()
+            )));
+        }
+        **p = restored;
+    }
+    Ok(())
 }
 
 impl Trainable for Mlp {
@@ -585,15 +654,13 @@ mod tests {
         let mut model = SequenceModel::new(cfg, &mut rng);
         model.set_frozen_bottom(2); // freeze embedding + first LSTM
 
-        let before: Vec<Vec<f32>> =
-            model.params().iter().map(|p| p.as_slice().to_vec()).collect();
+        let before: Vec<Vec<f32>> = model.params().iter().map(|p| p.as_slice().to_vec()).collect();
         let batch = SeqBatch { ids: vec![vec![0, 1, 2, 3]], gaps: vec![] };
         let mut opt = Adam::new(0.05, &model.param_shapes());
         for _ in 0..3 {
             model.train_step(&batch, &[4], &mut opt);
         }
-        let after: Vec<Vec<f32>> =
-            model.params().iter().map(|p| p.as_slice().to_vec()).collect();
+        let after: Vec<Vec<f32>> = model.params().iter().map(|p| p.as_slice().to_vec()).collect();
 
         // Embedding (1 param) + LSTM0 (3 params) frozen; the rest must move.
         for i in 0..4 {
@@ -607,10 +674,7 @@ mod tests {
     fn checkpoint_roundtrip_preserves_predictions() {
         let mut rng = SmallRng::seed_from_u64(19);
         let model = SequenceModel::new(SequenceModelConfig::default(), &mut rng);
-        let batch = SeqBatch {
-            ids: vec![vec![7, 8, 9, 10]],
-            gaps: vec![vec![0.1, 0.4, 0.2, 0.9]],
-        };
+        let batch = SeqBatch { ids: vec![vec![7, 8, 9, 10]], gaps: vec![vec![0.1, 0.4, 0.2, 0.9]] };
         let original = model.predict_probs(&batch);
         let restored = SequenceModel::from_checkpoint(&model.to_checkpoint());
         let roundtrip = restored.predict_probs(&batch);

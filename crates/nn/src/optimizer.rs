@@ -36,11 +36,7 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32, shapes: &[(usize, usize)]) -> Self {
         assert!(lr > 0.0, "Sgd: learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0, 1)");
-        Sgd {
-            lr,
-            momentum,
-            velocity: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect(),
-        }
+        Sgd { lr, momentum, velocity: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect() }
     }
 
     /// Convenience constructor taking the parameter list directly.

@@ -52,8 +52,9 @@ impl VpeBehavior {
     pub fn build(catalog: &Catalog, vpe: &Vpe, cfg: &SimConfig, post_update: bool) -> VpeBehavior {
         // Deterministic per-(vpe, phase) stream so behaviour is stable.
         let phase = u64::from(post_update);
-        let mut rng =
-            SmallRng::seed_from_u64(cfg.seed ^ (vpe.id as u64).wrapping_mul(0x9e37_79b9) ^ (phase << 63));
+        let mut rng = SmallRng::seed_from_u64(
+            cfg.seed ^ (vpe.id as u64).wrapping_mul(0x9e37_79b9) ^ (phase << 63),
+        );
 
         let base = &catalog.base;
         let extra = &catalog.group_extra[vpe.group % catalog.group_extra.len()];
@@ -92,8 +93,9 @@ impl VpeBehavior {
         // chain-following preserves the pool chosen by the stationary
         // mixture, so the long-run base/extra split really follows
         // `base_affinity`.
-        let mut group_rng =
-            SmallRng::seed_from_u64(cfg.seed ^ 0xbead_cafe ^ ((vpe.group as u64) << 8) ^ (phase << 62));
+        let mut group_rng = SmallRng::seed_from_u64(
+            cfg.seed ^ 0xbead_cafe ^ ((vpe.group as u64) << 8) ^ (phase << 62),
+        );
         let mut successor = vec![0usize; states.len()];
         for pool in [0..n_base, n_base..states.len()] {
             let mut perm: Vec<usize> = pool.clone().collect();
@@ -116,14 +118,10 @@ impl VpeBehavior {
             crate::tickets::TicketCause::Cable,
             crate::tickets::TicketCause::Software,
         ];
-        let noise_templates: Vec<usize> = causes
-            .iter()
-            .filter_map(|&c| catalog.fault_templates(c).get(1).copied())
-            .collect();
-        let decisive_pool: Vec<usize> = causes
-            .iter()
-            .flat_map(|&c| catalog.fault_templates(c).iter().copied())
-            .collect();
+        let noise_templates: Vec<usize> =
+            causes.iter().filter_map(|&c| catalog.fault_templates(c).get(1).copied()).collect();
+        let decisive_pool: Vec<usize> =
+            causes.iter().flat_map(|&c| catalog.fault_templates(c).iter().copied()).collect();
 
         VpeBehavior {
             states,
@@ -192,11 +190,7 @@ impl VpeBehavior {
                     &self.noise_templates
                 };
                 let a = pool[rng.gen_range(0..pool.len())];
-                let b = if rng.gen::<f64>() < 0.5 {
-                    a
-                } else {
-                    pool[rng.gen_range(0..pool.len())]
-                };
+                let b = if rng.gen::<f64>() < 0.5 { a } else { pool[rng.gen_range(0..pool.len())] };
                 let u: f64 = rng.gen();
                 let n = if u < 0.45 {
                     1

@@ -41,11 +41,7 @@ pub struct Catalog {
 impl Catalog {
     /// Fault-signature template ids for a root cause.
     pub fn fault_templates(&self, cause: TicketCause) -> &[usize] {
-        self.fault
-            .iter()
-            .find(|(c, _)| *c == cause)
-            .map(|(_, ids)| ids.as_slice())
-            .unwrap_or(&[])
+        self.fault.iter().find(|(c, _)| *c == cause).map(|(_, ids)| ids.as_slice()).unwrap_or(&[])
     }
 
     /// Builds the deployment catalog. Template ids are stable across
@@ -57,10 +53,30 @@ impl Catalog {
 
         // ---- Base templates: every vPE's steady-state chatter. ----
         let base = vec![
-            set.add("rpd", Info, Protocol, "BGP peer {ip} ( {peer} ) received update with {num} prefixes"),
-            set.add("rpd", Info, Protocol, "BGP peer {ip} keepalive exchange completed in {num} ms"),
-            set.add("rpd", Notice, Protocol, "OSPF neighbor {ip} state changed from Exchange to Full"),
-            set.add("rpd", Info, Network, "routing table rescan completed with {num} active routes"),
+            set.add(
+                "rpd",
+                Info,
+                Protocol,
+                "BGP peer {ip} ( {peer} ) received update with {num} prefixes",
+            ),
+            set.add(
+                "rpd",
+                Info,
+                Protocol,
+                "BGP peer {ip} keepalive exchange completed in {num} ms",
+            ),
+            set.add(
+                "rpd",
+                Notice,
+                Protocol,
+                "OSPF neighbor {ip} state changed from Exchange to Full",
+            ),
+            set.add(
+                "rpd",
+                Info,
+                Network,
+                "routing table rescan completed with {num} active routes",
+            ),
             set.add("dcd", Info, Link, "interface {iface} statistics poll completed"),
             set.add("mib2d", Info, Management, "SNMP walk from {ip} served {num} objects"),
             set.add("mgd", Info, Management, "commit operation requested by user netops via {ip}"),
@@ -113,28 +129,68 @@ impl Catalog {
         // ---- Fault signatures, per root cause. ----
         let fault_circuit = vec![
             set.add("rpd", Error, Protocol, "BGP UNUSABLE ASPATH: bgp reject path from peer {ip}"),
-            set.add("rpd", Error, Protocol, "BGP peer {ip} ( {peer} ) session flap hold timer expired"),
+            set.add(
+                "rpd",
+                Error,
+                Protocol,
+                "BGP peer {ip} ( {peer} ) session flap hold timer expired",
+            ),
             set.add("rpd", Warning, Protocol, "BGP peer {ip} notification sent code {num} cease"),
             set.add("rpd", Error, Network, "next hop {ip} unreachable withdrawing {num} prefixes"),
         ];
         let fault_cable = vec![
             set.add("dcd", Error, Link, "interface {iface} CRC error burst {num} frames dropped"),
             set.add("dcd", Error, Link, "interface {iface} carrier transition down unexpected"),
-            set.add("dcd", Warning, Link, "interface {iface} signal degradation ber exceeds threshold"),
+            set.add(
+                "dcd",
+                Warning,
+                Link,
+                "interface {iface} signal degradation ber exceeds threshold",
+            ),
         ];
         let fault_hardware = vec![
-            set.add("chassisd", Error, System, "invalid response from peer chassis-control on session {hex}"),
-            set.add("chassisd", Critical, System, "virtual card slot {num} heartbeat missed {num} times"),
-            set.add("chassisd", Error, System, "host hardware fault reported by hypervisor code {num}"),
+            set.add(
+                "chassisd",
+                Error,
+                System,
+                "invalid response from peer chassis-control on session {hex}",
+            ),
+            set.add(
+                "chassisd",
+                Critical,
+                System,
+                "virtual card slot {num} heartbeat missed {num} times",
+            ),
+            set.add(
+                "chassisd",
+                Error,
+                System,
+                "host hardware fault reported by hypervisor code {num}",
+            ),
         ];
         let fault_software = vec![
             set.add("rpd", Critical, System, "task {hex} terminated unexpectedly signal {num}"),
             set.add("kernel", Error, System, "daemon rpd restarted by watchdog attempt {num}"),
-            set.add("kernel", Warning, System, "memory leak suspect rss grew {num} MB in {num} min"),
-            set.add("mgd", Error, Management, "management daemon error invalid response from peer {hex}"),
+            set.add(
+                "kernel",
+                Warning,
+                System,
+                "memory leak suspect rss grew {num} MB in {num} min",
+            ),
+            set.add(
+                "mgd",
+                Error,
+                Management,
+                "management daemon error invalid response from peer {hex}",
+            ),
         ];
         let fault_dup = vec![
-            set.add("alarmd", Warning, Management, "alarm {hex} re-raised previous trouble unresolved"),
+            set.add(
+                "alarmd",
+                Warning,
+                Management,
+                "alarm {hex} re-raised previous trouble unresolved",
+            ),
             set.add("alarmd", Notice, Management, "alarm correlation matched existing case {hex}"),
         ];
         let fault = vec![
@@ -150,17 +206,69 @@ impl Catalog {
         // collapses month-over-month cosine similarity (§3.3).
         let mut v2_map = Vec::new();
         let v2 = [
-            (base[0], set.add("rpd2", Info, Protocol, "bgp peer {ip} update message prefixes {num} policy accepted")),
-            (base[1], set.add("rpd2", Info, Protocol, "bgp peer {ip} keepalive rtt {num} ms within profile")),
-            (base[2], set.add("rpd2", Notice, Protocol, "ospf adjacency {ip} transitioned to Full state")),
-            (base[3], set.add("rpd2", Info, Network, "rib rescan finished active {num} hidden {num} routes")),
+            (
+                base[0],
+                set.add(
+                    "rpd2",
+                    Info,
+                    Protocol,
+                    "bgp peer {ip} update message prefixes {num} policy accepted",
+                ),
+            ),
+            (
+                base[1],
+                set.add(
+                    "rpd2",
+                    Info,
+                    Protocol,
+                    "bgp peer {ip} keepalive rtt {num} ms within profile",
+                ),
+            ),
+            (
+                base[2],
+                set.add("rpd2", Notice, Protocol, "ospf adjacency {ip} transitioned to Full state"),
+            ),
+            (
+                base[3],
+                set.add(
+                    "rpd2",
+                    Info,
+                    Network,
+                    "rib rescan finished active {num} hidden {num} routes",
+                ),
+            ),
             (base[4], set.add("ifmand", Info, Link, "ifl {iface} counters collected cycle {num}")),
-            (base[5], set.add("snmpd2", Info, Management, "snmp agent answered {num} oids for {ip}")),
+            (
+                base[5],
+                set.add("snmpd2", Info, Management, "snmp agent answered {num} oids for {ip}"),
+            ),
             (base[6], set.add("cfgd", Info, Management, "edit session opened by netops from {ip}")),
-            (base[7], set.add("cfgd", Info, Management, "candidate config committed generation {num}")),
-            (base[8], set.add("kernel", Info, System, "virtio ring {num} remapped numa node {num}")),
-            (base[10], set.add("sshd", Info, Management, "session authenticated netops key {hex} from {ip}")),
-            (base[12], set.add("licensed", Info, Management, "entitlement audit cycle {num} recorded usage")),
+            (
+                base[7],
+                set.add("cfgd", Info, Management, "candidate config committed generation {num}"),
+            ),
+            (
+                base[8],
+                set.add("kernel", Info, System, "virtio ring {num} remapped numa node {num}"),
+            ),
+            (
+                base[10],
+                set.add(
+                    "sshd",
+                    Info,
+                    Management,
+                    "session authenticated netops key {hex} from {ip}",
+                ),
+            ),
+            (
+                base[12],
+                set.add(
+                    "licensed",
+                    Info,
+                    Management,
+                    "entitlement audit cycle {num} recorded usage",
+                ),
+            ),
         ];
         v2_map.extend_from_slice(&v2);
 
@@ -168,19 +276,53 @@ impl Catalog {
         // so even vPEs that lean on group-specific templates (the Fig 3
         // outliers) see their distributions break.
         let extras_v2 = [
-            (group_extra[0][0], set.add("rpd2", Info, Protocol, "ldp neighbor {ip} label advertisement {num} bindings")),
-            (group_extra[0][1], set.add("rpd2", Info, Protocol, "rsvp lsp {hex} refresh interval confirmed")),
-            (group_extra[1][0], set.add("ifmand", Notice, Link, "bundle ae{num} membership updated with {iface}")),
-            (group_extra[1][1], set.add("ifmand", Info, Link, "negotiation on {iface} settled at {num} Gbps")),
-            (group_extra[2][0], set.add("kernel", Info, System, "steal time sample vcpu {num} value {num} ms")),
-            (group_extra[2][1], set.add("kernel", Notice, System, "hugepages repool to {num} entries complete")),
-            (group_extra[3][0], set.add("cosd2", Info, Management, "queue schedule rebuild {num} classes done")),
-            (group_extra[3][1], set.add("cosd2", Notice, Management, "profile {hex} shaping active on {iface}")),
+            (
+                group_extra[0][0],
+                set.add(
+                    "rpd2",
+                    Info,
+                    Protocol,
+                    "ldp neighbor {ip} label advertisement {num} bindings",
+                ),
+            ),
+            (
+                group_extra[0][1],
+                set.add("rpd2", Info, Protocol, "rsvp lsp {hex} refresh interval confirmed"),
+            ),
+            (
+                group_extra[1][0],
+                set.add("ifmand", Notice, Link, "bundle ae{num} membership updated with {iface}"),
+            ),
+            (
+                group_extra[1][1],
+                set.add("ifmand", Info, Link, "negotiation on {iface} settled at {num} Gbps"),
+            ),
+            (
+                group_extra[2][0],
+                set.add("kernel", Info, System, "steal time sample vcpu {num} value {num} ms"),
+            ),
+            (
+                group_extra[2][1],
+                set.add("kernel", Notice, System, "hugepages repool to {num} entries complete"),
+            ),
+            (
+                group_extra[3][0],
+                set.add("cosd2", Info, Management, "queue schedule rebuild {num} classes done"),
+            ),
+            (
+                group_extra[3][1],
+                set.add("cosd2", Notice, Management, "profile {hex} shaping active on {iface}"),
+            ),
         ];
         v2_map.extend_from_slice(&extras_v2);
 
         let post_update_new = vec![
-            set.add("telemetryd", Info, Management, "streaming telemetry session {hex} established to {ip}"),
+            set.add(
+                "telemetryd",
+                Info,
+                Management,
+                "streaming telemetry session {hex} established to {ip}",
+            ),
             set.add("telemetryd", Info, Management, "sensor group {hex} export interval {num} ms"),
             set.add("cfgd", Notice, Management, "schema upgrade migration step {num} applied"),
         ];

@@ -67,8 +67,7 @@ fn burst(
     let storm_tpl = templates[rng.gen_range(0..templates.len())];
     for i in 0..n {
         let t = start + i as u64 * rng.gen_range(3..9);
-        let tpl =
-            if storm { storm_tpl } else { templates[rng.gen_range(0..templates.len())] };
+        let tpl = if storm { storm_tpl } else { templates[rng.gen_range(0..templates.len())] };
         out.push((t, tpl));
     }
 }
@@ -130,7 +129,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn ticket(cause: TicketCause, report: u64, repair: u64) -> Ticket {
-        Ticket { id: 0, vpe: 0, cause, report_time: report, repair_time: repair, core_incident: false }
+        Ticket {
+            id: 0,
+            vpe: 0,
+            cause,
+            report_time: report,
+            repair_time: repair,
+            core_incident: false,
+        }
     }
 
     #[test]

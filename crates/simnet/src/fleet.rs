@@ -45,8 +45,9 @@ impl FleetTrace {
         let mut injected = Vec::with_capacity(cfg.n_vpes);
 
         for vpe in &topology.vpes {
-            let mut rng =
-                SmallRng::seed_from_u64(cfg.seed ^ 0xf1ee_7000 ^ (vpe.id as u64).wrapping_mul(0x0123_4567_89ab));
+            let mut rng = SmallRng::seed_from_u64(
+                cfg.seed ^ 0xf1ee_7000 ^ (vpe.id as u64).wrapping_mul(0x0123_4567_89ab),
+            );
             let mut records: Vec<(u64, usize)> = Vec::new();
 
             // Normal chatter, split at the vPE's update time when affected.
@@ -65,7 +66,8 @@ impl FleetTrace {
             }
 
             // Maintenance-window chatter (expected, not anomalous).
-            for t in tickets.iter().filter(|t| t.vpe == vpe.id && t.cause == TicketCause::Maintenance)
+            for t in
+                tickets.iter().filter(|t| t.vpe == vpe.id && t.cause == TicketCause::Maintenance)
             {
                 let span = t.repair_time.saturating_sub(t.report_time).max(10 * MINUTE);
                 let n = rng.gen_range(3..=8);
@@ -218,10 +220,7 @@ mod tests {
         for vpe in 0..trace.config.n_vpes {
             let stream = trace.ground_truth_stream(vpe);
             for &(time, tpl) in trace.injected(vpe) {
-                let found = stream
-                    .slice_time(time, time + 1)
-                    .iter()
-                    .any(|r| r.template == tpl);
+                let found = stream.slice_time(time, time + 1).iter().any(|r| r.template == tpl);
                 assert!(found, "vpe {} missing injected record at {}", vpe, time);
             }
         }

@@ -12,6 +12,8 @@
 //! * [`behavior`] — Markov-structured normal chatter per vPE;
 //! * [`tickets`] — the trouble-ticket process (Fig 1, Fig 2);
 //! * [`faults`] — per-cause anomalous burst injection (Fig 8);
+//! * [`transport`] — transport-level chaos (loss, duplication, bounded
+//!   reordering, corruption, clock skew) over rendered log lines;
 //! * [`update`] — the late-2017 software update that shifts syslog
 //!   distributions (§3.3);
 //! * [`fleet`] — the orchestrator producing raw [`SyslogMessage`]s;
@@ -25,6 +27,7 @@ pub mod fleet;
 pub mod ppe;
 pub mod tickets;
 pub mod topology;
+pub mod transport;
 pub mod update;
 mod util;
 
@@ -34,4 +37,5 @@ pub use fleet::FleetTrace;
 pub use nfv_syslog::SyslogMessage;
 pub use tickets::{Ticket, TicketCause};
 pub use topology::{Topology, Vpe};
+pub use transport::{TransportFaults, TransportReport, TransportSim};
 pub use update::UpdatePlan;

@@ -11,10 +11,9 @@ use crate::config::SimConfig;
 use nfv_syslog::time::{DAY, HOUR, MINUTE};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Root-cause categories of trouble tickets (§2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TicketCause {
     /// Expected or scheduled network actions or changes.
     Maintenance,
@@ -55,7 +54,7 @@ impl TicketCause {
 }
 
 /// One trouble ticket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ticket {
     /// Dense ticket id within the trace.
     pub id: usize,
@@ -156,10 +155,10 @@ pub fn generate_tickets(cfg: &SimConfig) -> Vec<Ticket> {
         })
         .collect();
 
-    for vpe in 0..cfg.n_vpes {
+    for (vpe, &busy) in busyness.iter().enumerate() {
         // Non-duplicate fault tickets.
         let rate_scale = cfg.ticket_rate.max(0.05);
-        let mut t = (sample_interarrival(&mut rng, busyness[vpe]) as f64 / rate_scale) as u64;
+        let mut t = (sample_interarrival(&mut rng, busy) as f64 / rate_scale) as u64;
         while t < end {
             let cause = sample_cause(&mut rng);
             let report_time = t;
@@ -176,7 +175,8 @@ pub fn generate_tickets(cfg: &SimConfig) -> Vec<Ticket> {
                     if dup_t >= repair_time.min(end) {
                         break;
                     }
-                    let dup_repair = (dup_t + sample_repair_duration(&mut rng, TicketCause::Duplicate)).min(end);
+                    let dup_repair =
+                        (dup_t + sample_repair_duration(&mut rng, TicketCause::Duplicate)).min(end);
                     let id = tickets.len();
                     tickets.push(Ticket {
                         id,
@@ -336,8 +336,7 @@ mod tests {
         // Group by hour-scale proximity: at least half the fleet shares
         // one incident window.
         let first = core[0].report_time;
-        let same_window =
-            core.iter().filter(|t| t.report_time.abs_diff(first) < 2 * HOUR).count();
+        let same_window = core.iter().filter(|t| t.report_time.abs_diff(first) < 2 * HOUR).count();
         assert!(same_window >= cfg.n_vpes / 2, "only {} vPEs in window", same_window);
     }
 

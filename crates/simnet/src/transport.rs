@@ -1,0 +1,380 @@
+//! Transport-level fault injection for syslog feeds.
+//!
+//! [`faults`](crate::faults) injects *semantic* faults — anomalous
+//! message bursts that precede trouble tickets. This module injects
+//! *transport* faults: the UDP-syslog pathologies between a vPE and the
+//! collector. A [`TransportSim`] wraps a generated message stream and
+//! applies, deterministically per `(seed, feed)`:
+//!
+//! * message **loss** (each line independently dropped),
+//! * message **duplication** (the classic retransmit double-delivery),
+//! * **bounded reordering** (each line's delivery is delayed by a random
+//!   jitter up to a configured window, then lines are sorted by delivery
+//!   time),
+//! * line **corruption** (truncation or a flipped byte), and
+//! * per-feed **clock skew** (a constant offset applied to every
+//!   timestamp a feed emits, as from an unsynchronized device clock).
+//!
+//! Determinism matters: the chaos tests compare a faulted run against a
+//! clean run of the same trace, so the same seed must produce the same
+//! faulted byte stream every time.
+
+use nfv_syslog::SyslogMessage;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Transport fault rates. The default injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportFaults {
+    /// Per-line probability of silent loss.
+    pub loss: f64,
+    /// Per-line probability of duplicate delivery.
+    pub dup: f64,
+    /// Maximum delivery jitter in seconds (bounds how far lines can
+    /// reorder). 0 preserves order.
+    pub reorder: u64,
+    /// Per-line probability of corruption (truncation or byte flip).
+    pub corrupt: f64,
+    /// Maximum absolute per-feed clock skew in seconds. Each feed draws
+    /// one constant offset in `[-skew, +skew]`.
+    pub skew: u64,
+}
+
+impl Default for TransportFaults {
+    fn default() -> Self {
+        TransportFaults { loss: 0.0, dup: 0.0, reorder: 0, corrupt: 0.0, skew: 0 }
+    }
+}
+
+impl TransportFaults {
+    /// Parses the CLI flag syntax
+    /// `loss=0.05,dup=0.02,reorder=30,corrupt=0.01,skew=5`.
+    /// Unmentioned faults stay at zero; an empty string is all-clean.
+    pub fn parse(spec: &str) -> Result<TransportFaults, String> {
+        let mut f = TransportFaults::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec {:?} is not key=value", part))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 =
+                    v.parse().map_err(|_| format!("{:?} is not a number in {:?}", v, part))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("{}={} is outside [0, 1]", key, p));
+                }
+                Ok(p)
+            };
+            let secs = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|_| format!("{:?} is not a whole number of seconds", v))
+            };
+            match key.trim() {
+                "loss" => f.loss = prob(value)?,
+                "dup" => f.dup = prob(value)?,
+                "reorder" => f.reorder = secs(value)?,
+                "corrupt" => f.corrupt = prob(value)?,
+                "skew" => f.skew = secs(value)?,
+                other => {
+                    return Err(format!(
+                        "unknown fault {:?} (expected loss, dup, reorder, corrupt, skew)",
+                        other
+                    ))
+                }
+            }
+        }
+        Ok(f)
+    }
+
+    /// True when every fault is disabled.
+    pub fn is_clean(&self) -> bool {
+        *self == TransportFaults::default()
+    }
+}
+
+/// What the transport actually did to one feed's stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportReport {
+    /// Lines offered to the transport.
+    pub offered: usize,
+    /// Lines silently dropped.
+    pub lost: usize,
+    /// Extra copies delivered.
+    pub duplicated: usize,
+    /// Lines delivered with corrupted bytes.
+    pub corrupted: usize,
+    /// The feed's constant clock skew, seconds (signed).
+    pub skew: i64,
+}
+
+/// Deterministic, seeded fault injector for log transport.
+#[derive(Debug, Clone)]
+pub struct TransportSim {
+    faults: TransportFaults,
+    seed: u64,
+}
+
+impl TransportSim {
+    /// A transport applying `faults`, deterministic in `seed`: the same
+    /// `(seed, feed, input)` triple always yields the same output bytes.
+    pub fn new(faults: TransportFaults, seed: u64) -> TransportSim {
+        TransportSim { faults, seed }
+    }
+
+    /// The configured fault rates.
+    pub fn faults(&self) -> &TransportFaults {
+        &self.faults
+    }
+
+    fn feed_rng(&self, feed: usize) -> SmallRng {
+        SmallRng::seed_from_u64(
+            self.seed ^ 0x7a05_0000_cafe ^ (feed as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        )
+    }
+
+    /// Delivers a feed's messages as raw syslog lines with faults
+    /// applied. Timestamps carry the feed's clock skew and reordering is
+    /// by skewed-plus-jittered delivery time.
+    pub fn deliver(&self, feed: usize, messages: &[SyslogMessage]) -> Vec<String> {
+        self.deliver_with_report(feed, messages).0
+    }
+
+    /// [`TransportSim::deliver`], also reporting what was injected.
+    pub fn deliver_with_report(
+        &self,
+        feed: usize,
+        messages: &[SyslogMessage],
+    ) -> (Vec<String>, TransportReport) {
+        let mut rng = self.feed_rng(feed);
+        let mut report = TransportReport { offered: messages.len(), ..Default::default() };
+        report.skew = if self.faults.skew > 0 {
+            rng.gen_range(-(self.faults.skew as i64)..=self.faults.skew as i64)
+        } else {
+            0
+        };
+
+        // (delivery time, tiebreak sequence, line)
+        let mut sent: Vec<(u64, usize, String)> = Vec::with_capacity(messages.len());
+        let mut seq = 0usize;
+        for msg in messages {
+            if self.faults.loss > 0.0 && rng.gen_bool(self.faults.loss) {
+                report.lost += 1;
+                continue;
+            }
+            let skewed = msg.timestamp.saturating_add_signed(report.skew);
+            let copies = if self.faults.dup > 0.0 && rng.gen_bool(self.faults.dup) {
+                report.duplicated += 1;
+                2
+            } else {
+                1
+            };
+            let line = SyslogMessage { timestamp: skewed, ..msg.clone() }.to_line();
+            for _ in 0..copies {
+                let jitter = if self.faults.reorder > 0 {
+                    rng.gen_range(0..=self.faults.reorder)
+                } else {
+                    0
+                };
+                let delivered = if self.faults.corrupt > 0.0 && rng.gen_bool(self.faults.corrupt) {
+                    report.corrupted += 1;
+                    corrupt_line(&line, &mut rng)
+                } else {
+                    line.clone()
+                };
+                sent.push((skewed.saturating_add(jitter), seq, delivered));
+                seq += 1;
+            }
+        }
+        sent.sort_by_key(|a| (a.0, a.1));
+        (sent.into_iter().map(|(_, _, line)| line).collect(), report)
+    }
+
+    /// Delivers pre-rendered raw lines with faults applied. Without
+    /// parsed timestamps, reordering displaces lines by up to
+    /// `faults.reorder` positions and clock skew does not apply.
+    pub fn deliver_lines(&self, feed: usize, lines: &[String]) -> Vec<String> {
+        let mut rng = self.feed_rng(feed);
+        let mut sent: Vec<(u64, usize, String)> = Vec::with_capacity(lines.len());
+        let mut seq = 0usize;
+        for line in lines {
+            if self.faults.loss > 0.0 && rng.gen_bool(self.faults.loss) {
+                continue;
+            }
+            let copies = if self.faults.dup > 0.0 && rng.gen_bool(self.faults.dup) { 2 } else { 1 };
+            for _ in 0..copies {
+                let jitter = if self.faults.reorder > 0 {
+                    rng.gen_range(0..=self.faults.reorder)
+                } else {
+                    0
+                };
+                let delivered = if self.faults.corrupt > 0.0 && rng.gen_bool(self.faults.corrupt) {
+                    corrupt_line(line, &mut rng)
+                } else {
+                    line.clone()
+                };
+                sent.push((seq as u64 + jitter, seq, delivered));
+                seq += 1;
+            }
+        }
+        sent.sort_by_key(|a| (a.0, a.1));
+        sent.into_iter().map(|(_, _, line)| line).collect()
+    }
+}
+
+/// Mangles one line: half the time a truncation, half the time one byte
+/// replaced with a random printable character. Output is valid UTF-8.
+fn corrupt_line(line: &str, rng: &mut SmallRng) -> String {
+    if line.is_empty() {
+        return String::new();
+    }
+    let bytes = line.as_bytes();
+    if rng.gen_bool(0.5) {
+        let cut = rng.gen_range(0..bytes.len());
+        String::from_utf8_lossy(&bytes[..cut]).into_owned()
+    } else {
+        let mut mangled = bytes.to_vec();
+        let pos = rng.gen_range(0..mangled.len());
+        let replacement = rng.gen_range(0x21u8..0x7f);
+        mangled[pos] = if mangled[pos] == replacement { b'#' } else { replacement };
+        String::from_utf8_lossy(&mangled).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_syslog::message::Severity;
+
+    fn sample(n: usize) -> Vec<SyslogMessage> {
+        (0..n)
+            .map(|i| SyslogMessage {
+                timestamp: 1000 + (i as u64) * 10,
+                host: "vpe00".to_string(),
+                process: "rpd".to_string(),
+                severity: Severity::Info,
+                text: format!("BGP peer 10.0.0.{} keepalive ok count {}", i % 8, i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_flag_syntax() {
+        let f = TransportFaults::parse("loss=0.05,dup=0.02,reorder=30,corrupt=0.01").unwrap();
+        assert_eq!(f.loss, 0.05);
+        assert_eq!(f.dup, 0.02);
+        assert_eq!(f.reorder, 30);
+        assert_eq!(f.corrupt, 0.01);
+        assert_eq!(f.skew, 0);
+        assert!(TransportFaults::parse("").unwrap().is_clean());
+        assert!(TransportFaults::parse("loss=1.5").is_err());
+        assert!(TransportFaults::parse("jitter=3").is_err());
+        assert!(TransportFaults::parse("loss").is_err());
+    }
+
+    #[test]
+    fn clean_transport_is_identity() {
+        let msgs = sample(50);
+        let sim = TransportSim::new(TransportFaults::default(), 7);
+        let (lines, report) = sim.deliver_with_report(0, &msgs);
+        let expected: Vec<String> = msgs.iter().map(|m| m.to_line()).collect();
+        assert_eq!(lines, expected);
+        assert_eq!(report, TransportReport { offered: 50, ..Default::default() });
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical_and_different_seeds_differ() {
+        let msgs = sample(300);
+        let faults =
+            TransportFaults::parse("loss=0.1,dup=0.1,reorder=25,corrupt=0.1,skew=9").unwrap();
+        let a = TransportSim::new(faults, 42).deliver(3, &msgs);
+        let b = TransportSim::new(faults, 42).deliver(3, &msgs);
+        assert_eq!(a, b, "same (seed, feed) must reproduce the same byte stream");
+        let c = TransportSim::new(faults, 43).deliver(3, &msgs);
+        assert_ne!(a, c, "different seeds should produce different fault patterns");
+        let d = TransportSim::new(faults, 42).deliver(4, &msgs);
+        assert_ne!(a, d, "different feeds should see different fault patterns");
+    }
+
+    #[test]
+    fn loss_and_dup_rates_land_near_nominal() {
+        let msgs = sample(4000);
+        let faults = TransportFaults::parse("loss=0.05,dup=0.02").unwrap();
+        let (lines, report) = TransportSim::new(faults, 1).deliver_with_report(0, &msgs);
+        assert_eq!(lines.len(), 4000 - report.lost + report.duplicated);
+        let lost = report.lost as f64 / 4000.0;
+        let dup = report.duplicated as f64 / 4000.0;
+        assert!((lost - 0.05).abs() < 0.02, "loss rate {} too far from 5%", lost);
+        assert!((dup - 0.02).abs() < 0.015, "dup rate {} too far from 2%", dup);
+    }
+
+    #[test]
+    fn reordering_is_bounded_by_the_window() {
+        let msgs = sample(500);
+        let faults = TransportFaults { reorder: 30, ..Default::default() };
+        let (lines, _) = TransportSim::new(faults, 5).deliver_with_report(0, &msgs);
+        assert_eq!(lines.len(), 500);
+        // Parse back the rendered timestamps' order: any line may move,
+        // but never by more than the jitter window in time.
+        let expected: Vec<String> = msgs.iter().map(|m| m.to_line()).collect();
+        let mut displaced = 0usize;
+        for (i, line) in lines.iter().enumerate() {
+            let orig = expected.iter().position(|e| e == line).unwrap();
+            // Messages are 10s apart and jitter is <= 30s, so a line can
+            // move at most 3 positions in either direction.
+            assert!(
+                (orig as i64 - i as i64).unsigned_abs() <= 3,
+                "line moved {} -> {}, beyond the 30s window",
+                orig,
+                i
+            );
+            if orig != i {
+                displaced += 1;
+            }
+        }
+        assert!(displaced > 0, "a 30s window over 10s spacing must reorder something");
+    }
+
+    #[test]
+    fn skew_shifts_every_rendered_timestamp_by_one_constant() {
+        let msgs = sample(100);
+        let faults = TransportFaults { skew: 3600, ..Default::default() };
+        let (lines, report) = TransportSim::new(faults, 11).deliver_with_report(2, &msgs);
+        assert_ne!(report.skew, 0, "a 1h bound virtually never draws exactly 0");
+        let reference: Vec<String> = msgs
+            .iter()
+            .map(|m| {
+                SyslogMessage {
+                    timestamp: m.timestamp.saturating_add_signed(report.skew),
+                    ..m.clone()
+                }
+                .to_line()
+            })
+            .collect();
+        assert_eq!(lines, reference);
+    }
+
+    #[test]
+    fn corruption_keeps_line_count_and_mangles_some() {
+        let msgs = sample(1000);
+        let faults = TransportFaults { corrupt: 0.05, ..Default::default() };
+        let (lines, report) = TransportSim::new(faults, 2).deliver_with_report(0, &msgs);
+        assert_eq!(lines.len(), 1000);
+        assert!(report.corrupted > 20, "expected ~50 corrupted, got {}", report.corrupted);
+        let expected: Vec<String> = msgs.iter().map(|m| m.to_line()).collect();
+        let differing = lines.iter().zip(&expected).filter(|(a, b)| a != b).count();
+        // A flipped byte can collide with the original only when the
+        // replacement equals it, which corrupt_line prevents.
+        assert_eq!(differing, report.corrupted);
+    }
+
+    #[test]
+    fn deliver_lines_matches_configured_behaviour() {
+        let lines: Vec<String> = sample(200).iter().map(|m| m.to_line()).collect();
+        let faults = TransportFaults::parse("loss=0.1,dup=0.05,reorder=4,corrupt=0.05").unwrap();
+        let sim = TransportSim::new(faults, 9);
+        let a = sim.deliver_lines(0, &lines);
+        let b = sim.deliver_lines(0, &lines);
+        assert_eq!(a, b);
+        assert!(a.len() < 210, "loss should dominate dup at these rates");
+        let clean = TransportSim::new(TransportFaults::default(), 9).deliver_lines(0, &lines);
+        assert_eq!(clean, lines);
+    }
+}

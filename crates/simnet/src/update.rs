@@ -78,12 +78,8 @@ mod tests {
     fn is_updated_respects_rollout_time() {
         let cfg = SimConfig::preset(SimPreset::Full, 2);
         let plan = UpdatePlan::build(&cfg).unwrap();
-        let (vpe, t) = plan
-            .time_of
-            .iter()
-            .enumerate()
-            .find_map(|(v, t)| t.map(|t| (v, t)))
-            .unwrap();
+        let (vpe, t) =
+            plan.time_of.iter().enumerate().find_map(|(v, t)| t.map(|t| (v, t))).unwrap();
         assert!(!plan.is_updated(vpe, t - 1));
         assert!(plan.is_updated(vpe, t));
         let unaffected = plan.time_of.iter().position(|t| t.is_none()).unwrap();

@@ -69,14 +69,10 @@ impl Cluster {
     /// Template matching: every literal position must agree.
     fn matches(&self, words: &[&str]) -> bool {
         self.template.len() == words.len()
-            && self
-                .template
-                .iter()
-                .zip(words.iter())
-                .all(|(t, w)| match t {
-                    Some(tok) => tok == *w,
-                    None => true,
-                })
+            && self.template.iter().zip(words.iter()).all(|(t, w)| match t {
+                Some(tok) => tok == *w,
+                None => true,
+            })
     }
 
     /// Number of literal positions (specificity).
@@ -297,10 +293,30 @@ mod tests {
         use rand::{rngs::SmallRng, SeedableRng};
 
         let mut set = TemplateSet::new();
-        set.add("rpd", Severity::Info, Layer::Protocol, "BGP peer {ip} established after {num} retries");
-        set.add("rpd", Severity::Info, Layer::Protocol, "OSPF neighbor {ip} adjacency timer {num} expired");
-        set.add("dcd", Severity::Error, Layer::Link, "interface {iface} flap storm of {num} events");
-        set.add("kernel", Severity::Warning, Layer::System, "memory pool {hex} usage at {num} percent");
+        set.add(
+            "rpd",
+            Severity::Info,
+            Layer::Protocol,
+            "BGP peer {ip} established after {num} retries",
+        );
+        set.add(
+            "rpd",
+            Severity::Info,
+            Layer::Protocol,
+            "OSPF neighbor {ip} adjacency timer {num} expired",
+        );
+        set.add(
+            "dcd",
+            Severity::Error,
+            Layer::Link,
+            "interface {iface} flap storm of {num} events",
+        );
+        set.add(
+            "kernel",
+            Severity::Warning,
+            Layer::System,
+            "memory pool {hex} usage at {num} percent",
+        );
 
         let mut rng = SmallRng::seed_from_u64(11);
         let mut texts = Vec::new();
@@ -318,10 +334,8 @@ mod tests {
         for i in 0..texts.len() {
             for j in (i + 1)..texts.len() {
                 let same_truth = truth[i] == truth[j];
-                let same_drain =
-                    drain.match_message(&texts[i]) == drain.match_message(&texts[j]);
-                let same_tree =
-                    tree.match_message(&texts[i]) == tree.match_message(&texts[j]);
+                let same_drain = drain.match_message(&texts[i]) == drain.match_message(&texts[j]);
+                let same_tree = tree.match_message(&texts[i]) == tree.match_message(&texts[j]);
                 assert_eq!(same_drain, same_truth, "drain split/merged {} vs {}", i, j);
                 assert_eq!(same_tree, same_truth, "tree split/merged {} vs {}", i, j);
             }

@@ -1,11 +1,10 @@
 //! The syslog message model and RFC3164-style rendering.
 
 use crate::time::rfc3164_timestamp;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// RFC3164 severity levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// System is unusable.
     Emergency = 0,
@@ -48,7 +47,7 @@ impl Severity {
 }
 
 /// One syslog message as emitted by a (simulated or real) device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyslogMessage {
     /// Seconds since the simulation epoch.
     pub timestamp: u64,

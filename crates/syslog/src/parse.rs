@@ -29,9 +29,8 @@ fn err(reason: impl Into<String>) -> ParseError {
     ParseError { reason: reason.into() }
 }
 
-const MONTH_ABBR: [&str; 12] = [
-    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-];
+const MONTH_ABBR: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
 
 /// Parses one syslog line. `not_before` is a lower bound (in epoch
 /// seconds) used to resolve the year-less RFC3164 timestamp; pass the
@@ -42,8 +41,7 @@ pub fn parse_line(line: &str, not_before: u64) -> Result<SyslogMessage, ParseErr
     let rest = line.strip_prefix('<').ok_or_else(|| err("missing <PRI>"))?;
     let close = rest.find('>').ok_or_else(|| err("unterminated <PRI>"))?;
     let pri: u16 = rest[..close].parse().map_err(|_| err("non-numeric PRI"))?;
-    let severity =
-        Severity::from_code((pri % 8) as u8).ok_or_else(|| err("bad severity"))?;
+    let severity = Severity::from_code((pri % 8) as u8).ok_or_else(|| err("bad severity"))?;
     let rest = &rest[close + 1..];
 
     // Mmm dd hh:mm:ss — the header is fixed-width ASCII; validate that
@@ -142,7 +140,7 @@ mod tests {
         let msg_2017 = sample(365 * DAY);
         let line = msg_2017.to_line();
         let near_epoch = parse_line(&line, 0).unwrap();
-        assert_eq!(near_epoch.timestamp, 0 * DAY + msg_2017.timestamp % DAY);
+        assert_eq!(near_epoch.timestamp, msg_2017.timestamp % DAY);
         let near_2017 = parse_line(&line, 360 * DAY).unwrap();
         assert_eq!(near_2017.timestamp, msg_2017.timestamp);
     }

@@ -206,9 +206,7 @@ fn split_group(
         }
         all_stable = false;
         let support = count as f32 / members.len() as f32;
-        if support >= cfg.split_support
-            && best_split.is_none_or(|(_, _, s)| support > s)
-        {
+        if support >= cfg.split_support && best_split.is_none_or(|(_, _, s)| support > s) {
             best_split = Some((p, tok, support));
         }
     }
@@ -257,8 +255,12 @@ mod tests {
     fn extracts_one_signature_per_template() {
         let msgs = corpus();
         let tree = build_default(&msgs);
-        assert_eq!(tree.len(), 3, "patterns: {:?}",
-            tree.signatures().iter().map(|s| s.pattern()).collect::<Vec<_>>());
+        assert_eq!(
+            tree.len(),
+            3,
+            "patterns: {:?}",
+            tree.signatures().iter().map(|s| s.pattern()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

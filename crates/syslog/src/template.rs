@@ -8,10 +8,9 @@
 
 use crate::message::Severity;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Typed variable slot inside a template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VarKind {
     /// Dotted-quad IPv4 address.
     Ip,
@@ -50,7 +49,7 @@ impl VarKind {
 }
 
 /// One token of a template body.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TplToken {
     /// A fixed word.
     Lit(String),
@@ -61,7 +60,7 @@ pub enum TplToken {
 /// Network layer a template reports on. Virtualization hides most
 /// physical-layer events from vPEs (§2 of the paper), which the
 /// simulator models by giving vPE catalogs few `Physical` templates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layer {
     /// Optics, fans, power, temperature — mostly invisible to a VNF.
     Physical,
@@ -78,7 +77,7 @@ pub enum Layer {
 }
 
 /// A log template: fixed structure with typed variable slots.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Template {
     /// Stable identifier within its [`TemplateSet`].
     pub id: usize,
@@ -137,7 +136,7 @@ impl Template {
 }
 
 /// An ordered collection of templates with stable ids.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TemplateSet {
     templates: Vec<Template>,
 }
@@ -149,13 +148,7 @@ impl TemplateSet {
     }
 
     /// Adds a template built from a pattern string and returns its id.
-    pub fn add(
-        &mut self,
-        process: &str,
-        severity: Severity,
-        layer: Layer,
-        pattern: &str,
-    ) -> usize {
+    pub fn add(&mut self, process: &str, severity: Severity, layer: Layer, pattern: &str) -> usize {
         let id = self.templates.len();
         self.templates.push(Template::from_pattern(id, process, severity, layer, pattern));
         id

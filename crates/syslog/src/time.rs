@@ -18,9 +18,8 @@ pub const HOUR: u64 = 3600;
 /// Seconds per day.
 pub const DAY: u64 = 86_400;
 
-const MONTH_ABBR: [&str; 12] = [
-    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-];
+const MONTH_ABBR: [&str; 12] =
+    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
 
 /// Calendar fields of a simulation timestamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -14,8 +14,18 @@ fn catalog() -> TemplateSet {
     set.add("rpd", Severity::Warning, Layer::Protocol, "BGP peer {ip} session flap detected");
     set.add("rpd", Severity::Notice, Layer::Protocol, "OSPF neighbor {ip} state changed to Full");
     set.add("dcd", Severity::Error, Layer::Link, "interface {iface} carrier transition down");
-    set.add("chassisd", Severity::Critical, Layer::Physical, "fan tray {num} failure on slot {num}");
-    set.add("kernel", Severity::Info, Layer::System, "task {hex} scheduler latency {num} ms exceeded");
+    set.add(
+        "chassisd",
+        Severity::Critical,
+        Layer::Physical,
+        "fan tray {num} failure on slot {num}",
+    );
+    set.add(
+        "kernel",
+        Severity::Info,
+        Layer::System,
+        "task {hex} scheduler latency {num} ms exceeded",
+    );
     set
 }
 

@@ -16,5 +16,5 @@ pub mod matrix;
 pub mod stats;
 pub mod vecops;
 
-pub use init::{xavier_uniform, uniform_in};
+pub use init::{uniform_in, xavier_uniform};
 pub use matrix::Matrix;

@@ -69,11 +69,7 @@ pub fn ecdf(data: &[f32]) -> Vec<(f32, f32)> {
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let n = sorted.len() as f32;
-    sorted
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, (i + 1) as f32 / n))
-        .collect()
+    sorted.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f32 / n)).collect()
 }
 
 /// Fixed-width histogram over `[lo, hi)` with `bins` buckets; values
@@ -161,8 +157,7 @@ mod tests {
 
     #[test]
     fn five_number_summary_known() {
-        let (min, q25, med, q75, max) =
-            five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let (min, q25, med, q75, max) = five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!((min, q25, med, q75, max), (1.0, 2.0, 3.0, 4.0, 5.0));
     }
 

@@ -37,9 +37,7 @@ fn main() {
     let train_end = month_start(1);
     let mut sample = Vec::new();
     for vpe in 0..sim.n_vpes {
-        sample.extend(
-            trace.messages(vpe).iter().filter(|m| m.timestamp < train_end).cloned(),
-        );
+        sample.extend(trace.messages(vpe).iter().filter(|m| m.timestamp < train_end).cloned());
     }
     let codec = LogCodec::train(&sample, 16);
     let mut detector = LstmDetector::new(LstmDetectorConfig {
@@ -74,7 +72,7 @@ fn main() {
         .iter()
         .flat_map(|s| detector.score(s, 0, u64::MAX).into_iter().map(|e| e.score))
         .collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores.sort_by(f32::total_cmp);
     let threshold = scores[((scores.len() - 1) as f32 * 0.999) as usize];
     println!("armed {} monitors with threshold {:.2}\n", sim.n_vpes, threshold);
 
@@ -82,7 +80,8 @@ fn main() {
     let mapping = MappingConfig::default();
     let mut monitors: Vec<OnlineMonitor> = (0..sim.n_vpes)
         .map(|_| {
-            let bundle = nfvpredict::detect::ModelBundle::pack(&codec, &detector, threshold, &mapping);
+            let bundle =
+                nfvpredict::detect::ModelBundle::pack(&codec, &detector, threshold, &mapping);
             let (codec, det) = bundle.unpack();
             OnlineMonitor::new(codec, det, threshold, mapping)
         })
@@ -137,20 +136,14 @@ fn main() {
     // --- Signature report across the fleet (§5.3). ---
     println!("\n=== signature report ===");
     let mut merged: Vec<nfvpredict::detect::triage::SignatureFinding> = Vec::new();
-    for vpe in 0..sim.n_vpes {
+    for (vpe, clusters) in per_vpe_clusters.iter().enumerate() {
         let tickets: Vec<Ticket> = trace
             .tickets_for(vpe)
             .iter()
             .filter(|t| t.cause != TicketCause::Maintenance)
             .map(|&&t| t)
             .collect();
-        let rows = signature_report(
-            trace.messages(vpe),
-            &codec,
-            &per_vpe_clusters[vpe],
-            &tickets,
-            &mapping,
-        );
+        let rows = signature_report(trace.messages(vpe), &codec, clusters, &tickets, &mapping);
         for row in rows {
             match merged.iter_mut().find(|r| r.pattern == row.pattern) {
                 Some(existing) => {
@@ -163,7 +156,7 @@ fn main() {
             }
         }
     }
-    merged.sort_by(|a, b| b.clusters.cmp(&a.clusters));
+    merged.sort_by_key(|r| std::cmp::Reverse(r.clusters));
     for row in merged.iter().take(8) {
         println!(
             "{:>3} clusters  hit-rate {:>4.0}%  ({} early / {} error / {} false)",

@@ -26,10 +26,8 @@ fn main() {
     cfg.lstm.epochs = 2;
     cfg.lstm.max_train_windows = 10_000;
     let run = run_pipeline(&trace, &cfg);
-    let threshold = eval::sweep_prc(&run, &cfg.mapping, 24)
-        .best_f_point()
-        .expect("curve")
-        .threshold;
+    let threshold =
+        eval::sweep_prc(&run, &cfg.mapping, 24).best_f_point().expect("curve").threshold;
 
     // Earliest mapped warning per ticket.
     let mapping = eval::fleet_mapping(&run, threshold, &cfg.mapping);
@@ -80,8 +78,7 @@ fn main() {
     println!();
 
     let total = mapping.per_ticket.len().max(1);
-    let with_signal =
-        mapping.per_ticket.iter().filter(|o| o.earliest_offset.is_some()).count();
+    let with_signal = mapping.per_ticket.iter().filter(|o| o.earliest_offset.is_some()).count();
     println!(
         "{} of {} non-maintenance tickets ({:.0}%) have syslog-visible anomalies — the\n\
          paper's Q2 answer was ~80% within 15 minutes of ticket generation.",

@@ -53,18 +53,18 @@ fn main() {
 
     // Codec mined on month 0, with spare slots for post-update templates.
     let sample: Vec<SyslogMessage> = (0..sim.n_vpes)
-        .flat_map(|v| {
-            trace.messages(v).iter().filter(|m| m.timestamp < month_start(1)).cloned()
-        })
+        .flat_map(|v| trace.messages(v).iter().filter(|m| m.timestamp < month_start(1)).cloned())
         .collect();
     let mut codec = LogCodec::train(&sample, 24);
     println!("codec: {} templates (+spare)", codec.vocab_size());
 
     // Teacher: trained on the two pre-update months, all vPEs pooled.
-    let mut lstm_cfg = LstmDetectorConfig::default();
-    lstm_cfg.vocab = codec.vocab_size();
-    lstm_cfg.epochs = 3;
-    lstm_cfg.max_train_windows = 15_000;
+    let lstm_cfg = LstmDetectorConfig {
+        vocab: codec.vocab_size(),
+        epochs: 3,
+        max_train_windows: 15_000,
+        ..Default::default()
+    };
     let mut teacher = LstmDetector::new(lstm_cfg.clone());
     let pre_streams: Vec<LogStream> = (0..sim.n_vpes)
         .map(|v| {
@@ -80,7 +80,7 @@ fn main() {
         .iter()
         .flat_map(|s| teacher.score(s, 0, u64::MAX).into_iter().map(|e| e.score))
         .collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores.sort_by(f32::total_cmp);
     let threshold = scores[(scores.len() as f32 * 0.995) as usize];
     let rate_pre = alarm_rate(&teacher, &pre_streams, threshold);
     println!(
@@ -145,7 +145,7 @@ fn main() {
             .iter()
             .flat_map(|st| det.score(st, 0, u64::MAX).into_iter().map(|e| e.score))
             .collect();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(f32::total_cmp);
         s[(s.len() as f32 * 0.995) as usize]
     };
     let injected_recall = |det: &LstmDetector| {

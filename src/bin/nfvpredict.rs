@@ -18,11 +18,22 @@
 //! nfvpredict evaluate [--preset fast|full] [--seed N]
 //!     End-to-end pipeline evaluation on a simulated deployment
 //!     (precision-recall curve and operating point).
+//!
+//! nfvpredict monitor --model FILE --logs DIR
+//!                    [--faults loss=0.05,dup=0.02,reorder=30,corrupt=0.01]
+//!                    [--seed N] [--staleness SECS]
+//!     Run the supervised fleet monitor over one feed per .log file,
+//!     optionally injecting transport chaos, and print per-feed health
+//!     and warnings. Exit code 0 = all feeds healthy, 3 = degraded
+//!     (quarantined or poisoned feeds), 1 = fatal error, 2 = usage.
 //! ```
 
 use nfvpredict::detect::bundle::ModelBundle;
 use nfvpredict::detect::mapping::warning_clusters;
+use nfvpredict::detect::supervisor::{FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig};
+use nfvpredict::detect::OnlineMonitor;
 use nfvpredict::prelude::*;
+use nfvpredict::simnet::{TransportFaults, TransportSim};
 use nfvpredict::syslog::parse::parse_line;
 use nfvpredict::syslog::time::{month_start, rfc3164_timestamp, DAY};
 use std::collections::BTreeMap;
@@ -32,7 +43,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: nfvpredict <simulate|train|detect|evaluate> [flags]");
+        eprintln!("usage: nfvpredict <simulate|train|detect|evaluate|monitor> [flags]");
         return ExitCode::from(2);
     };
     let allowed: &[&str] = match command.as_str() {
@@ -40,6 +51,7 @@ fn main() -> ExitCode {
         "train" => &["logs", "model", "months", "window", "epochs", "tickets"],
         "detect" => &["model", "log"],
         "evaluate" => &["preset", "seed"],
+        "monitor" => &["model", "logs", "faults", "seed", "staleness"],
         _ => &[],
     };
     let flags = match parse_flags(&args[1..], allowed) {
@@ -50,14 +62,15 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
-        "simulate" => cmd_simulate(&flags),
-        "train" => cmd_train(&flags),
-        "detect" => cmd_detect(&flags),
-        "evaluate" => cmd_evaluate(&flags),
+        "simulate" => cmd_simulate(&flags).map(|()| ExitCode::SUCCESS),
+        "train" => cmd_train(&flags).map(|()| ExitCode::SUCCESS),
+        "detect" => cmd_detect(&flags).map(|()| ExitCode::SUCCESS),
+        "evaluate" => cmd_evaluate(&flags).map(|()| ExitCode::SUCCESS),
+        "monitor" => cmd_monitor(&flags),
         other => Err(format!("unknown command {:?}", other)),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {}", e);
             ExitCode::FAILURE
@@ -71,9 +84,8 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
     let mut flags = Flags::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let name = flag
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {:?}", flag))?;
+        let name =
+            flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {:?}", flag))?;
         if !allowed.is_empty() && !allowed.contains(&name) {
             return Err(format!(
                 "unknown flag --{} (expected one of: {})",
@@ -81,8 +93,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                 allowed.iter().map(|f| format!("--{}", f)).collect::<Vec<_>>().join(", ")
             ));
         }
-        let value =
-            it.next().ok_or_else(|| format!("flag --{} needs a value", name))?;
+        let value = it.next().ok_or_else(|| format!("flag --{} needs a value", name))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
@@ -145,20 +156,34 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
 }
 
 /// Reads and parses one raw syslog file (lines in time order).
-fn read_log(path: &Path) -> Result<Vec<SyslogMessage>, String> {
+/// Malformed lines are skipped and counted instead of aborting the
+/// whole file: real collectors drop garbage, they don't stop ingesting.
+fn read_log(path: &Path) -> Result<(Vec<SyslogMessage>, u64), String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path.display(), e))?;
     let mut out = Vec::new();
+    let mut skipped = 0u64;
     let mut not_before = 0u64;
     for (ln, line) in body.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
-        let msg = parse_line(line, not_before)
-            .map_err(|e| format!("{}:{}: {}", path.display(), ln + 1, e))?;
-        not_before = msg.timestamp;
-        out.push(msg);
+        match parse_line(line, not_before) {
+            Ok(msg) => {
+                not_before = msg.timestamp;
+                out.push(msg);
+            }
+            Err(e) => {
+                skipped += 1;
+                if skipped <= 3 {
+                    eprintln!("warning: {}:{}: skipping line: {}", path.display(), ln + 1, e);
+                }
+            }
+        }
     }
-    Ok(out)
+    if skipped > 3 {
+        eprintln!("warning: {}: skipped {} malformed lines in total", path.display(), skipped);
+    }
+    Ok((out, skipped))
 }
 
 /// Ticket intervals per vPE name, from a tickets.tsv file.
@@ -181,7 +206,8 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let logs_dir = PathBuf::from(required(flags, "logs")?);
     let model_path = PathBuf::from(required(flags, "model")?);
     let months: usize = flag(flags, "months").unwrap_or("1").parse().map_err(|_| "bad --months")?;
-    let window: usize = flag(flags, "window").unwrap_or("10").parse().map_err(|_| "bad --window")?;
+    let window: usize =
+        flag(flags, "window").unwrap_or("10").parse().map_err(|_| "bad --window")?;
     let epochs: usize = flag(flags, "epochs").unwrap_or("3").parse().map_err(|_| "bad --epochs")?;
     let train_end = month_start(months);
 
@@ -201,13 +227,17 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     };
 
     let mut all_msgs: Vec<Vec<SyslogMessage>> = Vec::new();
+    let mut total_skipped = 0u64;
     for f in &files {
-        all_msgs.push(read_log(f)?);
+        let (msgs, skipped) = read_log(f)?;
+        all_msgs.push(msgs);
+        total_skipped += skipped;
     }
     eprintln!(
-        "parsed {} messages from {} files",
+        "parsed {} messages from {} files ({} malformed lines skipped)",
         all_msgs.iter().map(|m| m.len()).sum::<usize>(),
-        files.len()
+        files.len(),
+        total_skipped
     );
 
     // Mine the codec from the training window.
@@ -259,7 +289,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     if scores.is_empty() {
         return Err("not enough data to calibrate a threshold".to_string());
     }
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores.sort_by(f32::total_cmp);
     let threshold = scores[((scores.len() - 1) as f32 * 0.995) as usize];
 
     let bundle = ModelBundle::pack(&codec, &det, threshold, &MappingConfig::default());
@@ -275,10 +305,13 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
 
 fn cmd_detect(flags: &Flags) -> Result<(), String> {
     let model_path = required(flags, "model")?;
-    let bundle = ModelBundle::load(Path::new(model_path))
-        .map_err(|e| format!("{}: {}", model_path, e))?;
-    let msgs = read_log(Path::new(required(flags, "log")?))?;
-    let (codec, det) = bundle.unpack();
+    let bundle =
+        ModelBundle::load(Path::new(model_path)).map_err(|e| format!("{}: {}", model_path, e))?;
+    let (msgs, skipped) = read_log(Path::new(required(flags, "log")?))?;
+    if skipped > 0 {
+        eprintln!("note: {} malformed lines were skipped", skipped);
+    }
+    let (codec, det) = bundle.try_unpack().map_err(|e| e.to_string())?;
     let stream = codec.encode_stream(&msgs);
     let events = det.score(&stream, 0, u64::MAX);
     let clusters = warning_clusters(&events, bundle.threshold, &bundle.mapping());
@@ -301,6 +334,134 @@ fn cmd_detect(flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_monitor(flags: &Flags) -> Result<ExitCode, String> {
+    let model_path = required(flags, "model")?;
+    let logs_dir = PathBuf::from(required(flags, "logs")?);
+    let faults = match TransportFaults::parse(flag(flags, "faults").unwrap_or("")) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let seed: u64 = flag(flags, "seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let staleness: u64 =
+        flag(flags, "staleness").unwrap_or("3600").parse().map_err(|_| "bad --staleness")?;
+
+    let bundle = ModelBundle::load_with_retry(
+        Path::new(model_path),
+        3,
+        std::time::Duration::from_millis(50),
+    )
+    .map_err(|e| format!("{}: {}", model_path, e))?;
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&logs_dir)
+        .map_err(|e| e.to_string())?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .log files in {}", logs_dir.display()));
+    }
+
+    // One hardened monitor per feed, all from the same trained bundle.
+    let monitors: Result<Vec<OnlineMonitor>, String> = files
+        .iter()
+        .map(|_| {
+            let (codec, det) = bundle.try_unpack().map_err(|e| e.to_string())?;
+            Ok(OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping()))
+        })
+        .collect();
+    let cfg = FleetMonitorConfig { staleness_timeout: staleness, ..Default::default() };
+    let mut fleet = FleetMonitor::new(monitors?, cfg);
+
+    let transport = (!faults.is_clean()).then(|| TransportSim::new(faults, seed));
+    if let Some(t) = &transport {
+        eprintln!("injecting transport faults: {:?}", t.faults());
+    }
+
+    // Drive every feed through the supervisor and collect events.
+    let mut events: Vec<FleetEvent> = Vec::new();
+    let mut horizon = 0u64;
+    for (feed, file) in files.iter().enumerate() {
+        let body =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {}", file.display(), e))?;
+        let lines: Vec<String> = body.lines().filter(|l| !l.is_empty()).map(String::from).collect();
+        let delivered = match &transport {
+            Some(t) => t.deliver_lines(feed, &lines),
+            None => lines,
+        };
+        for line in &delivered {
+            events.extend(fleet.ingest_line(feed, line));
+        }
+        horizon = horizon.max(fleet.health(feed).last_seen.unwrap_or(0));
+    }
+    events.extend(fleet.flush());
+    events.extend(fleet.tick(horizon));
+
+    // Per-feed health table.
+    println!(
+        "{:<12} {:>9} {:>7} {:>6} {:>8} {:>7} {:>5} {:>5}  state",
+        "feed", "messages", "parse!", "dups", "reorders", "skipped", "quar", "warn"
+    );
+    let mut degraded = 0usize;
+    for (feed, file) in files.iter().enumerate() {
+        let h = fleet.health(feed);
+        let name = file.file_stem().and_then(|s| s.to_str()).unwrap_or("?");
+        if matches!(h.state, FeedState::Quarantined | FeedState::Poisoned) {
+            degraded += 1;
+        }
+        println!(
+            "{:<12} {:>9} {:>7} {:>6} {:>8} {:>7} {:>5} {:>5}  {:?}",
+            name,
+            h.messages,
+            h.parse_errors,
+            h.duplicates_dropped,
+            h.reorders_absorbed,
+            h.skipped,
+            h.quarantines,
+            h.warnings,
+            h.state
+        );
+    }
+
+    // Then the noteworthy events.
+    for e in &events {
+        match e {
+            FleetEvent::Warning { feed, warning } => {
+                let name = files[*feed].file_stem().and_then(|s| s.to_str()).unwrap_or("?");
+                println!(
+                    "WARNING {} at {}: {} anomalies, peak {:.2}: {}",
+                    name,
+                    rfc3164_timestamp(warning.start),
+                    warning.anomalies,
+                    warning.peak_score,
+                    warning.peak_text
+                );
+            }
+            FleetEvent::FeedQuarantined { feed, parse_errors } => {
+                println!("QUARANTINED feed {} after {} parse errors", feed, parse_errors);
+            }
+            FleetEvent::FeedRecovered { feed } => println!("RECOVERED feed {}", feed),
+            FleetEvent::FeedPoisoned { feed, reason } => {
+                println!("POISONED feed {}: {}", feed, reason);
+            }
+            FleetEvent::FeedSilent { feed, last_seen, now } => {
+                println!(
+                    "SILENT feed {}: nothing since {} (now {})",
+                    feed,
+                    rfc3164_timestamp(*last_seen),
+                    rfc3164_timestamp(*now)
+                );
+            }
+        }
+    }
+    let warnings = events.iter().filter(|e| matches!(e, FleetEvent::Warning { .. })).count();
+    println!("{} feeds, {} warnings, {} degraded", files.len(), warnings, degraded);
+    Ok(if degraded > 0 { ExitCode::from(3) } else { ExitCode::SUCCESS })
 }
 
 fn cmd_evaluate(flags: &Flags) -> Result<(), String> {

@@ -1,0 +1,217 @@
+//! Tier-2 chaos test: the supervised fleet monitor under transport
+//! faults.
+//!
+//! A 38-feed fleet (the paper's vPE count) is streamed through the
+//! [`FleetMonitor`] twice — once clean, once through a [`TransportSim`]
+//! injecting 5% loss, 2% duplication, 30s bounded reordering and 1%
+//! corruption — and the runs are compared:
+//!
+//! * the faulted run completes without a panic and no feed is poisoned;
+//! * every feed is accounted for, with health counters that exactly
+//!   partition the delivered lines;
+//! * warning recall degrades by no more than 10% relative to the clean
+//!   run.
+
+use nfv_detect::lstm_detector::LstmDetectorConfig;
+use nfv_detect::{
+    AnomalyDetector, FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig, LogCodec,
+    LstmDetector, MappingConfig, ModelBundle, OnlineMonitor,
+};
+use nfv_simnet::{TransportFaults, TransportSim};
+use nfv_syslog::message::Severity;
+use nfv_syslog::SyslogMessage;
+
+/// The paper's fleet size.
+const FEEDS: usize = 38;
+/// Heartbeats per feed (60s apart).
+const NORMALS: usize = 220;
+/// Indices after which an anomaly burst is injected.
+const BURSTS: [usize; 2] = [80, 160];
+/// Messages per burst (10s apart; well above `min_cluster`).
+const BURST_LEN: u64 = 5;
+
+fn msg(feed: usize, time: u64, text: &str) -> SyslogMessage {
+    SyslogMessage {
+        timestamp: time,
+        host: format!("vpe{:02}", feed),
+        process: "rpd".to_string(),
+        severity: Severity::Info,
+        text: text.to_string(),
+    }
+}
+
+/// Cyclic normal chatter the LSTM learns to predict.
+fn normal_text(i: usize) -> String {
+    format!("heartbeat stage{} counter {} status ok", i % 4, i)
+}
+
+/// Trains one small detector on clean cyclic traffic and packs it the
+/// way the CLI would ship it to a monitoring host.
+fn trained_bundle() -> ModelBundle {
+    let train: Vec<SyslogMessage> =
+        (0..1200).map(|i| msg(0, i as u64 * 60, &normal_text(i))).collect();
+    let codec = LogCodec::train(&train, 4);
+    let mut det = LstmDetector::new(LstmDetectorConfig {
+        vocab: codec.vocab_size(),
+        window: 4,
+        embed_dim: 6,
+        hidden: 10,
+        epochs: 3,
+        max_train_windows: 2000,
+        ..Default::default()
+    });
+    let stream = codec.encode_stream(&train);
+    det.fit(&[&stream]);
+    // Threshold just above every training score.
+    let max_score = det.score(&stream, 0, u64::MAX).iter().map(|e| e.score).fold(0.0f32, f32::max);
+    ModelBundle::pack(&codec, &det, max_score * 1.05, &MappingConfig::default())
+}
+
+/// One feed's stream: steady 60s heartbeats with two never-seen anomaly
+/// bursts at known positions. Burst lines are distinct so the dedup ring
+/// cannot legitimately swallow them.
+fn feed_messages(feed: usize) -> Vec<SyslogMessage> {
+    let mut out = Vec::new();
+    for i in 0..NORMALS {
+        out.push(msg(feed, i as u64 * 60, &normal_text(i)));
+        if BURSTS.contains(&i) {
+            for j in 0..BURST_LEN {
+                out.push(msg(
+                    feed,
+                    i as u64 * 60 + 5 + j * 10,
+                    &format!("chassis alarm unknown fault storm event {} feed {}", j, feed),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A fresh supervised fleet, one monitor per feed, all unpacked from the
+/// same bundle.
+fn fresh_fleet(bundle: &ModelBundle) -> FleetMonitor {
+    let monitors: Vec<OnlineMonitor> = (0..FEEDS)
+        .map(|_| {
+            let (codec, det) = bundle.try_unpack().expect("freshly packed bundle is valid");
+            OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
+        })
+        .collect();
+    FleetMonitor::new(monitors, FleetMonitorConfig::default())
+}
+
+/// Streams per-feed raw lines through a fleet; returns all events.
+fn run_fleet(fleet: &mut FleetMonitor, lines_per_feed: &[Vec<String>]) -> Vec<FleetEvent> {
+    let mut events = Vec::new();
+    for (feed, lines) in lines_per_feed.iter().enumerate() {
+        for line in lines {
+            events.extend(fleet.ingest_line(feed, line));
+        }
+    }
+    events.extend(fleet.flush());
+    events
+}
+
+fn warning_count(events: &[FleetEvent]) -> usize {
+    events.iter().filter(|e| matches!(e, FleetEvent::Warning { .. })).count()
+}
+
+#[test]
+fn fleet_monitor_survives_transport_chaos_with_recall_intact() {
+    let bundle = trained_bundle();
+    let streams: Vec<Vec<SyslogMessage>> = (0..FEEDS).map(feed_messages).collect();
+
+    // Clean reference run.
+    let clean_lines: Vec<Vec<String>> =
+        streams.iter().map(|s| s.iter().map(|m| m.to_line()).collect()).collect();
+    let mut clean_fleet = fresh_fleet(&bundle);
+    let clean_events = run_fleet(&mut clean_fleet, &clean_lines);
+    let clean_warnings = warning_count(&clean_events);
+    // Two bursts per feed, each reported once.
+    assert!(
+        clean_warnings >= FEEDS,
+        "clean run should warn on most bursts, got {} warnings for {} bursts",
+        clean_warnings,
+        FEEDS * BURSTS.len()
+    );
+
+    // Faulted run: the ISSUE's chaos profile.
+    let faults = TransportFaults::parse("loss=0.05,dup=0.02,reorder=30,corrupt=0.01").unwrap();
+    let sim = TransportSim::new(faults, 0xC0FFEE);
+    let faulted: Vec<Vec<String>> =
+        streams.iter().enumerate().map(|(f, s)| sim.deliver(f, s)).collect();
+    let mut fleet = fresh_fleet(&bundle);
+    let events = run_fleet(&mut fleet, &faulted);
+
+    // Surviving the stream at all is the zero-panic half of the claim;
+    // no monitor may have been poisoned along the way.
+    assert!(
+        !events.iter().any(|e| matches!(e, FleetEvent::FeedPoisoned { .. })),
+        "no monitor should panic under transport faults"
+    );
+
+    // Every feed accounted for, with exact line accounting: each
+    // delivered line lands in exactly one health counter.
+    let healths = fleet.healths();
+    assert_eq!(healths.len(), FEEDS);
+    for (feed, h) in healths.iter().enumerate() {
+        assert_eq!(h.state, FeedState::Active, "feed {} should stay active", feed);
+        assert!(h.messages > 0, "feed {} processed no messages", feed);
+        let delivered = faulted[feed].len() as u64;
+        assert_eq!(
+            h.messages + h.parse_errors + h.duplicates_dropped + h.skipped,
+            delivered,
+            "feed {} counters do not partition its {} delivered lines: {:?}",
+            feed,
+            delivered,
+            h
+        );
+    }
+    let total_parse_errors: u64 = healths.iter().map(|h| h.parse_errors).sum();
+    let total_dups: u64 = healths.iter().map(|h| h.duplicates_dropped).sum();
+    assert!(total_parse_errors > 0, "1% corruption must produce some unparseable lines");
+    assert!(total_dups > 0, "2% duplication must trip the dedup ring");
+
+    // Recall: warnings may not degrade more than 10% relative.
+    let faulted_warnings = warning_count(&events);
+    let lost = clean_warnings.saturating_sub(faulted_warnings);
+    assert!(
+        lost * 10 <= clean_warnings,
+        "warning recall degraded over 10%: {} clean vs {} faulted",
+        clean_warnings,
+        faulted_warnings
+    );
+}
+
+#[test]
+fn interleaved_garbage_lines_are_counted_not_fatal() {
+    let bundle = trained_bundle();
+    let monitors = vec![{
+        let (codec, det) = bundle.try_unpack().unwrap();
+        OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
+    }];
+    let mut fleet = FleetMonitor::new(monitors, FleetMonitorConfig::default());
+
+    // Every 7th line is binary-ish garbage; the rest is the usual
+    // heartbeat traffic plus one burst.
+    let msgs = feed_messages(0);
+    let mut garbage = 0u64;
+    let mut events = Vec::new();
+    for (i, m) in msgs.iter().enumerate() {
+        if i % 7 == 3 {
+            garbage += 1;
+            events.extend(fleet.ingest_line(0, &format!("\u{1}\u{2} corrupt frame {} \u{7f}", i)));
+        }
+        events.extend(fleet.ingest_line(0, &m.to_line()));
+    }
+    events.extend(fleet.flush());
+
+    let h = fleet.health(0).clone();
+    assert_eq!(h.state, FeedState::Active, "sparse garbage must not quarantine: {:?}", h);
+    assert_eq!(h.parse_errors, garbage);
+    assert_eq!(h.messages, msgs.len() as u64);
+    assert_eq!(h.quarantines, 0);
+    assert!(
+        warning_count(&events) >= BURSTS.len(),
+        "bursts must still be detected through interleaved garbage"
+    );
+}

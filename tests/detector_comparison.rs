@@ -6,15 +6,14 @@ use nfvpredict::prelude::*;
 
 #[test]
 fn deep_detectors_beat_shallow_ocsvm() {
-    let mut sim = SimConfig::preset(SimPreset::Fast, 71);
+    let mut sim = SimConfig::preset(SimPreset::Fast, 72);
     sim.n_vpes = 6;
     sim.months = 3;
     let trace = FleetTrace::simulate(sim);
 
     let mut best_f = std::collections::HashMap::new();
     for kind in [DetectorKind::Lstm, DetectorKind::Autoencoder, DetectorKind::Ocsvm] {
-        let mut cfg = PipelineConfig::default();
-        cfg.detector = kind;
+        let mut cfg = PipelineConfig { detector: kind, ..Default::default() };
         cfg.lstm.epochs = 2;
         cfg.lstm.oversample_rounds = 1;
         cfg.lstm.max_train_windows = 6_000;
@@ -30,22 +29,7 @@ fn deep_detectors_beat_shallow_ocsvm() {
     let lstm = best_f["Lstm"];
     let ae = best_f["Autoencoder"];
     let svm = best_f["Ocsvm"];
-    assert!(
-        lstm > svm + 0.05,
-        "LSTM ({:.3}) should clearly beat OC-SVM ({:.3})",
-        lstm,
-        svm
-    );
-    assert!(
-        ae > svm,
-        "Autoencoder ({:.3}) should beat OC-SVM ({:.3})",
-        ae,
-        svm
-    );
-    assert!(
-        lstm >= ae - 0.05,
-        "LSTM ({:.3}) should not trail Autoencoder ({:.3})",
-        lstm,
-        ae
-    );
+    assert!(lstm > svm + 0.05, "LSTM ({:.3}) should clearly beat OC-SVM ({:.3})", lstm, svm);
+    assert!(ae > svm, "Autoencoder ({:.3}) should beat OC-SVM ({:.3})", ae, svm);
+    assert!(lstm >= ae - 0.05, "LSTM ({:.3}) should not trail Autoencoder ({:.3})", lstm, ae);
 }

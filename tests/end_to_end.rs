@@ -45,7 +45,7 @@ fn lstm_pipeline_reaches_useful_operating_point() {
 
 #[test]
 fn anomalies_precede_tickets_like_fig8() {
-    let trace = small_trace(7);
+    let trace = small_trace(9);
     let cfg = small_pipeline();
     let run = run_pipeline(&trace, &cfg);
     let threshold =
@@ -97,12 +97,7 @@ fn customization_does_not_hurt_and_grouping_is_plausible() {
         .map(|p| p.f_measure)
         .unwrap_or(0.0);
     // On this small config both work; customization must not collapse.
-    assert!(
-        f_grouped > f_single - 0.1,
-        "customized F {} vs single F {}",
-        f_grouped,
-        f_single
-    );
+    assert!(f_grouped > f_single - 0.1, "customized F {} vs single F {}", f_grouped, f_single);
 }
 
 #[test]

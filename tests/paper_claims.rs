@@ -38,11 +38,7 @@ fn fig1b_interarrival_quantiles() {
     assert!((frac_over(10 * HOUR) - 0.80).abs() < 0.10, "P(>10h) {}", frac_over(10 * HOUR));
     // Right-censoring at the window end shaves the heaviest tail, so
     // the observed fraction sits a little under the sampled 0.25.
-    assert!(
-        (0.10..0.35).contains(&frac_over(1000 * HOUR)),
-        "P(>1000h) {}",
-        frac_over(1000 * HOUR)
-    );
+    assert!((0.10..0.35).contains(&frac_over(1000 * HOUR)), "P(>1000h) {}", frac_over(1000 * HOUR));
 }
 
 #[test]
@@ -53,8 +49,7 @@ fn fig3_similarity_spread_with_outliers() {
     let trace = FleetTrace::simulate(cfg.clone());
     let vocab = trace.catalog.set.len();
 
-    let streams: Vec<LogStream> =
-        (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
+    let streams: Vec<LogStream> = (0..cfg.n_vpes).map(|v| trace.ground_truth_stream(v)).collect();
     let mut agg = vec![0.0f32; vocab];
     for s in &streams {
         for r in s.records() {
@@ -103,8 +98,7 @@ fn update_breaks_month_over_month_similarity() {
 
     for vpe in 0..cfg.n_vpes {
         let s = trace.ground_truth_stream(vpe);
-        let dist =
-            |m: usize| s.template_distribution(vocab, month_start(m), month_start(m + 1));
+        let dist = |m: usize| s.template_distribution(vocab, month_start(m), month_start(m + 1));
         let stable = cosine_similarity(&dist(1), &dist(2));
         let across = cosine_similarity(&dist(2), &dist(4));
         assert!(stable > 0.8, "vpe {} pre-update stability {}", vpe, stable);
