@@ -7,7 +7,7 @@
 use crate::detector::{AnomalyDetector, ScoredEvent};
 use crate::features::{count_windows, fit_tfidf, CountWindows, WindowingConfig};
 use nfv_ml::{OneClassSvm, OneClassSvmConfig, Pca, TfIdf};
-use nfv_nn::{Activation, Adam, Mlp, Trainable};
+use nfv_nn::{Activation, Adam, Mlp, MseRows, Trainable, Trainer, TrainerConfig};
 use nfv_syslog::LogStream;
 use nfv_tensor::Matrix;
 use rand::rngs::SmallRng;
@@ -88,17 +88,13 @@ impl AutoencoderDetector {
         if features.is_empty() {
             return;
         }
-        let shapes: Vec<_> = self.mlp.params().iter().map(|p| p.shape()).collect();
-        let mut opt = Adam::new(lr, &shapes);
-        let mut order: Vec<usize> = (0..features.len()).collect();
-        for _ in 0..epochs {
-            nfv_ml::sampling::shuffle(&mut order, &mut self.rng);
-            for chunk in order.chunks(self.cfg.batch) {
-                let rows: Vec<f32> =
-                    chunk.iter().flat_map(|&i| features[i].iter().copied()).collect();
-                let x = Matrix::from_vec(chunk.len(), self.cfg.vocab, rows);
-                self.mlp.train_step_mse(&x, &x, &mut opt);
-            }
+        let shapes = self.mlp.param_shapes();
+        let cfg = TrainerConfig { epochs, batch_size: self.cfg.batch, ..TrainerConfig::default() };
+        let mut trainer = Trainer::new(cfg, Adam::new(lr, &shapes), &shapes);
+        // The autoencoder reconstructs its own input.
+        let data = MseRows { x: features, target: features };
+        if let Err(e) = trainer.fit(&mut self.mlp, &data, features.len(), &mut self.rng) {
+            eprintln!("autoencoder training aborted: {}", e);
         }
     }
 

@@ -20,9 +20,10 @@
 //!   update.
 
 use crate::detector::{AnomalyDetector, ScoredEvent};
-use nfv_ml::sampling::{oversample_indices, shuffle};
-use nfv_nn::model::SeqBatch;
-use nfv_nn::{Adam, SequenceModel, SequenceModelConfig};
+use nfv_ml::sampling::oversample_indices;
+use nfv_nn::{
+    Adam, SeqScratch, SeqView, SequenceModel, SequenceModelConfig, Trainer, TrainerConfig,
+};
 use nfv_syslog::stream::WindowSet;
 use nfv_syslog::LogStream;
 use rand::rngs::SmallRng;
@@ -160,33 +161,41 @@ impl LstmDetector {
     }
 
     fn train_epochs(&mut self, ws: &WindowSet, epochs: usize, lr: f32) {
-        if ws.is_empty() {
+        let indices: Vec<usize> = (0..ws.len()).collect();
+        self.train_on_indices(ws, &indices, epochs, lr);
+    }
+
+    /// Trains on the selected windows of `ws` through the shared
+    /// [`Trainer`] loop: a fresh Adam instance per call (matching the
+    /// paper's per-phase optimizer state), the configured batch size, and
+    /// the detector's own RNG for shuffling.
+    fn train_on_indices(&mut self, ws: &WindowSet, indices: &[usize], epochs: usize, lr: f32) {
+        if indices.is_empty() {
             return;
         }
         let shapes = self.model.param_shapes();
-        let mut opt = Adam::new(lr, &shapes);
-        let mut order: Vec<usize> = (0..ws.len()).collect();
-        for _ in 0..epochs {
-            shuffle(&mut order, &mut self.rng);
-            for chunk in order.chunks(self.cfg.batch_size) {
-                let sub = ws.gather(chunk);
-                let batch = SeqBatch { ids: sub.ids, gaps: sub.gaps };
-                self.model.train_step(&batch, &sub.targets, &mut opt);
-            }
+        let cfg =
+            TrainerConfig { epochs, batch_size: self.cfg.batch_size, ..TrainerConfig::default() };
+        let mut trainer = Trainer::new(cfg, Adam::new(lr, &shapes), &shapes);
+        let view = SeqView { ids: &ws.ids, gaps: &ws.gaps, targets: &ws.targets };
+        if let Err(e) = trainer.fit_indices(&mut self.model, &view, indices, &mut self.rng) {
+            eprintln!("lstm training aborted: {}", e);
         }
     }
 
     /// Runs batched inference over `ws` in fixed-size chunks, invoking
     /// `visit(global_window_index, target, probs_row)` for every window.
+    /// One scratch arena is reused across all chunks.
     fn for_each_prediction(&self, ws: &WindowSet, mut visit: impl FnMut(usize, usize, &[f32])) {
+        let view = SeqView { ids: &ws.ids, gaps: &ws.gaps, targets: &[] };
+        let mut scratch = SeqScratch::default();
+        let mut chunk = Vec::with_capacity(512);
         for chunk_start in (0..ws.len()).step_by(512) {
-            let chunk: Vec<usize> = (chunk_start..(chunk_start + 512).min(ws.len())).collect();
-            let sub = ws.gather(&chunk);
-            let targets = sub.targets;
-            let batch = SeqBatch { ids: sub.ids, gaps: sub.gaps };
-            let probs = self.model.predict_probs(&batch);
-            for (row, (&target, &global_idx)) in targets.iter().zip(chunk.iter()).enumerate() {
-                visit(global_idx, target, probs.row(row));
+            chunk.clear();
+            chunk.extend(chunk_start..(chunk_start + 512).min(ws.len()));
+            let probs = self.model.predict_probs_view(&view, &chunk, &mut scratch);
+            for (row, &global_idx) in chunk.iter().enumerate() {
+                visit(global_idx, ws.targets[global_idx], probs.row(row));
             }
         }
     }
@@ -227,8 +236,10 @@ impl LstmDetector {
                 0.25,
                 &mut self.rng,
             );
-            let boosted = ws.gather(&mix);
-            self.train_epochs(&boosted, 1, self.cfg.lr * 0.5);
+            // Feed the over-sampled index mix straight to the trainer —
+            // shuffling `mix` visits the same windows in the same order
+            // as shuffling a gathered copy, without materializing it.
+            self.train_on_indices(&ws, &mix, 1, self.cfg.lr * 0.5);
         }
     }
 
@@ -279,10 +290,9 @@ impl AnomalyDetector for LstmDetector {
     fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
         let ws = stream.windows_in(self.cfg.window, start, end, |_| true);
         let mut events = Vec::with_capacity(ws.len());
-        let times = ws.times.clone();
         self.for_each_prediction(&ws, |global_idx, target, probs| {
             let p = probs[target].max(1e-9);
-            events.push(ScoredEvent { time: times[global_idx], score: -p.ln() });
+            events.push(ScoredEvent { time: ws.times[global_idx], score: -p.ln() });
         });
         events
     }
@@ -400,6 +410,35 @@ mod tests {
             fp_before,
             fp_after
         );
+    }
+
+    #[test]
+    fn adapt_keeps_frozen_bottom_weights_bit_identical() {
+        use nfv_nn::Trainable;
+
+        let train = training_stream(900, 10);
+        let mut det = LstmDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+
+        let before: Vec<Vec<f32>> =
+            det.model().params().iter().map(|p| p.as_slice().to_vec()).collect();
+
+        let shifted = LogStream::from_records(
+            (0..300).map(|i| LogRecord { time: i as u64 * 30, template: 6 + (i % 2) }).collect(),
+        );
+        det.adapt(&[&shifted]);
+
+        let after = det.model().params();
+        // `adapt` freezes the first two components: the embedding table
+        // (1 matrix) and the bottom LSTM layer (wx, wh, b). With Adam's
+        // per-parameter step clocks those four must not move by a single
+        // bit — not even via moment-estimate drift.
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate().take(4) {
+            assert_eq!(b.as_slice(), a.as_slice(), "frozen parameter {} changed during adapt", i);
+        }
+        let unfrozen_moved =
+            before.iter().zip(after.iter()).skip(4).any(|(b, a)| b.as_slice() != a.as_slice());
+        assert!(unfrozen_moved, "adapt should still update the unfrozen top layers");
     }
 
     #[test]

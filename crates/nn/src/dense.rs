@@ -2,7 +2,7 @@
 
 use crate::activation::Activation;
 use crate::Trainable;
-use nfv_tensor::{xavier_uniform, Matrix};
+use nfv_tensor::{xavier_uniform, Matrix, Workspace};
 use rand::Rng;
 
 /// A fully-connected layer `y = act(x W + b)`.
@@ -19,12 +19,21 @@ pub struct Dense {
 }
 
 /// Values captured during [`Dense::forward`] that the backward pass needs.
-#[derive(Debug, Clone)]
+/// Reusable across steps: [`Dense::forward_into`] reshapes the buffers in
+/// place instead of reallocating.
+#[derive(Debug, Clone, Default)]
 pub struct DenseCache {
     /// The layer input (`B x in_dim`).
     x: Matrix,
     /// The activated output (`B x out_dim`).
     y: Matrix,
+}
+
+impl DenseCache {
+    /// The activated output of the captured forward pass.
+    pub fn output(&self) -> &Matrix {
+        &self.y
+    }
 }
 
 /// Parameter gradients produced by [`Dense::backward`], in the same order
@@ -61,6 +70,14 @@ impl Dense {
     /// Forward pass over a batch; returns the output and the cache needed
     /// by [`Dense::backward`].
     pub fn forward(&self, x: &Matrix) -> (Matrix, DenseCache) {
+        let mut cache = DenseCache::default();
+        self.forward_into(x, &mut cache);
+        (cache.y.clone(), cache)
+    }
+
+    /// Allocation-free forward pass writing into a reusable cache; the
+    /// output lives at `cache.output()`.
+    pub fn forward_into(&self, x: &Matrix, cache: &mut DenseCache) {
         assert_eq!(
             x.cols(),
             self.in_dim(),
@@ -68,11 +85,10 @@ impl Dense {
             x.cols(),
             self.in_dim()
         );
-        let mut y = x.matmul(&self.w);
-        y.add_row_broadcast(self.b.row(0));
-        self.activation.apply_inplace(&mut y);
-        let cache = DenseCache { x: x.clone(), y: y.clone() };
-        (y, cache)
+        cache.x.copy_from(x);
+        x.matmul_into(&self.w, &mut cache.y);
+        cache.y.add_row_broadcast(self.b.row(0));
+        self.activation.apply_inplace(&mut cache.y);
     }
 
     /// Inference-only forward pass (no cache).
@@ -86,18 +102,44 @@ impl Dense {
     /// Backward pass: given `d_out = dL/dy`, returns `dL/dx` and the
     /// parameter gradients.
     pub fn backward(&self, cache: &DenseCache, d_out: &Matrix) -> (Matrix, DenseGrads) {
+        let mut ws = Workspace::new();
+        let mut dx = Matrix::default();
+        let mut dw = Matrix::zeros(self.w.rows(), self.w.cols());
+        let mut db = Matrix::zeros(1, self.out_dim());
+        self.backward_into(cache, d_out, &mut dx, &mut dw, &mut db, &mut ws);
+        (dx, DenseGrads { dw, db })
+    }
+
+    /// Allocation-free backward pass. Writes `dL/dx` into `dx` and
+    /// *accumulates* the parameter gradients into `dw`/`db` (callers zero
+    /// them once per batch, not per layer invocation).
+    pub fn backward_into(
+        &self,
+        cache: &DenseCache,
+        d_out: &Matrix,
+        dx: &mut Matrix,
+        dw: &mut Matrix,
+        db: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
         assert_eq!(d_out.shape(), cache.y.shape(), "Dense::backward: shape mismatch");
+        assert_eq!(dw.shape(), self.w.shape(), "Dense::backward: dw shape mismatch");
+        assert_eq!(db.shape(), self.b.shape(), "Dense::backward: db shape mismatch");
         // dL/dz where z is the pre-activation, using f'(z) expressed via y.
-        let mut dz = d_out.clone();
+        let mut dz = ws.take(d_out.rows(), d_out.cols());
+        dz.copy_from(d_out);
         if self.activation != Activation::Identity {
             for (d, &y) in dz.as_mut_slice().iter_mut().zip(cache.y.as_slice().iter()) {
                 *d *= self.activation.derivative_from_output(y);
             }
         }
-        let dw = cache.x.matmul_tn(&dz);
-        let db = Matrix::from_vec(1, dz.cols(), dz.sum_rows());
-        let dx = dz.matmul_nt(&self.w);
-        (dx, DenseGrads { dw, db })
+        cache.x.matmul_tn_acc(&dz, dw);
+        dz.sum_rows_acc(db);
+        let mut wt = ws.take(self.w.cols(), self.w.rows());
+        self.w.transpose_into(&mut wt);
+        dz.matmul_into(&wt, dx);
+        ws.recycle(dz);
+        ws.recycle(wt);
     }
 }
 

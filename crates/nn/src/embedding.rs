@@ -43,6 +43,18 @@ impl Embedding {
     /// map unseen templates to a reserved id first.
     pub fn forward(&self, ids: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(ids.len(), self.dim());
+        self.forward_into(ids, &mut out);
+        out
+    }
+
+    /// Allocation-free lookup writing into the leading `dim` columns of
+    /// each row of `out`. `out` may be wider than the embedding (the
+    /// sequence model appends a gap-feature column); extra columns are
+    /// left untouched.
+    pub fn forward_into(&self, ids: &[usize], out: &mut Matrix) {
+        assert_eq!(out.rows(), ids.len(), "Embedding::forward: row mismatch");
+        assert!(out.cols() >= self.dim(), "Embedding::forward: output too narrow");
+        let d = self.dim();
         for (r, &id) in ids.iter().enumerate() {
             assert!(
                 id < self.vocab(),
@@ -50,9 +62,8 @@ impl Embedding {
                 id,
                 self.vocab()
             );
-            out.set_row(r, self.table.row(id));
+            out.row_mut(r)[..d].copy_from_slice(self.table.row(id));
         }
-        out
     }
 
     /// Accumulates `dL/d(table)` given the upstream gradient for each

@@ -12,14 +12,20 @@
 //!   through time;
 //! * [`loss`] — softmax cross-entropy and mean-squared error;
 //! * [`optimizer`] — SGD, momentum and Adam;
+//! * [`trainer`] — the shared training loop ([`trainer::Trainer`]):
+//!   batching, shuffling, clipping, frozen-parameter masking, LR decay
+//!   and loss traces over a persistent [`trainer::GradientSet`];
 //! * [`model::SequenceModel`] — the paper's next-template network, with
 //!   layer freezing for transfer learning;
 //! * [`model::Mlp`] — a plain multi-layer perceptron used to build the
 //!   autoencoder baseline;
 //! * [`checkpoint`] — JSON save/load of parameter sets.
 //!
-//! Every differentiable component is covered by a numerical gradient
-//! check in its unit tests.
+//! Hot paths follow the tensor crate's in-place naming convention
+//! (`*_into` overwrites an out-parameter, `*_acc` accumulates into one);
+//! the original allocating methods remain as thin wrappers. Every
+//! differentiable component is covered by a numerical gradient check in
+//! its unit tests.
 
 pub mod activation;
 pub mod checkpoint;
@@ -29,14 +35,16 @@ pub mod loss;
 pub mod lstm;
 pub mod model;
 pub mod optimizer;
+pub mod trainer;
 
 pub use activation::Activation;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use dense::Dense;
 pub use embedding::Embedding;
 pub use lstm::LstmLayer;
-pub use model::{Mlp, SequenceModel, SequenceModelConfig};
+pub use model::{Mlp, MseRows, SeqScratch, SeqView, SequenceModel, SequenceModelConfig};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use trainer::{BatchLoss, GradientSet, TrainError, Trainer, TrainerConfig, DEFAULT_GRAD_CLIP};
 
 /// Anything that exposes its trainable parameters and matching gradient
 /// accumulators, in a stable order, so an optimizer can update them.
@@ -45,4 +53,8 @@ pub trait Trainable {
     fn params(&self) -> Vec<&nfv_tensor::Matrix>;
     /// Mutable views of all parameters, in the same order as [`Self::params`].
     fn params_mut(&mut self) -> Vec<&mut nfv_tensor::Matrix>;
+    /// Shapes of all parameters, in optimizer order.
+    fn param_shapes(&self) -> Vec<(usize, usize)> {
+        self.params().iter().map(|p| p.shape()).collect()
+    }
 }

@@ -8,26 +8,33 @@ use nfv_tensor::Matrix;
 /// Given raw logits (`B x V`) and one target class per row, returns the
 /// mean loss and `dL/dlogits` (already divided by the batch size).
 pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    let mut dlogits = Matrix::zeros(0, 0);
+    let loss = softmax_cross_entropy_into(logits, targets, &mut dlogits);
+    (loss, dlogits)
+}
+
+/// Allocation-free [`softmax_cross_entropy`]: writes `dL/dlogits` into
+/// the reusable `dlogits` buffer and returns the mean loss.
+pub fn softmax_cross_entropy_into(logits: &Matrix, targets: &[usize], dlogits: &mut Matrix) -> f32 {
     assert_eq!(logits.rows(), targets.len(), "softmax_cross_entropy: batch mismatch");
     let batch = logits.rows();
-    let mut probs = logits.clone();
-    probs.softmax_rows_inplace();
+    dlogits.copy_from(logits);
+    dlogits.softmax_rows_inplace();
 
     let mut loss = 0.0f32;
     for (r, &t) in targets.iter().enumerate() {
         assert!(t < logits.cols(), "target class {} out of range ({})", t, logits.cols());
-        loss -= probs.get(r, t).max(1e-12).ln();
+        loss -= dlogits.get(r, t).max(1e-12).ln();
     }
     loss /= batch as f32;
 
     // dL/dlogits = (softmax - onehot) / B.
-    let mut dlogits = probs;
     for (r, &t) in targets.iter().enumerate() {
         let v = dlogits.get(r, t);
         dlogits.set(r, t, v - 1.0);
     }
     dlogits.scale(1.0 / batch as f32);
-    (loss, dlogits)
+    loss
 }
 
 /// Row-wise predicted class probabilities (softmax of logits).
@@ -40,13 +47,21 @@ pub fn softmax_probs(logits: &Matrix) -> Matrix {
 /// Mean-squared error `mean((pred - target)^2)` and its gradient
 /// w.r.t. `pred` (divided by the element count).
 pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = mse_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// Allocation-free [`mse`]: writes the gradient into the reusable `grad`
+/// buffer and returns the mean loss.
+pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
     assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
     let n = (pred.rows() * pred.cols()) as f32;
-    let mut grad = pred.clone();
+    grad.copy_from(pred);
     grad.sub_assign(target);
     let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
     grad.scale(2.0 / n);
-    (loss, grad)
+    loss
 }
 
 #[cfg(test)]

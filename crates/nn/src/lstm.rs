@@ -17,8 +17,9 @@
 
 use crate::activation::sigmoid;
 use crate::Trainable;
-use nfv_tensor::{xavier_uniform, Matrix};
+use nfv_tensor::{xavier_uniform, Matrix, Workspace};
 use rand::Rng;
+use std::mem;
 
 /// One LSTM layer: parameters `Wx` (`I x 4H`), `Wh` (`H x 4H`), `b` (`1 x 4H`).
 #[derive(Debug, Clone)]
@@ -30,7 +31,7 @@ pub struct LstmLayer {
 }
 
 /// Per-timestep values cached by the forward pass for BPTT.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct StepCache {
     /// Layer input at this step (`B x I`).
     x: Matrix,
@@ -44,10 +45,33 @@ struct StepCache {
     tanh_c: Matrix,
 }
 
-/// Cache for a whole sequence, returned by [`LstmLayer::forward_seq`].
-#[derive(Debug, Clone)]
+/// Cache for a whole sequence, filled by [`LstmLayer::forward_seq_into`].
+/// Reusable across training steps: buffers are reshaped in place rather
+/// than reallocated.
+#[derive(Debug, Clone, Default)]
 pub struct LstmSeqCache {
     steps: Vec<StepCache>,
+    /// Scratch for `h_prev * Wh` (`B x 4H`).
+    zh: Matrix,
+    /// Running cell state (`B x H`).
+    c: Matrix,
+}
+
+impl LstmSeqCache {
+    /// Shapes every buffer for a `t_len`-step sequence.
+    fn ensure(&mut self, t_len: usize, batch: usize, input: usize, hidden: usize) {
+        self.steps.truncate(t_len);
+        self.steps.resize_with(t_len, StepCache::default);
+        for step in &mut self.steps {
+            step.x.reset(batch, input);
+            step.h_prev.reset(batch, hidden);
+            step.c_prev.reset(batch, hidden);
+            step.gates.reset(batch, 4 * hidden);
+            step.tanh_c.reset(batch, hidden);
+        }
+        self.zh.reset(batch, 4 * hidden);
+        self.c.reset(batch, hidden);
+    }
 }
 
 /// Parameter gradients in the same order as [`LstmLayer::params`]:
@@ -60,6 +84,18 @@ pub struct LstmGrads {
     pub dwh: Matrix,
     /// Gradient w.r.t. the bias row.
     pub db: Matrix,
+}
+
+/// Mutable references to one layer's gradient accumulators inside a
+/// larger gradient set (same order as [`LstmLayer::params`]).
+#[derive(Debug)]
+pub struct LstmGradRefs<'a> {
+    /// Accumulator for `dL/dWx`.
+    pub dwx: &'a mut Matrix,
+    /// Accumulator for `dL/dWh`.
+    pub dwh: &'a mut Matrix,
+    /// Accumulator for `dL/db`.
+    pub db: &'a mut Matrix,
 }
 
 /// Recurrent state `(h, c)` carried between steps during streaming
@@ -162,23 +198,71 @@ impl LstmLayer {
     /// `xs[t]` is the `B x I` input at step `t`; returns the hidden state
     /// at every step plus the cache for [`LstmLayer::backward_seq`].
     pub fn forward_seq(&self, xs: &[Matrix]) -> (Vec<Matrix>, LstmSeqCache) {
+        let mut outs = Vec::new();
+        let mut cache = LstmSeqCache::default();
+        let mut ws = Workspace::new();
+        self.forward_seq_into(xs, &mut outs, &mut cache, &mut ws);
+        (outs, cache)
+    }
+
+    /// Allocation-free sequence forward pass: writes `h_t` for every step
+    /// into `outs` and fills the reusable `cache` for
+    /// [`LstmLayer::backward_seq_into`].
+    pub fn forward_seq_into(
+        &self,
+        xs: &[Matrix],
+        outs: &mut Vec<Matrix>,
+        cache: &mut LstmSeqCache,
+        ws: &mut Workspace,
+    ) {
         assert!(!xs.is_empty(), "forward_seq: empty sequence");
         let batch = xs[0].rows();
         let hd = self.hidden;
-        let mut h = Matrix::zeros(batch, hd);
-        let mut c = Matrix::zeros(batch, hd);
-        let mut hs = Vec::with_capacity(xs.len());
-        let mut steps = Vec::with_capacity(xs.len());
-        for x in xs {
-            let h_prev = h;
-            let c_prev = c;
-            let (h_new, c_new, gates, tanh_c) = self.step(x, &h_prev, &c_prev);
-            steps.push(StepCache { x: x.clone(), h_prev, c_prev, gates, tanh_c });
-            hs.push(h_new.clone());
-            h = h_new;
-            c = c_new;
+        ws.ensure_seq(outs, xs.len(), batch, hd);
+        cache.ensure(xs.len(), batch, self.input_dim(), hd);
+        let LstmSeqCache { steps, zh, c } = cache;
+        for (t, x) in xs.iter().enumerate() {
+            assert_eq!(x.cols(), self.input_dim(), "LstmLayer: input width mismatch");
+            assert_eq!(x.rows(), batch, "LstmLayer: ragged batch");
+            let (done, rest) = outs.split_at_mut(t);
+            let out = &mut rest[0];
+            let StepCache { x: sx, h_prev, c_prev, gates, tanh_c } = &mut steps[t];
+            sx.copy_from(x);
+            if t == 0 {
+                h_prev.fill_zero();
+                c_prev.fill_zero();
+            } else {
+                h_prev.copy_from(&done[t - 1]);
+                c_prev.copy_from(c);
+            }
+
+            x.matmul_into(&self.wx, gates);
+            h_prev.matmul_into(&self.wh, zh);
+            gates.add_assign(zh);
+            gates.add_row_broadcast(self.b.row(0));
+
+            // Activate the gates in place: [i f g o].
+            for r in 0..batch {
+                let row = gates.row_mut(r);
+                for k in 0..hd {
+                    row[k] = sigmoid(row[k]); // i
+                    row[hd + k] = sigmoid(row[hd + k]); // f
+                    row[2 * hd + k] = row[2 * hd + k].tanh(); // g
+                    row[3 * hd + k] = sigmoid(row[3 * hd + k]); // o
+                }
+            }
+
+            for r in 0..batch {
+                let g_row = gates.row(r);
+                for k in 0..hd {
+                    let ct = g_row[hd + k] * c_prev.get(r, k) + g_row[k] * g_row[2 * hd + k];
+                    let tc = ct.tanh();
+                    c.set(r, k, ct);
+                    tanh_c.set(r, k, tc);
+                    out.set(r, k, g_row[3 * hd + k] * tc);
+                }
+            }
         }
-        (hs, LstmSeqCache { steps })
     }
 
     /// Back-propagation through time.
@@ -187,28 +271,66 @@ impl LstmLayer {
     /// for steps that do not feed the loss). Returns `dL/dx_t` for every
     /// step and the accumulated parameter gradients.
     pub fn backward_seq(&self, cache: &LstmSeqCache, d_hs: &[Matrix]) -> (Vec<Matrix>, LstmGrads) {
-        assert_eq!(d_hs.len(), cache.steps.len(), "backward_seq: length mismatch");
-        let t_len = cache.steps.len();
-        let batch = cache.steps[0].x.rows();
         let hd = self.hidden;
-
         let mut dwx = Matrix::zeros(self.wx.rows(), self.wx.cols());
         let mut dwh = Matrix::zeros(self.wh.rows(), self.wh.cols());
         let mut db = Matrix::zeros(1, 4 * hd);
-        let mut dxs = vec![Matrix::zeros(0, 0); t_len];
+        let mut dxs = Vec::new();
+        let mut ws = Workspace::new();
+        self.backward_seq_into(
+            cache,
+            d_hs,
+            &mut dxs,
+            LstmGradRefs { dwx: &mut dwx, dwh: &mut dwh, db: &mut db },
+            &mut ws,
+        );
+        (dxs, LstmGrads { dwx, dwh, db })
+    }
 
-        let mut dh_next = Matrix::zeros(batch, hd);
-        let mut dc_next = Matrix::zeros(batch, hd);
+    /// Allocation-free BPTT: writes `dL/dx_t` into `dxs` and *accumulates*
+    /// the parameter gradients into `grads` (callers zero them once per
+    /// batch). Scratch buffers are borrowed from `ws`.
+    pub fn backward_seq_into(
+        &self,
+        cache: &LstmSeqCache,
+        d_hs: &[Matrix],
+        dxs: &mut Vec<Matrix>,
+        grads: LstmGradRefs<'_>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(d_hs.len(), cache.steps.len(), "backward_seq: length mismatch");
+        assert_eq!(grads.dwx.shape(), self.wx.shape(), "backward_seq: dwx shape mismatch");
+        assert_eq!(grads.dwh.shape(), self.wh.shape(), "backward_seq: dwh shape mismatch");
+        assert_eq!(grads.db.shape(), self.b.shape(), "backward_seq: db shape mismatch");
+        let t_len = cache.steps.len();
+        let batch = cache.steps[0].x.rows();
+        let hd = self.hidden;
+        let input = self.input_dim();
+
+        ws.ensure_seq(dxs, t_len, batch, input);
+        let mut dh = ws.take(batch, hd);
+        let mut dz = ws.take(batch, 4 * hd);
+        let mut dc_prev = ws.take(batch, hd);
+        let mut dh_next = ws.take_zeroed(batch, hd);
+        let mut dc_next = ws.take_zeroed(batch, hd);
+        let mut tmp_wx = ws.take(input, 4 * hd);
+        let mut tmp_wh = ws.take(hd, 4 * hd);
+        let mut tmp_db = ws.take(1, 4 * hd);
+        // Transpose the weights once so the per-step input/hidden
+        // gradients become plain matmuls over contiguous rows.
+        let mut wx_t = ws.take(4 * hd, input);
+        let mut wh_t = ws.take(4 * hd, hd);
+        self.wx.transpose_into(&mut wx_t);
+        self.wh.transpose_into(&mut wh_t);
 
         for t in (0..t_len).rev() {
             let step = &cache.steps[t];
             // Total gradient reaching h_t.
-            let mut dh = d_hs[t].clone();
+            dh.copy_from(&d_hs[t]);
             dh.add_assign(&dh_next);
 
             // Per-element gate gradients -> pre-activation gradients dz.
-            let mut dz = Matrix::zeros(batch, 4 * hd);
-            let mut dc_prev = Matrix::zeros(batch, hd);
+            // Every element of dz and dc_prev is overwritten each step.
             for r in 0..batch {
                 let gates = step.gates.row(r);
                 for k in 0..hd {
@@ -236,16 +358,21 @@ impl LstmLayer {
                 }
             }
 
-            dwx.add_assign(&step.x.matmul_tn(&dz));
-            dwh.add_assign(&step.h_prev.matmul_tn(&dz));
-            db.add_assign(&Matrix::from_vec(1, 4 * hd, dz.sum_rows()));
+            step.x.matmul_tn_into(&dz, &mut tmp_wx);
+            grads.dwx.add_assign(&tmp_wx);
+            step.h_prev.matmul_tn_into(&dz, &mut tmp_wh);
+            grads.dwh.add_assign(&tmp_wh);
+            dz.sum_rows_into(&mut tmp_db);
+            grads.db.add_assign(&tmp_db);
 
-            dxs[t] = dz.matmul_nt(&self.wx);
-            dh_next = dz.matmul_nt(&self.wh);
-            dc_next = dc_prev;
+            dz.matmul_into(&wx_t, &mut dxs[t]);
+            dz.matmul_into(&wh_t, &mut dh_next);
+            mem::swap(&mut dc_next, &mut dc_prev);
         }
 
-        (dxs, LstmGrads { dwx, dwh, db })
+        for buf in [dh, dz, dc_prev, dh_next, dc_next, tmp_wx, tmp_wh, tmp_db, wx_t, wh_t] {
+            ws.recycle(buf);
+        }
     }
 }
 

@@ -5,16 +5,14 @@ use crate::checkpoint::{Checkpoint, CheckpointError, MatrixDump};
 use crate::dense::{Dense, DenseCache};
 use crate::embedding::Embedding;
 use crate::loss;
-use crate::lstm::{LstmLayer, LstmSeqCache};
+use crate::lstm::{LstmGradRefs, LstmLayer, LstmSeqCache};
 use crate::optimizer::Optimizer;
+use crate::trainer::{clip_and_apply, BatchLoss, GradientSet, DEFAULT_GRAD_CLIP};
 use crate::Activation;
 use crate::Trainable;
-use nfv_tensor::Matrix;
+use nfv_tensor::{Matrix, Workspace};
 use rand::Rng;
-
-/// Gradient-clipping bound applied to every parameter gradient before an
-/// optimizer step; standard practice for LSTM training.
-const GRAD_CLIP: f32 = 5.0;
+use std::mem;
 
 /// Hyper-parameters of [`SequenceModel`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,6 +57,7 @@ pub struct SequenceModel {
     lstms: Vec<LstmLayer>,
     head: Dense,
     frozen_bottom: usize,
+    scratch: SeqScratch,
 }
 
 /// One training/inference batch of fixed-length windows.
@@ -93,12 +92,42 @@ impl SeqBatch {
     }
 }
 
-struct ForwardCache {
-    step_ids: Vec<Vec<usize>>,
+/// A borrowed view of a window dataset: training/inference code selects
+/// samples by index, so batches are index lists instead of gathered
+/// copies. `targets` may be empty for inference-only use.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqView<'a> {
+    /// Template-id windows, one per sample.
+    pub ids: &'a [Vec<usize>],
+    /// Normalized gap features, parallel to `ids` (may be empty when the
+    /// model does not use the gap feature).
+    pub gaps: &'a [Vec<f32>],
+    /// Next-template target per sample (empty for inference).
+    pub targets: &'a [usize],
+}
+
+/// Reusable forward/backward buffers for [`SequenceModel`]. Shaped on
+/// first use and reshaped in place afterwards, so steady-state training
+/// steps allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SeqScratch {
+    ws: Workspace,
+    ids_t: Vec<usize>,
+    targets: Vec<usize>,
+    /// Per-step inputs (`B x (embed_dim + gap)`).
+    xs: Vec<Matrix>,
+    /// Ping-pong hidden-sequence buffers for the LSTM stack.
+    seq_a: Vec<Matrix>,
+    seq_b: Vec<Matrix>,
+    /// Ping-pong gradient-sequence buffers for BPTT.
+    d_a: Vec<Matrix>,
+    d_b: Vec<Matrix>,
     lstm_caches: Vec<LstmSeqCache>,
     head_cache: DenseCache,
-    batch: usize,
-    t_len: usize,
+    /// Holds probabilities after inference, `dL/dlogits` during training.
+    probs: Matrix,
+    demb_rows: Matrix,
+    dtable_tmp: Matrix,
 }
 
 impl SequenceModel {
@@ -114,7 +143,14 @@ impl SequenceModel {
             lstms.push(LstmLayer::new(input, cfg.hidden, rng));
         }
         let head = Dense::new(cfg.hidden, cfg.vocab, Activation::Identity, rng);
-        SequenceModel { cfg, embedding, lstms, head, frozen_bottom: 0 }
+        SequenceModel {
+            cfg,
+            embedding,
+            lstms,
+            head,
+            frozen_bottom: 0,
+            scratch: SeqScratch::default(),
+        }
     }
 
     /// The model's configuration.
@@ -144,73 +180,193 @@ impl SequenceModel {
         self.frozen_bottom
     }
 
-    fn check_batch(&self, batch: &SeqBatch) {
-        assert!(!batch.is_empty(), "SequenceModel: empty batch");
-        let t_len = batch.window();
+    /// Validates the samples selected by `indices` and returns the shared
+    /// window length.
+    fn check_view(&self, view: &SeqView<'_>, indices: &[usize]) -> usize {
+        assert!(!indices.is_empty(), "SequenceModel: empty batch");
+        let t_len = view.ids[indices[0]].len();
         assert!(t_len > 0, "SequenceModel: zero-length windows");
-        for w in &batch.ids {
-            assert_eq!(w.len(), t_len, "SequenceModel: ragged windows");
+        for &i in indices {
+            assert_eq!(view.ids[i].len(), t_len, "SequenceModel: ragged windows");
         }
         if self.cfg.use_gap_feature {
-            assert_eq!(batch.gaps.len(), batch.ids.len(), "SequenceModel: gaps required");
-            for g in &batch.gaps {
-                assert_eq!(g.len(), t_len, "SequenceModel: ragged gap rows");
+            assert_eq!(view.gaps.len(), view.ids.len(), "SequenceModel: gaps required");
+            for &i in indices {
+                assert_eq!(view.gaps[i].len(), t_len, "SequenceModel: ragged gap rows");
             }
+        }
+        t_len
+    }
+
+    /// Allocation-free forward pass over the selected samples; the logits
+    /// end up in `s.head_cache.output()`.
+    fn forward_scratch(&self, view: &SeqView<'_>, indices: &[usize], s: &mut SeqScratch) {
+        let t_len = self.check_view(view, indices);
+        let b = indices.len();
+        let in0 = self.cfg.embed_dim + usize::from(self.cfg.use_gap_feature);
+        let SeqScratch { ws, ids_t, xs, seq_a, seq_b, lstm_caches, head_cache, .. } = s;
+
+        // Per-step inputs: embed the t-th id of every sample, then fill
+        // the gap column when configured.
+        ws.ensure_seq(xs, t_len, b, in0);
+        for (t, x) in xs.iter_mut().enumerate() {
+            ids_t.clear();
+            ids_t.extend(indices.iter().map(|&i| view.ids[i][t]));
+            self.embedding.forward_into(ids_t, x);
+            if self.cfg.use_gap_feature {
+                for (r, &i) in indices.iter().enumerate() {
+                    x.set(r, in0 - 1, view.gaps[i][t]);
+                }
+            }
+        }
+
+        let n = self.lstms.len();
+        if lstm_caches.len() != n {
+            lstm_caches.truncate(n);
+            lstm_caches.resize_with(n, LstmSeqCache::default);
+        }
+        // Ping-pong the hidden sequences through the stack: xs -> a -> b
+        // -> a -> ...
+        for (l, lstm) in self.lstms.iter().enumerate() {
+            if l == 0 {
+                lstm.forward_seq_into(xs, seq_a, &mut lstm_caches[0], ws);
+            } else if l % 2 == 1 {
+                lstm.forward_seq_into(seq_a, seq_b, &mut lstm_caches[l], ws);
+            } else {
+                lstm.forward_seq_into(seq_b, seq_a, &mut lstm_caches[l], ws);
+            }
+        }
+        let top = if n % 2 == 1 { seq_a } else { seq_b };
+        let last_h = top.last().expect("non-empty sequence");
+        self.head.forward_into(last_h, head_cache);
+    }
+
+    /// Allocation-free backward pass. Expects `s.probs` to hold
+    /// `dL/dlogits` and accumulates parameter gradients into `grads`.
+    fn backward_scratch(
+        &self,
+        view: &SeqView<'_>,
+        indices: &[usize],
+        s: &mut SeqScratch,
+        grads: &mut GradientSet,
+    ) {
+        let t_len = view.ids[indices[0]].len();
+        let b = indices.len();
+        let n = self.lstms.len();
+        let slots = grads.slots_mut();
+        let SeqScratch {
+            ws,
+            ids_t,
+            d_a,
+            d_b,
+            lstm_caches,
+            head_cache,
+            probs,
+            demb_rows,
+            dtable_tmp,
+            ..
+        } = s;
+
+        // Head backward; only the last step feeds the loss, so every
+        // other step's incoming gradient is zero.
+        ws.ensure_seq(d_a, t_len, b, self.cfg.hidden);
+        for m in d_a.iter_mut().take(t_len - 1) {
+            m.fill_zero();
+        }
+        let head_base = 1 + 3 * n;
+        {
+            let [dw, db] = &mut slots[head_base..head_base + 2] else { unreachable!() };
+            self.head.backward_into(head_cache, probs, &mut d_a[t_len - 1], dw, db, ws);
+        }
+
+        // BPTT down the LSTM stack, ping-ponging the per-step gradients.
+        for l in (0..n).rev() {
+            let base = 1 + 3 * l;
+            let [dwx, dwh, db] = &mut slots[base..base + 3] else { unreachable!() };
+            let refs = LstmGradRefs { dwx, dwh, db };
+            if (n - 1 - l).is_multiple_of(2) {
+                self.lstms[l].backward_seq_into(&lstm_caches[l], d_a, d_b, refs, ws);
+            } else {
+                self.lstms[l].backward_seq_into(&lstm_caches[l], d_b, d_a, refs, ws);
+            }
+        }
+        let d_bottom: &[Matrix] = if n % 2 == 1 { d_b } else { d_a };
+
+        // Embedding backward: strip the gap column when present.
+        let ed = self.cfg.embed_dim;
+        for (t, dx) in d_bottom.iter().enumerate() {
+            ids_t.clear();
+            ids_t.extend(indices.iter().map(|&i| view.ids[i][t]));
+            demb_rows.reset(b, ed);
+            for r in 0..b {
+                demb_rows.row_mut(r).copy_from_slice(&dx.row(r)[..ed]);
+            }
+            dtable_tmp.reset(self.cfg.vocab, ed);
+            dtable_tmp.fill_zero();
+            dtable_tmp.scatter_add_rows(ids_t, demb_rows);
+            slots[0].add_assign(dtable_tmp);
         }
     }
 
-    fn forward_cached(&self, batch: &SeqBatch) -> (Matrix, ForwardCache) {
-        self.check_batch(batch);
-        let b = batch.len();
-        let t_len = batch.window();
-
-        // Per-step inputs: embed the t-th id of every sample, then append
-        // the gap column when configured.
-        let mut xs: Vec<Matrix> = Vec::with_capacity(t_len);
-        let mut step_ids: Vec<Vec<usize>> = Vec::with_capacity(t_len);
-        for t in 0..t_len {
-            let ids_t: Vec<usize> = batch.ids.iter().map(|w| w[t]).collect();
-            let emb = self.embedding.forward(&ids_t);
-            let x = if self.cfg.use_gap_feature {
-                let gap_col = Matrix::from_vec(b, 1, batch.gaps.iter().map(|g| g[t]).collect());
-                Matrix::hstack(&[&emb, &gap_col])
-            } else {
-                emb
-            };
-            xs.push(x);
-            step_ids.push(ids_t);
+    /// Forward + loss + backward for one batch, using caller-provided
+    /// scratch (so `&self` stays shared while the model's own scratch is
+    /// temporarily moved out).
+    fn seq_grads_impl(
+        &self,
+        view: &SeqView<'_>,
+        indices: &[usize],
+        s: &mut SeqScratch,
+        grads: &mut GradientSet,
+    ) -> f32 {
+        self.forward_scratch(view, indices, s);
+        s.targets.clear();
+        for &i in indices {
+            s.targets.push(view.targets[i]);
         }
+        let loss_value =
+            loss::softmax_cross_entropy_into(s.head_cache.output(), &s.targets, &mut s.probs);
+        self.backward_scratch(view, indices, s, grads);
+        loss_value
+    }
 
-        let mut lstm_caches = Vec::with_capacity(self.lstms.len());
-        let mut hs = xs;
-        for lstm in &self.lstms {
-            let (out, cache) = lstm.forward_seq(&hs);
-            lstm_caches.push(cache);
-            hs = out;
-        }
-
-        let last_h = hs.pop().expect("non-empty sequence");
-        let (logits, head_cache) = self.head.forward(&last_h);
-        (logits, ForwardCache { step_ids, lstm_caches, head_cache, batch: b, t_len })
+    /// Probability distribution over the next template for each selected
+    /// window (`indices.len() x vocab`), written into `scratch` and
+    /// returned by reference — zero allocation in steady state.
+    pub fn predict_probs_view<'s>(
+        &self,
+        view: &SeqView<'_>,
+        indices: &[usize],
+        scratch: &'s mut SeqScratch,
+    ) -> &'s Matrix {
+        self.forward_scratch(view, indices, scratch);
+        scratch.probs.copy_from(scratch.head_cache.output());
+        scratch.probs.softmax_rows_inplace();
+        &scratch.probs
     }
 
     /// Probability distribution over the next template for each window
     /// (`B x vocab`).
     pub fn predict_probs(&self, batch: &SeqBatch) -> Matrix {
-        let (logits, _) = self.forward_cached(batch);
-        loss::softmax_probs(&logits)
+        let mut scratch = SeqScratch::default();
+        let view = SeqView { ids: &batch.ids, gaps: &batch.gaps, targets: &[] };
+        let indices: Vec<usize> = (0..batch.len()).collect();
+        self.predict_probs_view(&view, &indices, &mut scratch).clone()
     }
 
     /// Mean cross-entropy of the batch without updating any weights.
     pub fn evaluate_loss(&self, batch: &SeqBatch, targets: &[usize]) -> f32 {
-        let (logits, _) = self.forward_cached(batch);
-        loss::softmax_cross_entropy(&logits, targets).0
+        let mut scratch = SeqScratch::default();
+        let view = SeqView { ids: &batch.ids, gaps: &batch.gaps, targets };
+        let indices: Vec<usize> = (0..batch.len()).collect();
+        self.forward_scratch(&view, &indices, &mut scratch);
+        loss::softmax_cross_entropy(scratch.head_cache.output(), targets).0
     }
 
     /// One optimizer step on a mini-batch; returns the pre-update loss.
     ///
-    /// The optimizer must have been built for this model's parameter
-    /// layout (see [`SequenceModel::param_shapes`]).
+    /// Thin compatibility wrapper over the [`BatchLoss`] path used by
+    /// `Trainer`; the optimizer must have been built for this model's
+    /// parameter layout (see [`SequenceModel::param_shapes`]).
     pub fn train_step(
         &mut self,
         batch: &SeqBatch,
@@ -218,65 +374,12 @@ impl SequenceModel {
         optimizer: &mut dyn Optimizer,
     ) -> f32 {
         assert_eq!(targets.len(), batch.len(), "train_step: target count mismatch");
-        let (logits, cache) = self.forward_cached(batch);
-        let (loss_value, dlogits) = loss::softmax_cross_entropy(&logits, targets);
-
-        // Head backward.
-        let (dh_last, head_grads) = self.head.backward(&cache.head_cache, &dlogits);
-
-        // BPTT down the LSTM stack: only the last step feeds the loss.
-        let mut d_hs: Vec<Matrix> =
-            (0..cache.t_len).map(|_| Matrix::zeros(cache.batch, self.cfg.hidden)).collect();
-        *d_hs.last_mut().expect("non-empty") = dh_last;
-
-        let mut lstm_grads = Vec::with_capacity(self.lstms.len());
-        for (lstm, lcache) in self.lstms.iter().zip(cache.lstm_caches.iter()).rev() {
-            let (dxs, grads) = lstm.backward_seq(lcache, &d_hs);
-            lstm_grads.push(grads);
-            d_hs = dxs;
-        }
-        lstm_grads.reverse();
-
-        // Embedding backward: strip the gap column when present.
-        let mut demb_table = Matrix::zeros(self.cfg.vocab, self.cfg.embed_dim);
-        for (t, dx) in d_hs.iter().enumerate() {
-            let demb_rows = if self.cfg.use_gap_feature {
-                let mut m = Matrix::zeros(cache.batch, self.cfg.embed_dim);
-                for r in 0..cache.batch {
-                    m.row_mut(r).copy_from_slice(&dx.row(r)[..self.cfg.embed_dim]);
-                }
-                m
-            } else {
-                dx.clone()
-            };
-            let g = self.embedding.backward(&cache.step_ids[t], &demb_rows);
-            demb_table.add_assign(&g.dtable);
-        }
-
-        // Assemble gradients in parameter order, clip, mask frozen
-        // components, and step.
-        let mut grads_owned: Vec<Matrix> = Vec::new();
-        grads_owned.push(demb_table);
-        for g in &lstm_grads {
-            grads_owned.push(g.dwx.clone());
-            grads_owned.push(g.dwh.clone());
-            grads_owned.push(g.db.clone());
-        }
-        grads_owned.push(head_grads.dw);
-        grads_owned.push(head_grads.db);
-        for g in &mut grads_owned {
-            g.clip_inplace(GRAD_CLIP);
-        }
-
-        let frozen_params = self.frozen_param_count();
-        let grad_refs: Vec<Option<&Matrix>> = grads_owned
-            .iter()
-            .enumerate()
-            .map(|(i, g)| if i < frozen_params { None } else { Some(g) })
-            .collect();
-        let mut params = self.params_mut();
-        optimizer.step(&mut params, &grad_refs);
-
+        let mut grads = GradientSet::new(&self.param_shapes());
+        let view = SeqView { ids: &batch.ids, gaps: &batch.gaps, targets };
+        let indices: Vec<usize> = (0..batch.len()).collect();
+        let loss_value = self.batch_gradients(&view, &indices, &mut grads);
+        let frozen = self.frozen_param_count();
+        clip_and_apply(self, &mut grads, frozen, DEFAULT_GRAD_CLIP, optimizer);
         loss_value
     }
 
@@ -374,10 +477,53 @@ impl Trainable for SequenceModel {
     }
 }
 
+impl<'a> BatchLoss<SeqView<'a>> for SequenceModel {
+    fn batch_gradients(
+        &mut self,
+        data: &SeqView<'a>,
+        indices: &[usize],
+        grads: &mut GradientSet,
+    ) -> f32 {
+        // Move the scratch out so the forward/backward helpers can borrow
+        // `self` immutably alongside it.
+        let mut s = mem::take(&mut self.scratch);
+        let loss_value = self.seq_grads_impl(data, indices, &mut s, grads);
+        self.scratch = s;
+        loss_value
+    }
+
+    fn frozen_params(&self) -> usize {
+        self.frozen_param_count()
+    }
+}
+
 /// A plain multi-layer perceptron (chain of [`Dense`] layers).
 #[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Dense>,
+    scratch: MlpScratch,
+}
+
+/// Reusable forward/backward buffers for [`Mlp`].
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    ws: Workspace,
+    caches: Vec<DenseCache>,
+    /// Ping-pong buffers for the layer-gradient chain.
+    d_a: Matrix,
+    d_b: Matrix,
+    x: Matrix,
+    target: Matrix,
+}
+
+/// A borrowed row-major dataset for MSE training: `x[i]` reconstructs to
+/// `target[i]` (for an autoencoder both slices are the same).
+#[derive(Debug, Clone, Copy)]
+pub struct MseRows<'a> {
+    /// Input rows.
+    pub x: &'a [Vec<f32>],
+    /// Target rows, parallel to `x`.
+    pub target: &'a [Vec<f32>],
 }
 
 impl Mlp {
@@ -397,7 +543,7 @@ impl Mlp {
             let act = if w == widths.len() - 2 { output_activation } else { hidden_activation };
             layers.push(Dense::new(widths[w], widths[w + 1], act, rng));
         }
-        Mlp { layers }
+        Mlp { layers, scratch: MlpScratch::default() }
     }
 
     /// Input width.
@@ -419,40 +565,50 @@ impl Mlp {
         h
     }
 
+    /// Forward + MSE loss + backward for the inputs already staged in
+    /// `s.x`/`s.target`, accumulating parameter gradients into `grads`.
+    fn mse_gradients(&self, s: &mut MlpScratch, grads: &mut GradientSet) -> f32 {
+        let n = self.layers.len();
+        let MlpScratch { ws, caches, d_a, d_b, x, target } = s;
+        if caches.len() != n {
+            caches.truncate(n);
+            caches.resize_with(n, DenseCache::default);
+        }
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (done, rest) = caches.split_at_mut(l);
+            let input: &Matrix = if l == 0 { x } else { done[l - 1].output() };
+            layer.forward_into(input, &mut rest[0]);
+        }
+        let loss_value = loss::mse_into(caches[n - 1].output(), target, d_a);
+        let slots = grads.slots_mut();
+        for l in (0..n).rev() {
+            let [dw, db] = &mut slots[2 * l..2 * l + 2] else { unreachable!() };
+            if (n - 1 - l).is_multiple_of(2) {
+                self.layers[l].backward_into(&caches[l], d_a, d_b, dw, db, ws);
+            } else {
+                self.layers[l].backward_into(&caches[l], d_b, d_a, dw, db, ws);
+            }
+        }
+        loss_value
+    }
+
     /// One MSE training step towards `target`; returns the pre-update loss.
+    ///
+    /// Thin compatibility wrapper over the [`BatchLoss`] path used by
+    /// `Trainer`.
     pub fn train_step_mse(
         &mut self,
         x: &Matrix,
         target: &Matrix,
         optimizer: &mut dyn Optimizer,
     ) -> f32 {
-        let mut caches = Vec::with_capacity(self.layers.len());
-        let mut h = x.clone();
-        for layer in &self.layers {
-            let (out, cache) = layer.forward(&h);
-            caches.push(cache);
-            h = out;
-        }
-        let (loss_value, mut d) = loss::mse(&h, target);
-        let mut grads_rev = Vec::with_capacity(self.layers.len());
-        for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
-            let (dx, g) = layer.backward(cache, &d);
-            grads_rev.push(g);
-            d = dx;
-        }
-        grads_rev.reverse();
-        let mut grads_owned: Vec<Matrix> = Vec::new();
-        for g in grads_rev {
-            let mut dw = g.dw;
-            let mut db = g.db;
-            dw.clip_inplace(GRAD_CLIP);
-            db.clip_inplace(GRAD_CLIP);
-            grads_owned.push(dw);
-            grads_owned.push(db);
-        }
-        let grad_refs: Vec<Option<&Matrix>> = grads_owned.iter().map(Some).collect();
-        let mut params = self.params_mut();
-        optimizer.step(&mut params, &grad_refs);
+        let mut grads = GradientSet::new(&Trainable::param_shapes(self));
+        let mut s = mem::take(&mut self.scratch);
+        s.x.copy_from(x);
+        s.target.copy_from(target);
+        let loss_value = self.mse_gradients(&mut s, &mut grads);
+        self.scratch = s;
+        clip_and_apply(self, &mut grads, 0, DEFAULT_GRAD_CLIP, optimizer);
         loss_value
     }
 
@@ -518,7 +674,7 @@ impl Mlp {
             };
             layers.push(Dense::new(in_dim, out_dim, act, &mut rng));
         }
-        let mut mlp = Mlp { layers };
+        let mut mlp = Mlp { layers, scratch: MlpScratch::default() };
         restore_params(&mut mlp, ckpt)?;
         Ok(mlp)
     }
@@ -563,6 +719,26 @@ impl Trainable for Mlp {
 
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+impl<'a> BatchLoss<MseRows<'a>> for Mlp {
+    fn batch_gradients(
+        &mut self,
+        data: &MseRows<'a>,
+        indices: &[usize],
+        grads: &mut GradientSet,
+    ) -> f32 {
+        let mut s = mem::take(&mut self.scratch);
+        s.x.reset(indices.len(), self.in_dim());
+        s.target.reset(indices.len(), self.out_dim());
+        for (r, &i) in indices.iter().enumerate() {
+            s.x.row_mut(r).copy_from_slice(&data.x[i]);
+            s.target.row_mut(r).copy_from_slice(&data.target[i]);
+        }
+        let loss_value = self.mse_gradients(&mut s, grads);
+        self.scratch = s;
+        loss_value
     }
 }
 

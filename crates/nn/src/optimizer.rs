@@ -7,6 +7,12 @@
 
 use nfv_tensor::Matrix;
 
+/// Extracts the shape layout of a parameter list (shared by the
+/// `for_params` convenience constructors).
+pub fn shapes_of(params: &[&Matrix]) -> Vec<(usize, usize)> {
+    params.iter().map(|p| p.shape()).collect()
+}
+
 /// A first-order gradient-descent optimizer.
 pub trait Optimizer {
     /// Applies one update. `params[i]` and `grads[i]` must have identical
@@ -41,8 +47,7 @@ impl Sgd {
 
     /// Convenience constructor taking the parameter list directly.
     pub fn for_params(lr: f32, momentum: f32, params: &[&Matrix]) -> Self {
-        let shapes: Vec<_> = params.iter().map(|p| p.shape()).collect();
-        Sgd::new(lr, momentum, &shapes)
+        Sgd::new(lr, momentum, &shapes_of(params))
     }
 }
 
@@ -50,9 +55,18 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Matrix], grads: &[Option<&Matrix>]) {
         assert_eq!(params.len(), self.velocity.len(), "Sgd: layout mismatch");
         assert_eq!(params.len(), grads.len(), "Sgd: grads length mismatch");
-        for ((p, g), v) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+        for (i, ((p, g), v)) in
+            params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()).enumerate()
+        {
             let Some(g) = g else { continue };
-            assert_eq!(p.shape(), g.shape(), "Sgd: param/grad shape mismatch");
+            assert_eq!(
+                p.shape(),
+                g.shape(),
+                "Sgd: param {} shape {:?} does not match grad shape {:?}",
+                i,
+                p.shape(),
+                g.shape()
+            );
             if self.momentum > 0.0 {
                 v.scale(self.momentum);
                 v.scaled_add_assign(-self.lr, g);
@@ -74,13 +88,18 @@ impl Optimizer for Sgd {
 }
 
 /// Adam (Kingma & Ba 2015) with bias correction.
+///
+/// The step counter is tracked *per parameter*: a frozen parameter
+/// (fed a `None` gradient) keeps both its moment estimates and its
+/// bias-correction clock untouched, so unfreezing it later behaves like
+/// a fresh warm start instead of resuming a stale, over-corrected state.
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
     beta1: f32,
     beta2: f32,
     eps: f32,
-    t: u64,
+    t: Vec<u64>,
     m: Vec<Matrix>,
     v: Vec<Matrix>,
 }
@@ -100,7 +119,7 @@ impl Adam {
             beta1,
             beta2,
             eps: 1e-8,
-            t: 0,
+            t: vec![0; shapes.len()],
             m: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect(),
             v: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect(),
         }
@@ -108,13 +127,12 @@ impl Adam {
 
     /// Convenience constructor taking the parameter list directly.
     pub fn for_params(lr: f32, params: &[&Matrix]) -> Self {
-        let shapes: Vec<_> = params.iter().map(|p| p.shape()).collect();
-        Adam::new(lr, &shapes)
+        Adam::new(lr, &shapes_of(params))
     }
 
-    /// Number of steps applied so far.
+    /// Number of steps applied so far (to the most-updated parameter).
     pub fn steps(&self) -> u64 {
-        self.t
+        self.t.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -122,12 +140,19 @@ impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Matrix], grads: &[Option<&Matrix>]) {
         assert_eq!(params.len(), self.m.len(), "Adam: layout mismatch");
         assert_eq!(params.len(), grads.len(), "Adam: grads length mismatch");
-        self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, (p, g)) in params.iter_mut().zip(grads.iter()).enumerate() {
             let Some(g) = g else { continue };
-            assert_eq!(p.shape(), g.shape(), "Adam: param/grad shape mismatch");
+            assert_eq!(
+                p.shape(),
+                g.shape(),
+                "Adam: param {} shape {:?} does not match grad shape {:?}",
+                i,
+                p.shape(),
+                g.shape()
+            );
+            self.t[i] += 1;
+            let bc1 = 1.0 - self.beta1.powi(self.t[i] as i32);
+            let bc2 = 1.0 - self.beta2.powi(self.t[i] as i32);
             let m = &mut self.m[i];
             let v = &mut self.v[i];
             for ((pk, &gk), (mk, vk)) in p
@@ -221,5 +246,38 @@ mod tests {
         let mut b = Matrix::zeros(1, 1);
         let g = Matrix::zeros(1, 1);
         opt.step(&mut [&mut a, &mut b], &[Some(&g), Some(&g)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "param 1 shape")]
+    fn shape_mismatch_reports_parameter_index() {
+        let mut opt = Adam::new(0.1, &[(1, 1), (2, 2)]);
+        let mut a = Matrix::zeros(1, 1);
+        let mut b = Matrix::zeros(2, 2);
+        let ga = Matrix::zeros(1, 1);
+        let gb = Matrix::zeros(2, 3); // wrong shape for param 1
+        opt.step(&mut [&mut a, &mut b], &[Some(&ga), Some(&gb)]);
+    }
+
+    #[test]
+    fn adam_does_not_advance_state_for_frozen_params() {
+        // Freeze param 0 for many steps, then unfreeze it: its very first
+        // real update must have first-step magnitude (~lr), proving the
+        // bias-correction clock and moments did not advance while frozen.
+        let mut opt = Adam::new(0.5, &[(1, 1), (1, 1)]);
+        let mut a = Matrix::filled(1, 1, 0.0);
+        let mut b = Matrix::filled(1, 1, 0.0);
+        let g = Matrix::filled(1, 1, 42.0);
+        for _ in 0..25 {
+            opt.step(&mut [&mut a, &mut b], &[None, Some(&g)]);
+        }
+        assert_eq!(a.get(0, 0), 0.0, "frozen parameter must stay bit-identical");
+        assert_eq!(opt.steps(), 25);
+        opt.step(&mut [&mut a, &mut b], &[Some(&g), Some(&g)]);
+        assert!(
+            (a.get(0, 0) + 0.5).abs() < 1e-3,
+            "first unfrozen update should be ~lr, got {}",
+            a.get(0, 0)
+        );
     }
 }

@@ -1,0 +1,403 @@
+//! The shared training loop: batching, shuffling, gradient clipping,
+//! frozen-parameter masking, LR scheduling, and a loss trace.
+//!
+//! Every model in the workspace trains through one code path. A model
+//! implements [`BatchLoss`] — "given these sample indices, accumulate
+//! batch gradients into this [`GradientSet`] and return the loss" — and
+//! [`Trainer`] owns everything around it: the optimizer, the epoch/batch
+//! loop, deterministic shuffling, clipping, masking of frozen parameters,
+//! and per-step/per-epoch loss traces. This replaces the near-identical
+//! loops that used to live in `lstm_detector.rs`, `baselines.rs`, and the
+//! `Mlp` autoencoder path.
+
+use crate::optimizer::Optimizer;
+use crate::Trainable;
+use nfv_tensor::Matrix;
+use rand::Rng;
+
+/// Default gradient-clipping limit (matches the pre-refactor constant
+/// used by `SequenceModel::train_step`).
+pub const DEFAULT_GRAD_CLIP: f32 = 5.0;
+
+/// Knobs for a [`Trainer`] run. The learning rate lives on the optimizer.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of passes over the index set per `fit` call.
+    pub epochs: usize,
+    /// Mini-batch size (clamped to at least 1).
+    pub batch_size: usize,
+    /// Per-element gradient clip applied before each optimizer step.
+    pub grad_clip: f32,
+    /// Multiplicative LR decay applied after each epoch (1.0 = constant).
+    pub lr_decay: f32,
+    /// Whether to reshuffle the index order each epoch.
+    pub shuffle: bool,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            epochs: 1,
+            batch_size: 64,
+            grad_clip: DEFAULT_GRAD_CLIP,
+            lr_decay: 1.0,
+            shuffle: true,
+        }
+    }
+}
+
+/// Typed training failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The batch loss went NaN/inf; training stopped before the optimizer
+    /// step so the model still holds the last finite parameters.
+    NonFiniteLoss {
+        /// Global step index (number of completed optimizer steps).
+        step: usize,
+        /// The offending loss value.
+        loss: f32,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NonFiniteLoss { step, loss } => {
+                write!(f, "non-finite loss {loss} at training step {step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A persistent set of gradient accumulators, one per model parameter,
+/// shaped once and zeroed (not reallocated) between steps.
+#[derive(Debug, Clone, Default)]
+pub struct GradientSet {
+    mats: Vec<Matrix>,
+}
+
+impl GradientSet {
+    /// Allocates one zeroed accumulator per parameter shape.
+    pub fn new(shapes: &[(usize, usize)]) -> GradientSet {
+        GradientSet { mats: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect() }
+    }
+
+    /// Number of parameter slots.
+    pub fn len(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// True when the set holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.mats.is_empty()
+    }
+
+    /// Zeroes every accumulator in place (no reallocation).
+    pub fn zero(&mut self) {
+        for m in &mut self.mats {
+            m.fill_zero();
+        }
+    }
+
+    /// Clips every accumulator elementwise to `[-limit, limit]`.
+    pub fn clip(&mut self, limit: f32) {
+        for m in &mut self.mats {
+            m.clip_inplace(limit);
+        }
+    }
+
+    /// Immutable view of one slot.
+    pub fn get(&self, i: usize) -> &Matrix {
+        &self.mats[i]
+    }
+
+    /// Mutable view of one slot.
+    pub fn get_mut(&mut self, i: usize) -> &mut Matrix {
+        &mut self.mats[i]
+    }
+
+    /// Mutable view of all slots (for backward passes that index into
+    /// disjoint slots via slice patterns).
+    pub fn slots_mut(&mut self) -> &mut [Matrix] {
+        &mut self.mats
+    }
+
+    /// Optimizer-ready gradient refs with the first `frozen` slots masked
+    /// out as `None` (those parameters receive no update).
+    pub fn masked_refs(&self, frozen: usize) -> Vec<Option<&Matrix>> {
+        self.mats.iter().enumerate().map(|(i, m)| if i < frozen { None } else { Some(m) }).collect()
+    }
+}
+
+/// A model that can compute batch gradients for some dataset type `D`.
+///
+/// `batch_gradients` must *accumulate* into `grads` (the trainer zeroes
+/// the set before each batch) and return the mean batch loss.
+pub trait BatchLoss<D: ?Sized>: Trainable {
+    /// Accumulates gradients for the samples at `indices` and returns the
+    /// mean loss over the batch.
+    fn batch_gradients(&mut self, data: &D, indices: &[usize], grads: &mut GradientSet) -> f32;
+
+    /// Number of leading parameters whose gradients are masked out
+    /// (frozen) during optimization. Defaults to none.
+    fn frozen_params(&self) -> usize {
+        0
+    }
+}
+
+/// Clips `grads`, masks the first `frozen` slots, and applies one
+/// optimizer step to `model`'s parameters.
+pub(crate) fn clip_and_apply<M: Trainable + ?Sized>(
+    model: &mut M,
+    grads: &mut GradientSet,
+    frozen: usize,
+    clip: f32,
+    opt: &mut dyn Optimizer,
+) {
+    grads.clip(clip);
+    let masked = grads.masked_refs(frozen);
+    let mut params = model.params_mut();
+    opt.step(&mut params, &masked);
+}
+
+/// In-place Fisher-Yates shuffle.
+///
+/// Deliberately identical to `nfv_ml::sampling::shuffle` (same swap
+/// sequence per rng draw) so detectors that migrated from the old
+/// hand-rolled epoch loops see an unchanged rng stream and reproduce
+/// their pre-refactor trajectories bit-for-bit.
+fn shuffle_indices(items: &mut [usize], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Owns the optimizer and drives the epoch/batch loop for any
+/// [`BatchLoss`] model.
+#[derive(Debug)]
+pub struct Trainer<O: Optimizer> {
+    cfg: TrainerConfig,
+    opt: O,
+    grads: GradientSet,
+    step_losses: Vec<f32>,
+    epoch_losses: Vec<f32>,
+}
+
+impl<O: Optimizer> Trainer<O> {
+    /// Builds a trainer for a model with the given parameter shapes.
+    pub fn new(cfg: TrainerConfig, opt: O, shapes: &[(usize, usize)]) -> Trainer<O> {
+        Trainer {
+            cfg,
+            opt,
+            grads: GradientSet::new(shapes),
+            step_losses: Vec::new(),
+            epoch_losses: Vec::new(),
+        }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Borrow of the owned optimizer.
+    pub fn optimizer(&self) -> &O {
+        &self.opt
+    }
+
+    /// Mutable borrow of the owned optimizer (e.g. to retune the LR).
+    pub fn optimizer_mut(&mut self) -> &mut O {
+        &mut self.opt
+    }
+
+    /// Loss of every completed optimizer step, in order.
+    pub fn step_losses(&self) -> &[f32] {
+        &self.step_losses
+    }
+
+    /// Mean loss of every completed epoch, in order.
+    pub fn epoch_losses(&self) -> &[f32] {
+        &self.epoch_losses
+    }
+
+    /// Runs one optimizer step on the samples at `indices`.
+    ///
+    /// Returns the batch loss, or [`TrainError::NonFiniteLoss`] *before*
+    /// touching the parameters when the loss is NaN/inf.
+    pub fn train_batch<D: ?Sized, M: BatchLoss<D>>(
+        &mut self,
+        model: &mut M,
+        data: &D,
+        indices: &[usize],
+    ) -> Result<f32, TrainError> {
+        self.grads.zero();
+        let loss = model.batch_gradients(data, indices, &mut self.grads);
+        if !loss.is_finite() {
+            return Err(TrainError::NonFiniteLoss { step: self.step_losses.len(), loss });
+        }
+        let frozen = model.frozen_params();
+        clip_and_apply(model, &mut self.grads, frozen, self.cfg.grad_clip, &mut self.opt);
+        self.step_losses.push(loss);
+        Ok(loss)
+    }
+
+    /// Trains on all samples `0..n`, shuffling each epoch. Returns the
+    /// mean loss of the final epoch.
+    pub fn fit<D: ?Sized, M: BatchLoss<D>>(
+        &mut self,
+        model: &mut M,
+        data: &D,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Result<f32, TrainError> {
+        let indices: Vec<usize> = (0..n).collect();
+        self.fit_indices(model, data, &indices, rng)
+    }
+
+    /// Trains on an explicit index set (e.g. an oversampled mix).
+    /// Returns the mean loss of the final epoch.
+    pub fn fit_indices<D: ?Sized, M: BatchLoss<D>>(
+        &mut self,
+        model: &mut M,
+        data: &D,
+        indices: &[usize],
+        rng: &mut impl Rng,
+    ) -> Result<f32, TrainError> {
+        if indices.is_empty() {
+            return Ok(0.0);
+        }
+        let mut order = indices.to_vec();
+        let batch = self.cfg.batch_size.max(1);
+        let mut last_epoch_mean = 0.0;
+        for _epoch in 0..self.cfg.epochs {
+            if self.cfg.shuffle {
+                shuffle_indices(&mut order, rng);
+            }
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                total += self.train_batch(model, data, chunk)? as f64;
+                batches += 1;
+            }
+            last_epoch_mean = (total / batches.max(1) as f64) as f32;
+            self.epoch_losses.push(last_epoch_mean);
+            if self.cfg.lr_decay != 1.0 {
+                let lr = self.opt.learning_rate() * self.cfg.lr_decay;
+                self.opt.set_learning_rate(lr);
+            }
+        }
+        Ok(last_epoch_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::Sgd;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// y = w * x fitted to y = 2x on one scalar parameter.
+    struct Scalar {
+        w: Matrix,
+    }
+
+    impl Trainable for Scalar {
+        fn params(&self) -> Vec<&Matrix> {
+            vec![&self.w]
+        }
+        fn params_mut(&mut self) -> Vec<&mut Matrix> {
+            vec![&mut self.w]
+        }
+    }
+
+    impl BatchLoss<[f32]> for Scalar {
+        fn batch_gradients(
+            &mut self,
+            data: &[f32],
+            indices: &[usize],
+            grads: &mut GradientSet,
+        ) -> f32 {
+            let w = self.w.get(0, 0);
+            let mut loss = 0.0;
+            let mut g = 0.0;
+            for &i in indices {
+                let x = data[i];
+                let err = w * x - 2.0 * x;
+                loss += err * err;
+                g += 2.0 * err * x;
+            }
+            let n = indices.len() as f32;
+            let slot = grads.get_mut(0);
+            slot.set(0, 0, slot.get(0, 0) + g / n);
+            loss / n
+        }
+    }
+
+    #[test]
+    fn fit_converges_and_traces_losses() {
+        let mut model = Scalar { w: Matrix::zeros(1, 1) };
+        let data: Vec<f32> = (1..=8).map(|i| i as f32 * 0.25).collect();
+        let cfg = TrainerConfig { epochs: 40, batch_size: 4, ..TrainerConfig::default() };
+        let mut trainer = Trainer::new(cfg, Sgd::new(0.05, 0.0, &[(1, 1)]), &[(1, 1)]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let last = trainer.fit(&mut model, data.as_slice(), data.len(), &mut rng).unwrap();
+        assert!(last < 1e-3, "final epoch loss {last}");
+        assert!((model.w.get(0, 0) - 2.0).abs() < 0.05);
+        assert_eq!(trainer.epoch_losses().len(), 40);
+        assert_eq!(trainer.step_losses().len(), 40 * 2);
+        // Losses should broadly decrease.
+        assert!(trainer.epoch_losses()[39] < trainer.epoch_losses()[0]);
+    }
+
+    #[test]
+    fn lr_decay_shrinks_learning_rate_per_epoch() {
+        let mut model = Scalar { w: Matrix::zeros(1, 1) };
+        let data = [1.0f32, 2.0];
+        let cfg = TrainerConfig {
+            epochs: 3,
+            batch_size: 2,
+            lr_decay: 0.5,
+            shuffle: false,
+            ..TrainerConfig::default()
+        };
+        let mut trainer = Trainer::new(cfg, Sgd::new(0.1, 0.0, &[(1, 1)]), &[(1, 1)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        trainer.fit(&mut model, data.as_slice(), 2, &mut rng).unwrap();
+        let lr = trainer.optimizer().learning_rate();
+        assert!((lr - 0.1 * 0.125).abs() < 1e-9, "lr after 3 decays: {lr}");
+    }
+
+    #[test]
+    fn empty_index_set_is_a_noop() {
+        let mut model = Scalar { w: Matrix::filled(1, 1, 1.5) };
+        let data = [1.0f32];
+        let mut trainer =
+            Trainer::new(TrainerConfig::default(), Sgd::new(0.1, 0.0, &[(1, 1)]), &[(1, 1)]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let loss = trainer.fit_indices(&mut model, data.as_slice(), &[], &mut rng).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(model.w.get(0, 0), 1.5);
+        assert!(trainer.step_losses().is_empty());
+    }
+
+    #[test]
+    fn gradient_set_zero_and_clip() {
+        let mut gs = GradientSet::new(&[(2, 2), (1, 3)]);
+        assert_eq!(gs.len(), 2);
+        assert!(!gs.is_empty());
+        gs.get_mut(0).set(1, 1, 10.0);
+        gs.get_mut(1).set(0, 2, -10.0);
+        gs.clip(1.0);
+        assert_eq!(gs.get(0).get(1, 1), 1.0);
+        assert_eq!(gs.get(1).get(0, 2), -1.0);
+        gs.zero();
+        assert_eq!(gs.get(0).get(1, 1), 0.0);
+        let masked = gs.masked_refs(1);
+        assert!(masked[0].is_none());
+        assert!(masked[1].is_some());
+    }
+}

@@ -1,0 +1,183 @@
+//! Refactor-equivalence suite for the shared [`Trainer`] loop.
+//!
+//! The loss trajectories below were captured by running the pre-refactor
+//! allocating implementation (per-step gradient clones, per-call matrix
+//! allocations) on fixed seeds. The refactored in-place kernels preserve
+//! per-element summation order, so the new code must reproduce every
+//! step loss bit-for-bit — both through the legacy `train_step` wrappers
+//! and through the new `Trainer` path.
+
+use nfv_nn::model::SeqBatch;
+use nfv_nn::{
+    Activation, Adam, BatchLoss, GradientSet, Mlp, MseRows, SeqView, SequenceModel,
+    SequenceModelConfig, Sgd, TrainError, Trainable, Trainer, TrainerConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Pre-refactor `SequenceModel::train_step` losses: model seed 42, data
+/// seed 1234, 16 windows of length 6, vocab 12, Adam 5e-3, 25 full-batch
+/// steps.
+const SEQ_TRAJ: [f32; 25] = [
+    2.4849496, 2.4691317, 2.45332, 2.436119, 2.4166152, 2.3940396, 2.3675995, 2.3364651, 2.299871,
+    2.2573574, 2.209166, 2.1568036, 2.1035602, 2.0539556, 2.0118346, 1.9784019, 1.9510148,
+    1.9252096, 1.8986655, 1.8720356, 1.847379, 1.8270649, 1.8118224, 1.8003098, 1.7917213,
+];
+
+/// Pre-refactor `Mlp::train_step_mse` losses: seed 77, widths
+/// [10, 6, 3, 6, 10], fixed 12x10 input autoencoded, Adam 3e-3, 25 steps.
+const MLP_TRAJ: [f32; 25] = [
+    0.3251093, 0.30827177, 0.29235235, 0.27744457, 0.26362547, 0.25093812, 0.23938751, 0.22894134,
+    0.21953328, 0.2110682, 0.20343404, 0.19651249, 0.1901848, 0.18433513, 0.17885454, 0.17364398,
+    0.16861872, 0.16371116, 0.15887389, 0.15408033, 0.14932378, 0.1446142, 0.13997452, 0.1354349,
+    0.13102815,
+];
+
+fn assert_traj_exact(got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "trajectory length mismatch");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g, w, "step {} loss diverged: got {}, captured {}", i, g, w);
+    }
+}
+
+struct SeqFixture {
+    model: SequenceModel,
+    ids: Vec<Vec<usize>>,
+    gaps: Vec<Vec<f32>>,
+    targets: Vec<usize>,
+}
+
+fn seq_fixture() -> SeqFixture {
+    let cfg = SequenceModelConfig {
+        vocab: 12,
+        embed_dim: 8,
+        hidden: 16,
+        lstm_layers: 2,
+        use_gap_feature: true,
+    };
+    let mut rng = SmallRng::seed_from_u64(42);
+    let model = SequenceModel::new(cfg, &mut rng);
+    let mut data_rng = SmallRng::seed_from_u64(1234);
+    let n = 16usize;
+    let window = 6usize;
+    let ids: Vec<Vec<usize>> =
+        (0..n).map(|_| (0..window).map(|_| data_rng.gen_range(0..12)).collect()).collect();
+    let gaps: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..window).map(|_| data_rng.gen::<f32>()).collect()).collect();
+    let targets: Vec<usize> = (0..n).map(|_| data_rng.gen_range(0..12)).collect();
+    SeqFixture { model, ids, gaps, targets }
+}
+
+#[test]
+fn train_step_wrapper_reproduces_captured_trajectory() {
+    let SeqFixture { mut model, ids, gaps, targets } = seq_fixture();
+    let batch = SeqBatch { ids, gaps };
+    let mut opt = Adam::new(5e-3, &model.param_shapes());
+    let losses: Vec<f32> = (0..25).map(|_| model.train_step(&batch, &targets, &mut opt)).collect();
+    assert_traj_exact(&losses, &SEQ_TRAJ);
+}
+
+#[test]
+fn trainer_reproduces_captured_sequence_trajectory() {
+    let SeqFixture { mut model, ids, gaps, targets } = seq_fixture();
+    let view = SeqView { ids: &ids, gaps: &gaps, targets: &targets };
+    let shapes = model.param_shapes();
+    // 25 epochs x one full batch per epoch = the 25 captured steps; with
+    // shuffling off the rng is never consulted.
+    let cfg = TrainerConfig { epochs: 25, batch_size: 16, shuffle: false, ..Default::default() };
+    let mut trainer = Trainer::new(cfg, Adam::new(5e-3, &shapes), &shapes);
+    let mut rng = SmallRng::seed_from_u64(0);
+    trainer.fit(&mut model, &view, 16, &mut rng).unwrap();
+    assert_traj_exact(trainer.step_losses(), &SEQ_TRAJ);
+}
+
+#[test]
+fn trainer_reproduces_captured_mlp_trajectory() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let mut mlp = Mlp::new(&[10, 6, 3, 6, 10], Activation::Tanh, Activation::Identity, &mut rng);
+    let rows: Vec<Vec<f32>> =
+        (0..12).map(|r| (0..10).map(|c| ((r * 13 + c * 7) % 17) as f32 * 0.05).collect()).collect();
+    let data = MseRows { x: &rows, target: &rows };
+    let shapes = Trainable::param_shapes(&mlp);
+    let cfg = TrainerConfig { epochs: 25, batch_size: 12, shuffle: false, ..Default::default() };
+    let mut trainer = Trainer::new(cfg, Adam::new(3e-3, &shapes), &shapes);
+    let mut seed = SmallRng::seed_from_u64(0);
+    trainer.fit(&mut mlp, &data, rows.len(), &mut seed).unwrap();
+    assert_traj_exact(trainer.step_losses(), &MLP_TRAJ);
+}
+
+#[test]
+fn exploding_lr_stops_training_with_typed_error() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut mlp = Mlp::new(&[1, 1], Activation::Identity, Activation::Identity, &mut rng);
+    let rows = vec![vec![2.0f32]];
+    let data = MseRows { x: &rows, target: &rows };
+    let shapes = Trainable::param_shapes(&mlp);
+    // An absurd learning rate overflows the parameters after the first
+    // step; the second batch loss is non-finite and must abort the run
+    // before the optimizer consumes the bad gradients.
+    let cfg = TrainerConfig { epochs: 10, batch_size: 1, shuffle: false, ..Default::default() };
+    let mut trainer = Trainer::new(cfg, Sgd::new(1e19, 0.0, &shapes), &shapes);
+    let mut seed = SmallRng::seed_from_u64(0);
+    let err = trainer.fit(&mut mlp, &data, 1, &mut seed).unwrap_err();
+    let TrainError::NonFiniteLoss { step, loss } = err;
+    assert!(!loss.is_finite(), "guard fired on a finite loss {}", loss);
+    assert!(step >= 1, "first step should have been finite");
+    // Only losses of completed steps are traced.
+    assert_eq!(trainer.step_losses().len(), step);
+    assert!(trainer.step_losses().iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn sequence_model_batch_gradients_match_finite_differences() {
+    let cfg = SequenceModelConfig {
+        vocab: 6,
+        embed_dim: 4,
+        hidden: 5,
+        lstm_layers: 2,
+        use_gap_feature: true,
+    };
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut model = SequenceModel::new(cfg, &mut rng);
+    let mut data_rng = SmallRng::seed_from_u64(31);
+    let n = 3usize;
+    let window = 4usize;
+    let ids: Vec<Vec<usize>> =
+        (0..n).map(|_| (0..window).map(|_| data_rng.gen_range(0..6)).collect()).collect();
+    let gaps: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..window).map(|_| data_rng.gen::<f32>()).collect()).collect();
+    let targets: Vec<usize> = (0..n).map(|_| data_rng.gen_range(0..6)).collect();
+    let indices: Vec<usize> = (0..n).collect();
+
+    let mut grads = GradientSet::new(&model.param_shapes());
+    let view = SeqView { ids: &ids, gaps: &gaps, targets: &targets };
+    model.batch_gradients(&view, &indices, &mut grads);
+
+    let batch = SeqBatch { ids: ids.clone(), gaps: gaps.clone() };
+    let eps = 1e-2f32;
+    let n_params = model.params().len();
+    for p in 0..n_params {
+        let len = model.params()[p].as_slice().len();
+        // Probe a spread of elements per matrix; a full sweep over every
+        // weight would dominate the test suite's runtime.
+        let stride = (len / 5).max(1);
+        for idx in (0..len).step_by(stride) {
+            let orig = model.params()[p].as_slice()[idx];
+            model.params_mut()[p].as_mut_slice()[idx] = orig + eps;
+            let plus = model.evaluate_loss(&batch, &targets);
+            model.params_mut()[p].as_mut_slice()[idx] = orig - eps;
+            let minus = model.evaluate_loss(&batch, &targets);
+            model.params_mut()[p].as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grads.get(p).as_slice()[idx];
+            assert!(
+                (analytic - numeric).abs() < 3e-3,
+                "param {} elem {}: analytic {} vs numeric {}",
+                p,
+                idx,
+                analytic,
+                numeric
+            );
+        }
+    }
+}

@@ -15,6 +15,8 @@ pub mod init;
 pub mod matrix;
 pub mod stats;
 pub mod vecops;
+pub mod workspace;
 
 pub use init::{uniform_in, xavier_uniform};
 pub use matrix::Matrix;
+pub use workspace::Workspace;

@@ -26,6 +26,15 @@ impl fmt::Debug for Matrix {
     }
 }
 
+impl Default for Matrix {
+    /// An empty `0 x 0` matrix; useful as a placeholder in reusable
+    /// scratch structures that are shaped on first use via
+    /// [`Matrix::reset`].
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -149,72 +158,198 @@ impl Matrix {
         }
     }
 
+    /// Reshapes `self` to `rows x cols`, reusing the allocation where
+    /// possible. Element contents are **unspecified** afterwards — callers
+    /// must overwrite every element (or call [`Matrix::fill_zero`]).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if self.data.len() != n {
+            self.data.resize(n, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.reset(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Gathers the given rows into a new matrix (used for mini-batching).
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &r) in indices.iter().enumerate() {
-            out.set_row(i, self.row(r));
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.gather_rows_into(indices, &mut out);
         out
+    }
+
+    /// Gathers the given rows into `out` (reshaped to `indices.len() x cols`).
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.reset(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+    }
+
+    /// Adds each row of `src` into `self`'s row `indices[r]` (the sparse
+    /// row scatter used by embedding-table gradients).
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Matrix) {
+        assert_eq!(src.rows, indices.len(), "scatter_add_rows: row count mismatch");
+        assert_eq!(src.cols, self.cols, "scatter_add_rows: width mismatch");
+        for (r, &id) in indices.iter().enumerate() {
+            assert!(
+                id < self.rows,
+                "scatter_add_rows: row {} out of bounds ({} rows)",
+                id,
+                self.rows
+            );
+            for (d, &s) in self.row_mut(id).iter_mut().zip(src.row(r).iter()) {
+                *d += s;
+            }
+        }
     }
 
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_acc(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self * rhs` into `out` (reshaped to `rows x rhs.cols`).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.reset(self.rows, rhs.cols);
+        out.fill_zero();
+        self.matmul_acc(rhs, out);
+    }
+
+    /// Accumulates `self * rhs` into `out`: `out += self * rhs`.
+    ///
+    /// The kernel runs in i-k-j order (contiguous inner loop over both
+    /// `rhs` and `out`) with the k loop unrolled by 4; each output element
+    /// still accumulates in ascending-k order, so results are bit-identical
+    /// to the scalar loop.
+    pub fn matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: inner dimensions differ ({}x{} * {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j order keeps the inner loop contiguous in both rhs and out.
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_acc: out shape mismatch");
+        let n = rhs.cols;
         for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
+            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut k = 0;
+            while k + 4 <= self.cols {
+                let (a0, a1, a2, a3) = (lhs_row[k], lhs_row[k + 1], lhs_row[k + 2], lhs_row[k + 3]);
+                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                    k += 4;
                     continue;
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
+                let r0 = &rhs.data[k * n..(k + 1) * n];
+                let r1 = &rhs.data[(k + 1) * n..(k + 2) * n];
+                let r2 = &rhs.data[(k + 2) * n..(k + 3) * n];
+                let r3 = &rhs.data[(k + 3) * n..(k + 4) * n];
+                for j in 0..n {
+                    let mut acc = out_row[j];
+                    acc += a0 * r0[j];
+                    acc += a1 * r1[j];
+                    acc += a2 * r2[j];
+                    acc += a3 * r3[j];
+                    out_row[j] = acc;
                 }
+                k += 4;
+            }
+            while k < self.cols {
+                let a = lhs_row[k];
+                if a != 0.0 {
+                    let rhs_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+                k += 1;
             }
         }
-        out
     }
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_acc(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self^T * rhs` into `out` (reshaped to `cols x rhs.cols`).
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.reset(self.cols, rhs.cols);
+        out.fill_zero();
+        self.matmul_tn_acc(rhs, out);
+    }
+
+    /// Accumulates `self^T * rhs` into `out`, with the i loop unrolled by
+    /// 2; per-element accumulation stays in ascending-i order (bit-exact
+    /// vs. the scalar loop).
+    pub fn matmul_tn_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn: row counts differ ({}x{} ^T * {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for i in 0..self.rows {
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "matmul_tn_acc: out shape mismatch");
+        let n = rhs.cols;
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let l0 = &self.data[i * self.cols..(i + 1) * self.cols];
+            let l1 = &self.data[(i + 1) * self.cols..(i + 2) * self.cols];
+            let r0 = &rhs.data[i * n..(i + 1) * n];
+            let r1 = &rhs.data[(i + 1) * n..(i + 2) * n];
+            for k in 0..self.cols {
+                let (a0, a1) = (l0[k], l1[k]);
+                if a0 == 0.0 && a1 == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * n..(k + 1) * n];
+                for j in 0..n {
+                    let mut acc = out_row[j];
+                    acc += a0 * r0[j];
+                    acc += a1 * r1[j];
+                    out_row[j] = acc;
+                }
+            }
+            i += 2;
+        }
+        if i < self.rows {
             let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let rhs_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+            let rhs_row = &rhs.data[i * n..(i + 1) * n];
             for (k, &a) in lhs_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[k * n..(k + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self * rhs^T` into `out` (reshaped to `rows x rhs.rows`).
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt: column counts differ ({}x{} * {}x{}^T)",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        out.reset(self.rows, rhs.rows);
         for i in 0..self.rows {
             let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..rhs.rows {
@@ -226,18 +361,23 @@ impl Matrix {
                 out.data[i * rhs.rows + j] = acc;
             }
         }
-        out
     }
 
     /// Transposed copy.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out` (reshaped to `cols x rows`).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
     }
 
     /// Elementwise in-place addition: `self += rhs`.
@@ -261,6 +401,15 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape(), "scaled_add_assign: shape mismatch");
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += alpha * b;
+        }
+    }
+
+    /// Writes `self + alpha * rhs` into `out` (reshaped to match `self`).
+    pub fn add_scaled_into(&self, alpha: f32, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled_into: shape mismatch");
+        out.reset(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+            *o = a + alpha * b;
         }
     }
 
@@ -310,6 +459,24 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Accumulates the column-wise sums of `self` into `out`, a `1 x cols`
+    /// row vector: `out += sum_rows(self)`.
+    pub fn sum_rows_acc(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (1, self.cols), "sum_rows_acc: out shape mismatch");
+        for r in 0..self.rows {
+            for (o, &a) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *o += a;
+            }
+        }
+    }
+
+    /// Writes the column-wise sums of `self` into `out` (reshaped to `1 x cols`).
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        out.reset(1, self.cols);
+        out.fill_zero();
+        self.sum_rows_acc(out);
     }
 
     /// Sum of all elements.
@@ -540,5 +707,129 @@ mod tests {
         assert!(!m.has_non_finite());
         m.set(0, 1, f32::NAN);
         assert!(m.has_non_finite());
+    }
+
+    #[test]
+    fn reset_reshapes_and_reuses_allocation() {
+        let mut m = Matrix::zeros(3, 4);
+        m.reset(2, 6);
+        assert_eq!(m.shape(), (2, 6));
+        assert_eq!(m.as_slice().len(), 12);
+        m.reset(1, 3);
+        assert_eq!(m.shape(), (1, 3));
+        assert_eq!(m.as_slice().len(), 3);
+    }
+
+    #[test]
+    fn copy_from_duplicates_contents() {
+        let src = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let mut dst = Matrix::zeros(1, 1);
+        dst.copy_from(&src);
+        assert_eq!(dst.shape(), src.shape());
+        assert_eq!(dst.as_slice(), src.as_slice());
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_variants() {
+        let a = Matrix::from_fn(4, 5, |r, c| ((r * 5 + c) as f32 * 0.37).sin());
+        let b = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f32 * 0.53).cos());
+        let c = Matrix::from_fn(4, 5, |r, c| ((r + c) as f32 * 0.11).tan());
+
+        let mut out = Matrix::zeros(9, 9); // wrong shape on purpose
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.as_slice(), a.matmul(&b).as_slice());
+
+        a.matmul_tn_into(&c, &mut out);
+        assert_eq!(out.as_slice(), a.matmul_tn(&c).as_slice());
+
+        a.matmul_nt_into(&c, &mut out);
+        assert_eq!(out.as_slice(), a.matmul_nt(&c).as_slice());
+
+        a.transpose_into(&mut out);
+        assert_eq!(out.as_slice(), a.transpose().as_slice());
+    }
+
+    #[test]
+    fn acc_kernels_accumulate_on_top() {
+        let a = Matrix::from_fn(3, 7, |r, c| (r as f32 - c as f32) * 0.25);
+        let b = Matrix::from_fn(7, 2, |r, c| (r + c) as f32 * 0.1);
+        let mut out = Matrix::filled(3, 2, 1.0);
+        a.matmul_acc(&b, &mut out);
+        let expect = a.matmul(&b);
+        for (o, e) in out.as_slice().iter().zip(expect.as_slice().iter()) {
+            assert!((o - (e + 1.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn unrolled_matmul_handles_odd_inner_dims() {
+        // Inner dims that exercise the unroll remainder paths (1, 2, 3, 5).
+        for k in [1usize, 2, 3, 5, 9] {
+            let a = Matrix::from_fn(3, k, |r, c| ((r * k + c) as f32 * 0.3).sin());
+            let b = Matrix::from_fn(k, 4, |r, c| ((r * 4 + c) as f32 * 0.7).cos());
+            let mut manual = Matrix::zeros(3, 4);
+            for i in 0..3 {
+                for j in 0..4 {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a.get(i, kk) * b.get(kk, j);
+                    }
+                    manual.set(i, j, acc);
+                }
+            }
+            let fast = a.matmul(&b);
+            for (f, m) in fast.as_slice().iter().zip(manual.as_slice().iter()) {
+                assert!((f - m).abs() < 1e-5, "k={k}: {f} vs {m}");
+            }
+            // Odd row counts exercise the tn remainder row.
+            let tn = a.matmul_tn(&a);
+            let tn_ref = a.transpose().matmul(&a);
+            for (f, m) in tn.as_slice().iter().zip(tn_ref.as_slice().iter()) {
+                assert!((f - m).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_into_matches_axpy() {
+        let a = Matrix::filled(2, 3, 1.0);
+        let b = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let mut out = Matrix::zeros(1, 1);
+        a.add_scaled_into(2.0, &b, &mut out);
+        assert_eq!(out.shape(), (2, 3));
+        assert_eq!(out.as_slice(), &[1.0, 3.0, 5.0, 7.0, 9.0, 11.0]);
+    }
+
+    #[test]
+    fn gather_rows_into_and_scatter_add_roundtrip() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let mut g = Matrix::zeros(0, 0);
+        m.gather_rows_into(&[4, 0, 4], &mut g);
+        assert_eq!(g.shape(), (3, 3));
+        assert_eq!(g.row(0), m.row(4));
+        assert_eq!(g.row(2), m.row(4));
+
+        let mut acc = Matrix::zeros(5, 3);
+        acc.scatter_add_rows(&[4, 0, 4], &g);
+        // Row 4 received itself twice, row 0 once.
+        for c in 0..3 {
+            assert_eq!(acc.get(4, c), 2.0 * m.get(4, c));
+            assert_eq!(acc.get(0, c), m.get(0, c));
+            assert_eq!(acc.get(1, c), 0.0);
+        }
+    }
+
+    #[test]
+    fn sum_rows_acc_accumulates() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let mut out = Matrix::zeros(1, 2);
+        m.sum_rows_acc(&mut out);
+        assert_eq!(out.as_slice(), &[6.0, 9.0]);
+        m.sum_rows_acc(&mut out);
+        assert_eq!(out.as_slice(), &[12.0, 18.0]);
+        let mut fresh = Matrix::zeros(4, 4);
+        m.sum_rows_into(&mut fresh);
+        assert_eq!(fresh.shape(), (1, 2));
+        assert_eq!(fresh.as_slice(), &[6.0, 9.0]);
     }
 }
