@@ -1,0 +1,242 @@
+//! `fleet_epoch` benchmark: one training epoch plus one month of fleet
+//! scoring at several thread counts, exercising the deterministic
+//! data-parallel paths end to end — the sharded trainer inside
+//! [`LstmDetector`] and the per-vPE scoring fan-out the pipeline uses.
+//!
+//! Every thread count must produce bit-identical scores (the shard
+//! layout and chunk boundaries are fixed; threads are pure scheduling),
+//! so the benchmark doubles as a determinism gate: it exits non-zero if
+//! any run diverges from the single-threaded one. The `--min-speedup`
+//! gate is only enforced when the machine actually has at least as many
+//! cores as the largest requested thread count — on a smaller box the
+//! wall-clock claim is unverifiable and the gate is skipped with a
+//! warning (the determinism check still runs).
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin fleet_epoch -- \
+//!     [--fast] [--seed N] [--json PATH] [--threads 1,2,4] [--min-speedup X]
+//! ```
+
+use nfv_detect::par::par_blocks;
+use nfv_detect::{AnomalyDetector, LstmDetector, LstmDetectorConfig, ScoredEvent};
+use nfv_syslog::{LogRecord, LogStream};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+struct Args {
+    fast: bool,
+    seed: u64,
+    json: Option<String>,
+    threads: Vec<usize>,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut out =
+        Args { fast: false, seed: 42, json: None, threads: vec![1, 2, 4], min_speedup: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => out.fast = true,
+            "--seed" => {
+                out.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    usage("--seed needs an integer");
+                })
+            }
+            "--json" => {
+                out.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")))
+            }
+            "--threads" => {
+                let list = args.next().unwrap_or_else(|| usage("--threads needs a list"));
+                out.threads = list
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&t| t >= 1)
+                            .unwrap_or_else(|| usage("--threads wants positive integers"))
+                    })
+                    .collect();
+            }
+            "--min-speedup" => {
+                out.min_speedup =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        usage("--min-speedup needs a number");
+                    }))
+            }
+            other => usage(&format!("unknown flag {:?}", other)),
+        }
+    }
+    // The serial run anchors both the determinism check and the speedup
+    // baseline, so it is always measured first.
+    if !out.threads.contains(&1) {
+        out.threads.insert(0, 1);
+    }
+    out.threads.sort_unstable();
+    out.threads.dedup();
+    out
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    eprintln!(
+        "usage: fleet_epoch [--fast] [--seed N] [--json PATH] \
+         [--threads 1,2,4] [--min-speedup X]"
+    );
+    std::process::exit(2)
+}
+
+/// Synthetic per-vPE template stream: a repeating multi-template cycle
+/// with seeded jitter, enough structure for the LSTM to have a real
+/// gradient signal without simulating a whole fleet.
+fn synth_stream(vpe: usize, events: usize, vocab: usize, seed: u64) -> LogStream {
+    let mut rng = SmallRng::seed_from_u64(seed ^ ((vpe as u64) << 24));
+    let mut records = Vec::with_capacity(events);
+    let mut time = 0u64;
+    for i in 0..events {
+        time += rng.gen_range(5..40);
+        let template = if rng.gen::<f32>() < 0.2 {
+            rng.gen_range(1..vocab)
+        } else {
+            1 + (i + vpe) % (vocab - 1)
+        };
+        records.push(LogRecord { time, template });
+    }
+    LogStream::from_records(records)
+}
+
+struct RunResult {
+    threads: usize,
+    train_ms: f64,
+    score_ms: f64,
+    scores: Vec<Vec<ScoredEvent>>,
+}
+
+fn run_once(streams: &[LogStream], cfg: &LstmDetectorConfig, threads: usize) -> RunResult {
+    let mut cfg = cfg.clone();
+    cfg.threads = threads;
+    let mut det = LstmDetector::new(cfg);
+    let refs: Vec<&LogStream> = streams.iter().collect();
+
+    let t0 = Instant::now();
+    det.fit(&refs);
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // One month of fleet scoring, fanned out per vPE exactly as the
+    // pipeline does it.
+    let vpe_ids: Vec<usize> = (0..streams.len()).collect();
+    let t1 = Instant::now();
+    let scores = par_blocks(&vpe_ids, threads, |_, block| {
+        block.iter().map(|&v| det.score(&streams[v], 0, u64::MAX)).collect::<Vec<_>>()
+    });
+    let score_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    RunResult { threads, train_ms, score_ms, scores }
+}
+
+fn main() {
+    let args = parse_args();
+    let (n_vpes, events, vocab) = if args.fast { (4, 2_000, 24) } else { (8, 8_000, 32) };
+    let cfg = LstmDetectorConfig {
+        vocab,
+        epochs: 1,
+        oversample_rounds: 0,
+        max_train_windows: if args.fast { 4_000 } else { 20_000 },
+        seed: args.seed,
+        ..Default::default()
+    };
+    let streams: Vec<LogStream> =
+        (0..n_vpes).map(|v| synth_stream(v, events, vocab, args.seed)).collect();
+    let total_events: usize = streams.iter().map(|s| s.len()).sum();
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+
+    println!(
+        "config\tvpes {} events {} vocab {} cores {} threads {:?}",
+        n_vpes, total_events, vocab, cores, args.threads
+    );
+
+    let runs: Vec<RunResult> = args.threads.iter().map(|&t| run_once(&streams, &cfg, t)).collect();
+
+    let baseline = &runs[0];
+    assert_eq!(baseline.threads, 1, "the serial run anchors the comparison");
+    let base_total = baseline.train_ms + baseline.score_ms;
+
+    let mut bit_identical = true;
+    for run in &runs[1..] {
+        if run.scores != baseline.scores {
+            bit_identical = false;
+            eprintln!("FAIL: threads={} scores diverged from the serial run", run.threads);
+        }
+    }
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>9}",
+        "threads", "train_ms", "score_ms", "total_ms", "speedup"
+    );
+    for run in &runs {
+        let total = run.train_ms + run.score_ms;
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x",
+            run.threads,
+            run.train_ms,
+            run.score_ms,
+            total,
+            base_total / total
+        );
+    }
+    println!("bit_identical\t{}", bit_identical);
+
+    if let Some(path) = &args.json {
+        let value = serde_json::json!({
+            "bench": "fleet_epoch",
+            "config": {
+                "n_vpes": n_vpes,
+                "events": total_events,
+                "vocab": vocab,
+                "epochs": cfg.epochs,
+                "batch_size": cfg.batch_size,
+                "max_train_windows": cfg.max_train_windows,
+                "seed": args.seed,
+                "fast": args.fast,
+            },
+            "cores": cores,
+            "bit_identical": bit_identical,
+            "runs": runs.iter().map(|r| serde_json::json!({
+                "threads": r.threads,
+                "train_ms": r.train_ms,
+                "score_ms": r.score_ms,
+                "total_ms": r.train_ms + r.score_ms,
+                "speedup": base_total / (r.train_ms + r.score_ms),
+            })).collect::<Vec<_>>(),
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&value).expect("serializable"))
+            .unwrap_or_else(|e| eprintln!("failed to write {}: {}", path, e));
+        eprintln!("wrote {}", path);
+    }
+
+    if !bit_identical {
+        std::process::exit(1);
+    }
+    if let Some(min) = args.min_speedup {
+        let max_threads = *args.threads.last().expect("non-empty");
+        if cores < max_threads {
+            eprintln!(
+                "note: skipping --min-speedup gate: {} cores < {} requested threads \
+                 (determinism was still verified)",
+                cores, max_threads
+            );
+        } else {
+            let best = runs
+                .iter()
+                .map(|r| base_total / (r.train_ms + r.score_ms))
+                .fold(f64::MIN, f64::max);
+            if best < min {
+                eprintln!("FAIL: best speedup {:.2}x below required {:.2}x", best, min);
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::detector::{AnomalyDetector, ScoredEvent};
 use crate::features::{count_windows, fit_tfidf, CountWindows, WindowingConfig};
+use crate::par;
 use nfv_ml::{OneClassSvm, OneClassSvmConfig, Pca, TfIdf};
 use nfv_nn::{Activation, Adam, Mlp, MseRows, Trainable, Trainer, TrainerConfig};
 use nfv_syslog::LogStream;
@@ -32,6 +33,9 @@ pub struct AutoencoderConfig {
     pub lr: f32,
     /// Mini-batch size.
     pub batch: usize,
+    /// Worker threads for the deterministic sharded trainer. `0` = auto
+    /// (`available_parallelism`); weights are bit-identical regardless.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -47,6 +51,7 @@ impl Default for AutoencoderConfig {
             update_epochs: 8,
             lr: 3e-3,
             batch: 64,
+            threads: 1,
             seed: 11,
         }
     }
@@ -89,11 +94,16 @@ impl AutoencoderDetector {
             return;
         }
         let shapes = self.mlp.param_shapes();
-        let cfg = TrainerConfig { epochs, batch_size: self.cfg.batch, ..TrainerConfig::default() };
+        let cfg = TrainerConfig {
+            epochs,
+            batch_size: self.cfg.batch,
+            threads: par::effective_threads(self.cfg.threads, usize::MAX),
+            ..TrainerConfig::default()
+        };
         let mut trainer = Trainer::new(cfg, Adam::new(lr, &shapes), &shapes);
         // The autoencoder reconstructs its own input.
         let data = MseRows { x: features, target: features };
-        if let Err(e) = trainer.fit(&mut self.mlp, &data, features.len(), &mut self.rng) {
+        if let Err(e) = trainer.fit_sharded(&mut self.mlp, &data, features.len(), &mut self.rng) {
             eprintln!("autoencoder training aborted: {}", e);
         }
     }

@@ -20,7 +20,11 @@ pub struct ScoredEvent {
 }
 
 /// A trainable anomaly detector over template streams.
-pub trait AnomalyDetector: Send {
+///
+/// `Send + Sync` because the pipeline moves detectors into per-group
+/// training threads and shares them immutably across per-vPE scoring
+/// workers ([`crate::par`]); scoring is `&self` by construction.
+pub trait AnomalyDetector: Send + Sync {
     /// Short name for reports (e.g. `"lstm"`).
     fn name(&self) -> &'static str;
 

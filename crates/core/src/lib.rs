@@ -55,6 +55,7 @@ pub mod hmm_detector;
 pub mod lstm_detector;
 pub mod mapping;
 pub mod online;
+pub mod par;
 pub mod pipeline;
 pub mod report;
 pub mod supervisor;

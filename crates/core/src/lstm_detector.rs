@@ -20,6 +20,7 @@
 //!   update.
 
 use crate::detector::{AnomalyDetector, ScoredEvent};
+use crate::par;
 use nfv_ml::sampling::oversample_indices;
 use nfv_nn::{
     Adam, SeqScratch, SeqView, SequenceModel, SequenceModelConfig, Trainer, TrainerConfig,
@@ -65,6 +66,10 @@ pub struct LstmDetectorConfig {
     /// (the paper's `(m_i, t_i - t_{i-1})` tuples). Disabling this is an
     /// ablation knob.
     pub use_gap_feature: bool,
+    /// Worker threads for training (deterministic gradient shards) and
+    /// scoring (chunk fan-out). `0` = auto (`available_parallelism`).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -87,6 +92,7 @@ impl Default for LstmDetectorConfig {
             oversample_boost: 4,
             max_train_windows: 60_000,
             use_gap_feature: true,
+            threads: 1,
             seed: 7,
         }
     }
@@ -165,52 +171,77 @@ impl LstmDetector {
         self.train_on_indices(ws, &indices, epochs, lr);
     }
 
+    /// Resolved worker count (`cfg.threads`, 0 = auto).
+    fn threads(&self) -> usize {
+        par::effective_threads(self.cfg.threads, usize::MAX)
+    }
+
     /// Trains on the selected windows of `ws` through the shared
     /// [`Trainer`] loop: a fresh Adam instance per call (matching the
     /// paper's per-phase optimizer state), the configured batch size, and
-    /// the detector's own RNG for shuffling.
+    /// the detector's own RNG for shuffling. Batches run on the trainer's
+    /// deterministic data-parallel path — the shard layout is fixed, so
+    /// the thread count never changes the resulting weights.
     fn train_on_indices(&mut self, ws: &WindowSet, indices: &[usize], epochs: usize, lr: f32) {
         if indices.is_empty() {
             return;
         }
         let shapes = self.model.param_shapes();
-        let cfg =
-            TrainerConfig { epochs, batch_size: self.cfg.batch_size, ..TrainerConfig::default() };
+        let cfg = TrainerConfig {
+            epochs,
+            batch_size: self.cfg.batch_size,
+            threads: self.threads(),
+            ..TrainerConfig::default()
+        };
         let mut trainer = Trainer::new(cfg, Adam::new(lr, &shapes), &shapes);
         let view = SeqView { ids: &ws.ids, gaps: &ws.gaps, targets: &ws.targets };
-        if let Err(e) = trainer.fit_indices(&mut self.model, &view, indices, &mut self.rng) {
+        if let Err(e) = trainer.fit_indices_sharded(&mut self.model, &view, indices, &mut self.rng)
+        {
             eprintln!("lstm training aborted: {}", e);
         }
     }
 
-    /// Runs batched inference over `ws` in fixed-size chunks, invoking
-    /// `visit(global_window_index, target, probs_row)` for every window.
-    /// One scratch arena is reused across all chunks.
-    fn for_each_prediction(&self, ws: &WindowSet, mut visit: impl FnMut(usize, usize, &[f32])) {
+    /// Runs batched inference over `ws` in fixed 512-window chunks fanned
+    /// out across the configured worker threads, mapping every window
+    /// through `f(global_window_index, target, probs_row)` and returning
+    /// the results in window order.
+    ///
+    /// Chunk boundaries are fixed and each output row depends only on its
+    /// own window (the forward math is row-independent), so the result is
+    /// bit-identical to a serial pass for any thread count. Each worker
+    /// owns one scratch arena, reused across its chunks.
+    fn predict_map<R: Send>(
+        &self,
+        ws: &WindowSet,
+        f: impl Fn(usize, usize, &[f32]) -> R + Sync,
+    ) -> Vec<R> {
+        const CHUNK: usize = 512;
         let view = SeqView { ids: &ws.ids, gaps: &ws.gaps, targets: &[] };
-        let mut scratch = SeqScratch::default();
-        let mut chunk = Vec::with_capacity(512);
-        for chunk_start in (0..ws.len()).step_by(512) {
-            chunk.clear();
-            chunk.extend(chunk_start..(chunk_start + 512).min(ws.len()));
-            let probs = self.model.predict_probs_view(&view, &chunk, &mut scratch);
-            for (row, &global_idx) in chunk.iter().enumerate() {
-                visit(global_idx, ws.targets[global_idx], probs.row(row));
+        let starts: Vec<usize> = (0..ws.len()).step_by(CHUNK).collect();
+        par::par_blocks(&starts, self.threads(), |_, block| {
+            let mut scratch = SeqScratch::default();
+            let mut chunk = Vec::with_capacity(CHUNK);
+            let mut out = Vec::new();
+            for &start in block {
+                chunk.clear();
+                chunk.extend(start..(start + CHUNK).min(ws.len()));
+                let probs = self.model.predict_probs_view(&view, &chunk, &mut scratch);
+                for (row, &global_idx) in chunk.iter().enumerate() {
+                    out.push(f(global_idx, ws.targets[global_idx], probs.row(row)));
+                }
             }
-        }
+            out
+        })
     }
 
     /// Indices of training windows whose target is outside the model's
     /// top-g predictions (the "minority normal patterns" of §4.2).
     fn misclassified(&self, ws: &WindowSet) -> Vec<usize> {
-        let mut out = Vec::new();
-        self.for_each_prediction(ws, |global_idx, target, probs| {
+        let missed = self.predict_map(ws, |_, target, probs| {
             let top = nfv_tensor::vecops::top_k(probs, self.cfg.top_g);
-            if !top.contains(&target) {
-                out.push(global_idx);
-            }
+            !top.contains(&target)
         });
-        out
+        missed.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect()
     }
 
     fn fit_windows(&mut self, ws: WindowSet) {
@@ -289,12 +320,10 @@ impl AnomalyDetector for LstmDetector {
 
     fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
         let ws = stream.windows_in(self.cfg.window, start, end, |_| true);
-        let mut events = Vec::with_capacity(ws.len());
-        self.for_each_prediction(&ws, |global_idx, target, probs| {
+        self.predict_map(&ws, |global_idx, target, probs| {
             let p = probs[target].max(1e-9);
-            events.push(ScoredEvent { time: ws.times[global_idx], score: -p.ln() });
-        });
-        events
+            ScoredEvent { time: ws.times[global_idx], score: -p.ln() }
+        })
     }
 }
 

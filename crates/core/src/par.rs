@@ -1,0 +1,106 @@
+//! Deterministic fan-out helpers for the fleet's inference hot paths.
+//!
+//! Scoring is embarrassingly parallel — every vPE (and every chunk of
+//! windows inside a detector) is independent — but the pipeline's outputs
+//! must not depend on how the work was scheduled. These helpers therefore
+//! partition work into *contiguous, index-ordered* blocks, one per
+//! worker, and stitch the per-block results back together in block order:
+//! the result vector is exactly what a serial loop would produce, for any
+//! thread count. (Training-side determinism is handled separately by the
+//! `nfv_nn` trainer's shard-ordered gradient reduction.)
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Resolves a requested thread count: `0` means "auto" —
+/// `std::thread::available_parallelism()` capped by `cap` (typically the
+/// number of independent work items, e.g. a group's size). Any explicit
+/// request is honored as-is, clamped to at least 1.
+pub fn effective_threads(requested: usize, cap: usize) -> usize {
+    if requested == 0 {
+        let cores = thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        cores.clamp(1, cap.max(1))
+    } else {
+        requested.max(1)
+    }
+}
+
+/// Maps `f` over contiguous blocks of `items` on up to `threads` workers
+/// and concatenates the per-block outputs in block order.
+///
+/// `f` receives the block's starting offset into `items` plus the block
+/// slice, and returns one output per item (in item order). Because block
+/// boundaries depend only on `items.len()` and `threads`-many workers
+/// each own a contiguous range, the concatenated result is identical to
+/// `f(0, items)` run serially. A worker panic propagates to the caller —
+/// scoring has no partial-result semantics to preserve.
+pub fn par_blocks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return f(0, items);
+    }
+    let block = n.div_ceil(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(block)
+            .enumerate()
+            .map(|(w, chunk)| {
+                scope.spawn({
+                    let f = &f;
+                    move || f(w * block, chunk)
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("par_blocks worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_blocks_matches_serial_for_every_thread_count() {
+        let items: Vec<usize> = (0..23).collect();
+        let serial = par_blocks(&items, 1, |off, block| {
+            block.iter().enumerate().map(|(i, &x)| x * 3 + off + i).collect::<Vec<_>>()
+        });
+        for threads in [2, 3, 4, 8, 64] {
+            let par = par_blocks(&items, threads, |off, block| {
+                block.iter().enumerate().map(|(i, &x)| x * 3 + off + i).collect::<Vec<_>>()
+            });
+            assert_eq!(par, serial, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_blocks_offsets_are_global_indices() {
+        let items = vec![(); 10];
+        let idx = par_blocks(&items, 3, |off, block| (off..off + block.len()).collect::<Vec<_>>());
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_blocks_handles_empty_input() {
+        let out: Vec<u32> = par_blocks(&[] as &[u8], 4, |_, _| Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_auto_respects_cap() {
+        assert_eq!(effective_threads(0, 1), 1);
+        assert!(effective_threads(0, 1024) >= 1);
+        assert_eq!(effective_threads(3, 1), 3, "explicit requests are honored");
+        assert_eq!(effective_threads(0, 0), 1);
+    }
+}

@@ -25,6 +25,7 @@ use crate::grouping::Grouping;
 use crate::hmm_detector::{HmmDetector, HmmDetectorConfig};
 use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
 use crate::mapping::{map_clusters, warning_clusters, MappingConfig};
+use crate::par;
 use nfv_simnet::{FleetTrace, Ticket, TicketCause};
 use nfv_syslog::time::{month_start, DAY};
 use nfv_syslog::{LogRecord, LogStream};
@@ -77,6 +78,11 @@ pub struct PipelineConfig {
     pub pca: PcaDetectorConfig,
     /// HMM hyper-parameters (vocab overwritten).
     pub hmm: HmmDetectorConfig,
+    /// Worker threads for training shards and per-vPE scoring fan-out.
+    /// `0` = auto (`available_parallelism` capped by the fleet size).
+    /// Every value produces bit-identical results — threads are pure
+    /// scheduling, never part of the trajectory.
+    pub threads: usize,
     /// Grouping seed.
     pub seed: u64,
 }
@@ -99,6 +105,7 @@ impl Default for PipelineConfig {
             ocsvm: OcsvmDetectorConfig::default(),
             pca: PcaDetectorConfig::default(),
             hmm: HmmDetectorConfig::default(),
+            threads: 0,
             seed: 1,
         }
     }
@@ -173,17 +180,24 @@ pub fn ticket_free(
     LogStream::from_records(records)
 }
 
-fn build_detector(cfg: &PipelineConfig, vocab: usize, group: usize) -> Box<dyn AnomalyDetector> {
+fn build_detector(
+    cfg: &PipelineConfig,
+    vocab: usize,
+    group: usize,
+    threads: usize,
+) -> Box<dyn AnomalyDetector> {
     match cfg.detector {
         DetectorKind::Lstm => {
             let mut c = cfg.lstm.clone();
             c.vocab = vocab;
+            c.threads = threads;
             c.seed ^= (group as u64) << 17;
             Box::new(LstmDetector::new(c))
         }
         DetectorKind::Autoencoder => {
             let mut c = cfg.autoencoder.clone();
             c.vocab = vocab;
+            c.threads = threads;
             c.seed ^= (group as u64) << 17;
             Box::new(AutoencoderDetector::new(c))
         }
@@ -219,6 +233,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
     let n_vpes = trace.config.n_vpes;
     let n_months = trace.config.months;
     assert!(n_months >= 2, "need at least two months (train + test)");
+    let threads = par::effective_threads(cfg.threads, n_vpes);
 
     // --- Codec from month-0 raw text. ---
     // The sample interleaves across vPEs (up to an equal share each) so
@@ -243,12 +258,16 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
 
     // --- Encode month 0 and set up grouping. ---
     // Streams are encoded incrementally (month by month) because the
-    // codec can gain templates at adaptation time.
+    // codec can gain templates at adaptation time. `trace.messages(vpe)`
+    // is time-sorted, so each vPE keeps a cursor of how far it has been
+    // encoded and month boundaries are found by binary search — no
+    // rescan of the whole history every month.
+    let mut cursor: Vec<usize> = vec![0; n_vpes];
     let mut streams: Vec<LogStream> = (0..n_vpes)
         .map(|vpe| {
-            let msgs: Vec<_> =
-                trace.messages(vpe).iter().filter(|m| m.timestamp < month1_end).cloned().collect();
-            codec.encode_stream(&msgs)
+            let msgs = trace.messages(vpe);
+            cursor[vpe] = msgs.partition_point(|m| m.timestamp < month1_end);
+            codec.encode_stream(&msgs[..cursor[vpe]])
         })
         .collect();
 
@@ -263,7 +282,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
 
     // --- Initial fit per group (parallel). ---
     let mut detectors: Vec<Box<dyn AnomalyDetector>> =
-        (0..grouping.k).map(|g| build_detector(cfg, vocab, g)).collect();
+        (0..grouping.k).map(|g| build_detector(cfg, vocab, g, threads)).collect();
     {
         let streams_ref = &streams;
         let tickets_ref = &all_tickets;
@@ -288,10 +307,12 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
     // --- Trigger thresholds per group (from month-0 scores). ---
     let mut trigger: Vec<f32> = (0..grouping.k)
         .map(|g| {
-            let scores: Vec<Vec<ScoredEvent>> = members[g]
-                .iter()
-                .map(|&v| detectors[g].score(&streams[v], 0, month1_end))
-                .collect();
+            let scores = par::par_blocks(&members[g], threads, |_, block| {
+                block
+                    .iter()
+                    .map(|&v| detectors[g].score(&streams[v], 0, month1_end))
+                    .collect::<Vec<_>>()
+            });
             score_quantile(&scores, cfg.trigger_quantile)
         })
         .collect();
@@ -304,24 +325,27 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
         let m_start = month_start(m);
         let m_end = month_start(m + 1);
 
-        // Encode this month's raw messages with the current codec.
+        // Encode this month's raw messages with the current codec. The
+        // cursor already sits at the month boundary, so the new slice is
+        // found by one binary search and appended in place — the encoded
+        // prefix is never rebuilt.
         for (vpe, stream) in streams.iter_mut().enumerate() {
-            let msgs: Vec<_> = trace
-                .messages(vpe)
-                .iter()
-                .filter(|msg| msg.timestamp >= m_start && msg.timestamp < m_end)
-                .cloned()
-                .collect();
-            let encoded = codec.encode_stream(&msgs);
-            let mut combined = stream.records().to_vec();
-            combined.extend_from_slice(encoded.records());
-            *stream = LogStream::from_records(combined);
+            let msgs = trace.messages(vpe);
+            let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
+            stream.append(codec.encode_stream(&msgs[cursor[vpe]..hi]));
+            cursor[vpe] = hi;
         }
 
-        // Score the month.
-        let mut per_vpe: Vec<Vec<ScoredEvent>> = (0..n_vpes)
-            .map(|v| detectors[grouping.group_of(v)].score(&streams[v], m_start, m_end))
-            .collect();
+        // Score the month: vPEs fan out across the worker pool in fixed
+        // index-ordered blocks, so the result is identical to a serial
+        // loop for any thread count.
+        let vpe_ids: Vec<usize> = (0..n_vpes).collect();
+        let mut per_vpe: Vec<Vec<ScoredEvent>> = par::par_blocks(&vpe_ids, threads, |_, block| {
+            block
+                .iter()
+                .map(|&v| detectors[grouping.group_of(v)].score(&streams[v], m_start, m_end))
+                .collect::<Vec<_>>()
+        });
 
         // False-alarm-rate check per group -> adaptation.
         for g in 0..grouping.k {
@@ -349,25 +373,21 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                 let week_end = m_start + cfg.adapt_span;
                 let mut week_msgs = Vec::new();
                 for &v in &members[g] {
-                    week_msgs.extend(
-                        trace
-                            .messages(v)
-                            .iter()
-                            .filter(|msg| msg.timestamp >= m_start && msg.timestamp < week_end)
-                            .cloned(),
-                    );
+                    let msgs = trace.messages(v);
+                    let lo = msgs.partition_point(|msg| msg.timestamp < m_start);
+                    let wk = msgs.partition_point(|msg| msg.timestamp < week_end);
+                    week_msgs.extend_from_slice(&msgs[lo..wk]);
                 }
                 codec.refresh(&week_msgs);
                 // Re-encode the month for this group's members (ids of
-                // known templates are stable; only new ones change).
+                // known templates are stable; only new ones change). This
+                // is the one place the whole history is re-encoded, and
+                // the cursor is re-anchored to the same boundary.
                 for &v in &members[g] {
-                    let msgs: Vec<_> = trace
-                        .messages(v)
-                        .iter()
-                        .filter(|msg| msg.timestamp < m_end)
-                        .cloned()
-                        .collect();
-                    streams[v] = codec.encode_stream(&msgs);
+                    let msgs = trace.messages(v);
+                    let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
+                    streams[v] = codec.encode_stream(&msgs[..hi]);
+                    cursor[v] = hi;
                 }
                 let adapt_streams: Vec<LogStream> = members[g]
                     .iter()
@@ -385,17 +405,23 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                 detectors[g].adapt(&refs);
 
                 // Re-score the month after the adaptation point.
-                for &v in &members[g] {
-                    let rescored =
-                        detectors[grouping.group_of(v)].score(&streams[v], week_end, m_end);
+                let rescored = par::par_blocks(&members[g], threads, |_, block| {
+                    block
+                        .iter()
+                        .map(|&v| detectors[g].score(&streams[v], week_end, m_end))
+                        .collect::<Vec<_>>()
+                });
+                for (&v, scored) in members[g].iter().zip(rescored) {
                     per_vpe[v].retain(|e| e.time < week_end);
-                    per_vpe[v].extend(rescored);
+                    per_vpe[v].extend(scored);
                 }
                 // Reset the trigger calibration on the adapted model.
-                let scores: Vec<Vec<ScoredEvent>> = members[g]
-                    .iter()
-                    .map(|&v| detectors[g].score(&streams[v], m_start, week_end))
-                    .collect();
+                let scores = par::par_blocks(&members[g], threads, |_, block| {
+                    block
+                        .iter()
+                        .map(|&v| detectors[g].score(&streams[v], m_start, week_end))
+                        .collect::<Vec<_>>()
+                });
                 trigger[g] = score_quantile(&scores, cfg.trigger_quantile);
                 fa_baseline[g] = None;
             } else {
@@ -406,7 +432,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
             }
         }
 
-        months.push(MonthScores { month: m, per_vpe: per_vpe.clone() });
+        months.push(MonthScores { month: m, per_vpe });
 
         // Incremental monthly update on this month's ticket-free data.
         let streams_ref = &streams;

@@ -1,0 +1,58 @@
+//! End-to-end determinism lock for the data-parallel pipeline: the
+//! entire monthly protocol — sharded training, chunked LSTM scoring,
+//! per-vPE fan-out, adaptation — must produce bit-identical output for
+//! every thread count. Threads are pure scheduling; the trajectory is
+//! defined by the shard layout alone.
+
+use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig, PipelineRun};
+use nfv_simnet::{FleetTrace, SimConfig, SimPreset};
+
+fn small_run(threads: usize) -> PipelineRun {
+    let mut sim = SimConfig::preset(SimPreset::Fast, 5);
+    sim.n_vpes = 4;
+    sim.months = 3;
+    let trace = FleetTrace::simulate(sim);
+
+    let mut cfg =
+        PipelineConfig { detector: DetectorKind::Lstm, threads, ..PipelineConfig::default() };
+    cfg.lstm.epochs = 1;
+    cfg.lstm.update_epochs = 1;
+    cfg.lstm.max_train_windows = 600;
+    run_pipeline(&trace, &cfg)
+}
+
+/// Exact (bitwise) equality of two runs' scored months.
+fn assert_runs_identical(a: &PipelineRun, b: &PipelineRun, label: &str) {
+    assert_eq!(a.months.len(), b.months.len(), "{label}: month count");
+    for (ma, mb) in a.months.iter().zip(&b.months) {
+        assert_eq!(ma.month, mb.month, "{label}: month index");
+        assert_eq!(ma.per_vpe.len(), mb.per_vpe.len(), "{label}: vpe count");
+        for (vpe, (ea, eb)) in ma.per_vpe.iter().zip(&mb.per_vpe).enumerate() {
+            assert_eq!(ea, eb, "{label}: month {} vpe {} events diverged", ma.month, vpe);
+        }
+    }
+    assert_eq!(a.adaptations, b.adaptations, "{label}: adaptations");
+    assert_eq!(a.vocab, b.vocab, "{label}: vocab");
+}
+
+#[test]
+fn pipeline_output_is_bit_identical_for_any_thread_count() {
+    let baseline = small_run(1);
+    assert!(
+        baseline.months.iter().any(|m| m.per_vpe.iter().any(|v| !v.is_empty())),
+        "baseline run produced no scored events; the test would be vacuous"
+    );
+    for threads in [2, 4] {
+        let run = small_run(threads);
+        assert_runs_identical(&baseline, &run, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_explicit_serial_run() {
+    // threads = 0 resolves to available_parallelism; whatever it picks,
+    // the scores must equal the serial run's.
+    let auto = small_run(0);
+    let serial = small_run(1);
+    assert_runs_identical(&serial, &auto, "threads=auto");
+}

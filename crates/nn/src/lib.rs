@@ -14,7 +14,11 @@
 //! * [`optimizer`] — SGD, momentum and Adam;
 //! * [`trainer`] — the shared training loop ([`trainer::Trainer`]):
 //!   batching, shuffling, clipping, frozen-parameter masking, LR decay
-//!   and loss traces over a persistent [`trainer::GradientSet`];
+//!   and loss traces over a persistent [`trainer::GradientSet`]; plus a
+//!   deterministic data-parallel path ([`trainer::ShardedBatchLoss`] /
+//!   [`trainer::ShardPool`]) that splits batches into fixed, index-ordered
+//!   gradient shards and reduces them in shard order, so results are
+//!   bit-identical for any worker count;
 //! * [`model::SequenceModel`] — the paper's next-template network, with
 //!   layer freezing for transfer learning;
 //! * [`model::Mlp`] — a plain multi-layer perceptron used to build the
@@ -42,9 +46,14 @@ pub use checkpoint::{Checkpoint, CheckpointError};
 pub use dense::Dense;
 pub use embedding::Embedding;
 pub use lstm::LstmLayer;
-pub use model::{Mlp, MseRows, SeqScratch, SeqView, SequenceModel, SequenceModelConfig};
+pub use model::{
+    Mlp, MlpScratch, MseRows, SeqScratch, SeqView, SequenceModel, SequenceModelConfig,
+};
 pub use optimizer::{Adam, Optimizer, Sgd};
-pub use trainer::{BatchLoss, GradientSet, TrainError, Trainer, TrainerConfig, DEFAULT_GRAD_CLIP};
+pub use trainer::{
+    BatchLoss, GradientSet, ShardPool, ShardedBatchLoss, TrainError, Trainer, TrainerConfig,
+    DEFAULT_GRAD_CLIP, DEFAULT_SHARD_ROWS,
+};
 
 /// Anything that exposes its trainable parameters and matching gradient
 /// accumulators, in a stable order, so an optimizer can update them.

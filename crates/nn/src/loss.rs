@@ -16,8 +16,28 @@ pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix
 /// Allocation-free [`softmax_cross_entropy`]: writes `dL/dlogits` into
 /// the reusable `dlogits` buffer and returns the mean loss.
 pub fn softmax_cross_entropy_into(logits: &Matrix, targets: &[usize], dlogits: &mut Matrix) -> f32 {
+    let sum = softmax_cross_entropy_scaled_into(logits, targets, dlogits, logits.rows());
+    sum / logits.rows() as f32
+}
+
+/// Shard-aware softmax cross-entropy: normalizes the gradient by
+/// `total_rows` (the size of the *whole* mini-batch, not just the rows in
+/// `logits`) and returns the *unnormalized* loss sum over the shard.
+///
+/// Summing the returned values over a batch's shards and dividing once by
+/// `total_rows` reproduces the mean batch loss, and the per-shard
+/// gradients add up to the batched mean gradient — which is what lets the
+/// deterministic data-parallel trainer split a batch without changing its
+/// scaling. With `total_rows == logits.rows()` this is bit-identical to
+/// the serial [`softmax_cross_entropy_into`] path.
+pub fn softmax_cross_entropy_scaled_into(
+    logits: &Matrix,
+    targets: &[usize],
+    dlogits: &mut Matrix,
+    total_rows: usize,
+) -> f32 {
     assert_eq!(logits.rows(), targets.len(), "softmax_cross_entropy: batch mismatch");
-    let batch = logits.rows();
+    assert!(total_rows >= logits.rows(), "softmax_cross_entropy: total smaller than shard");
     dlogits.copy_from(logits);
     dlogits.softmax_rows_inplace();
 
@@ -26,14 +46,13 @@ pub fn softmax_cross_entropy_into(logits: &Matrix, targets: &[usize], dlogits: &
         assert!(t < logits.cols(), "target class {} out of range ({})", t, logits.cols());
         loss -= dlogits.get(r, t).max(1e-12).ln();
     }
-    loss /= batch as f32;
 
-    // dL/dlogits = (softmax - onehot) / B.
+    // dL/dlogits = (softmax - onehot) / total.
     for (r, &t) in targets.iter().enumerate() {
         let v = dlogits.get(r, t);
         dlogits.set(r, t, v - 1.0);
     }
-    dlogits.scale(1.0 / batch as f32);
+    dlogits.scale(1.0 / total_rows as f32);
     loss
 }
 
@@ -55,11 +74,28 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
 /// Allocation-free [`mse`]: writes the gradient into the reusable `grad`
 /// buffer and returns the mean loss.
 pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f32 {
-    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
     let n = (pred.rows() * pred.cols()) as f32;
+    mse_scaled_into(pred, target, grad, pred.rows()) / n
+}
+
+/// Shard-aware MSE: normalizes the gradient by `total_rows * cols`
+/// elements (the whole mini-batch) and returns the *unnormalized* sum of
+/// squared errors over the shard. See
+/// [`softmax_cross_entropy_scaled_into`] for the sharding contract; with
+/// `total_rows == pred.rows()` this matches the serial [`mse_into`] path
+/// bit for bit.
+pub fn mse_scaled_into(
+    pred: &Matrix,
+    target: &Matrix,
+    grad: &mut Matrix,
+    total_rows: usize,
+) -> f32 {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    assert!(total_rows >= pred.rows(), "mse: total smaller than shard");
+    let n = (total_rows * pred.cols()) as f32;
     grad.copy_from(pred);
     grad.sub_assign(target);
-    let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>();
     grad.scale(2.0 / n);
     loss
 }

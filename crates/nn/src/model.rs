@@ -7,7 +7,7 @@ use crate::embedding::Embedding;
 use crate::loss;
 use crate::lstm::{LstmGradRefs, LstmLayer, LstmSeqCache};
 use crate::optimizer::Optimizer;
-use crate::trainer::{clip_and_apply, BatchLoss, GradientSet, DEFAULT_GRAD_CLIP};
+use crate::trainer::{clip_and_apply, BatchLoss, GradientSet, ShardedBatchLoss, DEFAULT_GRAD_CLIP};
 use crate::Activation;
 use crate::Trainable;
 use nfv_tensor::{Matrix, Workspace};
@@ -308,25 +308,36 @@ impl SequenceModel {
         }
     }
 
-    /// Forward + loss + backward for one batch, using caller-provided
-    /// scratch (so `&self` stays shared while the model's own scratch is
-    /// temporarily moved out).
+    /// Forward + loss + backward for one shard, using caller-provided
+    /// scratch (so `&self` stays shared while the mutable state lives
+    /// with the caller — the model's own moved-out scratch in the serial
+    /// path, a per-worker context in the data-parallel path).
+    ///
+    /// Gradients are normalized by `total` (the whole batch's row count)
+    /// and the returned loss is the shard's unnormalized sum, so
+    /// per-shard results add up to the batched mean exactly as the serial
+    /// path computes it.
     fn seq_grads_impl(
         &self,
         view: &SeqView<'_>,
         indices: &[usize],
         s: &mut SeqScratch,
         grads: &mut GradientSet,
+        total: usize,
     ) -> f32 {
         self.forward_scratch(view, indices, s);
         s.targets.clear();
         for &i in indices {
             s.targets.push(view.targets[i]);
         }
-        let loss_value =
-            loss::softmax_cross_entropy_into(s.head_cache.output(), &s.targets, &mut s.probs);
+        let loss_sum = loss::softmax_cross_entropy_scaled_into(
+            s.head_cache.output(),
+            &s.targets,
+            &mut s.probs,
+            total,
+        );
         self.backward_scratch(view, indices, s, grads);
-        loss_value
+        loss_sum
     }
 
     /// Probability distribution over the next template for each selected
@@ -487,13 +498,28 @@ impl<'a> BatchLoss<SeqView<'a>> for SequenceModel {
         // Move the scratch out so the forward/backward helpers can borrow
         // `self` immutably alongside it.
         let mut s = mem::take(&mut self.scratch);
-        let loss_value = self.seq_grads_impl(data, indices, &mut s, grads);
+        let loss_sum = self.seq_grads_impl(data, indices, &mut s, grads, indices.len());
         self.scratch = s;
-        loss_value
+        loss_sum / indices.len() as f32
     }
 
     fn frozen_params(&self) -> usize {
         self.frozen_param_count()
+    }
+}
+
+impl<'a> ShardedBatchLoss<SeqView<'a>> for SequenceModel {
+    type Worker = SeqScratch;
+
+    fn shard_gradients(
+        &self,
+        data: &SeqView<'a>,
+        indices: &[usize],
+        total: usize,
+        worker: &mut SeqScratch,
+        grads: &mut GradientSet,
+    ) -> f32 {
+        self.seq_grads_impl(data, indices, worker, grads, total)
     }
 }
 
@@ -567,7 +593,11 @@ impl Mlp {
 
     /// Forward + MSE loss + backward for the inputs already staged in
     /// `s.x`/`s.target`, accumulating parameter gradients into `grads`.
-    fn mse_gradients(&self, s: &mut MlpScratch, grads: &mut GradientSet) -> f32 {
+    ///
+    /// Shard-aware: gradients are normalized by `total_rows` (the whole
+    /// batch) and the returned loss is the shard's unnormalized
+    /// squared-error sum (see [`loss::mse_scaled_into`]).
+    fn mse_gradients(&self, s: &mut MlpScratch, grads: &mut GradientSet, total_rows: usize) -> f32 {
         let n = self.layers.len();
         let MlpScratch { ws, caches, d_a, d_b, x, target } = s;
         if caches.len() != n {
@@ -579,7 +609,7 @@ impl Mlp {
             let input: &Matrix = if l == 0 { x } else { done[l - 1].output() };
             layer.forward_into(input, &mut rest[0]);
         }
-        let loss_value = loss::mse_into(caches[n - 1].output(), target, d_a);
+        let loss_value = loss::mse_scaled_into(caches[n - 1].output(), target, d_a, total_rows);
         let slots = grads.slots_mut();
         for l in (0..n).rev() {
             let [dw, db] = &mut slots[2 * l..2 * l + 2] else { unreachable!() };
@@ -606,10 +636,10 @@ impl Mlp {
         let mut s = mem::take(&mut self.scratch);
         s.x.copy_from(x);
         s.target.copy_from(target);
-        let loss_value = self.mse_gradients(&mut s, &mut grads);
+        let loss_sum = self.mse_gradients(&mut s, &mut grads, x.rows());
         self.scratch = s;
         clip_and_apply(self, &mut grads, 0, DEFAULT_GRAD_CLIP, optimizer);
-        loss_value
+        loss_sum / (x.rows() * self.out_dim()) as f32
     }
 
     /// Serializes the MLP (widths + activations are implied by the caller;
@@ -736,9 +766,30 @@ impl<'a> BatchLoss<MseRows<'a>> for Mlp {
             s.x.row_mut(r).copy_from_slice(&data.x[i]);
             s.target.row_mut(r).copy_from_slice(&data.target[i]);
         }
-        let loss_value = self.mse_gradients(&mut s, grads);
+        let loss_sum = self.mse_gradients(&mut s, grads, indices.len());
         self.scratch = s;
-        loss_value
+        loss_sum / (indices.len() * self.out_dim()) as f32
+    }
+}
+
+impl<'a> ShardedBatchLoss<MseRows<'a>> for Mlp {
+    type Worker = MlpScratch;
+
+    fn shard_gradients(
+        &self,
+        data: &MseRows<'a>,
+        indices: &[usize],
+        total: usize,
+        worker: &mut MlpScratch,
+        grads: &mut GradientSet,
+    ) -> f32 {
+        worker.x.reset(indices.len(), self.in_dim());
+        worker.target.reset(indices.len(), self.out_dim());
+        for (r, &i) in indices.iter().enumerate() {
+            worker.x.row_mut(r).copy_from_slice(&data.x[i]);
+            worker.target.row_mut(r).copy_from_slice(&data.target[i]);
+        }
+        self.mse_gradients(worker, grads, total)
     }
 }
 

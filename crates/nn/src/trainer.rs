@@ -14,10 +14,17 @@ use crate::optimizer::Optimizer;
 use crate::Trainable;
 use nfv_tensor::Matrix;
 use rand::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Default gradient-clipping limit (matches the pre-refactor constant
 /// used by `SequenceModel::train_step`).
 pub const DEFAULT_GRAD_CLIP: f32 = 5.0;
+
+/// Default rows per gradient shard in the data-parallel path (see
+/// [`Trainer::train_batch_sharded`]). The shard layout is a pure function
+/// of the batch's index order and this width — never of the thread count
+/// — so any worker count produces the same bits.
+pub const DEFAULT_SHARD_ROWS: usize = 16;
 
 /// Knobs for a [`Trainer`] run. The learning rate lives on the optimizer.
 #[derive(Debug, Clone)]
@@ -32,6 +39,15 @@ pub struct TrainerConfig {
     pub lr_decay: f32,
     /// Whether to reshuffle the index order each epoch.
     pub shuffle: bool,
+    /// Worker threads for the sharded data-parallel path (clamped to at
+    /// least 1). The thread count only schedules the fixed shard layout;
+    /// it never changes the math, so 1, 2 and 8 workers produce
+    /// bit-identical losses and parameters.
+    pub threads: usize,
+    /// Rows per gradient shard in the data-parallel path. Unlike
+    /// `threads`, this *is* part of the trajectory definition: changing
+    /// the shard width changes summation order (and therefore rounding).
+    pub shard_rows: usize,
 }
 
 impl Default for TrainerConfig {
@@ -42,6 +58,8 @@ impl Default for TrainerConfig {
             grad_clip: DEFAULT_GRAD_CLIP,
             lr_decay: 1.0,
             shuffle: true,
+            threads: 1,
+            shard_rows: DEFAULT_SHARD_ROWS,
         }
     }
 }
@@ -57,6 +75,16 @@ pub enum TrainError {
         /// The offending loss value.
         loss: f32,
     },
+    /// A data-parallel worker panicked while computing a shard's
+    /// gradients. The panic is contained: the optimizer step is skipped,
+    /// the parameters still hold the last completed step, and the trainer
+    /// (including its worker pool) stays usable.
+    WorkerPanic {
+        /// Lowest shard index (in shard order) whose computation panicked.
+        shard: usize,
+        /// The panic payload, when it carried a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TrainError {
@@ -64,6 +92,9 @@ impl std::fmt::Display for TrainError {
         match self {
             TrainError::NonFiniteLoss { step, loss } => {
                 write!(f, "non-finite loss {loss} at training step {step}")
+            }
+            TrainError::WorkerPanic { shard, message } => {
+                write!(f, "worker panicked on gradient shard {shard}: {message}")
             }
         }
     }
@@ -129,6 +160,20 @@ impl GradientSet {
     pub fn masked_refs(&self, frozen: usize) -> Vec<Option<&Matrix>> {
         self.mats.iter().enumerate().map(|(i, m)| if i < frozen { None } else { Some(m) }).collect()
     }
+
+    /// Shapes of every slot, in order.
+    pub fn shapes(&self) -> Vec<(usize, usize)> {
+        self.mats.iter().map(|m| m.shape()).collect()
+    }
+
+    /// Elementwise-accumulates `other` into `self` (the shard-reduction
+    /// primitive of the data-parallel path).
+    pub fn add_from(&mut self, other: &GradientSet) {
+        assert_eq!(self.mats.len(), other.mats.len(), "GradientSet: slot count mismatch");
+        for (a, b) in self.mats.iter_mut().zip(&other.mats) {
+            a.add_assign(b);
+        }
+    }
 }
 
 /// A model that can compute batch gradients for some dataset type `D`.
@@ -144,6 +189,80 @@ pub trait BatchLoss<D: ?Sized>: Trainable {
     /// (frozen) during optimization. Defaults to none.
     fn frozen_params(&self) -> usize {
         0
+    }
+}
+
+/// A [`BatchLoss`] model whose gradient computation can run shard-wise
+/// from a shared `&self`, with every piece of mutable state living in a
+/// caller-provided worker context. This is the contract the deterministic
+/// data-parallel path needs: N workers share the model immutably while
+/// each fills its own context and per-shard [`GradientSet`].
+pub trait ShardedBatchLoss<D: ?Sized + Sync>: BatchLoss<D> + Sync {
+    /// Thread-local scratch state (forward/backward caches, workspaces).
+    type Worker: Default + Send;
+
+    /// Accumulates gradients for the shard at `indices` into `grads`,
+    /// normalized by `total` (the whole mini-batch's row count), and
+    /// returns the shard's *unnormalized* loss sum.
+    ///
+    /// Contract: summing the per-shard gradient sets in ascending shard
+    /// order and dividing the summed losses by `total` must reproduce the
+    /// batched mean gradient and loss. With a single shard
+    /// (`indices.len() == total`) the result must be bit-identical to
+    /// [`BatchLoss::batch_gradients`].
+    fn shard_gradients(
+        &self,
+        data: &D,
+        indices: &[usize],
+        total: usize,
+        worker: &mut Self::Worker,
+        grads: &mut GradientSet,
+    ) -> f32;
+}
+
+/// Per-worker execution state for the data-parallel trainer path: one
+/// scratch context per worker thread plus one gradient accumulator and
+/// loss slot per shard. Shaped lazily on first use and reused across
+/// batches, so steady-state parallel steps allocate nothing.
+#[derive(Debug, Default)]
+pub struct ShardPool<W> {
+    workers: Vec<W>,
+    shard_grads: Vec<GradientSet>,
+    shard_losses: Vec<f32>,
+}
+
+impl<W: Default> ShardPool<W> {
+    /// An empty pool; the trainer shapes it on first use.
+    pub fn new() -> ShardPool<W> {
+        ShardPool { workers: Vec::new(), shard_grads: Vec::new(), shard_losses: Vec::new() }
+    }
+
+    /// Grows the pool to `workers` contexts and `shards` zeroed gradient
+    /// accumulators of the given parameter shapes.
+    fn ensure(&mut self, workers: usize, shards: usize, shapes: &[(usize, usize)]) {
+        if self.workers.len() < workers {
+            self.workers.resize_with(workers, W::default);
+        }
+        while self.shard_grads.len() < shards {
+            self.shard_grads.push(GradientSet::new(shapes));
+        }
+        if self.shard_losses.len() < shards {
+            self.shard_losses.resize(shards, 0.0);
+        }
+        for g in &mut self.shard_grads[..shards] {
+            g.zero();
+        }
+    }
+}
+
+/// Renders a caught panic payload for [`TrainError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -280,6 +399,180 @@ impl<O: Optimizer> Trainer<O> {
             let mut batches = 0usize;
             for chunk in order.chunks(batch) {
                 total += self.train_batch(model, data, chunk)? as f64;
+                batches += 1;
+            }
+            last_epoch_mean = (total / batches.max(1) as f64) as f32;
+            self.epoch_losses.push(last_epoch_mean);
+            if self.cfg.lr_decay != 1.0 {
+                let lr = self.opt.learning_rate() * self.cfg.lr_decay;
+                self.opt.set_learning_rate(lr);
+            }
+        }
+        Ok(last_epoch_mean)
+    }
+
+    /// Runs one optimizer step with the batch split into fixed,
+    /// index-ordered shards of `cfg.shard_rows` rows, computed by up to
+    /// `cfg.threads` workers and reduced into the master [`GradientSet`]
+    /// in ascending shard order.
+    ///
+    /// The shard layout and the reduction order depend only on `indices`
+    /// and `shard_rows` — never on the thread count — so the loss and the
+    /// parameter update are bit-identical for every `threads` value. A
+    /// batch that fits in one shard takes the exact serial
+    /// [`Trainer::train_batch`] code path (same bits). A panic inside a
+    /// worker is contained and surfaced as [`TrainError::WorkerPanic`];
+    /// the optimizer step is skipped and the trainer stays usable.
+    pub fn train_batch_sharded<D, M>(
+        &mut self,
+        model: &mut M,
+        data: &D,
+        indices: &[usize],
+        pool: &mut ShardPool<M::Worker>,
+    ) -> Result<f32, TrainError>
+    where
+        D: ?Sized + Sync,
+        M: ShardedBatchLoss<D>,
+    {
+        let total = indices.len();
+        let shard_rows = self.cfg.shard_rows.max(1);
+        let n_shards = total.div_ceil(shard_rows).max(1);
+        self.grads.zero();
+        let loss = if n_shards == 1 {
+            pool.ensure(1, 0, &[]);
+            let sum =
+                model.shard_gradients(data, indices, total, &mut pool.workers[0], &mut self.grads);
+            sum / total as f32
+        } else {
+            let shards: Vec<&[usize]> = indices.chunks(shard_rows).collect();
+            let workers = self.cfg.threads.clamp(1, n_shards);
+            let shapes = self.grads.shapes();
+            pool.ensure(workers, n_shards, &shapes);
+            let block = n_shards.div_ceil(workers);
+            let ShardPool { workers: ctxs, shard_grads, shard_losses } = &mut *pool;
+            let model_ref: &M = model;
+            // One worker's share: a contiguous block of shards, each
+            // computed into its own pre-zeroed accumulator. Panics are
+            // caught per shard so one bad sample cannot poison the pool.
+            let run_block = |start: usize,
+                             shard_block: &[&[usize]],
+                             ctx: &mut M::Worker,
+                             grads_block: &mut [GradientSet],
+                             loss_block: &mut [f32]|
+             -> Option<(usize, String)> {
+                let per_shard =
+                    shard_block.iter().zip(grads_block.iter_mut().zip(loss_block.iter_mut()));
+                for (off, (shard, (g, l))) in per_shard.enumerate() {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        model_ref.shard_gradients(data, shard, total, ctx, g)
+                    })) {
+                        Ok(sum) => *l = sum,
+                        Err(payload) => return Some((start + off, panic_message(payload))),
+                    }
+                }
+                None
+            };
+            let panicked = if workers == 1 {
+                run_block(
+                    0,
+                    &shards,
+                    &mut ctxs[0],
+                    &mut shard_grads[..n_shards],
+                    &mut shard_losses[..n_shards],
+                )
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .chunks(block)
+                        .zip(shard_grads[..n_shards].chunks_mut(block))
+                        .zip(shard_losses[..n_shards].chunks_mut(block))
+                        .zip(ctxs.iter_mut())
+                        .enumerate()
+                        .map(|(w, (((sb, gb), lb), ctx))| {
+                            let run = &run_block;
+                            scope.spawn(move || run(w * block, sb, ctx, gb, lb))
+                        })
+                        .collect();
+                    let mut first: Option<(usize, String)> = None;
+                    for h in handles {
+                        let res = h.join().unwrap_or_else(|p| Some((usize::MAX, panic_message(p))));
+                        if let Some((s, m)) = res {
+                            if first.as_ref().is_none_or(|(fs, _)| s < *fs) {
+                                first = Some((s, m));
+                            }
+                        }
+                    }
+                    first
+                })
+            };
+            if let Some((shard, message)) = panicked {
+                return Err(TrainError::WorkerPanic { shard, message });
+            }
+            // Deterministic reduction: ascending shard order, fixed per
+            // batch regardless of which worker produced which shard.
+            let mut sum = 0.0f32;
+            for (g, l) in shard_grads[..n_shards].iter().zip(&shard_losses[..n_shards]) {
+                self.grads.add_from(g);
+                sum += *l;
+            }
+            sum / total as f32
+        };
+        if !loss.is_finite() {
+            return Err(TrainError::NonFiniteLoss { step: self.step_losses.len(), loss });
+        }
+        let frozen = model.frozen_params();
+        clip_and_apply(model, &mut self.grads, frozen, self.cfg.grad_clip, &mut self.opt);
+        self.step_losses.push(loss);
+        Ok(loss)
+    }
+
+    /// Data-parallel [`Trainer::fit`]: trains on all samples `0..n`
+    /// through [`Trainer::train_batch_sharded`].
+    pub fn fit_sharded<D, M>(
+        &mut self,
+        model: &mut M,
+        data: &D,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Result<f32, TrainError>
+    where
+        D: ?Sized + Sync,
+        M: ShardedBatchLoss<D>,
+    {
+        let indices: Vec<usize> = (0..n).collect();
+        self.fit_indices_sharded(model, data, &indices, rng)
+    }
+
+    /// Data-parallel [`Trainer::fit_indices`]: identical epoch, batch,
+    /// shuffle and LR-decay schedule, with every batch stepped through
+    /// [`Trainer::train_batch_sharded`]. The worker pool is allocated
+    /// once per call and reused across all batches and epochs.
+    pub fn fit_indices_sharded<D, M>(
+        &mut self,
+        model: &mut M,
+        data: &D,
+        indices: &[usize],
+        rng: &mut impl Rng,
+    ) -> Result<f32, TrainError>
+    where
+        D: ?Sized + Sync,
+        M: ShardedBatchLoss<D>,
+    {
+        if indices.is_empty() {
+            return Ok(0.0);
+        }
+        let mut pool = ShardPool::new();
+        let mut order = indices.to_vec();
+        let batch = self.cfg.batch_size.max(1);
+        let mut last_epoch_mean = 0.0;
+        for _epoch in 0..self.cfg.epochs {
+            if self.cfg.shuffle {
+                shuffle_indices(&mut order, rng);
+            }
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                total += self.train_batch_sharded(model, data, chunk, &mut pool)? as f64;
                 batches += 1;
             }
             last_epoch_mean = (total / batches.max(1) as f64) as f32;

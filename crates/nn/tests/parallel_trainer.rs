@@ -1,0 +1,211 @@
+//! Determinism and fault-containment suite for the data-parallel
+//! trainer path.
+//!
+//! The sharded path's contract is that the thread count is pure
+//! scheduling: the shard layout and the reduction order are functions of
+//! the batch's index order and `shard_rows` alone, so every worker count
+//! must produce bit-identical step losses and parameters. These tests
+//! pin that contract for both model families and verify that a panicking
+//! worker surfaces as a typed [`TrainError`] instead of poisoning the
+//! pool.
+
+use nfv_nn::{
+    Activation, Adam, BatchLoss, GradientSet, Mlp, MseRows, SeqView, SequenceModel,
+    SequenceModelConfig, Sgd, ShardedBatchLoss, TrainError, Trainable, Trainer, TrainerConfig,
+};
+use nfv_tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct SeqData {
+    ids: Vec<Vec<usize>>,
+    gaps: Vec<Vec<f32>>,
+    targets: Vec<usize>,
+}
+
+fn seq_data(n: usize, window: usize, vocab: usize, seed: u64) -> SeqData {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ids = (0..n).map(|_| (0..window).map(|_| rng.gen_range(0..vocab)).collect()).collect();
+    let gaps = (0..n).map(|_| (0..window).map(|_| rng.gen::<f32>()).collect()).collect();
+    let targets = (0..n).map(|_| rng.gen_range(0..vocab)).collect();
+    SeqData { ids, gaps, targets }
+}
+
+fn seq_model(seed: u64) -> SequenceModel {
+    let cfg = SequenceModelConfig {
+        vocab: 10,
+        embed_dim: 6,
+        hidden: 12,
+        lstm_layers: 2,
+        use_gap_feature: true,
+    };
+    SequenceModel::new(cfg, &mut SmallRng::seed_from_u64(seed))
+}
+
+/// Runs one sharded fit and returns (step losses, final parameters).
+fn run_seq_fit(threads: usize, data: &SeqData) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let mut model = seq_model(42);
+    let shapes = model.param_shapes();
+    let cfg = TrainerConfig {
+        epochs: 3,
+        batch_size: 20,
+        shard_rows: 8,
+        threads,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(cfg, Adam::new(5e-3, &shapes), &shapes);
+    let view = SeqView { ids: &data.ids, gaps: &data.gaps, targets: &data.targets };
+    let mut rng = SmallRng::seed_from_u64(9);
+    trainer.fit_sharded(&mut model, &view, data.ids.len(), &mut rng).unwrap();
+    let params = model.params().iter().map(|p| p.as_slice().to_vec()).collect();
+    (trainer.step_losses().to_vec(), params)
+}
+
+#[test]
+fn sequence_fit_is_bit_identical_for_any_thread_count() {
+    // 40 windows at batch 20 / shard 8 -> 3 shards per batch, so the
+    // multi-shard reduction path is exercised at every thread count.
+    let data = seq_data(40, 5, 10, 1234);
+    let (base_losses, base_params) = run_seq_fit(1, &data);
+    assert_eq!(base_losses.len(), 3 * 2, "3 epochs x 2 batches");
+    for threads in [2, 4, 8] {
+        let (losses, params) = run_seq_fit(threads, &data);
+        assert_eq!(losses, base_losses, "losses diverged at {threads} threads");
+        assert_eq!(params, base_params, "parameters diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn mlp_fit_is_bit_identical_for_any_thread_count() {
+    let rows: Vec<Vec<f32>> =
+        (0..30).map(|r| (0..6).map(|c| ((r * 11 + c * 5) % 13) as f32 * 0.07).collect()).collect();
+    let run = |threads: usize| -> (Vec<f32>, Vec<Vec<f32>>) {
+        let mut mlp = Mlp::new(
+            &[6, 4, 6],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut SmallRng::seed_from_u64(7),
+        );
+        let shapes = Trainable::param_shapes(&mlp);
+        let cfg = TrainerConfig {
+            epochs: 4,
+            batch_size: 10,
+            shard_rows: 4,
+            threads,
+            ..TrainerConfig::default()
+        };
+        let mut trainer = Trainer::new(cfg, Adam::new(3e-3, &shapes), &shapes);
+        let data = MseRows { x: &rows, target: &rows };
+        let mut rng = SmallRng::seed_from_u64(5);
+        trainer.fit_sharded(&mut mlp, &data, rows.len(), &mut rng).unwrap();
+        let params = mlp.params().iter().map(|p| p.as_slice().to_vec()).collect();
+        (trainer.step_losses().to_vec(), params)
+    };
+    let (base_losses, base_params) = run(1);
+    for threads in [2, 4] {
+        let (losses, params) = run(threads);
+        assert_eq!(losses, base_losses, "losses diverged at {threads} threads");
+        assert_eq!(params, base_params, "parameters diverged at {threads} threads");
+    }
+}
+
+/// y = w * x toward y = 2x, with an optional poisoned sample index whose
+/// shard computation panics.
+struct Panicky {
+    w: Matrix,
+    panic_on: Option<usize>,
+}
+
+impl Trainable for Panicky {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w]
+    }
+}
+
+impl BatchLoss<[f32]> for Panicky {
+    fn batch_gradients(&mut self, data: &[f32], indices: &[usize], grads: &mut GradientSet) -> f32 {
+        let mut worker = ();
+        let sum = ShardedBatchLoss::shard_gradients(
+            self,
+            data,
+            indices,
+            indices.len(),
+            &mut worker,
+            grads,
+        );
+        sum / indices.len() as f32
+    }
+}
+
+impl ShardedBatchLoss<[f32]> for Panicky {
+    type Worker = ();
+
+    fn shard_gradients(
+        &self,
+        data: &[f32],
+        indices: &[usize],
+        total: usize,
+        _worker: &mut (),
+        grads: &mut GradientSet,
+    ) -> f32 {
+        let w = self.w.get(0, 0);
+        let mut sum = 0.0;
+        let mut g = 0.0;
+        for &i in indices {
+            if Some(i) == self.panic_on {
+                panic!("poisoned sample {i}");
+            }
+            let x = data[i];
+            let err = w * x - 2.0 * x;
+            sum += err * err;
+            g += 2.0 * err * x;
+        }
+        let slot = grads.get_mut(0);
+        slot.set(0, 0, slot.get(0, 0) + g / total as f32);
+        sum
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_as_typed_error_and_pool_stays_usable() {
+    // Keep the default hook from spamming the test log with the expected
+    // panic's backtrace; the payload still reaches the typed error.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let data: Vec<f32> = (1..=8).map(|i| i as f32 * 0.25).collect();
+    let mut model = Panicky { w: Matrix::zeros(1, 1), panic_on: Some(5) };
+    let cfg = TrainerConfig {
+        epochs: 2,
+        batch_size: 8,
+        shard_rows: 2,
+        threads: 3,
+        shuffle: false,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = Trainer::new(cfg, Sgd::new(0.05, 0.0, &[(1, 1)]), &[(1, 1)]);
+    let mut rng = SmallRng::seed_from_u64(0);
+    let err = trainer.fit_sharded(&mut model, data.as_slice(), data.len(), &mut rng).unwrap_err();
+    std::panic::set_hook(hook);
+
+    let TrainError::WorkerPanic { shard, message } = err else {
+        panic!("expected WorkerPanic, got {err:?}");
+    };
+    // Sample 5 lives in shard 2 of the fixed [0,1][2,3][4,5][6,7] layout.
+    assert_eq!(shard, 2);
+    assert!(message.contains("poisoned sample 5"), "payload lost: {message}");
+    // The step was aborted before the optimizer ran.
+    assert_eq!(model.w.get(0, 0), 0.0);
+    assert!(trainer.step_losses().is_empty());
+
+    // The same trainer keeps working once the poison is gone — the pool
+    // is not left in a wedged or half-written state.
+    model.panic_on = None;
+    let loss = trainer.fit_sharded(&mut model, data.as_slice(), data.len(), &mut rng).unwrap();
+    assert!(loss.is_finite());
+    assert_eq!(trainer.step_losses().len(), 2);
+    assert!((model.w.get(0, 0) - 2.0).abs() < 2.0, "w moved toward the target");
+}

@@ -92,6 +92,30 @@ fn trainer_reproduces_captured_sequence_trajectory() {
 }
 
 #[test]
+fn sharded_trainer_with_single_shard_reproduces_captured_trajectory() {
+    // The 16-window full batch fits in one default-width shard, and the
+    // sharded path's single-shard case is required to take the exact
+    // serial code path — so the data-parallel trainer must reproduce the
+    // captured pre-refactor trajectory bit for bit at any thread count.
+    for threads in [1, 4] {
+        let SeqFixture { mut model, ids, gaps, targets } = seq_fixture();
+        let view = SeqView { ids: &ids, gaps: &gaps, targets: &targets };
+        let shapes = model.param_shapes();
+        let cfg = TrainerConfig {
+            epochs: 25,
+            batch_size: 16,
+            shuffle: false,
+            threads,
+            ..Default::default()
+        };
+        let mut trainer = Trainer::new(cfg, Adam::new(5e-3, &shapes), &shapes);
+        let mut rng = SmallRng::seed_from_u64(0);
+        trainer.fit_sharded(&mut model, &view, 16, &mut rng).unwrap();
+        assert_traj_exact(trainer.step_losses(), &SEQ_TRAJ);
+    }
+}
+
+#[test]
 fn trainer_reproduces_captured_mlp_trajectory() {
     let mut rng = SmallRng::seed_from_u64(77);
     let mut mlp = Mlp::new(&[10, 6, 3, 6, 10], Activation::Tanh, Activation::Identity, &mut rng);
@@ -120,7 +144,9 @@ fn exploding_lr_stops_training_with_typed_error() {
     let mut trainer = Trainer::new(cfg, Sgd::new(1e19, 0.0, &shapes), &shapes);
     let mut seed = SmallRng::seed_from_u64(0);
     let err = trainer.fit(&mut mlp, &data, 1, &mut seed).unwrap_err();
-    let TrainError::NonFiniteLoss { step, loss } = err;
+    let TrainError::NonFiniteLoss { step, loss } = err else {
+        panic!("expected NonFiniteLoss, got {err:?}");
+    };
     assert!(!loss.is_finite(), "guard fired on a finite loss {}", loss);
     assert!(step >= 1, "first step should have been finite");
     // Only losses of completed steps are traced.

@@ -196,7 +196,11 @@ fn split_group(
                 *freq.entry(tok).or_insert(0) += 1;
             }
         }
-        let Some((&tok, &count)) = freq.iter().max_by_key(|(_, &c)| c) else {
+        // Ties on count are broken by the token itself: `HashMap`
+        // iteration order varies per instance, and letting it pick the
+        // winner made the whole template catalog (and everything trained
+        // on it) differ from run to run.
+        let Some((&tok, &count)) = freq.iter().max_by_key(|&(&tok, &c)| (c, tok)) else {
             all_stable = false; // every token variable-looking
             continue;
         };

@@ -84,6 +84,28 @@ impl LogStream {
         LogStream { records }
     }
 
+    /// Appends another stream's records in place, keeping time order.
+    ///
+    /// The common case — `tail` starts at or after this stream's last
+    /// record, as when the pipeline appends a freshly-encoded month — is
+    /// a plain `extend` with no re-sort and no rebuild of the existing
+    /// prefix. Overlapping tails fall back to a stable sort, which
+    /// produces exactly what [`LogStream::from_records`] over the
+    /// concatenation would.
+    pub fn append(&mut self, tail: LogStream) {
+        if tail.records.is_empty() {
+            return;
+        }
+        let sorted = match (self.records.last(), tail.records.first()) {
+            (Some(last), Some(first)) => last.time <= first.time,
+            _ => true,
+        };
+        self.records.extend(tail.records);
+        if !sorted {
+            self.records.sort_by_key(|r| r.time);
+        }
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -281,6 +303,35 @@ mod tests {
         assert_eq!(months[0].0, 0);
         assert_eq!(months[0].1.len(), 2);
         assert_eq!(months[1].0, 1);
+    }
+
+    #[test]
+    fn append_matches_rebuild_from_concatenated_records() {
+        let base = vec![
+            LogRecord { time: 10, template: 1 },
+            LogRecord { time: 20, template: 2 },
+            LogRecord { time: 20, template: 3 },
+        ];
+        // In-order tail (the monthly-append fast path) and an overlapping
+        // tail (forces the stable-sort fallback).
+        for tail in [
+            vec![LogRecord { time: 20, template: 4 }, LogRecord { time: 30, template: 5 }],
+            vec![LogRecord { time: 5, template: 6 }, LogRecord { time: 25, template: 7 }],
+        ] {
+            let mut appended = LogStream::from_records(base.clone());
+            appended.append(LogStream::from_records(tail.clone()));
+            let mut combined = base.clone();
+            combined.extend(tail);
+            let rebuilt = LogStream::from_records(combined);
+            assert_eq!(appended.records(), rebuilt.records());
+        }
+    }
+
+    #[test]
+    fn append_empty_tail_is_a_noop() {
+        let mut s = LogStream::from_records(vec![LogRecord { time: 1, template: 0 }]);
+        s.append(LogStream::from_records(vec![]));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!     tickets.tsv.
 //!
 //! nfvpredict train --logs DIR --model FILE [--months N] [--window K]
-//!                  [--epochs E] [--tickets FILE]
+//!                  [--epochs E] [--tickets FILE] [--threads N]
 //!     Mine templates from the raw logs, train the LSTM detector on the
 //!     first N months (default 1), calibrate the alarm threshold, and
 //!     save a deployable model bundle.
@@ -15,9 +15,11 @@
 //!     Score a raw syslog file with a trained bundle and print the
 //!     warning clusters.
 //!
-//! nfvpredict evaluate [--preset fast|full] [--seed N]
+//! nfvpredict evaluate [--preset fast|full] [--seed N] [--threads N]
 //!     End-to-end pipeline evaluation on a simulated deployment
-//!     (precision-recall curve and operating point).
+//!     (precision-recall curve and operating point). --threads 0 (the
+//!     default) uses every available core; results are bit-identical
+//!     for any thread count.
 //!
 //! nfvpredict monitor --model FILE --logs DIR
 //!                    [--faults loss=0.05,dup=0.02,reorder=30,corrupt=0.01]
@@ -48,9 +50,9 @@ fn main() -> ExitCode {
     };
     let allowed: &[&str] = match command.as_str() {
         "simulate" => &["out", "preset", "seed"],
-        "train" => &["logs", "model", "months", "window", "epochs", "tickets"],
+        "train" => &["logs", "model", "months", "window", "epochs", "tickets", "threads"],
         "detect" => &["model", "log"],
-        "evaluate" => &["preset", "seed"],
+        "evaluate" => &["preset", "seed", "threads"],
         "monitor" => &["model", "logs", "faults", "seed", "staleness"],
         _ => &[],
     };
@@ -209,6 +211,8 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let window: usize =
         flag(flags, "window").unwrap_or("10").parse().map_err(|_| "bad --window")?;
     let epochs: usize = flag(flags, "epochs").unwrap_or("3").parse().map_err(|_| "bad --epochs")?;
+    let threads: usize =
+        flag(flags, "threads").unwrap_or("0").parse().map_err(|_| "bad --threads")?;
     let train_end = month_start(months);
 
     // Load every *.log file.
@@ -275,6 +279,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         vocab: codec.vocab_size(),
         window,
         epochs,
+        threads,
         ..Default::default()
     });
     eprintln!("training LSTM ({} epochs, window {})...", epochs, window);
@@ -468,7 +473,10 @@ fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
     let cfg = sim_config(flags)?;
     eprintln!("simulating {} vPEs over {} months...", cfg.n_vpes, cfg.months);
     let trace = FleetTrace::simulate(cfg);
-    let mut pipe = PipelineConfig::default();
+    let mut pipe = PipelineConfig {
+        threads: flag(flags, "threads").unwrap_or("0").parse().map_err(|_| "bad --threads")?,
+        ..PipelineConfig::default()
+    };
     if flag(flags, "preset").unwrap_or("fast") == "fast" {
         pipe.lstm.epochs = 2;
         pipe.lstm.max_train_windows = 10_000;
