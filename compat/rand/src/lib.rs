@@ -221,6 +221,25 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw generator state, for exact persistence: a generator
+        /// rebuilt with [`SmallRng::from_state`] continues the stream
+        /// bit-for-bit where this one stands.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`SmallRng::state`] output.
+        /// An all-zero state (a xoshiro fixed point that `state()` can
+        /// never produce) is nudged to a valid one.
+        pub fn from_state(mut s: [u64; 4]) -> SmallRng {
+            if s == [0; 4] {
+                s[0] = 0x1;
+            }
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);

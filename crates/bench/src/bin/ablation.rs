@@ -21,7 +21,7 @@ use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig};
 use nfv_simnet::FleetTrace;
 
 fn evaluate(trace: &FleetTrace, cfg: &PipelineConfig) -> (f32, f32, f32, f32) {
-    let run = run_pipeline(trace, cfg);
+    let run = run_pipeline(trace, cfg).unwrap();
     let curve = eval::sweep_prc(&run, &cfg.mapping, 32);
     match curve.best_f_point() {
         Some(best) => (

@@ -27,7 +27,7 @@ fn main() {
     );
 
     let cfg = args.pipeline_config(DetectorKind::Lstm);
-    let run = run_pipeline(&trace, &cfg);
+    let run = run_pipeline(&trace, &cfg).unwrap();
 
     let mut json_curves = serde_json::Map::new();
     for (label, period) in [("1h", HOUR), ("1day", DAY), ("2day", 2 * DAY)] {

@@ -32,7 +32,7 @@ fn main() {
     let mut summary = Vec::new();
     for (name, kind) in kinds {
         let cfg = args.pipeline_config(kind);
-        let run = run_pipeline(&trace, &cfg);
+        let run = run_pipeline(&trace, &cfg).unwrap();
         let curve = eval::sweep_prc(&run, &cfg.mapping, 40);
         println!("{}", format_prc(name, &curve));
         if let Some(best) = curve.best_f_point() {

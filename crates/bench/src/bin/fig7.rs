@@ -68,7 +68,7 @@ fn main() {
     for (name, tweak) in &variants {
         let mut cfg = args.pipeline_config(DetectorKind::Lstm);
         tweak(&mut cfg);
-        let run = run_pipeline(&trace, &cfg);
+        let run = run_pipeline(&trace, &cfg).unwrap();
         // Operating threshold chosen on the pre-update months only, then
         // held fixed across the timeline (an operator cannot retune on
         // the future).

@@ -24,7 +24,7 @@ fn main() {
     eprintln!("simulated {} messages, {} tickets", trace.total_messages(), trace.tickets.len());
 
     let cfg = args.pipeline_config(DetectorKind::Lstm);
-    let run = run_pipeline(&trace, &cfg);
+    let run = run_pipeline(&trace, &cfg).unwrap();
     let curve = eval::sweep_prc(&run, &cfg.mapping, 40);
     let threshold = curve.best_f_point().map(|p| p.threshold).unwrap_or(1.0);
     eprintln!("operating threshold: {:.4}", threshold);

@@ -73,6 +73,7 @@ fn best_f(
         grouping: Grouping::single(streams.len()),
         vocab: 0,
         suppression,
+        events: vec![],
     };
     let curve = sweep_prc(&run, mapping, 32);
     match curve.best_f_point() {

@@ -7,12 +7,32 @@
 use crate::detector::{AnomalyDetector, ScoredEvent};
 use crate::features::{count_windows, fit_tfidf, CountWindows, WindowingConfig};
 use crate::par;
+use crate::state;
 use nfv_ml::{OneClassSvm, OneClassSvmConfig, Pca, TfIdf};
+use nfv_nn::checkpoint::{Checkpoint, CheckpointError};
 use nfv_nn::{Activation, Adam, Mlp, MseRows, Trainable, Trainer, TrainerConfig};
 use nfv_syslog::LogStream;
 use nfv_tensor::Matrix;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde_json::{json, Value};
+
+/// Serializes an optional TF-IDF transformer (`null` when unfitted).
+fn tfidf_value(tfidf: &Option<TfIdf>) -> Value {
+    tfidf.as_ref().map(|t| Value::from(t.idf())).into()
+}
+
+/// Restores [`tfidf_value`] output.
+fn tfidf_from_value(v: &Value) -> Result<Option<TfIdf>, CheckpointError> {
+    if v.is_null() {
+        return Ok(None);
+    }
+    let idf = state::f32s_from_value(v, "tfidf")?;
+    if idf.is_empty() {
+        return Err(CheckpointError::Invalid("tfidf state has no weights".into()));
+    }
+    Ok(Some(TfIdf::from_idf(idf)))
+}
 
 /// Hyper-parameters of [`AutoencoderDetector`].
 #[derive(Debug, Clone)]
@@ -161,6 +181,26 @@ impl AnomalyDetector for AutoencoderDetector {
             })
             .collect()
     }
+
+    fn to_state(&self) -> Value {
+        json!({
+            "detector": self.name(),
+            "mlp": self.mlp.to_checkpoint().to_value(),
+            "tfidf": tfidf_value(&self.tfidf),
+            "rng": state::rng_value(&self.rng),
+        })
+    }
+
+    fn load_state(&mut self, st: &Value) -> Result<(), CheckpointError> {
+        state::check_tag(st, self.name())?;
+        let ckpt = Checkpoint::from_value(state::require(st, "mlp")?)?;
+        let mlp = Mlp::try_from_checkpoint(&ckpt)?;
+        let tfidf = tfidf_from_value(state::require(st, "tfidf")?)?;
+        self.rng = state::rng_from_value(state::require(st, "rng")?)?;
+        self.mlp = mlp;
+        self.tfidf = tfidf;
+        Ok(())
+    }
 }
 
 /// Hyper-parameters of [`OcsvmDetector`].
@@ -279,6 +319,58 @@ impl AnomalyDetector for OcsvmDetector {
             })
             .collect()
     }
+
+    fn to_state(&self) -> Value {
+        json!({
+            "detector": self.name(),
+            "tfidf": tfidf_value(&self.tfidf),
+            "svm": self.model.as_ref().map(|m| json!({
+                "support_vectors": state::f32_rows_value(m.support_vectors()),
+                "alphas": Value::from(m.alphas()),
+                "rho": m.rho(),
+                "gamma": m.gamma(),
+            })),
+            "recent": state::f32_rows_value(&self.recent),
+            "rng": state::rng_value(&self.rng),
+        })
+    }
+
+    fn load_state(&mut self, st: &Value) -> Result<(), CheckpointError> {
+        state::check_tag(st, self.name())?;
+        let tfidf = tfidf_from_value(state::require(st, "tfidf")?)?;
+        let svm = state::require(st, "svm")?;
+        let model = if svm.is_null() {
+            None
+        } else {
+            let sv = state::f32_rows_from_value(state::require(svm, "support_vectors")?, "svm")?;
+            let alphas = state::f32s_from_value(state::require(svm, "alphas")?, "svm")?;
+            let rho = state::require(svm, "rho")?
+                .as_f64()
+                .ok_or_else(|| CheckpointError::MissingField("rho".into()))?
+                as f32;
+            let gamma = state::require(svm, "gamma")?
+                .as_f64()
+                .ok_or_else(|| CheckpointError::MissingField("gamma".into()))?
+                as f32;
+            if sv.len() != alphas.len() {
+                return Err(CheckpointError::Invalid(format!(
+                    "svm state: {} support vectors vs {} alphas",
+                    sv.len(),
+                    alphas.len()
+                )));
+            }
+            if sv.windows(2).any(|w| w[0].len() != w[1].len()) {
+                return Err(CheckpointError::Invalid("svm state: ragged support vectors".into()));
+            }
+            Some(OneClassSvm::from_parts(sv, alphas, rho, gamma))
+        };
+        let recent = state::f32_rows_from_value(state::require(st, "recent")?, "recent")?;
+        self.rng = state::rng_from_value(state::require(st, "rng")?)?;
+        self.tfidf = tfidf;
+        self.model = model;
+        self.recent = recent;
+        Ok(())
+    }
 }
 
 /// Hyper-parameters of [`PcaDetector`].
@@ -361,6 +453,42 @@ impl AnomalyDetector for PcaDetector {
                 ScoredEvent { time, score: model.residual_sq(&f) }
             })
             .collect()
+    }
+
+    fn to_state(&self) -> Value {
+        json!({
+            "detector": self.name(),
+            "tfidf": tfidf_value(&self.tfidf),
+            "pca": self.model.as_ref().map(|m| json!({
+                "mean": Value::from(m.mean()),
+                "components": state::f32_rows_value(m.components()),
+                "explained": Value::from(m.explained_variance()),
+            })),
+            "rng": state::rng_value(&self.rng),
+        })
+    }
+
+    fn load_state(&mut self, st: &Value) -> Result<(), CheckpointError> {
+        state::check_tag(st, self.name())?;
+        let tfidf = tfidf_from_value(state::require(st, "tfidf")?)?;
+        let pca = state::require(st, "pca")?;
+        let model = if pca.is_null() {
+            None
+        } else {
+            let mean = state::f32s_from_value(state::require(pca, "mean")?, "pca")?;
+            let components = state::f32_rows_from_value(state::require(pca, "components")?, "pca")?;
+            let explained = state::f32s_from_value(state::require(pca, "explained")?, "pca")?;
+            if components.len() != explained.len()
+                || components.iter().any(|c| c.len() != mean.len())
+            {
+                return Err(CheckpointError::Invalid("pca state: inconsistent shapes".into()));
+            }
+            Some(Pca::from_parts(mean, components, explained))
+        };
+        self.rng = state::rng_from_value(state::require(st, "rng")?)?;
+        self.tfidf = tfidf;
+        self.model = model;
+        Ok(())
     }
 }
 

@@ -8,7 +8,9 @@
 //! the paper applies the same customization and adaptation mechanisms to
 //! LSTM, Autoencoder and OC-SVM for a fair comparison (§5.2).
 
+use nfv_nn::checkpoint::CheckpointError;
 use nfv_syslog::LogStream;
+use serde_json::Value;
 
 /// One scored log event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +48,18 @@ pub trait AnomalyDetector: Send + Sync {
 
     /// Scores events of `stream` whose timestamps fall in `[start, end)`.
     fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent>;
+
+    /// Serializes the detector's complete learned state — model
+    /// parameters *and* RNG position — as a tagged JSON value, so a
+    /// restored detector continues bit-for-bit where this one stands
+    /// (the crash-safe pipeline checkpoint, [`crate::pipeline_ckpt`]).
+    fn to_state(&self) -> Value;
+
+    /// Restores state captured by [`AnomalyDetector::to_state`] into a
+    /// detector built with the *same configuration*. The state's tag
+    /// must match [`AnomalyDetector::name`]; shape or tag mismatches
+    /// surface as typed errors, never panics.
+    fn load_state(&mut self, state: &Value) -> Result<(), CheckpointError>;
 }
 
 #[cfg(test)]
@@ -74,6 +88,24 @@ mod tests {
                 .iter()
                 .map(|r| ScoredEvent { time: r.time, score: 0.5 })
                 .collect()
+        }
+        fn to_state(&self) -> Value {
+            serde_json::json!({
+                "detector": self.name(),
+                "fitted": self.fitted,
+                "updates": self.updates,
+            })
+        }
+        fn load_state(&mut self, state: &Value) -> Result<(), CheckpointError> {
+            crate::state::check_tag(state, self.name())?;
+            self.fitted = crate::state::require(state, "fitted")?
+                .as_bool()
+                .ok_or_else(|| CheckpointError::MissingField("fitted".into()))?;
+            self.updates = crate::state::require(state, "updates")?
+                .as_u64()
+                .ok_or_else(|| CheckpointError::MissingField("updates".into()))?
+                as usize;
+            Ok(())
         }
     }
 

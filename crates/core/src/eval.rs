@@ -286,6 +286,7 @@ mod tests {
             grouping: Grouping::single(1),
             vocab: 8,
             suppression: vec![Vec::new()],
+            events: vec![],
         }
     }
 
@@ -342,6 +343,7 @@ mod tests {
             grouping: Grouping::single(1),
             vocab: 8,
             suppression: vec![Vec::new()],
+            events: vec![],
         };
         let metrics = monthly_metrics(&run, &MappingConfig::default(), 1.0);
         // Month 2 must see the carried-in cluster: recall 1, no FN.

@@ -8,10 +8,13 @@
 //! so the two are directly comparable.
 
 use crate::detector::{AnomalyDetector, ScoredEvent};
+use crate::state;
 use nfv_ml::hmm::{Hmm, HmmConfig};
+use nfv_nn::checkpoint::CheckpointError;
 use nfv_syslog::LogStream;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde_json::{json, Value};
 
 /// Hyper-parameters of [`HmmDetector`].
 #[derive(Debug, Clone)]
@@ -111,6 +114,42 @@ impl AnomalyDetector for HmmDetector {
                 ScoredEvent { time, score: model.last_symbol_nll(&seq) as f32 }
             })
             .collect()
+    }
+
+    fn to_state(&self) -> Value {
+        json!({
+            "detector": self.name(),
+            "hmm": self.model.as_ref().map(|m| json!({
+                "pi": Value::from(m.pi()),
+                "a": state::f64_rows_value(m.transition()),
+                "b": state::f64_rows_value(m.emission()),
+            })),
+            "rng": state::rng_value(&self.rng),
+        })
+    }
+
+    fn load_state(&mut self, st: &Value) -> Result<(), CheckpointError> {
+        state::check_tag(st, self.name())?;
+        let hmm = state::require(st, "hmm")?;
+        let model = if hmm.is_null() {
+            None
+        } else {
+            let pi = state::f64s_from_value(state::require(hmm, "pi")?, "hmm")?;
+            let a = state::f64_rows_from_value(state::require(hmm, "a")?, "hmm")?;
+            let b = state::f64_rows_from_value(state::require(hmm, "b")?, "hmm")?;
+            let s_n = pi.len();
+            let square = a.len() == s_n && a.iter().all(|row| row.len() == s_n);
+            let emission = b.len() == s_n
+                && !b.is_empty()
+                && b.iter().all(|row| !row.is_empty() && row.len() == b[0].len());
+            if s_n == 0 || !square || !emission {
+                return Err(CheckpointError::Invalid("hmm state: inconsistent shapes".into()));
+            }
+            Some(Hmm::from_parts(pi, a, b))
+        };
+        self.rng = state::rng_from_value(state::require(st, "rng")?)?;
+        self.model = model;
+        Ok(())
     }
 }
 

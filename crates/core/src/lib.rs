@@ -39,7 +39,7 @@
 //! cfg.detector = DetectorKind::Lstm;
 //! cfg.lstm.epochs = 1;
 //! cfg.lstm.max_train_windows = 500;
-//! let run = run_pipeline(&trace, &cfg);
+//! let run = run_pipeline(&trace, &cfg).unwrap();
 //! let curve = eval::sweep_prc(&run, &cfg.mapping, 8);
 //! assert!(!curve.points.is_empty());
 //! ```
@@ -57,7 +57,9 @@ pub mod mapping;
 pub mod online;
 pub mod par;
 pub mod pipeline;
+pub mod pipeline_ckpt;
 pub mod report;
+pub mod state;
 pub mod supervisor;
 pub mod triage;
 
@@ -70,7 +72,10 @@ pub use hmm_detector::{HmmDetector, HmmDetectorConfig};
 pub use lstm_detector::{LstmDetector, LstmDetectorConfig};
 pub use mapping::{MappingConfig, MappingResult};
 pub use online::{OnlineMonitor, Warning};
-pub use pipeline::{run_pipeline, DetectorKind, PipelineConfig, PipelineRun};
+pub use pipeline::{
+    run_pipeline, CheckpointConfig, CrashPoint, DetectorKind, PipelineConfig, PipelineError,
+    PipelineEvent, PipelineRun,
+};
 pub use supervisor::{
     FeedHealth, FeedObserver, FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig,
 };

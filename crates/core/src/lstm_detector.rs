@@ -21,7 +21,9 @@
 
 use crate::detector::{AnomalyDetector, ScoredEvent};
 use crate::par;
+use crate::state;
 use nfv_ml::sampling::oversample_indices;
+use nfv_nn::checkpoint::{Checkpoint, CheckpointError};
 use nfv_nn::{
     Adam, SeqScratch, SeqView, SequenceModel, SequenceModelConfig, Trainer, TrainerConfig,
 };
@@ -29,6 +31,7 @@ use nfv_syslog::stream::WindowSet;
 use nfv_syslog::LogStream;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde_json::{json, Value};
 
 /// Hyper-parameters of [`LstmDetector`].
 #[derive(Debug, Clone)]
@@ -324,6 +327,30 @@ impl AnomalyDetector for LstmDetector {
             let p = probs[target].max(1e-9);
             ScoredEvent { time: ws.times[global_idx], score: -p.ln() }
         })
+    }
+
+    fn to_state(&self) -> Value {
+        json!({
+            "detector": self.name(),
+            "model": self.model.to_checkpoint().to_value(),
+            "rng": state::rng_value(&self.rng),
+        })
+    }
+
+    fn load_state(&mut self, st: &Value) -> Result<(), CheckpointError> {
+        state::check_tag(st, self.name())?;
+        let ckpt = Checkpoint::from_value(state::require(st, "model")?)?;
+        let model = SequenceModel::try_from_checkpoint(&ckpt)?;
+        if model.config().vocab != self.cfg.vocab {
+            return Err(CheckpointError::Invalid(format!(
+                "lstm state vocab {} does not match configured {}",
+                model.config().vocab,
+                self.cfg.vocab
+            )));
+        }
+        self.rng = state::rng_from_value(state::require(st, "rng")?)?;
+        self.model = model;
+        Ok(())
     }
 }
 

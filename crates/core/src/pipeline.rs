@@ -14,6 +14,22 @@
 //! The pipeline emits raw scored events per vPE per month;
 //! [`crate::eval`] turns them into PR curves, monthly F-measures and
 //! per-ticket-type detection rates.
+//!
+//! ## Crash safety
+//!
+//! With [`CheckpointConfig::dir`] set, the pipeline atomically writes a
+//! generation-numbered checkpoint after the initial fit (generation 0)
+//! and after each completed month `m` (generation `m`), and
+//! [`CheckpointConfig::resume`] continues an interrupted run from the
+//! newest intact generation. Resume is **bit-identical**: detector
+//! parameters and RNG positions are restored exactly, and the codec and
+//! encoded streams are rebuilt by replaying the recorded adaptation
+//! schedule against the trace, then verified against the checkpoint.
+//! See [`crate::pipeline_ckpt`] for the on-disk format.
+//!
+//! [`CheckpointConfig::crash`] injects deterministic crashes at month
+//! boundaries (including torn mid-save writes) so the recovery path is
+//! testable without killing the process.
 
 use crate::baselines::{
     AutoencoderConfig, AutoencoderDetector, OcsvmDetector, OcsvmDetectorConfig, PcaDetector,
@@ -26,9 +42,13 @@ use crate::hmm_detector::{HmmDetector, HmmDetectorConfig};
 use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
 use crate::mapping::{map_clusters, warning_clusters, MappingConfig};
 use crate::par;
+use crate::pipeline_ckpt;
+use nfv_nn::checkpoint::CheckpointError;
 use nfv_simnet::{FleetTrace, Ticket, TicketCause};
 use nfv_syslog::time::{month_start, DAY};
-use nfv_syslog::{LogRecord, LogStream};
+use nfv_syslog::{LogRecord, LogStream, SyslogMessage};
+use std::fmt;
+use std::path::PathBuf;
 
 /// Which detector family the pipeline runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +63,103 @@ pub enum DetectorKind {
     Pca,
     /// Discrete-HMM detector (related-work extension).
     Hmm,
+}
+
+/// A deterministic crash-injection point for the recovery test harness.
+///
+/// Injected crashes surface as [`PipelineError::CrashInjected`] instead
+/// of killing the process, so tests (and the CI smoke script) observe
+/// exactly the on-disk state a real crash at that point would leave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash immediately after month `m`'s boundary work — including its
+    /// checkpoint — completes. `AfterMonth(0)` crashes right after the
+    /// initial fit and its generation-0 checkpoint.
+    AfterMonth(usize),
+    /// Crash *during* the checkpoint save at month `m`'s boundary,
+    /// leaving a torn (truncated) file in place of generation `m` — the
+    /// non-atomic failure mode resume must fall back from.
+    MidSave(usize),
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashPoint::AfterMonth(m) => write!(f, "after month {} boundary", m),
+            CrashPoint::MidSave(m) => write!(f, "mid-save at month {} boundary", m),
+        }
+    }
+}
+
+/// Typed failure modes of [`run_pipeline`].
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The trace has fewer than two months (train + test).
+    TooFewMonths {
+        /// Months the trace actually covers.
+        months: usize,
+    },
+    /// Checkpoint persistence failed (i/o, malformed state).
+    Checkpoint(CheckpointError),
+    /// A checkpoint was found but cannot continue this run: it was
+    /// written under a different configuration or trace, or its replayed
+    /// state failed verification.
+    ResumeMismatch(String),
+    /// An injected [`CrashPoint`] fired (test harness only).
+    CrashInjected(CrashPoint),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::TooFewMonths { months } => {
+                write!(f, "need at least two months (train + test), trace has {}", months)
+            }
+            PipelineError::Checkpoint(e) => write!(f, "pipeline checkpoint failed: {}", e),
+            PipelineError::ResumeMismatch(msg) => write!(f, "cannot resume: {}", msg),
+            PipelineError::CrashInjected(p) => write!(f, "injected crash fired {}", p),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
+
+/// Crash-safety knobs of the monthly pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Checkpoint directory. `None` disables checkpointing entirely.
+    pub dir: Option<PathBuf>,
+    /// Write a checkpoint every N completed months (generation 0, after
+    /// the initial fit, is always written). Values below 1 behave as 1.
+    pub every: usize,
+    /// Checkpoint generations retained on disk; older ones are pruned.
+    /// At least 2 are needed for torn-write fallback; 0 behaves as the
+    /// default.
+    pub keep: usize,
+    /// Resume from the newest intact generation in `dir` when present
+    /// (a fresh run otherwise).
+    pub resume: bool,
+    /// Deterministic crash injection for the recovery test harness.
+    pub crash: Option<CrashPoint>,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig { dir: None, every: 1, keep: 3, resume: false, crash: None }
+    }
 }
 
 /// Pipeline configuration.
@@ -78,6 +195,8 @@ pub struct PipelineConfig {
     pub pca: PcaDetectorConfig,
     /// HMM hyper-parameters (vocab overwritten).
     pub hmm: HmmDetectorConfig,
+    /// Crash-safe checkpointing and resume.
+    pub checkpoint: CheckpointConfig,
     /// Worker threads for training shards and per-vPE scoring fan-out.
     /// `0` = auto (`available_parallelism` capped by the fleet size).
     /// Every value produces bit-identical results — threads are pure
@@ -105,6 +224,7 @@ impl Default for PipelineConfig {
             ocsvm: OcsvmDetectorConfig::default(),
             pca: PcaDetectorConfig::default(),
             hmm: HmmDetectorConfig::default(),
+            checkpoint: CheckpointConfig::default(),
             threads: 0,
             seed: 1,
         }
@@ -118,6 +238,22 @@ pub struct MonthScores {
     pub month: usize,
     /// Scored events per vPE.
     pub per_vpe: Vec<Vec<ScoredEvent>>,
+}
+
+/// A noteworthy condition the pipeline surfaced while running (carried
+/// in [`PipelineRun::events`] and persisted across resume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineEvent {
+    /// A group produced *no* scores during trigger calibration, so its
+    /// adaptation trigger was set to `+inf` — the false-alarm surge
+    /// check cannot fire for that group until a later recalibration
+    /// succeeds. Month 0 is the initial calibration.
+    EmptyCalibration {
+        /// Month whose scores were used for the calibration.
+        month: usize,
+        /// Group whose calibration was empty.
+        group: usize,
+    },
 }
 
 /// The pipeline's output: everything the evaluation needs.
@@ -139,6 +275,8 @@ pub struct PipelineRun {
     /// so its chatter is mapped to the maintenance ticket rather than
     /// counted as a false alarm.
     pub suppression: Vec<Vec<(u64, u64)>>,
+    /// Conditions surfaced during the run (empty calibrations, ...).
+    pub events: Vec<PipelineEvent>,
 }
 
 impl PipelineRun {
@@ -161,7 +299,7 @@ impl PipelineRun {
 /// paper's §4.2 rule — "we do not use any syslog data that is generated
 /// within 3 days from a ticket generation to the time that the ticket is
 /// marked as resolved" — i.e. the margin extends *before* the report;
-/// the window closes at repair time.
+/// the window closes at repair time. Both boundaries are inclusive.
 pub fn ticket_free(
     stream: &LogStream,
     tickets: &[&Ticket],
@@ -180,7 +318,7 @@ pub fn ticket_free(
     LogStream::from_records(records)
 }
 
-fn build_detector(
+pub(crate) fn build_detector(
     cfg: &PipelineConfig,
     vocab: usize,
     group: usize,
@@ -223,23 +361,63 @@ fn build_detector(
 }
 
 /// Quantile of the score distribution (used for the adaptation trigger).
-fn score_quantile(events: &[Vec<ScoredEvent>], q: f32) -> f32 {
+/// `None` when there are no scores at all.
+fn score_quantile(events: &[Vec<ScoredEvent>], q: f32) -> Option<f32> {
     let scores: Vec<f32> = events.iter().flat_map(|v| v.iter().map(|e| e.score)).collect();
-    nfv_tensor::stats::quantile(&scores, q).unwrap_or(f32::INFINITY)
+    nfv_tensor::stats::quantile(&scores, q)
 }
 
-/// Runs the full monthly protocol over a simulated trace.
-pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
-    let n_vpes = trace.config.n_vpes;
-    let n_months = trace.config.months;
-    assert!(n_months >= 2, "need at least two months (train + test)");
-    let threads = par::effective_threads(cfg.threads, n_vpes);
+/// Trigger calibration that *surfaces* the empty-scores case instead of
+/// silently disabling adaptation: an empty calibration still yields
+/// `+inf` (there is no meaningful threshold), but the condition is
+/// logged and recorded as a [`PipelineEvent::EmptyCalibration`].
+fn calibrate_trigger(
+    scores: &[Vec<ScoredEvent>],
+    q: f32,
+    month: usize,
+    group: usize,
+    events: &mut Vec<PipelineEvent>,
+) -> f32 {
+    match score_quantile(scores, q) {
+        Some(t) => t,
+        None => {
+            eprintln!(
+                "pipeline: warning: group {} produced no scores for trigger calibration \
+                 at month {}; its adaptation trigger is disabled (+inf) until a later \
+                 recalibration succeeds",
+                group, month
+            );
+            events.push(PipelineEvent::EmptyCalibration { month, group });
+            f32::INFINITY
+        }
+    }
+}
 
-    // --- Codec from month-0 raw text. ---
-    // The sample interleaves across vPEs (up to an equal share each) so
-    // that every behaviour group's templates are mined; a plain prefix
-    // would fill the cap from the first few vPEs only and leave other
-    // groups' templates unmined (encoding to UNKNOWN fleet-wide).
+/// Everything the monthly loop mutates: the live state of a run between
+/// month boundaries. Checkpoints capture it; resume reconstructs it.
+pub(crate) struct PipelineState {
+    pub codec: LogCodec,
+    pub cursor: Vec<usize>,
+    pub streams: Vec<LogStream>,
+    pub grouping: Grouping,
+    pub members: Vec<Vec<usize>>,
+    pub detectors: Vec<Box<dyn AnomalyDetector>>,
+    pub trigger: Vec<f32>,
+    pub fa_baseline: Vec<Option<f32>>,
+    pub months: Vec<MonthScores>,
+    pub adaptations: Vec<(usize, usize)>,
+    pub events: Vec<PipelineEvent>,
+    /// First month the loop still has to run (`completed + 1`).
+    pub next_month: usize,
+}
+
+/// Mines the template codec from a month-0 sample. The sample
+/// interleaves across vPEs (up to an equal share each) so that every
+/// behaviour group's templates are mined; a plain prefix would fill the
+/// cap from the first few vPEs only and leave other groups' templates
+/// unmined (encoding to UNKNOWN fleet-wide).
+pub(crate) fn mine_codec(trace: &FleetTrace, cfg: &PipelineConfig) -> LogCodec {
+    let n_vpes = trace.config.n_vpes;
     let month1_end = month_start(1);
     let per_vpe_budget = (cfg.codec_sample / n_vpes).max(1);
     let mut sample = Vec::new();
@@ -253,23 +431,116 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                 .cloned(),
         );
     }
-    let mut codec = LogCodec::train(&sample, cfg.spare_vocab);
-    let vocab = codec.vocab_size();
+    LogCodec::train(&sample, cfg.spare_vocab)
+}
 
-    // --- Encode month 0 and set up grouping. ---
-    // Streams are encoded incrementally (month by month) because the
-    // codec can gain templates at adaptation time. `trace.messages(vpe)`
-    // is time-sorted, so each vPE keeps a cursor of how far it has been
-    // encoded and month boundaries are found by binary search — no
-    // rescan of the whole history every month.
-    let mut cursor: Vec<usize> = vec![0; n_vpes];
-    let mut streams: Vec<LogStream> = (0..n_vpes)
+/// Encodes every vPE's month 0 and returns the per-vPE cursors.
+/// Streams are encoded incrementally (month by month) because the codec
+/// can gain templates at adaptation time; `trace.messages(vpe)` is
+/// time-sorted, so each vPE keeps a cursor of how far it has been
+/// encoded and month boundaries are found by binary search.
+pub(crate) fn encode_month0(trace: &FleetTrace, codec: &LogCodec) -> (Vec<usize>, Vec<LogStream>) {
+    let n_vpes = trace.config.n_vpes;
+    let month1_end = month_start(1);
+    let mut cursor = vec![0usize; n_vpes];
+    let streams = (0..n_vpes)
         .map(|vpe| {
             let msgs = trace.messages(vpe);
             cursor[vpe] = msgs.partition_point(|m| m.timestamp < month1_end);
             codec.encode_stream(&msgs[..cursor[vpe]])
         })
         .collect();
+    (cursor, streams)
+}
+
+/// Appends the raw messages up to `m_end` to every stream, encoded with
+/// the current codec. The cursor already sits at the previous boundary,
+/// so the new slice is found by one binary search and appended in place.
+pub(crate) fn append_month(
+    trace: &FleetTrace,
+    codec: &LogCodec,
+    streams: &mut [LogStream],
+    cursor: &mut [usize],
+    m_end: u64,
+) {
+    for (vpe, stream) in streams.iter_mut().enumerate() {
+        let msgs = trace.messages(vpe);
+        let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
+        stream.append(codec.encode_stream(&msgs[cursor[vpe]..hi]));
+        cursor[vpe] = hi;
+    }
+}
+
+/// Pools one group's raw messages over `[m_start, week_end)` — the fresh
+/// sample an adaptation refreshes the codec with.
+pub(crate) fn collect_week(
+    trace: &FleetTrace,
+    members_g: &[usize],
+    m_start: u64,
+    week_end: u64,
+) -> Vec<SyslogMessage> {
+    let mut week_msgs = Vec::new();
+    for &v in members_g {
+        let msgs = trace.messages(v);
+        let lo = msgs.partition_point(|msg| msg.timestamp < m_start);
+        let wk = msgs.partition_point(|msg| msg.timestamp < week_end);
+        week_msgs.extend_from_slice(&msgs[lo..wk]);
+    }
+    week_msgs
+}
+
+/// Re-encodes one group's full history up to `m_end` after a codec
+/// refresh (ids of known templates are stable; only new ones change).
+/// This is the one place the whole history is re-encoded, and the cursor
+/// is re-anchored to the same boundary.
+pub(crate) fn reencode_members(
+    trace: &FleetTrace,
+    codec: &LogCodec,
+    streams: &mut [LogStream],
+    cursor: &mut [usize],
+    members_g: &[usize],
+    m_end: u64,
+) {
+    for &v in members_g {
+        let msgs = trace.messages(v);
+        let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
+        streams[v] = codec.encode_stream(&msgs[..hi]);
+        cursor[v] = hi;
+    }
+}
+
+/// Fingerprint binding a checkpoint to its configuration and trace.
+/// Thread counts and the checkpoint knobs themselves are zeroed out
+/// first: they are pure scheduling/operational settings that never
+/// change the trajectory, so resuming with a different thread count or
+/// checkpoint cadence is sound (and tested).
+pub(crate) fn fingerprint(trace: &FleetTrace, cfg: &PipelineConfig) -> u64 {
+    let mut c = cfg.clone();
+    c.threads = 0;
+    c.lstm.threads = 0;
+    c.autoencoder.threads = 0;
+    c.checkpoint = CheckpointConfig::default();
+    let total_msgs: usize = (0..trace.config.n_vpes).map(|v| trace.messages(v).len()).sum();
+    let desc = format!(
+        "{:?}|vpes={} months={} msgs={} tickets={}",
+        c,
+        trace.config.n_vpes,
+        trace.config.months,
+        total_msgs,
+        trace.tickets.len()
+    );
+    nfv_nn::checkpoint::fnv1a64(desc.as_bytes())
+}
+
+/// Builds the run's initial state: codec, month-0 streams, grouping,
+/// per-group initial fits and trigger calibration.
+fn init_state(trace: &FleetTrace, cfg: &PipelineConfig, threads: usize) -> PipelineState {
+    let n_vpes = trace.config.n_vpes;
+    let month1_end = month_start(1);
+
+    let codec = mine_codec(trace, cfg);
+    let vocab = codec.vocab_size();
+    let (cursor, streams) = encode_month0(trace, &codec);
 
     let grouping = if cfg.customize {
         Grouping::cluster(&streams, vocab, 0, month1_end, 2..=6, cfg.seed)
@@ -280,7 +551,7 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
 
     let all_tickets: Vec<Vec<&Ticket>> = (0..n_vpes).map(|v| trace.tickets_for(v)).collect();
 
-    // --- Initial fit per group (parallel). ---
+    // Initial fit per group (parallel).
     let mut detectors: Vec<Box<dyn AnomalyDetector>> =
         (0..grouping.k).map(|g| build_detector(cfg, vocab, g, threads)).collect();
     {
@@ -304,8 +575,9 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
         });
     }
 
-    // --- Trigger thresholds per group (from month-0 scores). ---
-    let mut trigger: Vec<f32> = (0..grouping.k)
+    // Trigger thresholds per group (from month-0 scores).
+    let mut events = Vec::new();
+    let trigger: Vec<f32> = (0..grouping.k)
         .map(|g| {
             let scores = par::par_blocks(&members[g], threads, |_, block| {
                 block
@@ -313,148 +585,187 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                     .map(|&v| detectors[g].score(&streams[v], 0, month1_end))
                     .collect::<Vec<_>>()
             });
-            score_quantile(&scores, cfg.trigger_quantile)
+            calibrate_trigger(&scores, cfg.trigger_quantile, 0, g, &mut events)
         })
         .collect();
-    let mut fa_baseline: Vec<Option<f32>> = vec![None; grouping.k];
+    let fa_baseline = vec![None; grouping.k];
 
-    // --- Monthly loop. ---
-    let mut months = Vec::new();
-    let mut adaptations = Vec::new();
-    for m in 1..n_months {
-        let m_start = month_start(m);
-        let m_end = month_start(m + 1);
+    PipelineState {
+        codec,
+        cursor,
+        streams,
+        grouping,
+        members,
+        detectors,
+        trigger,
+        fa_baseline,
+        months: Vec::new(),
+        adaptations: Vec::new(),
+        events,
+        next_month: 1,
+    }
+}
 
-        // Encode this month's raw messages with the current codec. The
-        // cursor already sits at the month boundary, so the new slice is
-        // found by one binary search and appended in place — the encoded
-        // prefix is never rebuilt.
-        for (vpe, stream) in streams.iter_mut().enumerate() {
-            let msgs = trace.messages(vpe);
-            let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
-            stream.append(codec.encode_stream(&msgs[cursor[vpe]..hi]));
-            cursor[vpe] = hi;
+/// Runs one month of the protocol: encode, score, false-alarm check
+/// (with adaptation when it surges), record scores, monthly update.
+fn run_month(
+    trace: &FleetTrace,
+    cfg: &PipelineConfig,
+    threads: usize,
+    state: &mut PipelineState,
+    m: usize,
+) {
+    let n_vpes = trace.config.n_vpes;
+    let m_start = month_start(m);
+    let m_end = month_start(m + 1);
+    let all_tickets: Vec<Vec<&Ticket>> = (0..n_vpes).map(|v| trace.tickets_for(v)).collect();
+
+    append_month(trace, &state.codec, &mut state.streams, &mut state.cursor, m_end);
+
+    // Score the month: vPEs fan out across the worker pool in fixed
+    // index-ordered blocks, so the result is identical to a serial loop
+    // for any thread count.
+    let vpe_ids: Vec<usize> = (0..n_vpes).collect();
+    let detectors = &state.detectors;
+    let streams = &state.streams;
+    let grouping = &state.grouping;
+    let mut per_vpe: Vec<Vec<ScoredEvent>> = par::par_blocks(&vpe_ids, threads, |_, block| {
+        block
+            .iter()
+            .map(|&v| detectors[grouping.group_of(v)].score(&streams[v], m_start, m_end))
+            .collect::<Vec<_>>()
+    });
+
+    // False-alarm-rate check per group -> adaptation.
+    for g in 0..state.grouping.k {
+        let mut fa = 0usize;
+        for &v in &state.members[g] {
+            let clusters = warning_clusters(&per_vpe[v], state.trigger[g], &cfg.mapping);
+            let result = map_clusters(
+                &clusters,
+                &all_tickets[v].iter().map(|&&t| t).collect::<Vec<_>>(),
+                &cfg.mapping,
+            );
+            fa += result.false_alarms;
         }
-
-        // Score the month: vPEs fan out across the worker pool in fixed
-        // index-ordered blocks, so the result is identical to a serial
-        // loop for any thread count.
-        let vpe_ids: Vec<usize> = (0..n_vpes).collect();
-        let mut per_vpe: Vec<Vec<ScoredEvent>> = par::par_blocks(&vpe_ids, threads, |_, block| {
-            block
+        let days = (m_end - m_start) as f32 / DAY as f32;
+        let fa_rate = fa as f32 / days / state.members[g].len().max(1) as f32;
+        let surged = match state.fa_baseline[g] {
+            Some(base) => fa_rate > cfg.fa_surge_factor * (base + 0.02),
+            None => false,
+        };
+        if surged && cfg.adapt {
+            state.adaptations.push((m, g));
+            // Refresh the codec with the first week of the month so new
+            // templates earn dense ids, re-encode that week, and
+            // fine-tune on it.
+            let week_end = m_start + cfg.adapt_span;
+            let week_msgs = collect_week(trace, &state.members[g], m_start, week_end);
+            state.codec.refresh(&week_msgs);
+            reencode_members(
+                trace,
+                &state.codec,
+                &mut state.streams,
+                &mut state.cursor,
+                &state.members[g],
+                m_end,
+            );
+            let adapt_streams: Vec<LogStream> = state.members[g]
                 .iter()
-                .map(|&v| detectors[grouping.group_of(v)].score(&streams[v], m_start, m_end))
-                .collect::<Vec<_>>()
-        });
+                .map(|&v| {
+                    ticket_free(
+                        &state.streams[v],
+                        &all_tickets[v],
+                        cfg.train_exclusion,
+                        m_start,
+                        week_end,
+                    )
+                })
+                .collect();
+            let refs: Vec<&LogStream> = adapt_streams.iter().collect();
+            state.detectors[g].adapt(&refs);
 
-        // False-alarm-rate check per group -> adaptation.
-        for g in 0..grouping.k {
-            let mut fa = 0usize;
-            for &v in &members[g] {
-                let clusters = warning_clusters(&per_vpe[v], trigger[g], &cfg.mapping);
-                let result = map_clusters(
-                    &clusters,
-                    &all_tickets[v].iter().map(|&&t| t).collect::<Vec<_>>(),
-                    &cfg.mapping,
-                );
-                fa += result.false_alarms;
+            // Re-score the month after the adaptation point.
+            let det = &state.detectors[g];
+            let streams = &state.streams;
+            let rescored = par::par_blocks(&state.members[g], threads, |_, block| {
+                block.iter().map(|&v| det.score(&streams[v], week_end, m_end)).collect::<Vec<_>>()
+            });
+            for (&v, scored) in state.members[g].iter().zip(rescored) {
+                per_vpe[v].retain(|e| e.time < week_end);
+                per_vpe[v].extend(scored);
             }
-            let days = (m_end - m_start) as f32 / DAY as f32;
-            let fa_rate = fa as f32 / days / members[g].len().max(1) as f32;
-            let surged = match fa_baseline[g] {
-                Some(base) => fa_rate > cfg.fa_surge_factor * (base + 0.02),
-                None => false,
-            };
-            if surged && cfg.adapt {
-                adaptations.push((m, g));
-                // Refresh the codec with the first week of the month so
-                // new templates earn dense ids, re-encode that week, and
-                // fine-tune on it.
-                let week_end = m_start + cfg.adapt_span;
-                let mut week_msgs = Vec::new();
-                for &v in &members[g] {
-                    let msgs = trace.messages(v);
-                    let lo = msgs.partition_point(|msg| msg.timestamp < m_start);
-                    let wk = msgs.partition_point(|msg| msg.timestamp < week_end);
-                    week_msgs.extend_from_slice(&msgs[lo..wk]);
-                }
-                codec.refresh(&week_msgs);
-                // Re-encode the month for this group's members (ids of
-                // known templates are stable; only new ones change). This
-                // is the one place the whole history is re-encoded, and
-                // the cursor is re-anchored to the same boundary.
-                for &v in &members[g] {
-                    let msgs = trace.messages(v);
-                    let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
-                    streams[v] = codec.encode_stream(&msgs[..hi]);
-                    cursor[v] = hi;
-                }
-                let adapt_streams: Vec<LogStream> = members[g]
-                    .iter()
-                    .map(|&v| {
-                        ticket_free(
-                            &streams[v],
-                            &all_tickets[v],
-                            cfg.train_exclusion,
-                            m_start,
-                            week_end,
-                        )
-                    })
-                    .collect();
-                let refs: Vec<&LogStream> = adapt_streams.iter().collect();
-                detectors[g].adapt(&refs);
-
-                // Re-score the month after the adaptation point.
-                let rescored = par::par_blocks(&members[g], threads, |_, block| {
-                    block
-                        .iter()
-                        .map(|&v| detectors[g].score(&streams[v], week_end, m_end))
-                        .collect::<Vec<_>>()
-                });
-                for (&v, scored) in members[g].iter().zip(rescored) {
-                    per_vpe[v].retain(|e| e.time < week_end);
-                    per_vpe[v].extend(scored);
-                }
-                // Reset the trigger calibration on the adapted model.
-                let scores = par::par_blocks(&members[g], threads, |_, block| {
-                    block
-                        .iter()
-                        .map(|&v| detectors[g].score(&streams[v], m_start, week_end))
-                        .collect::<Vec<_>>()
-                });
-                trigger[g] = score_quantile(&scores, cfg.trigger_quantile);
-                fa_baseline[g] = None;
-            } else {
-                fa_baseline[g] = Some(match fa_baseline[g] {
-                    Some(base) => 0.7 * base + 0.3 * fa_rate,
-                    None => fa_rate,
-                });
-            }
+            // Reset the trigger calibration on the adapted model.
+            let scores = par::par_blocks(&state.members[g], threads, |_, block| {
+                block.iter().map(|&v| det.score(&streams[v], m_start, week_end)).collect::<Vec<_>>()
+            });
+            state.trigger[g] =
+                calibrate_trigger(&scores, cfg.trigger_quantile, m, g, &mut state.events);
+            state.fa_baseline[g] = None;
+        } else {
+            state.fa_baseline[g] = Some(match state.fa_baseline[g] {
+                Some(base) => 0.7 * base + 0.3 * fa_rate,
+                None => fa_rate,
+            });
         }
-
-        months.push(MonthScores { month: m, per_vpe });
-
-        // Incremental monthly update on this month's ticket-free data.
-        let streams_ref = &streams;
-        let tickets_ref = &all_tickets;
-        let members_ref = &members;
-        std::thread::scope(|scope| {
-            for (g, det) in detectors.iter_mut().enumerate() {
-                let exclusion = cfg.train_exclusion;
-                scope.spawn(move || {
-                    let pooled: Vec<LogStream> = members_ref[g]
-                        .iter()
-                        .map(|&v| {
-                            ticket_free(&streams_ref[v], &tickets_ref[v], exclusion, m_start, m_end)
-                        })
-                        .collect();
-                    let refs: Vec<&LogStream> = pooled.iter().collect();
-                    det.update(&refs);
-                });
-            }
-        });
     }
 
+    state.months.push(MonthScores { month: m, per_vpe });
+
+    // Incremental monthly update on this month's ticket-free data.
+    let streams_ref = &state.streams;
+    let tickets_ref = &all_tickets;
+    let members_ref = &state.members;
+    std::thread::scope(|scope| {
+        for (g, det) in state.detectors.iter_mut().enumerate() {
+            let exclusion = cfg.train_exclusion;
+            scope.spawn(move || {
+                let pooled: Vec<LogStream> = members_ref[g]
+                    .iter()
+                    .map(|&v| {
+                        ticket_free(&streams_ref[v], &tickets_ref[v], exclusion, m_start, m_end)
+                    })
+                    .collect();
+                let refs: Vec<&LogStream> = pooled.iter().collect();
+                det.update(&refs);
+            });
+        }
+    });
+}
+
+/// Checkpoint + crash-injection hook, called at every month boundary
+/// (`m = 0` right after the initial fit). A checkpoint is written when
+/// the boundary is on the `every` cadence — or unconditionally when an
+/// injected crash fires here, so the recovery test observes the exact
+/// state a real crash at this point would leave.
+fn checkpoint_boundary(
+    cfg: &PipelineConfig,
+    fp: u64,
+    state: &PipelineState,
+    m: usize,
+) -> Result<(), PipelineError> {
+    let ck = &cfg.checkpoint;
+    let crash_after = matches!(ck.crash, Some(CrashPoint::AfterMonth(c)) if c == m);
+    let torn_here = matches!(ck.crash, Some(CrashPoint::MidSave(c)) if c == m);
+    if let Some(dir) = &ck.dir {
+        if torn_here {
+            pipeline_ckpt::write_torn(dir, fp, state, m)?;
+            return Err(PipelineError::CrashInjected(CrashPoint::MidSave(m)));
+        }
+        if m.is_multiple_of(ck.every.max(1)) || crash_after {
+            let keep = if ck.keep == 0 { CheckpointConfig::default().keep } else { ck.keep };
+            pipeline_ckpt::save(dir, fp, state, m, keep)?;
+        }
+    }
+    if crash_after {
+        return Err(PipelineError::CrashInjected(CrashPoint::AfterMonth(m)));
+    }
+    Ok(())
+}
+
+/// Assembles the run output from the final state.
+fn finish(trace: &FleetTrace, cfg: &PipelineConfig, state: PipelineState) -> PipelineRun {
+    let n_vpes = trace.config.n_vpes;
     let tickets = trace
         .tickets
         .iter()
@@ -477,5 +788,93 @@ pub fn run_pipeline(trace: &FleetTrace, cfg: &PipelineConfig) -> PipelineRun {
                 .collect()
         })
         .collect();
-    PipelineRun { months, tickets, adaptations, grouping, vocab, suppression }
+    PipelineRun {
+        months: state.months,
+        tickets,
+        adaptations: state.adaptations,
+        grouping: state.grouping,
+        vocab: state.codec.vocab_size(),
+        suppression,
+        events: state.events,
+    }
+}
+
+/// Runs the full monthly protocol over a simulated trace.
+///
+/// With [`CheckpointConfig::dir`] set the run is crash-safe: each month
+/// boundary atomically persists a generation-numbered checkpoint, and
+/// [`CheckpointConfig::resume`] continues from the newest intact one
+/// with bit-identical results (falling back past torn or corrupt
+/// generations).
+pub fn run_pipeline(
+    trace: &FleetTrace,
+    cfg: &PipelineConfig,
+) -> Result<PipelineRun, PipelineError> {
+    let n_months = trace.config.months;
+    if n_months < 2 {
+        return Err(PipelineError::TooFewMonths { months: n_months });
+    }
+    let threads = par::effective_threads(cfg.threads, trace.config.n_vpes);
+    let fp = fingerprint(trace, cfg);
+
+    let resumed = if cfg.checkpoint.resume && cfg.checkpoint.dir.is_some() {
+        pipeline_ckpt::try_resume(trace, cfg, threads, fp)?
+    } else {
+        None
+    };
+
+    let mut state = match resumed {
+        Some(state) => state,
+        None => {
+            let state = init_state(trace, cfg, threads);
+            checkpoint_boundary(cfg, fp, &state, 0)?;
+            state
+        }
+    };
+
+    for m in state.next_month..n_months {
+        run_month(trace, cfg, threads, &mut state, m);
+        state.next_month = m + 1;
+        checkpoint_boundary(cfg, fp, &state, m)?;
+    }
+    Ok(finish(trace, cfg, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Regression for the silent-disable bug: an empty score set used to
+    // calibrate the trigger to +inf without a trace, permanently (and
+    // invisibly) disabling adaptation for the group. The condition must
+    // now surface as a typed event.
+    #[test]
+    fn empty_calibration_yields_inf_and_a_typed_event() {
+        let mut events = Vec::new();
+        let t = calibrate_trigger(&[Vec::new(), Vec::new()], 0.995, 3, 1, &mut events);
+        assert!(t.is_infinite() && t > 0.0, "empty calibration must disable the trigger");
+        assert_eq!(events, vec![PipelineEvent::EmptyCalibration { month: 3, group: 1 }]);
+    }
+
+    #[test]
+    fn nonempty_calibration_emits_no_event() {
+        let mut events = Vec::new();
+        let scores =
+            vec![vec![ScoredEvent { time: 10, score: 1.0 }, ScoredEvent { time: 20, score: 3.0 }]];
+        let t = calibrate_trigger(&scores, 0.5, 0, 0, &mut events);
+        assert!(t.is_finite());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn too_few_months_is_a_typed_error() {
+        let mut sim = nfv_simnet::SimConfig::preset(nfv_simnet::SimPreset::Fast, 1);
+        sim.n_vpes = 2;
+        sim.months = 1;
+        let trace = FleetTrace::simulate(sim);
+        match run_pipeline(&trace, &PipelineConfig::default()) {
+            Err(PipelineError::TooFewMonths { months: 1 }) => {}
+            other => panic!("expected TooFewMonths, got {:?}", other.err().map(|e| e.to_string())),
+        }
+    }
 }

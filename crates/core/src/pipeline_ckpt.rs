@@ -1,0 +1,540 @@
+//! Crash-safe pipeline checkpoints: the on-disk format and the resume
+//! path behind [`crate::pipeline::CheckpointConfig`].
+//!
+//! ## On-disk format
+//!
+//! Each checkpoint is one checksummed JSON envelope (same layout as
+//! model checkpoints: `format` / `version` / `checksum` / `payload`,
+//! sealed by [`nfv_nn::checkpoint::seal_envelope`]) written atomically
+//! (temp file + rename) to `pipeline-ckpt-NNNNNN.json`, where `NNNNNN`
+//! is the **generation** — the number of completed months it captures.
+//! Generation 0 is written right after the initial fit + trigger
+//! calibration; generation `m` after month `m`'s update. The payload
+//! records:
+//!
+//! * a `fingerprint` binding the checkpoint to its config + trace
+//!   (thread counts and checkpoint knobs excluded — they never change
+//!   the trajectory);
+//! * the mined codec ([`SavedCodec`]), per-vPE cursors and encoded
+//!   stream lengths (for replay verification);
+//! * the grouping, per-group detector state (exact parameters + RNG
+//!   positions via [`AnomalyDetector::to_state`]), trigger thresholds
+//!   and false-alarm baselines (f32 **bit patterns**, so `+inf`
+//!   triggers survive JSON), the adaptation log, surfaced events and
+//!   all accumulated month scores (times + score bit patterns).
+//!
+//! ## Retention and corruption fallback
+//!
+//! The last `keep` generations are retained; older files are pruned
+//! after each successful save. On resume, generations are tried newest
+//! first: a torn or checksum-corrupt file is skipped with a warning and
+//! the previous generation is used instead. Only when *no* generation
+//! is readable does the run start fresh. A readable checkpoint whose
+//! fingerprint disagrees with the current run is a hard
+//! [`PipelineError::ResumeMismatch`] — silently recomputing under a
+//! different config would not be a resume.
+//!
+//! ## Resume invariants (bit-identical recovery)
+//!
+//! Detector parameters and RNG positions come verbatim from the
+//! checkpoint. The codec and the encoded streams are **replayed**, not
+//! loaded: re-mining the month-0 sample and re-applying the recorded
+//! adaptation schedule (refresh + group re-encode, in order) is fully
+//! deterministic given the trace, and the result is verified against
+//! the checkpointed codec, cursors and stream lengths — any
+//! disagreement is a [`PipelineError::ResumeMismatch`]. A resumed run
+//! therefore continues the exact trajectory: the final
+//! [`PipelineRun`](crate::pipeline::PipelineRun) is bitwise identical
+//! to an uninterrupted run at any thread count.
+
+use crate::codec::SavedCodec;
+use crate::detector::ScoredEvent;
+use crate::grouping::Grouping;
+use crate::pipeline::{
+    self, MonthScores, PipelineConfig, PipelineError, PipelineEvent, PipelineState,
+};
+use crate::state;
+use nfv_nn::checkpoint::{atomic_write, open_envelope, seal_envelope, CheckpointError};
+use nfv_simnet::FleetTrace;
+use nfv_syslog::time::month_start;
+use serde_json::{json, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Envelope `format` tag of pipeline checkpoints.
+pub const PIPELINE_CKPT_FORMAT: &str = "nfv-pipeline-checkpoint";
+
+/// Path of generation `g` inside `dir`.
+pub fn generation_path(dir: &Path, generation: usize) -> PathBuf {
+    dir.join(format!("pipeline-ckpt-{:06}.json", generation))
+}
+
+fn parse_generation(name: &str) -> Option<usize> {
+    name.strip_prefix("pipeline-ckpt-")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// Checkpoint generations present in `dir`, ascending. Missing or
+/// unreadable directories yield an empty list.
+pub fn list_generations(dir: &Path) -> Vec<usize> {
+    let mut gens: Vec<usize> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| parse_generation(&e.file_name().to_string_lossy()))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    gens.sort_unstable();
+    gens
+}
+
+fn events_value(events: &[PipelineEvent]) -> Value {
+    Value::Array(
+        events
+            .iter()
+            .map(|e| match e {
+                PipelineEvent::EmptyCalibration { month, group } => json!({
+                    "kind": "empty_calibration",
+                    "month": *month,
+                    "group": *group,
+                }),
+            })
+            .collect(),
+    )
+}
+
+fn events_from_value(v: &Value) -> Result<Vec<PipelineEvent>, CheckpointError> {
+    let arr =
+        v.as_array().ok_or_else(|| CheckpointError::Invalid("events must be an array".into()))?;
+    arr.iter()
+        .map(|e| {
+            let kind = state::require(e, "kind")?
+                .as_str()
+                .ok_or_else(|| CheckpointError::Invalid("event kind must be a string".into()))?;
+            match kind {
+                "empty_calibration" => Ok(PipelineEvent::EmptyCalibration {
+                    month: usize_field(e, "month")?,
+                    group: usize_field(e, "group")?,
+                }),
+                other => Err(CheckpointError::Invalid(format!("unknown event kind '{}'", other))),
+            }
+        })
+        .collect()
+}
+
+fn months_value(months: &[MonthScores]) -> Value {
+    Value::Array(
+        months
+            .iter()
+            .map(|m| {
+                json!({
+                    "month": m.month,
+                    "per_vpe": Value::Array(
+                        m.per_vpe
+                            .iter()
+                            .map(|events| {
+                                json!({
+                                    "t": events.iter().map(|e| e.time).collect::<Vec<u64>>(),
+                                    "s": Value::Array(
+                                        events
+                                            .iter()
+                                            .map(|e| Value::from(e.score.to_bits() as u64))
+                                            .collect(),
+                                    ),
+                                })
+                            })
+                            .collect(),
+                    ),
+                })
+            })
+            .collect(),
+    )
+}
+
+fn months_from_value(v: &Value) -> Result<Vec<MonthScores>, CheckpointError> {
+    let arr =
+        v.as_array().ok_or_else(|| CheckpointError::Invalid("months must be an array".into()))?;
+    arr.iter()
+        .map(|m| {
+            let month = usize_field(m, "month")?;
+            let vpes = state::require(m, "per_vpe")?
+                .as_array()
+                .ok_or_else(|| CheckpointError::Invalid("per_vpe must be an array".into()))?;
+            let per_vpe = vpes
+                .iter()
+                .map(|entry| {
+                    let times = state::u64s_from_value(state::require(entry, "t")?, "month times")?;
+                    let bits = state::u64s_from_value(state::require(entry, "s")?, "month scores")?;
+                    if times.len() != bits.len() {
+                        return Err(CheckpointError::Invalid(format!(
+                            "month {}: {} times vs {} scores",
+                            month,
+                            times.len(),
+                            bits.len()
+                        )));
+                    }
+                    Ok(times
+                        .iter()
+                        .zip(bits.iter())
+                        .map(|(&time, &b)| ScoredEvent { time, score: f32::from_bits(b as u32) })
+                        .collect::<Vec<ScoredEvent>>())
+                })
+                .collect::<Result<Vec<_>, CheckpointError>>()?;
+            Ok(MonthScores { month, per_vpe })
+        })
+        .collect()
+}
+
+fn usize_field(v: &Value, field: &str) -> Result<usize, CheckpointError> {
+    state::require(v, field)?
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| CheckpointError::Invalid(format!("field '{}' must be an integer", field)))
+}
+
+/// Serializes the live state at `month` completed months into the
+/// checkpoint payload.
+fn capture(state: &PipelineState, fp: u64, month: usize) -> Value {
+    json!({
+        "fingerprint": format!("{:016x}", fp),
+        "month": month,
+        "vocab": state.codec.vocab_size(),
+        "codec": state.codec.to_saved().to_value(),
+        "cursor": state.cursor.iter().map(|&c| c as u64).collect::<Vec<u64>>(),
+        "stream_len": state.streams.iter().map(|s| s.records().len() as u64).collect::<Vec<u64>>(),
+        "grouping": json!({
+            "assignment": state.grouping.assignment.iter().map(|&g| g as u64).collect::<Vec<u64>>(),
+            "k": state.grouping.k,
+            "modularity_bits": state.grouping.modularity.to_bits(),
+        }),
+        "adaptations": Value::Array(
+            state
+                .adaptations
+                .iter()
+                .map(|&(m, g)| Value::from(vec![m as u64, g as u64]))
+                .collect(),
+        ),
+        "trigger_bits": Value::Array(
+            state.trigger.iter().map(|t| state::f32_bits_value(*t)).collect(),
+        ),
+        "fa_baseline_bits": Value::Array(
+            state
+                .fa_baseline
+                .iter()
+                .map(|b| match b {
+                    Some(x) => state::f32_bits_value(*x),
+                    None => Value::Null,
+                })
+                .collect(),
+        ),
+        "detectors": Value::Array(state.detectors.iter().map(|d| d.to_state()).collect()),
+        "events": events_value(&state.events),
+        "months": months_value(&state.months),
+    })
+}
+
+/// A parsed checkpoint payload, before replay/restore.
+struct LoadedCheckpoint {
+    fingerprint: String,
+    month: usize,
+    vocab: usize,
+    codec: SavedCodec,
+    cursor: Vec<usize>,
+    stream_len: Vec<usize>,
+    grouping: Grouping,
+    adaptations: Vec<(usize, usize)>,
+    trigger: Vec<f32>,
+    fa_baseline: Vec<Option<f32>>,
+    detectors: Vec<Value>,
+    events: Vec<PipelineEvent>,
+    months: Vec<MonthScores>,
+}
+
+fn parse(payload: &Value) -> Result<LoadedCheckpoint, CheckpointError> {
+    let fingerprint = state::require(payload, "fingerprint")?
+        .as_str()
+        .ok_or_else(|| CheckpointError::Invalid("fingerprint must be a string".into()))?
+        .to_string();
+    let month = usize_field(payload, "month")?;
+    let vocab = usize_field(payload, "vocab")?;
+    let codec = SavedCodec::from_value(state::require(payload, "codec")?)?;
+    let cursor: Vec<usize> = state::u64s_from_value(state::require(payload, "cursor")?, "cursor")?
+        .into_iter()
+        .map(|c| c as usize)
+        .collect();
+    let stream_len: Vec<usize> =
+        state::u64s_from_value(state::require(payload, "stream_len")?, "stream_len")?
+            .into_iter()
+            .map(|c| c as usize)
+            .collect();
+
+    let gv = state::require(payload, "grouping")?;
+    let assignment: Vec<usize> =
+        state::u64s_from_value(state::require(gv, "assignment")?, "grouping assignment")?
+            .into_iter()
+            .map(|g| g as usize)
+            .collect();
+    let k = usize_field(gv, "k")?;
+    let modularity_bits = state::require(gv, "modularity_bits")?
+        .as_u64()
+        .ok_or_else(|| CheckpointError::Invalid("modularity_bits must be an integer".into()))?;
+    if k == 0 || assignment.iter().any(|&g| g >= k) {
+        return Err(CheckpointError::Invalid("grouping assignment out of range".into()));
+    }
+    let grouping = Grouping { assignment, k, modularity: f32::from_bits(modularity_bits as u32) };
+
+    let adaptations = state::require(payload, "adaptations")?
+        .as_array()
+        .ok_or_else(|| CheckpointError::Invalid("adaptations must be an array".into()))?
+        .iter()
+        .map(|pair| {
+            let ns = state::u64s_from_value(pair, "adaptation entry")?;
+            if ns.len() != 2 {
+                return Err(CheckpointError::Invalid(
+                    "adaptation entries must be [month, group]".into(),
+                ));
+            }
+            Ok((ns[0] as usize, ns[1] as usize))
+        })
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+
+    let trigger = state::require(payload, "trigger_bits")?
+        .as_array()
+        .ok_or_else(|| CheckpointError::Invalid("trigger_bits must be an array".into()))?
+        .iter()
+        .map(|b| state::f32_from_bits(b, "trigger"))
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    let fa_baseline =
+        state::require(payload, "fa_baseline_bits")?
+            .as_array()
+            .ok_or_else(|| CheckpointError::Invalid("fa_baseline_bits must be an array".into()))?
+            .iter()
+            .map(|b| {
+                if b.is_null() {
+                    Ok(None)
+                } else {
+                    state::f32_from_bits(b, "fa_baseline").map(Some)
+                }
+            })
+            .collect::<Result<Vec<_>, CheckpointError>>()?;
+
+    let detectors = state::require(payload, "detectors")?
+        .as_array()
+        .ok_or_else(|| CheckpointError::Invalid("detectors must be an array".into()))?
+        .clone();
+    let events = events_from_value(state::require(payload, "events")?)?;
+    let months = months_from_value(state::require(payload, "months")?)?;
+
+    Ok(LoadedCheckpoint {
+        fingerprint,
+        month,
+        vocab,
+        codec,
+        cursor,
+        stream_len,
+        grouping,
+        adaptations,
+        trigger,
+        fa_baseline,
+        detectors,
+        events,
+        months,
+    })
+}
+
+/// Seals and atomically writes generation `month`, then prunes old
+/// generations beyond `keep`.
+pub(crate) fn save(
+    dir: &Path,
+    fp: u64,
+    state: &PipelineState,
+    month: usize,
+    keep: usize,
+) -> Result<(), PipelineError> {
+    fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
+    let text = seal_envelope(PIPELINE_CKPT_FORMAT, capture(state, fp, month));
+    atomic_write(&generation_path(dir, month), &text).map_err(CheckpointError::Io)?;
+    let gens = list_generations(dir);
+    if gens.len() > keep {
+        for &g in &gens[..gens.len() - keep] {
+            // Best-effort: a prune failure never fails the run.
+            let _ = fs::remove_file(generation_path(dir, g));
+        }
+    }
+    Ok(())
+}
+
+/// Simulates a torn (interrupted, non-atomic) checkpoint write: the
+/// sealed envelope is truncated halfway and written directly to the
+/// final generation path. Used only by crash injection.
+pub(crate) fn write_torn(
+    dir: &Path,
+    fp: u64,
+    state: &PipelineState,
+    month: usize,
+) -> Result<(), PipelineError> {
+    fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
+    let text = seal_envelope(PIPELINE_CKPT_FORMAT, capture(state, fp, month));
+    let torn = &text[..text.len() / 2];
+    fs::write(generation_path(dir, month), torn).map_err(CheckpointError::Io)?;
+    Ok(())
+}
+
+/// Attempts to resume from the newest intact generation in the
+/// checkpoint directory. Returns `Ok(None)` when there is nothing to
+/// resume from (no directory, no readable generation) — the caller
+/// starts fresh. A readable checkpoint from a *different* run
+/// (fingerprint mismatch) or one whose replay fails verification is a
+/// hard error.
+pub(crate) fn try_resume(
+    trace: &FleetTrace,
+    cfg: &PipelineConfig,
+    threads: usize,
+    fp: u64,
+) -> Result<Option<PipelineState>, PipelineError> {
+    let Some(dir) = &cfg.checkpoint.dir else { return Ok(None) };
+    let mut gens = list_generations(dir);
+    gens.reverse();
+    for g in gens {
+        let path = generation_path(dir, g);
+        let loaded = fs::read_to_string(&path)
+            .map_err(CheckpointError::Io)
+            .and_then(|text| open_envelope(PIPELINE_CKPT_FORMAT, &text))
+            .and_then(|payload| parse(&payload));
+        let ck = match loaded {
+            Ok(ck) => ck,
+            Err(e) => {
+                eprintln!(
+                    "pipeline: checkpoint generation {} ({}) is unreadable: {}; \
+                     falling back to the previous generation",
+                    g,
+                    path.display(),
+                    e
+                );
+                continue;
+            }
+        };
+        let expect = format!("{:016x}", fp);
+        if ck.fingerprint != expect {
+            return Err(PipelineError::ResumeMismatch(format!(
+                "checkpoint fingerprint {} was written by a different config/trace \
+                 (this run is {})",
+                ck.fingerprint, expect
+            )));
+        }
+        return restore(trace, cfg, threads, ck).map(Some);
+    }
+    Ok(None)
+}
+
+/// Rebuilds live state from a parsed checkpoint: detector parameters
+/// are restored verbatim; codec and streams are replayed from the trace
+/// (deterministic) and verified against the checkpoint.
+fn restore(
+    trace: &FleetTrace,
+    cfg: &PipelineConfig,
+    threads: usize,
+    ck: LoadedCheckpoint,
+) -> Result<PipelineState, PipelineError> {
+    let n_vpes = trace.config.n_vpes;
+    if ck.cursor.len() != n_vpes
+        || ck.stream_len.len() != n_vpes
+        || ck.grouping.assignment.len() != n_vpes
+    {
+        return Err(PipelineError::ResumeMismatch(format!(
+            "checkpoint covers {} vPEs, trace has {}",
+            ck.grouping.assignment.len(),
+            n_vpes
+        )));
+    }
+    if ck.month + 1 > trace.config.months {
+        return Err(PipelineError::ResumeMismatch(format!(
+            "checkpoint has {} completed months, trace only covers {}",
+            ck.month, trace.config.months
+        )));
+    }
+
+    // Replay the codec/stream mutation schedule recorded in the
+    // adaptation log (mining, monthly appends, per-adaptation refresh +
+    // re-encode are all deterministic given the trace).
+    let mut codec = pipeline::mine_codec(trace, cfg);
+    let (mut cursor, mut streams) = pipeline::encode_month0(trace, &codec);
+    let members = ck.grouping.members();
+    for m in 1..=ck.month {
+        let m_end = month_start(m + 1);
+        pipeline::append_month(trace, &codec, &mut streams, &mut cursor, m_end);
+        for &(_, g) in ck.adaptations.iter().filter(|&&(am, _)| am == m) {
+            if g >= members.len() {
+                return Err(PipelineError::ResumeMismatch(format!(
+                    "adaptation log references group {} of {}",
+                    g,
+                    members.len()
+                )));
+            }
+            let m_start = month_start(m);
+            let week_end = m_start + cfg.adapt_span;
+            let week_msgs = pipeline::collect_week(trace, &members[g], m_start, week_end);
+            codec.refresh(&week_msgs);
+            pipeline::reencode_members(
+                trace,
+                &codec,
+                &mut streams,
+                &mut cursor,
+                &members[g],
+                m_end,
+            );
+        }
+    }
+    if codec.to_saved() != ck.codec {
+        return Err(PipelineError::ResumeMismatch(
+            "replayed codec does not match the checkpointed codec".into(),
+        ));
+    }
+    if codec.vocab_size() != ck.vocab {
+        return Err(PipelineError::ResumeMismatch(format!(
+            "replayed vocab {} does not match checkpointed {}",
+            codec.vocab_size(),
+            ck.vocab
+        )));
+    }
+    if cursor != ck.cursor {
+        return Err(PipelineError::ResumeMismatch(
+            "replayed stream cursors do not match the checkpoint".into(),
+        ));
+    }
+    let lens: Vec<usize> = streams.iter().map(|s| s.records().len()).collect();
+    if lens != ck.stream_len {
+        return Err(PipelineError::ResumeMismatch(
+            "replayed stream lengths do not match the checkpoint".into(),
+        ));
+    }
+
+    let k = ck.grouping.k;
+    if ck.detectors.len() != k || ck.trigger.len() != k || ck.fa_baseline.len() != k {
+        return Err(PipelineError::ResumeMismatch(format!(
+            "checkpoint has {} detector states for {} groups",
+            ck.detectors.len(),
+            k
+        )));
+    }
+    let mut detectors = Vec::with_capacity(k);
+    for (g, st) in ck.detectors.iter().enumerate() {
+        let mut det = pipeline::build_detector(cfg, ck.vocab, g, threads);
+        det.load_state(st).map_err(PipelineError::Checkpoint)?;
+        detectors.push(det);
+    }
+
+    Ok(PipelineState {
+        codec,
+        cursor,
+        streams,
+        grouping: ck.grouping,
+        members,
+        detectors,
+        trigger: ck.trigger,
+        fa_baseline: ck.fa_baseline,
+        months: ck.months,
+        adaptations: ck.adaptations,
+        events: ck.events,
+        next_month: ck.month + 1,
+    })
+}

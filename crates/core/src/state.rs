@@ -1,0 +1,184 @@
+//! JSON (de)serialization helpers for detector and pipeline state.
+//!
+//! The crash-safe pipeline checkpoint (see [`crate::pipeline_ckpt`])
+//! persists every detector's learned parameters plus its RNG position so
+//! a resumed run continues bit-for-bit where the crashed one stopped.
+//! This module holds the small shared vocabulary those serializers use:
+//! tagged state objects, RNG state arrays, and float vectors.
+//!
+//! Finite floats are stored as plain JSON numbers — the workspace's
+//! writer emits shortest round-trip representations, so the decoded
+//! value is bit-identical (the [`nfv_nn::checkpoint::MatrixDump`]
+//! precedent). Floats that may be non-finite (trigger thresholds start
+//! at `+inf` for empty calibrations) must instead go through
+//! [`f32_bits_value`]/[`f32_from_bits`], which store the raw IEEE-754
+//! bit pattern as a JSON integer.
+
+use nfv_nn::checkpoint::CheckpointError;
+use rand::rngs::SmallRng;
+use serde_json::Value;
+
+/// Field lookup that converts absence into a typed error.
+pub fn require<'a>(v: &'a Value, field: &str) -> Result<&'a Value, CheckpointError> {
+    v.get(field).ok_or_else(|| CheckpointError::MissingField(field.to_string()))
+}
+
+/// Verifies a detector-state object's `"detector"` tag.
+pub fn check_tag(v: &Value, expected: &str) -> Result<(), CheckpointError> {
+    let found = require(v, "detector")?
+        .as_str()
+        .ok_or_else(|| CheckpointError::MissingField("detector".into()))?;
+    if found != expected {
+        return Err(CheckpointError::Invalid(format!(
+            "detector state tag mismatch: expected {:?}, found {:?}",
+            expected, found
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes an RNG's position as a 4-word array.
+pub fn rng_value(rng: &SmallRng) -> Value {
+    Value::from(rng.state().to_vec())
+}
+
+/// Restores an RNG from [`rng_value`] output.
+pub fn rng_from_value(v: &Value) -> Result<SmallRng, CheckpointError> {
+    let words = u64s_from_value(v, "rng")?;
+    let s: [u64; 4] = words
+        .try_into()
+        .map_err(|_| CheckpointError::Invalid("rng state must have 4 words".into()))?;
+    Ok(SmallRng::from_state(s))
+}
+
+/// Decodes an array of u64.
+pub fn u64s_from_value(v: &Value, what: &str) -> Result<Vec<u64>, CheckpointError> {
+    v.as_array()
+        .ok_or_else(|| CheckpointError::MissingField(what.to_string()))?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| CheckpointError::MissingField(what.to_string())))
+        .collect()
+}
+
+/// Decodes an array of finite f32.
+pub fn f32s_from_value(v: &Value, what: &str) -> Result<Vec<f32>, CheckpointError> {
+    v.as_array()
+        .ok_or_else(|| CheckpointError::MissingField(what.to_string()))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|f| f as f32)
+                .ok_or_else(|| CheckpointError::MissingField(what.to_string()))
+        })
+        .collect()
+}
+
+/// Encodes a list of f32 rows as a nested array.
+pub fn f32_rows_value(rows: &[Vec<f32>]) -> Value {
+    Value::Array(rows.iter().map(|r| Value::from(r.as_slice())).collect())
+}
+
+/// Decodes a nested array of finite f32.
+pub fn f32_rows_from_value(v: &Value, what: &str) -> Result<Vec<Vec<f32>>, CheckpointError> {
+    v.as_array()
+        .ok_or_else(|| CheckpointError::MissingField(what.to_string()))?
+        .iter()
+        .map(|row| f32s_from_value(row, what))
+        .collect()
+}
+
+/// Decodes an array of finite f64.
+pub fn f64s_from_value(v: &Value, what: &str) -> Result<Vec<f64>, CheckpointError> {
+    v.as_array()
+        .ok_or_else(|| CheckpointError::MissingField(what.to_string()))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| CheckpointError::MissingField(what.to_string())))
+        .collect()
+}
+
+/// Encodes a list of f64 rows as a nested array.
+pub fn f64_rows_value(rows: &[Vec<f64>]) -> Value {
+    Value::Array(rows.iter().map(|r| Value::from(r.as_slice())).collect())
+}
+
+/// Decodes a nested array of finite f64.
+pub fn f64_rows_from_value(v: &Value, what: &str) -> Result<Vec<Vec<f64>>, CheckpointError> {
+    v.as_array()
+        .ok_or_else(|| CheckpointError::MissingField(what.to_string()))?
+        .iter()
+        .map(|row| f64s_from_value(row, what))
+        .collect()
+}
+
+/// Encodes a possibly non-finite f32 as its IEEE-754 bit pattern (JSON
+/// cannot represent `inf`/`nan` as numbers).
+pub fn f32_bits_value(x: f32) -> Value {
+    Value::from(x.to_bits())
+}
+
+/// Decodes [`f32_bits_value`] output.
+pub fn f32_from_bits(v: &Value, what: &str) -> Result<f32, CheckpointError> {
+    let bits = v.as_u64().ok_or_else(|| CheckpointError::MissingField(what.to_string()))?;
+    u32::try_from(bits)
+        .map(f32::from_bits)
+        .map_err(|_| CheckpointError::Invalid(format!("{}: bit pattern out of u32 range", what)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use serde_json::json;
+
+    #[test]
+    fn rng_roundtrip_continues_the_stream() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..17 {
+            let _: u64 = rng.gen();
+        }
+        let saved = rng_value(&rng);
+        // Force a text roundtrip: the checkpoint path goes through JSON.
+        let reparsed = serde_json::from_str(&saved.to_string()).unwrap();
+        let mut restored = rng_from_value(&reparsed).unwrap();
+        for _ in 0..100 {
+            assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn float_vectors_roundtrip_bitwise_through_text() {
+        let xs = vec![0.1f32, -3.25, 1e-30, 7.0, f32::MIN_POSITIVE];
+        let text = Value::from(xs.as_slice()).to_string();
+        let back = f32s_from_value(&serde_json::from_str(&text).unwrap(), "xs").unwrap();
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let ys = vec![vec![0.3f64, -1e-200], vec![2.0, 5e300]];
+        let text = f64_rows_value(&ys).to_string();
+        let back = f64_rows_from_value(&serde_json::from_str(&text).unwrap(), "ys").unwrap();
+        assert_eq!(ys, back);
+    }
+
+    #[test]
+    fn bit_pattern_encoding_survives_infinities() {
+        for x in [f32::INFINITY, f32::NEG_INFINITY, 0.25f32, -0.0] {
+            let v: Value = serde_json::from_str(&f32_bits_value(x).to_string()).unwrap();
+            assert_eq!(f32_from_bits(&v, "x").unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_typed_error() {
+        let v = json!({"detector": "lstm"});
+        assert!(check_tag(&v, "lstm").is_ok());
+        match check_tag(&v, "pca") {
+            Err(CheckpointError::Invalid(msg)) => assert!(msg.contains("tag mismatch")),
+            other => panic!("expected Invalid, got {:?}", other),
+        }
+        match check_tag(&json!({}), "pca") {
+            Err(CheckpointError::MissingField(_)) => {}
+            other => panic!("expected MissingField, got {:?}", other),
+        }
+    }
+}

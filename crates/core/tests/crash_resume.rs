@@ -1,0 +1,252 @@
+//! Crash-recovery lock for the monthly pipeline: a run killed at *any*
+//! month boundary and resumed from its checkpoint directory must
+//! produce a `PipelineRun` bitwise identical to an uninterrupted run —
+//! at any thread count, and even when the newest checkpoint generation
+//! is torn or corrupt (fallback to the previous generation).
+
+use nfv_detect::pipeline::{
+    run_pipeline, CrashPoint, DetectorKind, PipelineConfig, PipelineError, PipelineRun,
+};
+use nfv_detect::pipeline_ckpt;
+use nfv_simnet::{FleetTrace, SimConfig, SimPreset};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+const MONTHS: usize = 6;
+
+fn trace() -> &'static FleetTrace {
+    static TRACE: OnceLock<FleetTrace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        let mut sim = SimConfig::preset(SimPreset::Fast, 11);
+        sim.n_vpes = 3;
+        sim.months = MONTHS;
+        FleetTrace::simulate(sim)
+    })
+}
+
+fn pca_cfg(threads: usize) -> PipelineConfig {
+    PipelineConfig { detector: DetectorKind::Pca, threads, ..PipelineConfig::default() }
+}
+
+fn baseline() -> &'static PipelineRun {
+    static RUN: OnceLock<PipelineRun> = OnceLock::new();
+    RUN.get_or_init(|| run_pipeline(trace(), &pca_cfg(1)).unwrap())
+}
+
+fn scratch_dir(label: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "nfv_crash_resume_{}_{}_{}",
+        std::process::id(),
+        label,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Bitwise equality of two runs: event times, score bit patterns,
+/// adaptation log, grouping, suppression windows, surfaced events.
+fn assert_bitwise_identical(a: &PipelineRun, b: &PipelineRun, label: &str) {
+    assert_eq!(a.months.len(), b.months.len(), "{label}: month count");
+    for (ma, mb) in a.months.iter().zip(&b.months) {
+        assert_eq!(ma.month, mb.month, "{label}: month index");
+        assert_eq!(ma.per_vpe.len(), mb.per_vpe.len(), "{label}: vpe count");
+        for (vpe, (ea, eb)) in ma.per_vpe.iter().zip(&mb.per_vpe).enumerate() {
+            assert_eq!(ea.len(), eb.len(), "{label}: month {} vpe {} event count", ma.month, vpe);
+            for (x, y) in ea.iter().zip(eb.iter()) {
+                assert_eq!(x.time, y.time, "{label}: month {} vpe {} time", ma.month, vpe);
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "{label}: month {} vpe {} score bits",
+                    ma.month,
+                    vpe
+                );
+            }
+        }
+    }
+    assert_eq!(a.adaptations, b.adaptations, "{label}: adaptations");
+    assert_eq!(a.vocab, b.vocab, "{label}: vocab");
+    assert_eq!(a.grouping.assignment, b.grouping.assignment, "{label}: grouping");
+    assert_eq!(a.grouping.k, b.grouping.k, "{label}: group count");
+    assert_eq!(
+        a.grouping.modularity.to_bits(),
+        b.grouping.modularity.to_bits(),
+        "{label}: modularity bits"
+    );
+    assert_eq!(a.suppression, b.suppression, "{label}: suppression windows");
+    assert_eq!(a.events, b.events, "{label}: surfaced events");
+    let ids = |r: &PipelineRun| r.tickets.iter().map(|t| t.id).collect::<Vec<_>>();
+    assert_eq!(ids(a), ids(b), "{label}: evaluated tickets");
+}
+
+fn expect_crash(cfg: &PipelineConfig, want: CrashPoint) {
+    match run_pipeline(trace(), cfg) {
+        Err(PipelineError::CrashInjected(p)) => assert_eq!(p, want, "wrong crash point"),
+        Err(e) => panic!("expected injected crash {:?}, got error: {}", want, e),
+        Ok(_) => panic!("expected injected crash {:?}, run completed", want),
+    }
+}
+
+#[test]
+fn kill_at_every_month_boundary_resumes_bit_identically() {
+    for kill_at in 0..MONTHS {
+        for threads in [1usize, 2, 4] {
+            let dir = scratch_dir("kill");
+            let mut cfg = pca_cfg(threads);
+            cfg.checkpoint.dir = Some(dir.clone());
+            cfg.checkpoint.crash = Some(CrashPoint::AfterMonth(kill_at));
+            expect_crash(&cfg, CrashPoint::AfterMonth(kill_at));
+
+            let mut cfg = pca_cfg(threads);
+            cfg.checkpoint.dir = Some(dir.clone());
+            cfg.checkpoint.resume = true;
+            let resumed = run_pipeline(trace(), &cfg).unwrap();
+            assert_bitwise_identical(
+                baseline(),
+                &resumed,
+                &format!("kill at month {} / {} threads", kill_at, threads),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn torn_final_save_falls_back_to_previous_generation() {
+    let dir = scratch_dir("torn");
+    let mut cfg = pca_cfg(2);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.crash = Some(CrashPoint::MidSave(3));
+    expect_crash(&cfg, CrashPoint::MidSave(3));
+
+    // Generation 3 is a torn (truncated) file; resume must skip it and
+    // redo months 3.. from generation 2, still bit-identically.
+    assert!(pipeline_ckpt::generation_path(&dir, 3).exists(), "torn file must exist");
+    let mut cfg = pca_cfg(4);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.resume = true;
+    let resumed = run_pipeline(trace(), &cfg).unwrap();
+    assert_bitwise_identical(baseline(), &resumed, "torn gen 3 fallback");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checksum_corruption_falls_back_to_previous_generation() {
+    let dir = scratch_dir("corrupt");
+    let mut cfg = pca_cfg(1);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.crash = Some(CrashPoint::AfterMonth(2));
+    expect_crash(&cfg, CrashPoint::AfterMonth(2));
+
+    // Flip one checksum hex digit of the newest generation: the file
+    // stays valid JSON but fails envelope verification.
+    let path = pipeline_ckpt::generation_path(&dir, 2);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let at = text.find("\"checksum\"").expect("envelope has a checksum") + "\"checksum\":\"".len();
+    let mut bytes = text.into_bytes();
+    bytes[at] = if bytes[at] == b'f' { b'0' } else { b'f' };
+    std::fs::write(&path, bytes).unwrap();
+
+    let mut cfg = pca_cfg(2);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.resume = true;
+    let resumed = run_pipeline(trace(), &cfg).unwrap();
+    assert_bitwise_identical(baseline(), &resumed, "corrupt gen 2 fallback");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sparse_checkpoint_cadence_redoes_skipped_months() {
+    let dir = scratch_dir("every");
+    let mut cfg = pca_cfg(1);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.every = 2;
+    cfg.checkpoint.crash = Some(CrashPoint::MidSave(3));
+    expect_crash(&cfg, CrashPoint::MidSave(3));
+
+    // Cadence 2 wrote generations 0 and 2; boundary 3 left a torn file.
+    assert!(pipeline_ckpt::generation_path(&dir, 0).exists());
+    assert!(!pipeline_ckpt::generation_path(&dir, 1).exists());
+    assert!(pipeline_ckpt::generation_path(&dir, 2).exists());
+    assert!(pipeline_ckpt::generation_path(&dir, 3).exists());
+
+    let mut cfg = pca_cfg(2);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.every = 2;
+    cfg.checkpoint.resume = true;
+    let resumed = run_pipeline(trace(), &cfg).unwrap();
+    assert_bitwise_identical(baseline(), &resumed, "sparse cadence redo");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_with_empty_directory_starts_fresh() {
+    let dir = scratch_dir("fresh");
+    let mut cfg = pca_cfg(1);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.resume = true;
+    let run = run_pipeline(trace(), &cfg).unwrap();
+    assert_bitwise_identical(baseline(), &run, "fresh start under --resume");
+    // The fresh run itself checkpointed as it went (retention default 3).
+    assert!(pipeline_ckpt::generation_path(&dir, MONTHS - 1).exists());
+    assert_eq!(pipeline_ckpt::list_generations(&dir).len(), 3, "retention prunes to keep");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_under_a_different_config_is_rejected() {
+    let dir = scratch_dir("mismatch");
+    let mut cfg = pca_cfg(1);
+    cfg.checkpoint.dir = Some(dir.clone());
+    cfg.checkpoint.crash = Some(CrashPoint::AfterMonth(1));
+    expect_crash(&cfg, CrashPoint::AfterMonth(1));
+
+    let mut other = pca_cfg(1);
+    other.trigger_quantile = 0.9;
+    other.checkpoint.dir = Some(dir.clone());
+    other.checkpoint.resume = true;
+    match run_pipeline(trace(), &other) {
+        Err(PipelineError::ResumeMismatch(msg)) => {
+            assert!(msg.contains("fingerprint"), "unexpected message: {}", msg)
+        }
+        Err(e) => panic!("expected ResumeMismatch, got: {}", e),
+        Ok(_) => panic!("expected ResumeMismatch, run completed"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lstm_detector_state_survives_crash_and_resume() {
+    let mut sim = SimConfig::preset(SimPreset::Fast, 5);
+    sim.n_vpes = 3;
+    sim.months = 3;
+    let trace = FleetTrace::simulate(sim);
+    let mut cfg =
+        PipelineConfig { detector: DetectorKind::Lstm, threads: 1, ..PipelineConfig::default() };
+    cfg.lstm.epochs = 1;
+    cfg.lstm.update_epochs = 1;
+    cfg.lstm.max_train_windows = 400;
+    let uninterrupted = run_pipeline(&trace, &cfg).unwrap();
+
+    let dir = scratch_dir("lstm");
+    let mut crashed = cfg.clone();
+    crashed.threads = 2;
+    crashed.checkpoint.dir = Some(dir.clone());
+    crashed.checkpoint.crash = Some(CrashPoint::AfterMonth(1));
+    match run_pipeline(&trace, &crashed) {
+        Err(PipelineError::CrashInjected(_)) => {}
+        other => panic!("expected injected crash, got {:?}", other.err().map(|e| e.to_string())),
+    }
+
+    let mut resume = cfg.clone();
+    resume.threads = 4;
+    resume.checkpoint.dir = Some(dir.clone());
+    resume.checkpoint.resume = true;
+    let resumed = run_pipeline(&trace, &resume).unwrap();
+    assert_bitwise_identical(&uninterrupted, &resumed, "lstm crash/resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,7 +18,7 @@ fn small_run(threads: usize) -> PipelineRun {
     cfg.lstm.epochs = 1;
     cfg.lstm.update_epochs = 1;
     cfg.lstm.max_train_windows = 600;
-    run_pipeline(&trace, &cfg)
+    run_pipeline(&trace, &cfg).unwrap()
 }
 
 /// Exact (bitwise) equality of two runs' scored months.

@@ -1,0 +1,39 @@
+//! Pipeline-level regression for empty trigger calibration: a detector
+//! configuration that can never produce a score (an HMM whose window is
+//! longer than any stream) must not silently disable adaptation — the
+//! run completes and surfaces one `EmptyCalibration` event per group.
+
+use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig, PipelineEvent};
+use nfv_simnet::{FleetTrace, SimConfig, SimPreset};
+
+#[test]
+fn scoreless_group_surfaces_empty_calibration_events() {
+    let mut sim = SimConfig::preset(SimPreset::Fast, 3);
+    sim.n_vpes = 3;
+    sim.months = 3;
+    let trace = FleetTrace::simulate(sim);
+
+    let mut cfg = PipelineConfig { detector: DetectorKind::Hmm, ..PipelineConfig::default() };
+    // No stream is ever this long, so fitting finds no training windows
+    // (the model stays unfit) and scoring returns nothing.
+    cfg.hmm.window = 10_000_000;
+
+    let run = run_pipeline(&trace, &cfg).unwrap();
+
+    // Every group calibrated on an empty score set at month 0.
+    let k = run.grouping.k;
+    assert!(k >= 1);
+    for g in 0..k {
+        assert!(
+            run.events.contains(&PipelineEvent::EmptyCalibration { month: 0, group: g }),
+            "group {} missing its EmptyCalibration event; events: {:?}",
+            g,
+            run.events
+        );
+    }
+    // The run still completed all months (with no scored events) and
+    // the disabled trigger meant no adaptation could fire.
+    assert_eq!(run.months.len(), 2);
+    assert!(run.months.iter().all(|m| m.per_vpe.iter().all(|v| v.is_empty())));
+    assert!(run.adaptations.is_empty());
+}

@@ -1,0 +1,154 @@
+//! Boundary-semantics lock for `ticket_free`, the §4.2 training-data
+//! hygiene filter: records inside `[report - exclusion, repair]` of any
+//! ticket are dropped, with both boundaries inclusive, and overlapping
+//! tickets behave as a plain interval union (no double-drop, no leak).
+
+use nfv_detect::pipeline::ticket_free;
+use nfv_simnet::{Ticket, TicketCause};
+use nfv_syslog::{LogRecord, LogStream};
+use proptest::prelude::*;
+
+fn ticket(id: usize, report: u64, repair: u64) -> Ticket {
+    Ticket {
+        id,
+        vpe: 0,
+        cause: TicketCause::Hardware,
+        report_time: report,
+        repair_time: repair,
+        core_incident: false,
+    }
+}
+
+fn stream_of(times: &[u64]) -> LogStream {
+    LogStream::from_records(times.iter().map(|&time| LogRecord { time, template: 1 }).collect())
+}
+
+fn kept_times(out: &LogStream) -> Vec<u64> {
+    out.records().iter().map(|r| r.time).collect()
+}
+
+#[test]
+fn exclusion_window_boundaries_are_inclusive() {
+    // Ticket reported at t=1000, repaired at t=1500, exclusion 200:
+    // the window is exactly [800, 1500].
+    let t = ticket(0, 1000, 1500);
+    let stream = stream_of(&[799, 800, 801, 1499, 1500, 1501]);
+    let out = ticket_free(&stream, &[&t], 200, 0, u64::MAX);
+    assert_eq!(kept_times(&out), vec![799, 1501]);
+}
+
+#[test]
+fn exclusion_saturates_at_time_zero() {
+    // report - exclusion would underflow; the window starts at 0.
+    let t = ticket(0, 100, 200);
+    let stream = stream_of(&[0, 50, 201]);
+    let out = ticket_free(&stream, &[&t], 500, 0, u64::MAX);
+    assert_eq!(kept_times(&out), vec![201]);
+}
+
+#[test]
+fn overlapping_tickets_drop_the_union_exactly_once() {
+    // Windows [80, 150] and [120, 220] overlap on [120, 150]; records
+    // there must be dropped once (not panic, not survive), and records
+    // outside the union must all survive.
+    let a = ticket(0, 100, 150);
+    let b = ticket(1, 140, 220);
+    let stream = stream_of(&[79, 80, 130, 150, 151, 220, 221]);
+    let out = ticket_free(&stream, &[&a, &b], 20, 0, u64::MAX);
+    assert_eq!(kept_times(&out), vec![79, 221]);
+}
+
+#[test]
+fn time_slice_applies_before_the_ticket_filter() {
+    let t = ticket(0, 100, 200);
+    let stream = stream_of(&[10, 50, 150, 250, 350]);
+    // Slice [50, 350) keeps 50, 250; 150 falls in the ticket window.
+    let out = ticket_free(&stream, &[&t], 0, 50, 350);
+    assert_eq!(kept_times(&out), vec![50, 250]);
+}
+
+fn times_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..100_000, 0..200).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+fn tickets_strategy() -> impl Strategy<Value = Vec<Ticket>> {
+    prop::collection::vec((0u64..90_000, 0u64..20_000), 0..6).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(id, (report, dur))| ticket(id, report, report + dur))
+            .collect()
+    })
+}
+
+proptest! {
+    /// A record survives iff it is inside `[start, end)` and inside no
+    /// ticket's `[report - exclusion, repair]` window — the independent
+    /// reference model, evaluated per record.
+    #[test]
+    fn matches_the_per_record_reference_model(
+        times in times_strategy(),
+        tickets in tickets_strategy(),
+        exclusion in 0u64..5_000,
+        start in 0u64..50_000,
+        span in 0u64..100_000,
+    ) {
+        let end = start + span;
+        let stream = stream_of(&times);
+        let refs: Vec<&Ticket> = tickets.iter().collect();
+        let out = ticket_free(&stream, &refs, exclusion, start, end);
+        let expected: Vec<u64> = times
+            .iter()
+            .copied()
+            .filter(|&t| t >= start && t < end)
+            .filter(|&t| {
+                !tickets.iter().any(|tk| {
+                    t >= tk.report_time.saturating_sub(exclusion) && t <= tk.repair_time
+                })
+            })
+            .collect();
+        prop_assert_eq!(kept_times(&out), expected);
+    }
+
+    /// Filtering is idempotent: the output contains no excluded record,
+    /// so a second pass changes nothing.
+    #[test]
+    fn is_idempotent(
+        times in times_strategy(),
+        tickets in tickets_strategy(),
+        exclusion in 0u64..5_000,
+    ) {
+        let stream = stream_of(&times);
+        let refs: Vec<&Ticket> = tickets.iter().collect();
+        let once = ticket_free(&stream, &refs, exclusion, 0, u64::MAX);
+        let twice = ticket_free(&once, &refs, exclusion, 0, u64::MAX);
+        prop_assert_eq!(kept_times(&once), kept_times(&twice));
+    }
+
+    /// Splitting one ticket into two overlapping tickets that cover the
+    /// same union drops exactly the same records (no double-drop from
+    /// the overlap, no leak at the seam).
+    #[test]
+    fn overlap_union_equals_single_cover(
+        times in times_strategy(),
+        report in 1_000u64..40_000,
+        len in 2u64..10_000,
+        seam in 0u64..u64::MAX,
+        exclusion in 0u64..2_000,
+    ) {
+        let repair = report + len;
+        let whole = ticket(0, report, repair);
+        // A seam strictly inside the window; the second ticket starts
+        // at the seam so the two windows overlap at exactly one point.
+        let seam = report + 1 + seam % (len - 1);
+        let first = ticket(0, report, seam);
+        let second = ticket(1, seam, repair);
+
+        let stream = stream_of(&times);
+        let whole_out = ticket_free(&stream, &[&whole], exclusion, 0, u64::MAX);
+        let split_out = ticket_free(&stream, &[&first, &second], exclusion, 0, u64::MAX);
+        prop_assert_eq!(kept_times(&whole_out), kept_times(&split_out));
+    }
+}

@@ -151,6 +151,40 @@ impl Hmm {
         self.b[0].len()
     }
 
+    /// Initial state distribution.
+    pub fn pi(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Transition matrix rows.
+    pub fn transition(&self) -> &[Vec<f64>] {
+        &self.a
+    }
+
+    /// Emission matrix rows.
+    pub fn emission(&self) -> &[Vec<f64>] {
+        &self.b
+    }
+
+    /// Rebuilds a model from its parts (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics when the matrix shapes are inconsistent: `a` must be
+    /// `S x S` and `b` must be `S x V` with `V > 0` for `S = pi.len()`.
+    pub fn from_parts(pi: Vec<f64>, a: Vec<Vec<f64>>, b: Vec<Vec<f64>>) -> Hmm {
+        let s_n = pi.len();
+        assert!(s_n > 0, "Hmm::from_parts: empty state distribution");
+        assert!(
+            a.len() == s_n && a.iter().all(|row| row.len() == s_n),
+            "Hmm::from_parts: transition matrix must be S x S"
+        );
+        assert!(
+            b.len() == s_n && b.iter().all(|row| !row.is_empty() && row.len() == b[0].len()),
+            "Hmm::from_parts: emission matrix must be S x V"
+        );
+        Hmm { pi, a, b }
+    }
+
     /// Scaled forward pass; returns `(alpha, scale)` where `scale[t] =
     /// p(o_t | o_1..t-1)`.
     fn forward_scaled(&self, seq: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>) {

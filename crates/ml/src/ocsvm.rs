@@ -192,6 +192,47 @@ impl OneClassSvm {
     pub fn gamma(&self) -> f32 {
         self.gamma
     }
+
+    /// The retained support vectors.
+    pub fn support_vectors(&self) -> &[Vec<f32>] {
+        &self.support_vectors
+    }
+
+    /// Dual coefficients, aligned with [`OneClassSvm::support_vectors`].
+    pub fn alphas(&self) -> &[f32] {
+        &self.alphas
+    }
+
+    /// The decision-function offset.
+    pub fn rho(&self) -> f32 {
+        self.rho
+    }
+
+    /// Rebuilds a model from its parts (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics when `support_vectors` and `alphas` lengths differ or the
+    /// support vectors are ragged.
+    pub fn from_parts(
+        support_vectors: Vec<Vec<f32>>,
+        alphas: Vec<f32>,
+        rho: f32,
+        gamma: f32,
+    ) -> OneClassSvm {
+        assert_eq!(
+            support_vectors.len(),
+            alphas.len(),
+            "OneClassSvm::from_parts: sv/alpha length mismatch"
+        );
+        if let Some(first) = support_vectors.first() {
+            let dim = first.len();
+            assert!(
+                support_vectors.iter().all(|sv| sv.len() == dim),
+                "OneClassSvm::from_parts: ragged support vectors"
+            );
+        }
+        OneClassSvm { support_vectors, alphas, rho, gamma }
+    }
 }
 
 /// Median-of-squared-distances kernel-width heuristic (on a sample of

@@ -96,6 +96,34 @@ impl Pca {
         self.components.len()
     }
 
+    /// The data mean subtracted before projection.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// The orthonormal principal components, one per row.
+    pub fn components(&self) -> &[Vec<f32>] {
+        &self.components
+    }
+
+    /// Rebuilds a model from its parts (checkpoint restore).
+    ///
+    /// # Panics
+    /// Panics when `components`/`explained` lengths differ or any
+    /// component's width differs from the mean's.
+    pub fn from_parts(mean: Vec<f32>, components: Vec<Vec<f32>>, explained: Vec<f32>) -> Pca {
+        assert_eq!(
+            components.len(),
+            explained.len(),
+            "Pca::from_parts: components/explained length mismatch"
+        );
+        assert!(
+            components.iter().all(|c| c.len() == mean.len()),
+            "Pca::from_parts: component width mismatch"
+        );
+        Pca { mean, components, explained }
+    }
+
     /// Variance captured by each component, descending.
     pub fn explained_variance(&self) -> &[f32] {
         &self.explained

@@ -36,6 +36,13 @@ impl TfIdf {
         TfIdf { idf }
     }
 
+    /// Rebuilds a transformer from IDF weights captured by
+    /// [`TfIdf::idf`] (checkpoint restore).
+    pub fn from_idf(idf: Vec<f32>) -> TfIdf {
+        assert!(!idf.is_empty(), "TfIdf::from_idf: empty weights");
+        TfIdf { idf }
+    }
+
     /// Vocabulary size.
     pub fn dim(&self) -> usize {
         self.idf.len()

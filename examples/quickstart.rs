@@ -29,7 +29,7 @@ fn main() {
     let mut cfg = PipelineConfig::default();
     cfg.lstm.epochs = 2;
     cfg.lstm.max_train_windows = 10_000;
-    let run = run_pipeline(&trace, &cfg);
+    let run = run_pipeline(&trace, &cfg).unwrap();
     println!(
         "pipeline: vocab={} templates, {} vPE groups (modularity {:.2})",
         run.vocab, run.grouping.k, run.grouping.modularity

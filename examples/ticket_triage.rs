@@ -25,7 +25,7 @@ fn main() {
     let mut cfg = PipelineConfig::default();
     cfg.lstm.epochs = 2;
     cfg.lstm.max_train_windows = 10_000;
-    let run = run_pipeline(&trace, &cfg);
+    let run = run_pipeline(&trace, &cfg).unwrap();
     let threshold =
         eval::sweep_prc(&run, &cfg.mapping, 24).best_f_point().expect("curve").threshold;
 

@@ -16,10 +16,17 @@
 //!     warning clusters.
 //!
 //! nfvpredict evaluate [--preset fast|full] [--seed N] [--threads N]
+//!                     [--vpes N] [--months N] [--detector NAME]
+//!                     [--checkpoint-dir DIR] [--checkpoint-every N]
+//!                     [--resume] [--kill-at-month M]
 //!     End-to-end pipeline evaluation on a simulated deployment
 //!     (precision-recall curve and operating point). --threads 0 (the
 //!     default) uses every available core; results are bit-identical
-//!     for any thread count.
+//!     for any thread count. With --checkpoint-dir the run persists a
+//!     checkpoint after each month and --resume continues an
+//!     interrupted run from the newest intact one, bit-identically.
+//!     --kill-at-month M injects a crash right after month M's
+//!     checkpoint (exit code 9), for crash-recovery testing.
 //!
 //! nfvpredict monitor --model FILE --logs DIR
 //!                    [--faults loss=0.05,dup=0.02,reorder=30,corrupt=0.01]
@@ -52,7 +59,18 @@ fn main() -> ExitCode {
         "simulate" => &["out", "preset", "seed"],
         "train" => &["logs", "model", "months", "window", "epochs", "tickets", "threads"],
         "detect" => &["model", "log"],
-        "evaluate" => &["preset", "seed", "threads"],
+        "evaluate" => &[
+            "preset",
+            "seed",
+            "threads",
+            "vpes",
+            "months",
+            "detector",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "resume",
+            "kill-at-month",
+        ],
         "monitor" => &["model", "logs", "faults", "seed", "staleness"],
         _ => &[],
     };
@@ -67,7 +85,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags).map(|()| ExitCode::SUCCESS),
         "train" => cmd_train(&flags).map(|()| ExitCode::SUCCESS),
         "detect" => cmd_detect(&flags).map(|()| ExitCode::SUCCESS),
-        "evaluate" => cmd_evaluate(&flags).map(|()| ExitCode::SUCCESS),
+        "evaluate" => cmd_evaluate(&flags),
         "monitor" => cmd_monitor(&flags),
         other => Err(format!("unknown command {:?}", other)),
     };
@@ -82,6 +100,9 @@ fn main() -> ExitCode {
 
 type Flags = BTreeMap<String, String>;
 
+/// Flags that take no value; present means "true".
+const BOOLEAN_FLAGS: &[&str] = &["resume"];
+
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
     let mut flags = Flags::new();
     let mut it = args.iter();
@@ -94,6 +115,10 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
                 name,
                 allowed.iter().map(|f| format!("--{}", f)).collect::<Vec<_>>().join(", ")
             ));
+        }
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
         }
         let value = it.next().ok_or_else(|| format!("flag --{} needs a value", name))?;
         flags.insert(name.to_string(), value.clone());
@@ -469,27 +494,62 @@ fn cmd_monitor(flags: &Flags) -> Result<ExitCode, String> {
     Ok(if degraded > 0 { ExitCode::from(3) } else { ExitCode::SUCCESS })
 }
 
-fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
-    let cfg = sim_config(flags)?;
+fn cmd_evaluate(flags: &Flags) -> Result<ExitCode, String> {
+    let mut cfg = sim_config(flags)?;
+    if let Some(v) = flag(flags, "vpes") {
+        cfg.n_vpes = v.parse().map_err(|_| "bad --vpes")?;
+    }
+    if let Some(v) = flag(flags, "months") {
+        cfg.months = v.parse().map_err(|_| "bad --months")?;
+    }
     eprintln!("simulating {} vPEs over {} months...", cfg.n_vpes, cfg.months);
     let trace = FleetTrace::simulate(cfg);
     let mut pipe = PipelineConfig {
         threads: flag(flags, "threads").unwrap_or("0").parse().map_err(|_| "bad --threads")?,
         ..PipelineConfig::default()
     };
+    let detector_name = flag(flags, "detector").unwrap_or("lstm");
+    pipe.detector = match detector_name {
+        "lstm" => DetectorKind::Lstm,
+        "autoencoder" => DetectorKind::Autoencoder,
+        "ocsvm" => DetectorKind::Ocsvm,
+        "pca" => DetectorKind::Pca,
+        "hmm" => DetectorKind::Hmm,
+        other => {
+            return Err(format!("unknown detector {:?} (lstm|autoencoder|ocsvm|pca|hmm)", other))
+        }
+    };
     if flag(flags, "preset").unwrap_or("fast") == "fast" {
         pipe.lstm.epochs = 2;
         pipe.lstm.max_train_windows = 10_000;
     }
+    if let Some(dir) = flag(flags, "checkpoint-dir") {
+        pipe.checkpoint.dir = Some(PathBuf::from(dir));
+    }
+    if let Some(every) = flag(flags, "checkpoint-every") {
+        pipe.checkpoint.every = every.parse().map_err(|_| "bad --checkpoint-every")?;
+    }
+    pipe.checkpoint.resume = flag(flags, "resume").is_some();
+    if let Some(m) = flag(flags, "kill-at-month") {
+        let m: usize = m.parse().map_err(|_| "bad --kill-at-month")?;
+        pipe.checkpoint.crash = Some(CrashPoint::AfterMonth(m));
+    }
     eprintln!("running the monthly pipeline...");
-    let run = run_pipeline(&trace, &pipe);
+    let run = match run_pipeline(&trace, &pipe) {
+        Ok(run) => run,
+        Err(PipelineError::CrashInjected(point)) => {
+            eprintln!("injected crash fired {}", point);
+            return Ok(ExitCode::from(9));
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let curve = eval::sweep_prc(&run, &pipe.mapping, 40);
-    print!("{}", nfvpredict::detect::report::format_prc("lstm", &curve));
+    print!("{}", nfvpredict::detect::report::format_prc(detector_name, &curve));
     if let Some(best) = curve.best_f_point() {
         println!(
             "false alarms per day at operating point: {:.2}",
             eval::false_alarms_per_day(&run, &pipe.mapping, best.threshold)
         );
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

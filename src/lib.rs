@@ -34,7 +34,7 @@
 //! let mut cfg = PipelineConfig::default();
 //! cfg.lstm.epochs = 1;
 //! cfg.lstm.max_train_windows = 500;
-//! let run = run_pipeline(&trace, &cfg);
+//! let run = run_pipeline(&trace, &cfg).unwrap();
 //!
 //! // 3. Sweep the detection threshold into a precision-recall curve.
 //! let curve = eval::sweep_prc(&run, &cfg.mapping, 10);
@@ -54,7 +54,10 @@ pub use nfv_tensor as tensor;
 /// The most common imports in one place.
 pub mod prelude {
     pub use nfv_detect::eval;
-    pub use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig, PipelineRun};
+    pub use nfv_detect::pipeline::{
+        run_pipeline, CheckpointConfig, CrashPoint, DetectorKind, PipelineConfig, PipelineError,
+        PipelineEvent, PipelineRun,
+    };
     pub use nfv_detect::{
         AnomalyDetector, Grouping, LogCodec, LstmDetector, LstmDetectorConfig, MappingConfig,
         ScoredEvent,

@@ -18,7 +18,7 @@ fn deep_detectors_beat_shallow_ocsvm() {
         cfg.lstm.oversample_rounds = 1;
         cfg.lstm.max_train_windows = 6_000;
         cfg.autoencoder.epochs = 15;
-        let run = run_pipeline(&trace, &cfg);
+        let run = run_pipeline(&trace, &cfg).unwrap();
         let f = eval::sweep_prc(&run, &cfg.mapping, 20)
             .best_f_point()
             .map(|p| p.f_measure)

@@ -24,7 +24,7 @@ fn small_pipeline() -> PipelineConfig {
 fn lstm_pipeline_reaches_useful_operating_point() {
     let trace = small_trace(42);
     let cfg = small_pipeline();
-    let run = run_pipeline(&trace, &cfg);
+    let run = run_pipeline(&trace, &cfg).unwrap();
 
     assert_eq!(run.months.len(), 2, "tests months 1 and 2");
     assert!(run.vocab > 10, "codec should mine a real vocabulary");
@@ -47,7 +47,7 @@ fn lstm_pipeline_reaches_useful_operating_point() {
 fn anomalies_precede_tickets_like_fig8() {
     let trace = small_trace(9);
     let cfg = small_pipeline();
-    let run = run_pipeline(&trace, &cfg);
+    let run = run_pipeline(&trace, &cfg).unwrap();
     let threshold =
         eval::sweep_prc(&run, &cfg.mapping, 24).best_f_point().expect("curve").threshold;
 
@@ -81,11 +81,11 @@ fn customization_does_not_hurt_and_grouping_is_plausible() {
     let mut cfg = small_pipeline();
 
     cfg.customize = false;
-    let single = run_pipeline(&trace, &cfg);
+    let single = run_pipeline(&trace, &cfg).unwrap();
     assert_eq!(single.grouping.k, 1);
 
     cfg.customize = true;
-    let grouped = run_pipeline(&trace, &cfg);
+    let grouped = run_pipeline(&trace, &cfg).unwrap();
     assert!(grouped.grouping.k >= 2, "expected multiple vPE groups");
 
     let f_single = eval::sweep_prc(&single, &cfg.mapping, 20)
@@ -106,7 +106,7 @@ fn predictive_period_of_one_hour_is_no_better_than_one_day() {
     // grows from 1 hour to 1 day.
     let trace = small_trace(19);
     let cfg = small_pipeline();
-    let run = run_pipeline(&trace, &cfg);
+    let run = run_pipeline(&trace, &cfg).unwrap();
 
     let f_at = |period: u64| {
         let mut mapping = cfg.mapping;
