@@ -1,0 +1,381 @@
+//! GEMM backend micro-benchmark: the packed/SIMD kernels behind the
+//! `matmul_*` entry points against faithful copies of the pre-PR scalar
+//! loops, swept over the exact matrix shapes the paper's detectors
+//! train with.
+//!
+//! The sweep covers every product the 2-layer LSTM training step issues
+//! (gate forward `x·Wx` / `h·Wh`, head forward, BPTT weight gradients
+//! `xᵀ·dz` / `hᵀ·dz`, and the `dz·Wᵀ` input deltas) plus the
+//! autoencoder baseline's dense layers. Each shape is checked for
+//! agreement against the old kernel before timing — bitwise under
+//! default features, tolerance under `fast-gemm` — so the speedup can
+//! never come from computing something different.
+//!
+//! `--min-speedup X` gates on the **geometric mean over the LSTM
+//! training shapes** (the fleet hot path); the autoencoder shapes are
+//! reported but not gated.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin gemm -- \
+//!     [--fast] [--seed N] [--json PATH] [--min-speedup X]
+//! ```
+
+use nfv_tensor::{gemm, Matrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Pre-PR reference kernels (the loops `Matrix::matmul_*` shipped before
+// the packed backend, zero-skips and unrolling included).
+// ---------------------------------------------------------------------
+
+fn old_matmul_acc(lhs: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+    let n = rhs.cols();
+    let cols = lhs.cols();
+    for i in 0..lhs.rows() {
+        let lhs_row = lhs.row(i);
+        let out_row = out.row_mut(i);
+        let base = rhs.as_slice();
+        let mut k = 0;
+        while k + 4 <= cols {
+            let (a0, a1, a2, a3) = (lhs_row[k], lhs_row[k + 1], lhs_row[k + 2], lhs_row[k + 3]);
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                k += 4;
+                continue;
+            }
+            let r0 = &base[k * n..(k + 1) * n];
+            let r1 = &base[(k + 1) * n..(k + 2) * n];
+            let r2 = &base[(k + 2) * n..(k + 3) * n];
+            let r3 = &base[(k + 3) * n..(k + 4) * n];
+            for j in 0..n {
+                let mut acc = out_row[j];
+                acc += a0 * r0[j];
+                acc += a1 * r1[j];
+                acc += a2 * r2[j];
+                acc += a3 * r3[j];
+                out_row[j] = acc;
+            }
+            k += 4;
+        }
+        while k < cols {
+            let a = lhs_row[k];
+            if a != 0.0 {
+                let rhs_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
+fn old_matmul_tn_acc(lhs: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+    let n = rhs.cols();
+    let mut i = 0;
+    while i + 2 <= lhs.rows() {
+        let l0 = lhs.row(i);
+        let l1 = lhs.row(i + 1);
+        let r0 = rhs.row(i);
+        let r1 = rhs.row(i + 1);
+        for k in 0..lhs.cols() {
+            let (a0, a1) = (l0[k], l1[k]);
+            if a0 == 0.0 && a1 == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(k);
+            for j in 0..n {
+                let mut acc = out_row[j];
+                acc += a0 * r0[j];
+                acc += a1 * r1[j];
+                out_row[j] = acc;
+            }
+        }
+        i += 2;
+    }
+    if i < lhs.rows() {
+        let lhs_row = lhs.row(i);
+        let rhs_row = rhs.row(i);
+        for (k, &a) in lhs_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(k);
+            for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                *o += a * b;
+            }
+        }
+    }
+}
+
+fn old_matmul_nt_into(lhs: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+    out.reset(lhs.rows(), rhs.rows());
+    for i in 0..lhs.rows() {
+        for j in 0..rhs.rows() {
+            let mut acc = 0.0f32;
+            for (a, b) in lhs.row(i).iter().zip(rhs.row(j).iter()) {
+                acc += a * b;
+            }
+            out.set(i, j, acc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Form {
+    Nn,
+    Tn,
+    Nt,
+}
+
+struct Case {
+    /// "lstm" cases are gated by `--min-speedup`; "autoencoder" cases are
+    /// informational.
+    group: &'static str,
+    name: &'static str,
+    form: Form,
+    /// lhs shape; rhs shape follows from the form and `n`.
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+/// The default detector configuration: `SequenceModelConfig` vocab 64,
+/// embed 16 (+1 gap feature), hidden 32, 2 LSTM layers, batch 64 — and
+/// the autoencoder baseline's `[vocab, 32, 8, 32, vocab]` stack.
+fn cases() -> Vec<Case> {
+    let (batch, in0, hidden, vocab) = (64usize, 17usize, 32usize, 64usize);
+    let gates = 4 * hidden;
+    vec![
+        Case { group: "lstm", name: "fwd x·Wx (l0)", form: Form::Nn, m: batch, k: in0, n: gates },
+        Case {
+            group: "lstm",
+            name: "fwd x·Wx (l1)",
+            form: Form::Nn,
+            m: batch,
+            k: hidden,
+            n: gates,
+        },
+        Case { group: "lstm", name: "fwd h·Wh", form: Form::Nn, m: batch, k: hidden, n: gates },
+        Case { group: "lstm", name: "fwd head", form: Form::Nn, m: batch, k: hidden, n: vocab },
+        Case {
+            group: "lstm", name: "bptt xᵀ·dz (l0)", form: Form::Tn, m: batch, k: in0, n: gates
+        },
+        Case {
+            group: "lstm", name: "bptt hᵀ·dz", form: Form::Tn, m: batch, k: hidden, n: gates
+        },
+        Case { group: "lstm", name: "bptt dz·Wxᵀ", form: Form::Nt, m: batch, k: gates, n: in0 },
+        Case {
+            group: "lstm", name: "bptt dz·Whᵀ", form: Form::Nt, m: batch, k: gates, n: hidden
+        },
+        Case { group: "autoencoder", name: "enc v·W1", form: Form::Nn, m: batch, k: vocab, n: 32 },
+        Case { group: "autoencoder", name: "enc h·W2", form: Form::Nn, m: batch, k: 32, n: 8 },
+        Case { group: "autoencoder", name: "dec h·W4", form: Form::Nn, m: batch, k: 32, n: vocab },
+        Case {
+            group: "autoencoder",
+            name: "grad hᵀ·dz",
+            form: Form::Tn,
+            m: batch,
+            k: 32,
+            n: vocab,
+        },
+    ]
+}
+
+struct Args {
+    fast: bool,
+    seed: u64,
+    json: Option<String>,
+    min_speedup: Option<f32>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args { fast: false, seed: 1, json: None, min_speedup: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => out.fast = true,
+            "--seed" => {
+                out.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    usage("--seed needs an integer");
+                })
+            }
+            "--json" => {
+                out.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")))
+            }
+            "--min-speedup" => {
+                out.min_speedup =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        usage("--min-speedup needs a number");
+                    }))
+            }
+            other => usage(&format!("unknown flag {:?}", other)),
+        }
+    }
+    out
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    eprintln!("usage: gemm [--fast] [--seed N] [--json PATH] [--min-speedup X]");
+    std::process::exit(2)
+}
+
+fn random_matrix(rng: &mut SmallRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen::<f32>() * 2.0 - 1.0)
+}
+
+/// Times `f` over enough repetitions to fill roughly `budget_ms`, then
+/// reports the mean per call in nanoseconds (best of `reps` batches).
+fn time_ns(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let (reps, iters) = if args.fast { (3, 400) } else { (7, 4000) };
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    let exact = gemm::default_backend_bit_exact();
+
+    println!("kernel\t{}", gemm::active_kernel());
+    println!(
+        "{:<12} {:<18} {:>14} {:>12} {:>12} {:>9}",
+        "group", "case", "shape", "old ns", "new ns", "speedup"
+    );
+
+    let mut rows_json = Vec::new();
+    let mut lstm_log_sum = 0.0f64;
+    let mut lstm_count = 0usize;
+    for case in cases() {
+        let (m, k, n) = (case.m, case.k, case.n);
+        let a = random_matrix(&mut rng, m, k);
+        let (b, shape) = match case.form {
+            Form::Nn => (random_matrix(&mut rng, k, n), format!("{}x{}·{}x{}", m, k, k, n)),
+            // tn: lhs is the k-major activation matrix (m rows shared).
+            Form::Tn => (random_matrix(&mut rng, m, n), format!("{}x{}ᵀ·{}x{}", m, k, m, n)),
+            Form::Nt => (random_matrix(&mut rng, n, k), format!("{}x{}·{}x{}ᵀ", m, k, n, k)),
+        };
+
+        // Agreement check before timing: the speedup must not come from
+        // different math.
+        let (mut new_out, mut old_out) = (Matrix::default(), Matrix::default());
+        match case.form {
+            Form::Nn => {
+                a.matmul_into(&b, &mut new_out);
+                old_out.reset(m, n);
+                old_out.fill_zero();
+                old_matmul_acc(&a, &b, &mut old_out);
+            }
+            Form::Tn => {
+                a.matmul_tn_into(&b, &mut new_out);
+                old_out.reset(k, n);
+                old_out.fill_zero();
+                old_matmul_tn_acc(&a, &b, &mut old_out);
+            }
+            Form::Nt => {
+                a.matmul_nt_into(&b, &mut new_out);
+                old_matmul_nt_into(&a, &b, &mut old_out);
+            }
+        }
+        assert_eq!(new_out.shape(), old_out.shape(), "{}: shape drift", case.name);
+        for (i, (x, y)) in new_out.as_slice().iter().zip(old_out.as_slice().iter()).enumerate() {
+            if exact {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{}: element {} diverged from the pre-PR kernel: {} vs {}",
+                    case.name,
+                    i,
+                    x,
+                    y
+                );
+            } else {
+                assert!(
+                    (x - y).abs() <= 1e-4 * (1.0 + y.abs()),
+                    "{}: element {} beyond fast-gemm tolerance: {} vs {}",
+                    case.name,
+                    i,
+                    x,
+                    y
+                );
+            }
+        }
+
+        let mut out = Matrix::default();
+        let old_ns = match case.form {
+            Form::Nn => time_ns(reps, iters, || {
+                out.reset(m, n);
+                out.fill_zero();
+                old_matmul_acc(&a, &b, &mut out);
+            }),
+            Form::Tn => time_ns(reps, iters, || {
+                out.reset(k, n);
+                out.fill_zero();
+                old_matmul_tn_acc(&a, &b, &mut out);
+            }),
+            Form::Nt => time_ns(reps, iters, || old_matmul_nt_into(&a, &b, &mut out)),
+        };
+        let new_ns = match case.form {
+            Form::Nn => time_ns(reps, iters, || a.matmul_into(&b, &mut out)),
+            Form::Tn => time_ns(reps, iters, || a.matmul_tn_into(&b, &mut out)),
+            Form::Nt => time_ns(reps, iters, || a.matmul_nt_into(&b, &mut out)),
+        };
+        let speedup = old_ns / new_ns;
+        if case.group == "lstm" {
+            lstm_log_sum += speedup.ln();
+            lstm_count += 1;
+        }
+        println!(
+            "{:<12} {:<18} {:>14} {:>12.0} {:>12.0} {:>8.2}x",
+            case.group, case.name, shape, old_ns, new_ns, speedup
+        );
+        rows_json.push(serde_json::json!({
+            "group": case.group,
+            "case": case.name,
+            "shape": shape,
+            "old_ns": old_ns,
+            "new_ns": new_ns,
+            "speedup": speedup,
+        }));
+    }
+
+    let lstm_geomean = (lstm_log_sum / lstm_count as f64).exp();
+    println!("lstm geomean speedup\t{:.2}x", lstm_geomean);
+
+    if let Some(path) = &args.json {
+        let value = serde_json::json!({
+            "bench": "gemm",
+            "kernel": gemm::active_kernel(),
+            "bit_exact_default_backend": exact,
+            "config": {
+                "seed": args.seed,
+                "fast": args.fast,
+                "reps": reps,
+                "iters": iters,
+            },
+            "cases": rows_json,
+            "lstm_geomean_speedup": lstm_geomean,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&value).expect("serializable"))
+            .unwrap_or_else(|e| eprintln!("failed to write {}: {}", path, e));
+        eprintln!("wrote {}", path);
+    }
+
+    if let Some(min) = args.min_speedup {
+        if (lstm_geomean as f32) < min {
+            eprintln!("FAIL: lstm geomean speedup {:.2}x below required {:.2}x", lstm_geomean, min);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Blocked, SIMD-friendly GEMM backend behind the [`Matrix`] `matmul_*`
+//! kernels.
+//!
+//! All three product forms reduce to one packed inner kernel computing
+//! `C += A · B` with `A` row-major and `B` repacked into column panels of
+//! [`NR`] consecutive columns (`panel[k * NR + lane] = b[k][j0 + lane]`),
+//! so the innermost loop reads both operands contiguously:
+//!
+//! * `matmul` (`A · B`): pack `B`'s rows into panels.
+//! * `matmul_tn` (`Aᵀ · B`): transpose-pack `A`, then run the same kernel.
+//! * `matmul_nt` (`A · Bᵀ`): transpose-pack `B` into panels.
+//!
+//! The micro-kernel accumulates [`MR`] output rows × one panel at a time
+//! with lane accumulators held in registers across the entire `k` loop.
+//! Every output element still receives its contributions **in ascending
+//! `k` order, one rounded multiply and one rounded add per contribution**
+//! — exactly the arithmetic of the pre-existing scalar loops — so the
+//! default backend is bit-identical to them on finite inputs, whether the
+//! lanes are evaluated by the autovectorized scalar kernel or by the
+//! explicit AVX kernel selected at runtime (`_mm256_mul_ps` +
+//! `_mm256_add_ps` are element-wise IEEE ops, not fused).
+//!
+//! Unlike the old loops, the kernel has **no zero-skip fast path**: a
+//! `0.0` in `A` no longer suppresses the multiply, so a NaN/Inf in `B`
+//! propagates to the output (`0.0 * NaN` is NaN) instead of being
+//! silently swallowed. Sparsity no longer buys skipped work, but the
+//! packed panels recover far more than the skip ever did.
+//!
+//! The `fast-gemm` cargo feature (default off) additionally enables an
+//! FMA kernel with a 2-way split-`k` accumulator for long reductions.
+//! That path is faster but **not bit-identical** to the scalar loop —
+//! fused multiplies round once instead of twice and the split changes the
+//! summation order. [`default_backend_bit_exact`] reports which contract
+//! the build provides; the trainer-equivalence suites consult it.
+//!
+//! Pack buffers are thread-local and grow-only, so steady-state training
+//! does not allocate in here.
+
+use std::cell::RefCell;
+
+/// Panel width (columns per packed panel / SIMD lanes per accumulator).
+pub const NR: usize = 8;
+/// Output rows processed together by the micro-kernel.
+pub const MR: usize = 4;
+
+thread_local! {
+    /// Reusable packing arenas: `[0]` holds the packed rhs panels, `[1]`
+    /// the transpose-packed lhs used by the `tn` form.
+    static PACK: RefCell<[Vec<f32>; 2]> = const { RefCell::new([Vec::new(), Vec::new()]) };
+}
+
+/// True when the compiled default backend is bit-identical to the
+/// reference scalar loop (ascending-k accumulation, no FMA). The
+/// `fast-gemm` feature trades this guarantee for speed; bit-exactness
+/// test suites relax to tolerance comparisons when this returns `false`.
+#[inline]
+pub const fn default_backend_bit_exact() -> bool {
+    cfg!(not(feature = "fast-gemm"))
+}
+
+/// Human-readable name of the kernel the runtime dispatch selects, for
+/// benchmark reports and logs.
+pub fn active_kernel() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if cfg!(feature = "fast-gemm") && std::arch::is_x86_feature_detected!("fma") {
+            return "x86_64/fma (fast-gemm, split-k)";
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            return "x86_64/avx (bit-exact)";
+        }
+    }
+    "scalar (bit-exact)"
+}
+
+// ---------------------------------------------------------------------
+// Public entry points (called from `Matrix::matmul_*`).
+// ---------------------------------------------------------------------
+
+/// `c += a · b` where `a` is `m x k`, `b` is `k x n`, `c` is `m x n`,
+/// all row-major.
+pub fn gemm_nn_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    PACK.with(|bufs| {
+        let bufs = &mut *bufs.borrow_mut();
+        let (packed, _) = bufs.split_at_mut(1);
+        pack_rhs(k, n, b, &mut packed[0]);
+        kernel_dispatch(m, k, n, a, &packed[0], c);
+    });
+}
+
+/// `c += aᵀ · b` where `a` is `r x m` (so `aᵀ` is `m x r`), `b` is
+/// `r x n`, `c` is `m x n`.
+///
+/// `a` is transpose-packed into a scratch `m x r` row-major buffer and
+/// the product then runs through the same panel kernel as the `nn` form;
+/// per output element the reduction stays in ascending shared-row order,
+/// matching the old outer-product loop bit for bit.
+pub fn gemm_tn_acc(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), r * m);
+    debug_assert_eq!(b.len(), r * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || r == 0 || n == 0 {
+        return;
+    }
+    PACK.with(|bufs| {
+        let bufs = &mut *bufs.borrow_mut();
+        let (packed, at) = bufs.split_at_mut(1);
+        pack_rhs(r, n, b, &mut packed[0]);
+        // Transpose-pack a (r x m) into at (m x r).
+        let at = &mut at[0];
+        at.clear();
+        at.resize(m * r, 0.0);
+        for (i, row) in a.chunks_exact(m).enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                at[j * r + i] = v;
+            }
+        }
+        kernel_dispatch(m, r, n, at, &packed[0], c);
+    });
+}
+
+/// `c += a · bᵀ` where `a` is `m x k`, `b` is `j x k` (so `bᵀ` is
+/// `k x j`), `c` is `m x j`.
+pub fn gemm_nt_acc(m: usize, k: usize, j: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), j * k);
+    debug_assert_eq!(c.len(), m * j);
+    if m == 0 || k == 0 || j == 0 {
+        return;
+    }
+    PACK.with(|bufs| {
+        let bufs = &mut *bufs.borrow_mut();
+        let (packed, _) = bufs.split_at_mut(1);
+        pack_rhs_transposed(k, j, b, &mut packed[0]);
+        kernel_dispatch(m, k, j, a, &packed[0], c);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Packing.
+// ---------------------------------------------------------------------
+
+/// Number of full panels and leftover columns for a width-`n` rhs.
+#[inline]
+fn panels_of(n: usize) -> (usize, usize) {
+    (n / NR, n % NR)
+}
+
+/// Packs a row-major `k x n` matrix into `NR`-column panels:
+/// `out[p * k * NR + kk * NR + lane] = b[kk * n + p * NR + lane]`.
+/// The last panel is zero-padded when `n % NR != 0`; the tail kernel
+/// reads it with the same layout but only stores the live lanes.
+fn pack_rhs(k: usize, n: usize, b: &[f32], out: &mut Vec<f32>) {
+    let (np, tail) = panels_of(n);
+    let np_total = np + usize::from(tail > 0);
+    out.clear();
+    out.resize(np_total * k * NR, 0.0);
+    for p in 0..np {
+        let dst = &mut out[p * k * NR..(p + 1) * k * NR];
+        let col0 = p * NR;
+        for kk in 0..k {
+            dst[kk * NR..(kk + 1) * NR].copy_from_slice(&b[kk * n + col0..kk * n + col0 + NR]);
+        }
+    }
+    if tail > 0 {
+        let dst = &mut out[np * k * NR..];
+        let col0 = np * NR;
+        for kk in 0..k {
+            dst[kk * NR..kk * NR + tail].copy_from_slice(&b[kk * n + col0..kk * n + col0 + tail]);
+        }
+    }
+}
+
+/// Packs panels of the *transpose* of a row-major `j x k` matrix, i.e.
+/// the same layout [`pack_rhs`] would produce for the `k x j` matrix
+/// `bᵀ`: `out[p * k * NR + kk * NR + lane] = b[(p * NR + lane) * k + kk]`,
+/// again zero-padding the last panel.
+fn pack_rhs_transposed(k: usize, j: usize, b: &[f32], out: &mut Vec<f32>) {
+    let (np, tail) = panels_of(j);
+    let np_total = np + usize::from(tail > 0);
+    out.clear();
+    out.resize(np_total * k * NR, 0.0);
+    for p in 0..np_total {
+        let lanes = if p < np { NR } else { tail };
+        let dst = &mut out[p * k * NR..(p + 1) * k * NR];
+        for lane in 0..lanes {
+            let src = &b[(p * NR + lane) * k..(p * NR + lane + 1) * k];
+            for (kk, &v) in src.iter().enumerate() {
+                dst[kk * NR + lane] = v;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel dispatch.
+// ---------------------------------------------------------------------
+
+/// Runs the packed kernel over every full panel, then the zero-padded
+/// tail panel (last `n % NR` columns) with per-lane scalar stores.
+/// `a` is `m x k` row-major.
+fn kernel_dispatch(m: usize, k: usize, n: usize, a: &[f32], packed: &[f32], c: &mut [f32]) {
+    let (np, tail) = panels_of(n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        #[cfg(feature = "fast-gemm")]
+        if std::arch::is_x86_feature_detected!("fma") {
+            // SAFETY: FMA support was just verified at runtime.
+            unsafe { panels_fma(m, k, n, a, packed, c, np) };
+            tail_from_panel(m, k, n, a, packed, c, np, tail);
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just verified at runtime.
+            unsafe { panels_avx(m, k, n, a, packed, c, np) };
+            tail_from_panel(m, k, n, a, packed, c, np, tail);
+            return;
+        }
+    }
+    panels_scalar(m, k, n, a, packed, c, np);
+    tail_from_panel(m, k, n, a, packed, c, np, tail);
+}
+
+/// Scalar micro-kernel over the packed panels; the fixed-width lane
+/// arrays autovectorize on targets without the explicit SIMD path.
+#[allow(clippy::too_many_arguments)]
+fn panels_scalar(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    packed: &[f32],
+    c: &mut [f32],
+    np: usize,
+) {
+    for p in 0..np {
+        let panel = &packed[p * k * NR..(p + 1) * k * NR];
+        let col0 = p * NR;
+        let mut i = 0;
+        while i + MR <= m {
+            let (a0, a1, a2, a3) =
+                (&a[i * k..], &a[(i + 1) * k..], &a[(i + 2) * k..], &a[(i + 3) * k..]);
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                acc_r.copy_from_slice(&c[(i + r) * n + col0..(i + r) * n + col0 + NR]);
+            }
+            for kk in 0..k {
+                let brow = &panel[kk * NR..(kk + 1) * NR];
+                let av = [a0[kk], a1[kk], a2[kk], a3[kk]];
+                for (acc_r, &ar) in acc.iter_mut().zip(av.iter()) {
+                    for (lane, &b) in acc_r.iter_mut().zip(brow.iter()) {
+                        *lane += ar * b;
+                    }
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                c[(i + r) * n + col0..(i + r) * n + col0 + NR].copy_from_slice(acc_r);
+            }
+            i += MR;
+        }
+        while i < m {
+            let arow = &a[i * k..(i + 1) * k];
+            let mut acc = [0.0f32; NR];
+            acc.copy_from_slice(&c[i * n + col0..i * n + col0 + NR]);
+            for (kk, &av) in arow.iter().enumerate() {
+                let brow = &panel[kk * NR..(kk + 1) * NR];
+                for (lane, &b) in acc.iter_mut().zip(brow.iter()) {
+                    *lane += av * b;
+                }
+            }
+            c[i * n + col0..i * n + col0 + NR].copy_from_slice(&acc);
+            i += 1;
+        }
+    }
+}
+
+/// Column tail (`n % NR` rightmost columns): lane accumulators over the
+/// zero-padded final panel, storing only the live lanes. Accumulation
+/// per element is still one multiply + one add per ascending `k`.
+#[allow(clippy::too_many_arguments)]
+fn tail_from_panel(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    packed: &[f32],
+    c: &mut [f32],
+    np: usize,
+    tail: usize,
+) {
+    if tail == 0 {
+        return;
+    }
+    let panel = &packed[np * k * NR..(np + 1) * k * NR];
+    let col0 = np * NR;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let mut acc = [0.0f32; NR];
+        acc[..tail].copy_from_slice(&c[i * n + col0..i * n + col0 + tail]);
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &panel[kk * NR..(kk + 1) * NR];
+            for (lane, &b) in acc.iter_mut().zip(brow.iter()) {
+                *lane += av * b;
+            }
+        }
+        c[i * n + col0..i * n + col0 + tail].copy_from_slice(&acc[..tail]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explicit x86_64 SIMD kernels.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn panels_avx(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    packed: &[f32],
+    c: &mut [f32],
+    np: usize,
+) {
+    use std::arch::x86_64::*;
+    for p in 0..np {
+        let panel = packed[p * k * NR..(p + 1) * k * NR].as_ptr();
+        let col0 = p * NR;
+        let mut i = 0;
+        while i + MR <= m {
+            let a0 = a[i * k..].as_ptr();
+            let a1 = a[(i + 1) * k..].as_ptr();
+            let a2 = a[(i + 2) * k..].as_ptr();
+            let a3 = a[(i + 3) * k..].as_ptr();
+            let mut acc0 = _mm256_loadu_ps(c[i * n + col0..].as_ptr());
+            let mut acc1 = _mm256_loadu_ps(c[(i + 1) * n + col0..].as_ptr());
+            let mut acc2 = _mm256_loadu_ps(c[(i + 2) * n + col0..].as_ptr());
+            let mut acc3 = _mm256_loadu_ps(c[(i + 3) * n + col0..].as_ptr());
+            for kk in 0..k {
+                let b = _mm256_loadu_ps(panel.add(kk * NR));
+                // mul + add (not fused): identical rounding to the scalar
+                // reference, which is what keeps this path bit-exact.
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*a0.add(kk)), b));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*a1.add(kk)), b));
+                acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*a2.add(kk)), b));
+                acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*a3.add(kk)), b));
+            }
+            _mm256_storeu_ps(c[i * n + col0..].as_mut_ptr(), acc0);
+            _mm256_storeu_ps(c[(i + 1) * n + col0..].as_mut_ptr(), acc1);
+            _mm256_storeu_ps(c[(i + 2) * n + col0..].as_mut_ptr(), acc2);
+            _mm256_storeu_ps(c[(i + 3) * n + col0..].as_mut_ptr(), acc3);
+            i += MR;
+        }
+        while i < m {
+            let arow = a[i * k..].as_ptr();
+            let mut acc = _mm256_loadu_ps(c[i * n + col0..].as_ptr());
+            for kk in 0..k {
+                let b = _mm256_loadu_ps(panel.add(kk * NR));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(*arow.add(kk)), b));
+            }
+            _mm256_storeu_ps(c[i * n + col0..].as_mut_ptr(), acc);
+            i += 1;
+        }
+    }
+}
+
+/// `fast-gemm` kernel: FMA with a 2-way split-k accumulator pair per
+/// register. Faster on long reductions, **not bit-exact** — see the
+/// module docs.
+#[cfg(all(target_arch = "x86_64", feature = "fast-gemm"))]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn panels_fma(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    packed: &[f32],
+    c: &mut [f32],
+    np: usize,
+) {
+    use std::arch::x86_64::*;
+    for p in 0..np {
+        let panel = packed[p * k * NR..(p + 1) * k * NR].as_ptr();
+        let col0 = p * NR;
+        let mut i = 0;
+        while i + 2 <= m {
+            let a0 = a[i * k..].as_ptr();
+            let a1 = a[(i + 1) * k..].as_ptr();
+            let mut e0 = _mm256_loadu_ps(c[i * n + col0..].as_ptr());
+            let mut o0 = _mm256_setzero_ps();
+            let mut e1 = _mm256_loadu_ps(c[(i + 1) * n + col0..].as_ptr());
+            let mut o1 = _mm256_setzero_ps();
+            let mut kk = 0;
+            while kk + 2 <= k {
+                let b0 = _mm256_loadu_ps(panel.add(kk * NR));
+                let b1 = _mm256_loadu_ps(panel.add((kk + 1) * NR));
+                e0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(kk)), b0, e0);
+                o0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(kk + 1)), b1, o0);
+                e1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.add(kk)), b0, e1);
+                o1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.add(kk + 1)), b1, o1);
+                kk += 2;
+            }
+            if kk < k {
+                let b = _mm256_loadu_ps(panel.add(kk * NR));
+                e0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(kk)), b, e0);
+                e1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.add(kk)), b, e1);
+            }
+            _mm256_storeu_ps(c[i * n + col0..].as_mut_ptr(), _mm256_add_ps(e0, o0));
+            _mm256_storeu_ps(c[(i + 1) * n + col0..].as_mut_ptr(), _mm256_add_ps(e1, o1));
+            i += 2;
+        }
+        while i < m {
+            let arow = a[i * k..].as_ptr();
+            let mut even = _mm256_loadu_ps(c[i * n + col0..].as_ptr());
+            let mut odd = _mm256_setzero_ps();
+            let mut kk = 0;
+            while kk + 2 <= k {
+                even = _mm256_fmadd_ps(
+                    _mm256_set1_ps(*arow.add(kk)),
+                    _mm256_loadu_ps(panel.add(kk * NR)),
+                    even,
+                );
+                odd = _mm256_fmadd_ps(
+                    _mm256_set1_ps(*arow.add(kk + 1)),
+                    _mm256_loadu_ps(panel.add((kk + 1) * NR)),
+                    odd,
+                );
+                kk += 2;
+            }
+            if kk < k {
+                even = _mm256_fmadd_ps(
+                    _mm256_set1_ps(*arow.add(kk)),
+                    _mm256_loadu_ps(panel.add(kk * NR)),
+                    even,
+                );
+            }
+            _mm256_storeu_ps(c[i * n + col0..].as_mut_ptr(), _mm256_add_ps(even, odd));
+            i += 1;
+        }
+    }
+}

@@ -211,8 +211,8 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        self.matmul_acc(rhs, &mut out);
+        let mut out = Matrix::default();
+        self.matmul_into(rhs, &mut out);
         out
     }
 
@@ -225,10 +225,11 @@ impl Matrix {
 
     /// Accumulates `self * rhs` into `out`: `out += self * rhs`.
     ///
-    /// The kernel runs in i-k-j order (contiguous inner loop over both
-    /// `rhs` and `out`) with the k loop unrolled by 4; each output element
-    /// still accumulates in ascending-k order, so results are bit-identical
-    /// to the scalar loop.
+    /// Dispatches into the packed [`crate::gemm`] backend. Each output
+    /// element accumulates in ascending-k order with unfused multiplies,
+    /// so default-feature results are bit-identical to a scalar i-k-j
+    /// loop; a NaN/Inf anywhere in the operands always propagates (there
+    /// is deliberately no zero-skip fast path).
     pub fn matmul_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
@@ -236,48 +237,20 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_acc: out shape mismatch");
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut k = 0;
-            while k + 4 <= self.cols {
-                let (a0, a1, a2, a3) = (lhs_row[k], lhs_row[k + 1], lhs_row[k + 2], lhs_row[k + 3]);
-                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
-                    k += 4;
-                    continue;
-                }
-                let r0 = &rhs.data[k * n..(k + 1) * n];
-                let r1 = &rhs.data[(k + 1) * n..(k + 2) * n];
-                let r2 = &rhs.data[(k + 2) * n..(k + 3) * n];
-                let r3 = &rhs.data[(k + 3) * n..(k + 4) * n];
-                for j in 0..n {
-                    let mut acc = out_row[j];
-                    acc += a0 * r0[j];
-                    acc += a1 * r1[j];
-                    acc += a2 * r2[j];
-                    acc += a3 * r3[j];
-                    out_row[j] = acc;
-                }
-                k += 4;
-            }
-            while k < self.cols {
-                let a = lhs_row[k];
-                if a != 0.0 {
-                    let rhs_row = &rhs.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                        *o += a * b;
-                    }
-                }
-                k += 1;
-            }
-        }
+        crate::gemm::gemm_nn_acc(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        self.matmul_tn_acc(rhs, &mut out);
+        let mut out = Matrix::default();
+        self.matmul_tn_into(rhs, &mut out);
         out
     }
 
@@ -288,9 +261,12 @@ impl Matrix {
         self.matmul_tn_acc(rhs, out);
     }
 
-    /// Accumulates `self^T * rhs` into `out`, with the i loop unrolled by
-    /// 2; per-element accumulation stays in ascending-i order (bit-exact
-    /// vs. the scalar loop).
+    /// Accumulates `self^T * rhs` into `out`: `out += self^T * rhs`.
+    ///
+    /// Dispatches into the packed [`crate::gemm`] backend; per-element
+    /// accumulation stays in ascending shared-row order (bit-exact vs.
+    /// the scalar loop under default features), and non-finite operands
+    /// always propagate.
     pub fn matmul_tn_acc(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
@@ -298,46 +274,19 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.cols, rhs.cols), "matmul_tn_acc: out shape mismatch");
-        let n = rhs.cols;
-        let mut i = 0;
-        while i + 2 <= self.rows {
-            let l0 = &self.data[i * self.cols..(i + 1) * self.cols];
-            let l1 = &self.data[(i + 1) * self.cols..(i + 2) * self.cols];
-            let r0 = &rhs.data[i * n..(i + 1) * n];
-            let r1 = &rhs.data[(i + 1) * n..(i + 2) * n];
-            for k in 0..self.cols {
-                let (a0, a1) = (l0[k], l1[k]);
-                if a0 == 0.0 && a1 == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    let mut acc = out_row[j];
-                    acc += a0 * r0[j];
-                    acc += a1 * r1[j];
-                    out_row[j] = acc;
-                }
-            }
-            i += 2;
-        }
-        if i < self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let rhs_row = &rhs.data[i * n..(i + 1) * n];
-            for (k, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm_tn_acc(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(0, 0);
+        let mut out = Matrix::default();
         self.matmul_nt_into(rhs, &mut out);
         out
     }
@@ -350,17 +299,15 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         out.reset(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0f32;
-                for (a, b) in lhs_row.iter().zip(rhs_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
+        out.fill_zero();
+        crate::gemm::gemm_nt_acc(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
     }
 
     /// Transposed copy.
