@@ -1,0 +1,190 @@
+//! `serve` benchmark: sustained single-core throughput of the streaming
+//! serving runtime — raw syslog line in, LSTM-scored window out.
+//!
+//! One thread plays both producer and scorer: lines are offered to the
+//! bounded ring in batches and swept through the [`ServeCore`]'s batched
+//! scoring path ([`OnlineMonitor`] → `observe_batch` → chunked LSTM
+//! GEMMs). The monitor is trained on the same clean cadence first
+//! (excluded from the timed region), so the measured loop is exactly
+//! what `nfvpredict serve` runs in steady state on one core
+//! (`LstmDetectorConfig.threads = 1`).
+//!
+//! The bench asserts the runtime's robustness invariants while timing
+//! it: capacity and budget are sized so a keeping-up scorer drops
+//! nothing, occupancy must stay within the fixed ring bound, and
+//! accounting must be exact. `--min-rate` turns the throughput into a
+//! regression gate.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin serve -- \
+//!     [--fast] [--seed N] [--json PATH] [--min-rate LINES_PER_SEC]
+//! ```
+
+use nfv_detect::serve::{ServeConfig, ServeCore, ServeState};
+use nfv_detect::supervisor::{FleetMonitor, FleetMonitorConfig};
+use nfv_detect::{
+    AnomalyDetector, LogCodec, LstmDetector, LstmDetectorConfig, MappingConfig, ModelBundle,
+    OnlineMonitor,
+};
+use nfv_simnet::{LoadGen, LoadSpec};
+use std::time::Instant;
+
+struct Args {
+    fast: bool,
+    seed: u64,
+    json: Option<String>,
+    min_rate: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args { fast: false, seed: 42, json: None, min_rate: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => out.fast = true,
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"))
+            }
+            "--json" => {
+                out.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")))
+            }
+            "--min-rate" => {
+                out.min_rate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--min-rate needs a number")),
+                )
+            }
+            other => usage(&format!("unknown flag {:?}", other)),
+        }
+    }
+    out
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    eprintln!("usage: serve [--fast] [--seed N] [--json PATH] [--min-rate LINES_PER_SEC]");
+    std::process::exit(2)
+}
+
+/// Trains the same tiny monitor the serve CLI self-trains: cyclic
+/// heartbeat chatter, window-4 LSTM, threshold above every training
+/// score.
+fn trained_monitor(gen: &LoadGen) -> OnlineMonitor {
+    let train = gen.training_messages(24);
+    let codec = LogCodec::train(&train, 4);
+    let mut det = LstmDetector::new(LstmDetectorConfig {
+        vocab: codec.vocab_size(),
+        window: 4,
+        embed_dim: 6,
+        hidden: 10,
+        epochs: 3,
+        max_train_windows: 2000,
+        threads: 1,
+        ..Default::default()
+    });
+    let stream = codec.encode_stream(&train);
+    det.fit(&[&stream]);
+    let max_score = det.score(&stream, 0, u64::MAX).iter().map(|e| e.score).fold(0.0f32, f32::max);
+    let bundle = ModelBundle::pack(&codec, &det, max_score * 1.05, &MappingConfig::default());
+    let (codec, det) = bundle.try_unpack().expect("freshly packed bundle");
+    OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
+}
+
+fn main() {
+    let args = parse_args();
+    let total_lines: u64 = if args.fast { 200_000 } else { 1_000_000 };
+    // Offer/sweep granularity; budget comfortably above it so a
+    // keeping-up scorer never drops.
+    const BATCH: u64 = 512;
+    let spec = LoadSpec { feeds: 1, base_rate: BATCH, seed: args.seed, ..Default::default() };
+
+    eprintln!("training the monitor (untimed)...");
+    let monitor = trained_monitor(&LoadGen::new(spec.clone()));
+    let fleet = FleetMonitor::new(
+        vec![monitor],
+        FleetMonitorConfig { reorder_window: 0, ..Default::default() },
+    );
+    let cfg = ServeConfig { capacity: 8192, tick_budget: 2048, ..Default::default() };
+    let capacity = cfg.capacity;
+    let mut core = ServeCore::new(fleet, cfg);
+
+    // Pre-render the input so line generation is excluded from the
+    // timed region (one "tick" of the generator = one BATCH of lines).
+    eprintln!("rendering {} input lines (untimed)...", total_lines);
+    let mut gen = LoadGen::new(spec);
+    let ticks = total_lines / BATCH;
+    let batches: Vec<Vec<String>> = (0..ticks).map(|t| gen.tick_lines(t, 0)).collect();
+
+    eprintln!("streaming {} lines through the serving runtime...", total_lines);
+    let t0 = Instant::now();
+    for batch in &batches {
+        for line in batch {
+            core.offer(0, line);
+        }
+        core.sweep();
+    }
+    core.finish();
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let stats = core.stats();
+    let f = stats.feeds[0];
+    let rate = f.delivered as f64 / elapsed;
+    let p50_us = stats.latency.quantile_ns(0.50) as f64 / 1e3;
+    let p99_us = stats.latency.quantile_ns(0.99) as f64 / 1e3;
+
+    // Robustness invariants, asserted on the measured run itself.
+    assert_eq!(
+        f.lines_in,
+        f.delivered + f.dropped_overflow + f.dropped_shed,
+        "accounting must be exact"
+    );
+    assert!(f.peak_occupancy <= capacity, "ring must stay within its fixed bound");
+    assert_eq!(stats.state, ServeState::Healthy, "nominal load must finish healthy");
+
+    println!("lines\t{}", f.lines_in);
+    println!("scored\t{}", f.delivered);
+    println!("dropped\t{}", f.dropped_overflow + f.dropped_shed);
+    println!("elapsed_s\t{:.3}", elapsed);
+    println!("lines_per_sec\t{:.0}", rate);
+    println!("latency_p50_us\t{:.0}", p50_us);
+    println!("latency_p99_us\t{:.0}", p99_us);
+    println!("peak_occupancy\t{} (capacity {})", f.peak_occupancy, capacity);
+
+    if let Some(path) = &args.json {
+        let value = serde_json::json!({
+            "bench": "serve",
+            "config": {
+                "lines": total_lines,
+                "batch": BATCH,
+                "capacity": capacity,
+                "tick_budget": 2048,
+                "threads": 1,
+                "seed": args.seed,
+                "fast": args.fast,
+            },
+            "lines_in": f.lines_in,
+            "scored": f.delivered,
+            "dropped": f.dropped_overflow + f.dropped_shed,
+            "elapsed_s": elapsed,
+            "lines_per_sec": rate,
+            "latency_p50_us": p50_us,
+            "latency_p99_us": p99_us,
+            "peak_occupancy": f.peak_occupancy,
+            "state": format!("{:?}", stats.state),
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&value).expect("serializable"))
+            .unwrap_or_else(|e| eprintln!("failed to write {}: {}", path, e));
+        eprintln!("wrote {}", path);
+    }
+
+    if let Some(min) = args.min_rate {
+        if rate < min {
+            eprintln!("FAIL: {:.0} lines/s below required {:.0} lines/s", rate, min);
+            std::process::exit(1);
+        }
+    }
+}

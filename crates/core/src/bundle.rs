@@ -141,7 +141,10 @@ impl ModelBundle {
         ModelBundle::from_value(&open_envelope(BUNDLE_FORMAT, text)?)
     }
 
-    /// Atomically writes the bundle as checksummed JSON.
+    /// Atomically and durably writes the bundle as checksummed JSON
+    /// (temp file synced before rename, directory synced after — a
+    /// monitoring host hot-reloading this path can never observe a torn
+    /// or rolled-back bundle after a crash).
     pub fn save(&self, path: &Path) -> io::Result<()> {
         atomic_write(path, &seal_envelope(BUNDLE_FORMAT, self.to_value()))
     }

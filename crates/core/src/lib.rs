@@ -59,6 +59,8 @@ pub mod par;
 pub mod pipeline;
 pub mod pipeline_ckpt;
 pub mod report;
+pub mod serve;
+pub mod spsc;
 pub mod state;
 pub mod supervisor;
 pub mod triage;
@@ -76,6 +78,7 @@ pub use pipeline::{
     run_pipeline, CheckpointConfig, CrashPoint, DetectorKind, PipelineConfig, PipelineError,
     PipelineEvent, PipelineRun,
 };
+pub use serve::{LatencyHistogram, ServeConfig, ServeCore, ServeEvent, ServeState, ServeStats};
 pub use supervisor::{
     FeedHealth, FeedObserver, FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig,
 };

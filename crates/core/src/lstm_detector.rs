@@ -138,6 +138,25 @@ impl LstmDetector {
         &self.model
     }
 
+    /// Overrides the worker-thread count (0 = auto). The serving
+    /// runtime pins scoring to its single scorer thread with
+    /// `set_threads(1)` so throughput claims are honestly one-core.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
+    }
+
+    /// Scores a prebuilt window set — the online monitor's incremental
+    /// batch path — returning one [`ScoredEvent`] per window, in window
+    /// order. Windows fan out through the same fixed-chunk batched
+    /// forward pass as [`AnomalyDetector::score`], so a window's score
+    /// never depends on how it was batched.
+    pub fn score_events(&self, ws: &WindowSet) -> Vec<ScoredEvent> {
+        self.predict_map(ws, |global_idx, target, probs| {
+            let p = probs[target].max(1e-9);
+            ScoredEvent { time: ws.times[global_idx], score: -p.ln() }
+        })
+    }
+
     /// The configured window length k.
     pub fn window(&self) -> usize {
         self.cfg.window
@@ -323,10 +342,7 @@ impl AnomalyDetector for LstmDetector {
 
     fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
         let ws = stream.windows_in(self.cfg.window, start, end, |_| true);
-        self.predict_map(&ws, |global_idx, target, probs| {
-            let p = probs[target].max(1e-9);
-            ScoredEvent { time: ws.times[global_idx], score: -p.ln() }
-        })
+        self.score_events(&ws)
     }
 
     fn to_state(&self) -> Value {

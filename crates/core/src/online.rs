@@ -10,10 +10,10 @@
 //! track a whole fleet.
 
 use crate::codec::LogCodec;
-use crate::detector::AnomalyDetector;
 use crate::lstm_detector::LstmDetector;
 use crate::mapping::MappingConfig;
-use nfv_syslog::{LogRecord, LogStream, SyslogMessage};
+use nfv_syslog::stream::{gap_feature, WindowSet};
+use nfv_syslog::{LogRecord, SyslogMessage};
 use std::collections::VecDeque;
 
 /// A warning emitted by the monitor.
@@ -36,7 +36,10 @@ pub struct OnlineMonitor {
     detector: LstmDetector,
     threshold: f32,
     mapping: MappingConfig,
-    /// Trailing records, `window + 1` long at most.
+    /// Trailing context records, `window + 1` long at most (every scored
+    /// window then starts at least one record into the stream, so its
+    /// first element has a real predecessor and gets a true gap feature,
+    /// matching how the offline calibration scored).
     recent: VecDeque<LogRecord>,
     /// Open anomaly cluster, if any: (start, last, count, peak score,
     /// peak text).
@@ -46,8 +49,16 @@ pub struct OnlineMonitor {
     /// Largest timestamp observed so far (for monotonicizing slightly
     /// out-of-order arrivals).
     last_time: u64,
+    /// Score every `stride`-th eligible window (1 = every window). The
+    /// serving runtime widens this in degraded mode to shed LSTM work
+    /// while every message still updates context and counters.
+    stride: usize,
+    /// Eligible-window counter driving the stride phase.
+    stride_phase: u64,
     messages_seen: u64,
     anomalies_seen: u64,
+    windows_scored: u64,
+    windows_stride_skipped: u64,
 }
 
 impl OnlineMonitor {
@@ -67,8 +78,12 @@ impl OnlineMonitor {
             open: None,
             reported: false,
             last_time: 0,
+            stride: 1,
+            stride_phase: 0,
             messages_seen: 0,
             anomalies_seen: 0,
+            windows_scored: 0,
+            windows_stride_skipped: 0,
         }
     }
 
@@ -82,6 +97,38 @@ impl OnlineMonitor {
         self.anomalies_seen
     }
 
+    /// Windows actually run through the LSTM.
+    pub fn windows_scored(&self) -> u64 {
+        self.windows_scored
+    }
+
+    /// Windows skipped by a stride > 1 (degraded-mode shedding).
+    pub fn windows_stride_skipped(&self) -> u64 {
+        self.windows_stride_skipped
+    }
+
+    /// Current scoring stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Sets the scoring stride: every `stride`-th eligible window is
+    /// scored, the rest only update context. `stride` is clamped to at
+    /// least 1. This is the serving runtime's graceful-degradation knob:
+    /// at stride *s* the LSTM cost per line drops by ~*s*× while parse,
+    /// dedup, and cluster bookkeeping stay exact. Skipped windows cannot
+    /// open or extend warning clusters, so sensitivity degrades
+    /// proportionally — which is the documented trade, not an accident.
+    pub fn set_stride(&mut self, stride: usize) {
+        self.stride = stride.max(1);
+    }
+
+    /// Mutable access to the underlying detector (the serving runtime
+    /// pins its scoring threads).
+    pub fn detector_mut(&mut self) -> &mut LstmDetector {
+        &mut self.detector
+    }
+
     /// Feeds one message; returns a [`Warning`] when an anomaly cluster
     /// crosses the reporting rule with this message.
     ///
@@ -89,54 +136,126 @@ impl OnlineMonitor {
     /// reaches `min_cluster` — and subsequent members extend the stats
     /// silently.
     pub fn observe(&mut self, message: &SyslogMessage) -> Option<Warning> {
-        self.messages_seen += 1;
-        // Monotonicize slightly out-of-order arrivals (retransmits,
-        // multi-process interleaving are normal for syslog): a late
-        // message is treated as happening "now", so it is still scored
-        // and can still extend a cluster.
-        let time = message.timestamp.max(self.last_time);
-        self.last_time = time;
-        let record = LogRecord { time, template: self.codec.encode_text(&message.text) };
-        self.recent.push_back(record);
-        // Keep window + 2 records: the scored window then starts at
-        // stream index 1, so its first element has a real predecessor
-        // and gets a true gap feature (matching how the offline
-        // calibration scored).
+        let mut warnings = Vec::new();
+        self.observe_batch(std::slice::from_ref(message), &mut warnings);
+        warnings.pop()
+    }
+
+    /// Feeds a batch of messages, scoring their windows in one chunked
+    /// LSTM pass, and appends any warnings raised.
+    ///
+    /// Behaviourally identical to calling [`OnlineMonitor::observe`] per
+    /// message — same monotonicization, same cluster rule, same warm-up
+    /// — but the forward passes for the whole batch run as one batched
+    /// GEMM stream instead of one tiny matmul chain per line, which is
+    /// what makes the serving runtime's throughput target reachable.
+    pub fn observe_batch(&mut self, messages: &[SyslogMessage], warnings: &mut Vec<Warning>) {
+        if messages.is_empty() {
+            return;
+        }
+        self.messages_seen += messages.len() as u64;
         let window = self.detector.window();
-        while self.recent.len() > window + 2 {
+
+        // Monotonicize and encode the batch. A late message is treated
+        // as happening "now" (retransmits and multi-process interleaving
+        // are normal for syslog), so it is still scored and can still
+        // extend a cluster.
+        let mut batch: Vec<LogRecord> = Vec::with_capacity(messages.len());
+        for m in messages {
+            let time = m.timestamp.max(self.last_time);
+            self.last_time = time;
+            batch.push(LogRecord { time, template: self.codec.encode_text(&m.text) });
+        }
+
+        // Select the batch records to score: each needs `window + 1`
+        // predecessors (context + batch prefix), thinned by the stride.
+        let ctx = self.recent.len();
+        let recent = &self.recent;
+        let at = |i: usize| -> LogRecord {
+            if i < ctx {
+                recent[i]
+            } else {
+                batch[i - ctx]
+            }
+        };
+        let stride = self.stride as u64;
+        let mut phase = self.stride_phase;
+        let mut stride_skipped = 0u64;
+        let mut ws = WindowSet::default();
+        // Batch index of each scored window's target, for peak_text.
+        let mut scored_pos: Vec<usize> = Vec::new();
+        for (pos, record) in batch.iter().enumerate() {
+            let g = ctx + pos; // combined index of the target record
+            if g < window + 1 {
+                continue; // warm-up: not enough context yet
+            }
+            let turn = phase.is_multiple_of(stride);
+            phase += 1;
+            if !turn {
+                stride_skipped += 1;
+                continue;
+            }
+            let mut ids = Vec::with_capacity(window);
+            let mut gaps = Vec::with_capacity(window);
+            for j in 0..window {
+                let i = g - window + j;
+                let r = at(i);
+                ids.push(r.template);
+                gaps.push(gap_feature(r.time - at(i - 1).time));
+            }
+            ws.ids.push(ids);
+            ws.gaps.push(gaps);
+            ws.targets.push(record.template);
+            ws.times.push(record.time);
+            scored_pos.push(pos);
+        }
+        self.stride_phase = phase;
+        self.windows_stride_skipped += stride_skipped;
+
+        if !ws.is_empty() {
+            self.windows_scored += ws.len() as u64;
+            let events = self.detector.score_events(&ws);
+            for (e, &pos) in events.iter().zip(&scored_pos) {
+                if e.score < self.threshold {
+                    continue;
+                }
+                self.anomalies_seen += 1;
+                if let Some(w) = self.note_anomaly(e.time, e.score, &messages[pos].text) {
+                    warnings.push(w);
+                }
+            }
+        }
+
+        // Retain the last `window + 1` records as context for the next
+        // batch.
+        for r in batch {
+            self.recent.push_back(r);
+        }
+        while self.recent.len() > window + 1 {
             self.recent.pop_front();
         }
-        if self.recent.len() < window + 2 {
-            return None;
-        }
+    }
 
-        // Score the newest record given the preceding window.
-        let stream = LogStream::from_records(self.recent.iter().copied().collect());
-        let events = self.detector.score(&stream, record.time, record.time + 1);
-        let score = events.last().map(|e| e.score)?;
-        if score < self.threshold {
-            return None;
-        }
-        self.anomalies_seen += 1;
-
-        // Extend or open the cluster.
+    /// Extends or opens the anomaly cluster with one above-threshold
+    /// event, returning a [`Warning`] the moment the cluster first
+    /// reaches `min_cluster`.
+    fn note_anomaly(&mut self, time: u64, score: f32, text: &str) -> Option<Warning> {
         match &mut self.open {
             Some((_, last, count, peak, peak_text))
-                if record.time.saturating_sub(*last) <= self.mapping.cluster_gap =>
+                if time.saturating_sub(*last) <= self.mapping.cluster_gap =>
             {
-                *last = record.time;
+                *last = time;
                 *count += 1;
                 if score > *peak {
                     *peak = score;
-                    *peak_text = message.text.clone();
+                    *peak_text = text.to_string();
                 }
             }
             _ => {
-                self.open = Some((record.time, record.time, 1, score, message.text.clone()));
+                self.open = Some((time, time, 1, score, text.to_string()));
                 self.reported = false;
             }
         }
-
         let (start, _, count, peak, peak_text) = self.open.as_ref().expect("just set");
         if *count >= self.mapping.min_cluster && !self.reported {
             self.reported = true;
@@ -154,6 +273,7 @@ impl OnlineMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::AnomalyDetector;
     use crate::lstm_detector::LstmDetectorConfig;
     use nfv_syslog::message::Severity;
 
@@ -249,6 +369,58 @@ mod tests {
         for m in normal_messages(50, 100 * 60 + 600, 120) {
             assert_eq!(monitor.observe(&m), None);
         }
+    }
+
+    /// The batched path must be behaviourally identical to per-message
+    /// observe: same warnings, same counters, for any batch split.
+    #[test]
+    fn observe_batch_matches_sequential_observe() {
+        let mut traffic = normal_messages(120, 0, 60);
+        for j in 0..4u64 {
+            traffic.push(msg(120 * 60 + j * 10, "chassis alarm unknown fault storm detected now"));
+        }
+        traffic.extend(normal_messages(40, 121 * 60, 60));
+
+        let mut sequential = trained_monitor();
+        let mut seq_warnings = Vec::new();
+        for m in &traffic {
+            seq_warnings.extend(sequential.observe(m));
+        }
+
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let mut batched = trained_monitor();
+            let mut warnings = Vec::new();
+            for c in traffic.chunks(chunk) {
+                batched.observe_batch(c, &mut warnings);
+            }
+            assert_eq!(warnings, seq_warnings, "chunk size {} diverged", chunk);
+            assert_eq!(batched.messages_seen(), sequential.messages_seen());
+            assert_eq!(batched.anomalies_seen(), sequential.anomalies_seen());
+            assert_eq!(batched.windows_scored(), sequential.windows_scored());
+        }
+    }
+
+    /// A stride > 1 sheds LSTM work proportionally while every message
+    /// still updates context and counters.
+    #[test]
+    fn stride_sheds_windows_proportionally() {
+        let mut monitor = trained_monitor();
+        monitor.set_stride(4);
+        assert_eq!(monitor.stride(), 4);
+        let traffic = normal_messages(205, 0, 60);
+        let mut warnings = Vec::new();
+        monitor.observe_batch(&traffic, &mut warnings);
+        assert_eq!(monitor.messages_seen(), 205);
+        // 5 warm-up messages (window 4 + 1), then every 4th window scored.
+        let eligible = monitor.windows_scored() + monitor.windows_stride_skipped();
+        assert_eq!(eligible, 200);
+        assert_eq!(monitor.windows_scored(), 50);
+        assert_eq!(monitor.windows_stride_skipped(), 150);
+        // Back to stride 1, everything is scored again.
+        monitor.set_stride(1);
+        monitor.observe_batch(&normal_messages(50, 100_000, 60), &mut warnings);
+        assert_eq!(eligible + 50, monitor.windows_scored() + monitor.windows_stride_skipped());
+        assert_eq!(monitor.windows_stride_skipped(), 150);
     }
 
     #[test]

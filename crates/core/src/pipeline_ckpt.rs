@@ -352,6 +352,10 @@ pub(crate) fn save(
 ) -> Result<(), PipelineError> {
     fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
     let text = seal_envelope(PIPELINE_CKPT_FORMAT, capture(state, fp, month));
+    // atomic_write fsyncs the temp file before the rename and the
+    // directory after it, so a crash mid-save leaves either the previous
+    // generation or a complete, durable new one — resume never sees a
+    // torn checkpoint.
     atomic_write(&generation_path(dir, month), &text).map_err(CheckpointError::Io)?;
     let gens = list_generations(dir);
     if gens.len() > keep {

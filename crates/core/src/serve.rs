@@ -1,0 +1,869 @@
+//! Overload-safe streaming serving runtime.
+//!
+//! `nfvpredict serve` keeps an [`OnlineMonitor`] fleet scoring live
+//! syslog firehoses indefinitely. Raw lines flow from per-feed ingest
+//! threads to a single scorer through bounded SPSC rings
+//! ([`crate::spsc`]); the runtime's contract is that it **never blocks
+//! the producer and never grows without bound**, no matter how far the
+//! input rate outruns the scorer:
+//!
+//! * **ingress overflow** — a full ring rejects the incoming line; the
+//!   producer counts it dropped and moves on (`dropped_overflow`);
+//! * **drop-oldest shedding** — when a feed's backlog crosses the high
+//!   watermark the scorer discards the *oldest* queued lines down to the
+//!   low watermark (`dropped_shed`), so whatever does get scored is the
+//!   freshest data;
+//! * **graceful degradation** — sustained backlog switches the runtime
+//!   to `Degraded`: every observer is told to score only every
+//!   `degraded_stride`-th window (cheaper, coarser). Once the backlog
+//!   stays below the exit threshold for `recover_ticks` consecutive
+//!   sweeps, the runtime returns to `Healthy` and full-stride scoring;
+//! * **watchdog** — in threaded mode a watchdog thread checks that the
+//!   scorer heartbeats within its deadline and forces degraded mode when
+//!   it stalls.
+//!
+//! The state machine is driven by queue backlog and sweep counts — not
+//! wall-clock time — so the same [`ServeCore`] runs deterministically in
+//! *step mode* (tests, replayable chaos scenarios: call
+//! [`ServeCore::offer`] and [`ServeCore::sweep`] by hand) and in
+//! *threaded mode* (producer threads own [`FeedPort`]s, the scorer loops
+//! [`ServeCore::sweep`], a watchdog from [`ServeCore::spawn_watchdog`]
+//! supervises).
+//!
+//! Accounting is exact: at [`ServeCore::finish`],
+//! `lines_in == delivered + dropped_overflow + dropped_shed`
+//! per feed, where `delivered` is the number of lines handed to the
+//! [`FleetMonitor`] (which keeps its own parse/dedup/skip ledger from
+//! there on). Overload drops are surfaced through each feed's
+//! [`crate::supervisor::FeedHealth::overload_dropped`] counter and
+//! [`FleetEvent::FeedOverloaded`] episodes.
+
+use crate::online::OnlineMonitor;
+use crate::spsc::{self, Consumer, Producer};
+use crate::supervisor::{FeedObserver, FleetEvent, FleetMonitor};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables of the serving runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Per-feed ring capacity in lines (rounded up to a power of two).
+    pub capacity: usize,
+    /// Maximum lines delivered to the fleet per sweep, split evenly
+    /// across feeds. Models scorer capacity per tick in step mode.
+    pub tick_budget: usize,
+    /// Backlog fraction of total ring capacity at which the runtime
+    /// enters `Degraded`.
+    pub degrade_enter: f64,
+    /// Backlog fraction at or below which a sweep counts as calm.
+    pub degrade_exit: f64,
+    /// Consecutive calm sweeps required to return to `Healthy` (also the
+    /// drop-free sweeps that end a feed's overload episode).
+    pub recover_ticks: u32,
+    /// Observer scoring stride while degraded (1 = no shedding).
+    pub degraded_stride: usize,
+    /// Per-feed occupancy fraction that triggers drop-oldest shedding.
+    pub shed_high: f64,
+    /// Occupancy fraction shedding drains down to.
+    pub shed_low: f64,
+    /// Entries retained in the bounded recent-event log.
+    pub event_log: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            capacity: 4096,
+            tick_budget: 2048,
+            degrade_enter: 0.75,
+            degrade_exit: 0.25,
+            recover_ticks: 3,
+            degraded_stride: 4,
+            shed_high: 0.875,
+            shed_low: 0.5,
+            event_log: 64,
+        }
+    }
+}
+
+/// Operating state of the serving runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeState {
+    /// Scoring keeps up; every eligible window is scored.
+    Healthy,
+    /// Backlog forced wide-stride scoring (or the watchdog tripped).
+    Degraded,
+}
+
+/// Happenings recorded in the bounded event log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// The runtime entered degraded mode.
+    Degraded {
+        /// Sweep index at which degradation engaged.
+        tick: u64,
+        /// Total backlog (lines) that triggered it.
+        backlog: usize,
+    },
+    /// The runtime recovered to healthy, full-stride scoring.
+    Recovered {
+        /// Sweep index of the recovery.
+        tick: u64,
+    },
+    /// The watchdog saw a missed heartbeat and forced degraded mode.
+    WatchdogTrip {
+        /// Sweep index at which the trip was observed by the scorer.
+        tick: u64,
+    },
+    /// An event surfaced by the underlying [`FleetMonitor`].
+    Fleet {
+        /// Sweep index at which the event surfaced.
+        tick: u64,
+        /// The fleet event.
+        event: FleetEvent,
+    },
+}
+
+/// Allocation-free log2-bucketed latency histogram (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `ns < 2^(i+1)` (last is open).
+    buckets: [u64; 48],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { buckets: [0; 48], count: 0, max_ns: 0 }
+    }
+
+    fn bucket(ns: u64) -> usize {
+        (63 - (ns | 1).leading_zeros() as usize).min(47)
+    }
+
+    /// Records one sample, in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket(ns)] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (upper bound of the
+    /// bucket holding the rank-`q` sample; exact max for the last
+    /// occupied bucket). Zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        let last = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if i == last { self.max_ns } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One queued line with its ingest timestamp (for line-to-score
+/// latency).
+struct Line {
+    text: String,
+    ingest: Instant,
+}
+
+/// Counters shared between a feed's producer side and the scorer.
+struct FeedShared {
+    lines_in: AtomicU64,
+    dropped_overflow: AtomicU64,
+}
+
+/// Producer-side handle for one feed: the only way lines enter the
+/// runtime. Safe to move to a dedicated ingest thread.
+pub struct FeedPort {
+    tx: Producer<Line>,
+    shared: Arc<FeedShared>,
+}
+
+impl FeedPort {
+    /// Offers one raw line. Returns `false` when the ring was full and
+    /// the line was dropped (counted as an overflow drop); never blocks.
+    pub fn offer(&mut self, text: &str) -> bool {
+        self.shared.lines_in.fetch_add(1, Ordering::Relaxed);
+        match self.tx.push(Line { text: text.to_string(), ingest: Instant::now() }) {
+            Ok(()) => true,
+            Err(_) => {
+                self.shared.dropped_overflow.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Lines currently queued on this feed's ring.
+    pub fn occupancy(&self) -> usize {
+        self.tx.occupancy()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.tx.capacity()
+    }
+}
+
+/// Scorer-side per-feed counters (owned by the sweep loop).
+#[derive(Debug, Clone, Copy, Default)]
+struct FeedCounters {
+    delivered: u64,
+    dropped_shed: u64,
+    dropped_overflow: u64,
+    peak_occupancy: usize,
+    /// Consecutive drop-free sweeps (ends the overload episode).
+    calm_sweeps: u32,
+}
+
+/// Per-feed slice of a [`ServeStats`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedServeStats {
+    /// Lines offered to the feed's ring (including dropped ones).
+    pub lines_in: u64,
+    /// Lines handed to the fleet monitor for admission and scoring.
+    pub delivered: u64,
+    /// Lines rejected at ingress because the ring was full.
+    pub dropped_overflow: u64,
+    /// Queued lines discarded oldest-first by the shed policy.
+    pub dropped_shed: u64,
+    /// Highest ring occupancy ever observed at a sweep.
+    pub peak_occupancy: usize,
+}
+
+impl FeedServeStats {
+    /// Total overload drops (overflow + shed).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_overflow + self.dropped_shed
+    }
+}
+
+/// Snapshot of the runtime's counters.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Sweeps executed.
+    pub ticks: u64,
+    /// Current operating state.
+    pub state: ServeState,
+    /// Times the runtime entered degraded mode.
+    pub degraded_episodes: u64,
+    /// Watchdog heartbeat-deadline misses acted on.
+    pub watchdog_trips: u64,
+    /// Anomaly warnings surfaced.
+    pub warnings: u64,
+    /// Per-feed counters, in feed order.
+    pub feeds: Vec<FeedServeStats>,
+    /// Line-to-score latency (recorded when a line's batch finishes
+    /// scoring).
+    pub latency: LatencyHistogram,
+}
+
+impl ServeStats {
+    /// Total lines offered across feeds.
+    pub fn lines_in(&self) -> u64 {
+        self.feeds.iter().map(|f| f.lines_in).sum()
+    }
+
+    /// Total lines delivered to the fleet monitor.
+    pub fn delivered(&self) -> u64 {
+        self.feeds.iter().map(|f| f.delivered).sum()
+    }
+
+    /// Total overload drops.
+    pub fn dropped(&self) -> u64 {
+        self.feeds.iter().map(|f| f.dropped()).sum()
+    }
+}
+
+/// The serving runtime: bounded ingest rings in front of a supervised
+/// [`FleetMonitor`], plus the overload policy state machine.
+pub struct ServeCore<O: FeedObserver = OnlineMonitor> {
+    cfg: ServeConfig,
+    fleet: FleetMonitor<O>,
+    /// `None` once the port has been taken by a producer thread.
+    ports: Vec<Option<FeedPort>>,
+    consumers: Vec<Consumer<Line>>,
+    shared: Vec<Arc<FeedShared>>,
+    counters: Vec<FeedCounters>,
+    state: ServeState,
+    tick: u64,
+    calm_ticks: u32,
+    degraded_episodes: u64,
+    watchdog_trips: u64,
+    warnings: u64,
+    latency: LatencyHistogram,
+    recent_events: VecDeque<ServeEvent>,
+    /// Bumped at every sweep; sampled by the watchdog.
+    heartbeat: Arc<AtomicU64>,
+    /// Set by the watchdog to force degraded mode at the next sweep.
+    force_degrade: Arc<AtomicBool>,
+    /// Reused batch buffer (no steady-state growth).
+    scratch: Vec<Line>,
+}
+
+impl<O: FeedObserver> ServeCore<O> {
+    /// Builds a runtime over a supervised fleet; one ring per feed.
+    pub fn new(fleet: FleetMonitor<O>, cfg: ServeConfig) -> ServeCore<O> {
+        let n = fleet.feed_count();
+        let mut ports = Vec::with_capacity(n);
+        let mut consumers = Vec::with_capacity(n);
+        let mut shared = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = spsc::ring::<Line>(cfg.capacity);
+            let sh = Arc::new(FeedShared {
+                lines_in: AtomicU64::new(0),
+                dropped_overflow: AtomicU64::new(0),
+            });
+            ports.push(Some(FeedPort { tx, shared: Arc::clone(&sh) }));
+            consumers.push(rx);
+            shared.push(sh);
+        }
+        ServeCore {
+            cfg,
+            fleet,
+            ports,
+            consumers,
+            shared,
+            counters: vec![FeedCounters::default(); n],
+            state: ServeState::Healthy,
+            tick: 0,
+            calm_ticks: 0,
+            degraded_episodes: 0,
+            watchdog_trips: 0,
+            warnings: 0,
+            latency: LatencyHistogram::new(),
+            recent_events: VecDeque::new(),
+            heartbeat: Arc::new(AtomicU64::new(0)),
+            force_degrade: Arc::new(AtomicBool::new(false)),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current operating state.
+    pub fn state(&self) -> ServeState {
+        self.state
+    }
+
+    /// Total lines currently queued across all rings.
+    pub fn backlog(&self) -> usize {
+        self.consumers.iter().map(|c| c.occupancy()).sum()
+    }
+
+    /// Sweeps executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// The supervised fleet (health reports, etc.).
+    pub fn fleet(&self) -> &FleetMonitor<O> {
+        &self.fleet
+    }
+
+    /// Recent events, oldest first (bounded at `cfg.event_log`).
+    pub fn recent_events(&self) -> impl Iterator<Item = &ServeEvent> {
+        self.recent_events.iter()
+    }
+
+    /// Moves a feed's ingest port out for a producer thread. Panics if
+    /// taken twice.
+    pub fn take_port(&mut self, feed: usize) -> FeedPort {
+        self.ports[feed].take().expect("feed port already taken")
+    }
+
+    /// Step-mode ingest: offers one line on a port still held by the
+    /// core. Returns `false` when the line was dropped at ingress.
+    pub fn offer(&mut self, feed: usize, text: &str) -> bool {
+        self.ports[feed].as_mut().expect("feed port moved to a producer thread").offer(text)
+    }
+
+    /// Spawns a watchdog thread enforcing `deadline` between scorer
+    /// heartbeats (each sweep is one heartbeat). A missed deadline sets
+    /// the force-degrade flag, which the next sweep honours; repeated
+    /// misses while the scorer is stalled are counted once per stall.
+    pub fn spawn_watchdog(&self, deadline: Duration) -> WatchdogHandle {
+        let heartbeat = Arc::clone(&self.heartbeat);
+        let force = Arc::clone(&self.force_degrade);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            let mut trips = 0u64;
+            let mut last = heartbeat.load(Ordering::Acquire);
+            while !stop2.load(Ordering::Acquire) {
+                std::thread::sleep(deadline);
+                let now = heartbeat.load(Ordering::Acquire);
+                if now == last && !stop2.load(Ordering::Acquire) {
+                    if !force.swap(true, Ordering::AcqRel) {
+                        trips += 1;
+                    }
+                } else {
+                    last = now;
+                }
+            }
+            trips
+        });
+        WatchdogHandle { stop, join: Some(join) }
+    }
+
+    fn push_event(&mut self, ev: ServeEvent, out: &mut Vec<ServeEvent>) {
+        self.recent_events.push_back(ev.clone());
+        while self.recent_events.len() > self.cfg.event_log.max(1) {
+            self.recent_events.pop_front();
+        }
+        out.push(ev);
+    }
+
+    fn enter_degraded(&mut self, backlog: usize, out: &mut Vec<ServeEvent>) {
+        if self.state == ServeState::Degraded {
+            return;
+        }
+        self.state = ServeState::Degraded;
+        self.degraded_episodes += 1;
+        self.calm_ticks = 0;
+        self.fleet.set_stride(self.cfg.degraded_stride.max(1));
+        self.push_event(ServeEvent::Degraded { tick: self.tick, backlog }, out);
+    }
+
+    /// Runs one scorer pass: drains overflow counters, sheds, scores up
+    /// to the tick budget, and advances the degrade state machine.
+    /// Returns the events generated by this sweep.
+    pub fn sweep(&mut self) -> Vec<ServeEvent> {
+        let mut out = Vec::new();
+        self.heartbeat.fetch_add(1, Ordering::Release);
+
+        // Watchdog trip? Honour it before anything else.
+        if self.force_degrade.swap(false, Ordering::AcqRel) {
+            self.watchdog_trips += 1;
+            self.push_event(ServeEvent::WatchdogTrip { tick: self.tick }, &mut out);
+            let backlog: usize = self.consumers.iter().map(|c| c.occupancy()).sum();
+            self.enter_degraded(backlog, &mut out);
+        }
+
+        let n = self.consumers.len();
+        let total_cap: usize = self.consumers.iter().map(|c| c.capacity()).sum();
+        let backlog_before: usize = self.consumers.iter().map(|c| c.occupancy()).sum();
+        if self.state == ServeState::Healthy
+            && backlog_before >= (self.cfg.degrade_enter * total_cap as f64) as usize
+        {
+            self.enter_degraded(backlog_before, &mut out);
+        }
+
+        let quota = (self.cfg.tick_budget / n.max(1)).max(1);
+        let start = (self.tick as usize) % n.max(1);
+        let mut fleet_events = Vec::new();
+        for k in 0..n {
+            let feed = (start + k) % n;
+            self.sweep_feed(feed, quota, &mut fleet_events);
+        }
+        let tick = self.tick;
+        for event in fleet_events {
+            if matches!(event, FleetEvent::Warning { .. }) {
+                self.warnings += 1;
+            }
+            self.push_event(ServeEvent::Fleet { tick, event }, &mut out);
+        }
+
+        // Recovery: backlog must stay below the exit threshold for
+        // `recover_ticks` consecutive sweeps.
+        if self.state == ServeState::Degraded {
+            let backlog_after: usize = self.consumers.iter().map(|c| c.occupancy()).sum();
+            if backlog_after <= (self.cfg.degrade_exit * total_cap as f64) as usize {
+                self.calm_ticks += 1;
+                if self.calm_ticks >= self.cfg.recover_ticks {
+                    self.state = ServeState::Healthy;
+                    self.fleet.set_stride(1);
+                    self.push_event(ServeEvent::Recovered { tick: self.tick }, &mut out);
+                }
+            } else {
+                self.calm_ticks = 0;
+            }
+        }
+
+        self.tick += 1;
+        out
+    }
+
+    /// One feed's share of a sweep: overflow accounting, drop-oldest
+    /// shedding, then scoring up to `quota` lines as one batch.
+    fn sweep_feed(&mut self, feed: usize, quota: usize, fleet_events: &mut Vec<FleetEvent>) {
+        let rx = &mut self.consumers[feed];
+        let c = &mut self.counters[feed];
+        let cap = rx.capacity();
+
+        let overflowed = self.shared[feed].dropped_overflow.swap(0, Ordering::Relaxed);
+        c.dropped_overflow += overflowed;
+
+        // Drop-oldest shed: keep the ring's contents fresh when the
+        // backlog crosses the high watermark.
+        let mut shed = 0u64;
+        let occ = rx.occupancy();
+        c.peak_occupancy = c.peak_occupancy.max(occ);
+        if occ >= ((self.cfg.shed_high * cap as f64) as usize).max(1) {
+            let keep = (self.cfg.shed_low * cap as f64) as usize;
+            while rx.occupancy() > keep {
+                if rx.pop().is_none() {
+                    break;
+                }
+                shed += 1;
+            }
+        }
+        c.dropped_shed += shed;
+
+        let drops = overflowed + shed;
+        if drops > 0 {
+            c.calm_sweeps = 0;
+            if let Some(ev) = self.fleet.record_overload_drops(feed, drops) {
+                fleet_events.push(ev);
+            }
+        } else {
+            c.calm_sweeps += 1;
+            if c.calm_sweeps == self.cfg.recover_ticks.max(1) {
+                self.fleet.end_overload_episode(feed);
+            }
+        }
+
+        // Score up to the quota as one batch.
+        self.scratch.clear();
+        while self.scratch.len() < quota {
+            match rx.pop() {
+                Some(line) => self.scratch.push(line),
+                None => break,
+            }
+        }
+        if self.scratch.is_empty() {
+            return;
+        }
+        c.delivered += self.scratch.len() as u64;
+        self.fleet.ingest_batch(feed, self.scratch.iter().map(|l| l.text.as_str()), fleet_events);
+        let now = Instant::now();
+        for line in &self.scratch {
+            self.latency.record(now.saturating_duration_since(line.ingest));
+        }
+    }
+
+    /// Drains every ring to empty (producers must have stopped), picks
+    /// up trailing overflow counters, and flushes the fleet's reorder
+    /// buffers. After this, `lines_in == delivered + dropped` exactly.
+    pub fn finish(&mut self) -> Vec<ServeEvent> {
+        let mut out = Vec::new();
+        loop {
+            out.extend(self.sweep());
+            let backlog: usize = self.consumers.iter().map(|c| c.occupancy()).sum();
+            let overflow_pending: u64 =
+                self.shared.iter().map(|s| s.dropped_overflow.load(Ordering::Relaxed)).sum();
+            if backlog == 0 && overflow_pending == 0 {
+                break;
+            }
+        }
+        let tick = self.tick;
+        for event in self.fleet.flush() {
+            if matches!(event, FleetEvent::Warning { .. }) {
+                self.warnings += 1;
+            }
+            self.push_event(ServeEvent::Fleet { tick, event }, &mut out);
+        }
+        out
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> ServeStats {
+        let feeds = self
+            .counters
+            .iter()
+            .zip(self.shared.iter())
+            .map(|(c, s)| FeedServeStats {
+                lines_in: s.lines_in.load(Ordering::Relaxed),
+                delivered: c.delivered,
+                // Overflow seen by the scorer plus any not yet swept.
+                dropped_overflow: c.dropped_overflow + s.dropped_overflow.load(Ordering::Relaxed),
+                dropped_shed: c.dropped_shed,
+                peak_occupancy: c.peak_occupancy,
+            })
+            .collect();
+        ServeStats {
+            ticks: self.tick,
+            state: self.state,
+            degraded_episodes: self.degraded_episodes,
+            watchdog_trips: self.watchdog_trips,
+            warnings: self.warnings,
+            feeds,
+            latency: self.latency.clone(),
+        }
+    }
+}
+
+/// Handle to a running watchdog thread; stop it to collect the trip
+/// count.
+pub struct WatchdogHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl WatchdogHandle {
+    /// Stops the watchdog and returns how many stalls it flagged.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        self.join.take().map(|j| j.join().unwrap_or(0)).unwrap_or(0)
+    }
+}
+
+impl Drop for WatchdogHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::Warning;
+    use crate::supervisor::FleetMonitorConfig;
+    use nfv_syslog::message::Severity;
+    use nfv_syslog::SyslogMessage;
+
+    /// Observer recording stride changes and message counts.
+    struct Probe {
+        seen: u64,
+        strides_set: Vec<usize>,
+    }
+
+    impl Probe {
+        fn new() -> Probe {
+            Probe { seen: 0, strides_set: Vec::new() }
+        }
+    }
+
+    impl FeedObserver for Probe {
+        fn observe(&mut self, message: &SyslogMessage) -> Option<Warning> {
+            self.seen += 1;
+            if message.text.contains("alarm") {
+                return Some(Warning {
+                    start: message.timestamp,
+                    anomalies: 1,
+                    peak_score: 9.0,
+                    peak_text: message.text.clone(),
+                });
+            }
+            None
+        }
+
+        fn set_stride(&mut self, stride: usize) {
+            self.strides_set.push(stride);
+        }
+    }
+
+    fn core(feeds: usize, cfg: ServeConfig) -> ServeCore<Probe> {
+        let fleet = FleetMonitor::new(
+            (0..feeds).map(|_| Probe::new()).collect(),
+            FleetMonitorConfig { reorder_window: 0, ..Default::default() },
+        );
+        ServeCore::new(fleet, cfg)
+    }
+
+    fn line(t: u64, text: &str) -> String {
+        SyslogMessage {
+            timestamp: t,
+            host: "vpe00".into(),
+            process: "rpd".into(),
+            severity: Severity::Info,
+            text: text.into(),
+        }
+        .to_line()
+    }
+
+    #[test]
+    fn accounting_is_exact_under_overflow_and_shed() {
+        let cfg =
+            ServeConfig { capacity: 16, tick_budget: 4, degraded_stride: 2, ..Default::default() };
+        let mut core = core(1, cfg);
+        let mut t = 100u64;
+        // Firehose: 40 lines per sweep against a budget of 4 and a
+        // 16-slot ring — overflow and shedding both engage.
+        for round in 0..30 {
+            for i in 0..40 {
+                core.offer(0, &line(t, &format!("event r{} i{}", round, i)));
+                t += 1;
+            }
+            core.sweep();
+        }
+        core.finish();
+        let stats = core.stats();
+        let f = &stats.feeds[0];
+        assert_eq!(f.lines_in, 1200);
+        assert_eq!(
+            f.lines_in,
+            f.delivered + f.dropped_overflow + f.dropped_shed,
+            "every offered line must be delivered or counted dropped"
+        );
+        assert!(f.dropped_overflow > 0, "overflow path must engage");
+        assert!(f.peak_occupancy <= 16, "ring must stay bounded");
+        // The fleet's ledger matches the runtime's drop counters.
+        assert_eq!(core.fleet().health(0).overload_dropped, f.dropped());
+        assert_eq!(core.fleet().health(0).messages, f.delivered);
+        assert_eq!(stats.latency.count(), f.delivered);
+    }
+
+    #[test]
+    fn degrades_on_backlog_and_recovers_after_calm_ticks() {
+        let cfg = ServeConfig {
+            capacity: 64,
+            tick_budget: 16,
+            degrade_enter: 0.5,
+            degrade_exit: 0.1,
+            recover_ticks: 2,
+            degraded_stride: 8,
+            ..Default::default()
+        };
+        let mut core = core(1, cfg);
+        for i in 0..40 {
+            core.offer(0, &line(100 + i, &format!("burst {}", i)));
+        }
+        let events = core.sweep();
+        assert_eq!(core.state(), ServeState::Degraded);
+        assert!(matches!(events[0], ServeEvent::Degraded { tick: 0, backlog: 40 }));
+        // Drain the backlog; calm sweeps accumulate until recovery.
+        let mut recovered_at = None;
+        for _ in 0..10 {
+            for ev in core.sweep() {
+                if let ServeEvent::Recovered { tick } = ev {
+                    recovered_at = Some(tick);
+                }
+            }
+        }
+        assert_eq!(core.state(), ServeState::Healthy);
+        assert!(recovered_at.is_some(), "must emit Recovered");
+        // Degradation widened the observer stride, recovery reset it.
+        let probe = core.fleet().observer(0).unwrap();
+        assert_eq!(probe.strides_set, vec![8, 1]);
+        assert_eq!(probe.seen, 40);
+        let stats = core.stats();
+        assert_eq!(stats.degraded_episodes, 1);
+        assert_eq!(stats.feeds[0].lines_in, 40);
+        assert_eq!(stats.feeds[0].delivered, 40);
+        assert_eq!(stats.feeds[0].dropped_overflow + stats.feeds[0].dropped_shed, 0);
+    }
+
+    #[test]
+    fn deterministic_replay_produces_identical_stats() {
+        let run = || {
+            let cfg = ServeConfig { capacity: 32, tick_budget: 8, ..Default::default() };
+            let mut core = core(2, cfg);
+            let mut t = 50u64;
+            for round in 0..20 {
+                let burst = if round % 5 == 0 { 30 } else { 6 };
+                for i in 0..burst {
+                    for feed in 0..2 {
+                        core.offer(feed, &line(t, &format!("r{} i{} f{}", round, i, feed)));
+                    }
+                    t += 1;
+                }
+                core.sweep();
+            }
+            core.finish();
+            let s = core.stats();
+            (
+                s.ticks,
+                s.degraded_episodes,
+                s.feeds.iter().map(|f| (f.lines_in, f.delivered, f.dropped())).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run(), "same inputs must give identical accounting");
+    }
+
+    #[test]
+    fn watchdog_flag_forces_degraded_and_is_counted() {
+        let cfg = ServeConfig { capacity: 16, tick_budget: 8, ..Default::default() };
+        let mut core = core(1, cfg);
+        // Simulate the watchdog tripping between sweeps.
+        core.force_degrade.store(true, Ordering::Release);
+        let events = core.sweep();
+        assert!(matches!(events[0], ServeEvent::WatchdogTrip { tick: 0 }));
+        assert_eq!(core.state(), ServeState::Degraded);
+        assert_eq!(core.stats().watchdog_trips, 1);
+    }
+
+    #[test]
+    fn watchdog_thread_trips_on_stalled_scorer() {
+        let cfg = ServeConfig { capacity: 16, tick_budget: 8, ..Default::default() };
+        let core = core(1, cfg);
+        let dog = core.spawn_watchdog(Duration::from_millis(5));
+        // No sweeps happen; the heartbeat never advances.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(core.force_degrade.load(Ordering::Acquire), "stall must set the flag");
+        let _ = dog.stop();
+    }
+
+    #[test]
+    fn ports_feed_from_another_thread() {
+        let cfg = ServeConfig { capacity: 1024, tick_budget: 256, ..Default::default() };
+        let mut core = core(1, cfg);
+        let mut port = core.take_port(0);
+        let producer = std::thread::spawn(move || {
+            for i in 0..500u64 {
+                port.offer(&line(100 + i, &format!("threaded {}", i)));
+            }
+        });
+        producer.join().unwrap();
+        core.finish();
+        let stats = core.stats();
+        assert_eq!(stats.feeds[0].lines_in, 500);
+        assert_eq!(stats.feeds[0].delivered + stats.feeds[0].dropped(), 500);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for ns in [100u64, 200, 400, 800, 1600, 3200, 1_000_000] {
+            h.record_ns(ns);
+        }
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 <= p99);
+        assert_eq!(p99, 1_000_000, "top bucket reports the exact max");
+        assert_eq!(h.count(), 7);
+        let mut other = LatencyHistogram::new();
+        other.record_ns(5);
+        other.merge(&h);
+        assert_eq!(other.count(), 8);
+    }
+}

@@ -35,11 +35,36 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 pub trait FeedObserver {
     /// Feeds one message; may return a warning.
     fn observe(&mut self, message: &SyslogMessage) -> Option<Warning>;
+
+    /// Feeds a batch of messages, appending any warnings. The default
+    /// just loops [`FeedObserver::observe`]; observers with a cheaper
+    /// batched path (the [`OnlineMonitor`]'s chunked LSTM scoring)
+    /// override it. Implementations must be behaviourally identical to
+    /// the per-message loop.
+    fn observe_batch(&mut self, messages: &[SyslogMessage], warnings: &mut Vec<Warning>) {
+        for m in messages {
+            if let Some(w) = self.observe(m) {
+                warnings.push(w);
+            }
+        }
+    }
+
+    /// Sets the observer's scoring stride (degraded-mode shedding).
+    /// Observers without a stride knob ignore it.
+    fn set_stride(&mut self, _stride: usize) {}
 }
 
 impl FeedObserver for OnlineMonitor {
     fn observe(&mut self, message: &SyslogMessage) -> Option<Warning> {
         OnlineMonitor::observe(self, message)
+    }
+
+    fn observe_batch(&mut self, messages: &[SyslogMessage], warnings: &mut Vec<Warning>) {
+        OnlineMonitor::observe_batch(self, messages, warnings)
+    }
+
+    fn set_stride(&mut self, stride: usize) {
+        OnlineMonitor::set_stride(self, stride)
     }
 }
 
@@ -108,6 +133,10 @@ pub struct FeedHealth {
     pub reorders_absorbed: u64,
     /// Lines skipped while quarantined or poisoned.
     pub skipped: u64,
+    /// Lines dropped by the serving runtime's overload policy before
+    /// ever reaching this feed's monitor (ring overflow plus drop-oldest
+    /// shedding), recorded via [`FleetMonitor::record_overload_drops`].
+    pub overload_dropped: u64,
     /// Times the feed entered quarantine.
     pub quarantines: u32,
     /// Warnings raised by the feed's monitor.
@@ -144,6 +173,16 @@ pub enum FleetEvent {
         feed: usize,
         /// Panic payload, when it was a string.
         reason: String,
+    },
+    /// A feed's producer outran the scorer and lines were dropped by the
+    /// overload policy. Emitted once per overload episode; the episode
+    /// ends when [`FleetMonitor::end_overload_episode`] is called after
+    /// a drop-free interval.
+    FeedOverloaded {
+        /// Feed index.
+        feed: usize,
+        /// Total overload drops on the feed so far.
+        dropped: u64,
     },
     /// A feed has been silent past the staleness timeout.
     FeedSilent {
@@ -199,6 +238,9 @@ struct FeedRuntime<O> {
     next_seq: u64,
     /// Whether a FeedSilent was already emitted for the ongoing gap.
     silent_flagged: bool,
+    /// Whether a FeedOverloaded was already emitted for the ongoing
+    /// overload episode.
+    overload_flagged: bool,
 }
 
 fn line_hash(line: &str) -> u64 {
@@ -232,6 +274,7 @@ impl<O: FeedObserver> FleetMonitor<O> {
                     duplicates_dropped: 0,
                     reorders_absorbed: 0,
                     skipped: 0,
+                    overload_dropped: 0,
                     quarantines: 0,
                     warnings: 0,
                     last_seen: None,
@@ -244,6 +287,7 @@ impl<O: FeedObserver> FleetMonitor<O> {
                 max_seen: 0,
                 next_seq: 0,
                 silent_flagged: false,
+                overload_flagged: false,
             })
             .collect();
         FleetMonitor { cfg, feeds }
@@ -264,6 +308,13 @@ impl<O: FeedObserver> FleetMonitor<O> {
         self.feeds.iter().map(|f| &f.health).collect()
     }
 
+    /// The observer behind one feed, when still live (poisoned feeds
+    /// have dropped theirs). Lets callers read monitor-level counters
+    /// such as windows scored or stride-skipped.
+    pub fn observer(&self, feed: usize) -> Option<&O> {
+        self.feeds[feed].monitor.as_ref()
+    }
+
     /// Ingests one raw line for `feed`, returning whatever fleet events
     /// it caused. A panicking monitor is contained here: the feed is
     /// poisoned and the method returns normally.
@@ -271,11 +322,53 @@ impl<O: FeedObserver> FleetMonitor<O> {
         let mut events = Vec::new();
         let cfg = self.cfg;
         let rt = &mut self.feeds[feed];
+        Self::admit_line(&cfg, rt, feed, line, &mut events);
+        let release_before = rt.max_seen.saturating_sub(cfg.reorder_window);
+        while rt.buffer.peek().is_some_and(|Reverse(b)| b.time <= release_before) {
+            let Reverse(b) = rt.buffer.pop().expect("peeked");
+            Self::observe_contained(rt, feed, &b.msg, &mut events);
+        }
+        events
+    }
 
+    /// Ingests a batch of raw lines for `feed`. Admission (dedup,
+    /// parsing, lifecycle, reordering) runs per line exactly as in
+    /// [`FleetMonitor::ingest_line`]; the messages released by the
+    /// reorder buffer are then observed in one batched call, which is
+    /// what lets the serving runtime amortize the LSTM forward passes.
+    /// Events are appended to `events`.
+    pub fn ingest_batch<'a>(
+        &mut self,
+        feed: usize,
+        lines: impl IntoIterator<Item = &'a str>,
+        events: &mut Vec<FleetEvent>,
+    ) {
+        let cfg = self.cfg;
+        let rt = &mut self.feeds[feed];
+        let mut released: Vec<SyslogMessage> = Vec::new();
+        for line in lines {
+            Self::admit_line(&cfg, rt, feed, line, events);
+            let release_before = rt.max_seen.saturating_sub(cfg.reorder_window);
+            while rt.buffer.peek().is_some_and(|Reverse(b)| b.time <= release_before) {
+                released.push(rt.buffer.pop().expect("peeked").0.msg);
+            }
+        }
+        Self::observe_batch_contained(rt, feed, &released, events);
+    }
+
+    /// Runs one line through dedup, parsing, and the lifecycle state
+    /// machine, pushing any parsed message into the reorder buffer.
+    fn admit_line(
+        cfg: &FleetMonitorConfig,
+        rt: &mut FeedRuntime<O>,
+        feed: usize,
+        line: &str,
+        events: &mut Vec<FleetEvent>,
+    ) {
         match rt.health.state {
             FeedState::Poisoned => {
                 rt.health.skipped += 1;
-                return events;
+                return;
             }
             FeedState::Quarantined => {
                 rt.health.skipped += 1;
@@ -285,7 +378,7 @@ impl<O: FeedObserver> FleetMonitor<O> {
                     rt.probation_clean = 0;
                     rt.error_score = 0;
                 }
-                return events;
+                return;
             }
             FeedState::Active | FeedState::Probation => {}
         }
@@ -294,7 +387,7 @@ impl<O: FeedObserver> FleetMonitor<O> {
         let h = line_hash(line);
         if rt.dedup.contains(&h) {
             rt.health.duplicates_dropped += 1;
-            return events;
+            return;
         }
         rt.dedup.push_back(h);
         while rt.dedup.len() > cfg.dedup_window {
@@ -318,7 +411,7 @@ impl<O: FeedObserver> FleetMonitor<O> {
                         parse_errors: rt.health.parse_errors,
                     });
                 }
-                return events;
+                return;
             }
         };
         rt.error_score = rt.error_score.saturating_sub(1);
@@ -338,15 +431,10 @@ impl<O: FeedObserver> FleetMonitor<O> {
         rt.max_seen = rt.max_seen.max(msg.timestamp);
         rt.health.last_seen = Some(rt.max_seen);
 
-        // Buffer, then release everything older than the reorder window.
+        // Buffer; the caller releases everything older than the reorder
+        // window (per line, or once per batch).
         rt.buffer.push(Reverse(Buffered { time: msg.timestamp, seq: rt.next_seq, msg }));
         rt.next_seq += 1;
-        let release_before = rt.max_seen.saturating_sub(cfg.reorder_window);
-        while rt.buffer.peek().is_some_and(|Reverse(b)| b.time <= release_before) {
-            let Reverse(b) = rt.buffer.pop().expect("peeked");
-            Self::observe_contained(rt, feed, &b.msg, &mut events);
-        }
-        events
     }
 
     /// Runs one observation with panic containment; a panic poisons the
@@ -377,6 +465,76 @@ impl<O: FeedObserver> FleetMonitor<O> {
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
                 events.push(FleetEvent::FeedPoisoned { feed, reason });
+            }
+        }
+    }
+
+    /// Runs one batched observation with the same panic containment as
+    /// [`FleetMonitor::observe_contained`]. Warnings raised before the
+    /// panic are kept; the feed is then poisoned.
+    fn observe_batch_contained(
+        rt: &mut FeedRuntime<O>,
+        feed: usize,
+        msgs: &[SyslogMessage],
+        events: &mut Vec<FleetEvent>,
+    ) {
+        if msgs.is_empty() {
+            return;
+        }
+        let Some(monitor) = rt.monitor.as_mut() else {
+            rt.health.skipped += msgs.len() as u64;
+            return;
+        };
+        let mut warnings = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            monitor.observe_batch(msgs, &mut warnings);
+        }));
+        for warning in warnings {
+            rt.health.warnings += 1;
+            events.push(FleetEvent::Warning { feed, warning });
+        }
+        if let Err(panic) = outcome {
+            rt.monitor = None;
+            rt.health.state = FeedState::Poisoned;
+            let reason = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            events.push(FleetEvent::FeedPoisoned { feed, reason });
+        }
+    }
+
+    /// Records `n` lines dropped for `feed` by the serving runtime's
+    /// overload policy. Returns a [`FleetEvent::FeedOverloaded`] the
+    /// first time drops occur in an episode; subsequent calls only bump
+    /// the counter until [`FleetMonitor::end_overload_episode`] re-arms
+    /// the event.
+    pub fn record_overload_drops(&mut self, feed: usize, n: u64) -> Option<FleetEvent> {
+        if n == 0 {
+            return None;
+        }
+        let rt = &mut self.feeds[feed];
+        rt.health.overload_dropped += n;
+        if rt.overload_flagged {
+            return None;
+        }
+        rt.overload_flagged = true;
+        Some(FleetEvent::FeedOverloaded { feed, dropped: rt.health.overload_dropped })
+    }
+
+    /// Marks the current overload episode on `feed` as over (called
+    /// after a drop-free interval), re-arming the `FeedOverloaded` event.
+    pub fn end_overload_episode(&mut self, feed: usize) {
+        self.feeds[feed].overload_flagged = false;
+    }
+
+    /// Sets the scoring stride on every live feed observer (degraded-mode
+    /// load shedding; 1 restores full scoring).
+    pub fn set_stride(&mut self, stride: usize) {
+        for rt in &mut self.feeds {
+            if let Some(monitor) = rt.monitor.as_mut() {
+                monitor.set_stride(stride);
             }
         }
     }
@@ -585,6 +743,62 @@ mod tests {
         assert!(fleet.tick(9700).is_empty());
         let events = fleet.tick(20_000);
         assert!(matches!(events[0], FleetEvent::FeedSilent { feed: 0, .. }));
+    }
+
+    #[test]
+    fn ingest_batch_matches_per_line_ingest() {
+        let mixed: Vec<String> = (0..60)
+            .map(|i| {
+                let t = 100 + i * 40;
+                match i % 7 {
+                    3 => format!("%% not a syslog line {} %%", i),
+                    5 => line(t, "alarm condition"),
+                    _ => line(t, &format!("event {}", i)),
+                }
+            })
+            .collect();
+        // Duplicate a few lines to exercise dedup inside the batch.
+        let mut lines: Vec<&str> = mixed.iter().map(|s| s.as_str()).collect();
+        lines.insert(10, &mixed[9]);
+        lines.insert(30, &mixed[28]);
+
+        let mut seq = probe_fleet(1);
+        let mut seq_events = Vec::new();
+        for l in &lines {
+            seq_events.extend(seq.ingest_line(0, l));
+        }
+        seq_events.extend(seq.flush());
+
+        let mut bat = probe_fleet(1);
+        let mut bat_events = Vec::new();
+        for chunk in lines.chunks(9) {
+            bat.ingest_batch(0, chunk.iter().copied(), &mut bat_events);
+        }
+        bat_events.extend(bat.flush());
+
+        assert_eq!(seq.health(0), bat.health(0));
+        assert_eq!(seq_events, bat_events);
+        assert_eq!(
+            seq.feeds[0].monitor.as_ref().unwrap().seen,
+            bat.feeds[0].monitor.as_ref().unwrap().seen
+        );
+    }
+
+    #[test]
+    fn overload_drops_are_counted_and_reported_once_per_episode() {
+        let mut fleet = probe_fleet(2);
+        let ev = fleet.record_overload_drops(0, 7);
+        assert_eq!(ev, Some(FleetEvent::FeedOverloaded { feed: 0, dropped: 7 }));
+        // Same episode: counter grows, no second event.
+        assert_eq!(fleet.record_overload_drops(0, 3), None);
+        assert_eq!(fleet.health(0).overload_dropped, 10);
+        assert_eq!(fleet.health(1).overload_dropped, 0);
+        // Zero drops never report.
+        assert_eq!(fleet.record_overload_drops(1, 0), None);
+        // After the episode ends the event re-arms.
+        fleet.end_overload_episode(0);
+        let ev = fleet.record_overload_drops(0, 1);
+        assert_eq!(ev, Some(FleetEvent::FeedOverloaded { feed: 0, dropped: 11 }));
     }
 
     #[test]

@@ -199,19 +199,48 @@ pub fn open_envelope(format: &str, text: &str) -> Result<Value, CheckpointError>
     Ok(payload)
 }
 
-/// Writes `contents` to `path` atomically: the bytes land in a sibling
-/// temp file which is then renamed over the destination, so readers
-/// observe either the old file or the complete new one, never a prefix.
+/// Writes `contents` to `path` atomically **and durably**: the bytes
+/// land in a sibling temp file which is then renamed over the
+/// destination, so readers observe either the old file or the complete
+/// new one, never a prefix.
+///
+/// The fsync ordering matters for crash durability, not just
+/// atomicity:
+///
+/// 1. write the temp file's bytes;
+/// 2. `sync_all` the temp file — the data must be on stable storage
+///    *before* the rename, otherwise a power loss after the rename
+///    commits can leave the destination pointing at never-written
+///    blocks (a zero-length or garbage file with the right name);
+/// 3. rename over the destination (atomic on POSIX filesystems);
+/// 4. fsync the parent directory — the rename itself is a directory
+///    entry update, and without this step a crash can roll the
+///    directory back to the old entry even though step 3 returned.
 pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
     let tmp = path.with_extension("tmp");
-    fs::write(&tmp, contents)?;
-    match fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
-        Err(e) => {
+    {
+        let mut f = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut f, contents.as_bytes())?;
+        if let Err(e) = f.sync_all() {
+            drop(f);
             fs::remove_file(&tmp).ok();
-            Err(e)
+            return Err(e);
         }
     }
+    if let Err(e) = fs::rename(&tmp, path) {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    // Persist the directory entry. Some platforms cannot fsync a
+    // directory handle (or opening one fails); that only weakens
+    // durability of the rename, never atomicity, so it is best-effort.
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Reads `path`, retrying transient i/o failures with doubling backoff.

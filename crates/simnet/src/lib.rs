@@ -24,6 +24,7 @@ pub mod catalog;
 pub mod config;
 pub mod faults;
 pub mod fleet;
+pub mod load;
 pub mod ppe;
 pub mod tickets;
 pub mod topology;
@@ -34,6 +35,7 @@ mod util;
 pub use catalog::Catalog;
 pub use config::{SimConfig, SimPreset};
 pub use fleet::FleetTrace;
+pub use load::{BurstSpec, LoadGen, LoadSpec, WindowSpec};
 pub use nfv_syslog::SyslogMessage;
 pub use tickets::{Ticket, TicketCause};
 pub use topology::{Topology, Vpe};

@@ -1,0 +1,333 @@
+//! Replayable firehose load generator for the serving runtime.
+//!
+//! `nfvpredict serve` and the overload chaos tests need input that can
+//! outrun the scorer *reproducibly*: the same spec and seed must produce
+//! the same byte stream, tick for tick, so degraded-mode engagement and
+//! drop accounting can be asserted exactly across runs.
+//!
+//! A [`LoadGen`] emits per-feed syslog lines in discrete ticks (one
+//! simulated second each). The steady state is cyclic heartbeat chatter
+//! a small LSTM learns easily; on top of that the spec can schedule:
+//!
+//! * **bursts** — tick windows where the rate is multiplied (the
+//!   firehose that forces overload policy to engage);
+//! * **outages** — tick windows where a feed goes silent (exercising
+//!   staleness detection and recovery);
+//! * **anomaly windows** — tick windows with injected never-seen fault
+//!   lines (what the monitor is there to catch);
+//! * **transport faults** — loss/duplication/reordering/corruption via
+//!   [`TransportSim`], re-seeded per tick so fault patterns vary over
+//!   time while staying replayable. (Clock skew is not meaningful here:
+//!   it would be redrawn every tick. Leave it at zero.)
+//!
+//! [`LoadGen::training_messages`] produces the same chatter, clean and
+//! anomaly-free, at the same cadence — suitable for training the very
+//! monitor that will score the live stream.
+
+use crate::transport::{TransportFaults, TransportSim};
+use nfv_syslog::message::Severity;
+use nfv_syslog::SyslogMessage;
+
+/// Epoch of the generated timeline (seconds); tick `t` maps to
+/// `LOAD_EPOCH + t`.
+pub const LOAD_EPOCH: u64 = 10_000;
+
+/// A rate-multiplier window: `[start, start + len)` ticks at
+/// `mult × base_rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// First tick of the burst.
+    pub start: u64,
+    /// Burst length in ticks.
+    pub len: u64,
+    /// Rate multiplier while the burst is active.
+    pub mult: u64,
+}
+
+impl BurstSpec {
+    /// Parses the CLI syntax `start:len:mult`.
+    pub fn parse(s: &str) -> Result<BurstSpec, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("burst {:?} is not start:len:mult", s));
+        }
+        let num = |v: &str, what: &str| -> Result<u64, String> {
+            v.trim().parse().map_err(|_| format!("{:?} is not a whole number ({})", v, what))
+        };
+        let spec = BurstSpec {
+            start: num(parts[0], "start tick")?,
+            len: num(parts[1], "length in ticks")?,
+            mult: num(parts[2], "rate multiplier")?,
+        };
+        if spec.mult == 0 {
+            return Err("burst multiplier must be at least 1".to_string());
+        }
+        Ok(spec)
+    }
+}
+
+/// A tick window `[start, start + len)` for outages and anomaly
+/// injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// First tick of the window.
+    pub start: u64,
+    /// Window length in ticks.
+    pub len: u64,
+}
+
+impl WindowSpec {
+    /// Parses the CLI syntax `start:len`.
+    pub fn parse(s: &str) -> Result<WindowSpec, String> {
+        let (a, b) = s.split_once(':').ok_or_else(|| format!("window {:?} is not start:len", s))?;
+        let num = |v: &str| -> Result<u64, String> {
+            v.trim().parse().map_err(|_| format!("{:?} is not a whole number", v))
+        };
+        Ok(WindowSpec { start: num(a)?, len: num(b)? })
+    }
+
+    /// Whether `tick` falls inside the window.
+    pub fn contains(&self, tick: u64) -> bool {
+        tick >= self.start && tick < self.start.saturating_add(self.len)
+    }
+}
+
+/// Full description of a load scenario.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Number of feeds.
+    pub feeds: usize,
+    /// Lines per feed per tick in steady state.
+    pub base_rate: u64,
+    /// Rate-multiplier windows (applied to every feed).
+    pub bursts: Vec<BurstSpec>,
+    /// Silence windows (applied to every feed).
+    pub outages: Vec<WindowSpec>,
+    /// Ticks during which anomalous fault lines are injected.
+    pub anomalies: Vec<WindowSpec>,
+    /// Anomalous lines appended per feed per anomaly tick.
+    pub anomaly_rate: u64,
+    /// Transport-level chaos applied to the rendered lines.
+    pub faults: TransportFaults,
+    /// Seed for all randomness (transport faults).
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            feeds: 1,
+            base_rate: 50,
+            bursts: Vec::new(),
+            outages: Vec::new(),
+            anomalies: Vec::new(),
+            anomaly_rate: 3,
+            faults: TransportFaults::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Deterministic tick-by-tick line generator over a [`LoadSpec`].
+///
+/// Per-feed message counters advance as lines are generated, so replay
+/// requires generating ticks in increasing order from a fresh
+/// generator — which is exactly how the serving loop and the chaos
+/// tests drive it.
+pub struct LoadGen {
+    spec: LoadSpec,
+    /// Per-feed monotone message counter (drives the template cycle).
+    counters: Vec<u64>,
+}
+
+impl LoadGen {
+    /// A generator at tick zero.
+    pub fn new(spec: LoadSpec) -> LoadGen {
+        let counters = vec![0; spec.feeds];
+        LoadGen { spec, counters }
+    }
+
+    /// The scenario being generated.
+    pub fn spec(&self) -> &LoadSpec {
+        &self.spec
+    }
+
+    /// Lines per feed scheduled for `tick` (before transport loss/dup):
+    /// zero during an outage, burst-multiplied otherwise, plus the
+    /// anomaly lines when an anomaly window is active.
+    pub fn rate_at(&self, tick: u64) -> u64 {
+        if self.spec.outages.iter().any(|w| w.contains(tick)) {
+            return 0;
+        }
+        let mult =
+            self.spec.bursts.iter().filter(|b| b.contains(tick)).map(|b| b.mult).max().unwrap_or(1);
+        let anomalies = if self.spec.anomalies.iter().any(|w| w.contains(tick)) {
+            self.spec.anomaly_rate
+        } else {
+            0
+        };
+        self.spec.base_rate * mult + anomalies
+    }
+
+    /// Whether `tick` injects anomaly lines.
+    pub fn in_anomaly(&self, tick: u64) -> bool {
+        self.spec.anomalies.iter().any(|w| w.contains(tick))
+            && !self.spec.outages.iter().any(|w| w.contains(tick))
+    }
+
+    fn message(feed: usize, time: u64, k: u64) -> SyslogMessage {
+        SyslogMessage {
+            timestamp: time,
+            host: format!("vpe{:02}", feed),
+            process: "rpd".to_string(),
+            severity: Severity::Info,
+            text: format!("heartbeat stage{} counter {} status ok", k % 4, k),
+        }
+    }
+
+    fn anomaly_message(feed: usize, time: u64, k: u64) -> SyslogMessage {
+        SyslogMessage {
+            timestamp: time,
+            host: format!("vpe{:02}", feed),
+            process: "chassisd".to_string(),
+            severity: Severity::Error,
+            text: format!("chassis alarm unknown fault storm event {} feed {}", k, feed),
+        }
+    }
+
+    /// Generates one feed's raw lines for `tick`, with transport faults
+    /// applied. Ticks must be generated in increasing order per feed.
+    pub fn tick_lines(&mut self, tick: u64, feed: usize) -> Vec<String> {
+        let time = LOAD_EPOCH + tick;
+        if self.spec.outages.iter().any(|w| w.contains(tick)) {
+            return Vec::new();
+        }
+        let mult =
+            self.spec.bursts.iter().filter(|b| b.contains(tick)).map(|b| b.mult).max().unwrap_or(1);
+        let normal = self.spec.base_rate * mult;
+        let k0 = self.counters[feed];
+        let mut msgs: Vec<SyslogMessage> =
+            (0..normal).map(|i| Self::message(feed, time, k0 + i)).collect();
+        if self.in_anomaly(tick) {
+            for j in 0..self.spec.anomaly_rate {
+                msgs.push(Self::anomaly_message(feed, time, k0 + normal + j));
+            }
+        }
+        self.counters[feed] +=
+            normal + if self.in_anomaly(tick) { self.spec.anomaly_rate } else { 0 };
+        if self.spec.faults.is_clean() {
+            msgs.iter().map(|m| m.to_line()).collect()
+        } else {
+            // Re-seed per tick so fault patterns vary over the run while
+            // remaining a pure function of (seed, tick, feed).
+            let sim = TransportSim::new(
+                self.spec.faults,
+                self.spec.seed ^ tick.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            sim.deliver(feed, &msgs)
+        }
+    }
+
+    /// Clean, anomaly-free messages at the serving cadence for training
+    /// the monitor that will score this load (`ticks` ticks' worth for
+    /// one representative feed).
+    pub fn training_messages(&self, ticks: u64) -> Vec<SyslogMessage> {
+        let mut out = Vec::new();
+        let mut k = 0u64;
+        for tick in 0..ticks {
+            for _ in 0..self.spec.base_rate {
+                out.push(Self::message(0, LOAD_EPOCH + tick, k));
+                k += 1;
+            }
+        }
+        out
+    }
+}
+
+impl BurstSpec {
+    /// Whether `tick` falls inside the burst.
+    pub fn contains(&self, tick: u64) -> bool {
+        tick >= self.start && tick < self.start.saturating_add(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_syslog::parse::parse_line;
+
+    fn spec() -> LoadSpec {
+        LoadSpec {
+            feeds: 2,
+            base_rate: 10,
+            bursts: vec![BurstSpec { start: 5, len: 3, mult: 4 }],
+            outages: vec![WindowSpec { start: 12, len: 2 }],
+            anomalies: vec![WindowSpec { start: 9, len: 2 }],
+            anomaly_rate: 3,
+            faults: TransportFaults::parse("loss=0.05,corrupt=0.02").unwrap(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn spec_strings_parse() {
+        assert_eq!(BurstSpec::parse("10:5:8").unwrap(), BurstSpec { start: 10, len: 5, mult: 8 });
+        assert!(BurstSpec::parse("10:5").is_err());
+        assert!(BurstSpec::parse("10:5:0").is_err());
+        assert_eq!(WindowSpec::parse("30:4").unwrap(), WindowSpec { start: 30, len: 4 });
+        assert!(WindowSpec::parse("30").is_err());
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let run = || {
+            let mut gen = LoadGen::new(spec());
+            let mut all = Vec::new();
+            for tick in 0..20 {
+                for feed in 0..2 {
+                    all.extend(gen.tick_lines(tick, feed));
+                }
+            }
+            all
+        };
+        let a = run();
+        assert_eq!(a, run(), "same spec and seed must replay identically");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bursts_outages_and_anomalies_shape_the_rate() {
+        let gen = LoadGen::new(spec());
+        assert_eq!(gen.rate_at(0), 10);
+        assert_eq!(gen.rate_at(5), 40, "burst multiplies the base rate");
+        assert_eq!(gen.rate_at(9), 13, "anomaly window adds fault lines");
+        assert_eq!(gen.rate_at(12), 0, "outage silences the feed");
+        assert!(gen.in_anomaly(9));
+        assert!(!gen.in_anomaly(12));
+    }
+
+    #[test]
+    fn clean_lines_parse_and_counters_advance_across_ticks() {
+        let mut gen = LoadGen::new(LoadSpec { feeds: 1, base_rate: 5, ..Default::default() });
+        let a = gen.tick_lines(0, 0);
+        let b = gen.tick_lines(1, 0);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+        assert_ne!(a[0], b[0], "message counter must advance across ticks");
+        for line in a.iter().chain(b.iter()) {
+            let msg = parse_line(line, 0).expect("clean lines must parse");
+            assert!(msg.text.contains("heartbeat"));
+        }
+    }
+
+    #[test]
+    fn training_messages_match_serving_cadence() {
+        let gen = LoadGen::new(LoadSpec { feeds: 1, base_rate: 4, ..Default::default() });
+        let train = gen.training_messages(10);
+        assert_eq!(train.len(), 40);
+        assert!(train.iter().all(|m| !m.text.contains("alarm")));
+        // Same timestamps per tick as the live stream's clean path.
+        assert_eq!(train[0].timestamp, LOAD_EPOCH);
+        assert_eq!(train[4].timestamp, LOAD_EPOCH + 1);
+    }
+}

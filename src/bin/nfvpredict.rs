@@ -35,6 +35,24 @@
 //!     optionally injecting transport chaos, and print per-feed health
 //!     and warnings. Exit code 0 = all feeds healthy, 3 = degraded
 //!     (quarantined or poisoned feeds), 1 = fatal error, 2 = usage.
+//!
+//! nfvpredict serve [--model FILE] [--feeds N] [--rate LINES_PER_TICK]
+//!                  [--ticks N] [--tick-ms MS] [--capacity N]
+//!                  [--budget N] [--stride S]
+//!                  [--burst START:LEN:MULT[,..]] [--outage START:LEN[,..]]
+//!                  [--anomaly START:LEN[,..]] [--faults SPEC] [--seed N]
+//!                  [--stats-json FILE]
+//!     Long-lived serving runtime: a replayable load generator streams
+//!     syslog lines per feed through bounded SPSC rings into the online
+//!     scorer. Ingest never blocks and memory never grows: a full ring
+//!     drops the incoming line, sustained backlog sheds oldest-first and
+//!     widens the scoring stride (degraded mode), and recovery is
+//!     automatic. Without --model a small monitor is trained on the
+//!     load's own clean cadence first. --tick-ms 0 (default) runs the
+//!     deterministic step mode; a positive value paces ticks in real
+//!     time with producer + scorer threads and a watchdog. Exit code
+//!     0 = finished healthy, 3 = degraded at exit (or feeds
+//!     quarantined/poisoned), 1 = fatal error, 2 = usage.
 //! ```
 
 use nfvpredict::detect::bundle::ModelBundle;
@@ -52,7 +70,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: nfvpredict <simulate|train|detect|evaluate|monitor> [flags]");
+        eprintln!("usage: nfvpredict <simulate|train|detect|evaluate|monitor|serve> [flags]");
         return ExitCode::from(2);
     };
     let allowed: &[&str] = match command.as_str() {
@@ -72,6 +90,22 @@ fn main() -> ExitCode {
             "kill-at-month",
         ],
         "monitor" => &["model", "logs", "faults", "seed", "staleness"],
+        "serve" => &[
+            "model",
+            "feeds",
+            "rate",
+            "ticks",
+            "tick-ms",
+            "capacity",
+            "budget",
+            "stride",
+            "burst",
+            "outage",
+            "anomaly",
+            "faults",
+            "seed",
+            "stats-json",
+        ],
         _ => &[],
     };
     let flags = match parse_flags(&args[1..], allowed) {
@@ -87,6 +121,7 @@ fn main() -> ExitCode {
         "detect" => cmd_detect(&flags).map(|()| ExitCode::SUCCESS),
         "evaluate" => cmd_evaluate(&flags),
         "monitor" => cmd_monitor(&flags),
+        "serve" => cmd_serve(&flags),
         other => Err(format!("unknown command {:?}", other)),
     };
     match result {
@@ -338,17 +373,16 @@ fn cmd_detect(flags: &Flags) -> Result<(), String> {
     let bundle =
         ModelBundle::load(Path::new(model_path)).map_err(|e| format!("{}: {}", model_path, e))?;
     let (msgs, skipped) = read_log(Path::new(required(flags, "log")?))?;
-    if skipped > 0 {
-        eprintln!("note: {} malformed lines were skipped", skipped);
-    }
     let (codec, det) = bundle.try_unpack().map_err(|e| e.to_string())?;
     let stream = codec.encode_stream(&msgs);
     let events = det.score(&stream, 0, u64::MAX);
     let clusters = warning_clusters(&events, bundle.threshold, &bundle.mapping());
 
     println!(
-        "scored {} messages, {} anomalies above threshold {:.3}, {} warning clusters",
+        "scored {} messages ({} malformed lines skipped), {} anomalies above threshold {:.3}, \
+         {} warning clusters",
         stream.len(),
+        skipped,
         events.iter().filter(|e| e.score >= bundle.threshold).count(),
         bundle.threshold,
         clusters.len()
@@ -479,6 +513,9 @@ fn cmd_monitor(flags: &Flags) -> Result<ExitCode, String> {
             FleetEvent::FeedPoisoned { feed, reason } => {
                 println!("POISONED feed {}: {}", feed, reason);
             }
+            FleetEvent::FeedOverloaded { feed, dropped } => {
+                println!("OVERLOADED feed {}: {} lines dropped so far", feed, dropped);
+            }
             FleetEvent::FeedSilent { feed, last_seen, now } => {
                 println!(
                     "SILENT feed {}: nothing since {} (now {})",
@@ -552,4 +589,290 @@ fn cmd_evaluate(flags: &Flags) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Trains a small monitor on the load generator's own clean cadence —
+/// the fallback when `serve` is run without a pre-trained --model.
+fn self_trained_bundle(gen: &nfvpredict::simnet::LoadGen) -> Result<ModelBundle, String> {
+    // ~1200 messages of cyclic chatter is plenty for the tiny LSTM.
+    let ticks = (1200 / gen.spec().base_rate.max(1)).max(4);
+    let train = gen.training_messages(ticks);
+    let codec = nfvpredict::detect::LogCodec::train(&train, 4);
+    let mut det = LstmDetector::new(LstmDetectorConfig {
+        vocab: codec.vocab_size(),
+        window: 4,
+        embed_dim: 6,
+        hidden: 10,
+        epochs: 3,
+        max_train_windows: 2000,
+        threads: 1,
+        ..Default::default()
+    });
+    let stream = codec.encode_stream(&train);
+    det.fit(&[&stream]);
+    let max_score = det.score(&stream, 0, u64::MAX).iter().map(|e| e.score).fold(0.0f32, f32::max);
+    if max_score <= 0.0 {
+        return Err("self-training produced no scores to calibrate a threshold".to_string());
+    }
+    Ok(ModelBundle::pack(&codec, &det, max_score * 1.05, &MappingConfig::default()))
+}
+
+fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
+    use nfvpredict::detect::serve::{ServeConfig, ServeCore, ServeEvent, ServeState};
+    use nfvpredict::simnet::{BurstSpec, LoadGen, LoadSpec, WindowSpec};
+
+    let feeds: usize = flag(flags, "feeds").unwrap_or("4").parse().map_err(|_| "bad --feeds")?;
+    let rate: u64 = flag(flags, "rate").unwrap_or("50").parse().map_err(|_| "bad --rate")?;
+    let ticks: u64 = flag(flags, "ticks").unwrap_or("120").parse().map_err(|_| "bad --ticks")?;
+    let tick_ms: u64 =
+        flag(flags, "tick-ms").unwrap_or("0").parse().map_err(|_| "bad --tick-ms")?;
+    let capacity: usize =
+        flag(flags, "capacity").unwrap_or("4096").parse().map_err(|_| "bad --capacity")?;
+    let budget: usize =
+        flag(flags, "budget").unwrap_or("2048").parse().map_err(|_| "bad --budget")?;
+    let stride: usize = flag(flags, "stride").unwrap_or("4").parse().map_err(|_| "bad --stride")?;
+    let seed: u64 = flag(flags, "seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    if feeds == 0 || rate == 0 || ticks == 0 {
+        eprintln!("error: --feeds, --rate and --ticks must all be positive");
+        return Ok(ExitCode::from(2));
+    }
+
+    // Scenario windows and transport chaos (usage errors exit 2).
+    let parse_list = |name: &str| -> Vec<String> {
+        flag(flags, name).map(|s| s.split(',').map(str::to_string).collect()).unwrap_or_default()
+    };
+    let spec_err = |e: String| {
+        eprintln!("error: {}", e);
+        ExitCode::from(2)
+    };
+    let mut bursts = Vec::new();
+    let mut outages = Vec::new();
+    let mut anomalies = Vec::new();
+    for s in parse_list("burst") {
+        match BurstSpec::parse(&s) {
+            Ok(b) => bursts.push(b),
+            Err(e) => return Ok(spec_err(e)),
+        }
+    }
+    for s in parse_list("outage") {
+        match WindowSpec::parse(&s) {
+            Ok(w) => outages.push(w),
+            Err(e) => return Ok(spec_err(e)),
+        }
+    }
+    for s in parse_list("anomaly") {
+        match WindowSpec::parse(&s) {
+            Ok(w) => anomalies.push(w),
+            Err(e) => return Ok(spec_err(e)),
+        }
+    }
+    let faults = match TransportFaults::parse(flag(flags, "faults").unwrap_or("")) {
+        Ok(f) => f,
+        Err(e) => return Ok(spec_err(e)),
+    };
+    let spec = LoadSpec {
+        feeds,
+        base_rate: rate,
+        bursts,
+        outages,
+        anomalies,
+        anomaly_rate: 3,
+        faults,
+        seed,
+    };
+
+    // A monitor per feed, from a loaded bundle or self-training.
+    let gen0 = LoadGen::new(spec.clone());
+    let bundle = match flag(flags, "model") {
+        Some(p) => {
+            ModelBundle::load_with_retry(Path::new(p), 3, std::time::Duration::from_millis(50))
+                .map_err(|e| format!("{}: {}", p, e))?
+        }
+        None => {
+            eprintln!("no --model given; training a monitor on the load's clean cadence...");
+            self_trained_bundle(&gen0)?
+        }
+    };
+    let monitors: Result<Vec<OnlineMonitor>, String> = (0..feeds)
+        .map(|_| {
+            let (codec, det) = bundle.try_unpack().map_err(|e| e.to_string())?;
+            Ok(OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping()))
+        })
+        .collect();
+    let fleet_cfg = FleetMonitorConfig { reorder_window: faults.reorder, ..Default::default() };
+    let fleet = FleetMonitor::new(monitors?, fleet_cfg);
+    let serve_cfg = ServeConfig {
+        capacity,
+        tick_budget: budget,
+        degraded_stride: stride.max(1),
+        ..Default::default()
+    };
+    let mut core = ServeCore::new(fleet, serve_cfg);
+
+    if tick_ms == 0 {
+        // Deterministic step mode: one sweep per load tick.
+        let mut gen = LoadGen::new(spec);
+        for tick in 0..ticks {
+            for feed in 0..feeds {
+                for line in gen.tick_lines(tick, feed) {
+                    core.offer(feed, &line);
+                }
+            }
+            core.sweep();
+        }
+    } else {
+        // Threaded mode: a producer thread paces real-time ticks, the
+        // scorer sweeps as fast as it can, a watchdog supervises.
+        let mut ports: Vec<_> = (0..feeds).map(|f| core.take_port(f)).collect();
+        let dog = core.spawn_watchdog(std::time::Duration::from_millis((tick_ms * 8).max(100)));
+        let spec2 = spec.clone();
+        let producer = std::thread::spawn(move || {
+            let mut gen = LoadGen::new(spec2);
+            let tick_dur = std::time::Duration::from_millis(tick_ms);
+            for tick in 0..ticks {
+                let t0 = std::time::Instant::now();
+                for (feed, port) in ports.iter_mut().enumerate() {
+                    for line in gen.tick_lines(tick, feed) {
+                        port.offer(&line);
+                    }
+                }
+                if let Some(rem) = tick_dur.checked_sub(t0.elapsed()) {
+                    std::thread::sleep(rem);
+                }
+            }
+        });
+        while !producer.is_finished() || core.backlog() > 0 {
+            core.sweep();
+            if core.backlog() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        producer.join().map_err(|_| "producer thread panicked".to_string())?;
+        let _ = dog.stop();
+    }
+    core.finish();
+    let stats = core.stats();
+
+    // Noteworthy events (the log is bounded; warnings are summarized).
+    for ev in core.recent_events() {
+        match ev {
+            ServeEvent::Degraded { tick, backlog } => {
+                println!("DEGRADED at sweep {} (backlog {} lines)", tick, backlog)
+            }
+            ServeEvent::Recovered { tick } => println!("RECOVERED at sweep {}", tick),
+            ServeEvent::WatchdogTrip { tick } => println!("WATCHDOG trip at sweep {}", tick),
+            ServeEvent::Fleet { event: FleetEvent::FeedOverloaded { feed, dropped }, .. } => {
+                println!("OVERLOADED feed {}: {} lines dropped so far", feed, dropped)
+            }
+            ServeEvent::Fleet {
+                event: FleetEvent::FeedQuarantined { feed, parse_errors }, ..
+            } => {
+                println!("QUARANTINED feed {} after {} parse errors", feed, parse_errors)
+            }
+            ServeEvent::Fleet { event: FleetEvent::FeedPoisoned { feed, reason }, .. } => {
+                println!("POISONED feed {}: {}", feed, reason)
+            }
+            ServeEvent::Fleet { .. } => {}
+        }
+    }
+
+    // Per-feed table: serving-runtime counters joined with fleet health
+    // (parse errors from the admission path are surfaced here, not just
+    // logged).
+    println!(
+        "{:<5} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>5}  state",
+        "feed", "lines_in", "scored", "dropped", "parse!", "dups", "skip", "windows", "warn"
+    );
+    let mut degraded_feeds = 0usize;
+    for (feed, f) in stats.feeds.iter().enumerate() {
+        let h = core.fleet().health(feed);
+        if matches!(h.state, FeedState::Quarantined | FeedState::Poisoned) {
+            degraded_feeds += 1;
+        }
+        let windows = core.fleet().observer(feed).map(|m| m.windows_scored()).unwrap_or(0);
+        println!(
+            "{:<5} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>8} {:>5}  {:?}",
+            feed,
+            f.lines_in,
+            f.delivered,
+            f.dropped(),
+            h.parse_errors,
+            h.duplicates_dropped,
+            h.skipped,
+            windows,
+            h.warnings,
+            h.state
+        );
+    }
+
+    let p50_us = stats.latency.quantile_ns(0.50) / 1_000;
+    let p99_us = stats.latency.quantile_ns(0.99) / 1_000;
+    println!(
+        "SERVE ticks={} sweeps={} lines_in={} scored={} dropped={} overflow={} shed={} \
+         warnings={} degraded_episodes={} watchdog_trips={} p50_us={} p99_us={} state={:?}",
+        ticks,
+        stats.ticks,
+        stats.lines_in(),
+        stats.delivered(),
+        stats.dropped(),
+        stats.feeds.iter().map(|f| f.dropped_overflow).sum::<u64>(),
+        stats.feeds.iter().map(|f| f.dropped_shed).sum::<u64>(),
+        stats.warnings,
+        stats.degraded_episodes,
+        stats.watchdog_trips,
+        p50_us,
+        p99_us,
+        stats.state
+    );
+
+    if let Some(path) = flag(flags, "stats-json") {
+        let feeds_json: Vec<serde_json::Value> = stats
+            .feeds
+            .iter()
+            .enumerate()
+            .map(|(feed, f)| {
+                let h = core.fleet().health(feed);
+                let (ws, wss) = core
+                    .fleet()
+                    .observer(feed)
+                    .map(|m| (m.windows_scored(), m.windows_stride_skipped()))
+                    .unwrap_or((0, 0));
+                serde_json::json!({
+                    "feed": feed,
+                    "lines_in": f.lines_in,
+                    "delivered": f.delivered,
+                    "dropped_overflow": f.dropped_overflow,
+                    "dropped_shed": f.dropped_shed,
+                    "peak_occupancy": f.peak_occupancy,
+                    "messages": h.messages,
+                    "parse_errors": h.parse_errors,
+                    "duplicates_dropped": h.duplicates_dropped,
+                    "skipped": h.skipped,
+                    "overload_dropped": h.overload_dropped,
+                    "warnings": h.warnings,
+                    "windows_scored": ws,
+                    "windows_stride_skipped": wss,
+                    "state": format!("{:?}", h.state),
+                })
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "ticks": ticks,
+            "sweeps": stats.ticks,
+            "state": format!("{:?}", stats.state),
+            "lines_in": stats.lines_in(),
+            "scored": stats.delivered(),
+            "dropped": stats.dropped(),
+            "warnings": stats.warnings,
+            "degraded_episodes": stats.degraded_episodes,
+            "watchdog_trips": stats.watchdog_trips,
+            "latency_us": { "p50": p50_us, "p99": p99_us, "samples": stats.latency.count() },
+            "feeds": feeds_json,
+        });
+        std::fs::write(path, format!("{:#}\n", doc)).map_err(|e| e.to_string())?;
+        eprintln!("wrote stats to {}", path);
+    }
+
+    let healthy = stats.state == ServeState::Healthy && degraded_feeds == 0;
+    Ok(if healthy { ExitCode::SUCCESS } else { ExitCode::from(3) })
 }

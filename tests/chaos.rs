@@ -11,12 +11,19 @@
 //!   partition the delivered lines;
 //! * warning recall degrades by no more than 10% relative to the clean
 //!   run.
+//!
+//! A second scenario points a bursty firehose (2–10x scorer capacity,
+//! 5% loss) at the [`ServeCore`] serving runtime and asserts bounded
+//! memory, exact drop accounting, deterministic degrade-and-recover,
+//! and that anomalies injected after recovery are still caught.
 
 use nfv_detect::lstm_detector::LstmDetectorConfig;
+use nfv_detect::serve::{ServeConfig, ServeCore, ServeEvent, ServeState, ServeStats};
 use nfv_detect::{
-    AnomalyDetector, FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig, LogCodec,
+    AnomalyDetector, FeedHealth, FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig, LogCodec,
     LstmDetector, MappingConfig, ModelBundle, OnlineMonitor,
 };
+use nfv_simnet::load::{BurstSpec, LoadGen, LoadSpec, WindowSpec};
 use nfv_simnet::{TransportFaults, TransportSim};
 use nfv_syslog::message::Severity;
 use nfv_syslog::SyslogMessage;
@@ -180,6 +187,183 @@ fn fleet_monitor_survives_transport_chaos_with_recall_intact() {
         clean_warnings,
         faulted_warnings
     );
+}
+
+/// The overload scenario from the ISSUE: three feeds whose steady rate
+/// the scorer handles comfortably, a 10x firehose burst and a later 4x
+/// burst, all under 5% transport loss.
+fn overload_spec() -> LoadSpec {
+    LoadSpec {
+        feeds: 3,
+        base_rate: 25,
+        bursts: vec![
+            BurstSpec { start: 10, len: 8, mult: 10 },
+            BurstSpec { start: 45, len: 6, mult: 4 },
+        ],
+        // Injected after both bursts have drained: the monitor must
+        // still catch anomalies once it has recovered to full stride.
+        anomalies: vec![WindowSpec { start: 70, len: 4 }],
+        faults: TransportFaults::parse("loss=0.05").unwrap(),
+        seed: 0xF1EE7,
+        ..Default::default()
+    }
+}
+
+/// Trains a bundle on the load generator's own clean cadence, the way
+/// the serve CLI self-trains.
+fn serve_bundle(spec: &LoadSpec) -> ModelBundle {
+    let train = LoadGen::new(spec.clone()).training_messages(30);
+    let codec = LogCodec::train(&train, 4);
+    let mut det = LstmDetector::new(LstmDetectorConfig {
+        vocab: codec.vocab_size(),
+        window: 4,
+        embed_dim: 6,
+        hidden: 10,
+        epochs: 3,
+        max_train_windows: 2000,
+        ..Default::default()
+    });
+    let stream = codec.encode_stream(&train);
+    det.fit(&[&stream]);
+    let max_score = det.score(&stream, 0, u64::MAX).iter().map(|e| e.score).fold(0.0f32, f32::max);
+    ModelBundle::pack(&codec, &det, max_score * 1.05, &MappingConfig::default())
+}
+
+/// Everything observable about one overload run: the stats snapshot,
+/// the full event stream, the fleet's per-feed health ledger, and
+/// per-feed `(windows_scored, windows_stride_skipped)` observer
+/// counters.
+struct OverloadRun {
+    stats: ServeStats,
+    events: Vec<ServeEvent>,
+    healths: Vec<FeedHealth>,
+    windows: Vec<(u64, u64)>,
+}
+
+/// Drives one full overload scenario through a fresh serving runtime in
+/// step mode (offer + sweep per tick, no wall clock).
+fn run_overload(bundle: &ModelBundle, spec: &LoadSpec) -> OverloadRun {
+    let monitors: Vec<OnlineMonitor> = (0..spec.feeds)
+        .map(|_| {
+            let (codec, det) = bundle.try_unpack().expect("freshly packed bundle is valid");
+            OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
+        })
+        .collect();
+    let fleet =
+        FleetMonitor::new(monitors, FleetMonitorConfig { reorder_window: 0, ..Default::default() });
+    let cfg = ServeConfig {
+        capacity: 256,
+        // Quota of 40 lines per feed per sweep: comfortable at the base
+        // rate of 25, hopeless against the 10x burst.
+        tick_budget: 120,
+        degrade_enter: 0.5,
+        degrade_exit: 0.125,
+        recover_ticks: 3,
+        degraded_stride: 4,
+        ..Default::default()
+    };
+    let mut core = ServeCore::new(fleet, cfg);
+    let mut gen = LoadGen::new(spec.clone());
+    let mut events = Vec::new();
+    for tick in 0..90u64 {
+        for feed in 0..spec.feeds {
+            for line in gen.tick_lines(tick, feed) {
+                core.offer(feed, &line);
+            }
+        }
+        events.extend(core.sweep());
+    }
+    events.extend(core.finish());
+    // Bounded memory also covers the event log itself.
+    assert!(core.recent_events().count() <= 64, "recent-event log must stay bounded");
+    let healths = core.fleet().healths().into_iter().cloned().collect();
+    let windows = (0..spec.feeds)
+        .map(|f| {
+            let o = core.fleet().observer(f).expect("observer is live");
+            (o.windows_scored(), o.windows_stride_skipped())
+        })
+        .collect();
+    OverloadRun { stats: core.stats(), events, healths, windows }
+}
+
+#[test]
+fn serving_runtime_sheds_firehose_load_with_exact_accounting() {
+    let spec = overload_spec();
+    let bundle = serve_bundle(&spec);
+
+    let OverloadRun { stats, events, healths, windows } = run_overload(&bundle, &spec);
+
+    // Bounded memory: no ring ever held more than its fixed capacity.
+    for (feed, f) in stats.feeds.iter().enumerate() {
+        assert!(
+            f.peak_occupancy <= 256,
+            "feed {} ring grew past capacity: {}",
+            feed,
+            f.peak_occupancy
+        );
+    }
+
+    // Exact accounting, per feed and against the fleet's own ledger:
+    // every offered line is either delivered or counted dropped, the
+    // fleet's overload counter matches the runtime's, and every
+    // delivered line lands in exactly one health counter.
+    for (feed, f) in stats.feeds.iter().enumerate() {
+        assert!(f.lines_in > 0, "feed {} saw no input", feed);
+        assert_eq!(
+            f.lines_in,
+            f.delivered + f.dropped_overflow + f.dropped_shed,
+            "feed {} drop accounting is not exact: {:?}",
+            feed,
+            f
+        );
+        let h = &healths[feed];
+        assert_eq!(h.overload_dropped, f.dropped(), "feed {} fleet ledger disagrees", feed);
+        assert_eq!(h.state, FeedState::Active, "feed {} must survive the firehose", feed);
+        assert_eq!(
+            h.messages + h.parse_errors + h.duplicates_dropped + h.skipped,
+            f.delivered,
+            "feed {} health counters do not partition its delivered lines: {:?}",
+            feed,
+            h
+        );
+    }
+    let overflow: u64 = stats.feeds.iter().map(|f| f.dropped_overflow).sum();
+    let shed: u64 = stats.feeds.iter().map(|f| f.dropped_shed).sum();
+    assert!(overflow > 0, "the 10x burst must overflow the bounded rings");
+    assert!(shed > 0, "drop-oldest shedding must engage under sustained overload");
+
+    // Graceful degradation engaged, stride shedding really skipped
+    // windows, and the runtime recovered once the bursts drained.
+    assert!(stats.degraded_episodes >= 1, "overload must force a degraded episode");
+    assert!(events.iter().any(|e| matches!(e, ServeEvent::Degraded { .. })));
+    assert!(events.iter().any(|e| matches!(e, ServeEvent::Recovered { .. })));
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            ServeEvent::Fleet { event: FleetEvent::FeedOverloaded { .. }, .. }
+        )),
+        "overload episodes must surface as fleet events"
+    );
+    assert_eq!(stats.state, ServeState::Healthy, "runtime must recover after the firehose");
+    assert_eq!(stats.watchdog_trips, 0, "a live scorer must never trip the watchdog");
+    let skipped: u64 = windows.iter().map(|&(_, s)| s).sum();
+    assert!(skipped > 0, "degraded stride must actually skip windows");
+
+    // The anomaly window injected after recovery must still warn.
+    assert!(stats.warnings >= 1, "post-recovery anomalies must still be caught");
+
+    // Deterministic replay: a fresh fleet over the same spec reproduces
+    // the run bit for bit — stats, events, ledger, and observer counters.
+    let again = run_overload(&bundle, &spec);
+    assert_eq!(stats.feeds, again.stats.feeds, "per-feed serve stats must replay identically");
+    assert_eq!(stats.ticks, again.stats.ticks);
+    assert_eq!(stats.state, again.stats.state);
+    assert_eq!(stats.degraded_episodes, again.stats.degraded_episodes);
+    assert_eq!(stats.watchdog_trips, again.stats.watchdog_trips);
+    assert_eq!(stats.warnings, again.stats.warnings);
+    assert_eq!(events, again.events, "event stream must replay identically");
+    assert_eq!(healths, again.healths, "fleet ledger must replay identically");
+    assert_eq!(windows, again.windows, "observer counters must replay identically");
 }
 
 #[test]
