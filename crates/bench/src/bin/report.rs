@@ -1,0 +1,94 @@
+//! Aggregates every `results/BENCH_*.json` into one canonical report,
+//! the first cut of a regression-gating surface: one file, one schema,
+//! stable keys, so a later CI step can diff two reports instead of
+//! globbing and parsing each benchmark's ad-hoc output.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin report [-- --dir results --out results/REPORT.json]
+//! ```
+//!
+//! The report maps each benchmark's name (the `BENCH_<name>.json` stem)
+//! to its parsed JSON payload, alongside a sorted list of the names
+//! covered. Unparseable files are reported and skipped, not fatal: a
+//! half-written benchmark result should not hide every other number.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut dir = PathBuf::from("results");
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => {
+                dir = PathBuf::from(args.next().unwrap_or_else(|| usage("--dir needs a path")))
+            }
+            "--out" => {
+                out =
+                    Some(PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a path"))))
+            }
+            other => usage(&format!("unknown flag {:?}", other)),
+        }
+    }
+    let out = out.unwrap_or_else(|| dir.join("REPORT.json"));
+
+    let mut entries: Vec<(String, PathBuf)> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter_map(|p| {
+                let stem = p.file_stem()?.to_str()?;
+                let name = stem.strip_prefix("BENCH_")?;
+                (p.extension()? == "json").then(|| (name.to_string(), p.clone()))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {}", dir.display(), e);
+            std::process::exit(2);
+        }
+    };
+    entries.sort();
+
+    let mut benches = serde_json::Map::new();
+    let mut skipped = Vec::new();
+    for (name, path) in &entries {
+        let parsed = std::fs::read_to_string(path).ok().and_then(|s| serde_json::from_str(&s).ok());
+        match parsed {
+            Some(v) => {
+                benches.insert(name.clone(), v);
+            }
+            None => {
+                eprintln!("skipping unparseable {}", path.display());
+                skipped.push(name.clone());
+            }
+        }
+    }
+    if benches.is_empty() {
+        eprintln!("error: no parseable BENCH_*.json under {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let names: Vec<&String> = benches.keys().collect();
+    println!(
+        "aggregated {} benchmarks: {}",
+        names.len(),
+        names.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+    );
+    let report = serde_json::json!({
+        "format": "nfv-bench-report",
+        "version": 1,
+        "benchmarks": benches,
+        "skipped": skipped,
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&report).expect("serializable"))
+        .unwrap_or_else(|e| {
+            eprintln!("error: failed to write {}: {}", out.display(), e);
+            std::process::exit(1);
+        });
+    println!("wrote {}", out.display());
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    eprintln!("usage: report [--dir DIR] [--out PATH]");
+    std::process::exit(2)
+}

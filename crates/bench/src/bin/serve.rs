@@ -90,8 +90,7 @@ fn trained_monitor(gen: &LoadGen) -> OnlineMonitor {
     det.fit(&[&stream]);
     let max_score = det.score(&stream, 0, u64::MAX).iter().map(|e| e.score).fold(0.0f32, f32::max);
     let bundle = ModelBundle::pack(&codec, &det, max_score * 1.05, &MappingConfig::default());
-    let (codec, det) = bundle.try_unpack().expect("freshly packed bundle");
-    OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
+    bundle.try_unpack_shared().expect("freshly packed bundle").monitor()
 }
 
 fn main() {

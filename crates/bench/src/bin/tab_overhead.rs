@@ -68,6 +68,7 @@ fn best_f(
         .collect();
     let run = PipelineRun {
         months: vec![MonthScores { month: test_month, per_vpe }],
+        rollups: vec![],
         tickets,
         adaptations: vec![],
         grouping: Grouping::single(streams.len()),

@@ -18,12 +18,25 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Override the synthetic fleet size (`--vpes N`). Harnesses that
+    /// scale with fleet size (notably `fleet10k`) honor this; the
+    /// figure-regeneration binaries keep their preset sizes unless
+    /// overridden.
+    pub vpes: Option<usize>,
 }
 
 impl BenchArgs {
     /// Parses `std::env::args`. Unknown flags abort with usage help.
     pub fn parse() -> BenchArgs {
-        let mut out = BenchArgs { fast: false, seed: 42, json: None };
+        Self::parse_with(|_| false)
+    }
+
+    /// Parses `std::env::args`, letting the caller consume
+    /// binary-specific flags first: `extra` sees each unrecognized flag
+    /// (with the remaining args iterator available via its own state)
+    /// and returns true when it handled it.
+    pub fn parse_with(mut extra: impl FnMut(&str) -> bool) -> BenchArgs {
+        let mut out = BenchArgs { fast: false, seed: 42, json: None, vpes: None };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -37,6 +50,14 @@ impl BenchArgs {
                 "--json" => {
                     out.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")));
                 }
+                "--vpes" => {
+                    out.vpes = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--vpes needs an integer")),
+                    );
+                }
+                other if extra(other) => {}
                 other => usage(&format!("unknown flag {:?}", other)),
             }
         }
@@ -45,14 +66,18 @@ impl BenchArgs {
 
     /// The simulation configuration for this run.
     pub fn sim_config(&self) -> SimConfig {
-        if self.fast {
+        let mut cfg = if self.fast {
             let mut cfg = SimConfig::preset(SimPreset::Fast, self.seed);
             cfg.months = 4;
             cfg.n_vpes = 8;
             cfg
         } else {
             SimConfig::preset(SimPreset::Full, self.seed)
+        };
+        if let Some(v) = self.vpes {
+            cfg.n_vpes = v;
         }
+        cfg
     }
 
     /// A pipeline configuration scaled to the run size.
@@ -80,6 +105,6 @@ impl BenchArgs {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {}", msg);
-    eprintln!("usage: <bin> [--fast] [--seed N] [--json PATH]");
+    eprintln!("usage: <bin> [--fast] [--seed N] [--json PATH] [--vpes N]");
     std::process::exit(2)
 }

@@ -11,16 +11,50 @@
 use crate::codec::{LogCodec, SavedCodec};
 use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
 use crate::mapping::MappingConfig;
+use crate::online::OnlineMonitor;
 use nfv_nn::checkpoint::{
     atomic_write, load_with_retry, open_envelope, seal_envelope, Checkpoint, CheckpointError,
 };
 use serde_json::{json, Value};
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// On-disk format marker for model bundles.
 pub const BUNDLE_FORMAT: &str = "nfv-model-bundle";
+
+/// A bundle unpacked once and shared across many monitors.
+///
+/// [`ModelBundle::try_unpack`] reconstructs the codec table and the
+/// full LSTM weight set; doing that per feed multiplies the fleet's
+/// memory by the model size. `SharedModel` holds one `Arc`'d copy and
+/// [`SharedModel::monitor`] stamps out per-feed monitors that borrow
+/// it, so N feeds cost one model plus N × O(window) cursor state.
+#[derive(Clone)]
+pub struct SharedModel {
+    /// The template codec, shared by every monitor.
+    pub codec: Arc<LogCodec>,
+    /// The trained detector, shared by every monitor.
+    pub detector: Arc<LstmDetector>,
+    /// Calibrated anomaly threshold.
+    pub threshold: f32,
+    /// Clustering/mapping parameters.
+    pub mapping: MappingConfig,
+}
+
+impl SharedModel {
+    /// Builds a fresh per-feed monitor over the shared model. Each call
+    /// is two `Arc` clones — no codec or weight duplication.
+    pub fn monitor(&self) -> OnlineMonitor {
+        OnlineMonitor::new_shared(
+            Arc::clone(&self.codec),
+            Arc::clone(&self.detector),
+            self.threshold,
+            self.mapping,
+        )
+    }
+}
 
 /// Everything needed to run detection on a fresh syslog feed.
 #[derive(Debug, Clone)]
@@ -83,6 +117,18 @@ impl ModelBundle {
     /// for bundles known to be valid (e.g. packed in-process).
     pub fn unpack(&self) -> (LogCodec, LstmDetector) {
         self.try_unpack().expect("valid model bundle")
+    }
+
+    /// Unpacks the bundle once into a [`SharedModel`] whose codec and
+    /// weights can back any number of [`OnlineMonitor`]s.
+    pub fn try_unpack_shared(&self) -> Result<SharedModel, CheckpointError> {
+        let (codec, detector) = self.try_unpack()?;
+        Ok(SharedModel {
+            codec: Arc::new(codec),
+            detector: Arc::new(detector),
+            threshold: self.threshold,
+            mapping: self.mapping(),
+        })
     }
 
     /// The mapping configuration carried by the bundle.
@@ -222,6 +268,43 @@ mod tests {
         let b = det2.score(&stream2, 0, u64::MAX);
         assert_eq!(a, b);
         assert_eq!(bundle.mapping().min_cluster, 2);
+    }
+
+    #[test]
+    fn shared_monitors_alias_one_model_and_match_owned_behaviour() {
+        let msgs = sample_messages();
+        let codec = LogCodec::train(&msgs, 4);
+        let mut det = LstmDetector::new(LstmDetectorConfig {
+            vocab: codec.vocab_size(),
+            window: 4,
+            embed_dim: 6,
+            hidden: 8,
+            epochs: 1,
+            max_train_windows: 500,
+            ..Default::default()
+        });
+        let stream = codec.encode_stream(&msgs);
+        det.fit(&[&stream]);
+        // Threshold low enough that some windows are anomalous.
+        let bundle = ModelBundle::pack(&codec, &det, 0.5, &MappingConfig::default());
+
+        let shared = bundle.try_unpack_shared().unwrap();
+        let mut a = shared.monitor();
+        let mut b = shared.monitor();
+        assert!(Arc::ptr_eq(a.detector(), b.detector()), "monitors must share one model");
+
+        // Both shared monitors and a conventionally unpacked one must
+        // emit identical warnings over the same feed.
+        let (codec_own, det_own) = bundle.try_unpack().unwrap();
+        let mut owned = OnlineMonitor::new(codec_own, det_own, bundle.threshold, bundle.mapping());
+        let (mut wa, mut wb, mut wo) = (Vec::new(), Vec::new(), Vec::new());
+        a.observe_batch(&msgs, &mut wa);
+        b.observe_batch(&msgs, &mut wb);
+        owned.observe_batch(&msgs, &mut wo);
+        assert_eq!(wa, wb);
+        assert_eq!(wa, wo);
+        assert_eq!(a.windows_scored(), owned.windows_scored());
+        assert!(a.windows_scored() > 0, "feed long enough to score");
     }
 
     #[test]

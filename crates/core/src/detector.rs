@@ -49,6 +49,28 @@ pub trait AnomalyDetector: Send + Sync {
     /// Scores events of `stream` whose timestamps fall in `[start, end)`.
     fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent>;
 
+    /// Scores many streams against the same model in one call, returning
+    /// one event vector per input stream (same order).
+    ///
+    /// Contract: the result must be bitwise identical to calling
+    /// [`AnomalyDetector::score`] once per stream. The default keeps that
+    /// trivially true by fanning the streams out over up to `threads`
+    /// workers in stream order ([`crate::par::par_blocks`]); detectors
+    /// whose forward math is row-independent (the LSTM) override this to
+    /// coalesce all streams' windows into a few large GEMM passes and
+    /// scatter the per-window scores back in stream order.
+    fn score_batch(
+        &self,
+        streams: &[&LogStream],
+        start: u64,
+        end: u64,
+        threads: usize,
+    ) -> Vec<Vec<ScoredEvent>> {
+        crate::par::par_blocks(streams, threads, |_, block| {
+            block.iter().map(|s| self.score(s, start, end)).collect()
+        })
+    }
+
     /// Serializes the detector's complete learned state — model
     /// parameters *and* RNG position — as a tagged JSON value, so a
     /// restored detector continues bit-for-bit where this one stands

@@ -281,6 +281,7 @@ mod tests {
         };
         PipelineRun {
             months: vec![month1, month2],
+            rollups: vec![],
             tickets,
             adaptations: vec![],
             grouping: Grouping::single(1),
@@ -338,6 +339,7 @@ mod tests {
         let month2 = MonthScores { month: 2, per_vpe: vec![vec![]] };
         let run = PipelineRun {
             months: vec![month1, month2],
+            rollups: vec![],
             tickets,
             adaptations: vec![],
             grouping: Grouping::single(1),

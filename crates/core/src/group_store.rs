@@ -1,0 +1,234 @@
+//! Fleet-scale model ownership: groups own models, vPEs own cursors.
+//!
+//! Before this module, every consumer of the pipeline's learned state
+//! (monthly scoring, serving, checkpointing) walked parallel per-group
+//! vectors scattered across [`crate::pipeline`], and scoring 10k vPEs
+//! meant 10k independent small forward passes. [`GroupModelStore`] is
+//! the single owner of everything that scales O(groups) — detectors,
+//! trigger thresholds, false-alarm baselines, group membership — while
+//! each vPE keeps only a [`VpeCursor`]: two stream offsets. The store's
+//! batched entry points ([`GroupModelStore::score_fleet`],
+//! [`GroupModelStore::score_group`]) coalesce same-group windows from
+//! many vPEs into one [`AnomalyDetector::score_batch`] call, so a
+//! group's month of scoring runs as a handful of large GEMM passes
+//! instead of one small stream per vPE.
+//!
+//! ## Batching invariants
+//!
+//! Everything here is bit-identical to the one-vPE-at-a-time path it
+//! replaced, by construction:
+//!
+//! 1. groups are visited in ascending group id, members in ascending
+//!    vPE id (the order [`crate::grouping::Grouping::members`] yields);
+//! 2. [`AnomalyDetector::score_batch`]'s contract requires its result
+//!    to equal per-stream [`AnomalyDetector::score`] calls bitwise
+//!    (row-independent forward math for the LSTM, a per-stream fan-out
+//!    for every other family);
+//! 3. results are scattered back keyed by vPE id, so the per-vPE event
+//!    vectors land exactly where the serial loop would have put them.
+
+use crate::detector::{AnomalyDetector, ScoredEvent};
+use crate::grouping::Grouping;
+use nfv_syslog::LogStream;
+
+/// Compact per-vPE stream position: everything a vPE owns once models
+/// moved into the [`GroupModelStore`] and history trimming keeps only a
+/// scoring-context tail of each encoded stream.
+///
+/// Invariant: the vPE's encoded [`LogStream`] holds exactly
+/// `consumed - trimmed` records, corresponding 1:1 to raw messages
+/// `trimmed..consumed` of its trace (the codec maps each message to one
+/// record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VpeCursor {
+    /// Raw messages encoded so far (exclusive end of the encoded range).
+    pub consumed: usize,
+    /// Raw messages whose records were dropped from the stream's front
+    /// by history trimming.
+    pub trimmed: usize,
+}
+
+impl VpeCursor {
+    /// Records currently held in the vPE's encoded stream.
+    pub fn retained(&self) -> usize {
+        self.consumed - self.trimmed
+    }
+}
+
+/// Owner of all per-*group* learned state: one detector, one trigger
+/// threshold and one false-alarm baseline per group, plus the grouping
+/// itself. Stored once per group — O(groups), not O(vPEs) — and borrowed
+/// by the pipeline's monthly loop, the checkpointer and the serving
+/// stack.
+pub struct GroupModelStore {
+    /// The vPE-to-group assignment.
+    pub grouping: Grouping,
+    /// Member vPE ids per group, ascending (cached from `grouping`).
+    pub members: Vec<Vec<usize>>,
+    /// One trained detector per group.
+    pub detectors: Vec<Box<dyn AnomalyDetector>>,
+    /// Online-trigger threshold per group (`+inf` = disabled).
+    pub trigger: Vec<f32>,
+    /// Smoothed false-alarm-rate baseline per group (`None` until the
+    /// first non-surge month establishes one).
+    pub fa_baseline: Vec<Option<f32>>,
+}
+
+impl GroupModelStore {
+    /// Builds a store from a grouping and its per-group detectors, with
+    /// triggers disabled and baselines unset (calibration fills them).
+    pub fn new(grouping: Grouping, detectors: Vec<Box<dyn AnomalyDetector>>) -> GroupModelStore {
+        assert_eq!(grouping.k, detectors.len(), "one detector per group");
+        let members = grouping.members();
+        let k = grouping.k;
+        GroupModelStore {
+            grouping,
+            members,
+            detectors,
+            trigger: vec![f32::INFINITY; k],
+            fa_baseline: vec![None; k],
+        }
+    }
+
+    /// Number of groups.
+    pub fn k(&self) -> usize {
+        self.grouping.k
+    }
+
+    /// The group a vPE belongs to.
+    pub fn group_of(&self, vpe: usize) -> usize {
+        self.grouping.group_of(vpe)
+    }
+
+    /// The detector serving a vPE.
+    pub fn detector_for(&self, vpe: usize) -> &dyn AnomalyDetector {
+        self.detectors[self.group_of(vpe)].as_ref()
+    }
+
+    /// Scores `[start, end)` of every stream against its group's model,
+    /// batching all of a group's member streams into one
+    /// [`AnomalyDetector::score_batch`] call. Returns one event vector
+    /// per vPE, indexed by vPE id — bit-identical to scoring each vPE
+    /// individually (see the module docs for why).
+    pub fn score_fleet(
+        &self,
+        streams: &[LogStream],
+        start: u64,
+        end: u64,
+        threads: usize,
+    ) -> Vec<Vec<ScoredEvent>> {
+        let mut out: Vec<Vec<ScoredEvent>> = vec![Vec::new(); streams.len()];
+        for (g, det) in self.detectors.iter().enumerate() {
+            let refs: Vec<&LogStream> = self.members[g].iter().map(|&v| &streams[v]).collect();
+            let scored = det.score_batch(&refs, start, end, threads);
+            for (&v, events) in self.members[g].iter().zip(scored) {
+                out[v] = events;
+            }
+        }
+        out
+    }
+
+    /// Scores `[start, end)` of one group's member streams in a single
+    /// batched call. Returns one event vector per member, in member
+    /// (ascending vPE) order.
+    pub fn score_group(
+        &self,
+        group: usize,
+        streams: &[LogStream],
+        start: u64,
+        end: u64,
+        threads: usize,
+    ) -> Vec<Vec<ScoredEvent>> {
+        let refs: Vec<&LogStream> = self.members[group].iter().map(|&v| &streams[v]).collect();
+        self.detectors[group].score_batch(&refs, start, end, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_nn::checkpoint::CheckpointError;
+    use nfv_syslog::LogRecord;
+    use serde_json::Value;
+
+    /// Scores every event with the group's fixed bias so scatter bugs
+    /// (events landing on the wrong vPE) are visible in the output.
+    struct BiasDetector {
+        bias: f32,
+    }
+
+    impl AnomalyDetector for BiasDetector {
+        fn name(&self) -> &'static str {
+            "bias"
+        }
+        fn fit(&mut self, _: &[&LogStream]) {}
+        fn update(&mut self, _: &[&LogStream]) {}
+        fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
+            stream
+                .slice_time(start, end)
+                .iter()
+                .map(|r| ScoredEvent { time: r.time, score: self.bias + r.template as f32 })
+                .collect()
+        }
+        fn to_state(&self) -> Value {
+            Value::Null
+        }
+        fn load_state(&mut self, _: &Value) -> Result<(), CheckpointError> {
+            Ok(())
+        }
+    }
+
+    fn stream(times: &[u64]) -> LogStream {
+        LogStream::from_records(
+            times.iter().enumerate().map(|(i, &t)| LogRecord { time: t, template: i }).collect(),
+        )
+    }
+
+    fn store_2x2() -> GroupModelStore {
+        // vPEs 0,2 -> group 0; vPEs 1,3 -> group 1.
+        let grouping = Grouping { assignment: vec![0, 1, 0, 1], k: 2, modularity: 0.0 };
+        GroupModelStore::new(
+            grouping,
+            vec![Box::new(BiasDetector { bias: 100.0 }), Box::new(BiasDetector { bias: 200.0 })],
+        )
+    }
+
+    #[test]
+    fn score_fleet_scatters_by_vpe_id() {
+        let store = store_2x2();
+        let streams = vec![stream(&[5]), stream(&[6]), stream(&[7]), stream(&[8])];
+        let out = store.score_fleet(&streams, 0, 100, 2);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], vec![ScoredEvent { time: 5, score: 100.0 }]);
+        assert_eq!(out[1], vec![ScoredEvent { time: 6, score: 200.0 }]);
+        assert_eq!(out[2], vec![ScoredEvent { time: 7, score: 100.0 }]);
+        assert_eq!(out[3], vec![ScoredEvent { time: 8, score: 200.0 }]);
+    }
+
+    #[test]
+    fn score_fleet_matches_per_vpe_loop_for_any_thread_count() {
+        let store = store_2x2();
+        let streams = vec![stream(&[1, 9]), stream(&[2]), stream(&[3, 4]), stream(&[5])];
+        let serial: Vec<Vec<ScoredEvent>> =
+            (0..4).map(|v| store.detector_for(v).score(&streams[v], 0, 100)).collect();
+        for threads in [1, 2, 4] {
+            assert_eq!(store.score_fleet(&streams, 0, 100, threads), serial);
+        }
+    }
+
+    #[test]
+    fn score_group_returns_member_order() {
+        let store = store_2x2();
+        let streams = vec![stream(&[1]), stream(&[2]), stream(&[3]), stream(&[4])];
+        let out = store.score_group(1, &streams, 0, 100, 1);
+        assert_eq!(out.len(), 2, "group 1 has members 1 and 3");
+        assert_eq!(out[0][0].time, 2);
+        assert_eq!(out[1][0].time, 4);
+    }
+
+    #[test]
+    fn cursor_retained_tracks_offsets() {
+        let c = VpeCursor { consumed: 120, trimmed: 100 };
+        assert_eq!(c.retained(), 20);
+    }
+}

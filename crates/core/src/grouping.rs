@@ -24,6 +24,16 @@ impl Grouping {
         Grouping { assignment: vec![0; n], k: 1, modularity: 0.0 }
     }
 
+    /// Builds a grouping from an explicit per-vPE assignment (group
+    /// ids need not be contiguous; `k` is `max + 1`). Used when the
+    /// partition comes from outside the clustering pipeline — e.g. a
+    /// mega-fleet scale run grouping by the simulator's latent roles
+    /// instead of re-clustering 10k distribution vectors.
+    pub fn from_assignment(assignment: Vec<usize>) -> Grouping {
+        let k = assignment.iter().copied().max().map_or(1, |m| m + 1);
+        Grouping { assignment, k, modularity: 0.0 }
+    }
+
     /// Clusters vPEs by the cosine structure of their template
     /// distributions over `[start, end)`, choosing K in `k_range` by
     /// modularity.

@@ -50,6 +50,7 @@ pub mod codec;
 pub mod detector;
 pub mod eval;
 pub mod features;
+pub mod group_store;
 pub mod grouping;
 pub mod hmm_detector;
 pub mod lstm_detector;
@@ -66,9 +67,10 @@ pub mod supervisor;
 pub mod triage;
 
 pub use baselines::{AutoencoderDetector, OcsvmDetector, PcaDetector};
-pub use bundle::ModelBundle;
+pub use bundle::{ModelBundle, SharedModel};
 pub use codec::LogCodec;
 pub use detector::{AnomalyDetector, ScoredEvent};
+pub use group_store::{GroupModelStore, VpeCursor};
 pub use grouping::Grouping;
 pub use hmm_detector::{HmmDetector, HmmDetectorConfig};
 pub use lstm_detector::{LstmDetector, LstmDetectorConfig};

@@ -237,10 +237,23 @@ impl LstmDetector {
         ws: &WindowSet,
         f: impl Fn(usize, usize, &[f32]) -> R + Sync,
     ) -> Vec<R> {
+        self.predict_map_threads(ws, self.threads(), f)
+    }
+
+    /// [`LstmDetector::predict_map`] with an explicit worker count —
+    /// the cross-vPE batched path passes the fleet-level fan-out here
+    /// instead of the detector's own configured threads. Any value
+    /// yields the same bits.
+    fn predict_map_threads<R: Send>(
+        &self,
+        ws: &WindowSet,
+        threads: usize,
+        f: impl Fn(usize, usize, &[f32]) -> R + Sync,
+    ) -> Vec<R> {
         const CHUNK: usize = 512;
         let view = SeqView { ids: &ws.ids, gaps: &ws.gaps, targets: &[] };
         let starts: Vec<usize> = (0..ws.len()).step_by(CHUNK).collect();
-        par::par_blocks(&starts, self.threads(), |_, block| {
+        par::par_blocks(&starts, threads, |_, block| {
             let mut scratch = SeqScratch::default();
             let mut chunk = Vec::with_capacity(CHUNK);
             let mut out = Vec::new();
@@ -343,6 +356,46 @@ impl AnomalyDetector for LstmDetector {
     fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
         let ws = stream.windows_in(self.cfg.window, start, end, |_| true);
         self.score_events(&ws)
+    }
+
+    /// Cross-vPE batched scoring: every stream's windows are gathered
+    /// into one [`WindowSet`] and run through a single chunked forward
+    /// pass, so a 10k-vPE group costs a handful of large GEMM calls
+    /// instead of 10k small ones. The forward math is row-independent
+    /// (each probability row depends only on its own window — see
+    /// [`LstmDetector::predict_map_threads`]), and windows are gathered
+    /// in ascending stream order, so scattering the flat score vector
+    /// back by per-stream counts reproduces the one-stream-at-a-time
+    /// path bit for bit.
+    fn score_batch(
+        &self,
+        streams: &[&LogStream],
+        start: u64,
+        end: u64,
+        threads: usize,
+    ) -> Vec<Vec<ScoredEvent>> {
+        let mut all = WindowSet::default();
+        let mut counts = Vec::with_capacity(streams.len());
+        for s in streams {
+            let before = all.len();
+            all.extend(s.windows_in(self.cfg.window, start, end, |_| true));
+            counts.push(all.len() - before);
+        }
+        let flat = self.predict_map_threads(
+            &all,
+            par::effective_threads(threads, usize::MAX),
+            |global_idx, target, probs| {
+                let p = probs[target].max(1e-9);
+                ScoredEvent { time: all.times[global_idx], score: -p.ln() }
+            },
+        );
+        let mut out = Vec::with_capacity(streams.len());
+        let mut off = 0;
+        for c in counts {
+            out.push(flat[off..off + c].to_vec());
+            off += c;
+        }
+        out
     }
 
     fn to_state(&self) -> Value {

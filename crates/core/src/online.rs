@@ -6,8 +6,11 @@
 //! >=`min_cluster`-anomalies-within-`cluster_gap` rule as the offline
 //! > evaluation.
 //!
-//! The monitor keeps only O(window) state per feed, so one process can
-//! track a whole fleet.
+//! The monitor keeps only O(window) state per feed, and the heavy
+//! immutable pieces — codec table and LSTM weights — live behind
+//! [`Arc`]s so a fleet of feeds shares one model allocation (see
+//! [`crate::bundle::SharedModel`]). One process can track a whole
+//! fleet.
 
 use crate::codec::LogCodec;
 use crate::lstm_detector::LstmDetector;
@@ -15,6 +18,7 @@ use crate::mapping::MappingConfig;
 use nfv_syslog::stream::{gap_feature, WindowSet};
 use nfv_syslog::{LogRecord, SyslogMessage};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A warning emitted by the monitor.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,9 +35,14 @@ pub struct Warning {
 }
 
 /// Incremental anomaly monitor for one syslog feed.
+///
+/// The codec and detector are shared (`Arc`), so cloning-cost per feed
+/// is O(window) mutable state, not O(model). Build many monitors over
+/// one model via [`crate::bundle::SharedModel`] or
+/// [`OnlineMonitor::new_shared`].
 pub struct OnlineMonitor {
-    codec: LogCodec,
-    detector: LstmDetector,
+    codec: Arc<LogCodec>,
+    detector: Arc<LstmDetector>,
     threshold: f32,
     mapping: MappingConfig,
     /// Trailing context records, `window + 1` long at most (every scored
@@ -62,10 +71,26 @@ pub struct OnlineMonitor {
 }
 
 impl OnlineMonitor {
-    /// Builds a monitor from the pieces of a trained bundle.
+    /// Builds a monitor from the pieces of a trained bundle, taking
+    /// sole ownership of the model. For a fleet of feeds over one
+    /// model, prefer [`OnlineMonitor::new_shared`] (or
+    /// [`crate::bundle::SharedModel::monitor`]) so the weights are
+    /// allocated once, not per feed.
     pub fn new(
         codec: LogCodec,
         detector: LstmDetector,
+        threshold: f32,
+        mapping: MappingConfig,
+    ) -> OnlineMonitor {
+        OnlineMonitor::new_shared(Arc::new(codec), Arc::new(detector), threshold, mapping)
+    }
+
+    /// Builds a monitor over an already-shared codec and detector.
+    /// Behaviourally identical to [`OnlineMonitor::new`]; only the
+    /// ownership of the immutable model differs.
+    pub fn new_shared(
+        codec: Arc<LogCodec>,
+        detector: Arc<LstmDetector>,
         threshold: f32,
         mapping: MappingConfig,
     ) -> OnlineMonitor {
@@ -123,10 +148,9 @@ impl OnlineMonitor {
         self.stride = stride.max(1);
     }
 
-    /// Mutable access to the underlying detector (the serving runtime
-    /// pins its scoring threads).
-    pub fn detector_mut(&mut self) -> &mut LstmDetector {
-        &mut self.detector
+    /// The shared detector this monitor scores with.
+    pub fn detector(&self) -> &Arc<LstmDetector> {
+        &self.detector
     }
 
     /// Feeds one message; returns a [`Warning`] when an anomaly cluster

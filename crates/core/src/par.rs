@@ -34,6 +34,11 @@ pub fn effective_threads(requested: usize, cap: usize) -> usize {
 /// each own a contiguous range, the concatenated result is identical to
 /// `f(0, items)` run serially. A worker panic propagates to the caller —
 /// scoring has no partial-result semantics to preserve.
+///
+/// Requests beyond the host's core count are capped: with the output
+/// independent of the worker count, oversubscribing a small box only
+/// adds context-switch overhead (a `--threads 4` run on one core used
+/// to be ~20% *slower* than serial).
 pub fn par_blocks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -41,7 +46,8 @@ where
     F: Fn(usize, &[T]) -> Vec<R> + Sync,
 {
     let n = items.len();
-    let workers = threads.clamp(1, n.max(1));
+    let cores = thread::available_parallelism().map_or(usize::MAX, NonZeroUsize::get);
+    let workers = threads.min(cores).clamp(1, n.max(1));
     if workers <= 1 {
         return f(0, items);
     }

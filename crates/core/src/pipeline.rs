@@ -37,6 +37,7 @@ use crate::baselines::{
 };
 use crate::codec::LogCodec;
 use crate::detector::{AnomalyDetector, ScoredEvent};
+use crate::group_store::{GroupModelStore, VpeCursor};
 use crate::grouping::Grouping;
 use crate::hmm_detector::{HmmDetector, HmmDetectorConfig};
 use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
@@ -197,6 +198,14 @@ pub struct PipelineConfig {
     pub hmm: HmmDetectorConfig,
     /// Crash-safe checkpointing and resume.
     pub checkpoint: CheckpointConfig,
+    /// Full [`MonthScores`] kept in memory (and in checkpoints): `0`
+    /// retains every month (the default, what the paper's evaluation
+    /// needs), `n > 0` retains only the trailing `n` months while
+    /// [`MonthRollup`]s keep a bounded per-month summary for all of
+    /// them. Retention is operational — it never changes scores,
+    /// adaptation decisions or detector trajectories, which depend only
+    /// on the current month.
+    pub retain_months: usize,
     /// Worker threads for training shards and per-vPE scoring fan-out.
     /// `0` = auto (`available_parallelism` capped by the fleet size).
     /// Every value produces bit-identical results — threads are pure
@@ -225,6 +234,7 @@ impl Default for PipelineConfig {
             pca: PcaDetectorConfig::default(),
             hmm: HmmDetectorConfig::default(),
             checkpoint: CheckpointConfig::default(),
+            retain_months: 0,
             threads: 0,
             seed: 1,
         }
@@ -238,6 +248,41 @@ pub struct MonthScores {
     pub month: usize,
     /// Scored events per vPE.
     pub per_vpe: Vec<Vec<ScoredEvent>>,
+}
+
+/// Bounded per-month summary kept for *every* tested month, even when
+/// [`PipelineConfig::retain_months`] drops the full per-vPE score
+/// vectors: a fixed handful of scalars per month instead of O(events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonthRollup {
+    /// Zero-based month index.
+    pub month: usize,
+    /// Scored events across the fleet this month.
+    pub events: u64,
+    /// Highest anomaly score this month (0 when no events).
+    pub max_score: f32,
+    /// Mean anomaly score this month (0 when no events).
+    pub mean_score: f32,
+}
+
+impl MonthRollup {
+    /// Summarizes one month's per-vPE score vectors.
+    pub fn summarize(month: usize, per_vpe: &[Vec<ScoredEvent>]) -> MonthRollup {
+        let mut events = 0u64;
+        let mut max_score = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for e in per_vpe.iter().flatten() {
+            events += 1;
+            max_score = max_score.max(e.score);
+            sum += e.score as f64;
+        }
+        MonthRollup {
+            month,
+            events,
+            max_score: if events == 0 { 0.0 } else { max_score },
+            mean_score: if events == 0 { 0.0 } else { (sum / events as f64) as f32 },
+        }
+    }
 }
 
 /// A noteworthy condition the pipeline surfaced while running (carried
@@ -259,8 +304,12 @@ pub enum PipelineEvent {
 /// The pipeline's output: everything the evaluation needs.
 #[derive(Debug, Clone)]
 pub struct PipelineRun {
-    /// One entry per tested month (months 1..M).
+    /// Full scores for the retained tested months — every month when
+    /// [`PipelineConfig::retain_months`] is 0 (the default), otherwise
+    /// only the trailing window.
     pub months: Vec<MonthScores>,
+    /// Bounded summary of *every* tested month, retained or not.
+    pub rollups: Vec<MonthRollup>,
     /// Copy of the evaluated (non-maintenance) tickets.
     pub tickets: Vec<Ticket>,
     /// Months at which adaptation fired, per group.
@@ -280,7 +329,8 @@ pub struct PipelineRun {
 }
 
 impl PipelineRun {
-    /// All scored events of one vPE across tested months, time-ordered.
+    /// All scored events of one vPE across *retained* tested months,
+    /// time-ordered.
     pub fn events_for(&self, vpe: usize) -> Vec<ScoredEvent> {
         let mut out: Vec<ScoredEvent> =
             self.months.iter().flat_map(|m| m.per_vpe[vpe].iter().copied()).collect();
@@ -395,16 +445,18 @@ fn calibrate_trigger(
 
 /// Everything the monthly loop mutates: the live state of a run between
 /// month boundaries. Checkpoints capture it; resume reconstructs it.
+///
+/// Ownership split (the fleet-scale memory model, see DESIGN.md): the
+/// interned template codec is stored once, all per-*group* learned
+/// state lives in the [`GroupModelStore`], and each vPE owns only its
+/// trimmed encoded stream plus a compact [`VpeCursor`].
 pub(crate) struct PipelineState {
     pub codec: LogCodec,
-    pub cursor: Vec<usize>,
+    pub cursor: Vec<VpeCursor>,
     pub streams: Vec<LogStream>,
-    pub grouping: Grouping,
-    pub members: Vec<Vec<usize>>,
-    pub detectors: Vec<Box<dyn AnomalyDetector>>,
-    pub trigger: Vec<f32>,
-    pub fa_baseline: Vec<Option<f32>>,
+    pub store: GroupModelStore,
     pub months: Vec<MonthScores>,
+    pub rollups: Vec<MonthRollup>,
     pub adaptations: Vec<(usize, usize)>,
     pub events: Vec<PipelineEvent>,
     /// First month the loop still has to run (`completed + 1`).
@@ -439,15 +491,18 @@ pub(crate) fn mine_codec(trace: &FleetTrace, cfg: &PipelineConfig) -> LogCodec {
 /// can gain templates at adaptation time; `trace.messages(vpe)` is
 /// time-sorted, so each vPE keeps a cursor of how far it has been
 /// encoded and month boundaries are found by binary search.
-pub(crate) fn encode_month0(trace: &FleetTrace, codec: &LogCodec) -> (Vec<usize>, Vec<LogStream>) {
+pub(crate) fn encode_month0(
+    trace: &FleetTrace,
+    codec: &LogCodec,
+) -> (Vec<VpeCursor>, Vec<LogStream>) {
     let n_vpes = trace.config.n_vpes;
     let month1_end = month_start(1);
-    let mut cursor = vec![0usize; n_vpes];
+    let mut cursor = vec![VpeCursor::default(); n_vpes];
     let streams = (0..n_vpes)
         .map(|vpe| {
             let msgs = trace.messages(vpe);
-            cursor[vpe] = msgs.partition_point(|m| m.timestamp < month1_end);
-            codec.encode_stream(&msgs[..cursor[vpe]])
+            cursor[vpe].consumed = msgs.partition_point(|m| m.timestamp < month1_end);
+            codec.encode_stream(&msgs[..cursor[vpe].consumed])
         })
         .collect();
     (cursor, streams)
@@ -460,14 +515,50 @@ pub(crate) fn append_month(
     trace: &FleetTrace,
     codec: &LogCodec,
     streams: &mut [LogStream],
-    cursor: &mut [usize],
+    cursor: &mut [VpeCursor],
     m_end: u64,
 ) {
     for (vpe, stream) in streams.iter_mut().enumerate() {
         let msgs = trace.messages(vpe);
         let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
-        stream.append(codec.encode_stream(&msgs[cursor[vpe]..hi]));
-        cursor[vpe] = hi;
+        stream.append(codec.encode_stream(&msgs[cursor[vpe].consumed..hi]));
+        cursor[vpe].consumed = hi;
+    }
+}
+
+/// The number of trailing records a trimmed stream must keep before a
+/// month boundary so scoring the next month is bit-identical to scoring
+/// against full history: the detector family's window length (the k
+/// records preceding an in-month target / the width ending at it) plus
+/// one more record, because [`LogStream::windows_in`] reads a window's
+/// *predecessor* for the first element's gap feature — a record that
+/// lands at index 0 would silently switch to the self-gap-0 rule.
+pub(crate) fn scoring_context(cfg: &PipelineConfig) -> usize {
+    let window = match cfg.detector {
+        DetectorKind::Lstm => cfg.lstm.window,
+        DetectorKind::Autoencoder => cfg.autoencoder.windowing.width,
+        DetectorKind::Ocsvm => cfg.ocsvm.windowing.width,
+        DetectorKind::Pca => cfg.pca.windowing.width,
+        DetectorKind::Hmm => cfg.hmm.window,
+    };
+    window + 1
+}
+
+/// Trims every stream to its last `margin` records, advancing the
+/// cursors' trimmed offsets. Run at each month boundary before the new
+/// month is appended: everything older than the scoring context has
+/// already been scored and trained on, and every later consumer (month
+/// scoring, adaptation's in-month slices, monthly update) reads only
+/// in-month data plus that context — so per-vPE memory stays O(month),
+/// not O(history), with bit-identical results.
+pub(crate) fn trim_streams(streams: &mut [LogStream], cursor: &mut [VpeCursor], margin: usize) {
+    for (stream, cur) in streams.iter_mut().zip(cursor.iter_mut()) {
+        let len = stream.len();
+        if len > margin {
+            let drop = len - margin;
+            stream.drop_front(drop);
+            cur.trimmed += drop;
+        }
     }
 }
 
@@ -489,23 +580,25 @@ pub(crate) fn collect_week(
     week_msgs
 }
 
-/// Re-encodes one group's full history up to `m_end` after a codec
-/// refresh (ids of known templates are stable; only new ones change).
-/// This is the one place the whole history is re-encoded, and the cursor
-/// is re-anchored to the same boundary.
+/// Re-encodes one group's *retained* history up to `m_end` after a
+/// codec refresh (ids of known templates are stable; only new ones
+/// change). The codec maps each message to one record, so re-encoding
+/// `msgs[trimmed..hi]` equals re-encoding the full history and dropping
+/// the trimmed prefix — the trim offset is untouched and the cursor is
+/// re-anchored to the boundary.
 pub(crate) fn reencode_members(
     trace: &FleetTrace,
     codec: &LogCodec,
     streams: &mut [LogStream],
-    cursor: &mut [usize],
+    cursor: &mut [VpeCursor],
     members_g: &[usize],
     m_end: u64,
 ) {
     for &v in members_g {
         let msgs = trace.messages(v);
         let hi = msgs.partition_point(|msg| msg.timestamp < m_end);
-        streams[v] = codec.encode_stream(&msgs[..hi]);
-        cursor[v] = hi;
+        streams[v] = codec.encode_stream(&msgs[cursor[v].trimmed..hi]);
+        cursor[v].consumed = hi;
     }
 }
 
@@ -520,6 +613,9 @@ pub(crate) fn fingerprint(trace: &FleetTrace, cfg: &PipelineConfig) -> u64 {
     c.lstm.threads = 0;
     c.autoencoder.threads = 0;
     c.checkpoint = CheckpointConfig::default();
+    // Retention is operational too: it bounds what is *kept*, never
+    // what is computed, so a resumed run may change it freely.
+    c.retain_months = 0;
     let total_msgs: usize = (0..trace.config.n_vpes).map(|v| trace.messages(v).len()).sum();
     let desc = format!(
         "{:?}|vpes={} months={} msgs={} tickets={}",
@@ -575,31 +671,22 @@ fn init_state(trace: &FleetTrace, cfg: &PipelineConfig, threads: usize) -> Pipel
         });
     }
 
-    // Trigger thresholds per group (from month-0 scores).
+    // Trigger thresholds per group: month-0 scores from one batched
+    // pass per group (bit-identical to per-vPE scoring).
     let mut events = Vec::new();
-    let trigger: Vec<f32> = (0..grouping.k)
-        .map(|g| {
-            let scores = par::par_blocks(&members[g], threads, |_, block| {
-                block
-                    .iter()
-                    .map(|&v| detectors[g].score(&streams[v], 0, month1_end))
-                    .collect::<Vec<_>>()
-            });
-            calibrate_trigger(&scores, cfg.trigger_quantile, 0, g, &mut events)
-        })
-        .collect();
-    let fa_baseline = vec![None; grouping.k];
+    let mut store = GroupModelStore::new(grouping, detectors);
+    for g in 0..store.k() {
+        let scores = store.score_group(g, &streams, 0, month1_end, threads);
+        store.trigger[g] = calibrate_trigger(&scores, cfg.trigger_quantile, 0, g, &mut events);
+    }
 
     PipelineState {
         codec,
         cursor,
         streams,
-        grouping,
-        members,
-        detectors,
-        trigger,
-        fa_baseline,
+        store,
         months: Vec::new(),
+        rollups: Vec::new(),
         adaptations: Vec::new(),
         events,
         next_month: 1,
@@ -620,27 +707,21 @@ fn run_month(
     let m_end = month_start(m + 1);
     let all_tickets: Vec<Vec<&Ticket>> = (0..n_vpes).map(|v| trace.tickets_for(v)).collect();
 
+    // Everything before this month except the scoring context has been
+    // consumed — drop it, then append the new month.
+    trim_streams(&mut state.streams, &mut state.cursor, scoring_context(cfg));
     append_month(trace, &state.codec, &mut state.streams, &mut state.cursor, m_end);
 
-    // Score the month: vPEs fan out across the worker pool in fixed
-    // index-ordered blocks, so the result is identical to a serial loop
-    // for any thread count.
-    let vpe_ids: Vec<usize> = (0..n_vpes).collect();
-    let detectors = &state.detectors;
-    let streams = &state.streams;
-    let grouping = &state.grouping;
-    let mut per_vpe: Vec<Vec<ScoredEvent>> = par::par_blocks(&vpe_ids, threads, |_, block| {
-        block
-            .iter()
-            .map(|&v| detectors[grouping.group_of(v)].score(&streams[v], m_start, m_end))
-            .collect::<Vec<_>>()
-    });
+    // Score the month: one batched pass per group over all its member
+    // streams (bit-identical to the per-vPE loop, see group_store docs).
+    let mut per_vpe: Vec<Vec<ScoredEvent>> =
+        state.store.score_fleet(&state.streams, m_start, m_end, threads);
 
     // False-alarm-rate check per group -> adaptation.
-    for g in 0..state.grouping.k {
+    for g in 0..state.store.k() {
         let mut fa = 0usize;
-        for &v in &state.members[g] {
-            let clusters = warning_clusters(&per_vpe[v], state.trigger[g], &cfg.mapping);
+        for &v in &state.store.members[g] {
+            let clusters = warning_clusters(&per_vpe[v], state.store.trigger[g], &cfg.mapping);
             let result = map_clusters(
                 &clusters,
                 &all_tickets[v].iter().map(|&&t| t).collect::<Vec<_>>(),
@@ -649,8 +730,8 @@ fn run_month(
             fa += result.false_alarms;
         }
         let days = (m_end - m_start) as f32 / DAY as f32;
-        let fa_rate = fa as f32 / days / state.members[g].len().max(1) as f32;
-        let surged = match state.fa_baseline[g] {
+        let fa_rate = fa as f32 / days / state.store.members[g].len().max(1) as f32;
+        let surged = match state.store.fa_baseline[g] {
             Some(base) => fa_rate > cfg.fa_surge_factor * (base + 0.02),
             None => false,
         };
@@ -660,17 +741,17 @@ fn run_month(
             // templates earn dense ids, re-encode that week, and
             // fine-tune on it.
             let week_end = m_start + cfg.adapt_span;
-            let week_msgs = collect_week(trace, &state.members[g], m_start, week_end);
+            let week_msgs = collect_week(trace, &state.store.members[g], m_start, week_end);
             state.codec.refresh(&week_msgs);
             reencode_members(
                 trace,
                 &state.codec,
                 &mut state.streams,
                 &mut state.cursor,
-                &state.members[g],
+                &state.store.members[g],
                 m_end,
             );
-            let adapt_streams: Vec<LogStream> = state.members[g]
+            let adapt_streams: Vec<LogStream> = state.store.members[g]
                 .iter()
                 .map(|&v| {
                     ticket_free(
@@ -683,41 +764,42 @@ fn run_month(
                 })
                 .collect();
             let refs: Vec<&LogStream> = adapt_streams.iter().collect();
-            state.detectors[g].adapt(&refs);
+            state.store.detectors[g].adapt(&refs);
 
-            // Re-score the month after the adaptation point.
-            let det = &state.detectors[g];
-            let streams = &state.streams;
-            let rescored = par::par_blocks(&state.members[g], threads, |_, block| {
-                block.iter().map(|&v| det.score(&streams[v], week_end, m_end)).collect::<Vec<_>>()
-            });
-            for (&v, scored) in state.members[g].iter().zip(rescored) {
+            // Re-score the month after the adaptation point (batched).
+            let rescored = state.store.score_group(g, &state.streams, week_end, m_end, threads);
+            for (&v, scored) in state.store.members[g].iter().zip(rescored) {
                 per_vpe[v].retain(|e| e.time < week_end);
                 per_vpe[v].extend(scored);
             }
             // Reset the trigger calibration on the adapted model.
-            let scores = par::par_blocks(&state.members[g], threads, |_, block| {
-                block.iter().map(|&v| det.score(&streams[v], m_start, week_end)).collect::<Vec<_>>()
-            });
-            state.trigger[g] =
+            let scores = state.store.score_group(g, &state.streams, m_start, week_end, threads);
+            state.store.trigger[g] =
                 calibrate_trigger(&scores, cfg.trigger_quantile, m, g, &mut state.events);
-            state.fa_baseline[g] = None;
+            state.store.fa_baseline[g] = None;
         } else {
-            state.fa_baseline[g] = Some(match state.fa_baseline[g] {
+            state.store.fa_baseline[g] = Some(match state.store.fa_baseline[g] {
                 Some(base) => 0.7 * base + 0.3 * fa_rate,
                 None => fa_rate,
             });
         }
     }
 
+    state.rollups.push(MonthRollup::summarize(m, &per_vpe));
     state.months.push(MonthScores { month: m, per_vpe });
+    if cfg.retain_months > 0 {
+        while state.months.len() > cfg.retain_months {
+            state.months.remove(0);
+        }
+    }
 
     // Incremental monthly update on this month's ticket-free data.
     let streams_ref = &state.streams;
     let tickets_ref = &all_tickets;
-    let members_ref = &state.members;
+    let GroupModelStore { members, detectors, .. } = &mut state.store;
+    let members_ref: &Vec<Vec<usize>> = members;
     std::thread::scope(|scope| {
-        for (g, det) in state.detectors.iter_mut().enumerate() {
+        for (g, det) in detectors.iter_mut().enumerate() {
             let exclusion = cfg.train_exclusion;
             scope.spawn(move || {
                 let pooled: Vec<LogStream> = members_ref[g]
@@ -790,9 +872,10 @@ fn finish(trace: &FleetTrace, cfg: &PipelineConfig, state: PipelineState) -> Pip
         .collect();
     PipelineRun {
         months: state.months,
+        rollups: state.rollups,
         tickets,
         adaptations: state.adaptations,
-        grouping: state.grouping,
+        grouping: state.store.grouping,
         vocab: state.codec.vocab_size(),
         suppression,
         events: state.events,

@@ -49,9 +49,10 @@
 
 use crate::codec::SavedCodec;
 use crate::detector::ScoredEvent;
+use crate::group_store::{GroupModelStore, VpeCursor};
 use crate::grouping::Grouping;
 use crate::pipeline::{
-    self, MonthScores, PipelineConfig, PipelineError, PipelineEvent, PipelineState,
+    self, MonthRollup, MonthScores, PipelineConfig, PipelineError, PipelineEvent, PipelineState,
 };
 use crate::state;
 use nfv_nn::checkpoint::{atomic_write, open_envelope, seal_envelope, CheckpointError};
@@ -63,6 +64,15 @@ use std::path::{Path, PathBuf};
 
 /// Envelope `format` tag of pipeline checkpoints.
 pub const PIPELINE_CKPT_FORMAT: &str = "nfv-pipeline-checkpoint";
+
+/// Payload layout version. Layout 2 introduced the compact per-vPE
+/// cursors (`cursor` = messages consumed, plus a parallel `trimmed`
+/// array of messages dropped from each stream's front by history
+/// trimming) and per-month rollups. Layout-1 checkpoints (no `layout`
+/// field) predate stream trimming and cannot be resumed by this build —
+/// they are rejected with a clear error instead of silently replaying a
+/// different stream shape.
+pub const PIPELINE_CKPT_LAYOUT: u64 = 2;
 
 /// Path of generation `g` inside `dir`.
 pub fn generation_path(dir: &Path, generation: usize) -> PathBuf {
@@ -194,42 +204,87 @@ fn usize_field(v: &Value, field: &str) -> Result<usize, CheckpointError> {
 /// Serializes the live state at `month` completed months into the
 /// checkpoint payload.
 fn capture(state: &PipelineState, fp: u64, month: usize) -> Value {
+    let store = &state.store;
+    let grouping = json!({
+        "assignment": store.grouping.assignment.iter().map(|&g| g as u64).collect::<Vec<u64>>(),
+        "k": store.grouping.k,
+        "modularity_bits": store.grouping.modularity.to_bits(),
+    });
+    let cursor: Vec<u64> = state.cursor.iter().map(|c| c.consumed as u64).collect();
+    let trimmed: Vec<u64> = state.cursor.iter().map(|c| c.trimmed as u64).collect();
+    let stream_len: Vec<u64> = state.streams.iter().map(|s| s.records().len() as u64).collect();
+    let adaptations = Value::Array(
+        state.adaptations.iter().map(|&(m, g)| Value::from(vec![m as u64, g as u64])).collect(),
+    );
+    let trigger_bits =
+        Value::Array(store.trigger.iter().map(|t| state::f32_bits_value(*t)).collect());
+    let fa_baseline_bits = Value::Array(
+        store
+            .fa_baseline
+            .iter()
+            .map(|b| match b {
+                Some(x) => state::f32_bits_value(*x),
+                None => Value::Null,
+            })
+            .collect(),
+    );
+    let detectors = Value::Array(store.detectors.iter().map(|d| d.to_state()).collect());
     json!({
         "fingerprint": format!("{:016x}", fp),
+        "layout": PIPELINE_CKPT_LAYOUT,
         "month": month,
         "vocab": state.codec.vocab_size(),
         "codec": state.codec.to_saved().to_value(),
-        "cursor": state.cursor.iter().map(|&c| c as u64).collect::<Vec<u64>>(),
-        "stream_len": state.streams.iter().map(|s| s.records().len() as u64).collect::<Vec<u64>>(),
-        "grouping": json!({
-            "assignment": state.grouping.assignment.iter().map(|&g| g as u64).collect::<Vec<u64>>(),
-            "k": state.grouping.k,
-            "modularity_bits": state.grouping.modularity.to_bits(),
-        }),
-        "adaptations": Value::Array(
-            state
-                .adaptations
-                .iter()
-                .map(|&(m, g)| Value::from(vec![m as u64, g as u64]))
-                .collect(),
-        ),
-        "trigger_bits": Value::Array(
-            state.trigger.iter().map(|t| state::f32_bits_value(*t)).collect(),
-        ),
-        "fa_baseline_bits": Value::Array(
-            state
-                .fa_baseline
-                .iter()
-                .map(|b| match b {
-                    Some(x) => state::f32_bits_value(*x),
-                    None => Value::Null,
-                })
-                .collect(),
-        ),
-        "detectors": Value::Array(state.detectors.iter().map(|d| d.to_state()).collect()),
+        "cursor": cursor,
+        "trimmed": trimmed,
+        "stream_len": stream_len,
+        "grouping": grouping,
+        "adaptations": adaptations,
+        "trigger_bits": trigger_bits,
+        "fa_baseline_bits": fa_baseline_bits,
+        "detectors": detectors,
         "events": events_value(&state.events),
         "months": months_value(&state.months),
+        "rollups": rollups_value(&state.rollups),
     })
+}
+
+fn rollups_value(rollups: &[MonthRollup]) -> Value {
+    Value::Array(
+        rollups
+            .iter()
+            .map(|r| {
+                json!({
+                    "month": r.month,
+                    "events": r.events,
+                    "max_bits": r.max_score.to_bits(),
+                    "mean_bits": r.mean_score.to_bits(),
+                })
+            })
+            .collect(),
+    )
+}
+
+fn rollups_from_value(v: &Value) -> Result<Vec<MonthRollup>, CheckpointError> {
+    let arr =
+        v.as_array().ok_or_else(|| CheckpointError::Invalid("rollups must be an array".into()))?;
+    arr.iter()
+        .map(|r| {
+            let bits = |field: &str| -> Result<f32, CheckpointError> {
+                state::require(r, field)?.as_u64().map(|b| f32::from_bits(b as u32)).ok_or_else(
+                    || CheckpointError::Invalid(format!("field '{}' must be an integer", field)),
+                )
+            };
+            Ok(MonthRollup {
+                month: usize_field(r, "month")?,
+                events: state::require(r, "events")?.as_u64().ok_or_else(|| {
+                    CheckpointError::Invalid("rollup events must be an integer".into())
+                })?,
+                max_score: bits("max_bits")?,
+                mean_score: bits("mean_bits")?,
+            })
+        })
+        .collect()
 }
 
 /// A parsed checkpoint payload, before replay/restore.
@@ -238,7 +293,7 @@ struct LoadedCheckpoint {
     month: usize,
     vocab: usize,
     codec: SavedCodec,
-    cursor: Vec<usize>,
+    cursor: Vec<VpeCursor>,
     stream_len: Vec<usize>,
     grouping: Grouping,
     adaptations: Vec<(usize, usize)>,
@@ -247,6 +302,7 @@ struct LoadedCheckpoint {
     detectors: Vec<Value>,
     events: Vec<PipelineEvent>,
     months: Vec<MonthScores>,
+    rollups: Vec<MonthRollup>,
 }
 
 fn parse(payload: &Value) -> Result<LoadedCheckpoint, CheckpointError> {
@@ -254,12 +310,38 @@ fn parse(payload: &Value) -> Result<LoadedCheckpoint, CheckpointError> {
         .as_str()
         .ok_or_else(|| CheckpointError::Invalid("fingerprint must be a string".into()))?
         .to_string();
+    let layout = payload.get("layout").and_then(Value::as_u64).unwrap_or(1);
+    if layout != PIPELINE_CKPT_LAYOUT {
+        return Err(CheckpointError::Invalid(format!(
+            "checkpoint layout {} is not supported by this build (expected {}); \
+             re-run from scratch",
+            layout, PIPELINE_CKPT_LAYOUT
+        )));
+    }
     let month = usize_field(payload, "month")?;
     let vocab = usize_field(payload, "vocab")?;
     let codec = SavedCodec::from_value(state::require(payload, "codec")?)?;
-    let cursor: Vec<usize> = state::u64s_from_value(state::require(payload, "cursor")?, "cursor")?
+    let consumed: Vec<usize> =
+        state::u64s_from_value(state::require(payload, "cursor")?, "cursor")?
+            .into_iter()
+            .map(|c| c as usize)
+            .collect();
+    let trimmed: Vec<usize> =
+        state::u64s_from_value(state::require(payload, "trimmed")?, "trimmed")?
+            .into_iter()
+            .map(|c| c as usize)
+            .collect();
+    if consumed.len() != trimmed.len() {
+        return Err(CheckpointError::Invalid(format!(
+            "{} cursor entries vs {} trimmed entries",
+            consumed.len(),
+            trimmed.len()
+        )));
+    }
+    let cursor: Vec<VpeCursor> = consumed
         .into_iter()
-        .map(|c| c as usize)
+        .zip(trimmed)
+        .map(|(c, t)| VpeCursor { consumed: c, trimmed: t })
         .collect();
     let stream_len: Vec<usize> =
         state::u64s_from_value(state::require(payload, "stream_len")?, "stream_len")?
@@ -323,6 +405,7 @@ fn parse(payload: &Value) -> Result<LoadedCheckpoint, CheckpointError> {
         .clone();
     let events = events_from_value(state::require(payload, "events")?)?;
     let months = months_from_value(state::require(payload, "months")?)?;
+    let rollups = rollups_from_value(state::require(payload, "rollups")?)?;
 
     Ok(LoadedCheckpoint {
         fingerprint,
@@ -338,6 +421,7 @@ fn parse(payload: &Value) -> Result<LoadedCheckpoint, CheckpointError> {
         detectors,
         events,
         months,
+        rollups,
     })
 }
 
@@ -458,13 +542,17 @@ fn restore(
     }
 
     // Replay the codec/stream mutation schedule recorded in the
-    // adaptation log (mining, monthly appends, per-adaptation refresh +
-    // re-encode are all deterministic given the trace).
+    // adaptation log (mining, monthly trims + appends, per-adaptation
+    // refresh + re-encode are all deterministic given the trace). The
+    // trim-before-append order must mirror `run_month` exactly or the
+    // cursor/stream verification below will (rightly) fail.
     let mut codec = pipeline::mine_codec(trace, cfg);
     let (mut cursor, mut streams) = pipeline::encode_month0(trace, &codec);
     let members = ck.grouping.members();
+    let margin = pipeline::scoring_context(cfg);
     for m in 1..=ck.month {
         let m_end = month_start(m + 1);
+        pipeline::trim_streams(&mut streams, &mut cursor, margin);
         pipeline::append_month(trace, &codec, &mut streams, &mut cursor, m_end);
         for &(_, g) in ck.adaptations.iter().filter(|&&(am, _)| am == m) {
             if g >= members.len() {
@@ -526,17 +614,17 @@ fn restore(
         det.load_state(st).map_err(PipelineError::Checkpoint)?;
         detectors.push(det);
     }
+    let mut store = GroupModelStore::new(ck.grouping, detectors);
+    store.trigger = ck.trigger;
+    store.fa_baseline = ck.fa_baseline;
 
     Ok(PipelineState {
         codec,
         cursor,
         streams,
-        grouping: ck.grouping,
-        members,
-        detectors,
-        trigger: ck.trigger,
-        fa_baseline: ck.fa_baseline,
+        store,
         months: ck.months,
+        rollups: ck.rollups,
         adaptations: ck.adaptations,
         events: ck.events,
         next_month: ck.month + 1,

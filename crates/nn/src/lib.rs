@@ -52,7 +52,7 @@ pub use model::{
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use trainer::{
     BatchLoss, GradientSet, ShardPool, ShardedBatchLoss, TrainError, Trainer, TrainerConfig,
-    DEFAULT_GRAD_CLIP, DEFAULT_SHARD_ROWS,
+    DEFAULT_GRAD_CLIP, DEFAULT_SHARD_ROWS, MAX_SHARDS_PER_BATCH, PAR_MIN_BATCH_ROWS,
 };
 
 /// Anything that exposes its trainable parameters and matching gradient

@@ -26,6 +26,23 @@ pub const DEFAULT_GRAD_CLIP: f32 = 5.0;
 /// — so any worker count produces the same bits.
 pub const DEFAULT_SHARD_ROWS: usize = 16;
 
+/// Upper bound on shards per batch used by auto shard sizing
+/// (`shard_rows == 0`): the resolved width is
+/// `DEFAULT_SHARD_ROWS.max(batch_size / MAX_SHARDS_PER_BATCH)`, so small
+/// batches keep the historical 16-row layout (bit-compatible with every
+/// recorded trajectory at the default batch size) while very large
+/// batches get proportionally beefier shards instead of thousands of
+/// tiny reduction steps.
+pub const MAX_SHARDS_PER_BATCH: usize = 16;
+
+/// Batches with fewer rows than this run their shards on the calling
+/// thread even when `threads > 1`: at small batch sizes the per-step
+/// scoped-spawn overhead exceeds the parallel win (the 0.90x/0.82x
+/// regression recorded in `results/BENCH_fleet_epoch.json`). This is
+/// scheduling only — the shard layout and the ascending-shard reduction
+/// order are untouched, so the bits are identical either way.
+pub const PAR_MIN_BATCH_ROWS: usize = 512;
+
 /// Knobs for a [`Trainer`] run. The learning rate lives on the optimizer.
 #[derive(Debug, Clone)]
 pub struct TrainerConfig {
@@ -47,7 +64,28 @@ pub struct TrainerConfig {
     /// Rows per gradient shard in the data-parallel path. Unlike
     /// `threads`, this *is* part of the trajectory definition: changing
     /// the shard width changes summation order (and therefore rounding).
+    ///
+    /// `0` = auto: the width is derived from `batch_size` alone (see
+    /// [`TrainerConfig::resolved_shard_rows`]), so it stays a pure
+    /// function of the configuration — never of the thread count — and
+    /// resolves to the historical [`DEFAULT_SHARD_ROWS`] at the default
+    /// batch size.
     pub shard_rows: usize,
+}
+
+impl TrainerConfig {
+    /// The shard width the data-parallel path will actually use:
+    /// `shard_rows` itself when explicit, otherwise auto-sized from the
+    /// batch size (`DEFAULT_SHARD_ROWS.max(batch_size /
+    /// MAX_SHARDS_PER_BATCH)`). Deliberately independent of `threads`:
+    /// the layout defines the trajectory, threads only schedule it.
+    pub fn resolved_shard_rows(&self) -> usize {
+        if self.shard_rows == 0 {
+            DEFAULT_SHARD_ROWS.max(self.batch_size.max(1).div_ceil(MAX_SHARDS_PER_BATCH))
+        } else {
+            self.shard_rows
+        }
+    }
 }
 
 impl Default for TrainerConfig {
@@ -59,7 +97,7 @@ impl Default for TrainerConfig {
             lr_decay: 1.0,
             shuffle: true,
             threads: 1,
-            shard_rows: DEFAULT_SHARD_ROWS,
+            shard_rows: 0,
         }
     }
 }
@@ -435,7 +473,7 @@ impl<O: Optimizer> Trainer<O> {
         M: ShardedBatchLoss<D>,
     {
         let total = indices.len();
-        let shard_rows = self.cfg.shard_rows.max(1);
+        let shard_rows = self.cfg.resolved_shard_rows().max(1);
         let n_shards = total.div_ceil(shard_rows).max(1);
         self.grads.zero();
         let loss = if n_shards == 1 {
@@ -445,7 +483,18 @@ impl<O: Optimizer> Trainer<O> {
             sum / total as f32
         } else {
             let shards: Vec<&[usize]> = indices.chunks(shard_rows).collect();
-            let workers = self.cfg.threads.clamp(1, n_shards);
+            // Small batches stay on the calling thread: per-step spawn
+            // overhead beats the parallel win below PAR_MIN_BATCH_ROWS.
+            // Larger batches cap the worker count at the host's cores —
+            // oversubscription only adds switching cost. The shard
+            // layout above is already fixed, so both are pure
+            // scheduling and the bits are unchanged.
+            let cores = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+            let workers = if total < PAR_MIN_BATCH_ROWS {
+                1
+            } else {
+                self.cfg.threads.min(cores).clamp(1, n_shards)
+            };
             let shapes = self.grads.shapes();
             pool.ensure(workers, n_shards, &shapes);
             let block = n_shards.div_ceil(workers);

@@ -170,6 +170,58 @@ impl ShardedBatchLoss<[f32]> for Panicky {
 }
 
 #[test]
+fn large_batches_cross_the_serial_cutoff_and_stay_bit_identical() {
+    // PAR_MIN_BATCH_ROWS gates worker spawning: batches below it run on
+    // the calling thread, batches at or above it fan out. Both sides of
+    // the gate must produce the same bits, and the spawn path itself
+    // must stay covered now that the small fixtures above run inline.
+    let n = nfv_nn::PAR_MIN_BATCH_ROWS * 2;
+    let data: Vec<f32> = (0..n).map(|i| (i % 97) as f32 * 0.01 + 0.1).collect();
+    let run = |threads: usize| -> (Vec<f32>, f32) {
+        let mut model = Panicky { w: Matrix::zeros(1, 1), panic_on: None };
+        let cfg = TrainerConfig {
+            epochs: 2,
+            batch_size: nfv_nn::PAR_MIN_BATCH_ROWS,
+            shard_rows: 16,
+            threads,
+            shuffle: false,
+            ..TrainerConfig::default()
+        };
+        let mut trainer = Trainer::new(cfg, Sgd::new(0.02, 0.0, &[(1, 1)]), &[(1, 1)]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        trainer.fit_sharded(&mut model, data.as_slice(), n, &mut rng).unwrap();
+        (trainer.step_losses().to_vec(), model.w.get(0, 0))
+    };
+    let (base_losses, base_w) = run(1);
+    assert_eq!(base_losses.len(), 2 * 2, "2 epochs x 2 full batches");
+    for threads in [2, 4] {
+        let (losses, w) = run(threads);
+        assert_eq!(losses, base_losses, "losses diverged at {threads} threads");
+        assert_eq!(w.to_bits(), base_w.to_bits(), "weight diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn auto_shard_rows_resolves_from_batch_size_alone() {
+    // shard_rows == 0 is the auto sentinel: the resolved width depends
+    // only on batch_size (never threads), and at the default batch size
+    // it reproduces the historical fixed width so recorded trajectories
+    // are unchanged.
+    let auto = |batch_size: usize, threads: usize| {
+        TrainerConfig { batch_size, shard_rows: 0, threads, ..TrainerConfig::default() }
+            .resolved_shard_rows()
+    };
+    assert_eq!(auto(64, 1), nfv_nn::DEFAULT_SHARD_ROWS);
+    assert_eq!(auto(64, 8), nfv_nn::DEFAULT_SHARD_ROWS, "threads must not affect the layout");
+    assert_eq!(auto(1, 1), nfv_nn::DEFAULT_SHARD_ROWS, "tiny batches keep the default width");
+    // Large batches scale the width so shard count stays bounded.
+    assert_eq!(auto(4096, 4), 256);
+    // Explicit widths are always honored verbatim.
+    let explicit = TrainerConfig { batch_size: 4096, shard_rows: 8, ..TrainerConfig::default() };
+    assert_eq!(explicit.resolved_shard_rows(), 8);
+}
+
+#[test]
 fn worker_panic_surfaces_as_typed_error_and_pool_stays_usable() {
     // Keep the default hook from spamming the test log with the expected
     // panic's backtrace; the payload still reaches the typed error.

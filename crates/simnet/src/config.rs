@@ -71,6 +71,25 @@ impl SimConfig {
         }
     }
 
+    /// A mega-fleet configuration for synthetic scale runs: `n_vpes`
+    /// instances over `months` months at a sparse per-vPE log rate
+    /// (one message per ~4 h), no update, and a low ticket rate. Meant
+    /// for [`crate::fleet::MegaFleet`]'s on-demand synthesis — at
+    /// 10,000 vPEs the full raw text would not fit in a sane budget.
+    pub fn mega(n_vpes: usize, months: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            n_vpes,
+            months,
+            n_groups: 4,
+            mean_log_gap: 4.0 * 60.0 * MINUTE as f64,
+            update_month: None,
+            update_fraction: 0.0,
+            ticket_rate: 0.2,
+            core_incidents: 0,
+        }
+    }
+
     /// End of the simulated window in epoch seconds.
     pub fn end_time(&self) -> u64 {
         nfv_syslog::time::month_start(self.months)

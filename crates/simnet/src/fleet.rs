@@ -32,6 +32,82 @@ pub struct FleetTrace {
     injected: Vec<Vec<(u64, usize)>>,
 }
 
+/// Synthesizes one vPE's raw log and ground-truth injections. The body
+/// is self-contained — it seeds its own RNG from `(cfg.seed, vpe.id)`
+/// and reads only this vPE's tickets — so [`FleetTrace::simulate`]
+/// (which materializes every vPE up front) and [`MegaFleet`] (which
+/// synthesizes vPEs on demand, one at a time) produce byte-identical
+/// logs for the same configuration.
+///
+/// `tickets` may be the whole fleet's ticket list or any pre-filtered
+/// subset containing at least this vPE's tickets in report order; rows
+/// for other vPEs are ignored.
+fn synthesize_vpe(
+    cfg: &SimConfig,
+    vpe: &crate::topology::Vpe,
+    catalog: &Catalog,
+    tickets: &[Ticket],
+    update_time: Option<u64>,
+    end: u64,
+) -> (Vec<SyslogMessage>, Vec<(u64, usize)>) {
+    let mut rng = SmallRng::seed_from_u64(
+        cfg.seed ^ 0xf1ee_7000 ^ (vpe.id as u64).wrapping_mul(0x0123_4567_89ab),
+    );
+    let mut records: Vec<(u64, usize)> = Vec::new();
+
+    // Normal chatter, split at the vPE's update time when affected.
+    match update_time {
+        Some(t_u) => {
+            let pre = VpeBehavior::build(catalog, vpe, cfg, false);
+            let post = VpeBehavior::build(catalog, vpe, cfg, true);
+            records.extend(pre.generate(0, t_u, &mut rng));
+            records.extend(post.generate(t_u, end, &mut rng));
+        }
+        None => {
+            let beh = VpeBehavior::build(catalog, vpe, cfg, false);
+            records.extend(beh.generate(0, end, &mut rng));
+        }
+    }
+
+    // Maintenance-window chatter (expected, not anomalous).
+    for t in tickets.iter().filter(|t| t.vpe == vpe.id && t.cause == TicketCause::Maintenance) {
+        let span = t.repair_time.saturating_sub(t.report_time).max(10 * MINUTE);
+        let n = rng.gen_range(3..=8);
+        for _ in 0..n {
+            let when = t.report_time + rng.gen_range(0..span);
+            let tpl =
+                catalog.maintenance_chatter[rng.gen_range(0..catalog.maintenance_chatter.len())];
+            records.push((when.min(end.saturating_sub(1)), tpl));
+        }
+    }
+
+    // Fault signatures around this vPE's tickets.
+    let mut vpe_injected: Vec<(u64, usize)> = Vec::new();
+    for t in tickets.iter().filter(|t| t.vpe == vpe.id) {
+        let recs = inject_for_ticket(t, catalog, &mut rng);
+        vpe_injected.extend(recs.iter().copied().filter(|&(time, _)| time < end));
+    }
+    records.extend(vpe_injected.iter().copied());
+
+    // Render to raw syslog messages, time-sorted.
+    records.sort_by_key(|&(t, _)| t);
+    let messages = records
+        .into_iter()
+        .map(|(time, tpl)| {
+            let template = catalog.set.get(tpl);
+            SyslogMessage {
+                timestamp: time,
+                host: vpe.name.clone(),
+                process: template.process.clone(),
+                severity: template.severity,
+                text: template.render(&mut rng),
+            }
+        })
+        .collect();
+    vpe_injected.sort_by_key(|&(t, _)| t);
+    (messages, vpe_injected)
+}
+
 impl FleetTrace {
     /// Runs the full simulation for `cfg`. Deterministic in `cfg.seed`.
     pub fn simulate(cfg: SimConfig) -> FleetTrace {
@@ -45,64 +121,9 @@ impl FleetTrace {
         let mut injected = Vec::with_capacity(cfg.n_vpes);
 
         for vpe in &topology.vpes {
-            let mut rng = SmallRng::seed_from_u64(
-                cfg.seed ^ 0xf1ee_7000 ^ (vpe.id as u64).wrapping_mul(0x0123_4567_89ab),
-            );
-            let mut records: Vec<(u64, usize)> = Vec::new();
-
-            // Normal chatter, split at the vPE's update time when affected.
             let update_time = update.as_ref().and_then(|u| u.time_of[vpe.id]);
-            match update_time {
-                Some(t_u) => {
-                    let pre = VpeBehavior::build(&catalog, vpe, &cfg, false);
-                    let post = VpeBehavior::build(&catalog, vpe, &cfg, true);
-                    records.extend(pre.generate(0, t_u, &mut rng));
-                    records.extend(post.generate(t_u, end, &mut rng));
-                }
-                None => {
-                    let beh = VpeBehavior::build(&catalog, vpe, &cfg, false);
-                    records.extend(beh.generate(0, end, &mut rng));
-                }
-            }
-
-            // Maintenance-window chatter (expected, not anomalous).
-            for t in
-                tickets.iter().filter(|t| t.vpe == vpe.id && t.cause == TicketCause::Maintenance)
-            {
-                let span = t.repair_time.saturating_sub(t.report_time).max(10 * MINUTE);
-                let n = rng.gen_range(3..=8);
-                for _ in 0..n {
-                    let when = t.report_time + rng.gen_range(0..span);
-                    let tpl = catalog.maintenance_chatter
-                        [rng.gen_range(0..catalog.maintenance_chatter.len())];
-                    records.push((when.min(end.saturating_sub(1)), tpl));
-                }
-            }
-
-            // Fault signatures around this vPE's tickets.
-            let mut vpe_injected: Vec<(u64, usize)> = Vec::new();
-            for t in tickets.iter().filter(|t| t.vpe == vpe.id) {
-                let recs = inject_for_ticket(t, &catalog, &mut rng);
-                vpe_injected.extend(recs.iter().copied().filter(|&(time, _)| time < end));
-            }
-            records.extend(vpe_injected.iter().copied());
-
-            // Render to raw syslog messages, time-sorted.
-            records.sort_by_key(|&(t, _)| t);
-            let messages = records
-                .into_iter()
-                .map(|(time, tpl)| {
-                    let template = catalog.set.get(tpl);
-                    SyslogMessage {
-                        timestamp: time,
-                        host: vpe.name.clone(),
-                        process: template.process.clone(),
-                        severity: template.severity,
-                        text: template.render(&mut rng),
-                    }
-                })
-                .collect();
-            vpe_injected.sort_by_key(|&(t, _)| t);
+            let (messages, vpe_injected) =
+                synthesize_vpe(&cfg, vpe, &catalog, &tickets, update_time, end);
             logs.push(messages);
             injected.push(vpe_injected);
         }
@@ -159,6 +180,79 @@ impl FleetTrace {
     /// Total messages across the fleet.
     pub fn total_messages(&self) -> usize {
         self.logs.iter().map(|l| l.len()).sum()
+    }
+}
+
+/// A fleet too large to materialize: synthesizes each vPE's raw log on
+/// demand instead of holding the whole fleet's text in memory.
+///
+/// A 10,000-vPE month is hundreds of millions of bytes of rendered
+/// syslog; [`FleetTrace::simulate`] would hold all of it at once. A
+/// `MegaFleet` runs the same deterministic per-vPE generator
+/// ([`synthesize_vpe`]) lazily: fleet-wide state (topology, catalog,
+/// tickets, update plan) is built once, and [`MegaFleet::synthesize`]
+/// produces one vPE's messages at a time, so peak memory is one vPE's
+/// raw log plus whatever compact encoding the caller retains.
+///
+/// For any `cfg`, `MegaFleet::new(cfg).synthesize(v)` is byte-identical
+/// to `FleetTrace::simulate(cfg).messages(v)`.
+#[derive(Debug, Clone)]
+pub struct MegaFleet {
+    /// The generating configuration.
+    pub config: SimConfig,
+    /// Fleet topology (per-vPE latent group, affinity, naming).
+    pub topology: Topology,
+    /// Template catalog.
+    pub catalog: Catalog,
+    /// All trouble tickets, sorted by report time.
+    pub tickets: Vec<Ticket>,
+    /// The software-update rollout, when configured.
+    pub update: Option<UpdatePlan>,
+    end: u64,
+    /// Tickets bucketed by vPE (report order preserved), so per-vPE
+    /// synthesis is O(own tickets) instead of O(fleet tickets).
+    tickets_by_vpe: Vec<Vec<Ticket>>,
+}
+
+impl MegaFleet {
+    /// Builds the fleet-wide state. No per-vPE log is generated yet.
+    pub fn new(cfg: SimConfig) -> MegaFleet {
+        let topology = Topology::build(&cfg);
+        let catalog = Catalog::build();
+        let tickets = generate_tickets(&cfg);
+        let update = UpdatePlan::build(&cfg);
+        let end = cfg.end_time();
+        let mut tickets_by_vpe = vec![Vec::new(); cfg.n_vpes];
+        for t in &tickets {
+            tickets_by_vpe[t.vpe].push(*t);
+        }
+        MegaFleet { config: cfg, topology, catalog, tickets, update, end, tickets_by_vpe }
+    }
+
+    /// Number of vPEs in the fleet.
+    pub fn n_vpes(&self) -> usize {
+        self.config.n_vpes
+    }
+
+    /// Synthesizes one vPE's raw messages, time-sorted. Deterministic
+    /// in `(config.seed, vpe)` and independent of call order.
+    pub fn synthesize(&self, vpe: usize) -> Vec<SyslogMessage> {
+        let v = &self.topology.vpes[vpe];
+        let update_time = self.update.as_ref().and_then(|u| u.time_of[vpe]);
+        let (messages, _) = synthesize_vpe(
+            &self.config,
+            v,
+            &self.catalog,
+            &self.tickets_by_vpe[vpe],
+            update_time,
+            self.end,
+        );
+        messages
+    }
+
+    /// Tickets raised on one vPE, report-time-sorted.
+    pub fn tickets_for(&self, vpe: usize) -> &[Ticket] {
+        &self.tickets_by_vpe[vpe]
     }
 }
 
@@ -273,6 +367,46 @@ mod tests {
             }
         }
         assert!(found, "no maintenance chatter found");
+    }
+
+    #[test]
+    fn megafleet_matches_materialized_trace_byte_for_byte() {
+        // Same config through both paths: the eager FleetTrace and the
+        // lazy MegaFleet must render identical logs, in any call order.
+        let cfg = SimConfig::preset(SimPreset::Fast, 77);
+        let trace = FleetTrace::simulate(cfg.clone());
+        let mega = MegaFleet::new(cfg.clone());
+        assert_eq!(mega.n_vpes(), cfg.n_vpes);
+        for vpe in (0..cfg.n_vpes).rev() {
+            assert_eq!(mega.synthesize(vpe), trace.messages(vpe), "vpe {}", vpe);
+            let eager: Vec<Ticket> = trace.tickets_for(vpe).into_iter().copied().collect();
+            assert_eq!(mega.tickets_for(vpe), &eager[..]);
+        }
+        assert_eq!(mega.tickets, trace.tickets);
+    }
+
+    #[test]
+    fn megafleet_with_update_matches_trace() {
+        let mut cfg = SimConfig::preset(SimPreset::Fast, 5);
+        cfg.months = 6;
+        cfg.update_month = Some(3);
+        let trace = FleetTrace::simulate(cfg.clone());
+        let mega = MegaFleet::new(cfg.clone());
+        for vpe in 0..cfg.n_vpes {
+            assert_eq!(mega.synthesize(vpe), trace.messages(vpe), "vpe {}", vpe);
+        }
+    }
+
+    #[test]
+    fn mega_config_scales_vpe_count() {
+        let cfg = SimConfig::mega(64, 2, 9);
+        let mega = MegaFleet::new(cfg);
+        assert_eq!(mega.n_vpes(), 64);
+        let msgs = mega.synthesize(63);
+        assert!(!msgs.is_empty());
+        // Sparse rate: well under one message per minute.
+        let months_secs = mega.config.end_time();
+        assert!((msgs.len() as u64) < months_secs / 60);
     }
 
     #[test]

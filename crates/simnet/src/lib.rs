@@ -34,7 +34,7 @@ mod util;
 
 pub use catalog::Catalog;
 pub use config::{SimConfig, SimPreset};
-pub use fleet::FleetTrace;
+pub use fleet::{FleetTrace, MegaFleet};
 pub use load::{BurstSpec, LoadGen, LoadSpec, WindowSpec};
 pub use nfv_syslog::SyslogMessage;
 pub use tickets::{Ticket, TicketCause};

@@ -121,6 +121,15 @@ impl LogStream {
         &self.records
     }
 
+    /// Drops the oldest `n` records in place (all of them when `n`
+    /// exceeds the length). Used by the pipeline's history trimming:
+    /// once a month is scored and trained on, only a scoring-context
+    /// tail of the stream is ever read again, so the prefix can go.
+    pub fn drop_front(&mut self, n: usize) {
+        let n = n.min(self.records.len());
+        self.records.drain(..n);
+    }
+
     /// Records with `start <= time < end`.
     pub fn slice_time(&self, start: u64, end: u64) -> &[LogRecord] {
         let lo = self.records.partition_point(|r| r.time < start);

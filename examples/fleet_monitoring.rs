@@ -78,14 +78,10 @@ fn main() {
 
     // --- One streaming monitor per vPE; replay months 1+. ---
     let mapping = MappingConfig::default();
-    let mut monitors: Vec<OnlineMonitor> = (0..sim.n_vpes)
-        .map(|_| {
-            let bundle =
-                nfvpredict::detect::ModelBundle::pack(&codec, &detector, threshold, &mapping);
-            let (codec, det) = bundle.unpack();
-            OnlineMonitor::new(codec, det, threshold, mapping)
-        })
-        .collect();
+    let shared = nfvpredict::detect::ModelBundle::pack(&codec, &detector, threshold, &mapping)
+        .try_unpack_shared()
+        .expect("freshly packed bundle is valid");
+    let mut monitors: Vec<OnlineMonitor> = (0..sim.n_vpes).map(|_| shared.monitor()).collect();
 
     // Merge all vPE feeds into one time-ordered replay.
     let mut feed: Vec<(usize, &SyslogMessage)> = (0..sim.n_vpes)

@@ -431,16 +431,11 @@ fn cmd_monitor(flags: &Flags) -> Result<ExitCode, String> {
         return Err(format!("no .log files in {}", logs_dir.display()));
     }
 
-    // One hardened monitor per feed, all from the same trained bundle.
-    let monitors: Result<Vec<OnlineMonitor>, String> = files
-        .iter()
-        .map(|_| {
-            let (codec, det) = bundle.try_unpack().map_err(|e| e.to_string())?;
-            Ok(OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping()))
-        })
-        .collect();
+    // One hardened monitor per feed, all sharing one unpacked model.
+    let shared = bundle.try_unpack_shared().map_err(|e| e.to_string())?;
+    let monitors: Vec<OnlineMonitor> = files.iter().map(|_| shared.monitor()).collect();
     let cfg = FleetMonitorConfig { staleness_timeout: staleness, ..Default::default() };
-    let mut fleet = FleetMonitor::new(monitors?, cfg);
+    let mut fleet = FleetMonitor::new(monitors, cfg);
 
     let transport = (!faults.is_clean()).then(|| TransportSim::new(faults, seed));
     if let Some(t) = &transport {
@@ -693,14 +688,10 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
             self_trained_bundle(&gen0)?
         }
     };
-    let monitors: Result<Vec<OnlineMonitor>, String> = (0..feeds)
-        .map(|_| {
-            let (codec, det) = bundle.try_unpack().map_err(|e| e.to_string())?;
-            Ok(OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping()))
-        })
-        .collect();
+    let shared = bundle.try_unpack_shared().map_err(|e| e.to_string())?;
+    let monitors: Vec<OnlineMonitor> = (0..feeds).map(|_| shared.monitor()).collect();
     let fleet_cfg = FleetMonitorConfig { reorder_window: faults.reorder, ..Default::default() };
-    let fleet = FleetMonitor::new(monitors?, fleet_cfg);
+    let fleet = FleetMonitor::new(monitors, fleet_cfg);
     let serve_cfg = ServeConfig {
         capacity,
         tick_budget: budget,

@@ -94,15 +94,11 @@ fn feed_messages(feed: usize) -> Vec<SyslogMessage> {
     out
 }
 
-/// A fresh supervised fleet, one monitor per feed, all unpacked from the
-/// same bundle.
+/// A fresh supervised fleet, one monitor per feed, all sharing one
+/// unpacked model.
 fn fresh_fleet(bundle: &ModelBundle) -> FleetMonitor {
-    let monitors: Vec<OnlineMonitor> = (0..FEEDS)
-        .map(|_| {
-            let (codec, det) = bundle.try_unpack().expect("freshly packed bundle is valid");
-            OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
-        })
-        .collect();
+    let shared = bundle.try_unpack_shared().expect("freshly packed bundle is valid");
+    let monitors: Vec<OnlineMonitor> = (0..FEEDS).map(|_| shared.monitor()).collect();
     FleetMonitor::new(monitors, FleetMonitorConfig::default())
 }
 
@@ -243,12 +239,8 @@ struct OverloadRun {
 /// Drives one full overload scenario through a fresh serving runtime in
 /// step mode (offer + sweep per tick, no wall clock).
 fn run_overload(bundle: &ModelBundle, spec: &LoadSpec) -> OverloadRun {
-    let monitors: Vec<OnlineMonitor> = (0..spec.feeds)
-        .map(|_| {
-            let (codec, det) = bundle.try_unpack().expect("freshly packed bundle is valid");
-            OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
-        })
-        .collect();
+    let shared = bundle.try_unpack_shared().expect("freshly packed bundle is valid");
+    let monitors: Vec<OnlineMonitor> = (0..spec.feeds).map(|_| shared.monitor()).collect();
     let fleet =
         FleetMonitor::new(monitors, FleetMonitorConfig { reorder_window: 0, ..Default::default() });
     let cfg = ServeConfig {
@@ -369,10 +361,7 @@ fn serving_runtime_sheds_firehose_load_with_exact_accounting() {
 #[test]
 fn interleaved_garbage_lines_are_counted_not_fatal() {
     let bundle = trained_bundle();
-    let monitors = vec![{
-        let (codec, det) = bundle.try_unpack().unwrap();
-        OnlineMonitor::new(codec, det, bundle.threshold, bundle.mapping())
-    }];
+    let monitors = vec![bundle.try_unpack_shared().unwrap().monitor()];
     let mut fleet = FleetMonitor::new(monitors, FleetMonitorConfig::default());
 
     // Every 7th line is binary-ish garbage; the rest is the usual
