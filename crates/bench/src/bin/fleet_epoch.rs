@@ -116,6 +116,9 @@ struct RunResult {
 }
 
 fn run_once(streams: &[LogStream], cfg: &LstmDetectorConfig, threads: usize) -> RunResult {
+    // One knob, just like the pipeline: the run's thread count also
+    // drives the GEMM row-panel fan-out (bit-identical to serial).
+    nfv_tensor::gemm::set_threads(threads);
     let mut cfg = cfg.clone();
     cfg.threads = threads;
     let mut det = LstmDetector::new(cfg);

@@ -1,0 +1,160 @@
+//! `pool_overhead` benchmark: what a parallel region *costs* to open.
+//!
+//! The pipeline fans out many small batches per epoch (one per training
+//! batch, one per scoring chunk), so dispatch overhead is paid thousands
+//! of times per run. This harness measures the per-batch cost of the two
+//! dispatch strategies the repo has used:
+//!
+//! - **spawn**: create fresh OS threads for every batch via
+//!   [`std::thread::scope`] — what the trainer and `par_blocks` did
+//!   before the persistent pool;
+//! - **pool**: enqueue the same tasks on the long-lived [`nfv_pool`]
+//!   workers — a queue handoff instead of a thread spawn.
+//!
+//! Both strategies run the identical task bodies over identical data, so
+//! the difference is pure dispatch overhead. The numbers are wall-clock
+//! and machine-dependent; the interesting outputs are the *ratio* and
+//! the per-task overhead in nanoseconds, which transfer across machines
+//! better than absolute times.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin pool_overhead -- \
+//!     [--fast] [--json PATH] [--batches N] [--tasks N]
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Args {
+    fast: bool,
+    json: Option<String>,
+    batches: Option<usize>,
+    tasks: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args { fast: false, json: None, batches: None, tasks: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => out.fast = true,
+            "--json" => {
+                out.json = Some(args.next().unwrap_or_else(|| usage("--json needs a path")))
+            }
+            "--batches" => {
+                out.batches = Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    usage("--batches needs an integer");
+                }))
+            }
+            "--tasks" => {
+                out.tasks = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t| t >= 1)
+                        .unwrap_or_else(|| usage("--tasks needs a positive integer")),
+                )
+            }
+            other => usage(&format!("unknown flag {:?}", other)),
+        }
+    }
+    out
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {}", msg);
+    eprintln!("usage: pool_overhead [--fast] [--json PATH] [--batches N] [--tasks N]");
+    std::process::exit(2)
+}
+
+/// A small but non-trivial task body: enough arithmetic that the
+/// compiler cannot fold the fan-out away, small enough that dispatch
+/// cost still dominates (mirroring a per-shard gradient step on a tiny
+/// batch, the pipeline's worst case for overhead).
+fn task_body(seed: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+/// One batch dispatched as fresh OS threads (the pre-pool strategy).
+fn batch_spawn(seeds: &[u64], out: &mut [u64]) {
+    std::thread::scope(|s| {
+        for (seed, slot) in seeds.iter().zip(out.iter_mut()) {
+            let seed = *seed;
+            s.spawn(move || *slot = task_body(seed));
+        }
+    });
+}
+
+/// One batch dispatched on the persistent pool.
+fn batch_pool(seeds: &[u64], out: &mut [u64]) {
+    nfv_pool::global().scope(|s| {
+        for (seed, slot) in seeds.iter().zip(out.iter_mut()) {
+            let seed = *seed;
+            s.spawn(move || *slot = task_body(seed));
+        }
+    });
+}
+
+/// Times `batches` repetitions of `run` over fresh outputs, returning
+/// (total_seconds, checksum). The checksum keeps the work observable.
+fn measure(batches: usize, seeds: &[u64], mut run: impl FnMut(&[u64], &mut [u64])) -> (f64, u64) {
+    let mut out = vec![0u64; seeds.len()];
+    let mut checksum = 0u64;
+    let t0 = Instant::now();
+    for b in 0..batches {
+        run(black_box(seeds), &mut out);
+        checksum = checksum.wrapping_add(out[b % out.len()]);
+    }
+    (t0.elapsed().as_secs_f64(), black_box(checksum))
+}
+
+fn main() {
+    let args = parse_args();
+    let batches = args.batches.unwrap_or(if args.fast { 300 } else { 2_000 });
+    let tasks = args.tasks.unwrap_or(8);
+    let workers = nfv_pool::global().size();
+    let seeds: Vec<u64> = (0..tasks as u64).map(|t| t * 0x9e3779b97f4a7c15 + 1).collect();
+
+    // Warm both paths (first pool dispatch pays thread creation; first
+    // spawn batch pays allocator warm-up) before timing.
+    let (_, warm_a) = measure(8, &seeds, batch_spawn);
+    let (_, warm_b) = measure(8, &seeds, batch_pool);
+    assert_eq!(warm_a, warm_b, "both strategies must compute identical results");
+
+    let (spawn_s, sum_spawn) = measure(batches, &seeds, batch_spawn);
+    let (pool_s, sum_pool) = measure(batches, &seeds, batch_pool);
+    assert_eq!(sum_spawn, sum_pool, "both strategies must compute identical results");
+
+    let spawn_us = spawn_s * 1e6 / batches as f64;
+    let pool_us = pool_s * 1e6 / batches as f64;
+    let per_task_saved_ns = (spawn_us - pool_us) * 1e3 / tasks as f64;
+
+    println!("config\tbatches {} tasks {} pool_workers {}", batches, tasks, workers);
+    println!("{:<12} {:>16} {:>16}", "strategy", "us_per_batch", "ns_per_task");
+    println!("{:<12} {:>16.2} {:>16.1}", "spawn", spawn_us, spawn_us * 1e3 / tasks as f64);
+    println!("{:<12} {:>16.2} {:>16.1}", "pool", pool_us, pool_us * 1e3 / tasks as f64);
+    println!("speedup\t{:.2}x", spawn_us / pool_us);
+    println!("saved_per_task\t{:.0}ns", per_task_saved_ns);
+
+    if let Some(path) = &args.json {
+        let value = serde_json::json!({
+            "bench": "pool_overhead",
+            "config": {
+                "batches": batches,
+                "tasks_per_batch": tasks,
+                "pool_workers": workers,
+                "fast": args.fast,
+            },
+            "spawn_us_per_batch": spawn_us,
+            "pool_us_per_batch": pool_us,
+            "dispatch_speedup": spawn_us / pool_us,
+            "saved_per_task_ns": per_task_saved_ns,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&value).expect("serializable"))
+            .unwrap_or_else(|e| eprintln!("failed to write {}: {}", path, e));
+        eprintln!("wrote {}", path);
+    }
+}

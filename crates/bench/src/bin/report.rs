@@ -1,22 +1,79 @@
-//! Aggregates every `results/BENCH_*.json` into one canonical report,
-//! the first cut of a regression-gating surface: one file, one schema,
-//! stable keys, so a later CI step can diff two reports instead of
-//! globbing and parsing each benchmark's ad-hoc output.
+//! Aggregates every `results/BENCH_*.json` into one canonical report
+//! and, given a baseline report, gates on performance regressions.
 //!
 //! ```text
-//! cargo run --release -p nfv-bench --bin report [-- --dir results --out results/REPORT.json]
+//! cargo run --release -p nfv-bench --bin report -- \
+//!     [--dir results] [--out results/REPORT.json] \
+//!     [--baseline results/BASELINE.json] [--max-regress 0.5]
 //! ```
 //!
 //! The report maps each benchmark's name (the `BENCH_<name>.json` stem)
 //! to its parsed JSON payload, alongside a sorted list of the names
-//! covered. Unparseable files are reported and skipped, not fatal: a
-//! half-written benchmark result should not hide every other number.
+//! covered and a *machine calibration* number: the wall time of a fixed
+//! serial GEMM workload, measured at aggregation time. Unparseable
+//! files are reported and skipped, not fatal: a half-written benchmark
+//! result should not hide every other number.
+//!
+//! ## Regression gating
+//!
+//! With `--baseline PATH` the current report is diffed against a
+//! previously written report. For every benchmark present in both, a
+//! fixed table of headline metrics is compared; the run fails (exit 1)
+//! when any metric regresses by more than `--max-regress` (a fraction;
+//! default 0.5, generous on purpose — shared CI runners are noisy).
+//!
+//! Two kinds of normalization keep the gate honest across machines:
+//!
+//! - **calibration** — wall-clock metrics (times, rates) are scaled by
+//!   the ratio of the two reports' calibration times, so a slower
+//!   runner is compared against what the baseline *would have* measured
+//!   on it, not against the faster machine's absolute numbers;
+//! - **config matching** — a metric is only compared when the
+//!   benchmark's recorded config is identical in both reports (a
+//!   `--fast` run is incomparable to a full run); mismatches are
+//!   reported as skips, never failures.
 
 use std::path::PathBuf;
+use std::time::Instant;
+
+use nfv_tensor::{gemm, Matrix};
+use serde_json::Value;
+
+/// How a gated metric is compared.
+enum Kind {
+    /// Wall-clock duration: lower is better, calibration-scaled.
+    Time,
+    /// Throughput: higher is better, calibration-scaled (inverse).
+    Rate,
+    /// Dimensionless ratio (e.g. a speedup): higher is better, not
+    /// calibration-scaled — ratios transfer across machines as-is.
+    RatioHi,
+    /// Resource ceiling (e.g. peak RSS): lower is better, not scaled.
+    Resource,
+}
+
+/// The headline metric table: benchmark name, dotted path into its
+/// payload (array indices as bare numbers), comparison kind.
+const GATES: &[(&str, &str, Kind)] = &[
+    ("train_step", "trainer_ms_per_step", Kind::Time),
+    ("fleet_epoch", "runs.0.total_ms", Kind::Time),
+    ("serve", "lines_per_sec", Kind::Rate),
+    ("fleet10k", "total_secs", Kind::Time),
+    ("fleet10k", "rss_hwm_mib", Kind::Resource),
+    ("gemm", "lstm_geomean_speedup", Kind::RatioHi),
+    ("pool_overhead", "pool_us_per_batch", Kind::Time),
+];
+
+/// Keys that identify a comparable fleet10k run (it records its config
+/// flat at the top level rather than under a `config` object).
+const FLEET10K_CONFIG_KEYS: &[&str] =
+    &["n_vpes", "seed", "fast", "threads", "groups", "rss_budget_mib"];
 
 fn main() {
     let mut dir = PathBuf::from("results");
     let mut out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut max_regress = 0.5f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,6 +83,18 @@ fn main() {
             "--out" => {
                 out =
                     Some(PathBuf::from(args.next().unwrap_or_else(|| usage("--out needs a path"))))
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--baseline needs a path")),
+                ))
+            }
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f > 0.0)
+                    .unwrap_or_else(|| usage("--max-regress needs a positive fraction"))
             }
             other => usage(&format!("unknown flag {:?}", other)),
         }
@@ -67,16 +136,19 @@ fn main() {
         std::process::exit(1);
     }
 
+    let cal_ms = calibrate_ms();
     let names: Vec<&String> = benches.keys().collect();
     println!(
-        "aggregated {} benchmarks: {}",
+        "aggregated {} benchmarks: {} (calibration {:.2} ms)",
         names.len(),
-        names.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+        names.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", "),
+        cal_ms
     );
     let report = serde_json::json!({
         "format": "nfv-bench-report",
-        "version": 1,
-        "benchmarks": benches,
+        "version": 2,
+        "calibration_gemm_ms": cal_ms,
+        "benchmarks": Value::Object(benches),
         "skipped": skipped,
     });
     std::fs::write(&out, serde_json::to_string_pretty(&report).expect("serializable"))
@@ -85,10 +157,152 @@ fn main() {
             std::process::exit(1);
         });
     println!("wrote {}", out.display());
+
+    if let Some(base_path) = baseline {
+        let base: Value = std::fs::read_to_string(&base_path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: cannot parse baseline {}", base_path.display());
+                std::process::exit(2);
+            });
+        if !gate(&report, &base, max_regress) {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Times a fixed serial GEMM workload — the machine-speed yardstick the
+/// regression gate scales wall-clock metrics by. Serial (and min-of-5)
+/// so the number depends on single-core speed, not on thread settings
+/// or scheduler luck.
+fn calibrate_ms() -> f64 {
+    let a = Matrix::from_fn(128, 128, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.13 - 0.8);
+    let b = Matrix::from_fn(128, 128, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.17 - 0.9);
+    let mut out = Matrix::default();
+    gemm::with_threads(1, || {
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..8 {
+                a.matmul_into(&b, &mut out);
+            }
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        std::hint::black_box(&out);
+        best
+    })
+}
+
+/// Looks up a dotted path (`runs.0.total_ms`) in a JSON value.
+fn lookup<'v>(mut v: &'v Value, path: &str) -> Option<&'v Value> {
+    for seg in path.split('.') {
+        v = match seg.parse::<usize>() {
+            Ok(i) => v.as_array()?.get(i)?,
+            Err(_) => v.get(seg)?,
+        };
+    }
+    Some(v)
+}
+
+/// The part of a benchmark payload that must match for its numbers to
+/// be comparable: the `config` object when the bench records one, else
+/// (fleet10k) a fixed set of top-level keys.
+fn config_of(name: &str, payload: &Value) -> Value {
+    if let Some(cfg) = payload.get("config") {
+        return cfg.clone();
+    }
+    let mut m = serde_json::Map::new();
+    if name == "fleet10k" {
+        for key in FLEET10K_CONFIG_KEYS {
+            if let Some(v) = payload.get(key) {
+                m.insert(key.to_string(), v.clone());
+            }
+        }
+    }
+    Value::Object(m)
+}
+
+/// Diffs `report` against `base` over the metric table. Returns false
+/// when any comparable metric regresses by more than `max_regress`.
+fn gate(report: &Value, base: &Value, max_regress: f64) -> bool {
+    let cur_cal = report.get("calibration_gemm_ms").and_then(Value::as_f64);
+    let base_cal = base.get("calibration_gemm_ms").and_then(Value::as_f64);
+    // Scale > 1 means this machine is slower than the baseline's.
+    let scale = match (cur_cal, base_cal) {
+        (Some(c), Some(b)) if c > 0.0 && b > 0.0 => c / b,
+        _ => {
+            eprintln!("note: baseline has no calibration; comparing unscaled");
+            1.0
+        }
+    };
+    println!(
+        "gate: machine scale {:.2}x vs baseline, max regress {:.0}%",
+        scale,
+        max_regress * 100.0
+    );
+
+    let (cur_b, base_b) = match (report.get("benchmarks"), base.get("benchmarks")) {
+        (Some(c), Some(b)) => (c, b),
+        _ => {
+            eprintln!("error: baseline is not an nfv-bench report");
+            return false;
+        }
+    };
+
+    let mut failed = false;
+    let mut compared = 0usize;
+    for (name, path, kind) in GATES {
+        let (cur_p, base_p) = match (cur_b.get(name), base_b.get(name)) {
+            (Some(c), Some(b)) => (c, b),
+            _ => continue, // bench not present on one side: nothing to gate
+        };
+        if config_of(name, cur_p) != config_of(name, base_p) {
+            println!("gate: skip {}.{} (config differs from baseline)", name, path);
+            continue;
+        }
+        let (cur, base_v) = match (
+            lookup(cur_p, path).and_then(Value::as_f64),
+            lookup(base_p, path).and_then(Value::as_f64),
+        ) {
+            (Some(c), Some(b)) if b > 0.0 => (c, b),
+            _ => continue,
+        };
+        // `expected` is the baseline metric translated to this machine;
+        // `regress` is the fractional shortfall against it (0 = parity,
+        // negative = improvement).
+        let (expected, regress) = match kind {
+            Kind::Time => (base_v * scale, cur / (base_v * scale) - 1.0),
+            Kind::Rate => (base_v / scale, (base_v / scale) / cur - 1.0),
+            Kind::RatioHi => (base_v, base_v / cur - 1.0),
+            Kind::Resource => (base_v, cur / base_v - 1.0),
+        };
+        compared += 1;
+        let verdict = if regress > max_regress { "FAIL" } else { "ok" };
+        println!(
+            "gate: {:>4} {}.{} = {:.3} vs expected {:.3} ({:+.1}%)",
+            verdict,
+            name,
+            path,
+            cur,
+            expected,
+            regress * 100.0
+        );
+        if regress > max_regress {
+            failed = true;
+        }
+    }
+    if compared == 0 {
+        println!("gate: no comparable metrics (all configs differ?) — passing vacuously");
+    }
+    if failed {
+        eprintln!("FAIL: at least one metric regressed beyond the threshold");
+    }
+    !failed
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {}", msg);
-    eprintln!("usage: report [--dir DIR] [--out PATH]");
+    eprintln!("usage: report [--dir DIR] [--out PATH] [--baseline PATH] [--max-regress FRACTION]");
     std::process::exit(2)
 }

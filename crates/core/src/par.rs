@@ -8,25 +8,25 @@
 //! the result vector is exactly what a serial loop would produce, for any
 //! thread count. (Training-side determinism is handled separately by the
 //! `nfv_nn` trainer's shard-ordered gradient reduction.)
+//!
+//! Execution runs on the persistent [`nfv_pool`] worker pool — fixed
+//! worker identities, index-ordered assignment, no work stealing — so a
+//! fan-out costs a queue handoff instead of an OS thread spawn per
+//! batch, and nested regions (a fan-out issued from inside a pool task)
+//! degrade to serial automatically.
 
-use std::num::NonZeroUsize;
-use std::thread;
-
-/// Resolves a requested thread count: `0` means "auto" —
-/// `std::thread::available_parallelism()` capped by `cap` (typically the
-/// number of independent work items, e.g. a group's size). Any explicit
-/// request is honored as-is, clamped to at least 1.
+/// Resolves a requested thread count: `0` means "auto" (one worker per
+/// host core). This is [`nfv_pool::resolve_workers`] — the single
+/// worker-cap policy for the whole workspace: explicit requests are
+/// capped at the host's core count (oversubscription only adds context
+/// switches), and the result is further capped by `cap` (typically the
+/// number of independent work items, e.g. a group's size).
 pub fn effective_threads(requested: usize, cap: usize) -> usize {
-    if requested == 0 {
-        let cores = thread::available_parallelism().map_or(1, NonZeroUsize::get);
-        cores.clamp(1, cap.max(1))
-    } else {
-        requested.max(1)
-    }
+    nfv_pool::resolve_workers(requested, cap)
 }
 
-/// Maps `f` over contiguous blocks of `items` on up to `threads` workers
-/// and concatenates the per-block outputs in block order.
+/// Maps `f` over contiguous blocks of `items` on up to `threads` pool
+/// workers and concatenates the per-block outputs in block order.
 ///
 /// `f` receives the block's starting offset into `items` plus the block
 /// slice, and returns one output per item (in item order). Because block
@@ -34,11 +34,6 @@ pub fn effective_threads(requested: usize, cap: usize) -> usize {
 /// each own a contiguous range, the concatenated result is identical to
 /// `f(0, items)` run serially. A worker panic propagates to the caller —
 /// scoring has no partial-result semantics to preserve.
-///
-/// Requests beyond the host's core count are capped: with the output
-/// independent of the worker count, oversubscribing a small box only
-/// adds context-switch overhead (a `--threads 4` run on one core used
-/// to be ~20% *slower* than serial).
 pub fn par_blocks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -46,29 +41,24 @@ where
     F: Fn(usize, &[T]) -> Vec<R> + Sync,
 {
     let n = items.len();
-    let cores = thread::available_parallelism().map_or(usize::MAX, NonZeroUsize::get);
-    let workers = threads.min(cores).clamp(1, n.max(1));
-    if workers <= 1 {
+    let workers = effective_threads(threads, n);
+    if workers <= 1 || nfv_pool::in_worker() {
         return f(0, items);
     }
     let block = n.div_ceil(workers);
-    thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(block)
-            .enumerate()
-            .map(|(w, chunk)| {
-                scope.spawn({
-                    let f = &f;
-                    move || f(w * block, chunk)
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("par_blocks worker panicked"));
+    let mut slots: Vec<Vec<R>> = Vec::with_capacity(n.div_ceil(block));
+    slots.resize_with(n.div_ceil(block), Vec::new);
+    nfv_pool::global().scope(|scope| {
+        for ((w, chunk), slot) in items.chunks(block).enumerate().zip(slots.iter_mut()) {
+            let f = &f;
+            scope.spawn(move || *slot = f(w * block, chunk));
         }
-        out
-    })
+    });
+    let mut out = Vec::with_capacity(n);
+    for s in slots {
+        out.extend(s);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -103,10 +93,28 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_auto_respects_cap() {
+    fn par_blocks_propagates_worker_panics() {
+        let items: Vec<usize> = (0..8).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_blocks(&items, 4, |off, block| {
+                if off == 0 {
+                    panic!("scoring has no partial-result semantics");
+                }
+                block.to_vec()
+            })
+        });
+        assert!(caught.is_err(), "a block panic must reach the caller");
+    }
+
+    #[test]
+    fn effective_threads_is_the_pool_cap_policy() {
+        let cores = nfv_pool::host_cores();
         assert_eq!(effective_threads(0, 1), 1);
         assert!(effective_threads(0, 1024) >= 1);
-        assert_eq!(effective_threads(3, 1), 3, "explicit requests are honored");
+        // Unified policy: explicit requests are capped at host cores and
+        // at the item count — oversubscription is never honored.
+        assert_eq!(effective_threads(64, usize::MAX), cores.min(64));
+        assert_eq!(effective_threads(3, 1), 1, "item cap applies to explicit requests");
         assert_eq!(effective_threads(0, 0), 1);
     }
 }

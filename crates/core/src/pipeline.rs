@@ -898,6 +898,11 @@ pub fn run_pipeline(
         return Err(PipelineError::TooFewMonths { months: n_months });
     }
     let threads = par::effective_threads(cfg.threads, trace.config.n_vpes);
+    // One knob: the GEMM row-panel fan-out follows the pipeline's
+    // `threads` setting (`0` = auto). Purely scheduling — parallel GEMM
+    // is bit-identical to serial at every worker count — so resumed,
+    // re-threaded, and single-core runs all produce the same bits.
+    nfv_tensor::gemm::set_threads(cfg.threads);
     let fp = fingerprint(trace, cfg);
 
     let resumed = if cfg.checkpoint.resume && cfg.checkpoint.dir.is_some() {

@@ -483,17 +483,18 @@ impl<O: Optimizer> Trainer<O> {
             sum / total as f32
         } else {
             let shards: Vec<&[usize]> = indices.chunks(shard_rows).collect();
-            // Small batches stay on the calling thread: per-step spawn
-            // overhead beats the parallel win below PAR_MIN_BATCH_ROWS.
-            // Larger batches cap the worker count at the host's cores —
-            // oversubscription only adds switching cost. The shard
-            // layout above is already fixed, so both are pure
+            // Small batches stay on the calling thread: per-step
+            // dispatch overhead beats the parallel win below
+            // PAR_MIN_BATCH_ROWS (and the serial path lets the GEMMs
+            // inside the shard use the row-panel fan-out instead).
+            // Larger batches resolve their worker count through the
+            // pool's unified policy (host-core cap, shard-count cap).
+            // The shard layout above is already fixed, so both are pure
             // scheduling and the bits are unchanged.
-            let cores = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
             let workers = if total < PAR_MIN_BATCH_ROWS {
                 1
             } else {
-                self.cfg.threads.min(cores).clamp(1, n_shards)
+                nfv_pool::resolve_workers(self.cfg.threads, n_shards)
             };
             let shapes = self.grads.shapes();
             pool.ensure(workers, n_shards, &shapes);
@@ -530,29 +531,32 @@ impl<O: Optimizer> Trainer<O> {
                     &mut shard_losses[..n_shards],
                 )
             } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = shards
+                // Worker-block w runs as the w-th task of a persistent
+                // pool scope: fixed worker identity, no per-step thread
+                // spawn. Each task writes only its own result slot;
+                // the lowest panicking shard wins deterministically.
+                let mut results: Vec<Option<(usize, String)>> = vec![None; workers];
+                nfv_pool::global().scope(|scope| {
+                    for ((w, (((sb, gb), lb), ctx)), slot) in shards
                         .chunks(block)
                         .zip(shard_grads[..n_shards].chunks_mut(block))
                         .zip(shard_losses[..n_shards].chunks_mut(block))
                         .zip(ctxs.iter_mut())
                         .enumerate()
-                        .map(|(w, (((sb, gb), lb), ctx))| {
-                            let run = &run_block;
-                            scope.spawn(move || run(w * block, sb, ctx, gb, lb))
-                        })
-                        .collect();
-                    let mut first: Option<(usize, String)> = None;
-                    for h in handles {
-                        let res = h.join().unwrap_or_else(|p| Some((usize::MAX, panic_message(p))));
-                        if let Some((s, m)) = res {
-                            if first.as_ref().is_none_or(|(fs, _)| s < *fs) {
-                                first = Some((s, m));
-                            }
-                        }
+                        .zip(results.iter_mut())
+                    {
+                        let run = &run_block;
+                        scope.spawn(move || *slot = run(w * block, sb, ctx, gb, lb));
                     }
-                    first
-                })
+                });
+                let mut first: Option<(usize, String)> = None;
+                for res in results.into_iter().flatten() {
+                    let (s, m) = res;
+                    if first.as_ref().is_none_or(|(fs, _)| s < *fs) {
+                        first = Some((s, m));
+                    }
+                }
+                first
             };
             if let Some((shard, message)) = panicked {
                 return Err(TrainError::WorkerPanic { shard, message });

@@ -1,0 +1,412 @@
+//! Persistent deterministic thread pool for every parallel region in the
+//! workspace.
+//!
+//! Before this crate, each parallel region (`nfv_nn`'s sharded trainer,
+//! `nfv_detect::par::par_blocks`, the batched fleet scorer) spawned fresh
+//! OS threads per batch via `std::thread::scope` — correct, but the
+//! spawn/join cost was paid on *every* training step and every scoring
+//! fan-out. [`Pool`] keeps one long-lived worker per host core and hands
+//! out scoped task dispatch instead: a [`Pool::scope`] costs two mutex
+//! handshakes per task rather than a thread spawn.
+//!
+//! ## Determinism contract
+//!
+//! The pool is deliberately **work-stealing-free**, because the repo's
+//! outputs must be bit-identical at every thread count:
+//!
+//! * Workers have **fixed identities** (`nfv-pool-0..n-1`), created once
+//!   and reused for the life of the process.
+//! * Tasks are assigned **by index, round-robin**: the `i`-th task
+//!   spawned in a scope always runs on worker `i % size`, and each
+//!   worker executes its tasks in ascending spawn order (FIFO queue).
+//!   No queue is ever stolen from, so the mapping from task to worker —
+//!   and the per-worker execution order — is a pure function of the
+//!   spawn sequence, never of timing.
+//! * The pool provides scheduling only. Callers keep the repo-wide
+//!   invariants that make scheduling invisible: tasks write disjoint,
+//!   index-ordered outputs, and any cross-task reduction happens on the
+//!   caller in a fixed order after [`Pool::scope`] returns.
+//!
+//! Work stealing would improve tail latency on skewed task sizes, but
+//! every hot region here fans out near-uniform blocks (row panels,
+//! gradient shards, vPE blocks), so the win is small — and stealing
+//! makes "which thread ran this" timing-dependent, which is exactly the
+//! property the bit-identity suites exist to forbid. The same reasoning
+//! rules out caller work-splicing: the caller parks until the scope
+//! drains.
+//!
+//! ## Nesting
+//!
+//! A parallel region that runs *inside* a pool worker (e.g. a GEMM
+//! issued from a gradient-shard task) degrades to inline serial
+//! execution: [`PoolScope::spawn`] runs the task immediately on the
+//! current thread. This keeps the pool deadlock-free by construction —
+//! a worker never waits on another worker — and costs nothing in
+//! determinism because outputs never depend on the schedule. Outer
+//! regions own the cores; inner regions are already saturated.
+//!
+//! ## The one knob
+//!
+//! [`resolve_workers`] is the single worker-count policy for the whole
+//! workspace: `0` means "auto" (one worker per host core), explicit
+//! requests are capped at the host's core count (oversubscribing a
+//! smaller box only adds context switches — a `--threads 4` run on one
+//! core used to be ~20% *slower* than serial), and the result is capped
+//! by the number of independent work items. `TrainerConfig::threads`,
+//! `PipelineConfig::threads`, CLI `--threads` and the GEMM row-panel
+//! fan-out all resolve through it.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::mem;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::{self, JoinHandle};
+
+/// A task after lifetime erasure; soundness is restored by
+/// [`Pool::scope`] refusing to return before every dispatched task has
+/// finished.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Book-keeping shared between one scope and the workers running its
+/// tasks.
+struct ScopeSync {
+    /// Dispatched tasks that have not finished yet.
+    pending: usize,
+    /// Lowest-index panic payload observed so far, if any.
+    panic: Option<(usize, Box<dyn Any + Send>)>,
+}
+
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    done: Condvar,
+}
+
+/// One dispatched task plus the scope it reports back to.
+struct Job {
+    index: usize,
+    task: Task,
+    state: Arc<ScopeState>,
+}
+
+thread_local! {
+    /// True on pool worker threads; used to run nested regions inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is a pool worker. Parallel helpers check
+/// this to degrade nested regions to serial instead of dispatching tasks
+/// the busy workers could only run after finishing their current ones.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Host core count, probed once (`available_parallelism`, min 1).
+pub fn host_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// The single worker-count policy (see the module docs): `0` = auto (one
+/// worker per host core); explicit requests are honored up to the host's
+/// core count; both are then capped by `cap`, the number of independent
+/// work items, and floored at 1.
+pub fn resolve_workers(requested: usize, cap: usize) -> usize {
+    let size = if requested == 0 { host_cores() } else { requested.min(host_cores()) };
+    size.clamp(1, cap.max(1))
+}
+
+/// The process-wide pool: one worker per host core, created on first
+/// use and kept for the life of the process.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(host_cores()))
+}
+
+/// A fixed set of long-lived worker threads with per-worker FIFO queues
+/// and index-ordered task assignment. See the module docs for the
+/// determinism contract.
+pub struct Pool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Builds a pool with exactly `workers.max(1)` named workers. Most
+    /// callers want [`global`]; explicit pools exist for tests and
+    /// benchmarks that need a size other than the host's core count.
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            senders.push(tx);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("nfv-pool-{w}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawning a pool worker"),
+            );
+        }
+        Pool { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs `f` with a [`PoolScope`] and blocks until every task it
+    /// spawned has completed. If a task panicked, the panic with the
+    /// lowest spawn index is resumed on the caller (after all tasks have
+    /// drained, so `'scope` borrows stay sound); a panic in `f` itself
+    /// is re-raised only when no task panicked.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope PoolScope<'scope, 'env>) -> R,
+    {
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
+                done: Condvar::new(),
+            }),
+            next: Cell::new(0),
+            inline: in_worker(),
+            scope_marker: PhantomData,
+            env_marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Wait even when `f` panicked: dispatched tasks borrow `'scope`
+        // data that must stay alive until they finish.
+        let mut sync = scope.state.sync.lock().unwrap();
+        while sync.pending > 0 {
+            sync = scope.state.done.wait(sync).unwrap();
+        }
+        let task_panic = sync.panic.take();
+        drop(sync);
+        if let Some((_, payload)) = task_panic {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; join so no worker
+        // outlives the pool (matters for non-global pools in tests).
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Dispatch handle passed to the closure of [`Pool::scope`].
+pub struct PoolScope<'scope, 'env: 'scope> {
+    pool: &'scope Pool,
+    state: Arc<ScopeState>,
+    next: Cell<usize>,
+    inline: bool,
+    scope_marker: PhantomData<&'scope mut &'scope ()>,
+    env_marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    /// Dispatches one task. The `i`-th spawn of a scope runs on worker
+    /// `i % pool.size()`, after any earlier task of this scope assigned
+    /// to the same worker. On a pool worker thread (nested region) the
+    /// task runs inline immediately instead.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.inline {
+            f();
+            return;
+        }
+        let index = self.next.get();
+        self.next.set(index + 1);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `Pool::scope` does not return before `pending` drops
+        // to zero, even on panic, so the task cannot outlive any
+        // `'scope` borrow it captures.
+        let task: Task = unsafe {
+            mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+                task,
+            )
+        };
+        self.state.sync.lock().unwrap().pending += 1;
+        let worker = index % self.pool.senders.len();
+        let job = Job { index, task, state: Arc::clone(&self.state) };
+        if let Err(send_err) = self.pool.senders[worker].send(job) {
+            // Unreachable while the pool is alive (`&self` borrows it),
+            // but degrade gracefully: run the task here and settle the
+            // pending count ourselves.
+            let job = send_err.0;
+            run_job(job);
+        }
+    }
+}
+
+/// Executes one job and reports completion (and any panic) to its scope.
+fn run_job(job: Job) {
+    let Job { index, task, state } = job;
+    let result = catch_unwind(AssertUnwindSafe(task));
+    let mut sync = state.sync.lock().unwrap();
+    if let Err(payload) = result {
+        // Keep the lowest spawn index: deterministic error reporting no
+        // matter which worker finished first.
+        if sync.panic.as_ref().is_none_or(|(i, _)| index < *i) {
+            sync.panic = Some((index, payload));
+        }
+    }
+    sync.pending -= 1;
+    if sync.pending == 0 {
+        state.done.notify_all();
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>) {
+    IN_WORKER.with(|w| w.set(true));
+    while let Ok(job) = rx.recv() {
+        run_job(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_task_and_outputs_land_in_slots() {
+        let pool = Pool::new(3);
+        let mut out = vec![0usize; 10];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * i);
+            }
+        });
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scopes_are_reusable_across_many_batches() {
+        let pool = Pool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn panic_propagates_with_lowest_task_index() {
+        let pool = Pool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| {});
+                s.spawn(|| panic!("task-1"));
+                s.spawn(|| panic!("task-2"));
+            });
+        }));
+        let payload = caught.expect_err("scope must re-raise the task panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task-1", "the lowest spawn index wins");
+    }
+
+    #[test]
+    fn tasks_drain_even_when_the_scope_closure_panics() {
+        let pool = Pool::new(2);
+        let ran = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("closure bail");
+            });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 8, "dispatched tasks must still run");
+    }
+
+    #[test]
+    fn nested_scopes_degrade_to_inline_execution() {
+        let pool = Pool::new(2);
+        let mut out = vec![0usize; 4];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || {
+                    assert!(in_worker());
+                    // A nested region from inside a worker task must run
+                    // inline (and therefore observe ascending order).
+                    let mut inner = vec![0usize; 3];
+                    global().scope(|ns| {
+                        for (j, islot) in inner.iter_mut().enumerate() {
+                            ns.spawn(move || *islot = j + 1);
+                        }
+                    });
+                    assert_eq!(inner, vec![1, 2, 3]);
+                    *slot = i + 10;
+                });
+            }
+        });
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn resolve_workers_unifies_the_cap_policy() {
+        let cores = host_cores();
+        // 0 = auto: host cores, capped by the item count.
+        assert_eq!(resolve_workers(0, 1), 1);
+        assert_eq!(resolve_workers(0, usize::MAX), cores);
+        // Explicit requests are capped at the host's core count too —
+        // oversubscription is never honored.
+        assert!(resolve_workers(64, usize::MAX) <= cores);
+        assert_eq!(resolve_workers(1, usize::MAX), 1);
+        // Degenerate cap still yields a worker.
+        assert_eq!(resolve_workers(0, 0), 1);
+        assert_eq!(resolve_workers(7, 0), 1);
+    }
+
+    #[test]
+    fn fixed_assignment_is_a_pure_function_of_spawn_index() {
+        // Record which worker thread ran each task; re-running the same
+        // spawn sequence must reproduce the same assignment.
+        let pool = Pool::new(3);
+        let run = |pool: &Pool| -> Vec<String> {
+            let mut names = vec![String::new(); 9];
+            pool.scope(|s| {
+                for slot in names.iter_mut() {
+                    s.spawn(move || {
+                        *slot = thread::current().name().unwrap_or("?").to_string();
+                    });
+                }
+            });
+            names
+        };
+        let first = run(&pool);
+        for (i, name) in first.iter().enumerate() {
+            assert_eq!(name, &format!("nfv-pool-{}", i % 3), "task {i} on a fixed worker");
+        }
+        assert_eq!(first, run(&pool), "assignment is reproducible");
+    }
+}

@@ -35,18 +35,92 @@
 //!
 //! Pack buffers are thread-local and grow-only, so steady-state training
 //! does not allocate in here.
+//!
+//! ## Row-panel parallelism
+//!
+//! Large products additionally fan out over **row blocks** through the
+//! persistent [`nfv_pool`] worker pool: the rhs is packed *once* on the
+//! calling thread, the immutable packed panels are shared by every
+//! worker, and each worker computes a disjoint, MR-aligned block of
+//! output rows. Because every output element is produced by the exact
+//! same per-element arithmetic regardless of which block it lands in
+//! (the micro-kernels are row-independent — accumulators never cross
+//! rows), the parallel result is **bit-identical to the serial kernel
+//! for any worker count**, in both the default and the `fast-gemm`
+//! backend. Row blocks are carved in ascending row order and written
+//! panel-ordered within each block, so there is nothing to reduce and
+//! nothing timing-dependent to observe.
+//!
+//! The worker count is the same `--threads` knob as everywhere else:
+//! [`set_threads`] is called by the pipeline/CLI/bench entry points with
+//! their configured thread count (`0` = auto, resolved by
+//! `nfv_pool::resolve_workers`). Products below [`PAR_MIN_MKN`] and
+//! regions already running *on* a pool worker (e.g. a GEMM inside a
+//! gradient-shard task) stay serial — the outer region owns the cores.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Panel width (columns per packed panel / SIMD lanes per accumulator).
 pub const NR: usize = 8;
 /// Output rows processed together by the micro-kernel.
 pub const MR: usize = 4;
 
+/// Minimum product volume (`m · k · n` multiplies) for the row-panel
+/// parallel path. Below this the whole product takes ~tens of
+/// microseconds serially — the same order as a pool dispatch — so the
+/// fan-out cannot win (measured by `nfv-bench --bin pool_overhead`).
+pub const PAR_MIN_MKN: usize = 32 * 1024;
+
 thread_local! {
     /// Reusable packing arenas: `[0]` holds the packed rhs panels, `[1]`
     /// the transpose-packed lhs used by the `tn` form.
     static PACK: RefCell<[Vec<f32>; 2]> = const { RefCell::new([Vec::new(), Vec::new()]) };
+
+    /// Per-thread override of the process-wide worker count, used by
+    /// [`with_threads`] (tests and scoped experiments).
+    static THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Process-wide GEMM worker request. `1` (the default) keeps every
+/// product serial; `0` means auto (one worker per host core). This is
+/// set from the same `--threads` configuration that drives the trainer
+/// and the scoring fan-out — there is deliberately no second knob.
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide GEMM worker request (`0` = auto, `1` = serial,
+/// `n` = up to `n` workers, capped at the host's core count by the pool
+/// resolver). Any value produces bit-identical results; this is purely a
+/// scheduling knob, so entry points (pipeline, CLI, benches) call it
+/// with their `--threads` setting once at startup.
+pub fn set_threads(threads: usize) {
+    // Same cap policy as every other parallel region: oversubscribing
+    // the host only adds dispatch overhead (outputs are identical
+    // either way), so resolve the request through the pool's policy.
+    // The `with_threads` override stays raw so tests can force
+    // multi-panel partitions on any machine.
+    THREADS.store(nfv_pool::resolve_workers(threads, usize::MAX), Ordering::Relaxed);
+}
+
+/// The currently effective worker request for this thread: the
+/// [`with_threads`] override when inside one, else the process-wide
+/// [`set_threads`] value.
+pub fn configured_threads() -> usize {
+    THREADS_OVERRIDE.with(|t| t.get()).unwrap_or_else(|| THREADS.load(Ordering::Relaxed))
+}
+
+/// Runs `f` with the calling thread's GEMM worker request overridden to
+/// `threads`, restoring the previous value afterwards (also on panic).
+/// Tests use this to compare worker counts without racing the global.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS_OVERRIDE.with(|t| t.set(self.0));
+        }
+    }
+    let _restore = Restore(THREADS_OVERRIDE.with(|t| t.replace(Some(threads))));
+    f()
 }
 
 /// True when the compiled default backend is bit-identical to the
@@ -202,10 +276,46 @@ fn pack_rhs_transposed(k: usize, j: usize, b: &[f32], out: &mut Vec<f32>) {
 // Kernel dispatch.
 // ---------------------------------------------------------------------
 
-/// Runs the packed kernel over every full panel, then the zero-padded
-/// tail panel (last `n % NR` columns) with per-lane scalar stores.
-/// `a` is `m x k` row-major.
+/// Number of row blocks the parallel path would use for an `m x k · k x n`
+/// product under the current worker request: 1 when the product is too
+/// small ([`PAR_MIN_MKN`]) or serial was requested, otherwise the request
+/// (auto = host cores) capped by the number of MR-row panels.
+fn row_blocks(requested: usize, m: usize, k: usize, n: usize) -> usize {
+    if requested == 1 || m.saturating_mul(k).saturating_mul(n) < PAR_MIN_MKN {
+        return 1;
+    }
+    let req = if requested == 0 { nfv_pool::host_cores() } else { requested };
+    req.min(m.div_ceil(MR)).max(1)
+}
+
+/// Runs the packed kernel over the whole output, fanning MR-aligned row
+/// blocks out across the persistent pool when the product is large
+/// enough. Every worker reads the same packed panels and writes its own
+/// disjoint row range with the identical per-element arithmetic, so this
+/// is bit-identical to [`kernel_rows`] on one thread (see module docs).
 fn kernel_dispatch(m: usize, k: usize, n: usize, a: &[f32], packed: &[f32], c: &mut [f32]) {
+    let blocks = row_blocks(configured_threads(), m, k, n);
+    // Nested regions (a GEMM inside a pool task) stay serial: the outer
+    // fan-out already owns the workers, and the pool would run the
+    // spawned tasks inline anyway.
+    if blocks <= 1 || nfv_pool::in_worker() {
+        kernel_rows(m, k, n, a, packed, c);
+        return;
+    }
+    // MR-aligned block height so only the last block has remainder rows;
+    // a.chunks and c.chunks_mut carve the same ascending row ranges.
+    let rows = m.div_ceil(blocks).next_multiple_of(MR);
+    nfv_pool::global().scope(|s| {
+        for (ab, cb) in a.chunks(rows * k).zip(c.chunks_mut(rows * n)) {
+            s.spawn(move || kernel_rows(cb.len() / n, k, n, ab, packed, cb));
+        }
+    });
+}
+
+/// Runs the packed kernel over every full panel of a row range, then the
+/// zero-padded tail panel (last `n % NR` columns) with per-lane scalar
+/// stores. `a` is `m x k` row-major.
+fn kernel_rows(m: usize, k: usize, n: usize, a: &[f32], packed: &[f32], c: &mut [f32]) {
     let (np, tail) = panels_of(n);
     #[cfg(target_arch = "x86_64")]
     {

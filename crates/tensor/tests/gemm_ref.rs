@@ -457,6 +457,112 @@ fn infinity_behind_zero_lhs_propagates_as_nan() {
 }
 
 // ---------------------------------------------------------------------
+// 4. Row-panel-parallel path: bitwise equal to the serial kernel at
+//    every worker count, in BOTH backends (the micro-kernels are
+//    row-independent, so a row's bits never depend on which block —
+//    or which worker — produced it). `gemm::with_threads` scopes the
+//    worker request to this thread, so the sweep cannot race other
+//    tests.
+// ---------------------------------------------------------------------
+
+fn assert_bitwise(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{}: shape mismatch", what);
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice().iter()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{}: element {} differs bitwise: got {}, want {}",
+            what,
+            i,
+            g,
+            w
+        );
+    }
+}
+
+/// Runs all three product forms (plus a dirty-accumulator case) at one
+/// worker count and compares bitwise against the serial results.
+fn check_parallel_matches_serial(a: &Matrix, b: &Matrix, init: &Matrix, workers: usize) {
+    let (serial_nn, serial_tn, serial_nt, serial_acc) = nfv_tensor::gemm::with_threads(1, || {
+        let mut acc = init.clone();
+        a.matmul_acc(b, &mut acc);
+        (a.matmul(b), a.transpose().matmul_tn(b), a.matmul_nt(&b.transpose()), acc)
+    });
+    nfv_tensor::gemm::with_threads(workers, || {
+        let what = format!("nn @ {workers} workers");
+        assert_bitwise(&a.matmul(b), &serial_nn, &what);
+        let what = format!("tn @ {workers} workers");
+        assert_bitwise(&a.transpose().matmul_tn(b), &serial_tn, &what);
+        let what = format!("nt @ {workers} workers");
+        assert_bitwise(&a.matmul_nt(&b.transpose()), &serial_nt, &what);
+        let mut acc = init.clone();
+        a.matmul_acc(b, &mut acc);
+        let what = format!("nn acc @ {workers} workers");
+        assert_bitwise(&acc, &serial_acc, &what);
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random shapes spanning empty matrices, sub-threshold products
+    /// (which stay serial) and products wide/tall enough to split into
+    /// several MR-row blocks with remainder rows and column tails.
+    #[test]
+    fn parallel_path_is_bitwise_serial_on_random_shapes(
+        dims in (0usize..=70, 0usize..=24, 0usize..=33),
+        salt in 0usize..1000,
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |r, c| grid(((r * 3 + c * 5 + salt) % 15) as i32 - 7));
+        let b = Matrix::from_fn(k, n, |r, c| grid(((r * 2 + c * 7 + salt) % 15) as i32 - 7));
+        let init = Matrix::from_fn(m, n, |r, c| grid(((r + 2 * c + salt) % 15) as i32 - 7));
+        for workers in [1, 2, 4, 8] {
+            check_parallel_matches_serial(&a, &b, &init, workers);
+        }
+    }
+}
+
+#[test]
+fn parallel_path_is_bitwise_serial_on_forced_split_shapes() {
+    // Shapes chosen to exceed PAR_MIN_MKN so the fan-out genuinely
+    // engages: a square block, a tall-skinny product whose row count is
+    // not a multiple of MR (remainder rows land in the last block), and
+    // a wide product with a column tail (n % NR != 0).
+    for &(m, k, n) in &[(64, 64, 64), (131, 40, 24), (48, 21, 77), (257, 16, 16)] {
+        assert!(
+            m * k * n >= nfv_tensor::gemm::PAR_MIN_MKN,
+            "fixture ({m},{k},{n}) too small to engage the parallel path"
+        );
+        let a = dense_fixture(m, k, 0.61);
+        let b = dense_fixture(k, n, 0.43);
+        let init = dense_fixture(m, n, 0.29);
+        for workers in 1..=8 {
+            check_parallel_matches_serial(&a, &b, &init, workers);
+        }
+        // 0 = auto (host cores) must match too.
+        check_parallel_matches_serial(&a, &b, &init, 0);
+    }
+}
+
+#[test]
+fn parallel_path_keeps_the_fast_gemm_tolerance_contract() {
+    // Whatever backend is compiled in, the *parallel* result equals the
+    // *serial* result of that backend bitwise — so the backend's own
+    // contract vs the naive loop (bit-exact by default, documented
+    // tolerance under fast-gemm) carries over to every worker count.
+    let (m, k, n) = (96, 33, 40);
+    let a = dense_fixture(m, k, 0.37);
+    let b = dense_fixture(k, n, 0.59);
+    let mut want = Matrix::zeros(m, n);
+    naive_nn_acc(&a, &b, &mut want);
+    for workers in [2, 4, 8] {
+        let got = nfv_tensor::gemm::with_threads(workers, || a.matmul(&b));
+        assert_matrix_exact(&got, &want, "parallel vs naive");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Empty-shape edge cases (explicit, beyond the proptest coverage).
 // ---------------------------------------------------------------------
 

@@ -273,6 +273,9 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let epochs: usize = flag(flags, "epochs").unwrap_or("3").parse().map_err(|_| "bad --epochs")?;
     let threads: usize =
         flag(flags, "threads").unwrap_or("0").parse().map_err(|_| "bad --threads")?;
+    // One knob: --threads also drives the GEMM row-panel fan-out
+    // (bit-identical to serial at every worker count).
+    nfvpredict::tensor::gemm::set_threads(threads);
     let train_end = month_start(months);
 
     // Load every *.log file.
