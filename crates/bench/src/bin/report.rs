@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p nfv-bench --bin report -- \
 //!     [--dir results] [--out results/REPORT.json] \
-//!     [--baseline results/BASELINE.json] [--max-regress 0.5]
+//!     [--baseline results/BASELINE.json] [--max-regress 0.5] \
+//!     [--repeats 1] [--noise-floor 0.0]
 //! ```
 //!
 //! The report maps each benchmark's name (the `BENCH_<name>.json` stem)
@@ -32,6 +33,14 @@
 //!   benchmark's recorded config is identical in both reports (a
 //!   `--fast` run is incomparable to a full run); mismatches are
 //!   reported as skips, never failures.
+//!
+//! The gate is also *variance-aware*: with `--repeats N` the
+//! calibration workload is measured N times and the relative spread
+//! across repeats (a direct read of how noisy this runner is right now)
+//! is added to `--max-regress`, so a jittery machine widens its own
+//! tolerance instead of flaking. `--noise-floor F` sets a lower bound
+//! on that measured noise for runners known to misbehave in ways a
+//! short calibration cannot see.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -74,6 +83,8 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut max_regress = 0.5f64;
+    let mut repeats = 1usize;
+    let mut noise_floor = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -95,6 +106,20 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|&f: &f64| f > 0.0)
                     .unwrap_or_else(|| usage("--max-regress needs a positive fraction"))
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage("--repeats needs a positive integer"))
+            }
+            "--noise-floor" => {
+                noise_floor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f >= 0.0)
+                    .unwrap_or_else(|| usage("--noise-floor needs a non-negative fraction"))
             }
             other => usage(&format!("unknown flag {:?}", other)),
         }
@@ -136,18 +161,28 @@ fn main() {
         std::process::exit(1);
     }
 
-    let cal_ms = calibrate_ms();
+    // Best-of-repeats is the machine yardstick; the spread across
+    // repeats is the measured noise the gate widens its tolerance by.
+    let cals: Vec<f64> = (0..repeats).map(|_| calibrate_ms()).collect();
+    let cal_ms = cals.iter().copied().fold(f64::MAX, f64::min);
+    let cal_max = cals.iter().copied().fold(0.0f64, f64::max);
+    let measured_noise = if cal_ms > 0.0 { (cal_max - cal_ms) / cal_ms } else { 0.0 };
+    let noise = measured_noise.max(noise_floor);
     let names: Vec<&String> = benches.keys().collect();
     println!(
-        "aggregated {} benchmarks: {} (calibration {:.2} ms)",
+        "aggregated {} benchmarks: {} (calibration {:.2} ms over {} repeat(s), noise {:.1}%)",
         names.len(),
         names.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", "),
-        cal_ms
+        cal_ms,
+        repeats,
+        noise * 100.0
     );
     let report = serde_json::json!({
         "format": "nfv-bench-report",
         "version": 2,
         "calibration_gemm_ms": cal_ms,
+        "calibration_repeats": repeats,
+        "calibration_noise": measured_noise,
         "benchmarks": Value::Object(benches),
         "skipped": skipped,
     });
@@ -166,7 +201,7 @@ fn main() {
                 eprintln!("error: cannot parse baseline {}", base_path.display());
                 std::process::exit(2);
             });
-        if !gate(&report, &base, max_regress) {
+        if !gate(&report, &base, max_regress, noise) {
             std::process::exit(1);
         }
     }
@@ -224,8 +259,9 @@ fn config_of(name: &str, payload: &Value) -> Value {
 }
 
 /// Diffs `report` against `base` over the metric table. Returns false
-/// when any comparable metric regresses by more than `max_regress`.
-fn gate(report: &Value, base: &Value, max_regress: f64) -> bool {
+/// when any comparable metric regresses by more than `max_regress`
+/// plus the runner's measured (or floored) calibration `noise`.
+fn gate(report: &Value, base: &Value, max_regress: f64, noise: f64) -> bool {
     let cur_cal = report.get("calibration_gemm_ms").and_then(Value::as_f64);
     let base_cal = base.get("calibration_gemm_ms").and_then(Value::as_f64);
     // Scale > 1 means this machine is slower than the baseline's.
@@ -236,10 +272,13 @@ fn gate(report: &Value, base: &Value, max_regress: f64) -> bool {
             1.0
         }
     };
+    let threshold = max_regress + noise;
     println!(
-        "gate: machine scale {:.2}x vs baseline, max regress {:.0}%",
+        "gate: machine scale {:.2}x vs baseline, max regress {:.0}% + noise {:.1}% = {:.1}%",
         scale,
-        max_regress * 100.0
+        max_regress * 100.0,
+        noise * 100.0,
+        threshold * 100.0
     );
 
     let (cur_b, base_b) = match (report.get("benchmarks"), base.get("benchmarks")) {
@@ -278,7 +317,7 @@ fn gate(report: &Value, base: &Value, max_regress: f64) -> bool {
             Kind::Resource => (base_v, cur / base_v - 1.0),
         };
         compared += 1;
-        let verdict = if regress > max_regress { "FAIL" } else { "ok" };
+        let verdict = if regress > threshold { "FAIL" } else { "ok" };
         println!(
             "gate: {:>4} {}.{} = {:.3} vs expected {:.3} ({:+.1}%)",
             verdict,
@@ -288,7 +327,7 @@ fn gate(report: &Value, base: &Value, max_regress: f64) -> bool {
             expected,
             regress * 100.0
         );
-        if regress > max_regress {
+        if regress > threshold {
             failed = true;
         }
     }
@@ -303,6 +342,9 @@ fn gate(report: &Value, base: &Value, max_regress: f64) -> bool {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {}", msg);
-    eprintln!("usage: report [--dir DIR] [--out PATH] [--baseline PATH] [--max-regress FRACTION]");
+    eprintln!(
+        "usage: report [--dir DIR] [--out PATH] [--baseline PATH] [--max-regress FRACTION] \
+         [--repeats N] [--noise-floor FRACTION]"
+    );
     std::process::exit(2)
 }

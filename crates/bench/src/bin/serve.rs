@@ -122,7 +122,7 @@ fn main() {
     let t0 = Instant::now();
     for batch in &batches {
         for line in batch {
-            core.offer(0, line);
+            core.offer(0, line).expect("feed 0 exists and its port is held");
         }
         core.sweep();
     }

@@ -13,7 +13,7 @@ use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
 use crate::mapping::MappingConfig;
 use crate::online::OnlineMonitor;
 use nfv_nn::checkpoint::{
-    atomic_write, load_with_retry, open_envelope, seal_envelope, Checkpoint, CheckpointError,
+    atomic_write_tagged, load_with_retry, open_envelope, seal_envelope, Checkpoint, CheckpointError,
 };
 use serde_json::{json, Value};
 use std::io;
@@ -192,12 +192,13 @@ impl ModelBundle {
     /// monitoring host hot-reloading this path can never observe a torn
     /// or rolled-back bundle after a crash).
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        atomic_write(path, &seal_envelope(BUNDLE_FORMAT, self.to_value()))
+        atomic_write_tagged(path, &seal_envelope(BUNDLE_FORMAT, self.to_value()), "bundle.save")
     }
 
     /// Loads a bundle written by [`ModelBundle::save`], verifying the
     /// envelope checksum and the embedded checkpoint's shapes.
     pub fn load(path: &Path) -> Result<ModelBundle, CheckpointError> {
+        nfv_fail::io_check("bundle.load")?;
         ModelBundle::from_envelope_str(&std::fs::read_to_string(path)?)
     }
 
@@ -207,7 +208,12 @@ impl ModelBundle {
         attempts: u32,
         initial_backoff: Duration,
     ) -> Result<ModelBundle, CheckpointError> {
-        load_with_retry(path, attempts, initial_backoff, ModelBundle::from_envelope_str)
+        load_with_retry(path, attempts, initial_backoff, |text| {
+            // The failpoint sits inside the retry loop so an `err(n)`
+            // policy exercises the backoff path before healing.
+            nfv_fail::io_check("bundle.load")?;
+            ModelBundle::from_envelope_str(text)
+        })
     }
 }
 

@@ -80,7 +80,10 @@ pub use pipeline::{
     run_pipeline, CheckpointConfig, CrashPoint, DetectorKind, PipelineConfig, PipelineError,
     PipelineEvent, PipelineRun,
 };
-pub use serve::{LatencyHistogram, ServeConfig, ServeCore, ServeEvent, ServeState, ServeStats};
+pub use serve::{
+    FeedServeStats, LatencyHistogram, ServeConfig, ServeCore, ServeError, ServeEvent, ServeState,
+    ServeStats,
+};
 pub use supervisor::{
     FeedHealth, FeedObserver, FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig,
 };

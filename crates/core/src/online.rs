@@ -15,8 +15,13 @@
 use crate::codec::LogCodec;
 use crate::lstm_detector::LstmDetector;
 use crate::mapping::MappingConfig;
+use crate::state::{
+    array_field, bool_field, f32_from_bits, require, str_field, u64_field, usize_field,
+};
+use nfv_nn::checkpoint::CheckpointError;
 use nfv_syslog::stream::{gap_feature, WindowSet};
 use nfv_syslog::{LogRecord, SyslogMessage};
+use serde_json::{json, Value};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -260,6 +265,79 @@ impl OnlineMonitor {
         }
     }
 
+    /// Serializes the monitor's mutable streaming state: trailing
+    /// context, open cluster, stride position, and counters. The
+    /// immutable model (codec, detector, threshold, mapping) is *not*
+    /// included — a warm restart rebuilds the monitor from the same
+    /// bundle and then calls [`OnlineMonitor::load_state`], after which
+    /// scoring continues bit-identically.
+    pub fn state_value(&self) -> Value {
+        json!({
+            "recent": self
+                .recent
+                .iter()
+                .map(|r| json!([r.time, r.template]))
+                .collect::<Vec<Value>>(),
+            "open": match &self.open {
+                Some((start, last, count, peak, peak_text)) => json!({
+                    "start": start,
+                    "last": last,
+                    "count": count,
+                    "peak_bits": peak.to_bits(),
+                    "peak_text": peak_text,
+                }),
+                None => Value::Null,
+            },
+            "reported": self.reported,
+            "last_time": self.last_time,
+            "stride": self.stride,
+            "stride_phase": self.stride_phase,
+            "messages_seen": self.messages_seen,
+            "anomalies_seen": self.anomalies_seen,
+            "windows_scored": self.windows_scored,
+            "windows_stride_skipped": self.windows_stride_skipped,
+        })
+    }
+
+    /// Restores [`OnlineMonitor::state_value`] output into a monitor
+    /// rebuilt over the same model.
+    pub fn load_state(&mut self, v: &Value) -> Result<(), CheckpointError> {
+        let mut recent = VecDeque::new();
+        for r in array_field(v, "recent")? {
+            let pair = r
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| CheckpointError::Invalid("recent entry is not a pair".into()))?;
+            let num = |x: &Value| {
+                x.as_u64().ok_or_else(|| CheckpointError::MissingField("recent".into()))
+            };
+            recent.push_back(LogRecord { time: num(&pair[0])?, template: num(&pair[1])? as usize });
+        }
+        let open = require(v, "open")?;
+        let open = if open.is_null() {
+            None
+        } else {
+            Some((
+                u64_field(open, "start")?,
+                u64_field(open, "last")?,
+                usize_field(open, "count")?,
+                f32_from_bits(require(open, "peak_bits")?, "peak_bits")?,
+                str_field(open, "peak_text")?.to_string(),
+            ))
+        };
+        self.recent = recent;
+        self.open = open;
+        self.reported = bool_field(v, "reported")?;
+        self.last_time = u64_field(v, "last_time")?;
+        self.stride = usize_field(v, "stride")?.max(1);
+        self.stride_phase = u64_field(v, "stride_phase")?;
+        self.messages_seen = u64_field(v, "messages_seen")?;
+        self.anomalies_seen = u64_field(v, "anomalies_seen")?;
+        self.windows_scored = u64_field(v, "windows_scored")?;
+        self.windows_stride_skipped = u64_field(v, "windows_stride_skipped")?;
+        Ok(())
+    }
+
     /// Extends or opens the anomaly cluster with one above-threshold
     /// event, returning a [`Warning`] the moment the cluster first
     /// reaches `min_cluster`.
@@ -445,6 +523,39 @@ mod tests {
         monitor.observe_batch(&normal_messages(50, 100_000, 60), &mut warnings);
         assert_eq!(eligible + 50, monitor.windows_scored() + monitor.windows_stride_skipped());
         assert_eq!(monitor.windows_stride_skipped(), 150);
+    }
+
+    /// Splitting a stream at an arbitrary point, snapshotting, and
+    /// resuming on a freshly built monitor must be indistinguishable
+    /// from one uninterrupted run — including mid-cluster state.
+    #[test]
+    fn state_roundtrip_resumes_bit_identically() {
+        let mut traffic = normal_messages(120, 0, 60);
+        for j in 0..4u64 {
+            traffic.push(msg(120 * 60 + j * 10, "chassis alarm unknown fault storm detected now"));
+        }
+        traffic.extend(normal_messages(60, 121 * 60, 60));
+
+        let mut full = trained_monitor();
+        let mut full_warnings = Vec::new();
+        full.observe_batch(&traffic, &mut full_warnings);
+
+        // Split right inside the anomaly burst so the open cluster is
+        // part of the snapshotted state.
+        let (head, tail) = traffic.split_at(122);
+        let mut first = trained_monitor();
+        let mut warnings = Vec::new();
+        first.observe_batch(head, &mut warnings);
+        let text = first.state_value().to_string();
+        let mut resumed = trained_monitor();
+        resumed.load_state(&serde_json::from_str(&text).unwrap()).unwrap();
+        resumed.observe_batch(tail, &mut warnings);
+
+        assert_eq!(warnings, full_warnings);
+        assert_eq!(resumed.messages_seen(), full.messages_seen());
+        assert_eq!(resumed.anomalies_seen(), full.anomalies_seen());
+        assert_eq!(resumed.windows_scored(), full.windows_scored());
+        assert_eq!(resumed.windows_stride_skipped(), full.windows_stride_skipped());
     }
 
     #[test]

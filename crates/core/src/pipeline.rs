@@ -155,11 +155,24 @@ pub struct CheckpointConfig {
     pub resume: bool,
     /// Deterministic crash injection for the recovery test harness.
     pub crash: Option<CrashPoint>,
+    /// Save attempts per boundary before the checkpoint is skipped
+    /// (warn-and-continue). Values below 1 behave as 1.
+    pub retry_attempts: u32,
+    /// Backoff before the first retry, doubling per attempt.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for CheckpointConfig {
     fn default() -> Self {
-        CheckpointConfig { dir: None, every: 1, keep: 3, resume: false, crash: None }
+        CheckpointConfig {
+            dir: None,
+            every: 1,
+            keep: 3,
+            resume: false,
+            crash: None,
+            retry_attempts: 3,
+            retry_backoff_ms: 10,
+        }
     }
 }
 
@@ -298,6 +311,17 @@ pub enum PipelineEvent {
         month: usize,
         /// Group whose calibration was empty.
         group: usize,
+    },
+    /// A month boundary's checkpoint save failed every retry attempt
+    /// and was skipped: the run continued, but a crash before the next
+    /// successful save resumes from an older generation (replaying the
+    /// months in between). The retry ledger for a run is the set of
+    /// these events in [`PipelineRun::events`].
+    CheckpointSkipped {
+        /// Month whose boundary checkpoint was skipped.
+        month: usize,
+        /// Save attempts made (the configured retry budget).
+        attempts: u32,
     },
 }
 
@@ -820,10 +844,16 @@ fn run_month(
 /// the boundary is on the `every` cadence — or unconditionally when an
 /// injected crash fires here, so the recovery test observes the exact
 /// state a real crash at this point would leave.
+///
+/// A failed save is retried with doubling backoff up to
+/// [`CheckpointConfig::retry_attempts`]; past the budget the checkpoint
+/// is *skipped* — a warning plus a [`PipelineEvent::CheckpointSkipped`]
+/// entry — rather than aborting a multi-month run over one bad write.
+/// The newest intact generation on disk stays the resume point.
 fn checkpoint_boundary(
     cfg: &PipelineConfig,
     fp: u64,
-    state: &PipelineState,
+    state: &mut PipelineState,
     m: usize,
 ) -> Result<(), PipelineError> {
     let ck = &cfg.checkpoint;
@@ -836,7 +866,28 @@ fn checkpoint_boundary(
         }
         if m.is_multiple_of(ck.every.max(1)) || crash_after {
             let keep = if ck.keep == 0 { CheckpointConfig::default().keep } else { ck.keep };
-            pipeline_ckpt::save(dir, fp, state, m, keep)?;
+            let attempts = ck.retry_attempts.max(1);
+            let mut backoff = std::time::Duration::from_millis(ck.retry_backoff_ms);
+            let mut outcome = Ok(());
+            for attempt in 0..attempts {
+                if attempt > 0 {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                outcome = pipeline_ckpt::save(dir, fp, state, m, keep);
+                if outcome.is_ok() {
+                    break;
+                }
+            }
+            if let Err(e) = outcome {
+                eprintln!(
+                    "pipeline: warning: checkpoint at month {} failed after {} attempt(s) \
+                     ({}); continuing without it — the newest intact generation remains \
+                     the resume point",
+                    m, attempts, e
+                );
+                state.events.push(PipelineEvent::CheckpointSkipped { month: m, attempts });
+            }
         }
     }
     if crash_after {
@@ -914,8 +965,8 @@ pub fn run_pipeline(
     let mut state = match resumed {
         Some(state) => state,
         None => {
-            let state = init_state(trace, cfg, threads);
-            checkpoint_boundary(cfg, fp, &state, 0)?;
+            let mut state = init_state(trace, cfg, threads);
+            checkpoint_boundary(cfg, fp, &mut state, 0)?;
             state
         }
     };
@@ -923,7 +974,7 @@ pub fn run_pipeline(
     for m in state.next_month..n_months {
         run_month(trace, cfg, threads, &mut state, m);
         state.next_month = m + 1;
-        checkpoint_boundary(cfg, fp, &state, m)?;
+        checkpoint_boundary(cfg, fp, &mut state, m)?;
     }
     Ok(finish(trace, cfg, state))
 }

@@ -55,7 +55,7 @@ use crate::pipeline::{
     self, MonthRollup, MonthScores, PipelineConfig, PipelineError, PipelineEvent, PipelineState,
 };
 use crate::state;
-use nfv_nn::checkpoint::{atomic_write, open_envelope, seal_envelope, CheckpointError};
+use nfv_nn::checkpoint::{atomic_write_tagged, open_envelope, seal_envelope, CheckpointError};
 use nfv_simnet::FleetTrace;
 use nfv_syslog::time::month_start;
 use serde_json::{json, Value};
@@ -107,6 +107,11 @@ fn events_value(events: &[PipelineEvent]) -> Value {
                     "month": *month,
                     "group": *group,
                 }),
+                PipelineEvent::CheckpointSkipped { month, attempts } => json!({
+                    "kind": "checkpoint_skipped",
+                    "month": *month,
+                    "attempts": *attempts,
+                }),
             })
             .collect(),
     )
@@ -124,6 +129,10 @@ fn events_from_value(v: &Value) -> Result<Vec<PipelineEvent>, CheckpointError> {
                 "empty_calibration" => Ok(PipelineEvent::EmptyCalibration {
                     month: usize_field(e, "month")?,
                     group: usize_field(e, "group")?,
+                }),
+                "checkpoint_skipped" => Ok(PipelineEvent::CheckpointSkipped {
+                    month: usize_field(e, "month")?,
+                    attempts: usize_field(e, "attempts")? as u32,
                 }),
                 other => Err(CheckpointError::Invalid(format!("unknown event kind '{}'", other))),
             }
@@ -434,13 +443,17 @@ pub(crate) fn save(
     month: usize,
     keep: usize,
 ) -> Result<(), PipelineError> {
+    nfv_fail::io_check("ckpt.save").map_err(CheckpointError::Io)?;
     fs::create_dir_all(dir).map_err(CheckpointError::Io)?;
     let text = seal_envelope(PIPELINE_CKPT_FORMAT, capture(state, fp, month));
     // atomic_write fsyncs the temp file before the rename and the
     // directory after it, so a crash mid-save leaves either the previous
     // generation or a complete, durable new one — resume never sees a
-    // torn checkpoint.
-    atomic_write(&generation_path(dir, month), &text).map_err(CheckpointError::Io)?;
+    // torn checkpoint (unless a `ckpt.save.write=torn(..)` failpoint
+    // deliberately lies about the write, which the next resume detects
+    // by checksum and falls back a generation).
+    atomic_write_tagged(&generation_path(dir, month), &text, "ckpt.save")
+        .map_err(CheckpointError::Io)?;
     let gens = list_generations(dir);
     if gens.len() > keep {
         for &g in &gens[..gens.len() - keep] {
@@ -484,7 +497,8 @@ pub(crate) fn try_resume(
     gens.reverse();
     for g in gens {
         let path = generation_path(dir, g);
-        let loaded = fs::read_to_string(&path)
+        let loaded = nfv_fail::io_check("ckpt.load")
+            .and_then(|()| fs::read_to_string(&path))
             .map_err(CheckpointError::Io)
             .and_then(|text| open_envelope(PIPELINE_CKPT_FORMAT, &text))
             .and_then(|payload| parse(&payload));

@@ -40,8 +40,13 @@
 
 use crate::online::OnlineMonitor;
 use crate::spsc::{self, Consumer, Producer};
+use crate::state::{require, str_field, u32_field, u64_field, u64s_from_value, usize_field};
 use crate::supervisor::{FeedObserver, FleetEvent, FleetMonitor};
+use nfv_nn::checkpoint::{atomic_write_tagged, open_envelope, seal_envelope, CheckpointError};
+use serde_json::{json, Value};
 use std::collections::VecDeque;
+use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -96,6 +101,53 @@ pub enum ServeState {
     /// Backlog forced wide-stride scoring (or the watchdog tripped).
     Degraded,
 }
+
+/// Typed failures of the serving runtime's control surface. These were
+/// once `expect` panics; a long-lived server must surface them to the
+/// caller instead, which can degrade or retry rather than die.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// [`ServeCore::take_port`] was called twice for the same feed.
+    PortTaken {
+        /// The feed whose port was already moved out.
+        feed: usize,
+    },
+    /// A step-mode [`ServeCore::offer`] addressed a feed whose port was
+    /// moved to a producer thread.
+    PortMoved {
+        /// The feed whose port is owned by a producer thread.
+        feed: usize,
+    },
+    /// The feed index is out of range.
+    NoSuchFeed {
+        /// The requested feed index.
+        feed: usize,
+        /// Number of feeds the runtime was built with.
+        feeds: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::PortTaken { feed } => {
+                write!(f, "feed {} port already taken by a producer thread", feed)
+            }
+            ServeError::PortMoved { feed } => {
+                write!(
+                    f,
+                    "feed {} port moved to a producer thread; step-mode offer unavailable",
+                    feed
+                )
+            }
+            ServeError::NoSuchFeed { feed, feeds } => {
+                write!(f, "no such feed {} (runtime has {} feeds)", feed, feeds)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Happenings recorded in the bounded event log.
 #[derive(Debug, Clone, PartialEq)]
@@ -401,16 +453,39 @@ impl<O: FeedObserver> ServeCore<O> {
         self.recent_events.iter()
     }
 
-    /// Moves a feed's ingest port out for a producer thread. Panics if
-    /// taken twice.
-    pub fn take_port(&mut self, feed: usize) -> FeedPort {
-        self.ports[feed].take().expect("feed port already taken")
+    /// Moves a feed's ingest port out for a producer thread. Taking a
+    /// port twice (or an out-of-range feed) is a typed error, not a
+    /// panic.
+    pub fn take_port(&mut self, feed: usize) -> Result<FeedPort, ServeError> {
+        let feeds = self.ports.len();
+        let slot = self.ports.get_mut(feed).ok_or(ServeError::NoSuchFeed { feed, feeds })?;
+        slot.take().ok_or(ServeError::PortTaken { feed })
     }
 
     /// Step-mode ingest: offers one line on a port still held by the
-    /// core. Returns `false` when the line was dropped at ingress.
-    pub fn offer(&mut self, feed: usize, text: &str) -> bool {
-        self.ports[feed].as_mut().expect("feed port moved to a producer thread").offer(text)
+    /// core. `Ok(false)` means the ring was full and the line was
+    /// dropped (counted); `Err` means the port is gone or the feed
+    /// doesn't exist.
+    pub fn offer(&mut self, feed: usize, text: &str) -> Result<bool, ServeError> {
+        let feeds = self.ports.len();
+        let slot = self.ports.get_mut(feed).ok_or(ServeError::NoSuchFeed { feed, feeds })?;
+        let port = slot.as_mut().ok_or(ServeError::PortMoved { feed })?;
+        Ok(port.offer(text))
+    }
+
+    /// Poisons a feed from the outside — the containment path for a
+    /// producer thread that panicked during teardown. The feed's
+    /// monitor is dropped and its health marked
+    /// [`crate::supervisor::FeedState::Poisoned`]; the rest of the
+    /// fleet keeps serving. Returns the events raised (empty when the
+    /// feed was already poisoned).
+    pub fn poison_feed(&mut self, feed: usize, reason: &str) -> Vec<ServeEvent> {
+        let mut out = Vec::new();
+        if let Some(event) = self.fleet.poison(feed, reason) {
+            let tick = self.tick;
+            self.push_event(ServeEvent::Fleet { tick, event }, &mut out);
+        }
+        out
     }
 
     /// Spawns a watchdog thread enforcing `deadline` between scorer
@@ -465,6 +540,9 @@ impl<O: FeedObserver> ServeCore<O> {
     /// Returns the events generated by this sweep.
     pub fn sweep(&mut self) -> Vec<ServeEvent> {
         let mut out = Vec::new();
+        // A `delay` policy here stalls the scorer while the heartbeat
+        // stays stale — exactly the stall the watchdog exists to catch.
+        let _ = nfv_fail::point("serve.heartbeat");
         self.heartbeat.fetch_add(1, Ordering::Release);
 
         // Watchdog trip? Honour it before anything else.
@@ -628,6 +706,174 @@ impl<O: FeedObserver> ServeCore<O> {
     }
 }
 
+/// Envelope format tag of a serve snapshot file.
+pub const SERVE_SNAPSHOT_FORMAT: &str = "nfv-serve-snapshot";
+
+/// Layout version of the snapshot payload.
+pub const SERVE_SNAPSHOT_LAYOUT: u64 = 1;
+
+impl ServeCore<OnlineMonitor> {
+    /// Captures a checksummed warm-restart snapshot of the whole
+    /// runtime: per-feed counters and queued-but-unscored lines, the
+    /// degrade state machine, the latency histogram, the fleet's
+    /// per-feed runtime ledgers, and every live monitor's streaming
+    /// state. Restoring it into a freshly built core (same spec, same
+    /// bundle) and continuing in step mode is bit-identical to never
+    /// having stopped — apart from wall-clock latency samples and the
+    /// bounded recent-event log, which restarts empty.
+    ///
+    /// Step mode only: every feed's port must still be held by the
+    /// core (rings are drained and requeued in place to read them).
+    pub fn snapshot_value(&mut self, load_tick: u64) -> Result<Value, CheckpointError> {
+        let n = self.consumers.len();
+        for feed in 0..n {
+            if self.ports[feed].is_none() {
+                return Err(CheckpointError::Invalid(format!(
+                    "serve snapshot requires step mode: feed {} port was moved to a producer \
+                     thread",
+                    feed
+                )));
+            }
+        }
+        let mut feeds = Vec::with_capacity(n);
+        for feed in 0..n {
+            // Drain the ring to read the queued texts, then requeue the
+            // very same lines through the producer handle: counters are
+            // untouched and FIFO order is preserved, so the sweep that
+            // follows sees exactly the pre-snapshot ring.
+            let mut lines = Vec::new();
+            while let Some(l) = self.consumers[feed].pop() {
+                lines.push(l);
+            }
+            let mut queued = Vec::with_capacity(lines.len());
+            let port = self.ports[feed].as_mut().expect("checked above");
+            for l in lines {
+                queued.push(l.text.clone());
+                let _ = port.tx.push(l);
+            }
+            let c = &self.counters[feed];
+            let s = &self.shared[feed];
+            let monitor = self.fleet.observer(feed).map(|m| m.state_value()).unwrap_or(Value::Null);
+            feeds.push(json!({
+                "delivered": c.delivered,
+                "dropped_shed": c.dropped_shed,
+                "dropped_overflow": c.dropped_overflow,
+                "peak_occupancy": c.peak_occupancy,
+                "calm_sweeps": c.calm_sweeps,
+                "lines_in": s.lines_in.load(Ordering::Relaxed),
+                "overflow_pending": s.dropped_overflow.load(Ordering::Relaxed),
+                "queued": queued,
+                "monitor": monitor,
+            }));
+        }
+        Ok(json!({
+            "layout": SERVE_SNAPSHOT_LAYOUT,
+            "load_tick": load_tick,
+            "tick": self.tick,
+            "state": match self.state {
+                ServeState::Healthy => "healthy",
+                ServeState::Degraded => "degraded",
+            },
+            "calm_ticks": self.calm_ticks,
+            "degraded_episodes": self.degraded_episodes,
+            "watchdog_trips": self.watchdog_trips,
+            "warnings": self.warnings,
+            "latency": {
+                "buckets": self.latency.buckets.to_vec(),
+                "count": self.latency.count,
+                "max_ns": self.latency.max_ns,
+            },
+            "fleet": self.fleet.runtime_state_value(),
+            "feeds": feeds,
+        }))
+    }
+
+    /// Writes a snapshot atomically and durably (temp + fsync + rename;
+    /// failpoint tag `serve.snapshot`).
+    pub fn save_snapshot(&mut self, path: &Path, load_tick: u64) -> Result<(), CheckpointError> {
+        let text = seal_envelope(SERVE_SNAPSHOT_FORMAT, self.snapshot_value(load_tick)?);
+        atomic_write_tagged(path, &text, "serve.snapshot").map_err(CheckpointError::Io)
+    }
+
+    /// Restores a [`ServeCore::snapshot_value`] payload into a freshly
+    /// built core over the same bundle and spec, returning the
+    /// load-generator tick to resume from.
+    pub fn restore_snapshot(&mut self, payload: &Value) -> Result<u64, CheckpointError> {
+        let layout = u64_field(payload, "layout")?;
+        if layout != SERVE_SNAPSHOT_LAYOUT {
+            return Err(CheckpointError::Invalid(format!(
+                "serve snapshot layout {} unsupported (expected {})",
+                layout, SERVE_SNAPSHOT_LAYOUT
+            )));
+        }
+        let feeds = crate::state::array_field(payload, "feeds")?;
+        if feeds.len() != self.consumers.len() {
+            return Err(CheckpointError::Invalid(format!(
+                "snapshot has {} feeds, runtime has {}",
+                feeds.len(),
+                self.consumers.len()
+            )));
+        }
+        self.fleet.load_runtime_state(require(payload, "fleet")?)?;
+        for (feed, f) in feeds.iter().enumerate() {
+            let c = &mut self.counters[feed];
+            c.delivered = u64_field(f, "delivered")?;
+            c.dropped_shed = u64_field(f, "dropped_shed")?;
+            c.dropped_overflow = u64_field(f, "dropped_overflow")?;
+            c.peak_occupancy = usize_field(f, "peak_occupancy")?;
+            c.calm_sweeps = u32_field(f, "calm_sweeps")?;
+            self.shared[feed].lines_in.store(u64_field(f, "lines_in")?, Ordering::Relaxed);
+            self.shared[feed]
+                .dropped_overflow
+                .store(u64_field(f, "overflow_pending")?, Ordering::Relaxed);
+            let port = self.ports[feed].as_mut().ok_or_else(|| {
+                CheckpointError::Invalid("snapshot restore requires step mode".into())
+            })?;
+            for q in crate::state::array_field(f, "queued")? {
+                let text =
+                    q.as_str().ok_or_else(|| CheckpointError::MissingField("queued".into()))?;
+                port.tx.push(Line { text: text.to_string(), ingest: Instant::now() }).map_err(
+                    |_| CheckpointError::Invalid("snapshot backlog exceeds ring capacity".into()),
+                )?;
+            }
+            let mv = require(f, "monitor")?;
+            if let (Some(m), false) = (self.fleet.observer_mut(feed), mv.is_null()) {
+                m.load_state(mv)?;
+            }
+        }
+        self.state = match str_field(payload, "state")? {
+            "healthy" => ServeState::Healthy,
+            "degraded" => ServeState::Degraded,
+            other => {
+                return Err(CheckpointError::Invalid(format!("unknown serve state {:?}", other)))
+            }
+        };
+        self.tick = u64_field(payload, "tick")?;
+        self.calm_ticks = u32_field(payload, "calm_ticks")?;
+        self.degraded_episodes = u64_field(payload, "degraded_episodes")?;
+        self.watchdog_trips = u64_field(payload, "watchdog_trips")?;
+        self.warnings = u64_field(payload, "warnings")?;
+        let lv = require(payload, "latency")?;
+        let buckets = u64s_from_value(require(lv, "buckets")?, "latency.buckets")?;
+        if buckets.len() != self.latency.buckets.len() {
+            return Err(CheckpointError::Invalid("latency histogram shape mismatch".into()));
+        }
+        self.latency.buckets.copy_from_slice(&buckets);
+        self.latency.count = u64_field(lv, "count")?;
+        self.latency.max_ns = u64_field(lv, "max_ns")?;
+        u64_field(payload, "load_tick")
+    }
+
+    /// Reads, verifies (checksum + format tag), and restores a snapshot
+    /// file. Failpoint: `serve.snapshot.load`.
+    pub fn load_snapshot(&mut self, path: &Path) -> Result<u64, CheckpointError> {
+        nfv_fail::io_check("serve.snapshot.load").map_err(CheckpointError::Io)?;
+        let text = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+        let payload = open_envelope(SERVE_SNAPSHOT_FORMAT, &text)?;
+        self.restore_snapshot(&payload)
+    }
+}
+
 /// Handle to a running watchdog thread; stop it to collect the trip
 /// count.
 pub struct WatchdogHandle {
@@ -720,7 +966,7 @@ mod tests {
         // 16-slot ring — overflow and shedding both engage.
         for round in 0..30 {
             for i in 0..40 {
-                core.offer(0, &line(t, &format!("event r{} i{}", round, i)));
+                core.offer(0, &line(t, &format!("event r{} i{}", round, i))).unwrap();
                 t += 1;
             }
             core.sweep();
@@ -755,7 +1001,7 @@ mod tests {
         };
         let mut core = core(1, cfg);
         for i in 0..40 {
-            core.offer(0, &line(100 + i, &format!("burst {}", i)));
+            core.offer(0, &line(100 + i, &format!("burst {}", i))).unwrap();
         }
         let events = core.sweep();
         assert_eq!(core.state(), ServeState::Degraded);
@@ -792,7 +1038,8 @@ mod tests {
                 let burst = if round % 5 == 0 { 30 } else { 6 };
                 for i in 0..burst {
                     for feed in 0..2 {
-                        core.offer(feed, &line(t, &format!("r{} i{} f{}", round, i, feed)));
+                        core.offer(feed, &line(t, &format!("r{} i{} f{}", round, i, feed)))
+                            .unwrap();
                     }
                     t += 1;
                 }
@@ -836,17 +1083,66 @@ mod tests {
     fn ports_feed_from_another_thread() {
         let cfg = ServeConfig { capacity: 1024, tick_budget: 256, ..Default::default() };
         let mut core = core(1, cfg);
-        let mut port = core.take_port(0);
+        let mut port = core.take_port(0).unwrap();
         let producer = std::thread::spawn(move || {
             for i in 0..500u64 {
                 port.offer(&line(100 + i, &format!("threaded {}", i)));
             }
         });
-        producer.join().unwrap();
+        if producer.join().is_err() {
+            core.poison_feed(0, "producer thread panicked");
+        }
         core.finish();
         let stats = core.stats();
         assert_eq!(stats.feeds[0].lines_in, 500);
         assert_eq!(stats.feeds[0].delivered + stats.feeds[0].dropped(), 500);
+    }
+
+    #[test]
+    fn port_misuse_is_a_typed_error_not_a_panic() {
+        let cfg = ServeConfig::default();
+        let mut core = core(2, cfg);
+        let _port = core.take_port(0).unwrap();
+        assert_eq!(core.take_port(0).err(), Some(ServeError::PortTaken { feed: 0 }));
+        assert_eq!(
+            core.offer(0, &line(1, "nope")),
+            Err(ServeError::PortMoved { feed: 0 }),
+            "step-mode offer after take_port must fail typed"
+        );
+        assert_eq!(core.take_port(9).err(), Some(ServeError::NoSuchFeed { feed: 9, feeds: 2 }));
+        assert_eq!(core.offer(9, "x"), Err(ServeError::NoSuchFeed { feed: 9, feeds: 2 }));
+        // Feed 1 is unaffected.
+        assert!(core.offer(1, &line(1, "fine")).unwrap());
+        let msg = ServeError::PortTaken { feed: 0 }.to_string();
+        assert!(msg.contains("feed 0"), "errors must name the feed: {}", msg);
+    }
+
+    /// A panicking producer thread must not take down serving: the
+    /// teardown path poisons the feed instead of propagating.
+    #[test]
+    fn producer_panic_poisons_only_its_feed() {
+        let cfg = ServeConfig { capacity: 64, tick_budget: 32, ..Default::default() };
+        let mut core = core(2, cfg);
+        let mut port = core.take_port(0).unwrap();
+        let producer = std::thread::spawn(move || {
+            port.offer(&line(100, "one line"));
+            panic!("simulated producer crash");
+        });
+        if producer.join().is_err() {
+            let events = core.poison_feed(0, "producer thread panicked");
+            assert!(events.iter().any(|e| matches!(
+                e,
+                ServeEvent::Fleet { event: FleetEvent::FeedPoisoned { feed: 0, .. }, .. }
+            )));
+        }
+        // Feed 1 keeps serving; finish() drains without panicking.
+        core.offer(1, &line(100, "alive")).unwrap();
+        core.finish();
+        use crate::supervisor::FeedState;
+        assert_eq!(core.fleet().health(0).state, FeedState::Poisoned);
+        assert_eq!(core.fleet().health(1).state, FeedState::Active);
+        // Poisoning twice is quiet.
+        assert!(core.poison_feed(0, "again").is_empty());
     }
 
     #[test]

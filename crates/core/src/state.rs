@@ -51,6 +51,41 @@ pub fn rng_from_value(v: &Value) -> Result<SmallRng, CheckpointError> {
     Ok(SmallRng::from_state(s))
 }
 
+/// Decodes a u64 field of an object.
+pub fn u64_field(v: &Value, field: &str) -> Result<u64, CheckpointError> {
+    require(v, field)?.as_u64().ok_or_else(|| CheckpointError::MissingField(field.to_string()))
+}
+
+/// Decodes a usize field of an object.
+pub fn usize_field(v: &Value, field: &str) -> Result<usize, CheckpointError> {
+    u64_field(v, field).map(|x| x as usize)
+}
+
+/// Decodes a u32 field of an object.
+pub fn u32_field(v: &Value, field: &str) -> Result<u32, CheckpointError> {
+    u64_field(v, field)?
+        .try_into()
+        .map_err(|_| CheckpointError::Invalid(format!("{}: out of u32 range", field)))
+}
+
+/// Decodes a bool field of an object.
+pub fn bool_field(v: &Value, field: &str) -> Result<bool, CheckpointError> {
+    require(v, field)?.as_bool().ok_or_else(|| CheckpointError::MissingField(field.to_string()))
+}
+
+/// Decodes a string field of an object.
+pub fn str_field<'a>(v: &'a Value, field: &str) -> Result<&'a str, CheckpointError> {
+    require(v, field)?.as_str().ok_or_else(|| CheckpointError::MissingField(field.to_string()))
+}
+
+/// Decodes an array field of an object.
+pub fn array_field<'a>(v: &'a Value, field: &str) -> Result<&'a [Value], CheckpointError> {
+    require(v, field)?
+        .as_array()
+        .map(|a| a.as_slice())
+        .ok_or_else(|| CheckpointError::MissingField(field.to_string()))
+}
+
 /// Decodes an array of u64.
 pub fn u64s_from_value(v: &Value, what: &str) -> Result<Vec<u64>, CheckpointError> {
     v.as_array()

@@ -23,8 +23,14 @@
 //! lifecycle state.
 
 use crate::online::{OnlineMonitor, Warning};
+use crate::state::{
+    array_field, bool_field, require, str_field, u32_field, u64_field, u64s_from_value,
+};
+use nfv_nn::checkpoint::CheckpointError;
+use nfv_syslog::message::Severity;
 use nfv_syslog::parse::parse_line;
 use nfv_syslog::SyslogMessage;
+use serde_json::{json, Value};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -243,6 +249,29 @@ struct FeedRuntime<O> {
     overload_flagged: bool,
 }
 
+impl FeedState {
+    fn as_str(self) -> &'static str {
+        match self {
+            FeedState::Active => "active",
+            FeedState::Quarantined => "quarantined",
+            FeedState::Probation => "probation",
+            FeedState::Poisoned => "poisoned",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<FeedState, CheckpointError> {
+        Ok(match s {
+            "active" => FeedState::Active,
+            "quarantined" => FeedState::Quarantined,
+            "probation" => FeedState::Probation,
+            "poisoned" => FeedState::Poisoned,
+            other => {
+                return Err(CheckpointError::Invalid(format!("unknown feed state {:?}", other)))
+            }
+        })
+    }
+}
+
 fn line_hash(line: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in line.bytes() {
@@ -313,6 +342,28 @@ impl<O: FeedObserver> FleetMonitor<O> {
     /// such as windows scored or stride-skipped.
     pub fn observer(&self, feed: usize) -> Option<&O> {
         self.feeds[feed].monitor.as_ref()
+    }
+
+    /// Mutable access to a live feed's observer — warm restarts use
+    /// this to load streaming state back into freshly built monitors.
+    pub fn observer_mut(&mut self, feed: usize) -> Option<&mut O> {
+        self.feeds[feed].monitor.as_mut()
+    }
+
+    /// Forcibly poisons a feed from outside the observe path — the
+    /// containment hook for a feed whose producer/ingest thread died.
+    /// The observer is dropped and further lines are cheap skips,
+    /// exactly as for an in-observe panic. Returns the
+    /// [`FleetEvent::FeedPoisoned`] event unless the feed was already
+    /// poisoned (or doesn't exist).
+    pub fn poison(&mut self, feed: usize, reason: &str) -> Option<FleetEvent> {
+        let rt = self.feeds.get_mut(feed)?;
+        if rt.health.state == FeedState::Poisoned {
+            return None;
+        }
+        rt.monitor = None;
+        rt.health.state = FeedState::Poisoned;
+        Some(FleetEvent::FeedPoisoned { feed, reason: reason.to_string() })
     }
 
     /// Ingests one raw line for `feed`, returning whatever fleet events
@@ -537,6 +588,126 @@ impl<O: FeedObserver> FleetMonitor<O> {
                 monitor.set_stride(stride);
             }
         }
+    }
+
+    /// Serializes every feed's runtime state — health ledger, lifecycle
+    /// position, dedup ring, and reorder buffer — everything *except*
+    /// the observers themselves (see [`crate::online::OnlineMonitor::state_value`]
+    /// for those). The reorder heap is serialized sorted by
+    /// `(time, seq)` so equal states always serialize identically.
+    pub fn runtime_state_value(&self) -> Value {
+        let feeds: Vec<Value> = self
+            .feeds
+            .iter()
+            .map(|rt| {
+                let mut buf: Vec<&Buffered> = rt.buffer.iter().map(|Reverse(b)| b).collect();
+                buf.sort_by_key(|b| (b.time, b.seq));
+                let buffer: Vec<Value> = buf
+                    .iter()
+                    .map(|b| {
+                        json!({
+                            "seq": b.seq,
+                            "timestamp": b.msg.timestamp,
+                            "host": b.msg.host.as_str(),
+                            "process": b.msg.process.as_str(),
+                            "severity": b.msg.severity.code(),
+                            "text": b.msg.text.as_str(),
+                        })
+                    })
+                    .collect();
+                let h = &rt.health;
+                json!({
+                    "state": h.state.as_str(),
+                    "messages": h.messages,
+                    "parse_errors": h.parse_errors,
+                    "duplicates_dropped": h.duplicates_dropped,
+                    "reorders_absorbed": h.reorders_absorbed,
+                    "skipped": h.skipped,
+                    "overload_dropped": h.overload_dropped,
+                    "quarantines": h.quarantines,
+                    "warnings": h.warnings,
+                    "last_seen": h.last_seen,
+                    "error_score": rt.error_score,
+                    "quarantine_skipped": rt.quarantine_skipped,
+                    "probation_clean": rt.probation_clean,
+                    "dedup": rt.dedup.iter().copied().collect::<Vec<u64>>(),
+                    "buffer": buffer,
+                    "max_seen": rt.max_seen,
+                    "next_seq": rt.next_seq,
+                    "silent_flagged": rt.silent_flagged,
+                    "overload_flagged": rt.overload_flagged,
+                })
+            })
+            .collect();
+        Value::Array(feeds)
+    }
+
+    /// Restores [`FleetMonitor::runtime_state_value`] output into a
+    /// fleet rebuilt with the same feed count. Poisoned feeds drop
+    /// their observer, matching the live poisoning path.
+    pub fn load_runtime_state(&mut self, v: &Value) -> Result<(), CheckpointError> {
+        let feeds = v
+            .as_array()
+            .ok_or_else(|| CheckpointError::Invalid("fleet state is not an array".into()))?;
+        if feeds.len() != self.feeds.len() {
+            return Err(CheckpointError::Invalid(format!(
+                "fleet state has {} feeds, runtime has {}",
+                feeds.len(),
+                self.feeds.len()
+            )));
+        }
+        for (rt, f) in self.feeds.iter_mut().zip(feeds) {
+            let state = FeedState::from_str(str_field(f, "state")?)?;
+            let last_seen = match require(f, "last_seen")? {
+                Value::Null => None,
+                other => Some(
+                    other
+                        .as_u64()
+                        .ok_or_else(|| CheckpointError::MissingField("last_seen".into()))?,
+                ),
+            };
+            let mut buffer = BinaryHeap::new();
+            for b in array_field(f, "buffer")? {
+                let severity = u64_field(b, "severity")?;
+                let msg = SyslogMessage {
+                    timestamp: u64_field(b, "timestamp")?,
+                    host: str_field(b, "host")?.to_string(),
+                    process: str_field(b, "process")?.to_string(),
+                    severity: Severity::from_code(severity as u8).ok_or_else(|| {
+                        CheckpointError::Invalid(format!("bad severity code {}", severity))
+                    })?,
+                    text: str_field(b, "text")?.to_string(),
+                };
+                buffer.push(Reverse(Buffered {
+                    time: msg.timestamp,
+                    seq: u64_field(b, "seq")?,
+                    msg,
+                }));
+            }
+            rt.health.state = state;
+            rt.health.messages = u64_field(f, "messages")?;
+            rt.health.parse_errors = u64_field(f, "parse_errors")?;
+            rt.health.duplicates_dropped = u64_field(f, "duplicates_dropped")?;
+            rt.health.reorders_absorbed = u64_field(f, "reorders_absorbed")?;
+            rt.health.skipped = u64_field(f, "skipped")?;
+            rt.health.overload_dropped = u64_field(f, "overload_dropped")?;
+            rt.health.quarantines = u32_field(f, "quarantines")?;
+            rt.health.warnings = u64_field(f, "warnings")?;
+            rt.health.last_seen = last_seen;
+            rt.error_score = u32_field(f, "error_score")?;
+            rt.quarantine_skipped = u64_field(f, "quarantine_skipped")?;
+            rt.probation_clean = u64_field(f, "probation_clean")?;
+            rt.dedup = u64s_from_value(require(f, "dedup")?, "dedup")?.into();
+            rt.buffer = buffer;
+            rt.max_seen = u64_field(f, "max_seen")?;
+            rt.next_seq = u64_field(f, "next_seq")?;
+            rt.silent_flagged = bool_field(f, "silent_flagged")?;
+            rt.overload_flagged = bool_field(f, "overload_flagged")?;
+            if state == FeedState::Poisoned {
+                rt.monitor = None;
+            }
+        }
+        Ok(())
     }
 
     /// Checks every feed for staleness against wall-clock `now` (stream
@@ -799,6 +970,72 @@ mod tests {
         fleet.end_overload_episode(0);
         let ev = fleet.record_overload_drops(0, 1);
         assert_eq!(ev, Some(FleetEvent::FeedOverloaded { feed: 0, dropped: 11 }));
+    }
+
+    #[test]
+    fn external_poison_matches_in_observe_poisoning() {
+        let mut fleet = probe_fleet(2);
+        fleet.ingest_line(0, &line(100, "hello"));
+        let ev = fleet.poison(0, "producer thread panicked");
+        assert!(matches!(ev, Some(FleetEvent::FeedPoisoned { feed: 0, .. })));
+        assert_eq!(fleet.health(0).state, FeedState::Poisoned);
+        assert!(fleet.observer(0).is_none());
+        // Idempotent, and a bad index is a no-op rather than a panic.
+        assert_eq!(fleet.poison(0, "again"), None);
+        assert_eq!(fleet.poison(99, "no such feed"), None);
+        // Lines to the poisoned feed are cheap skips; feed 1 unaffected.
+        assert!(fleet.ingest_line(0, &line(200, "anything")).is_empty());
+        assert!(fleet.health(0).skipped >= 1);
+        assert_eq!(fleet.health(1).state, FeedState::Active);
+    }
+
+    /// Snapshotting the runtime mid-stream (with lines still sitting in
+    /// the reorder buffer and a feed mid-quarantine) and restoring into
+    /// a fresh fleet must continue exactly like the uninterrupted run.
+    #[test]
+    fn runtime_state_roundtrip_resumes_identically() {
+        let mixed: Vec<String> = (0..50)
+            .map(|i| {
+                let t = 100 + i * 40;
+                match i % 6 {
+                    2 => format!("@@ garbage line {} @@", i),
+                    4 => line(t, "alarm condition"),
+                    _ => line(t, &format!("event {}", i)),
+                }
+            })
+            .collect();
+        let (head, tail) = mixed.split_at(31);
+
+        let mut full = probe_fleet(1);
+        let mut full_events = Vec::new();
+        for l in &mixed {
+            full_events.extend(full.ingest_line(0, l));
+        }
+        full_events.extend(full.flush());
+
+        let mut first = probe_fleet(1);
+        let mut events = Vec::new();
+        for l in head {
+            events.extend(first.ingest_line(0, l));
+        }
+        let text = first.runtime_state_value().to_string();
+        let mut resumed = probe_fleet(1);
+        resumed.load_runtime_state(&serde_json::from_str(&text).unwrap()).unwrap();
+        for l in tail {
+            events.extend(resumed.ingest_line(0, l));
+        }
+        events.extend(resumed.flush());
+
+        assert_eq!(resumed.health(0), full.health(0));
+        assert_eq!(events, full_events);
+    }
+
+    #[test]
+    fn feed_count_mismatch_is_a_typed_restore_error() {
+        let fleet = probe_fleet(2);
+        let state = fleet.runtime_state_value();
+        let mut other = probe_fleet(3);
+        assert!(matches!(other.load_runtime_state(&state), Err(CheckpointError::Invalid(_))));
     }
 
     #[test]

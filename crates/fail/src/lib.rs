@@ -1,0 +1,406 @@
+//! # nfv-fail — deterministic failpoint injection
+//!
+//! A process-global registry of *named failpoints*: places in the
+//! workspace's IO and durability paths that can be told, from a test,
+//! the environment, or the CLI, to misbehave on purpose. The point of
+//! the crate is to make fault handling *testable and reproducible*:
+//! the same spec and seed always fire the same faults at the same
+//! evaluation indices, so a chaos run is replayable bit for bit.
+//!
+//! ## Usage
+//!
+//! Production code drops an evaluation at each boundary it wants to be
+//! probeable:
+//!
+//! ```
+//! match nfv_fail::point("ckpt.save.rename") {
+//!     nfv_fail::Outcome::Pass => { /* carry on */ }
+//!     nfv_fail::Outcome::Err => { /* pretend the rename failed */ }
+//!     nfv_fail::Outcome::Torn(frac) => { /* write only `frac` of the bytes */ }
+//! }
+//! ```
+//!
+//! Tests (or `NFV_FAILPOINTS=...` / `nfvpredict ... --failpoints ...`)
+//! arm the registry with a spec string:
+//!
+//! ```text
+//! ckpt.save.rename=err(2);serve.heartbeat=delay(40);bundle.load=err@0.5
+//! ```
+//!
+//! Grammar per entry: `name=policy` where policy is one of
+//!
+//! * `err` / `err(n)` — the first `n` firings (default 1) report
+//!   [`Outcome::Err`]; later evaluations pass. Models a transient IO
+//!   error that heals.
+//! * `delay(ms)` — every firing sleeps `ms` milliseconds, then passes.
+//!   Models a stalled disk or a descheduled thread.
+//! * `torn` / `torn(frac)` — the first firing (default `frac` = 0.5)
+//!   reports [`Outcome::Torn`]; the caller is expected to persist only
+//!   that fraction of its bytes. Models a crash mid-write.
+//! * `panic` — the first firing panics. Models a bug in the IO path
+//!   itself; used to prove containment.
+//! * `off` — explicitly disarms the point (useful to override an env
+//!   spec from the CLI).
+//!
+//! Any policy takes an optional `@p` probability suffix (`0 < p <= 1`).
+//! Whether a given evaluation fires is a pure function of the global
+//! seed ([`set_seed`] / `NFV_FAILPOINTS_SEED`), the point name, and the
+//! evaluation index — never of wall-clock or thread timing.
+//!
+//! ## Zero cost when idle
+//!
+//! [`point`] starts with one relaxed atomic load; when no spec has been
+//! installed it returns [`Outcome::Pass`] without touching a lock, so
+//! leaving failpoints compiled into release binaries costs a
+//! well-predicted branch per evaluation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed failpoint tells its caller to do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Proceed normally (the point is unarmed, out of budget, or the
+    /// probability gate said no this time).
+    Pass,
+    /// Pretend the operation failed with a transient error.
+    Err,
+    /// Persist only this fraction of the bytes, then report success —
+    /// a torn write the next reader must detect by checksum.
+    Torn(f32),
+}
+
+/// The canonical names of every failpoint wired into the workspace.
+/// Chaos sweeps iterate this list; new wiring should extend it.
+pub const KNOWN_POINTS: &[&str] = &[
+    "ckpt.save",
+    "ckpt.save.create",
+    "ckpt.save.write",
+    "ckpt.save.rename",
+    "ckpt.load",
+    "bundle.save.rename",
+    "bundle.load",
+    "serve.snapshot.rename",
+    "serve.snapshot.load",
+    "serve.heartbeat",
+    "pool.spawn",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    Err,
+    Delay(u64),
+    Torn(f32),
+    Panic,
+    Off,
+}
+
+#[derive(Debug, Clone)]
+struct Point {
+    action: Action,
+    /// Remaining firings; `None` = unlimited (delay defaults to this).
+    remaining: Option<u64>,
+    /// Per-evaluation firing probability (1.0 = always).
+    prob: f64,
+    /// Evaluations seen while armed (the RNG stream position).
+    hits: u64,
+    /// Evaluations that actually fired.
+    fired: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    seed: u64,
+    points: HashMap<String, Point>,
+}
+
+/// Fast-path gate: false until the first successful [`configure`].
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// SplitMix64: cheap, high-quality, and stateless given the inputs.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic per-evaluation coin flip in `[0, 1)`.
+fn roll(seed: u64, name: &str, hit: u64) -> f64 {
+    let z = mix(seed ^ fnv1a64(name) ^ hit.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Evaluates the named failpoint. Unarmed points return
+/// [`Outcome::Pass`] after a single atomic load. `delay` policies sleep
+/// here; `panic` policies panic here; `err`/`torn` are returned for the
+/// caller to act on.
+pub fn point(name: &str) -> Outcome {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Outcome::Pass;
+    }
+    let (action, delay_ms) = {
+        let mut reg = registry().lock().unwrap();
+        let seed = reg.seed;
+        let Some(p) = reg.points.get_mut(name) else {
+            return Outcome::Pass;
+        };
+        let hit = p.hits;
+        p.hits += 1;
+        if p.action == Action::Off || p.remaining == Some(0) {
+            return Outcome::Pass;
+        }
+        if p.prob < 1.0 && roll(seed, name, hit) >= p.prob {
+            return Outcome::Pass;
+        }
+        if let Some(rem) = p.remaining.as_mut() {
+            *rem -= 1;
+        }
+        p.fired += 1;
+        match p.action {
+            Action::Delay(ms) => (Action::Delay(ms), ms),
+            other => (other, 0),
+        }
+    };
+    // Lock released before sleeping or unwinding.
+    match action {
+        Action::Err => Outcome::Err,
+        Action::Torn(frac) => Outcome::Torn(frac),
+        Action::Delay(_) => {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            Outcome::Pass
+        }
+        Action::Panic => panic!("failpoint {name:?} fired a panic policy"),
+        Action::Off => Outcome::Pass,
+    }
+}
+
+/// Convenience for IO boundaries that only distinguish pass/fail:
+/// returns a transient `io::Error` on [`Outcome::Err`] (and treats a
+/// torn outcome as an error too — the caller is not a writer).
+pub fn io_check(name: &str) -> std::io::Result<()> {
+    match point(name) {
+        Outcome::Pass => Ok(()),
+        Outcome::Err | Outcome::Torn(_) => {
+            Err(std::io::Error::other(format!("failpoint {name} injected a transient error")))
+        }
+    }
+}
+
+/// Parses and installs a spec (see the module docs for the grammar).
+/// Entries are additive over the current registry; an entry for an
+/// already-armed name replaces it. Returns a description of the first
+/// malformed entry, installing nothing in that case.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut parsed = Vec::new();
+    for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (name, policy) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry {entry:?} is missing '='"))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("failpoint entry {entry:?} has an empty name"));
+        }
+        parsed.push((name.to_string(), parse_policy(policy.trim())?));
+    }
+    let mut reg = registry().lock().unwrap();
+    for (name, point) in parsed {
+        reg.points.insert(name, point);
+    }
+    if !reg.points.is_empty() {
+        ACTIVE.store(true, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+fn parse_policy(policy: &str) -> Result<Point, String> {
+    let (body, prob) = match policy.split_once('@') {
+        Some((body, p)) => {
+            let prob: f64 = p
+                .trim()
+                .parse()
+                .ok()
+                .filter(|p| *p > 0.0 && *p <= 1.0)
+                .ok_or_else(|| format!("bad probability {p:?} (want 0 < p <= 1)"))?;
+            (body.trim(), prob)
+        }
+        None => (policy, 1.0),
+    };
+    let (kind, arg) = match body.split_once('(') {
+        Some((kind, rest)) => {
+            let arg =
+                rest.strip_suffix(')').ok_or_else(|| format!("unclosed argument in {body:?}"))?;
+            (kind.trim(), Some(arg.trim()))
+        }
+        None => (body, None),
+    };
+    let num = |what: &str| -> Result<f64, String> {
+        arg.ok_or_else(|| format!("{kind} needs an argument"))?
+            .parse::<f64>()
+            .map_err(|_| format!("bad {what} in {body:?}"))
+    };
+    let (action, remaining) = match kind {
+        "err" => {
+            let n = match arg {
+                Some(_) => num("count")? as u64,
+                None => 1,
+            };
+            (Action::Err, Some(n))
+        }
+        "delay" => (Action::Delay(num("delay in ms")? as u64), None),
+        "torn" => {
+            let frac = match arg {
+                Some(_) => num("fraction")?,
+                None => 0.5,
+            };
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(format!("torn fraction must be in [0, 1], got {frac}"));
+            }
+            (Action::Torn(frac as f32), Some(1))
+        }
+        "panic" => (Action::Panic, Some(1)),
+        "off" => (Action::Off, None),
+        other => return Err(format!("unknown failpoint policy {other:?}")),
+    };
+    Ok(Point { action, remaining, prob, hits: 0, fired: 0 })
+}
+
+/// Sets the global seed that drives `@p` probability gates.
+pub fn set_seed(seed: u64) {
+    registry().lock().unwrap().seed = seed;
+}
+
+/// Installs the spec from `NFV_FAILPOINTS` (and the seed from
+/// `NFV_FAILPOINTS_SEED`) when present. Call once at process start.
+pub fn init_from_env() -> Result<(), String> {
+    if let Ok(seed) = std::env::var("NFV_FAILPOINTS_SEED") {
+        let seed =
+            seed.parse().map_err(|_| format!("NFV_FAILPOINTS_SEED {seed:?} is not a u64"))?;
+        set_seed(seed);
+    }
+    match std::env::var("NFV_FAILPOINTS") {
+        Ok(spec) => configure(&spec),
+        Err(_) => Ok(()),
+    }
+}
+
+/// True when at least one point has ever been armed this process.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Disarms every point and resets hit counters. The fast-path gate
+/// stays open for the life of the process once armed (re-closing it
+/// would race concurrent evaluations); an empty registry still passes.
+pub fn clear() {
+    registry().lock().unwrap().points.clear();
+}
+
+/// Evaluations seen by a point while armed (0 if never armed).
+pub fn hits(name: &str) -> u64 {
+    registry().lock().unwrap().points.get(name).map_or(0, |p| p.hits)
+}
+
+/// Evaluations on which the point actually fired its policy.
+pub fn fired(name: &str) -> u64 {
+    registry().lock().unwrap().points.get(name).map_or(0, |p| p.fired)
+}
+
+/// Names currently armed, sorted — for diagnostics and sweep drivers.
+pub fn armed() -> Vec<String> {
+    let mut names: Vec<String> = registry().lock().unwrap().points.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-global; tests must not interleave.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let guard = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        guard
+    }
+
+    #[test]
+    fn unarmed_points_pass() {
+        let _g = lock();
+        assert_eq!(point("never.configured"), Outcome::Pass);
+    }
+
+    #[test]
+    fn err_budget_is_consumed_then_heals() {
+        let _g = lock();
+        configure("a.b=err(2)").unwrap();
+        assert_eq!(point("a.b"), Outcome::Err);
+        assert_eq!(point("a.b"), Outcome::Err);
+        assert_eq!(point("a.b"), Outcome::Pass);
+        assert_eq!(hits("a.b"), 3);
+        assert_eq!(fired("a.b"), 2);
+    }
+
+    #[test]
+    fn torn_fires_once_with_fraction() {
+        let _g = lock();
+        configure("w=torn(0.25)").unwrap();
+        assert_eq!(point("w"), Outcome::Torn(0.25));
+        assert_eq!(point("w"), Outcome::Pass);
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic() {
+        let _g = lock();
+        let run = || -> Vec<Outcome> {
+            clear();
+            set_seed(42);
+            configure("p=err(1000000)@0.5").unwrap();
+            (0..64).map(|_| point("p")).collect()
+        };
+        let first = run();
+        assert_eq!(first, run(), "same seed must give the same firing stream");
+        let fired = first.iter().filter(|o| **o == Outcome::Err).count();
+        assert!((10..=54).contains(&fired), "p=0.5 over 64 rolls fired {fired} times");
+    }
+
+    #[test]
+    fn off_disarms_and_bad_specs_are_rejected() {
+        let _g = lock();
+        configure("x=err(5)").unwrap();
+        configure("x=off").unwrap();
+        assert_eq!(point("x"), Outcome::Pass);
+        assert!(configure("noequals").is_err());
+        assert!(configure("x=bogus(1)").is_err());
+        assert!(configure("x=err(2").is_err());
+        assert!(configure("x=err@1.5").is_err());
+        assert!(configure("x=torn(2.0)").is_err());
+    }
+
+    #[test]
+    fn panic_policy_panics_and_is_catchable() {
+        let _g = lock();
+        configure("boom=panic").unwrap();
+        let caught = std::panic::catch_unwind(|| point("boom"));
+        assert!(caught.is_err());
+        assert_eq!(point("boom"), Outcome::Pass, "panic budget is one-shot");
+    }
+}

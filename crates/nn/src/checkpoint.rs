@@ -217,15 +217,46 @@ pub fn open_envelope(format: &str, text: &str) -> Result<Value, CheckpointError>
 ///    entry update, and without this step a crash can roll the
 ///    directory back to the old entry even though step 3 returned.
 pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write_tagged(path, contents, "io.atomic")
+}
+
+/// [`atomic_write`] with a caller-chosen failpoint namespace: the write
+/// evaluates `{tag}.create`, `{tag}.write`, and `{tag}.rename`
+/// failpoints (see `nfv_fail`), so chaos tests can target one artifact
+/// kind (`ckpt.save.rename`) without faulting every other writer.
+///
+/// A `torn` policy on `{tag}.write` persists only the configured
+/// fraction of the bytes and then *reports success* — simulating a
+/// crash or firmware lie mid-write that the next reader must catch by
+/// checksum.
+pub fn atomic_write_tagged(path: &Path, contents: &str, tag: &str) -> io::Result<()> {
+    nfv_fail::io_check(&format!("{tag}.create"))?;
+    let torn = match nfv_fail::point(&format!("{tag}.write")) {
+        nfv_fail::Outcome::Pass => None,
+        nfv_fail::Outcome::Err => {
+            return Err(io::Error::other(format!("failpoint {tag}.write injected a write error")))
+        }
+        nfv_fail::Outcome::Torn(frac) => {
+            Some(((contents.len() as f64 * frac as f64) as usize).min(contents.len()))
+        }
+    };
+    let bytes = match torn {
+        Some(cut) => &contents.as_bytes()[..cut],
+        None => contents.as_bytes(),
+    };
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;
-        io::Write::write_all(&mut f, contents.as_bytes())?;
+        io::Write::write_all(&mut f, bytes)?;
         if let Err(e) = f.sync_all() {
             drop(f);
             fs::remove_file(&tmp).ok();
             return Err(e);
         }
+    }
+    if let Err(e) = nfv_fail::io_check(&format!("{tag}.rename")) {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
     }
     if let Err(e) = fs::rename(&tmp, path) {
         fs::remove_file(&tmp).ok();
@@ -260,7 +291,13 @@ pub fn load_with_retry<T>(
             backoff = backoff.saturating_mul(2);
         }
         match fs::read_to_string(path) {
-            Ok(text) => return parse(&text),
+            // An `Io` error out of `parse` is transient too (e.g. an
+            // injected failpoint or a flaky network filesystem read
+            // surfaced mid-parse) — retry it like a read failure.
+            Ok(text) => match parse(&text) {
+                Err(CheckpointError::Io(e)) => last_io = Some(e),
+                other => return other,
+            },
             Err(e) => last_io = Some(e),
         }
     }

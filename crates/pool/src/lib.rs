@@ -143,14 +143,24 @@ impl Pool {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
+            // The `pool.spawn` failpoint (and a real OS spawn failure —
+            // thread exhaustion, rlimits) degrades to a smaller pool
+            // instead of aborting: scheduling stays a pure function of
+            // the spawn sequence and the surviving worker count, and a
+            // pool with zero workers runs every task inline.
+            if nfv_fail::io_check("pool.spawn").is_err() {
+                continue;
+            }
             let (tx, rx) = channel::<Job>();
-            senders.push(tx);
-            handles.push(
-                thread::Builder::new()
-                    .name(format!("nfv-pool-{w}"))
-                    .spawn(move || worker_loop(rx))
-                    .expect("spawning a pool worker"),
-            );
+            let spawned =
+                thread::Builder::new().name(format!("nfv-pool-{w}")).spawn(move || worker_loop(rx));
+            match spawned {
+                Ok(handle) => {
+                    senders.push(tx);
+                    handles.push(handle);
+                }
+                Err(_) => continue,
+            }
         }
         Pool { senders, handles }
     }
@@ -229,7 +239,7 @@ impl<'scope, 'env> PoolScope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'scope,
     {
-        if self.inline {
+        if self.inline || self.pool.senders.is_empty() {
             f();
             return;
         }

@@ -41,7 +41,8 @@
 //!                  [--budget N] [--stride S]
 //!                  [--burst START:LEN:MULT[,..]] [--outage START:LEN[,..]]
 //!                  [--anomaly START:LEN[,..]] [--faults SPEC] [--seed N]
-//!                  [--stats-json FILE]
+//!                  [--stats-json FILE] [--snapshot-dir DIR]
+//!                  [--snapshot-every N] [--resume] [--kill-at-tick T]
 //!     Long-lived serving runtime: a replayable load generator streams
 //!     syslog lines per feed through bounded SPSC rings into the online
 //!     scorer. Ingest never blocks and memory never grows: a full ring
@@ -50,13 +51,22 @@
 //!     automatic. Without --model a small monitor is trained on the
 //!     load's own clean cadence first. --tick-ms 0 (default) runs the
 //!     deterministic step mode; a positive value paces ticks in real
-//!     time with producer + scorer threads and a watchdog. Exit code
+//!     time with producer + scorer threads and a watchdog. In step mode
+//!     --snapshot-dir persists a checksummed warm-restart snapshot every
+//!     --snapshot-every ticks (default 10) and --resume continues from
+//!     the newest intact one, bit-identically; --kill-at-tick T injects
+//!     a crash right after tick T's snapshot (exit code 9). Exit code
 //!     0 = finished healthy, 3 = degraded at exit (or feeds
 //!     quarantined/poisoned), 1 = fatal error, 2 = usage.
+//!
+//! Every command also accepts --failpoints SPEC (or the NFV_FAILPOINTS
+//! environment variable) to arm deterministic fault injection at the
+//! IO and durability boundaries; see the nfv-fail crate.
 //! ```
 
 use nfvpredict::detect::bundle::ModelBundle;
 use nfvpredict::detect::mapping::warning_clusters;
+use nfvpredict::detect::serve::ServeCore;
 use nfvpredict::detect::supervisor::{FeedState, FleetEvent, FleetMonitor, FleetMonitorConfig};
 use nfvpredict::detect::OnlineMonitor;
 use nfvpredict::prelude::*;
@@ -74,9 +84,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let allowed: &[&str] = match command.as_str() {
-        "simulate" => &["out", "preset", "seed"],
-        "train" => &["logs", "model", "months", "window", "epochs", "tickets", "threads"],
-        "detect" => &["model", "log"],
+        "simulate" => &["out", "preset", "seed", "failpoints"],
+        "train" => {
+            &["logs", "model", "months", "window", "epochs", "tickets", "threads", "failpoints"]
+        }
+        "detect" => &["model", "log", "failpoints"],
         "evaluate" => &[
             "preset",
             "seed",
@@ -88,8 +100,9 @@ fn main() -> ExitCode {
             "checkpoint-every",
             "resume",
             "kill-at-month",
+            "failpoints",
         ],
-        "monitor" => &["model", "logs", "faults", "seed", "staleness"],
+        "monitor" => &["model", "logs", "faults", "seed", "staleness", "failpoints"],
         "serve" => &[
             "model",
             "feeds",
@@ -105,6 +118,11 @@ fn main() -> ExitCode {
             "faults",
             "seed",
             "stats-json",
+            "snapshot-dir",
+            "snapshot-every",
+            "resume",
+            "kill-at-tick",
+            "failpoints",
         ],
         _ => &[],
     };
@@ -115,6 +133,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Arm deterministic fault injection before any IO happens: first
+    // from the environment, then additively from --failpoints.
+    if let Err(e) = nfv_fail::init_from_env() {
+        eprintln!("error: NFV_FAILPOINTS: {}", e);
+        return ExitCode::from(2);
+    }
+    if let Some(spec) = flag(&flags, "failpoints") {
+        if let Err(e) = nfv_fail::configure(spec) {
+            eprintln!("error: --failpoints: {}", e);
+            return ExitCode::from(2);
+        }
+    }
     let result = match command.as_str() {
         "simulate" => cmd_simulate(&flags).map(|()| ExitCode::SUCCESS),
         "train" => cmd_train(&flags).map(|()| ExitCode::SUCCESS),
@@ -615,8 +645,70 @@ fn self_trained_bundle(gen: &nfvpredict::simnet::LoadGen) -> Result<ModelBundle,
     Ok(ModelBundle::pack(&codec, &det, max_score * 1.05, &MappingConfig::default()))
 }
 
+/// Serve snapshot generation file: `serve-snap-000120.json` is the
+/// state after 120 completed load ticks.
+fn serve_snapshot_path(dir: &Path, tick: u64) -> PathBuf {
+    dir.join(format!("serve-snap-{:06}.json", tick))
+}
+
+/// Ticks of the snapshot generations present in `dir`, ascending.
+fn serve_snapshot_generations(dir: &Path) -> Vec<u64> {
+    let mut out = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for e in rd.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if let Some(t) = name.strip_prefix("serve-snap-").and_then(|s| s.strip_suffix(".json"))
+            {
+                if let Ok(tick) = t.parse::<u64>() {
+                    out.push(tick);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Persists a serve snapshot with bounded retry, then degrades to
+/// warn-and-continue: a transient disk hiccup must not kill a healthy
+/// serving loop — the previous generation is still intact for resume.
+/// Keeps the newest three generations.
+fn save_serve_snapshot(core: &mut ServeCore<OnlineMonitor>, dir: &Path, tick: u64) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: serve snapshot at tick {} skipped: {}", tick, e);
+        return;
+    }
+    let mut delay = std::time::Duration::from_millis(10);
+    for attempt in 1..=3u32 {
+        match core.save_snapshot(&serve_snapshot_path(dir, tick), tick) {
+            Ok(()) => {
+                let gens = serve_snapshot_generations(dir);
+                for &old in gens.iter().rev().skip(3) {
+                    let _ = std::fs::remove_file(serve_snapshot_path(dir, old));
+                }
+                return;
+            }
+            Err(e) if attempt < 3 => {
+                eprintln!(
+                    "warning: serve snapshot at tick {} attempt {} failed ({}); retrying",
+                    tick, attempt, e
+                );
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: serve snapshot at tick {} skipped after {} attempts: {}",
+                    tick, attempt, e
+                );
+            }
+        }
+    }
+}
+
 fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
-    use nfvpredict::detect::serve::{ServeConfig, ServeCore, ServeEvent, ServeState};
+    use nfvpredict::detect::serve::{ServeConfig, ServeEvent, ServeState};
     use nfvpredict::simnet::{BurstSpec, LoadGen, LoadSpec, WindowSpec};
 
     let feeds: usize = flag(flags, "feeds").unwrap_or("4").parse().map_err(|_| "bad --feeds")?;
@@ -630,8 +722,26 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
         flag(flags, "budget").unwrap_or("2048").parse().map_err(|_| "bad --budget")?;
     let stride: usize = flag(flags, "stride").unwrap_or("4").parse().map_err(|_| "bad --stride")?;
     let seed: u64 = flag(flags, "seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let snapshot_dir = flag(flags, "snapshot-dir").map(PathBuf::from);
+    let snapshot_every: u64 = flag(flags, "snapshot-every")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "bad --snapshot-every")?;
+    let resume = flag(flags, "resume").is_some();
+    let kill_at: Option<u64> = match flag(flags, "kill-at-tick") {
+        Some(s) => Some(s.parse().map_err(|_| "bad --kill-at-tick")?),
+        None => None,
+    };
     if feeds == 0 || rate == 0 || ticks == 0 {
         eprintln!("error: --feeds, --rate and --ticks must all be positive");
+        return Ok(ExitCode::from(2));
+    }
+    if tick_ms > 0 && (snapshot_dir.is_some() || resume || kill_at.is_some()) {
+        eprintln!("error: --snapshot-dir/--resume/--kill-at-tick need step mode (--tick-ms 0)");
+        return Ok(ExitCode::from(2));
+    }
+    if (resume || kill_at.is_some()) && snapshot_dir.is_none() {
+        eprintln!("error: --resume and --kill-at-tick need --snapshot-dir");
         return Ok(ExitCode::from(2));
     }
 
@@ -692,32 +802,79 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
         }
     };
     let shared = bundle.try_unpack_shared().map_err(|e| e.to_string())?;
-    let monitors: Vec<OnlineMonitor> = (0..feeds).map(|_| shared.monitor()).collect();
     let fleet_cfg = FleetMonitorConfig { reorder_window: faults.reorder, ..Default::default() };
-    let fleet = FleetMonitor::new(monitors, fleet_cfg);
     let serve_cfg = ServeConfig {
         capacity,
         tick_budget: budget,
         degraded_stride: stride.max(1),
         ..Default::default()
     };
-    let mut core = ServeCore::new(fleet, serve_cfg);
+    // Resume rebuilds a fresh core per restore attempt, so core
+    // construction lives in a closure.
+    let build_core = || {
+        let monitors: Vec<OnlineMonitor> = (0..feeds).map(|_| shared.monitor()).collect();
+        ServeCore::new(FleetMonitor::new(monitors, fleet_cfg), serve_cfg)
+    };
+    let mut core = build_core();
 
     if tick_ms == 0 {
-        // Deterministic step mode: one sweep per load tick.
+        // Deterministic step mode: one sweep per load tick. With a
+        // snapshot dir the loop periodically checkpoints serve state;
+        // --resume warm-restarts from the newest intact generation and
+        // --kill-at-tick injects a crash (exit 9) for restart drills.
+        let mut start_tick = 0u64;
+        if resume {
+            let dir = snapshot_dir.as_deref().expect("validated: --resume needs --snapshot-dir");
+            let mut restored = None;
+            for &t in serve_snapshot_generations(dir).iter().rev() {
+                let mut fresh = build_core();
+                match fresh.load_snapshot(&serve_snapshot_path(dir, t)) {
+                    Ok(tick) => {
+                        restored = Some((fresh, tick));
+                        break;
+                    }
+                    Err(e) => eprintln!(
+                        "warning: snapshot at tick {} unusable ({}); trying older generation",
+                        t, e
+                    ),
+                }
+            }
+            match restored {
+                Some((fresh, tick)) => {
+                    core = fresh;
+                    start_tick = tick;
+                    eprintln!("resuming serve from snapshot at tick {}", tick);
+                }
+                None => eprintln!("no intact snapshot in {}; starting from tick 0", dir.display()),
+            }
+        }
         let mut gen = LoadGen::new(spec);
-        for tick in 0..ticks {
+        gen.seek(start_tick);
+        for tick in start_tick..ticks {
             for feed in 0..feeds {
                 for line in gen.tick_lines(tick, feed) {
-                    core.offer(feed, &line);
+                    core.offer(feed, &line).map_err(|e| e.to_string())?;
                 }
             }
             core.sweep();
+            let done = tick + 1;
+            if let Some(dir) = snapshot_dir.as_deref() {
+                if snapshot_every > 0 && done % snapshot_every == 0 {
+                    save_serve_snapshot(&mut core, dir, done);
+                }
+            }
+            if kill_at == Some(done) {
+                eprintln!("injected crash fired after tick {}", done);
+                return Ok(ExitCode::from(9));
+            }
         }
     } else {
         // Threaded mode: a producer thread paces real-time ticks, the
         // scorer sweeps as fast as it can, a watchdog supervises.
-        let mut ports: Vec<_> = (0..feeds).map(|f| core.take_port(f)).collect();
+        let mut ports = Vec::with_capacity(feeds);
+        for f in 0..feeds {
+            ports.push(core.take_port(f).map_err(|e| e.to_string())?);
+        }
         let dog = core.spawn_watchdog(std::time::Duration::from_millis((tick_ms * 8).max(100)));
         let spec2 = spec.clone();
         let producer = std::thread::spawn(move || {
@@ -741,7 +898,20 @@ fn cmd_serve(flags: &Flags) -> Result<ExitCode, String> {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
-        producer.join().map_err(|_| "producer thread panicked".to_string())?;
+        // A producer panic is contained, not propagated: its feeds are
+        // poisoned (the panic reason lands in the event log and the
+        // per-feed table) and the run still reports stats and exits 3.
+        if let Err(panic) = producer.join() {
+            let reason = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            eprintln!("warning: producer thread panicked ({}); poisoning its feeds", reason);
+            for feed in 0..feeds {
+                core.poison_feed(feed, &format!("producer thread panicked: {}", reason));
+            }
+        }
         let _ = dog.stop();
     }
     core.finish();

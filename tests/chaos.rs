@@ -260,7 +260,7 @@ fn run_overload(bundle: &ModelBundle, spec: &LoadSpec) -> OverloadRun {
     for tick in 0..90u64 {
         for feed in 0..spec.feeds {
             for line in gen.tick_lines(tick, feed) {
-                core.offer(feed, &line);
+                core.offer(feed, &line).unwrap();
             }
         }
         events.extend(core.sweep());
