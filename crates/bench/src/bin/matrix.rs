@@ -1,0 +1,195 @@
+//! Scenario x detector ablation matrix.
+//!
+//! Crosses every member of the detector zoo with operational scenarios
+//! beyond the paper's baseline fault universe, and reports per cell the
+//! operating-point F-measure, precision, recall, false-alarm rate and
+//! wall-clock runtime, as one JSON report. The scenarios:
+//!
+//! * `baseline` — the preset fault universe as-is;
+//! * `bursty` — elevated ticket rate (duplicate storms, dense faults);
+//! * `migration` — planned vPE migrations: loud hypervisor chatter with
+//!   no ticket, suppressed by the evaluation like maintenance. Punishes
+//!   detectors that cannot absorb expected-but-unusual chatter;
+//! * `chain-failure` — root hardware faults cascading circuit trouble
+//!   across a behaviour group in topology order: correlated, rolling
+//!   tickets a detector should predict.
+//!
+//! ```text
+//! cargo run --release -p nfv-bench --bin matrix [-- --fast]
+//! cargo run --release -p nfv-bench --bin matrix -- --fast --smoke
+//! ```
+//!
+//! `--smoke` shrinks the grid to 2 scenarios x 3 detectors and asserts
+//! the report's CI gate (each sequence detector beats at least one
+//! baseline detector on at least one scenario), exiting non-zero on
+//! violation; CI runs it on every push.
+
+use std::time::Instant;
+
+use nfv_bench::BenchArgs;
+use nfv_detect::eval;
+use nfv_detect::pipeline::{run_pipeline, DetectorKind, PipelineConfig};
+use nfv_simnet::{FleetTrace, SimConfig};
+
+/// One cell of the matrix.
+struct Cell {
+    scenario: &'static str,
+    detector: &'static str,
+    f: f32,
+    precision: f32,
+    recall: f32,
+    fa_per_day: f32,
+    runtime_secs: f64,
+}
+
+fn scenario_config(base: &SimConfig, scenario: &str) -> SimConfig {
+    let mut cfg = base.clone();
+    match scenario {
+        "baseline" => {}
+        "bursty" => cfg.ticket_rate *= 2.5,
+        "migration" => cfg.migrations = 2 * cfg.months.max(1),
+        "chain-failure" => cfg.chain_failures = cfg.months.max(1) / 2 + 1,
+        other => unreachable!("unknown scenario {}", other),
+    }
+    cfg
+}
+
+fn detector_kind(name: &str) -> DetectorKind {
+    match name {
+        "lstm" => DetectorKind::Lstm,
+        "gru" => DetectorKind::Gru,
+        "autoencoder" => DetectorKind::Autoencoder,
+        "ocsvm" => DetectorKind::Ocsvm,
+        "pca" => DetectorKind::Pca,
+        "hmm" => DetectorKind::Hmm,
+        other => unreachable!("unknown detector {}", other),
+    }
+}
+
+fn evaluate(trace: &FleetTrace, cfg: &PipelineConfig) -> (f32, f32, f32, f32) {
+    let run = run_pipeline(trace, cfg).expect("pipeline run");
+    let curve = eval::sweep_prc(&run, &cfg.mapping, 32);
+    match curve.best_f_point() {
+        Some(best) => (
+            best.f_measure,
+            best.precision,
+            best.recall,
+            eval::false_alarms_per_day(&run, &cfg.mapping, best.threshold),
+        ),
+        None => (0.0, 0.0, 0.0, 0.0),
+    }
+}
+
+/// The CI gate: every sequence detector (the tentpole additions) must
+/// beat at least one non-sequence baseline on at least one scenario.
+fn gate_violations(cells: &[Cell], sequence: &[&str], baselines: &[&str]) -> Vec<String> {
+    let best_f = |detector: &str, scenario: &str| {
+        cells.iter().find(|c| c.detector == detector && c.scenario == scenario).map(|c| c.f)
+    };
+    let scenarios: Vec<&str> = {
+        let mut s: Vec<&str> = cells.iter().map(|c| c.scenario).collect();
+        s.dedup();
+        s
+    };
+    let mut violations = Vec::new();
+    for &seq in sequence {
+        let wins = scenarios.iter().any(|&sc| {
+            let Some(f_seq) = best_f(seq, sc) else { return false };
+            baselines.iter().filter_map(|&b| best_f(b, sc)).any(|f_base| f_seq > f_base)
+        });
+        if !wins {
+            violations.push(format!("{} never beats any baseline on any scenario", seq));
+        }
+    }
+    violations
+}
+
+fn main() {
+    let mut smoke = false;
+    let args = BenchArgs::parse_with(|flag| {
+        if flag == "--smoke" {
+            smoke = true;
+            true
+        } else {
+            false
+        }
+    });
+
+    let (scenarios, detectors): (Vec<&str>, Vec<&str>) = if smoke {
+        (vec!["baseline", "migration"], vec!["gru", "pca", "hmm"])
+    } else {
+        (
+            vec!["baseline", "bursty", "migration", "chain-failure"],
+            vec!["lstm", "gru", "autoencoder", "ocsvm", "pca", "hmm"],
+        )
+    };
+    let sequence: Vec<&str> =
+        detectors.iter().copied().filter(|d| matches!(*d, "lstm" | "gru")).collect();
+    let baselines: Vec<&str> =
+        detectors.iter().copied().filter(|d| !matches!(*d, "lstm" | "gru")).collect();
+
+    let base_sim = args.sim_config();
+    let mut cells: Vec<Cell> = Vec::new();
+    println!("scenario\tdetector\tf\tprecision\trecall\tfa_per_day\truntime_s");
+    for &scenario in &scenarios {
+        let trace = FleetTrace::simulate(scenario_config(&base_sim, scenario));
+        eprintln!(
+            "scenario {}: {} messages, {} tickets",
+            scenario,
+            trace.total_messages(),
+            trace.tickets.len()
+        );
+        for &detector in &detectors {
+            let cfg = args.pipeline_config(detector_kind(detector));
+            let started = Instant::now();
+            let (f, precision, recall, fa_per_day) = evaluate(&trace, &cfg);
+            let runtime_secs = started.elapsed().as_secs_f64();
+            println!(
+                "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{:.1}",
+                scenario, detector, f, precision, recall, fa_per_day, runtime_secs
+            );
+            cells.push(Cell { scenario, detector, f, precision, recall, fa_per_day, runtime_secs });
+        }
+    }
+
+    let violations = gate_violations(&cells, &sequence, &baselines);
+
+    let mut by_scenario = serde_json::Map::new();
+    for &scenario in &scenarios {
+        let mut by_detector = serde_json::Map::new();
+        for c in cells.iter().filter(|c| c.scenario == scenario) {
+            by_detector.insert(
+                c.detector.to_string(),
+                serde_json::json!({
+                    "f": c.f,
+                    "precision": c.precision,
+                    "recall": c.recall,
+                    "fa_per_day": c.fa_per_day,
+                    "runtime_secs": c.runtime_secs,
+                }),
+            );
+        }
+        by_scenario.insert(scenario.to_string(), serde_json::Value::Object(by_detector));
+    }
+    let report = serde_json::json!({
+        "seed": args.seed,
+        "fast": args.fast,
+        "smoke": smoke,
+        "scenarios": by_scenario,
+        "gate_violations": violations.clone(),
+    });
+    args.maybe_write_json(&report);
+    if args.json.is_none() {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serializable"));
+    }
+
+    if !violations.is_empty() {
+        eprintln!("matrix gate FAILED:");
+        for v in &violations {
+            eprintln!("  {}", v);
+        }
+        if smoke {
+            std::process::exit(1);
+        }
+    }
+}

@@ -88,6 +88,10 @@ impl BenchArgs {
             cfg.lstm.oversample_rounds = 1;
             cfg.lstm.hidden = 24;
             cfg.lstm.max_train_windows = 8_000;
+            cfg.gru.epochs = 2;
+            cfg.gru.oversample_rounds = 1;
+            cfg.gru.hidden = 24;
+            cfg.gru.max_train_windows = 8_000;
             cfg.autoencoder.epochs = 12;
         }
         cfg

@@ -47,7 +47,13 @@ pub fn sweep_prc(run: &PipelineRun, mapping: &MappingConfig, n_thresholds: usize
     if scores.is_empty() {
         return PrCurve::default();
     }
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // `total_cmp`, not `partial_cmp(..).unwrap_or(Equal)`: the latter is
+    // an inconsistent comparator when a NaN score slips in, so the sorted
+    // order — and therefore every quantile threshold below — would depend
+    // on the input permutation. Under the IEEE total order NaNs sort
+    // deterministically past +inf, and the non-finite guard below keeps
+    // them from ever becoming thresholds.
+    scores.sort_by(f32::total_cmp);
 
     // Quantile grid concentrated near the top of the distribution:
     // q = 1 - 0.5^(i * step) walks from the median towards the max.
@@ -58,7 +64,7 @@ pub fn sweep_prc(run: &PipelineRun, mapping: &MappingConfig, n_thresholds: usize
         let q = 1.0 - 0.5f64.powf(1.0 + frac * 13.0);
         let idx = ((scores.len() - 1) as f64 * q) as usize;
         let threshold = scores[idx];
-        if !seen.insert(threshold.to_bits()) {
+        if !threshold.is_finite() || !seen.insert(threshold.to_bits()) {
             continue;
         }
         let counts = fleet_mapping(run, threshold, mapping).confusion();
@@ -69,8 +75,7 @@ pub fn sweep_prc(run: &PipelineRun, mapping: &MappingConfig, n_thresholds: usize
             f_measure: counts.f_measure(),
         });
     }
-    points
-        .sort_by(|a, b| a.threshold.partial_cmp(&b.threshold).unwrap_or(std::cmp::Ordering::Equal));
+    points.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
     PrCurve { points }
 }
 
@@ -390,6 +395,79 @@ mod tests {
         // The sweep at any threshold must agree with fleet_mapping.
         let counts = fleet_mapping(&run, best.threshold, &MappingConfig::default()).confusion();
         assert!((counts.f_measure() - best.f_measure).abs() < 1e-6);
+    }
+
+    /// Builds a single-vPE run from one month of events, in the given
+    /// order. Only the score stream differs between permutations.
+    fn run_from_events(events: Vec<ScoredEvent>) -> PipelineRun {
+        let tickets = vec![Ticket {
+            id: 0,
+            vpe: 0,
+            cause: TicketCause::Circuit,
+            report_time: month_start(1) + 500_000,
+            repair_time: month_start(1) + 510_000,
+            core_incident: false,
+        }];
+        PipelineRun {
+            months: vec![MonthScores { month: 1, per_vpe: vec![events] }],
+            rollups: vec![],
+            tickets,
+            adaptations: vec![],
+            grouping: Grouping::single(1),
+            vocab: 8,
+            suppression: vec![Vec::new()],
+            events: vec![],
+        }
+    }
+
+    #[test]
+    fn nan_bearing_scores_give_order_independent_pr_curve() {
+        // A NaN in the score stream must not make the curve depend on
+        // input order: under the old `partial_cmp(..).unwrap_or(Equal)`
+        // comparator the NaN compares Equal to everything, the sort
+        // order of the finite scores becomes permutation-dependent, and
+        // the quantile thresholds (hence the whole curve) silently
+        // change with event order. `total_cmp` restores a total order.
+        // Eight events share each timestamp: `events_for` time-sorts
+        // stably, so the stored (permuted) order survives into the score
+        // stream the sweep sorts. Scores are pairwise distinct.
+        let m1 = month_start(1);
+        let mut events: Vec<ScoredEvent> = (0..64)
+            .map(|i| ScoredEvent {
+                time: m1 + 1_000 + (i as u64 / 8) * 7_000,
+                score: ((i * 37) % 101) as f32 * 0.11,
+            })
+            .collect();
+        events[20].score = f32::NAN;
+
+        let curve_of = |events: Vec<ScoredEvent>| {
+            let run = run_from_events(events);
+            sweep_prc(&run, &MappingConfig::default(), 40)
+                .points
+                .iter()
+                .map(|p| (p.threshold.to_bits(), p.precision, p.recall, p.f_measure))
+                .collect::<Vec<_>>()
+        };
+
+        let base = curve_of(events.clone());
+        assert!(!base.is_empty());
+        assert!(base.iter().all(|&(bits, ..)| f32::from_bits(bits).is_finite()));
+
+        let mut reversed = events.clone();
+        reversed.reverse();
+        assert_eq!(curve_of(reversed), base, "reversed event order changed the PR curve");
+
+        let mut rotated = events.clone();
+        rotated.rotate_left(29);
+        assert_eq!(curve_of(rotated), base, "rotated event order changed the PR curve");
+    }
+
+    #[test]
+    fn empty_run_yields_empty_curve_without_panicking() {
+        let run = run_from_events(vec![]);
+        let curve = sweep_prc(&run, &MappingConfig::default(), 8);
+        assert!(curve.points.is_empty());
+        assert!(curve.best_f_point().is_none());
     }
 
     #[test]

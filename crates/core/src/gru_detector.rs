@@ -1,0 +1,525 @@
+//! GRU-based next-template anomaly detector — the second recurrent
+//! member of the detector zoo.
+//!
+//! Identical protocol to [`crate::lstm_detector::LstmDetector`] (window
+//! the template stream, predict the next id, score by negative
+//! log-likelihood; minority-pattern over-sampling during the initial
+//! fit; frozen-bottom transfer learning after software updates) with the
+//! LSTM cell swapped for a GRU ([`nfv_nn::GruSequenceModel`]). The GRU
+//! carries ~25% fewer recurrent weights at the same hidden width, which
+//! makes it the cheaper point on the ablation matrix's accuracy/runtime
+//! trade-off curve.
+
+use crate::detector::{AnomalyDetector, ScoredEvent};
+use crate::par;
+use crate::state;
+use nfv_ml::sampling::oversample_indices;
+use nfv_nn::checkpoint::{Checkpoint, CheckpointError};
+use nfv_nn::{Adam, GruModelConfig, GruScratch, GruSequenceModel, SeqView, Trainer, TrainerConfig};
+use nfv_syslog::stream::WindowSet;
+use nfv_syslog::LogStream;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+
+/// Hyper-parameters of [`GruDetector`].
+#[derive(Debug, Clone)]
+pub struct GruDetectorConfig {
+    /// Dense vocabulary width (from the codec).
+    pub vocab: usize,
+    /// Window length k.
+    pub window: usize,
+    /// Embedding width.
+    pub embed_dim: usize,
+    /// GRU hidden width.
+    pub hidden: usize,
+    /// Stacked GRU layers.
+    pub gru_layers: usize,
+    /// Initial-fit epochs before over-sampling rounds.
+    pub epochs: usize,
+    /// Epochs per incremental monthly update.
+    pub update_epochs: usize,
+    /// Epochs per post-update adaptation.
+    pub adapt_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate for the initial fit.
+    pub lr: f32,
+    /// A training window counts as misclassified when its true next
+    /// template is outside the model's top-g predictions.
+    pub top_g: usize,
+    /// Maximum over-sampling rounds.
+    pub oversample_rounds: usize,
+    /// Replication factor for misclassified windows.
+    pub oversample_boost: usize,
+    /// Cap on training windows (reservoir-sampled above this).
+    pub max_train_windows: usize,
+    /// Append the normalized inter-arrival gap to each step's input.
+    pub use_gap_feature: bool,
+    /// Worker threads for training (deterministic gradient shards) and
+    /// scoring (chunk fan-out). `0` = auto (`available_parallelism`).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GruDetectorConfig {
+    fn default() -> Self {
+        GruDetectorConfig {
+            vocab: 64,
+            window: 10,
+            embed_dim: 16,
+            hidden: 32,
+            gru_layers: 2,
+            epochs: 3,
+            update_epochs: 1,
+            adapt_epochs: 3,
+            batch_size: 64,
+            lr: 5e-3,
+            top_g: 5,
+            oversample_rounds: 2,
+            oversample_boost: 4,
+            max_train_windows: 60_000,
+            use_gap_feature: true,
+            threads: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// GRU next-template anomaly detector.
+pub struct GruDetector {
+    cfg: GruDetectorConfig,
+    model: GruSequenceModel,
+    rng: SmallRng,
+}
+
+impl GruDetector {
+    /// Builds an untrained detector.
+    pub fn new(cfg: GruDetectorConfig) -> GruDetector {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let model = GruSequenceModel::new(
+            GruModelConfig {
+                vocab: cfg.vocab,
+                embed_dim: cfg.embed_dim,
+                hidden: cfg.hidden,
+                gru_layers: cfg.gru_layers,
+                use_gap_feature: cfg.use_gap_feature,
+            },
+            &mut rng,
+        );
+        GruDetector { cfg, model, rng }
+    }
+
+    /// Read access to the underlying model (checkpointing, transfer).
+    pub fn model(&self) -> &GruSequenceModel {
+        &self.model
+    }
+
+    /// Overrides the worker-thread count (0 = auto).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads;
+    }
+
+    /// The configured window length k.
+    pub fn window(&self) -> usize {
+        self.cfg.window
+    }
+
+    fn collect_windows(&self, streams: &[&LogStream]) -> WindowSet {
+        let mut all = WindowSet::default();
+        for s in streams {
+            all.extend(s.windows(self.cfg.window));
+        }
+        all
+    }
+
+    fn subsample(&mut self, ws: WindowSet) -> WindowSet {
+        if ws.len() <= self.cfg.max_train_windows {
+            return ws;
+        }
+        let idx = nfv_ml::sampling::reservoir_sample(
+            0..ws.len(),
+            self.cfg.max_train_windows,
+            &mut self.rng,
+        );
+        ws.gather(&idx)
+    }
+
+    fn train_epochs(&mut self, ws: &WindowSet, epochs: usize, lr: f32) {
+        let indices: Vec<usize> = (0..ws.len()).collect();
+        self.train_on_indices(ws, &indices, epochs, lr);
+    }
+
+    /// Resolved worker count (`cfg.threads`, 0 = auto).
+    fn threads(&self) -> usize {
+        par::effective_threads(self.cfg.threads, usize::MAX)
+    }
+
+    /// Trains on the selected windows of `ws` through the shared
+    /// [`Trainer`] loop — same fresh-Adam-per-phase and deterministic
+    /// sharding contract as the LSTM detector.
+    fn train_on_indices(&mut self, ws: &WindowSet, indices: &[usize], epochs: usize, lr: f32) {
+        if indices.is_empty() {
+            return;
+        }
+        let shapes = self.model.param_shapes();
+        let cfg = TrainerConfig {
+            epochs,
+            batch_size: self.cfg.batch_size,
+            threads: self.threads(),
+            ..TrainerConfig::default()
+        };
+        let mut trainer = Trainer::new(cfg, Adam::new(lr, &shapes), &shapes);
+        let view = SeqView { ids: &ws.ids, gaps: &ws.gaps, targets: &ws.targets };
+        if let Err(e) = trainer.fit_indices_sharded(&mut self.model, &view, indices, &mut self.rng)
+        {
+            eprintln!("gru training aborted: {}", e);
+        }
+    }
+
+    /// Batched inference over `ws` in fixed 512-window chunks fanned out
+    /// across workers; bit-identical to a serial pass for any thread
+    /// count (fixed chunk boundaries, row-independent forward math).
+    fn predict_map<R: Send>(
+        &self,
+        ws: &WindowSet,
+        f: impl Fn(usize, usize, &[f32]) -> R + Sync,
+    ) -> Vec<R> {
+        self.predict_map_threads(ws, self.threads(), f)
+    }
+
+    /// [`GruDetector::predict_map`] with an explicit worker count for
+    /// the cross-vPE batched path. Any value yields the same bits.
+    fn predict_map_threads<R: Send>(
+        &self,
+        ws: &WindowSet,
+        threads: usize,
+        f: impl Fn(usize, usize, &[f32]) -> R + Sync,
+    ) -> Vec<R> {
+        const CHUNK: usize = 512;
+        let view = SeqView { ids: &ws.ids, gaps: &ws.gaps, targets: &[] };
+        let starts: Vec<usize> = (0..ws.len()).step_by(CHUNK).collect();
+        par::par_blocks(&starts, threads, |_, block| {
+            let mut scratch = GruScratch::default();
+            let mut chunk = Vec::with_capacity(CHUNK);
+            let mut out = Vec::new();
+            for &start in block {
+                chunk.clear();
+                chunk.extend(start..(start + CHUNK).min(ws.len()));
+                let probs = self.model.predict_probs_view(&view, &chunk, &mut scratch);
+                for (row, &global_idx) in chunk.iter().enumerate() {
+                    out.push(f(global_idx, ws.targets[global_idx], probs.row(row)));
+                }
+            }
+            out
+        })
+    }
+
+    /// Indices of training windows whose target is outside the model's
+    /// top-g predictions.
+    fn misclassified(&self, ws: &WindowSet) -> Vec<usize> {
+        let missed = self.predict_map(ws, |_, target, probs| {
+            let top = nfv_tensor::vecops::top_k(probs, self.cfg.top_g);
+            !top.contains(&target)
+        });
+        missed.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect()
+    }
+
+    fn fit_windows(&mut self, ws: WindowSet) {
+        let ws = self.subsample(ws);
+        if ws.is_empty() {
+            return;
+        }
+        self.train_epochs(&ws, self.cfg.epochs, self.cfg.lr);
+
+        // Minority-pattern over-sampling rounds: keep going while the
+        // training false-positive rate improves.
+        let mut prev_fp = usize::MAX;
+        for _ in 0..self.cfg.oversample_rounds {
+            let missed = self.misclassified(&ws);
+            if missed.is_empty() || missed.len() >= prev_fp {
+                break;
+            }
+            prev_fp = missed.len();
+            let mix = oversample_indices(
+                ws.len(),
+                &missed,
+                self.cfg.oversample_boost,
+                0.25,
+                &mut self.rng,
+            );
+            self.train_on_indices(&ws, &mix, 1, self.cfg.lr * 0.5);
+        }
+    }
+
+    /// Training false-positive rate on a window set (fraction of normal
+    /// windows flagged at the top-g rule).
+    pub fn training_fp_rate(&self, streams: &[&LogStream]) -> f32 {
+        let ws = self.collect_windows(streams);
+        if ws.is_empty() {
+            return 0.0;
+        }
+        self.misclassified(&ws).len() as f32 / ws.len() as f32
+    }
+}
+
+impl AnomalyDetector for GruDetector {
+    fn name(&self) -> &'static str {
+        "gru"
+    }
+
+    fn fit(&mut self, streams: &[&LogStream]) {
+        let ws = self.collect_windows(streams);
+        self.fit_windows(ws);
+    }
+
+    fn update(&mut self, streams: &[&LogStream]) {
+        // Reduced-rate monthly refresh, same rationale as the LSTM.
+        let ws = self.collect_windows(streams);
+        let ws = self.subsample(ws);
+        self.train_epochs(&ws, self.cfg.update_epochs, self.cfg.lr * 0.15);
+    }
+
+    fn adapt(&mut self, streams: &[&LogStream]) {
+        // Transfer learning: freeze embedding + bottom GRU, fine-tune
+        // the top layers on the small post-update sample.
+        let ws = self.collect_windows(streams);
+        let ws = self.subsample(ws);
+        self.model.set_frozen_bottom(2);
+        self.train_epochs(&ws, self.cfg.adapt_epochs, self.cfg.lr);
+        self.model.set_frozen_bottom(0);
+    }
+
+    fn score(&self, stream: &LogStream, start: u64, end: u64) -> Vec<ScoredEvent> {
+        let ws = stream.windows_in(self.cfg.window, start, end, |_| true);
+        self.predict_map(&ws, |global_idx, target, probs| {
+            let p = probs[target].max(1e-9);
+            ScoredEvent { time: ws.times[global_idx], score: -p.ln() }
+        })
+    }
+
+    /// Cross-vPE batched scoring, bit-identical to per-stream `score` —
+    /// same gather/scatter contract as the LSTM detector.
+    fn score_batch(
+        &self,
+        streams: &[&LogStream],
+        start: u64,
+        end: u64,
+        threads: usize,
+    ) -> Vec<Vec<ScoredEvent>> {
+        let mut all = WindowSet::default();
+        let mut counts = Vec::with_capacity(streams.len());
+        for s in streams {
+            let before = all.len();
+            all.extend(s.windows_in(self.cfg.window, start, end, |_| true));
+            counts.push(all.len() - before);
+        }
+        let flat = self.predict_map_threads(
+            &all,
+            par::effective_threads(threads, usize::MAX),
+            |global_idx, target, probs| {
+                let p = probs[target].max(1e-9);
+                ScoredEvent { time: all.times[global_idx], score: -p.ln() }
+            },
+        );
+        let mut out = Vec::with_capacity(streams.len());
+        let mut off = 0;
+        for c in counts {
+            out.push(flat[off..off + c].to_vec());
+            off += c;
+        }
+        out
+    }
+
+    fn to_state(&self) -> Value {
+        json!({
+            "detector": self.name(),
+            "model": self.model.to_checkpoint().to_value(),
+            "rng": state::rng_value(&self.rng),
+        })
+    }
+
+    fn load_state(&mut self, st: &Value) -> Result<(), CheckpointError> {
+        state::check_tag(st, self.name())?;
+        let ckpt = Checkpoint::from_value(state::require(st, "model")?)?;
+        let model = GruSequenceModel::try_from_checkpoint(&ckpt)?;
+        if model.config().vocab != self.cfg.vocab {
+            return Err(CheckpointError::Invalid(format!(
+                "gru state vocab {} does not match configured {}",
+                model.config().vocab,
+                self.cfg.vocab
+            )));
+        }
+        self.rng = state::rng_from_value(state::require(st, "rng")?)?;
+        self.model = model;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_syslog::LogRecord;
+    use rand::Rng;
+
+    fn training_stream(len: usize, seed: u64) -> LogStream {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut records = Vec::with_capacity(len);
+        let mut state = 0usize;
+        for i in 0..len {
+            let template = if rng.gen::<f32>() < 0.1 {
+                rng.gen_range(1..6)
+            } else {
+                state + 1 // ids 1..=5
+            };
+            state = (state + 1) % 5;
+            records.push(LogRecord { time: i as u64 * 30, template });
+        }
+        LogStream::from_records(records)
+    }
+
+    fn tiny_cfg() -> GruDetectorConfig {
+        GruDetectorConfig {
+            vocab: 8,
+            window: 5,
+            embed_dim: 6,
+            hidden: 12,
+            gru_layers: 2,
+            epochs: 4,
+            batch_size: 32,
+            max_train_windows: 3000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn anomalous_burst_scores_above_normal_traffic() {
+        let train = training_stream(1200, 1);
+        let mut det = GruDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+
+        // Test stream: same behaviour, then a burst of template 7 (never
+        // seen in training).
+        let mut records: Vec<LogRecord> = training_stream(300, 2).records().to_vec();
+        let t0 = records.last().unwrap().time;
+        for j in 0..5 {
+            records.push(LogRecord { time: t0 + 10 + j, template: 7 });
+        }
+        let test = LogStream::from_records(records);
+        let events = det.score(&test, 0, u64::MAX);
+
+        let burst_scores: Vec<f32> =
+            events.iter().filter(|e| e.time > t0).map(|e| e.score).collect();
+        let normal_scores: Vec<f32> =
+            events.iter().filter(|e| e.time <= t0).map(|e| e.score).collect();
+        assert!(!burst_scores.is_empty());
+        let normal_mean = normal_scores.iter().sum::<f32>() / normal_scores.len() as f32;
+        let burst_min = burst_scores.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(
+            burst_min > normal_mean + 1.0,
+            "burst min {} vs normal mean {}",
+            burst_min,
+            normal_mean
+        );
+    }
+
+    #[test]
+    fn fit_reduces_training_fp_rate() {
+        let train = training_stream(1500, 3);
+        let mut det = GruDetector::new(tiny_cfg());
+        let before = det.training_fp_rate(&[&train]);
+        det.fit(&[&train]);
+        let after = det.training_fp_rate(&[&train]);
+        assert!(after < before * 0.6, "fp rate {} -> {}", before, after);
+        assert!(after < 0.15, "post-fit fp rate {}", after);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical() {
+        let train = training_stream(900, 4);
+        let mut det = GruDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+
+        let st = det.to_state();
+        let mut restored = GruDetector::new(tiny_cfg());
+        restored.load_state(&st).unwrap();
+
+        let test = training_stream(300, 5);
+        let a = det.score(&test, 0, u64::MAX);
+        let b = restored.score(&test, 0, u64::MAX);
+        assert_eq!(a, b, "restored detector must score identically");
+        // And the restored RNG must continue the same trajectory: a
+        // further update from identical state stays bit-identical.
+        det.update(&[&test]);
+        restored.update(&[&test]);
+        let a2 = det.score(&test, 0, u64::MAX);
+        let b2 = restored.score(&test, 0, u64::MAX);
+        assert_eq!(a2, b2, "post-restore updates must stay on the same trajectory");
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_tag_and_vocab() {
+        use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
+
+        let mut det = GruDetector::new(tiny_cfg());
+        let other = LstmDetector::new(LstmDetectorConfig { vocab: 8, ..Default::default() });
+        assert!(det.load_state(&other.to_state()).is_err(), "wrong tag must be rejected");
+
+        let bigger = GruDetector::new(GruDetectorConfig { vocab: 16, ..tiny_cfg() });
+        let st = bigger.to_state();
+        assert!(det.load_state(&st).is_err(), "vocab mismatch must be rejected");
+    }
+
+    #[test]
+    fn score_batch_matches_per_stream_at_any_thread_count() {
+        let train = training_stream(1000, 6);
+        let mut det = GruDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+
+        let streams: Vec<LogStream> =
+            (0..3).map(|s| training_stream(400 + 100 * s, 20 + s as u64)).collect();
+        let refs: Vec<&LogStream> = streams.iter().collect();
+        let per_stream: Vec<Vec<ScoredEvent>> =
+            refs.iter().map(|s| det.score(s, 0, u64::MAX)).collect();
+        for threads in [1, 2, 4] {
+            let batched = det.score_batch(&refs, 0, u64::MAX, threads);
+            assert_eq!(batched, per_stream, "threads={} diverged", threads);
+        }
+    }
+
+    #[test]
+    fn adapt_keeps_frozen_bottom_weights_bit_identical() {
+        use nfv_nn::Trainable;
+
+        let train = training_stream(900, 10);
+        let mut det = GruDetector::new(tiny_cfg());
+        det.fit(&[&train]);
+
+        let before: Vec<Vec<f32>> =
+            det.model().params().iter().map(|p| p.as_slice().to_vec()).collect();
+
+        let shifted = LogStream::from_records(
+            (0..300).map(|i| LogRecord { time: i as u64 * 30, template: 6 + (i % 2) }).collect(),
+        );
+        det.adapt(&[&shifted]);
+
+        let after = det.model().params();
+        // Frozen: embedding (1 matrix) + bottom GRU (wx, wh, b).
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate().take(4) {
+            assert_eq!(b.as_slice(), a.as_slice(), "frozen parameter {} changed during adapt", i);
+        }
+        let unfrozen_moved =
+            before.iter().zip(after.iter()).skip(4).any(|(b, a)| b.as_slice() != a.as_slice());
+        assert!(unfrozen_moved, "adapt should still update the unfrozen top layers");
+    }
+
+    #[test]
+    fn empty_training_data_is_harmless() {
+        let mut det = GruDetector::new(tiny_cfg());
+        det.fit(&[]);
+        let empty = LogStream::from_records(vec![]);
+        assert!(det.score(&empty, 0, u64::MAX).is_empty());
+    }
+}

@@ -52,6 +52,7 @@ pub mod eval;
 pub mod features;
 pub mod group_store;
 pub mod grouping;
+pub mod gru_detector;
 pub mod hmm_detector;
 pub mod lstm_detector;
 pub mod mapping;
@@ -72,6 +73,7 @@ pub use codec::LogCodec;
 pub use detector::{AnomalyDetector, ScoredEvent};
 pub use group_store::{GroupModelStore, VpeCursor};
 pub use grouping::Grouping;
+pub use gru_detector::{GruDetector, GruDetectorConfig};
 pub use hmm_detector::{HmmDetector, HmmDetectorConfig};
 pub use lstm_detector::{LstmDetector, LstmDetectorConfig};
 pub use mapping::{MappingConfig, MappingResult};

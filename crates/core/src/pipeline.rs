@@ -39,6 +39,7 @@ use crate::codec::LogCodec;
 use crate::detector::{AnomalyDetector, ScoredEvent};
 use crate::group_store::{GroupModelStore, VpeCursor};
 use crate::grouping::Grouping;
+use crate::gru_detector::{GruDetector, GruDetectorConfig};
 use crate::hmm_detector::{HmmDetector, HmmDetectorConfig};
 use crate::lstm_detector::{LstmDetector, LstmDetectorConfig};
 use crate::mapping::{map_clusters, warning_clusters, MappingConfig};
@@ -56,6 +57,8 @@ use std::path::PathBuf;
 pub enum DetectorKind {
     /// The paper's LSTM detector.
     Lstm,
+    /// GRU next-template detector (detector-zoo extension).
+    Gru,
     /// Autoencoder baseline.
     Autoencoder,
     /// One-Class SVM baseline.
@@ -201,6 +204,8 @@ pub struct PipelineConfig {
     pub trigger_quantile: f32,
     /// LSTM hyper-parameters (vocab is overwritten from the codec).
     pub lstm: LstmDetectorConfig,
+    /// GRU hyper-parameters (vocab overwritten).
+    pub gru: GruDetectorConfig,
     /// Autoencoder hyper-parameters (vocab overwritten).
     pub autoencoder: AutoencoderConfig,
     /// OC-SVM hyper-parameters (vocab overwritten).
@@ -242,6 +247,7 @@ impl Default for PipelineConfig {
             fa_surge_factor: 4.0,
             trigger_quantile: 0.995,
             lstm: LstmDetectorConfig::default(),
+            gru: GruDetectorConfig::default(),
             autoencoder: AutoencoderConfig::default(),
             ocsvm: OcsvmDetectorConfig::default(),
             pca: PcaDetectorConfig::default(),
@@ -406,6 +412,13 @@ pub(crate) fn build_detector(
             c.seed ^= (group as u64) << 17;
             Box::new(LstmDetector::new(c))
         }
+        DetectorKind::Gru => {
+            let mut c = cfg.gru.clone();
+            c.vocab = vocab;
+            c.threads = threads;
+            c.seed ^= (group as u64) << 17;
+            Box::new(GruDetector::new(c))
+        }
         DetectorKind::Autoencoder => {
             let mut c = cfg.autoencoder.clone();
             c.vocab = vocab;
@@ -560,6 +573,7 @@ pub(crate) fn append_month(
 pub(crate) fn scoring_context(cfg: &PipelineConfig) -> usize {
     let window = match cfg.detector {
         DetectorKind::Lstm => cfg.lstm.window,
+        DetectorKind::Gru => cfg.gru.window,
         DetectorKind::Autoencoder => cfg.autoencoder.windowing.width,
         DetectorKind::Ocsvm => cfg.ocsvm.windowing.width,
         DetectorKind::Pca => cfg.pca.windowing.width,
@@ -635,6 +649,7 @@ pub(crate) fn fingerprint(trace: &FleetTrace, cfg: &PipelineConfig) -> u64 {
     let mut c = cfg.clone();
     c.threads = 0;
     c.lstm.threads = 0;
+    c.gru.threads = 0;
     c.autoencoder.threads = 0;
     c.checkpoint = CheckpointConfig::default();
     // Retention is operational too: it bounds what is *kept*, never
@@ -896,31 +911,45 @@ fn checkpoint_boundary(
     Ok(())
 }
 
+/// Per-vPE expected-work windows the evaluation suppresses: scheduled
+/// maintenance tickets and planned migrations. Both get the same
+/// treatment — the window plus the preceding predictive period, because
+/// the preparatory work (drains, config pushes, pre-copy) starts before
+/// the event proper.
+fn suppression_windows(trace: &FleetTrace, cfg: &PipelineConfig) -> Vec<Vec<(u64, u64)>> {
+    (0..trace.config.n_vpes)
+        .map(|v| {
+            let mut windows: Vec<(u64, u64)> = trace
+                .tickets_for(v)
+                .iter()
+                .filter(|t| t.cause == TicketCause::Maintenance)
+                .map(|t| {
+                    (t.report_time.saturating_sub(cfg.mapping.predictive_period), t.repair_time)
+                })
+                .collect();
+            // Planned migrations are expected work too: hypervisor
+            // chatter, no ticket, no false alarm.
+            windows.extend(
+                trace
+                    .migrations
+                    .iter()
+                    .filter(|m| m.vpe == v)
+                    .map(|m| (m.start.saturating_sub(cfg.mapping.predictive_period), m.end)),
+            );
+            windows
+        })
+        .collect()
+}
+
 /// Assembles the run output from the final state.
 fn finish(trace: &FleetTrace, cfg: &PipelineConfig, state: PipelineState) -> PipelineRun {
-    let n_vpes = trace.config.n_vpes;
     let tickets = trace
         .tickets
         .iter()
         .filter(|t| t.cause != TicketCause::Maintenance && t.report_time >= month_start(1))
         .copied()
         .collect();
-    let suppression = (0..n_vpes)
-        .map(|v| {
-            trace
-                .tickets_for(v)
-                .iter()
-                .filter(|t| t.cause == TicketCause::Maintenance)
-                // Pre-maintenance work (drains, config pushes) starts
-                // before the ticket's report time; suppress the whole
-                // predictive window, mirroring how fault tickets absorb
-                // their own predictive-period anomalies.
-                .map(|t| {
-                    (t.report_time.saturating_sub(cfg.mapping.predictive_period), t.repair_time)
-                })
-                .collect()
-        })
-        .collect();
+    let suppression = suppression_windows(trace, cfg);
     PipelineRun {
         months: state.months,
         rollups: state.rollups,
@@ -1003,6 +1032,28 @@ mod tests {
         let t = calibrate_trigger(&scores, 0.5, 0, 0, &mut events);
         assert!(t.is_finite());
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn migration_windows_join_maintenance_in_the_suppression_set() {
+        let mut sim = nfv_simnet::SimConfig::preset(nfv_simnet::SimPreset::Fast, 13);
+        sim.migrations = 4;
+        let trace = FleetTrace::simulate(sim);
+        let cfg = PipelineConfig::default();
+        let windows = suppression_windows(&trace, &cfg);
+        assert_eq!(windows.len(), trace.config.n_vpes);
+        for m in &trace.migrations {
+            let expected = (m.start.saturating_sub(cfg.mapping.predictive_period), m.end);
+            assert!(
+                windows[m.vpe].contains(&expected),
+                "migration {:?} missing from suppression",
+                m
+            );
+        }
+        // Maintenance windows are still present alongside.
+        let maint = trace.tickets.iter().filter(|t| t.cause == TicketCause::Maintenance).count();
+        let total: usize = windows.iter().map(|w| w.len()).sum();
+        assert_eq!(total, maint + trace.migrations.len());
     }
 
     #[test]

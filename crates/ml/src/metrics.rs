@@ -88,9 +88,7 @@ impl PrCurve {
         let scored = scored.as_slice();
         let total_pos = scored.iter().filter(|(_, y)| *y).count();
         let mut order: Vec<usize> = (0..scored.len()).collect();
-        order.sort_by(|&a, &b| {
-            scored[a].0.partial_cmp(&scored[b].0).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| scored[a].0.total_cmp(&scored[b].0));
 
         // Walk thresholds from the smallest score upward. At a threshold
         // equal to the i-th smallest score, samples [i..] are flagged.
@@ -122,9 +120,7 @@ impl PrCurve {
 
     /// The point with the highest F-measure (the paper's operating point).
     pub fn best_f_point(&self) -> Option<PrPoint> {
-        self.points.iter().copied().max_by(|a, b| {
-            a.f_measure.partial_cmp(&b.f_measure).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.points.iter().copied().max_by(|a, b| a.f_measure.total_cmp(&b.f_measure))
     }
 
     /// Area under the PR curve via trapezoidal integration over recall.
@@ -134,7 +130,7 @@ impl PrCurve {
         }
         let mut pts: Vec<(f32, f32)> =
             self.points.iter().map(|p| (p.recall, p.precision)).collect();
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut area = 0.0f32;
         for w in pts.windows(2) {
             area += (w[1].0 - w[0].0) * 0.5 * (w[0].1 + w[1].1);

@@ -253,7 +253,7 @@ fn median_heuristic_gamma(points: &[Vec<f32>]) -> f32 {
             counter += 1;
         }
     }
-    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    dists.sort_by(f32::total_cmp);
     let median = nfv_tensor::stats::quantile_sorted(&dists, 0.5);
     if median > 1e-12 {
         1.0 / median

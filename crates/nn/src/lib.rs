@@ -10,6 +10,9 @@
 //! * [`embedding::Embedding`] — lookup table for template ids;
 //! * [`lstm::LstmLayer`] — batched LSTM with full back-propagation
 //!   through time;
+//! * [`gru::GruLayer`] / [`gru::GruSequenceModel`] — the GRU member of
+//!   the detector zoo: same container contract as the LSTM stack with
+//!   ~25% fewer weights per layer;
 //! * [`loss`] — softmax cross-entropy and mean-squared error;
 //! * [`optimizer`] — SGD, momentum and Adam;
 //! * [`trainer`] — the shared training loop ([`trainer::Trainer`]):
@@ -35,6 +38,7 @@ pub mod activation;
 pub mod checkpoint;
 pub mod dense;
 pub mod embedding;
+pub mod gru;
 pub mod loss;
 pub mod lstm;
 pub mod model;
@@ -45,6 +49,7 @@ pub use activation::Activation;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use dense::Dense;
 pub use embedding::Embedding;
+pub use gru::{GruLayer, GruModelConfig, GruScratch, GruSequenceModel};
 pub use lstm::LstmLayer;
 pub use model::{
     Mlp, MlpScratch, MseRows, SeqScratch, SeqView, SequenceModel, SequenceModelConfig,

@@ -719,7 +719,10 @@ impl Mlp {
 /// Copies checkpoint matrices into a freshly-built model, verifying the
 /// parameter count and every matrix shape against the architecture the
 /// dims describe.
-fn restore_params<M: Trainable>(model: &mut M, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+pub(crate) fn restore_params<M: Trainable>(
+    model: &mut M,
+    ckpt: &Checkpoint,
+) -> Result<(), CheckpointError> {
     let mut params = model.params_mut();
     if params.len() != ckpt.params.len() {
         return Err(CheckpointError::Invalid(format!(

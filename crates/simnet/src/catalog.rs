@@ -30,6 +30,9 @@ pub struct Catalog {
     fault: Vec<(TicketCause, Vec<usize>)>,
     /// Maintenance-window chatter (normal, expected, not anomalous).
     pub maintenance_chatter: Vec<usize>,
+    /// Planned-migration chatter (expected hypervisor narration while a
+    /// vPE's state moves hosts; chatter, not a fault signature).
+    pub migration_chatter: Vec<usize>,
     /// `v1 -> v2` template replacements applied by the software update.
     pub v2_map: Vec<(usize, usize)>,
     /// Brand-new templates that only exist after the update.
@@ -124,6 +127,24 @@ impl Catalog {
             set.add("mgd", Notice, Management, "maintenance window opened by change ticket {hex}"),
             set.add("mgd", Notice, Management, "configuration rollback checkpoint {num} created"),
             set.add("mgd", Notice, Management, "maintenance window closed duration {num} minutes"),
+        ];
+
+        // ---- Planned-migration chatter. ----
+        let migration_chatter = vec![
+            set.add(
+                "vmmd",
+                Notice,
+                System,
+                "vm state transfer initiated to host {hex} session {hex}",
+            ),
+            set.add("vmmd", Info, System, "memory pages precopied {num} MB round {num}"),
+            set.add("vmmd", Notice, System, "vnic flows quiesced for cutover {num} entries"),
+            set.add(
+                "vmmd",
+                Notice,
+                System,
+                "vm resumed on destination host {hex} downtime {num} ms",
+            ),
         ];
 
         // ---- Fault signatures, per root cause. ----
@@ -345,6 +366,7 @@ impl Catalog {
             group_extra,
             fault,
             maintenance_chatter,
+            migration_chatter,
             v2_map,
             post_update_new,
             ppe_physical,
@@ -412,6 +434,7 @@ mod tests {
         let cat = Catalog::build();
         let mut normal: Vec<usize> = (0..4).flat_map(|g| cat.normal_for_group(g)).collect();
         normal.extend(&cat.maintenance_chatter);
+        normal.extend(&cat.migration_chatter);
         for cause in TicketCause::ALL {
             for id in cat.fault_templates(cause) {
                 assert!(!normal.contains(id), "fault template {} leaks into normal set", id);

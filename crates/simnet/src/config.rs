@@ -40,6 +40,17 @@ pub struct SimConfig {
     /// Number of fleet-wide correlated core-router incidents over the
     /// whole window (the paper observes these are "very rare").
     pub core_incidents: usize,
+    /// Number of planned vPE migrations (VM state moved to another
+    /// host) over the whole window. A migration emits its own
+    /// management chatter and is *expected* work: no ticket is raised,
+    /// and the evaluation suppresses warnings inside its window, like
+    /// maintenance.
+    pub migrations: usize,
+    /// Number of chain-failure incidents over the whole window: a root
+    /// hardware fault on one member of a behaviour group cascading into
+    /// circuit trouble on the rest of the group, in topology (id)
+    /// order.
+    pub chain_failures: usize,
 }
 
 impl SimConfig {
@@ -56,6 +67,8 @@ impl SimConfig {
                 update_fraction: 0.6,
                 ticket_rate: 0.9,
                 core_incidents: 2,
+                migrations: 0,
+                chain_failures: 0,
             },
             SimPreset::Fast => SimConfig {
                 seed,
@@ -67,6 +80,8 @@ impl SimConfig {
                 update_fraction: 0.6,
                 ticket_rate: 1.2,
                 core_incidents: 0,
+                migrations: 0,
+                chain_failures: 0,
             },
         }
     }
@@ -87,6 +102,8 @@ impl SimConfig {
             update_fraction: 0.0,
             ticket_rate: 0.2,
             core_incidents: 0,
+            migrations: 0,
+            chain_failures: 0,
         }
     }
 

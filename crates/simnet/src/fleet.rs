@@ -6,6 +6,7 @@ use crate::behavior::VpeBehavior;
 use crate::catalog::Catalog;
 use crate::config::SimConfig;
 use crate::faults::inject_for_ticket;
+use crate::scenario::{plan_migrations, Migration};
 use crate::tickets::{generate_tickets, Ticket, TicketCause};
 use crate::topology::Topology;
 use crate::update::UpdatePlan;
@@ -28,6 +29,9 @@ pub struct FleetTrace {
     pub tickets: Vec<Ticket>,
     /// The software-update rollout, when configured.
     pub update: Option<UpdatePlan>,
+    /// Planned vPE migrations, start-sorted (expected work; evaluation
+    /// suppresses warnings inside these windows like maintenance).
+    pub migrations: Vec<Migration>,
     logs: Vec<Vec<SyslogMessage>>,
     injected: Vec<Vec<(u64, usize)>>,
 }
@@ -41,12 +45,13 @@ pub struct FleetTrace {
 ///
 /// `tickets` may be the whole fleet's ticket list or any pre-filtered
 /// subset containing at least this vPE's tickets in report order; rows
-/// for other vPEs are ignored.
+/// for other vPEs are ignored, and the same holds for `migrations`.
 fn synthesize_vpe(
     cfg: &SimConfig,
     vpe: &crate::topology::Vpe,
     catalog: &Catalog,
     tickets: &[Ticket],
+    migrations: &[Migration],
     update_time: Option<u64>,
     end: u64,
 ) -> (Vec<SyslogMessage>, Vec<(u64, usize)>) {
@@ -77,6 +82,20 @@ fn synthesize_vpe(
             let when = t.report_time + rng.gen_range(0..span);
             let tpl =
                 catalog.maintenance_chatter[rng.gen_range(0..catalog.maintenance_chatter.len())];
+            records.push((when.min(end.saturating_sub(1)), tpl));
+        }
+    }
+
+    // Planned-migration chatter (expected work, no ticket). Emitted as
+    // a pre-copy / cutover / resume narration across the window; skipped
+    // entirely (zero RNG draws) when this vPE migrates nowhere, so
+    // traces without migrations are byte-identical to older ones.
+    for m in migrations.iter().filter(|m| m.vpe == vpe.id) {
+        let span = m.end.saturating_sub(m.start).max(10 * MINUTE);
+        let n = rng.gen_range(6..=14);
+        for _ in 0..n {
+            let when = m.start + rng.gen_range(0..span);
+            let tpl = catalog.migration_chatter[rng.gen_range(0..catalog.migration_chatter.len())];
             records.push((when.min(end.saturating_sub(1)), tpl));
         }
     }
@@ -115,6 +134,7 @@ impl FleetTrace {
         let catalog = Catalog::build();
         let tickets = generate_tickets(&cfg);
         let update = UpdatePlan::build(&cfg);
+        let migrations = plan_migrations(&cfg);
         let end = cfg.end_time();
 
         let mut logs = Vec::with_capacity(cfg.n_vpes);
@@ -123,12 +143,12 @@ impl FleetTrace {
         for vpe in &topology.vpes {
             let update_time = update.as_ref().and_then(|u| u.time_of[vpe.id]);
             let (messages, vpe_injected) =
-                synthesize_vpe(&cfg, vpe, &catalog, &tickets, update_time, end);
+                synthesize_vpe(&cfg, vpe, &catalog, &tickets, &migrations, update_time, end);
             logs.push(messages);
             injected.push(vpe_injected);
         }
 
-        FleetTrace { config: cfg, topology, catalog, tickets, update, logs, injected }
+        FleetTrace { config: cfg, topology, catalog, tickets, update, migrations, logs, injected }
     }
 
     /// Raw messages of one vPE, time-sorted.
@@ -208,10 +228,14 @@ pub struct MegaFleet {
     pub tickets: Vec<Ticket>,
     /// The software-update rollout, when configured.
     pub update: Option<UpdatePlan>,
+    /// Planned vPE migrations, start-sorted.
+    pub migrations: Vec<Migration>,
     end: u64,
     /// Tickets bucketed by vPE (report order preserved), so per-vPE
     /// synthesis is O(own tickets) instead of O(fleet tickets).
     tickets_by_vpe: Vec<Vec<Ticket>>,
+    /// Migrations bucketed by vPE (start order preserved).
+    migrations_by_vpe: Vec<Vec<Migration>>,
 }
 
 impl MegaFleet {
@@ -221,12 +245,27 @@ impl MegaFleet {
         let catalog = Catalog::build();
         let tickets = generate_tickets(&cfg);
         let update = UpdatePlan::build(&cfg);
+        let migrations = plan_migrations(&cfg);
         let end = cfg.end_time();
         let mut tickets_by_vpe = vec![Vec::new(); cfg.n_vpes];
         for t in &tickets {
             tickets_by_vpe[t.vpe].push(*t);
         }
-        MegaFleet { config: cfg, topology, catalog, tickets, update, end, tickets_by_vpe }
+        let mut migrations_by_vpe = vec![Vec::new(); cfg.n_vpes];
+        for m in &migrations {
+            migrations_by_vpe[m.vpe].push(*m);
+        }
+        MegaFleet {
+            config: cfg,
+            topology,
+            catalog,
+            tickets,
+            update,
+            migrations,
+            end,
+            tickets_by_vpe,
+            migrations_by_vpe,
+        }
     }
 
     /// Number of vPEs in the fleet.
@@ -244,6 +283,7 @@ impl MegaFleet {
             v,
             &self.catalog,
             &self.tickets_by_vpe[vpe],
+            &self.migrations_by_vpe[vpe],
             update_time,
             self.end,
         );
@@ -367,6 +407,63 @@ mod tests {
             }
         }
         assert!(found, "no maintenance chatter found");
+    }
+
+    #[test]
+    fn migration_windows_emit_chatter_only_inside_the_window() {
+        let mut cfg = SimConfig::preset(SimPreset::Fast, 77);
+        cfg.migrations = 5;
+        let trace = FleetTrace::simulate(cfg);
+        assert_eq!(trace.migrations.len(), 5);
+        let chatter: std::collections::HashSet<usize> =
+            trace.catalog.migration_chatter.iter().copied().collect();
+        let mut inside = 0usize;
+        for vpe in 0..trace.config.n_vpes {
+            let stream = trace.ground_truth_stream(vpe);
+            let windows: Vec<&Migration> =
+                trace.migrations.iter().filter(|m| m.vpe == vpe).collect();
+            for r in stream.records() {
+                if chatter.contains(&r.template) {
+                    assert!(
+                        windows.iter().any(|m| (m.start..m.end.max(m.start + 1)).contains(&r.time)
+                            || r.time == trace.config.end_time() - 1),
+                        "migration chatter at {} outside every window on vpe {}",
+                        r.time,
+                        vpe
+                    );
+                    inside += 1;
+                }
+            }
+        }
+        assert!(inside >= 5 * 6, "expected >=6 chatter lines per migration, got {}", inside);
+    }
+
+    #[test]
+    fn zero_migrations_leave_the_trace_byte_identical() {
+        // The migration RNG stream is separate and the chatter loop
+        // draws nothing when a vPE has no migrations, so the default
+        // trace is unchanged by the feature existing at all.
+        let trace = fast_trace();
+        assert!(trace.migrations.is_empty());
+        let mut cfg = SimConfig::preset(SimPreset::Fast, 77);
+        cfg.migrations = 0;
+        let again = FleetTrace::simulate(cfg);
+        for vpe in 0..trace.config.n_vpes {
+            assert_eq!(trace.messages(vpe), again.messages(vpe));
+        }
+    }
+
+    #[test]
+    fn megafleet_matches_trace_with_scenarios_enabled() {
+        let mut cfg = SimConfig::preset(SimPreset::Fast, 31);
+        cfg.migrations = 4;
+        cfg.chain_failures = 2;
+        let trace = FleetTrace::simulate(cfg.clone());
+        let mega = MegaFleet::new(cfg.clone());
+        assert_eq!(mega.migrations, trace.migrations);
+        for vpe in 0..cfg.n_vpes {
+            assert_eq!(mega.synthesize(vpe), trace.messages(vpe), "vpe {}", vpe);
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   reordering, corruption, clock skew) over rendered log lines;
 //! * [`update`] — the late-2017 software update that shifts syslog
 //!   distributions (§3.3);
+//! * [`scenario`] — stressors beyond the baseline fault universe
+//!   (planned vPE migrations, chain failures) for ablation studies;
 //! * [`fleet`] — the orchestrator producing raw [`SyslogMessage`]s;
 //! * [`ppe`] — a physical-PE comparator for the §2 volume statistic.
 
@@ -26,6 +28,7 @@ pub mod faults;
 pub mod fleet;
 pub mod load;
 pub mod ppe;
+pub mod scenario;
 pub mod tickets;
 pub mod topology;
 pub mod transport;
@@ -37,6 +40,7 @@ pub use config::{SimConfig, SimPreset};
 pub use fleet::{FleetTrace, MegaFleet};
 pub use load::{BurstSpec, LoadGen, LoadSpec, WindowSpec};
 pub use nfv_syslog::SyslogMessage;
+pub use scenario::{plan_migrations, Migration};
 pub use tickets::{Ticket, TicketCause};
 pub use topology::{Topology, Vpe};
 pub use transport::{TransportFaults, TransportReport, TransportSim};

@@ -1,0 +1,85 @@
+//! Scenario generators beyond the paper's baseline fault universe.
+//!
+//! The baseline simulation already covers local faults, duplicate
+//! bursts, maintenance windows, core-router incidents and the software
+//! update. This module adds two NFV-specific stressors for the
+//! scenario x detector ablation matrix:
+//!
+//! * **planned migrations** ([`plan_migrations`]) — a vPE's VM state is
+//!   moved to another host. The hypervisor narrates the move
+//!   (pre-copy, cutover, resume) in management chatter that looks
+//!   nothing like steady state, yet nothing is broken: no ticket is
+//!   raised, and the evaluation suppresses warnings inside the window
+//!   exactly like scheduled maintenance. A detector that cannot absorb
+//!   migration chatter pays for it in false alarms.
+//! * **chain failures** (in [`crate::tickets::generate_tickets`]) — a
+//!   root hardware fault on one member of a behaviour group cascades
+//!   into circuit trouble across the rest of the group in topology
+//!   order, each follow-on minutes after the last. Unlike core-router
+//!   incidents (one cause, simultaneous symptoms), a chain is a rolling
+//!   front: every hop is a real ticket a detector should predict.
+
+use crate::config::SimConfig;
+use nfv_syslog::time::{HOUR, MINUTE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One planned vPE migration: the VM's state moves to another host
+/// during `[start, end)`. Expected work — chatter, but no ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The migrated vPE.
+    pub vpe: usize,
+    /// Migration window start (epoch seconds).
+    pub start: u64,
+    /// Migration window end (exclusive).
+    pub end: u64,
+}
+
+/// Plans `cfg.migrations` migrations, deterministic in `cfg.seed` and
+/// independent of everything else in the simulation (its RNG stream is
+/// separate, so enabling migrations never perturbs chatter, tickets or
+/// faults). Windows last 30 minutes to 3 hours and are start-sorted.
+pub fn plan_migrations(cfg: &SimConfig) -> Vec<Migration> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x319a_7e55_0dd0_cafe);
+    let end = cfg.end_time();
+    let mut out = Vec::with_capacity(cfg.migrations);
+    for _ in 0..cfg.migrations {
+        let vpe = rng.gen_range(0..cfg.n_vpes);
+        let span = rng.gen_range(30 * MINUTE..3 * HOUR);
+        let start = rng.gen_range(0..end.saturating_sub(span).max(1));
+        out.push(Migration { vpe, start, end: start + span });
+    }
+    out.sort_by_key(|m| (m.start, m.vpe));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimPreset;
+
+    #[test]
+    fn migrations_are_deterministic_and_sorted() {
+        let mut cfg = SimConfig::preset(SimPreset::Fast, 9);
+        cfg.migrations = 6;
+        let a = plan_migrations(&cfg);
+        let b = plan_migrations(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        for w in a.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for m in &a {
+            assert!(m.vpe < cfg.n_vpes);
+            assert!(m.start < m.end && m.end <= cfg.end_time());
+            assert!((30 * MINUTE..3 * HOUR).contains(&(m.end - m.start)));
+        }
+    }
+
+    #[test]
+    fn zero_migrations_plan_nothing() {
+        let cfg = SimConfig::preset(SimPreset::Fast, 9);
+        assert!(plan_migrations(&cfg).is_empty());
+    }
+}

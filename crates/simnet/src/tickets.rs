@@ -236,6 +236,39 @@ pub fn generate_tickets(cfg: &SimConfig) -> Vec<Ticket> {
         }
     }
 
+    // Chain failures: a root hardware fault on one member of a
+    // behaviour group cascades into circuit trouble across the rest of
+    // the group in topology (id) order — a rolling front, unlike the
+    // simultaneous symptoms of a core-router incident. Every hop is a
+    // real ticket a detector should predict.
+    if cfg.chain_failures > 0 {
+        let topology = crate::topology::Topology::build(cfg);
+        for _ in 0..cfg.chain_failures {
+            let group = rng.gen_range(0..cfg.n_groups.max(1));
+            let members: Vec<usize> =
+                topology.vpes.iter().filter(|v| v.group == group).map(|v| v.id).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut when = rng.gen_range(0..end.max(1));
+            for (hop, &vpe) in members.iter().enumerate() {
+                let cause = if hop == 0 { TicketCause::Hardware } else { TicketCause::Circuit };
+                let report_time = when.min(end.saturating_sub(1));
+                let repair_time = (report_time + sample_repair_duration(&mut rng, cause)).min(end);
+                let id = tickets.len();
+                tickets.push(Ticket {
+                    id,
+                    vpe,
+                    cause,
+                    report_time,
+                    repair_time,
+                    core_incident: false,
+                });
+                when += rng.gen_range(3 * MINUTE..20 * MINUTE);
+            }
+        }
+    }
+
     tickets.sort_by_key(|t| t.report_time);
     for (i, t) in tickets.iter_mut().enumerate() {
         t.id = i;
@@ -338,6 +371,66 @@ mod tests {
         let first = core[0].report_time;
         let same_window = core.iter().filter(|t| t.report_time.abs_diff(first) < 2 * HOUR).count();
         assert!(same_window >= cfg.n_vpes / 2, "only {} vPEs in window", same_window);
+    }
+
+    #[test]
+    fn chain_failures_cascade_across_a_group_in_id_order() {
+        let mut cfg = full_cfg();
+        cfg.chain_failures = 2;
+        let baseline = generate_tickets(&full_cfg());
+        let tickets = generate_tickets(&cfg);
+        // The chains are extra tickets on top of a byte-identical base.
+        assert_eq!(
+            tickets.len(),
+            baseline.len() + {
+                let topo = crate::topology::Topology::build(&cfg);
+                let group_of = |t: &Ticket| topo.vpes[t.vpe].group;
+                // Recover the two injected chains: the hardware roots that
+                // are not present in the baseline.
+                let extra: Vec<&Ticket> = tickets
+                    .iter()
+                    .filter(|t| {
+                        !baseline.iter().any(|b| {
+                            b.vpe == t.vpe && b.cause == t.cause && b.report_time == t.report_time
+                        })
+                    })
+                    .collect();
+                let roots: Vec<&&Ticket> =
+                    extra.iter().filter(|t| t.cause == TicketCause::Hardware).collect();
+                assert_eq!(roots.len(), 2, "one hardware root per chain");
+                for root in &roots {
+                    let group = group_of(root);
+                    let members: Vec<usize> =
+                        topo.vpes.iter().filter(|v| v.group == group).map(|v| v.id).collect();
+                    // Follow-ons: circuit tickets on the remaining members,
+                    // strictly after the root, in id order along the chain.
+                    let mut chain: Vec<&&Ticket> = extra
+                        .iter()
+                        .filter(|t| {
+                            group_of(t) == group
+                                && t.report_time >= root.report_time
+                                && t.report_time < root.report_time + members.len() as u64 * HOUR
+                        })
+                        .collect();
+                    chain.sort_by_key(|t| t.report_time);
+                    assert_eq!(chain.len(), members.len(), "whole group is hit");
+                    assert_eq!(chain[0].vpe, members[0], "root lands on the first member");
+                    for (t, &vpe) in chain.iter().zip(members.iter()) {
+                        assert_eq!(t.vpe, vpe, "cascade follows topology id order");
+                    }
+                    for w in chain.windows(2) {
+                        let gap = w[1].report_time - w[0].report_time;
+                        assert!(
+                            (3 * MINUTE..20 * MINUTE).contains(&gap),
+                            "hops arrive minutes apart, got {}",
+                            gap
+                        );
+                        assert_eq!(w[1].cause, TicketCause::Circuit);
+                    }
+                }
+                extra.len()
+            }
+        );
     }
 
     #[test]

@@ -17,10 +17,14 @@
 //!
 //! nfvpredict evaluate [--preset fast|full] [--seed N] [--threads N]
 //!                     [--vpes N] [--months N] [--detector NAME]
-//!                     [--checkpoint-dir DIR] [--checkpoint-every N]
-//!                     [--resume] [--kill-at-month M]
+//!                     [--scenario NAME] [--checkpoint-dir DIR]
+//!                     [--checkpoint-every N] [--resume]
+//!                     [--kill-at-month M]
 //!     End-to-end pipeline evaluation on a simulated deployment
-//!     (precision-recall curve and operating point). --threads 0 (the
+//!     (precision-recall curve and operating point). --detector picks
+//!     one of lstm|gru|autoencoder|ocsvm|pca|hmm; --scenario stresses
+//!     the fleet beyond the baseline fault universe
+//!     (baseline|bursty|migration|chain-failure). --threads 0 (the
 //!     default) uses every available core; results are bit-identical
 //!     for any thread count. With --checkpoint-dir the run persists a
 //!     checkpoint after each month and --resume continues an
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
             "vpes",
             "months",
             "detector",
+            "scenario",
             "checkpoint-dir",
             "checkpoint-every",
             "resume",
@@ -567,6 +572,18 @@ fn cmd_evaluate(flags: &Flags) -> Result<ExitCode, String> {
     if let Some(v) = flag(flags, "months") {
         cfg.months = v.parse().map_err(|_| "bad --months")?;
     }
+    match flag(flags, "scenario").unwrap_or("baseline") {
+        "baseline" => {}
+        "bursty" => cfg.ticket_rate *= 2.5,
+        "migration" => cfg.migrations = 2 * cfg.months.max(1),
+        "chain-failure" => cfg.chain_failures = cfg.months.max(1) / 2 + 1,
+        other => {
+            return Err(format!(
+                "unknown scenario {:?} (baseline|bursty|migration|chain-failure)",
+                other
+            ))
+        }
+    }
     eprintln!("simulating {} vPEs over {} months...", cfg.n_vpes, cfg.months);
     let trace = FleetTrace::simulate(cfg);
     let mut pipe = PipelineConfig {
@@ -576,17 +593,23 @@ fn cmd_evaluate(flags: &Flags) -> Result<ExitCode, String> {
     let detector_name = flag(flags, "detector").unwrap_or("lstm");
     pipe.detector = match detector_name {
         "lstm" => DetectorKind::Lstm,
+        "gru" => DetectorKind::Gru,
         "autoencoder" => DetectorKind::Autoencoder,
         "ocsvm" => DetectorKind::Ocsvm,
         "pca" => DetectorKind::Pca,
         "hmm" => DetectorKind::Hmm,
         other => {
-            return Err(format!("unknown detector {:?} (lstm|autoencoder|ocsvm|pca|hmm)", other))
+            return Err(format!(
+                "unknown detector {:?} (lstm|gru|autoencoder|ocsvm|pca|hmm)",
+                other
+            ))
         }
     };
     if flag(flags, "preset").unwrap_or("fast") == "fast" {
         pipe.lstm.epochs = 2;
         pipe.lstm.max_train_windows = 10_000;
+        pipe.gru.epochs = 2;
+        pipe.gru.max_train_windows = 10_000;
     }
     if let Some(dir) = flag(flags, "checkpoint-dir") {
         pipe.checkpoint.dir = Some(PathBuf::from(dir));
@@ -610,11 +633,15 @@ fn cmd_evaluate(flags: &Flags) -> Result<ExitCode, String> {
     };
     let curve = eval::sweep_prc(&run, &pipe.mapping, 40);
     print!("{}", nfvpredict::detect::report::format_prc(detector_name, &curve));
-    if let Some(best) = curve.best_f_point() {
-        println!(
+    match curve.best_f_point() {
+        Some(best) => println!(
             "false alarms per day at operating point: {:.2}",
             eval::false_alarms_per_day(&run, &pipe.mapping, best.threshold)
-        );
+        ),
+        None => println!(
+            "no operating point: the threshold sweep produced an empty PR curve \
+             (no finite scores — try more months or a larger fleet)"
+        ),
     }
     Ok(ExitCode::SUCCESS)
 }
